@@ -1,0 +1,82 @@
+//! Per-operation costs inside the three case studies: one Life cell
+//! update per variant, one PPD sample / edge decision for Parakeet, and
+//! one prior-weighted GPS speed sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uncertain_core::Sampler;
+use uncertain_life::{BayesLife, Board, LifeVariant, NaiveLife, NoisySensor, SensorLife};
+use uncertain_neural::sobel::generate_dataset;
+use uncertain_neural::{Parakeet, Parrot};
+
+fn bench_life_cell_update(c: &mut Criterion) {
+    let board = Board::random(20, 20, 0.35, 7);
+    let sensor = NoisySensor::new(0.2).unwrap();
+    let naive = NaiveLife::new(sensor);
+    let sensor_life = SensorLife::new(sensor);
+    let bayes = BayesLife::new(sensor);
+    let mut group = c.benchmark_group("Life cell update (σ=0.2)");
+    group.bench_function("NaiveLife", |bencher| {
+        let mut s = Sampler::seeded(1);
+        bencher.iter(|| black_box(naive.decide(&board, 10, 10, &mut s)));
+    });
+    group.bench_function("SensorLife", |bencher| {
+        let mut s = Sampler::seeded(1);
+        bencher.iter(|| black_box(sensor_life.decide(&board, 10, 10, &mut s)));
+    });
+    group.bench_function("BayesLife", |bencher| {
+        let mut s = Sampler::seeded(1);
+        bencher.iter(|| black_box(bayes.decide(&board, 10, 10, &mut s)));
+    });
+    group.finish();
+}
+
+fn bench_parakeet(c: &mut Criterion) {
+    let train = generate_dataset(300, 1);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+    let parrot = Parrot::train(&train, 30, 0.05, &mut rng);
+    let parakeet = Parakeet::train_tuned(&train, 60, 3, &mut rng);
+    let input = train.inputs[0].clone();
+    let mut group = c.benchmark_group("Sobel prediction");
+    group.bench_function("Parrot point estimate", |bencher| {
+        bencher.iter(|| black_box(parrot.predict(&input)));
+    });
+    group.bench_function("Parakeet PPD joint sample", |bencher| {
+        let mut s = Sampler::seeded(4);
+        let ppd = parakeet.predict(&input);
+        bencher.iter(|| black_box(s.sample(&ppd)));
+    });
+    group.bench_function("Parakeet edge decision .pr(0.8)", |bencher| {
+        let mut s = Sampler::seeded(4);
+        let edge = parakeet.predict(&input).gt(0.1);
+        bencher.iter(|| black_box(edge.pr_with(0.8, &mut s)));
+    });
+    group.finish();
+}
+
+fn bench_gps_prior(c: &mut Criterion) {
+    use uncertain_gps::{priors, uncertain_speed, GeoCoordinate, GpsReading};
+    let start = GeoCoordinate::new(47.6, -122.3);
+    let a = GpsReading::new(start, 4.0).unwrap();
+    let b = GpsReading::new(start.destination(1.34, 90.0), 4.0).unwrap();
+    let speed = uncertain_speed(&a, &b, 1.0);
+    let improved = priors::apply(&speed, priors::walking_speed());
+    let mut group = c.benchmark_group("GPS speed joint sample");
+    group.bench_function("raw speed", |bencher| {
+        let mut s = Sampler::seeded(5);
+        bencher.iter(|| black_box(s.sample(&speed)));
+    });
+    group.bench_function("prior-weighted speed (SIR k=16)", |bencher| {
+        let mut s = Sampler::seeded(5);
+        bencher.iter(|| black_box(s.sample(&improved)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_life_cell_update,
+    bench_parakeet,
+    bench_gps_prior
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! The headline ablation of paper §4.3: the SPRT's goal-directed sampling
+//! against a fixed sample pool and against the group-sequential (Pocock)
+//! design — in wall-clock time and in samples drawn per decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uncertain_core::{EvalConfig, Sampler, Uncertain};
+use uncertain_stats::{FixedSampleTest, GroupSequentialTest, SequentialTest};
+
+/// Conditional decisions over evidence strengths: the SPRT gets cheaper as
+/// the conditional gets easier; a fixed pool pays full price everywhere.
+fn bench_conditional_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide Pr[x]>0.5");
+    for &(label, p) in &[("easy p=0.95", 0.95), ("medium p=0.7", 0.7), ("hard p=0.55", 0.55)] {
+        let bern = Uncertain::bernoulli(p).unwrap();
+        group.bench_with_input(BenchmarkId::new("sprt", label), &bern, |bencher, b| {
+            let mut s = Sampler::seeded(1);
+            let test = SequentialTest::at_threshold(0.5).unwrap();
+            bencher.iter(|| black_box(test.run(|| s.sample(b))));
+        });
+        group.bench_with_input(BenchmarkId::new("fixed-1000", label), &bern, |bencher, b| {
+            let mut s = Sampler::seeded(1);
+            let test = FixedSampleTest::new(0.5, 1000).unwrap();
+            bencher.iter(|| black_box(test.run(|| s.sample(b))));
+        });
+        group.bench_with_input(BenchmarkId::new("pocock-5x200", label), &bern, |bencher, b| {
+            let mut s = Sampler::seeded(1);
+            let test = GroupSequentialTest::new(0.5, 5, 200).unwrap();
+            bencher.iter(|| black_box(test.run(|| s.sample(b))));
+        });
+    }
+    group.finish();
+}
+
+/// Batch-size ablation: the paper's k = 10 against smaller and larger
+/// batches on a moderately easy conditional.
+fn bench_batch_size(c: &mut Criterion) {
+    let speed = Uncertain::normal(5.0, 1.5).unwrap();
+    let fast = speed.gt(4.0);
+    let mut group = c.benchmark_group("SPRT batch size k");
+    for k in [1usize, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, &k| {
+            let mut s = Sampler::seeded(2);
+            let cfg = EvalConfig::default().with_batch(k);
+            bencher.iter(|| black_box(fast.evaluate(0.5, &mut s, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end conditional on a real network (the GPS-Walking comparison),
+/// implicit vs. 0.9-explicit.
+fn bench_gps_conditional(c: &mut Criterion) {
+    use uncertain_gps::{uncertain_speed, GeoCoordinate, GpsReading};
+    let start = GeoCoordinate::new(47.6, -122.3);
+    let a = GpsReading::new(start, 4.0).unwrap();
+    let b = GpsReading::new(start.destination(1.34, 90.0), 4.0).unwrap();
+    let speed = uncertain_speed(&a, &b, 1.0);
+    let mut group = c.benchmark_group("GPS-Walking conditional");
+    group.bench_function("implicit Speed>4", |bencher| {
+        let mut s = Sampler::seeded(3);
+        let fast = speed.gt(4.0);
+        bencher.iter(|| black_box(fast.evaluate(0.5, &mut s, &EvalConfig::default())));
+    });
+    group.bench_function("explicit (Speed<4).pr(0.9)", |bencher| {
+        let mut s = Sampler::seeded(3);
+        let slow = speed.lt(4.0);
+        bencher.iter(|| black_box(slow.evaluate(0.9, &mut s, &EvalConfig::default())));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conditional_strategies,
+    bench_batch_size,
+    bench_gps_conditional
+);
+criterion_main!(benches);

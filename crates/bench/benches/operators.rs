@@ -1,0 +1,102 @@
+//! Runtime costs of the core abstraction: network construction, joint
+//! sampling, and the memoization that implements shared-dependence
+//! tracking. These are the ablation benches DESIGN.md calls out for the
+//! operator layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uncertain_core::{Sampler, Uncertain};
+
+/// Building `a + b` allocates two nodes and never samples: construction is
+/// the cheap, lazy phase of the paper's design.
+fn bench_construction(c: &mut Criterion) {
+    let a = Uncertain::normal(0.0, 1.0).unwrap();
+    let b = Uncertain::normal(0.0, 1.0).unwrap();
+    c.bench_function("construct a+b (no sampling)", |bencher| {
+        bencher.iter(|| black_box(&a) + black_box(&b));
+    });
+}
+
+/// One joint sample of expression chains of increasing depth — the
+/// ancestral-sampling cost is linear in network size.
+fn bench_chain_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joint sample, chain of +");
+    for depth in [1usize, 10, 100] {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let mut expr = x.clone();
+        for _ in 0..depth {
+            expr = expr + Uncertain::normal(0.0, 1.0).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &expr, |bencher, e| {
+            let mut s = Sampler::seeded(1);
+            bencher.iter(|| black_box(s.sample(e)));
+        });
+    }
+    group.finish();
+}
+
+/// Memoization ablation: a diamond-shaped network (the same leaf reused
+/// many times) is sampled once per joint sample thanks to node identity;
+/// the encapsulated variant redraws every use.
+fn bench_shared_vs_independent(c: &mut Criterion) {
+    let x = Uncertain::normal(0.0, 1.0).unwrap();
+    let mut shared = x.clone();
+    let mut independent = x.encapsulate();
+    for _ in 0..32 {
+        shared = shared + &x;
+        independent = independent + x.encapsulate();
+    }
+    let mut group = c.benchmark_group("32 reuses of one leaf");
+    group.bench_function("shared (memoized once)", |bencher| {
+        let mut s = Sampler::seeded(2);
+        bencher.iter(|| black_box(s.sample(&shared)));
+    });
+    group.bench_function("independent (encapsulated)", |bencher| {
+        let mut s = Sampler::seeded(2);
+        bencher.iter(|| black_box(s.sample(&independent)));
+    });
+    group.finish();
+}
+
+/// The expected-value operator at several sample budgets.
+fn bench_expected_value(c: &mut Criterion) {
+    let speed = Uncertain::normal(3.0, 6.0).unwrap();
+    let mut group = c.benchmark_group("E[x] by sample budget");
+    for n in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            let mut s = Sampler::seeded(3);
+            bencher.iter(|| black_box(speed.expected_value_with(&mut s, n)));
+        });
+    }
+    group.finish();
+}
+
+/// Sampler (fresh context per joint sample) vs Evaluator (reused context)
+/// on a 100-node chain — the allocation-churn ablation.
+fn bench_evaluator_vs_sampler(c: &mut Criterion) {
+    use uncertain_core::Evaluator;
+    let mut expr = Uncertain::normal(0.0, 1.0).unwrap();
+    for _ in 0..100 {
+        expr = expr + Uncertain::normal(0.0, 1.0).unwrap();
+    }
+    let mut group = c.benchmark_group("100-node chain, one joint sample");
+    group.bench_function("Sampler (fresh context)", |bencher| {
+        let mut s = Sampler::seeded(4);
+        bencher.iter(|| black_box(s.sample(&expr)));
+    });
+    group.bench_function("Evaluator (reused context)", |bencher| {
+        let mut e = Evaluator::new(&expr, 4);
+        bencher.iter(|| black_box(e.sample()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_chain_sampling,
+    bench_shared_vs_independent,
+    bench_expected_value,
+    bench_evaluator_vs_sampler
+);
+criterion_main!(benches);

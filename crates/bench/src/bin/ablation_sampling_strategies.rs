@@ -1,0 +1,81 @@
+//! Ablation (DESIGN.md): the SPRT's goal-directed sampling against the
+//! fixed-pool baseline and the group-sequential (Pocock) "closed" design,
+//! measured in samples drawn per decision and decision error rate, across
+//! evidence strengths. This is the quantitative version of the paper's
+//! §4.3 claim that sequential tests "draw the minimum necessary number of
+//! samples for a sufficiently accurate result for each specific
+//! conditional."
+
+use uncertain_bench::{header, scaled};
+use uncertain_core::{Sampler, Uncertain};
+use uncertain_stats::{FixedSampleTest, GroupSequentialTest, SequentialTest};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("Ablation: samples per decision and error rate, by strategy");
+    let trials = scaled(400, 50);
+    let threshold = 0.5;
+    let sprt = SequentialTest::at_threshold(threshold)?;
+    let fixed = FixedSampleTest::new(threshold, 1000)?;
+    let pocock = GroupSequentialTest::new(threshold, 5, 200)?;
+
+    println!(
+        "{:>8} {:>22} {:>22} {:>22}",
+        "true p", "SPRT (smp, err)", "fixed-1000 (smp, err)", "Pocock 5×200 (smp, err)"
+    );
+    for p in [0.95, 0.8, 0.65, 0.55, 0.45, 0.35, 0.2, 0.05] {
+        let truth = p > threshold;
+        let bern = Uncertain::bernoulli(p)?;
+        let mut sampler = Sampler::seeded((p * 1000.0) as u64);
+
+        let mut row = format!("{p:>8.2}");
+        // SPRT.
+        let (mut samples, mut errors) = (0usize, 0usize);
+        for _ in 0..trials {
+            let o = sprt.run(|| sampler.sample(&bern));
+            samples += o.samples;
+            if o.accepted() != truth {
+                errors += 1;
+            }
+        }
+        row.push_str(&format!(
+            " {:>12.1} {:>7.3}",
+            samples as f64 / trials as f64,
+            errors as f64 / trials as f64
+        ));
+        // Fixed pool.
+        let (mut samples, mut errors) = (0usize, 0usize);
+        for _ in 0..trials {
+            let o = fixed.run(|| sampler.sample(&bern));
+            samples += o.samples;
+            if o.accepted != truth {
+                errors += 1;
+            }
+        }
+        row.push_str(&format!(
+            " {:>12.1} {:>7.3}",
+            samples as f64 / trials as f64,
+            errors as f64 / trials as f64
+        ));
+        // Pocock.
+        let (mut samples, mut errors) = (0usize, 0usize);
+        for _ in 0..trials {
+            let o = pocock.run(|| sampler.sample(&bern));
+            samples += o.samples;
+            if o.accepted != truth {
+                errors += 1;
+            }
+        }
+        row.push_str(&format!(
+            " {:>12.1} {:>7.3}",
+            samples as f64 / trials as f64,
+            errors as f64 / trials as f64
+        ));
+        println!("{row}");
+    }
+    println!();
+    println!("expected shape: the SPRT's sample count collapses for easy evidence");
+    println!("and approaches the cap only near p = 0.5 ± δ; the fixed pool pays");
+    println!("1000 samples everywhere for the same decisions; Pocock sits between,");
+    println!("with a hard worst-case bound.");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Extension experiment: the paper's §5.2 suggestion realized — "a better
+//! implementation could calculate joint likelihoods with multiple samples."
+//! Single-sample BayesLife breaks down past σ ≈ 0.4; the joint-likelihood
+//! sensor stays accurate well beyond it.
+
+use uncertain_bench::{header, scaled};
+use uncertain_core::Sampler;
+use uncertain_life::{BayesLife, Board, JointBayesLife, LifeVariant, NoisySensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("Extension: BayesLife vs joint-likelihood BayesLife at extreme noise");
+    let board = Board::random(scaled(20, 10), scaled(20, 10), 0.35, 7);
+    let reps = scaled(20, 4);
+    let reads = 9;
+
+    println!(
+        "{:>6} {:>16} {:>22}",
+        "σ", "BayesLife err", format!("JointBayes({reads}) err")
+    );
+    for sigma in [0.3, 0.4, 0.5, 0.6, 0.7] {
+        let sensor = NoisySensor::new(sigma)?;
+        let single = BayesLife::new(sensor);
+        let joint = JointBayesLife::new(sensor, reads);
+        let mut sampler = Sampler::seeded((sigma * 1e4) as u64);
+        let rate = |v: &dyn LifeVariant, sampler: &mut Sampler| -> f64 {
+            let mut errors = 0usize;
+            let mut updates = 0usize;
+            for _ in 0..reps {
+                for (x, y) in board.coords() {
+                    let truth = uncertain_life::next_state(
+                        board.get(x, y),
+                        board.live_neighbors(x, y),
+                    );
+                    if v.decide(&board, x, y, sampler).alive != truth {
+                        errors += 1;
+                    }
+                    updates += 1;
+                }
+            }
+            errors as f64 / updates as f64
+        };
+        println!(
+            "{sigma:>6.2} {:>16.4} {:>22.4}",
+            rate(&single, &mut sampler),
+            rate(&joint, &mut sampler)
+        );
+    }
+    println!();
+    println!("the paper: 'at noise levels higher than σ = 0.4, considering");
+    println!("individual samples in isolation breaks down'; joint likelihoods");
+    println!("shrink the effective noise to σ/√{reads} and keep tracking.");
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Extension experiment: closed-loop SensorLife. The paper evaluates
+//! per-update decision accuracy against a ground-truth trajectory; here
+//! each noisy Game of Life **evolves its own board** from its own noisy
+//! decisions and we track the fraction of cells disagreeing with the true
+//! board — computation compounding error at the macro scale.
+
+use uncertain_bench::{header, scaled};
+use uncertain_life::{LifeExperiment, Variant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("Extension: closed-loop board divergence from ground truth (σ = 0.15)");
+    let exp = scaled(
+        LifeExperiment::new(20, 20, 20, 10, 77),
+        LifeExperiment::new(10, 10, 8, 2, 77),
+    );
+    let sigma = 0.15;
+    let series: Vec<(Variant, Vec<f64>)> = Variant::ALL
+        .into_iter()
+        .map(|v| Ok::<_, uncertain_core::dist::ParamError>((v, exp.run_closed_loop(v, sigma)?)))
+        .collect::<Result<_, _>>()?;
+
+    println!("{:>4} {:>12} {:>12} {:>12}", "gen", "NaiveLife", "SensorLife", "BayesLife");
+    let generations = series[0].1.len();
+    for g in 0..generations {
+        println!(
+            "{:>4} {:>12.4} {:>12.4} {:>12.4}",
+            g + 1,
+            series[0].1[g],
+            series[1].1[g],
+            series[2].1[g]
+        );
+    }
+    println!();
+    println!("Naive decorrelates from the truth within a few generations and");
+    println!("hovers near the random-overlap plateau; Bayes tracks the truth.");
+    Ok(())
+}

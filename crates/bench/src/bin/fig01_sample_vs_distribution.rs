@@ -1,0 +1,43 @@
+//! Figure 1: a single sample is a poor estimate of a distribution.
+//!
+//! Draws one sample from a Gaussian and contrasts it with the histogram of
+//! the full distribution, reproducing the paper's opening observation:
+//! "the outcome of one flip is only a sample and not a good estimate of the
+//! true value."
+
+use uncertain_bench::{header, scaled};
+use uncertain_core::{Sampler, Uncertain};
+use uncertain_stats::Histogram;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("Figure 1: one sample vs. the distribution (Gaussian N(0,1))");
+    let n = scaled(100_000, 2_000);
+
+    let x = Uncertain::normal(0.0, 1.0)?;
+    let mut sampler = Sampler::seeded(1);
+
+    let single = sampler.sample(&x);
+    println!("single sample observed: {single:.3}\n");
+
+    let mut hist = Histogram::new(-4.0, 4.0, 33)?;
+    hist.extend(sampler.samples(&x, n));
+    println!("distribution ({n} samples):");
+    print!("{}", hist.render(50));
+
+    let stats = x.stats_with(&mut sampler, n)?;
+    println!(
+        "\nmean = {:+.4}  (true 0)    σ = {:.4}  (true 1)",
+        stats.mean(),
+        stats.std_dev()
+    );
+    let below = sampler
+        .samples(&x, 10_000)
+        .into_iter()
+        .filter(|v| *v < single)
+        .count();
+    println!(
+        "the single sample sits at the {:.1}th percentile of the distribution",
+        100.0 * below as f64 / 10_000.0
+    );
+    Ok(())
+}

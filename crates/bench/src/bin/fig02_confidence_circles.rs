@@ -1,0 +1,40 @@
+//! Figure 2: confidence circles mislead across platforms.
+//!
+//! The paper reverse-engineered that Windows Phone draws a 95% confidence
+//! circle and Android a 68% one. This binary quantifies the trap: for the
+//! same drawn radius, the implied error distributions differ by ~1.7×, so
+//! "the smaller circle has a higher standard deviation and is less
+//! accurate."
+
+use uncertain_bench::header;
+use uncertain_gps::{radius_for_confidence, rho_from_accuracy};
+
+fn main() {
+    header("Figure 2: the same circle radius under two confidence conventions");
+    println!("{:>12} {:>14} {:>14} {:>16}", "radius (m)", "ρ if 95% CI", "ρ if 68% CI", "σ ratio 68/95");
+    for radius in [2.0, 4.0, 8.0, 16.0] {
+        // If the circle is the 95% radius (WP), ρ = r/√ln400.
+        let rho95 = rho_from_accuracy(radius);
+        // If the same circle is the 68% radius (Android), invert the
+        // Rayleigh CDF at 0.68.
+        let rho68 = radius / (-2.0 * (1.0 - 0.68_f64).ln()).sqrt();
+        println!(
+            "{radius:>12.1} {rho95:>14.3} {rho68:>14.3} {:>16.3}",
+            rho68 / rho95
+        );
+    }
+    println!();
+    println!("cross-check: a WP circle of 4 m and an Android circle of 3 m:");
+    let wp = rho_from_accuracy(4.0);
+    let android = 3.0 / (-2.0 * (1.0 - 0.68_f64).ln()).sqrt();
+    println!("  WP (95%):      drawn r = 4.0 m  →  ρ = {wp:.3} m");
+    println!("  Android (68%): drawn r = 3.0 m  →  ρ = {android:.3} m");
+    println!(
+        "  the SMALLER circle is the LESS accurate fix ({})",
+        if android > wp { "confirmed" } else { "not confirmed" }
+    );
+    println!(
+        "  Android's true 95% radius would be {:.2} m",
+        radius_for_confidence(android, 0.95)
+    );
+}

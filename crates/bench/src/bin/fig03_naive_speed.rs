@@ -1,0 +1,33 @@
+//! Figure 3: naive speed computation on GPS data produces absurd walking
+//! speeds (the paper logged 59 mph, and 35 s above 7 mph — a running pace).
+
+use uncertain_bench::{header, scaled};
+use uncertain_gps::WalkExperiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("Figure 3: naive speed while walking at 3 mph (ε = 4 m GPS)");
+    let duration = scaled(900, 90); // the paper's 15-minute walk
+    let result = WalkExperiment::new(4.0, duration, 2024)
+        .samples_per_estimate(scaled(300, 100))
+        .run()?;
+
+    println!("t(s)   naive speed (mph)");
+    for r in result.records.iter().step_by(scaled(30, 10)) {
+        let bars = "#".repeat((r.naive_speed.min(40.0) * 1.5) as usize);
+        println!("{:>4}   {:>6.2} {bars}", r.t, r.naive_speed);
+    }
+
+    println!();
+    println!("true walking speed:        3.0 mph");
+    println!("mean naive speed:          {:.2} mph (paper: 3.5)", result.mean_naive_speed());
+    println!(
+        "max naive speed:           {:.1} mph (paper: absurd values up to 59)",
+        result.max_of(|r| r.naive_speed)
+    );
+    println!(
+        "seconds above 7 mph:       {} of {} (paper: 35 s — a running pace)",
+        result.seconds_above(7.0, |r| r.naive_speed),
+        result.records.len()
+    );
+    Ok(())
+}

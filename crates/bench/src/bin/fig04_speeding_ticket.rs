@@ -1,0 +1,36 @@
+//! Figure 4: probability of issuing a speeding ticket at a 60 mph limit,
+//! across true speeds and GPS accuracies. The paper highlights the cell
+//! (57 mph, ε = 4 m): a 32% chance of a ticket from random noise alone.
+
+use uncertain_bench::{header, scaled};
+use uncertain_core::Sampler;
+use uncertain_gps::ticket_probability;
+
+fn main() {
+    header("Figure 4: Pr[naive conditional issues a ticket] at a 60 mph limit");
+    let trials = scaled(2000, 200);
+    let accuracies = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+    let speeds = [50.0, 53.0, 55.0, 57.0, 59.0, 60.0, 61.0, 63.0, 65.0, 70.0];
+    let mut sampler = Sampler::seeded(4);
+
+    print!("{:>12}", "speed\\ε(m)");
+    for eps in accuracies {
+        print!("{eps:>8.0}");
+    }
+    println!();
+    for speed in speeds {
+        print!("{speed:>10.0}mph");
+        for eps in accuracies {
+            let p = ticket_probability(speed, eps, 60.0, 1.0, trials, &mut sampler);
+            print!("{:>8.3}", p);
+        }
+        println!();
+    }
+
+    println!();
+    let highlighted = ticket_probability(57.0, 4.0, 60.0, 1.0, trials * 2, &mut sampler);
+    println!(
+        "paper's highlighted cell — true speed 57 mph, ε = 4 m: Pr[ticket] = {highlighted:.3} \
+         (paper: 0.32)"
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 10: domain knowledge as a prior distribution improves GPS
+//! estimates — the "road-snapping" behavior. The posterior mean shifts
+//! from the raw fix `p` toward the snapped point `s` on the road, unless
+//! the GPS evidence against the road is very strong.
+
+use uncertain_bench::{header, scaled};
+use uncertain_core::Sampler;
+use uncertain_gps::{GeoCoordinate, GpsReading, RoadMap};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("Figure 10: road-snapping prior over locations");
+    let n = scaled(4000, 500);
+    let c = GeoCoordinate::new(47.6, -122.3);
+    // An east-west road through c.
+    let road = RoadMap::new(vec![(
+        c.destination(500.0, 270.0),
+        c.destination(500.0, 90.0),
+    )])?;
+
+    println!("fix offset from road (m) | E[dist to road] raw | snapped | pulled");
+    let mut sampler = Sampler::seeded(10);
+    for offset in [0.0_f64, 5.0, 10.0, 20.0, 50.0, 200.0] {
+        let fix = GpsReading::new(c.destination(offset.max(0.01), 0.0), 8.0)?;
+        let raw = fix.location();
+        let snapped = road.snap(&raw, 3.0, 1e-4);
+        let raw_d = raw.expect_by(&mut sampler, n, |p| road.distance_to_road(p));
+        let snap_d = snapped.expect_by(&mut sampler, n, |p| road.distance_to_road(p));
+        println!(
+            "{offset:>23.0}  | {raw_d:>19.2} | {snap_d:>7.2} | {:>5.0}%",
+            100.0 * (1.0 - snap_d / raw_d.max(1e-9))
+        );
+    }
+    println!();
+    println!("small offsets snap hard onto the road; a 200 m offset (strong");
+    println!("contrary evidence) keeps the posterior off-road — the paper's");
+    println!("\"unless GPS evidence to the contrary is very strong\".");
+    Ok(())
+}

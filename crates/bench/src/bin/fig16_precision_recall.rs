@@ -1,0 +1,63 @@
+//! Figure 16: precision and recall of Parakeet's edge detection across
+//! conditional thresholds α, against Parrot's single fixed point (the
+//! paper measured Parrot at 100% recall / 64% precision).
+
+use uncertain_bench::{header, scaled};
+use uncertain_core::Sampler;
+use uncertain_neural::eval::{parakeet_precision_recall, parrot_confusion};
+use uncertain_neural::sobel::generate_dataset;
+use uncertain_neural::{Parakeet, Parrot};
+
+fn main() {
+    header("Figure 16: precision/recall vs. conditional threshold α");
+    // Paper scale: 5000 training examples, 500 evaluation examples.
+    let train = generate_dataset(scaled(5000, 300), 160);
+    let test = generate_dataset(scaled(500, 120), 161);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(16);
+
+    let parrot = Parrot::train(&train, scaled(60, 20), 0.05, &mut rng);
+    let parakeet = Parakeet::train_tuned(&train, scaled(300, 40), 162, &mut rng);
+
+    println!(
+        "train = {}, eval = {}, eval edge fraction = {:.2}, Parrot RMSE = {:.3} (paper: 0.034)",
+        train.len(),
+        test.len(),
+        test.edge_fraction(),
+        parrot.rmse(&test)
+    );
+
+    let parrot_m = parrot_confusion(&parrot, &test);
+    println!(
+        "Parrot (fixed point): precision = {:.3}, recall = {:.3}  (paper: 0.64 / 1.00)",
+        parrot_m.precision().unwrap_or(f64::NAN),
+        parrot_m.recall().unwrap_or(f64::NAN)
+    );
+
+    println!();
+    println!("{:>6} {:>11} {:>9} {:>6} {:>6} {:>6} {:>6}", "α", "precision", "recall", "tp", "fp", "fn", "tn");
+    let alphas: Vec<f64> = (1..20).map(|i| i as f64 / 20.0).collect();
+    let mut sampler = Sampler::seeded(163);
+    let points = parakeet_precision_recall(
+        &parakeet,
+        &test,
+        &alphas,
+        scaled(400, 100),
+        &mut sampler,
+    );
+    for p in &points {
+        println!(
+            "{:>6.2} {:>11.3} {:>9.3} {:>6} {:>6} {:>6} {:>6}",
+            p.alpha,
+            p.precision.unwrap_or(f64::NAN),
+            p.recall.unwrap_or(f64::NAN),
+            p.matrix.true_positives(),
+            p.matrix.false_positives(),
+            p.matrix.false_negatives(),
+            p.matrix.true_negatives(),
+        );
+    }
+
+    println!();
+    println!("expected shape: recall falls and precision rises as α grows —");
+    println!("developers pick their own balance, which Parrot cannot offer.");
+}

@@ -1,0 +1,69 @@
+//! §6 (related work): the alarm generative model. The paper measured
+//! Church taking 20 s to draw 100 posterior samples because rejection-style
+//! inference must condition on a rare observation (Pr\[alarm\] ≈ 0.11%).
+//! This binary reproduces the *asymmetry*: generative inference by
+//! rejection vs. `Uncertain<T>`'s goal-directed conditional evaluation.
+
+use std::time::Instant;
+use uncertain_bench::{header, scaled};
+use uncertain_core::{Sampler, Uncertain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("§6: alarm model — rejection-based inference vs. goal-directed conditionals");
+
+    // The generative model of Fig. 17.
+    let earthquake = Uncertain::bernoulli(0.0001)?;
+    let burglary = Uncertain::bernoulli(0.001)?;
+    let alarm = &earthquake | &burglary;
+    let phone_given_eq = |eq: bool| if eq { 0.7 } else { 0.99 };
+    let phone_working = earthquake.flat_map("phone|eq", move |eq| {
+        Uncertain::bernoulli(phone_given_eq(eq)).expect("valid probability")
+    });
+
+    // --- Rejection-style inference: condition on the rare observation. ---
+    let n_posterior = scaled(100, 20);
+    let mut sampler = Sampler::seeded(17);
+    let joint = alarm.zip(&phone_working);
+    let started = Instant::now();
+    let mut kept = 0usize;
+    let mut phone_true = 0usize;
+    let mut raw_draws = 0u64;
+    while kept < n_posterior {
+        let (a, p) = sampler.sample(&joint);
+        raw_draws += 1;
+        if a {
+            kept += 1;
+            if p {
+                phone_true += 1;
+            }
+        }
+    }
+    let rejection_time = started.elapsed();
+    println!(
+        "rejection inference: {kept} posterior samples required {raw_draws} raw draws \
+         ({:.0} draws/sample) in {:.2?}",
+        raw_draws as f64 / kept as f64,
+        rejection_time
+    );
+    println!(
+        "  Pr[phoneWorking | alarm] ≈ {:.3} (analytic ≈ 0.963)",
+        phone_true as f64 / kept as f64
+    );
+
+    // --- Uncertain<T>'s question: a conditional on the concrete instance. -
+    let started = Instant::now();
+    let outcome = phone_working
+        .evaluate(0.5, &mut sampler, &uncertain_core::EvalConfig::default());
+    println!();
+    println!(
+        "goal-directed conditional `if (phoneWorking)`: decided {} with {} samples in {:.2?}",
+        outcome.to_bool(),
+        outcome.samples,
+        started.elapsed()
+    );
+    println!();
+    println!("the asymmetry the paper reports: inference against a rare observation");
+    println!("pays ~1/Pr[observation] per posterior sample, while the application's");
+    println!("actual question (a conditional) needs only a handful of samples.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Table 1: the operators and methods of `Uncertain<T>`, demonstrated
+//! live. Each row of the paper's table is executed and its semantics
+//! printed (the behavioral assertions live in `tests/operator_table.rs`).
+
+use uncertain_bench::header;
+use uncertain_core::{EvalConfig, Sampler, Uncertain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("Table 1: Uncertain<T> operators and methods");
+    let mut s = Sampler::seeded(1);
+    let a = Uncertain::normal(4.0, 1.0)?;
+    let b = Uncertain::normal(5.0, 1.0)?;
+
+    println!("Math  (+ − × ÷) :: U<T> → U<T> → U<T>");
+    for (sym, expr) in [
+        ("a + b", &a + &b),
+        ("a - b", &a - &b),
+        ("a * b", &a * &b),
+        ("a / b", &a / &b),
+    ] {
+        println!("  {sym:<6} E = {:7.3}", expr.expected_value_with(&mut s, 4000));
+    }
+
+    println!("\nOrder (< > ≤ ≥) :: U<T> → U<T> → U<Bool>");
+    for (sym, cond) in [
+        ("a < b", a.lt(&b)),
+        ("a > b", a.gt(&b)),
+        ("a ≤ b", a.le(&b)),
+        ("a ≥ b", a.ge(&b)),
+    ] {
+        println!("  {sym:<6} Pr = {:.3}", cond.probability_with(&mut s, 4000));
+    }
+
+    println!("\nLogical (∧ ∨) :: U<Bool> → U<Bool> → U<Bool>   Unary (¬) :: U<Bool> → U<Bool>");
+    let p = Uncertain::bernoulli(0.7)?;
+    let q = Uncertain::bernoulli(0.4)?;
+    println!("  p ∧ q  Pr = {:.3} (0.28 analytic)", (&p & &q).probability_with(&mut s, 8000));
+    println!("  p ∨ q  Pr = {:.3} (0.82 analytic)", (&p | &q).probability_with(&mut s, 8000));
+    println!("  ¬p     Pr = {:.3} (0.30 analytic)", (!&p).probability_with(&mut s, 8000));
+
+    println!("\nPointmass :: T → U<T>");
+    let four: Uncertain<f64> = 4.0.into();
+    println!("  Uncertain::from(4.0) samples {} every time", s.sample(&four));
+
+    println!("\nConditionals:");
+    let fast = b.gt(&a); // Pr ≈ Φ(1/√2) ≈ 0.76
+    println!("  implicit Pr :: U<Bool> → Bool          if (b > a)       → {}", fast.is_probable_with(&mut s));
+    println!("  explicit Pr :: U<Bool> → [0,1] → Bool  (b > a).Pr(0.9)  → {}", fast.pr_with(0.9, &mut s));
+    let o = fast.evaluate(0.5, &mut s, &EvalConfig::default());
+    println!("  (SPRT used {} samples; estimate {:.2}; conclusive: {})", o.samples, o.estimate, o.conclusive);
+
+    println!("\nExpected value E :: U<T> → T");
+    println!("  (a + b).E() = {:.3}", (&a + &b).expected_value_with(&mut s, 4000));
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each `src/bin/fig*.rs` binary regenerates one table or figure from the
+//! paper's evaluation (see DESIGN.md's per-experiment index) and prints the
+//! series the paper plots. Binaries run at paper scale by default; set
+//! `QUICK=1` in the environment for a fast smoke-scale run.
+
+/// Returns `quick` when the `QUICK` environment variable is set to a
+/// non-empty, non-`0` value; otherwise `full`.
+pub fn scaled<T>(full: T, quick: T) -> T {
+    match std::env::var("QUICK") {
+        Ok(v) if !v.is_empty() && v != "0" => quick,
+        _ => full,
+    }
+}
+
+/// Prints a title with an underline rule, marking which figure a binary
+/// regenerates.
+pub fn header(title: &str) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.chars().count()));
+}
+
+/// Formats a float cell with fixed width/precision for aligned tables.
+pub fn cell(value: f64) -> String {
+    format!("{value:>10.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_full_by_default() {
+        // Tests may run concurrently; only assert the unset/0 behavior on a
+        // variable private to this test.
+        std::env::remove_var("QUICK_TEST_SENTINEL");
+        assert_eq!(scaled(5, 1), if quick_env_set() { 1 } else { 5 });
+    }
+
+    fn quick_env_set() -> bool {
+        matches!(std::env::var("QUICK"), Ok(v) if !v.is_empty() && v != "0")
+    }
+
+    #[test]
+    fn cell_is_fixed_width() {
+        assert_eq!(cell(1.0).len(), 10);
+        assert_eq!(cell(-123.45678).len(), 10);
+    }
+}

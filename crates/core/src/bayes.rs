@@ -1,0 +1,306 @@
+//! Improving estimates with domain knowledge (paper §3.5).
+//!
+//! Bayes' theorem turns an estimate (the likelihood) plus domain knowledge
+//! (the prior) into a sharper posterior. `Uncertain<T>` "unlocks Bayesian
+//! statistics by encapsulating entire data distributions":
+//!
+//! * [`Uncertain::weight_by`] — soft evidence: reweights the variable by a
+//!   prior density via sampling–importance–resampling (the GPS
+//!   walking-speed prior of §5.1),
+//! * [`Uncertain::condition_on`] — hard evidence: rejection sampling
+//!   against a predicate (e.g. "the user is on land"),
+//! * [`Uncertain::with_prior`] — convenience for a [`Continuous`] prior,
+//! * [`Uncertain::encapsulate`] — marks an independence boundary so a
+//!   library can hand out fresh readings of a shared error model.
+
+use crate::node::{ConditionedNode, EncapsulatedNode, WeightedNode};
+use crate::uncertain::{Uncertain, Value};
+use std::sync::Arc;
+use uncertain_dist::Continuous;
+
+/// Default number of importance-sampling candidates per joint sample.
+const DEFAULT_CANDIDATES: usize = 16;
+
+/// Default rejection budget for [`Uncertain::condition_on`].
+const DEFAULT_MAX_TRIES: usize = 10_000;
+
+impl<T: Value> Uncertain<T> {
+    /// Wraps this variable behind an independence boundary: every joint
+    /// sample of the result re-draws the wrapped sub-network in a fresh
+    /// context, so the result is **independent** of other uses of the same
+    /// leaves.
+    ///
+    /// Cloning an `Uncertain` preserves identity (perfect correlation);
+    /// `encapsulate` is the opposite tool.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let x = Uncertain::normal(0.0, 1.0)?;
+    /// let correlated = &x - &x;                          // always 0
+    /// let independent = x.encapsulate() - x.encapsulate(); // N(0, √2)
+    /// let mut s = Sampler::seeded(0);
+    /// assert_eq!(s.sample(&correlated), 0.0);
+    /// assert_ne!(s.sample(&independent), 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn encapsulate(&self) -> Uncertain<T> {
+        Uncertain::from_node(Arc::new(EncapsulatedNode::new(
+            "encapsulate",
+            self.node().clone(),
+        )))
+    }
+
+    /// Reweights this variable by a non-negative weight function — the
+    /// sampling–importance–resampling implementation of Bayes' theorem
+    /// with `weight` as the (unnormalized) prior density.
+    ///
+    /// Per joint sample the runtime draws a fixed number of independent
+    /// candidates of the underlying network, weighs each, and resamples one
+    /// in proportion. Uses a default candidate pool; see
+    /// [`Uncertain::weight_by_k`] to tune the accuracy/cost trade-off.
+    ///
+    /// The result is *encapsulated*: it re-draws its sub-network
+    /// independently of other uses of the same leaves (matching how the
+    /// paper's libraries apply priors at the data source).
+    ///
+    /// If the weight of every candidate in a pool is zero (the prior
+    /// excludes all of them), the runtime redraws the pool several times
+    /// and only then falls back to an unweighted draw rather than
+    /// diverging.
+    pub fn weight_by(&self, weight: impl Fn(&T) -> f64 + Send + Sync + 'static) -> Uncertain<T> {
+        self.weight_by_k(weight, DEFAULT_CANDIDATES)
+    }
+
+    /// [`Uncertain::weight_by`] with an explicit candidate-pool size.
+    /// Larger pools track the posterior more faithfully at proportionally
+    /// higher sampling cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates == 0`.
+    pub fn weight_by_k(
+        &self,
+        weight: impl Fn(&T) -> f64 + Send + Sync + 'static,
+        candidates: usize,
+    ) -> Uncertain<T> {
+        assert!(candidates > 0, "need at least one importance candidate");
+        Uncertain::from_node(Arc::new(WeightedNode::new(
+            "weight_by",
+            self.node().clone(),
+            weight,
+            candidates,
+        )))
+    }
+
+    /// [`Uncertain::weight_by_k`] in *log space*: `ln_weight` returns the
+    /// natural log of the (unnormalized) weight, and resampling normalizes
+    /// by the pool maximum before exponentiating. Use this when
+    /// likelihoods can be astronomically small (e.g. a far-tail Rician GPS
+    /// likelihood) and raw densities would underflow to zero.
+    ///
+    /// `ln_weight` may return `-∞` (or any non-finite value) to exclude a
+    /// candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates == 0`.
+    pub fn weight_by_ln_k(
+        &self,
+        ln_weight: impl Fn(&T) -> f64 + Send + Sync + 'static,
+        candidates: usize,
+    ) -> Uncertain<T> {
+        assert!(candidates > 0, "need at least one importance candidate");
+        Uncertain::from_node(Arc::new(WeightedNode::new_log_space(
+            "weight_by_ln",
+            self.node().clone(),
+            ln_weight,
+            candidates,
+        )))
+    }
+
+    /// Conditions this variable on hard evidence by rejection sampling:
+    /// each joint sample re-draws the sub-network until `predicate` holds.
+    ///
+    /// `max_tries` bounds the rejection loop (use
+    /// [`Uncertain::condition_on_default`] for the default budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics *at sampling time* if `max_tries` consecutive draws are
+    /// rejected — the evidence is (nearly) impossible under the
+    /// distribution, which mirrors the divergence of rejection-based
+    /// inference on low-probability observations (paper §6's Church
+    /// example).
+    pub fn condition_on(
+        &self,
+        predicate: impl Fn(&T) -> bool + Send + Sync + 'static,
+        max_tries: usize,
+    ) -> Uncertain<T> {
+        assert!(max_tries > 0, "need at least one rejection try");
+        Uncertain::from_node(Arc::new(ConditionedNode::new(
+            "condition",
+            self.node().clone(),
+            predicate,
+            max_tries,
+        )))
+    }
+
+    /// [`Uncertain::condition_on`] with the default rejection budget.
+    pub fn condition_on_default(
+        &self,
+        predicate: impl Fn(&T) -> bool + Send + Sync + 'static,
+    ) -> Uncertain<T> {
+        self.condition_on(predicate, DEFAULT_MAX_TRIES)
+    }
+}
+
+impl Uncertain<f64> {
+    /// Applies a [`Continuous`] prior distribution to this variable — the
+    /// paper's "constraint abstraction" for domain knowledge (§3.5):
+    /// `posterior ∝ likelihood × prior`.
+    ///
+    /// # Examples
+    ///
+    /// Removing absurd walking speeds with a prior (paper §5.1):
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::dist::{Gaussian, Truncated};
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // A wildly uncertain speed estimate…
+    /// let speed = Uncertain::normal(10.0, 15.0)?;
+    /// // …and the knowledge that humans walk at ~3 mph.
+    /// let walking = Truncated::new(Arc::new(Gaussian::new(3.0, 1.5)?), 0.0, 8.0)?;
+    /// let improved = speed.with_prior(walking);
+    ///
+    /// let mut s = Sampler::seeded(0);
+    /// let e = improved.expected_value_with(&mut s, 2000);
+    /// assert!(e > 0.0 && e < 8.0, "absurd speeds removed, e={e}");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_prior(&self, prior: impl Continuous + 'static) -> Uncertain<f64> {
+        self.weight_by(move |x| prior.pdf(*x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sampler;
+    use uncertain_dist::Gaussian;
+
+    #[test]
+    fn weight_by_shifts_toward_prior() {
+        // Likelihood N(0, 3), prior N(6, 1): posterior mean must move
+        // decisively toward 6.
+        let x = Uncertain::normal(0.0, 3.0).unwrap();
+        let prior = Gaussian::new(6.0, 1.0).unwrap();
+        let posterior = x.with_prior(prior);
+        let mut s = Sampler::seeded(1);
+        let e = posterior.expected_value_with(&mut s, 4000);
+        assert!(e > 3.0, "posterior mean {e} should shift toward the prior");
+    }
+
+    #[test]
+    fn weight_by_narrows_spread() {
+        let x = Uncertain::normal(0.0, 10.0).unwrap();
+        let prior = Gaussian::new(0.0, 1.0).unwrap();
+        let posterior = x.with_prior(prior);
+        let mut s = Sampler::seeded(2);
+        let wide = x.stats_with(&mut s, 4000).unwrap().std_dev();
+        let narrow = posterior.stats_with(&mut s, 4000).unwrap().std_dev();
+        assert!(
+            narrow < wide / 2.0,
+            "prior should sharpen: {narrow} vs {wide}"
+        );
+    }
+
+    #[test]
+    fn more_candidates_track_posterior_better() {
+        // Analytic posterior of N(0,1) likelihood × N(4,1) prior is
+        // N(2, 1/√2). With more candidates the mean gets closer to 2.
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let prior = Gaussian::new(4.0, 1.0).unwrap();
+        let rough = x.weight_by_k(move |v| prior.pdf(*v), 2);
+        let prior2 = Gaussian::new(4.0, 1.0).unwrap();
+        let fine = x.weight_by_k(move |v| prior2.pdf(*v), 64);
+        let mut s = Sampler::seeded(3);
+        let e_rough = rough.expected_value_with(&mut s, 3000);
+        let e_fine = fine.expected_value_with(&mut s, 3000);
+        assert!(
+            (e_fine - 2.0).abs() < (e_rough - 2.0).abs(),
+            "fine={e_fine} rough={e_rough}"
+        );
+        assert!((e_fine - 2.0).abs() < 0.2, "fine={e_fine}");
+    }
+
+    #[test]
+    fn log_space_weighting_survives_underflow() {
+        // Log-likelihoods around −10⁶: raw densities are exactly 0.0 in
+        // f64, but relative log weights still steer the posterior.
+        let x = Uncertain::uniform(0.0, 10.0).unwrap();
+        let posterior = x.weight_by_ln_k(|v| -1.0e6 - (v - 7.0) * (v - 7.0) * 50.0, 32);
+        let mut s = Sampler::seeded(6);
+        let e = posterior.expected_value_with(&mut s, 2000);
+        assert!((e - 7.0).abs() < 0.3, "e={e}");
+    }
+
+    #[test]
+    fn log_space_all_neg_infinity_falls_back() {
+        let x = Uncertain::uniform(0.0, 1.0).unwrap();
+        let w = x.weight_by_ln_k(|_| f64::NEG_INFINITY, 4);
+        let mut s = Sampler::seeded(7);
+        // Must not panic; falls back to an unweighted draw.
+        let v = s.sample(&w);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn log_and_linear_weighting_agree_when_both_representable() {
+        let x = Uncertain::normal(0.0, 3.0).unwrap();
+        let linear = x.weight_by_k(|v| (-0.5 * (v - 2.0) * (v - 2.0)).exp(), 32);
+        let logged = x.weight_by_ln_k(|v| -0.5 * (v - 2.0) * (v - 2.0), 32);
+        let mut s = Sampler::seeded(8);
+        let e_lin = linear.expected_value_with(&mut s, 4000);
+        let e_log = logged.expected_value_with(&mut s, 4000);
+        assert!((e_lin - e_log).abs() < 0.15, "{e_lin} vs {e_log}");
+    }
+
+    #[test]
+    fn condition_on_restricts_support() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let positive = x.condition_on_default(|v| *v > 0.0);
+        let mut s = Sampler::seeded(4);
+        for _ in 0..500 {
+            assert!(s.sample(&positive) > 0.0);
+        }
+        // Mean of the half-normal is √(2/π) ≈ 0.798.
+        let e = positive.expected_value_with(&mut s, 5000);
+        assert!((e - 0.798).abs() < 0.05, "e={e}");
+    }
+
+    #[test]
+    fn encapsulate_breaks_correlation_but_keeps_distribution() {
+        let x = Uncertain::normal(5.0, 2.0).unwrap();
+        let fresh = x.encapsulate();
+        let mut s = Sampler::seeded(5);
+        let st = fresh.stats_with(&mut s, 10_000).unwrap();
+        assert!((st.mean() - 5.0).abs() < 0.1);
+        assert!((st.std_dev() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one importance candidate")]
+    fn zero_candidates_panics() {
+        let x = Uncertain::point(1.0);
+        let _ = x.weight_by_k(|_| 1.0, 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Lifted comparison operators (paper Table 1: `< > ≤ ≥` of type
+//! `U<T> → U<T> → U<Bool>`).
+//!
+//! Rust's `PartialOrd` cannot return anything but `bool`, so the lifted
+//! comparisons are named methods: [`Uncertain::gt`], [`Uncertain::lt`],
+//! [`Uncertain::ge`], [`Uncertain::le`]. Each returns an
+//! `Uncertain<bool>` — a Bernoulli whose parameter is the *evidence* for
+//! the condition (paper §3.4, Fig. 9) — which the conditional operators in
+//! [`crate::condition`] then decide with a hypothesis test.
+
+use crate::uncertain::{IntoUncertain, Uncertain, Value};
+
+impl<T: Value + PartialOrd> Uncertain<T> {
+    /// Evidence that `self > other`.
+    ///
+    /// `other` may be another `Uncertain<T>`, a reference to one, or a plain
+    /// `T` (coerced to a point mass), mirroring the paper's
+    /// `Speed > 4` syntax.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let speed = Uncertain::normal(5.0, 1.0)?;
+    /// let mut s = Sampler::seeded(0);
+    /// assert!(speed.gt(4.0).is_probable_with(&mut s));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn gt(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
+        self.map2(">", &other.into_uncertain(), |a, b| a > b)
+    }
+
+    /// Evidence that `self < other`.
+    pub fn lt(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
+        self.map2("<", &other.into_uncertain(), |a, b| a < b)
+    }
+
+    /// Evidence that `self ≥ other`.
+    pub fn ge(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
+        self.map2(">=", &other.into_uncertain(), |a, b| a >= b)
+    }
+
+    /// Evidence that `self ≤ other`.
+    pub fn le(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
+        self.map2("<=", &other.into_uncertain(), |a, b| a <= b)
+    }
+
+    /// Evidence that `lo ≤ self ≤ hi` — the banded comparison used where
+    /// the paper writes `2 <= NumLive && NumLive <= 3`.
+    ///
+    /// Evaluated as a *single* node, so it is exactly the conjunction on
+    /// correlated samples.
+    pub fn between(&self, lo: T, hi: T) -> Uncertain<bool> {
+        self.map("between", move |v| v >= lo && v <= hi)
+    }
+}
+
+impl<T: Value + PartialEq> Uncertain<T> {
+    /// Evidence that `self == other`, sample by sample.
+    ///
+    /// For continuous `T` this event has probability zero — "just as
+    /// programs should not compare floating point numbers for equality,
+    /// neither should they compare distributions for equality" (paper
+    /// §3.4). Prefer [`Uncertain::eq_within`] (continuous) or
+    /// [`Uncertain::rounds_to`] (counts); this exact form is intended for
+    /// genuinely discrete `T`.
+    pub fn eq_exact(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
+        self.map2("==", &other.into_uncertain(), |a, b| a == b)
+    }
+
+    /// Evidence that `self != other`, sample by sample. See
+    /// [`Uncertain::eq_exact`] for the continuous-type caveat.
+    pub fn ne_exact(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
+        self.map2("!=", &other.into_uncertain(), |a, b| a != b)
+    }
+}
+
+impl Uncertain<f64> {
+    /// Evidence that `|self − other| ≤ tolerance` — the meaningful
+    /// equality question for continuous data.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let x = Uncertain::normal(3.0, 0.1)?;
+    /// let mut s = Sampler::seeded(1);
+    /// assert!(x.eq_within(3.0, 0.5).is_probable_with(&mut s));
+    /// assert!(!x.eq_within(4.0, 0.5).is_probable_with(&mut s));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn eq_within(&self, other: f64, tolerance: f64) -> Uncertain<bool> {
+        self.map("≈", move |v| (v - other).abs() <= tolerance)
+    }
+
+    /// Evidence that `self` rounds to the integer `k` — i.e. lies in
+    /// `[k − 0.5, k + 0.5)`.
+    ///
+    /// This is the calibrated reading of `NumLive == 3` from the paper's
+    /// SensorLife case study (§5.2): the live-neighbor count is a noisy
+    /// *real*, so "equals 3" must mean "nearest integer is 3".
+    pub fn rounds_to(&self, k: i64) -> Uncertain<bool> {
+        self.map("rounds_to", move |v| {
+            v >= k as f64 - 0.5 && v < k as f64 + 0.5
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sampler;
+
+    #[test]
+    fn comparisons_on_point_masses_are_deterministic() {
+        let five = Uncertain::point(5.0);
+        let three = Uncertain::point(3.0);
+        let mut s = Sampler::seeded(0);
+        assert!(s.sample(&five.gt(&three)));
+        assert!(s.sample(&five.gt(3.0)));
+        assert!(!s.sample(&five.lt(&three)));
+        assert!(s.sample(&five.ge(5.0)));
+        assert!(s.sample(&five.le(5.0)));
+        assert!(!s.sample(&five.le(4.9)));
+    }
+
+    #[test]
+    fn evidence_matches_analytic_probability() {
+        // Pr[N(0,1) > 0] = 0.5; Pr[N(0,1) > 1] ≈ 0.159.
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let mut s = Sampler::seeded(1);
+        let p0 = x.gt(0.0).probability_with(&mut s, 20_000);
+        let p1 = x.gt(1.0).probability_with(&mut s, 20_000);
+        assert!((p0 - 0.5).abs() < 0.02, "p0={p0}");
+        assert!((p1 - 0.1587).abs() < 0.02, "p1={p1}");
+    }
+
+    #[test]
+    fn comparing_correlated_variables_uses_joint_samples() {
+        // x vs x + 1 is ALWAYS false for gt: the same x on both sides.
+        let x = Uncertain::normal(0.0, 5.0).unwrap();
+        let shifted = &x + 1.0;
+        let gt = x.gt(&shifted);
+        let mut s = Sampler::seeded(2);
+        for _ in 0..200 {
+            assert!(!s.sample(&gt));
+        }
+    }
+
+    #[test]
+    fn between_matches_conjunction_semantics() {
+        let x = Uncertain::uniform(0.0, 10.0).unwrap();
+        let banded = x.between(2.0, 3.0);
+        let mut s = Sampler::seeded(3);
+        let p = banded.probability_with(&mut s, 20_000);
+        assert!((p - 0.1).abs() < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn eq_exact_on_discrete_type() {
+        let die = Uncertain::from_fn("d6", |rng| {
+            use rand::Rng;
+            rng.gen_range(1..=6_i32)
+        });
+        let mut s = Sampler::seeded(4);
+        let p = die.eq_exact(3).probability_with(&mut s, 30_000);
+        assert!((p - 1.0 / 6.0).abs() < 0.01, "p={p}");
+        let q = die.ne_exact(3).probability_with(&mut s, 30_000);
+        assert!((q - 5.0 / 6.0).abs() < 0.01, "q={q}");
+    }
+
+    #[test]
+    fn eq_exact_on_continuous_is_measure_zero() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let y = Uncertain::normal(0.0, 1.0).unwrap();
+        let mut s = Sampler::seeded(5);
+        let p = x.eq_exact(&y).probability_with(&mut s, 5000);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn rounds_to_bands() {
+        let x = Uncertain::point(2.6);
+        let mut s = Sampler::seeded(6);
+        assert!(s.sample(&x.rounds_to(3)));
+        assert!(!s.sample(&x.rounds_to(2)));
+    }
+
+    #[test]
+    fn eq_within_tolerance() {
+        let x = Uncertain::point(1.05);
+        let mut s = Sampler::seeded(7);
+        assert!(s.sample(&x.eq_within(1.0, 0.1)));
+        assert!(!s.sample(&x.eq_within(1.0, 0.01)));
+    }
+}

@@ -1,0 +1,425 @@
+//! Conditional semantics: deciding `Uncertain<bool>` with hypothesis tests.
+//!
+//! A lifted comparison yields a Bernoulli whose parameter `p` is the
+//! evidence for the condition. To branch, the program must turn that
+//! Bernoulli into a concrete `bool` (paper §3.4):
+//!
+//! * the **implicit** operator asks `Pr[cond] > 0.5` — "more likely than
+//!   not" ([`Uncertain::is_probable`]),
+//! * the **explicit** operator asks `Pr[cond] > θ` for a developer-chosen
+//!   threshold ([`Uncertain::pr`]), trading false positives against false
+//!   negatives.
+//!
+//! Both are decided by Wald's SPRT (paper §4.3) with batching and a
+//! termination cap, so easy conditionals cost a handful of samples and only
+//! genuinely marginal ones approach the cap. [`Uncertain::evaluate`]
+//! exposes the full outcome including the paper's *ternary* logic: a test
+//! can be inconclusive, in which case neither `A < B` nor `A >= B` would
+//! conclusively hold.
+
+use crate::sampler::Sampler;
+use crate::uncertain::Uncertain;
+use uncertain_stats::{SequentialTest, StatsError, TestDecision};
+
+/// Configuration for conditional evaluation (the SPRT of paper §4.3).
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::{EvalConfig, Sampler, Uncertain};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let strict = EvalConfig::default()
+///     .with_error_bounds(0.01, 0.01)
+///     .with_max_samples(20_000);
+/// let x = Uncertain::normal(1.0, 1.0)?;
+/// let mut s = Sampler::seeded(0);
+/// let outcome = x.gt(0.0).evaluate(0.5, &mut s, &strict);
+/// assert!(outcome.is_true());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Half-width of the SPRT indifference region around the threshold.
+    pub delta: f64,
+    /// Bound on false acceptance of the condition (type-I error).
+    pub alpha: f64,
+    /// Bound on false rejection of the condition (type-II error).
+    pub beta: f64,
+    /// Samples drawn per SPRT step (the paper's `k`, default 10).
+    pub batch: usize,
+    /// Termination cap on total samples per conditional.
+    pub max_samples: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            delta: SequentialTest::DEFAULT_DELTA,
+            alpha: SequentialTest::DEFAULT_ALPHA,
+            beta: SequentialTest::DEFAULT_BETA,
+            batch: SequentialTest::DEFAULT_BATCH,
+            max_samples: SequentialTest::DEFAULT_MAX_SAMPLES,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Returns a copy with the given indifference half-width.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Returns a copy with the given α/β error bounds.
+    pub fn with_error_bounds(mut self, alpha: f64, beta: f64) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// Returns a copy with the given SPRT batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Returns a copy with the given termination cap.
+    pub fn with_max_samples(mut self, max_samples: usize) -> Self {
+        self.max_samples = max_samples;
+        self
+    }
+
+    /// Builds the sequential test for a conditional at `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the threshold or config parameters are out
+    /// of range.
+    pub fn sequential_test(&self, threshold: f64) -> Result<SequentialTest, StatsError> {
+        SequentialTest::with_params(
+            threshold,
+            self.delta,
+            self.alpha,
+            self.beta,
+            self.batch,
+            self.max_samples,
+        )
+    }
+}
+
+/// The full result of evaluating a conditional on uncertain data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HypothesisOutcome {
+    /// The threshold θ the evidence was tested against.
+    pub threshold: f64,
+    /// Whether `Pr[cond] > θ` was accepted (the branch decision).
+    pub accepted: bool,
+    /// Whether a Wald boundary was crossed (`false` = the sample cap forced
+    /// a fallback decision; the paper's ternary "neither branch" case).
+    pub conclusive: bool,
+    /// Bernoulli samples drawn for this conditional.
+    pub samples: usize,
+    /// Empirical estimate of `Pr[cond]` from those samples.
+    pub estimate: f64,
+}
+
+impl HypothesisOutcome {
+    /// Conclusively true: the SPRT accepted `Pr[cond] > θ`.
+    pub fn is_true(&self) -> bool {
+        self.accepted && self.conclusive
+    }
+
+    /// Conclusively false: the SPRT accepted `Pr[cond] ≤ θ`.
+    pub fn is_false(&self) -> bool {
+        !self.accepted && self.conclusive
+    }
+
+    /// Neither hypothesis reached significance before the cap — the
+    /// third value of the paper's ternary logic.
+    pub fn is_inconclusive(&self) -> bool {
+        !self.conclusive
+    }
+
+    /// Collapses to a `bool` (the fallback the runtime uses inside `if`):
+    /// the accepted branch, whether or not the test was conclusive.
+    pub fn to_bool(&self) -> bool {
+        self.accepted
+    }
+}
+
+impl Uncertain<bool> {
+    /// The paper's **explicit conditional operator**: decides
+    /// `Pr[self] > threshold` by SPRT with default configuration and an
+    /// entropy-seeded sampler.
+    ///
+    /// Use [`Uncertain::pr_with`] for deterministic (seeded) evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold ∉ (0, 1)`.
+    pub fn pr(&self, threshold: f64) -> bool {
+        self.pr_with(threshold, &mut Sampler::new())
+    }
+
+    /// Explicit conditional with a caller-supplied sampler (deterministic
+    /// when the sampler is seeded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold ∉ (0, 1)`.
+    pub fn pr_with(&self, threshold: f64, sampler: &mut Sampler) -> bool {
+        self.evaluate(threshold, sampler, &EvalConfig::default())
+            .to_bool()
+    }
+
+    /// The paper's **implicit conditional operator**: "more likely than
+    /// not", i.e. `Pr[self] > 0.5`, with an entropy-seeded sampler.
+    pub fn is_probable(&self) -> bool {
+        self.pr(0.5)
+    }
+
+    /// Implicit conditional with a caller-supplied sampler.
+    pub fn is_probable_with(&self, sampler: &mut Sampler) -> bool {
+        self.pr_with(0.5, sampler)
+    }
+
+    /// Runs the hypothesis test and returns the complete outcome,
+    /// including sample counts and the ternary conclusive/inconclusive
+    /// distinction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold`/`config` are invalid (e.g. threshold outside
+    /// `(0, 1)`); conditional thresholds are code literals, so this is a
+    /// programming error rather than a recoverable condition.
+    pub fn evaluate(
+        &self,
+        threshold: f64,
+        sampler: &mut Sampler,
+        config: &EvalConfig,
+    ) -> HypothesisOutcome {
+        let test = config
+            .sequential_test(threshold)
+            .expect("invalid conditional threshold or evaluation config");
+        let outcome = test.run(|| sampler.sample(self));
+        HypothesisOutcome {
+            threshold,
+            accepted: outcome.decision == TestDecision::AcceptAlternative,
+            conclusive: outcome.conclusive,
+            samples: outcome.samples,
+            estimate: outcome.estimate,
+        }
+    }
+
+    /// Fixed-size estimate of the Bernoulli parameter `Pr[self]` from `n`
+    /// joint samples (no early stopping). Used by the evaluation harness
+    /// to plot evidence curves (e.g. Fig. 4's ticket probabilities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn probability_with(&self, sampler: &mut Sampler, n: usize) -> f64 {
+        assert!(n > 0, "probability estimate needs at least one sample");
+        let hits = (0..n).filter(|_| sampler.sample(self)).count();
+        hits as f64 / n as f64
+    }
+
+    /// Conditional-probability estimate `Pr[self | evidence]` from `n`
+    /// joint samples of the pair: both conditions are evaluated in the
+    /// *same* joint sample, so shared ancestry between them is respected
+    /// (the whole point of the Bayesian network).
+    ///
+    /// Returns `None` if the evidence never fired in `n` samples — the
+    /// rare-observation regime where rejection-style conditioning
+    /// degenerates (the paper's Church anecdote, §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let x = Uncertain::uniform(0.0, 1.0)?;
+    /// let big = x.gt(0.8);
+    /// let medium = x.gt(0.5);
+    /// let mut s = Sampler::seeded(1);
+    /// // Pr[x > 0.8 | x > 0.5] = 0.2 / 0.5 = 0.4.
+    /// let p = big.probability_given(&medium, &mut s, 20_000).unwrap();
+    /// assert!((p - 0.4).abs() < 0.02);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn probability_given(
+        &self,
+        evidence: &Uncertain<bool>,
+        sampler: &mut Sampler,
+        n: usize,
+    ) -> Option<f64> {
+        assert!(n > 0, "probability estimate needs at least one sample");
+        let joint = self.zip(evidence);
+        let mut evidence_hits = 0u64;
+        let mut both_hits = 0u64;
+        for _ in 0..n {
+            let (a, b) = sampler.sample(&joint);
+            if b {
+                evidence_hits += 1;
+                if a {
+                    both_hits += 1;
+                }
+            }
+        }
+        (evidence_hits > 0).then(|| both_hits as f64 / evidence_hits as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_operator_is_majority_vote() {
+        let mut s = Sampler::seeded(1);
+        let likely = Uncertain::bernoulli(0.8).unwrap();
+        let unlikely = Uncertain::bernoulli(0.2).unwrap();
+        assert!(likely.is_probable_with(&mut s));
+        assert!(!unlikely.is_probable_with(&mut s));
+    }
+
+    #[test]
+    fn explicit_operator_demands_stronger_evidence() {
+        // Pr = 0.8: passes the 0.5 test but must fail the 0.95 test.
+        let mut s = Sampler::seeded(2);
+        let b = Uncertain::bernoulli(0.8).unwrap();
+        assert!(b.pr_with(0.5, &mut s));
+        assert!(!b.pr_with(0.95, &mut s));
+    }
+
+    #[test]
+    fn evaluate_reports_sample_count_and_estimate() {
+        let mut s = Sampler::seeded(3);
+        let b = Uncertain::bernoulli(0.9).unwrap();
+        let o = b.evaluate(0.5, &mut s, &EvalConfig::default());
+        assert!(o.is_true());
+        assert!(o.samples >= EvalConfig::default().batch);
+        assert!(o.samples <= EvalConfig::default().max_samples);
+        assert!(o.estimate > 0.6);
+        assert_eq!(o.threshold, 0.5);
+    }
+
+    #[test]
+    fn marginal_conditional_is_inconclusive() {
+        // Evidence exactly at the threshold: the cap should hit.
+        let mut s = Sampler::seeded(4);
+        let b = Uncertain::bernoulli(0.5).unwrap();
+        let not_b = !&b;
+        let cfg = EvalConfig::default().with_max_samples(100);
+        // Any single run can cross a boundary by luck; the *typical*
+        // outcome must be inconclusive — and symmetrically so for the
+        // complement (the paper's ternary logic: neither `A < B` nor
+        // `A >= B` need hold).
+        let mut inconclusive = 0;
+        let mut complement_inconclusive = 0;
+        for _ in 0..20 {
+            let o = b.evaluate(0.5, &mut s, &cfg);
+            if o.is_inconclusive() {
+                inconclusive += 1;
+                assert_eq!(o.samples, 100);
+            }
+            if not_b.evaluate(0.5, &mut s, &cfg).is_inconclusive() {
+                complement_inconclusive += 1;
+            }
+        }
+        assert!(inconclusive >= 10, "inconclusive={inconclusive}/20");
+        assert!(
+            complement_inconclusive >= 10,
+            "complement={complement_inconclusive}/20"
+        );
+    }
+
+    #[test]
+    fn easy_conditionals_stop_early() {
+        let mut s = Sampler::seeded(5);
+        let b = Uncertain::bernoulli(0.99).unwrap();
+        let o = b.evaluate(0.5, &mut s, &EvalConfig::default());
+        assert!(o.samples <= 30, "easy test took {} samples", o.samples);
+    }
+
+    #[test]
+    fn config_builders_apply() {
+        let cfg = EvalConfig::default()
+            .with_delta(0.1)
+            .with_error_bounds(0.01, 0.02)
+            .with_batch(5)
+            .with_max_samples(50);
+        assert_eq!(cfg.delta, 0.1);
+        assert_eq!(cfg.alpha, 0.01);
+        assert_eq!(cfg.beta, 0.02);
+        assert_eq!(cfg.batch, 5);
+        assert_eq!(cfg.max_samples, 50);
+        assert!(cfg.sequential_test(0.5).is_ok());
+        assert!(cfg.sequential_test(0.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid conditional threshold")]
+    fn invalid_threshold_panics() {
+        let mut s = Sampler::seeded(6);
+        let b = Uncertain::bernoulli(0.5).unwrap();
+        let _ = b.evaluate(1.5, &mut s, &EvalConfig::default());
+    }
+
+    #[test]
+    fn probability_estimate_converges() {
+        let mut s = Sampler::seeded(7);
+        let b = Uncertain::bernoulli(0.3).unwrap();
+        let p = b.probability_with(&mut s, 30_000);
+        assert!((p - 0.3).abs() < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn conditional_probability_respects_shared_ancestry() {
+        // The alarm model of paper Fig. 17, answered without inference
+        // machinery: Pr[phone | alarm] where both depend on `earthquake`.
+        let earthquake = Uncertain::bernoulli(0.01).unwrap(); // boosted rate for test speed
+        let burglary = Uncertain::bernoulli(0.01).unwrap();
+        let alarm = &earthquake | &burglary;
+        let phone = earthquake.flat_map("phone|eq", |eq| {
+            Uncertain::bernoulli(if eq { 0.7 } else { 0.99 }).unwrap()
+        });
+        let mut s = Sampler::seeded(9);
+        let p = phone
+            .probability_given(&alarm, &mut s, 60_000)
+            .expect("alarm fires often enough at boosted rates");
+        // Analytic: Pr[eq|alarm] ≈ 0.01/(0.01+0.99·0.01) ≈ 0.5025 →
+        // p ≈ 0.5025·0.7 + 0.4975·0.99 ≈ 0.844.
+        assert!((p - 0.844).abs() < 0.03, "p={p}");
+    }
+
+    #[test]
+    fn impossible_evidence_returns_none() {
+        let never = Uncertain::bernoulli(0.0).unwrap();
+        let anything = Uncertain::bernoulli(0.5).unwrap();
+        let mut s = Sampler::seeded(10);
+        assert_eq!(anything.probability_given(&never, &mut s, 1000), None);
+    }
+
+    #[test]
+    fn speeding_ticket_scenario() {
+        // Paper Fig. 4: true speed 57 mph, ε = 4 m over 1 s ⇒ the naive
+        // conditional Speed > 60 has a substantial false-positive rate,
+        // but demanding 90% evidence suppresses it.
+        let mut s = Sampler::seeded(8);
+        // Speed error ≈ Gaussian-ish with large σ; model directly.
+        let speed = Uncertain::normal(57.0, 6.0).unwrap();
+        let over_limit = speed.gt(60.0);
+        let naive_fp = over_limit.probability_with(&mut s, 5000);
+        assert!(naive_fp > 0.2, "naive false-positive rate = {naive_fp}");
+        assert!(!over_limit.pr_with(0.9, &mut s));
+    }
+}

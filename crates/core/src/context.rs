@@ -1,0 +1,133 @@
+//! Per-joint-sample evaluation context: RNG + memo table.
+//!
+//! One `SampleContext` lives exactly as long as one *joint sample* of a
+//! Bayesian network. It implements the paper's ancestral-sampling guarantee
+//! (§4.2): because values are memoized by [`NodeId`], "each node is visited
+//! exactly once" per joint sample, and shared sub-expressions stay perfectly
+//! correlated.
+
+use crate::node::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Evaluation state for one joint sample of a network.
+pub(crate) struct SampleContext {
+    rng: SmallRng,
+    memo: HashMap<NodeId, Box<dyn Any + Send>>,
+}
+
+impl SampleContext {
+    /// Creates a context with the given RNG seed.
+    pub(crate) fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The randomness source for leaf sampling functions.
+    pub(crate) fn rng(&mut self) -> &mut dyn RngCore {
+        &mut self.rng
+    }
+
+    /// Looks up a memoized value for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value of a different type was memoized under the same id
+    /// — impossible unless node identity is violated internally.
+    pub(crate) fn lookup<T: Clone + 'static>(&self, id: NodeId) -> Option<T> {
+        self.memo.get(&id).map(|boxed| {
+            boxed
+                .downcast_ref::<T>()
+                .expect("node id memoized with inconsistent type")
+                .clone()
+        })
+    }
+
+    /// Memoizes a computed value for `id`.
+    pub(crate) fn store<T: Clone + Send + 'static>(&mut self, id: NodeId, value: T) {
+        self.memo.insert(id, Box::new(value));
+    }
+
+    /// Looks up `id`, or computes and memoizes it.
+    pub(crate) fn memoized<T: Clone + Send + 'static>(
+        &mut self,
+        id: NodeId,
+        compute: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        if let Some(v) = self.lookup::<T>(id) {
+            return v;
+        }
+        let v = compute(self);
+        self.store(id, v.clone());
+        v
+    }
+
+    /// Derives a fresh, independent context (fresh memo table, RNG seeded
+    /// from this context's stream) for encapsulated sub-networks.
+    pub(crate) fn fork(&mut self) -> SampleContext {
+        SampleContext::from_seed(self.rng.gen())
+    }
+
+    /// Clears the memo table while keeping its allocation and the RNG
+    /// stream — the fast path for drawing many joint samples of the same
+    /// network ([`Evaluator`](crate::Evaluator)).
+    pub(crate) fn begin_joint_sample(&mut self) {
+        self.memo.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoized_computes_once() {
+        let mut ctx = SampleContext::from_seed(0);
+        let id = NodeId::fresh();
+        let mut calls = 0;
+        let a: i32 = ctx.memoized(id, |_| {
+            calls += 1;
+            41
+        });
+        let b: i32 = ctx.memoized(id, |_| {
+            calls += 1;
+            99
+        });
+        assert_eq!(a, 41);
+        assert_eq!(b, 41, "second lookup must return the memoized value");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn distinct_ids_do_not_collide() {
+        let mut ctx = SampleContext::from_seed(0);
+        let id1 = NodeId::fresh();
+        let id2 = NodeId::fresh();
+        ctx.store(id1, 1.0_f64);
+        ctx.store(id2, 2.0_f64);
+        assert_eq!(ctx.lookup::<f64>(id1), Some(1.0));
+        assert_eq!(ctx.lookup::<f64>(id2), Some(2.0));
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut ctx = SampleContext::from_seed(7);
+        let id = NodeId::fresh();
+        ctx.store(id, 5_u8);
+        let sub = ctx.fork();
+        assert_eq!(sub.lookup::<u8>(id), None, "fork must not inherit memo");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SampleContext::from_seed(9);
+        let mut b = SampleContext::from_seed(9);
+        let xa: u64 = a.rng().next_u64();
+        let xb: u64 = b.rng().next_u64();
+        assert_eq!(xa, xb);
+    }
+}

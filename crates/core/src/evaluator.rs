@@ -1,0 +1,179 @@
+//! A reusable evaluator for one network — the paper's "compile at the
+//! conditional" fast path.
+//!
+//! [`Sampler`](crate::Sampler) builds a fresh evaluation context per joint
+//! sample, which is the right default for one-off queries. A conditional,
+//! however, samples the *same* network tens to hundreds of times (§4.3);
+//! an [`Evaluator`] pins the network and reuses one context — clearing the
+//! memo table in place instead of reallocating it — which is the practical
+//! payoff of the paper's observation that "the runtime … much like a JIT,
+//! compiles those expression trees to executable code at conditionals."
+
+use crate::context::SampleContext;
+use crate::uncertain::{Uncertain, Value};
+use uncertain_stats::{SequentialTest, TestDecision};
+
+/// Draws repeated joint samples of one pinned network with a reused
+/// evaluation context.
+///
+/// Semantically identical to calling [`Sampler::sample`](crate::Sampler::sample)
+/// in a loop (each call is one independent joint sample; sharing within a
+/// sample is preserved); the difference is allocation churn.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::{Evaluator, Uncertain};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Uncertain::normal(0.0, 1.0)?;
+/// let sum = &x + &x; // shared X: always exactly 2x
+/// let mut eval = Evaluator::new(&sum, 7);
+/// let a = eval.sample();
+/// let b = eval.sample();
+/// assert_ne!(a, b, "independent joint samples");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Evaluator<T> {
+    network: Uncertain<T>,
+    ctx: SampleContext,
+    samples_drawn: u64,
+}
+
+impl<T: Value> std::fmt::Debug for Evaluator<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("network", &self.network)
+            .field("samples_drawn", &self.samples_drawn)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Value> Evaluator<T> {
+    /// Pins `network` with a deterministic RNG stream.
+    pub fn new(network: &Uncertain<T>, seed: u64) -> Self {
+        Self {
+            network: network.clone(),
+            ctx: SampleContext::from_seed(seed),
+            samples_drawn: 0,
+        }
+    }
+
+    /// Draws one joint sample.
+    pub fn sample(&mut self) -> T {
+        self.ctx.begin_joint_sample();
+        self.samples_drawn += 1;
+        self.network.node().sample_value(&mut self.ctx)
+    }
+
+    /// Joint samples drawn so far.
+    pub fn samples_drawn(&self) -> u64 {
+        self.samples_drawn
+    }
+
+    /// The pinned network.
+    pub fn network(&self) -> &Uncertain<T> {
+        &self.network
+    }
+}
+
+impl Evaluator<bool> {
+    /// Runs the SPRT for `Pr[cond] > threshold` on the pinned Bernoulli —
+    /// the conditional fast path (same semantics as
+    /// [`Uncertain::evaluate`](crate::Uncertain::evaluate) with default
+    /// configuration, minus the per-sample context allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold ∉ (0, 1)`.
+    pub fn decide(&mut self, threshold: f64) -> bool {
+        let test = SequentialTest::at_threshold(threshold)
+            .expect("invalid conditional threshold");
+        let outcome = test.run(|| self.sample());
+        outcome.decision == TestDecision::AcceptAlternative
+    }
+}
+
+impl Evaluator<f64> {
+    /// The `E` operator on the pinned network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn expected_value(&mut self, n: usize) -> f64 {
+        assert!(n > 0, "expected value needs at least one sample");
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += self.sample();
+        }
+        acc / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sampler;
+
+    #[test]
+    fn matches_sampler_distribution() {
+        let x = Uncertain::normal(3.0, 1.5).unwrap();
+        let expr = &x * 2.0 + 1.0;
+        let mut eval = Evaluator::new(&expr, 1);
+        let mean = eval.expected_value(20_000);
+        assert!((mean - 7.0).abs() < 0.05, "mean={mean}");
+        assert_eq!(eval.samples_drawn(), 20_000);
+    }
+
+    #[test]
+    fn preserves_shared_dependence() {
+        let x = Uncertain::uniform(1.0, 5.0).unwrap();
+        let zero = &x - &x;
+        let mut eval = Evaluator::new(&zero, 2);
+        for _ in 0..500 {
+            assert_eq!(eval.sample(), 0.0);
+        }
+    }
+
+    #[test]
+    fn consecutive_samples_are_independent() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let mut eval = Evaluator::new(&x, 3);
+        let first = eval.sample();
+        let distinct = (0..50).filter(|_| eval.sample() != first).count();
+        assert!(distinct > 45);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let mut a = Evaluator::new(&x, 9);
+        let mut b = Evaluator::new(&x, 9);
+        for _ in 0..20 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn decide_matches_uncertain_semantics() {
+        let likely = Uncertain::bernoulli(0.9).unwrap();
+        let mut eval = Evaluator::new(&likely, 4);
+        assert!(eval.decide(0.5));
+        let mut eval = Evaluator::new(&(!&likely), 5);
+        assert!(!eval.decide(0.5));
+    }
+
+    #[test]
+    fn agrees_statistically_with_sampler() {
+        // Same distribution through both paths.
+        let u = Uncertain::uniform(0.0, 1.0).unwrap();
+        let cond = u.gt(0.3);
+        let mut sampler = Sampler::seeded(6);
+        let via_sampler = cond.probability_with(&mut sampler, 20_000);
+        let mut eval = Evaluator::new(&cond, 7);
+        let via_eval =
+            (0..20_000).filter(|_| eval.sample()).count() as f64 / 20_000.0;
+        assert!((via_sampler - via_eval).abs() < 0.02);
+    }
+}

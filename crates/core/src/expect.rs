@@ -1,0 +1,236 @@
+//! The evaluation operator `E` and sample-based statistics.
+//!
+//! For code that needs a total order (sorting, printing), the paper
+//! provides the expected-value operator `E :: U<T> → T` (Table 1, §3.4),
+//! implemented as a fixed-size sample mean (§4.3). Because the runtime
+//! already draws samples, richer summaries (variance, quantiles, coverage
+//! intervals — the paper's 95% confidence intervals on speed) come for
+//! free through [`Uncertain::stats_with`].
+
+use crate::sampler::Sampler;
+use crate::uncertain::{Uncertain, Value};
+use uncertain_stats::{Histogram, StatsError, Summary};
+
+impl Uncertain<f64> {
+    /// The paper's `E` operator: the mean of `n` joint samples, with an
+    /// entropy-seeded sampler. Use [`Uncertain::expected_value_with`] for
+    /// deterministic evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn expected_value(&self, n: usize) -> f64 {
+        self.expected_value_with(&mut Sampler::new(), n)
+    }
+
+    /// The `E` operator with a caller-supplied sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn expected_value_with(&self, sampler: &mut Sampler, n: usize) -> f64 {
+        assert!(n > 0, "expected value needs at least one sample");
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += sampler.sample(self);
+        }
+        acc / n as f64
+    }
+
+    /// A full descriptive summary (mean, variance, quantiles, coverage
+    /// intervals) from `n` joint samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `n == 0` or sampling produced non-finite
+    /// values (e.g. a division by a distribution with mass near zero).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let x = Uncertain::normal(2.0, 1.0)?;
+    /// let mut s = Sampler::seeded(0);
+    /// let stats = x.stats_with(&mut s, 4000)?;
+    /// assert!((stats.mean() - 2.0).abs() < 0.1);
+    /// let (lo, hi) = stats.coverage_interval(0.95);
+    /// assert!(lo < 0.5 && hi > 3.5); // ≈ 2 ± 1.96
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn stats_with(&self, sampler: &mut Sampler, n: usize) -> Result<Summary, StatsError> {
+        Summary::from_slice(&sampler.samples(self, n))
+    }
+
+    /// A sampled histogram of this variable on `[low, high)` — the
+    /// terminal "plot" the figure binaries print.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the histogram bounds/bins are invalid.
+    pub fn histogram_with(
+        &self,
+        sampler: &mut Sampler,
+        n: usize,
+        low: f64,
+        high: f64,
+        bins: usize,
+    ) -> Result<Histogram, StatsError> {
+        let mut hist = Histogram::new(low, high, bins)?;
+        hist.extend(sampler.samples(self, n));
+        Ok(hist)
+    }
+
+    /// The `E` operator evaluated on several OS threads: `threads` workers
+    /// each draw `n / threads` joint samples from independently seeded
+    /// sub-streams and the results are averaged. Deterministic for a given
+    /// `(seed, n, threads)` triple.
+    ///
+    /// The Bayesian network is immutable and `Send + Sync`, so workers
+    /// share it without locking — one of the payoffs of the lazy,
+    /// pure-sampling-function design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `threads == 0`.
+    pub fn expected_value_parallel(&self, seed: u64, n: usize, threads: usize) -> f64 {
+        assert!(n > 0, "expected value needs at least one sample");
+        assert!(threads > 0, "need at least one thread");
+        let per_thread = n.div_ceil(threads);
+        let total = per_thread * threads;
+        let sum: f64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let me = self.clone();
+                    scope.spawn(move || {
+                        let mut sampler =
+                            Sampler::seeded(seed.wrapping_add(1 + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let mut acc = 0.0;
+                        for _ in 0..per_thread {
+                            acc += sampler.sample(&me);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sampling worker panicked"))
+                .sum()
+        });
+        sum / total as f64
+    }
+}
+
+impl<T: Value> Uncertain<T> {
+    /// Generalized expectation: the mean of `score` over `n` joint samples.
+    ///
+    /// This is how `E` extends to non-`f64` payloads (e.g. the expected
+    /// latitude of an uncertain coordinate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn expect_by(
+        &self,
+        sampler: &mut Sampler,
+        n: usize,
+        score: impl Fn(&T) -> f64,
+    ) -> f64 {
+        assert!(n > 0, "expected value needs at least one sample");
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += score(&sampler.sample(self));
+        }
+        acc / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_value_of_point_mass_is_exact() {
+        let x = Uncertain::point(4.25);
+        let mut s = Sampler::seeded(0);
+        assert_eq!(x.expected_value_with(&mut s, 10), 4.25);
+    }
+
+    #[test]
+    fn expected_value_converges() {
+        let x = Uncertain::normal(-3.0, 2.0).unwrap();
+        let mut s = Sampler::seeded(1);
+        let e = x.expected_value_with(&mut s, 20_000);
+        assert!((e + 3.0).abs() < 0.05, "e={e}");
+    }
+
+    #[test]
+    fn expectation_is_linear() {
+        let a = Uncertain::normal(1.0, 1.0).unwrap();
+        let b = Uncertain::normal(2.0, 1.0).unwrap();
+        let sum = &a + &b;
+        let mut s = Sampler::seeded(2);
+        let e = sum.expected_value_with(&mut s, 20_000);
+        assert!((e - 3.0).abs() < 0.05, "e={e}");
+    }
+
+    #[test]
+    fn stats_capture_spread() {
+        let x = Uncertain::uniform(0.0, 12.0).unwrap();
+        let mut s = Sampler::seeded(3);
+        let st = x.stats_with(&mut s, 20_000).unwrap();
+        assert!((st.mean() - 6.0).abs() < 0.1);
+        assert!((st.variance() - 12.0).abs() < 0.5);
+        assert!(st.min() >= 0.0 && st.max() < 12.0);
+    }
+
+    #[test]
+    fn expect_by_projects_components() {
+        let pair = Uncertain::point((3.0_f64, 4.0_f64));
+        let mut s = Sampler::seeded(4);
+        let first = pair.expect_by(&mut s, 5, |(a, _)| *a);
+        let second = pair.expect_by(&mut s, 5, |(_, b)| *b);
+        assert_eq!(first, 3.0);
+        assert_eq!(second, 4.0);
+    }
+
+    #[test]
+    fn histogram_with_counts_everything() {
+        let x = Uncertain::uniform(0.0, 1.0).unwrap();
+        let mut s = Sampler::seeded(6);
+        let h = x.histogram_with(&mut s, 500, 0.0, 1.0, 10).unwrap();
+        assert_eq!(h.total(), 500);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn parallel_expectation_matches_serial() {
+        let x = Uncertain::normal(4.0, 2.0).unwrap();
+        let par = x.expected_value_parallel(9, 40_000, 4);
+        assert!((par - 4.0).abs() < 0.05, "par={par}");
+        // Deterministic for fixed (seed, n, threads).
+        assert_eq!(par, x.expected_value_parallel(9, 40_000, 4));
+        // Different seeds differ.
+        assert_ne!(par, x.expected_value_parallel(10, 40_000, 4));
+    }
+
+    #[test]
+    fn parallel_expectation_shares_the_network() {
+        // A shared-dependence expression evaluated across threads keeps
+        // its semantics (x − x ≡ 0).
+        let x = Uncertain::normal(0.0, 5.0).unwrap();
+        let zero = &x - &x;
+        assert_eq!(zero.expected_value_parallel(3, 1000, 8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let x = Uncertain::point(1.0);
+        let mut s = Sampler::seeded(5);
+        let _ = x.expected_value_with(&mut s, 0);
+    }
+}

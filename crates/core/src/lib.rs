@@ -1,0 +1,101 @@
+//! # `Uncertain<T>` — a first-order type for uncertain data
+//!
+//! A from-scratch Rust implementation of the programming abstraction from
+//! *Uncertain\<T\>: A First-Order Type for Uncertain Data* (Bornholt,
+//! Mytkowicz, McKinley — ASPLOS 2014).
+//!
+//! An [`Uncertain<T>`] encapsulates a random variable of type `T`:
+//!
+//! * **Leaves** are known distributions exposed by expert developers as
+//!   *sampling functions* ([`Uncertain::from_distribution`],
+//!   [`Uncertain::from_fn`], or the [`Uncertain::normal`]-style shortcuts).
+//! * **Computation** with the usual operators (`+ - * /`, comparisons,
+//!   `& | !`) lazily builds a **Bayesian network** — a DAG whose nodes are
+//!   random variables and whose edges are conditional dependences. Nothing
+//!   is sampled until the program asks a question.
+//! * **Shared dependences are tracked** (the paper's Fig. 8 "echoes static
+//!   single assignment"): two uses of the same variable are perfectly
+//!   correlated, so `x.clone() - x` is exactly zero, not a widened
+//!   distribution.
+//! * **Conditionals evaluate evidence**: a comparison yields
+//!   `Uncertain<bool>` (a Bernoulli whose parameter is the evidence for the
+//!   condition), and [`Uncertain::pr`]/[`Uncertain::is_probable`]
+//!   decide it at runtime with Wald's sequential probability ratio test,
+//!   drawing only as many samples as this particular conditional needs
+//!   (§4.3).
+//! * **Estimates improve with domain knowledge**: [`Uncertain::weight_by`]
+//!   applies a Bayesian prior by sampling–importance–resampling, and
+//!   [`Uncertain::condition_on`] applies hard evidence by rejection (§3.5).
+//!
+//! # Quick start
+//!
+//! ```
+//! use uncertain_core::{Sampler, Uncertain};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An expert exposes two noisy measurements…
+//! let a = Uncertain::normal(4.0, 1.0)?;
+//! let b = Uncertain::normal(5.0, 1.0)?;
+//!
+//! // …an application computes with them as if they were plain numbers…
+//! let c = &a + &b; // a Bayesian network, not a number
+//!
+//! // …and asks calibrated questions instead of reading off point values.
+//! let mut sampler = Sampler::seeded(42);
+//! assert!(c.gt(5.0).is_probable_with(&mut sampler)); // Pr[c > 5] > 0.5
+//! assert!(!c.gt(12.0).pr_with(0.9, &mut sampler));   // not 90% sure c > 12
+//!
+//! // The expected-value operator E projects back to a plain number.
+//! let e = c.expected_value_with(&mut sampler, 1000);
+//! assert!((e - 9.0).abs() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bayes;
+mod compare;
+mod condition;
+mod context;
+mod evaluator;
+mod expect;
+mod graph;
+mod logic;
+mod math;
+mod node;
+mod ops;
+mod sampler;
+mod uncertain;
+
+pub use condition::{EvalConfig, HypothesisOutcome};
+pub use evaluator::Evaluator;
+pub use graph::{NetworkView, NodeMeta};
+pub use node::NodeId;
+pub use sampler::Sampler;
+pub use uncertain::{IntoUncertain, Uncertain, Value};
+
+// Re-export the substrate crates whose types appear in this crate's API,
+// so downstream users need only one dependency.
+pub use uncertain_dist as dist;
+pub use uncertain_stats as stats;
+
+/// The common imports in one line: `use uncertain_core::prelude::*;`.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Uncertain::normal(0.0, 1.0)?;
+/// let mut s = Sampler::seeded(0);
+/// assert!(x.lt(5.0).is_probable_with(&mut s));
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use crate::{EvalConfig, HypothesisOutcome, IntoUncertain, Sampler, Uncertain};
+    pub use uncertain_dist::{Continuous, Discrete, Distribution};
+}

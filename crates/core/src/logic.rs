@@ -1,0 +1,146 @@
+//! Lifted logical operators (paper Table 1: `∧ ∨` of type
+//! `U<Bool> → U<Bool> → U<Bool>`, and unary `¬`).
+//!
+//! Rust cannot overload the short-circuiting `&&`/`||`, so the lifted
+//! connectives use the bitwise `&`/`|`/`^` operators plus `!` — which is
+//! also semantically honest: both operands of a lifted conjunction *are*
+//! evaluated (within one joint sample), never short-circuited.
+
+use crate::uncertain::Uncertain;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+macro_rules! lift_bool_op {
+    ($op_trait:ident, $method:ident, $label:expr) => {
+        impl $op_trait<Uncertain<bool>> for Uncertain<bool> {
+            type Output = Uncertain<bool>;
+            fn $method(self, rhs: Uncertain<bool>) -> Uncertain<bool> {
+                self.map2($label, &rhs, |a: bool, b: bool| a.$method(b))
+            }
+        }
+
+        impl $op_trait<&Uncertain<bool>> for Uncertain<bool> {
+            type Output = Uncertain<bool>;
+            fn $method(self, rhs: &Uncertain<bool>) -> Uncertain<bool> {
+                self.map2($label, rhs, |a: bool, b: bool| a.$method(b))
+            }
+        }
+
+        impl $op_trait<Uncertain<bool>> for &Uncertain<bool> {
+            type Output = Uncertain<bool>;
+            fn $method(self, rhs: Uncertain<bool>) -> Uncertain<bool> {
+                self.map2($label, &rhs, |a: bool, b: bool| a.$method(b))
+            }
+        }
+
+        impl $op_trait<&Uncertain<bool>> for &Uncertain<bool> {
+            type Output = Uncertain<bool>;
+            fn $method(self, rhs: &Uncertain<bool>) -> Uncertain<bool> {
+                self.map2($label, rhs, |a: bool, b: bool| a.$method(b))
+            }
+        }
+    };
+}
+
+lift_bool_op!(BitAnd, bitand, "and");
+lift_bool_op!(BitOr, bitor, "or");
+lift_bool_op!(BitXor, bitxor, "xor");
+
+impl Not for Uncertain<bool> {
+    type Output = Uncertain<bool>;
+    fn not(self) -> Uncertain<bool> {
+        self.map("not", |b: bool| !b)
+    }
+}
+
+impl Not for &Uncertain<bool> {
+    type Output = Uncertain<bool>;
+    fn not(self) -> Uncertain<bool> {
+        self.map("not", |b: bool| !b)
+    }
+}
+
+impl Uncertain<bool> {
+    /// Lifted conjunction (named form of `&`).
+    pub fn and(&self, other: &Uncertain<bool>) -> Uncertain<bool> {
+        self & other
+    }
+
+    /// Lifted disjunction (named form of `|`).
+    pub fn or(&self, other: &Uncertain<bool>) -> Uncertain<bool> {
+        self | other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sampler;
+
+    #[test]
+    fn truth_tables_on_point_masses() {
+        let t = Uncertain::point(true);
+        let f = Uncertain::point(false);
+        let mut s = Sampler::seeded(0);
+        assert!(s.sample(&(&t & &t)));
+        assert!(!s.sample(&(&t & &f)));
+        assert!(s.sample(&(&t | &f)));
+        assert!(!s.sample(&(&f | &f)));
+        assert!(s.sample(&(&t ^ &f)));
+        assert!(!s.sample(&(&t ^ &t)));
+        assert!(s.sample(&(!&f)));
+        assert!(!s.sample(&(!&t)));
+    }
+
+    #[test]
+    fn named_forms_match_operators() {
+        let a = Uncertain::bernoulli(1.0).unwrap();
+        let b = Uncertain::bernoulli(0.0).unwrap();
+        let mut s = Sampler::seeded(1);
+        assert!(!s.sample(&a.and(&b)));
+        assert!(s.sample(&a.or(&b)));
+    }
+
+    #[test]
+    fn independent_conjunction_multiplies() {
+        let a = Uncertain::bernoulli(0.5).unwrap();
+        let b = Uncertain::bernoulli(0.5).unwrap();
+        let both = &a & &b;
+        let mut s = Sampler::seeded(2);
+        let p = both.probability_with(&mut s, 20_000);
+        assert!((p - 0.25).abs() < 0.02, "p={p}");
+    }
+
+    #[test]
+    fn correlated_conjunction_does_not_multiply() {
+        // a & a has probability p, not p² — node identity again.
+        let a = Uncertain::bernoulli(0.5).unwrap();
+        let both = &a & &a;
+        let mut s = Sampler::seeded(3);
+        let p = both.probability_with(&mut s, 20_000);
+        assert!((p - 0.5).abs() < 0.02, "p={p}");
+    }
+
+    #[test]
+    fn law_of_excluded_middle_on_joint_samples() {
+        // a | !a is ALWAYS true when evaluated jointly.
+        let a = Uncertain::bernoulli(0.5).unwrap();
+        let tautology = &a | &(!&a);
+        let mut s = Sampler::seeded(4);
+        for _ in 0..200 {
+            assert!(s.sample(&tautology));
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_jointly() {
+        let a = Uncertain::bernoulli(0.3).unwrap();
+        let b = Uncertain::bernoulli(0.7).unwrap();
+        let lhs = !&(&a & &b);
+        let rhs = &(!&a) | &(!&b);
+        let equal = lhs.eq_exact(&rhs);
+        let mut s = Sampler::seeded(5);
+        for _ in 0..200 {
+            assert!(s.sample(&equal));
+        }
+    }
+}

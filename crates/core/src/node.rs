@@ -1,0 +1,629 @@
+//! The Bayesian-network node graph behind `Uncertain<T>`.
+//!
+//! Every `Uncertain<T>` wraps an `Arc` of a node in a directed acyclic
+//! graph. Leaf nodes hold sampling functions; inner nodes hold the lifted
+//! operator that combines their children (paper §3.3). The graph is built
+//! incrementally and lazily as the program computes; it is only *executed*
+//! — by ancestral sampling in topological order — when a conditional or
+//! evaluation operator demands samples (§4.2).
+//!
+//! Each node carries a process-unique [`NodeId`]. During one joint sample,
+//! the [`SampleContext`](crate::context::SampleContext) memoizes every
+//! node's value by id, which is what makes two references to the same
+//! variable perfectly correlated (the paper's SSA-style shared-dependence
+//! analysis, Fig. 8) and guarantees each node is computed exactly once per
+//! joint sample.
+
+use crate::context::SampleContext;
+use crate::uncertain::{Uncertain, Value};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A process-unique identifier for a node in the Bayesian network.
+///
+/// Identity — not structure — defines sharing: the same `NodeId` appearing
+/// twice in a network means the *same* random variable, sampled once per
+/// joint sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u64);
+
+static NEXT_NODE_ID: AtomicU64 = AtomicU64::new(0);
+
+impl NodeId {
+    /// Allocates a fresh id (process-wide monotonic).
+    pub(crate) fn fresh() -> Self {
+        NodeId(NEXT_NODE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw numeric id.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Type-erased view of a node: identity, display label, and children.
+///
+/// This is the surface the graph-introspection module walks; it knows
+/// nothing about the value type.
+pub(crate) trait NodeInfo: Send + Sync {
+    /// This node's unique id.
+    fn id(&self) -> NodeId;
+    /// A short human-readable label (operator symbol or leaf description).
+    fn label(&self) -> String;
+    /// The nodes this node depends on (its parents in Bayesian-network
+    /// terminology; children of the expression tree).
+    fn children(&self) -> Vec<Arc<dyn NodeInfo>>;
+    /// Whether this node is a leaf distribution (shaded in the paper's
+    /// figures).
+    fn is_leaf(&self) -> bool {
+        self.children().is_empty()
+    }
+}
+
+/// A node that produces values of type `T`.
+pub(crate) trait TypedNode<T>: NodeInfo {
+    /// Draws this node's value within the given joint-sample context,
+    /// memoizing by node id so shared nodes are computed exactly once.
+    fn sample_value(&self, ctx: &mut SampleContext) -> T;
+}
+
+pub(crate) type DynNode<T> = Arc<dyn TypedNode<T>>;
+
+// ---------------------------------------------------------------------------
+// Leaf: a known distribution provided as a sampling function.
+// ---------------------------------------------------------------------------
+
+/// A boxed raw sampling function (the paper's leaf representation).
+type BoxedSamplingFn<T> = Box<dyn Fn(&mut dyn rand::RngCore) -> T + Send + Sync>;
+
+/// Leaf node: a sampling function over the raw RNG.
+pub(crate) struct LeafNode<T> {
+    id: NodeId,
+    label: String,
+    sample_fn: BoxedSamplingFn<T>,
+}
+
+impl<T> LeafNode<T> {
+    pub(crate) fn new(
+        label: impl Into<String>,
+        sample_fn: impl Fn(&mut dyn rand::RngCore) -> T + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            id: NodeId::fresh(),
+            label: label.into(),
+            sample_fn: Box::new(sample_fn),
+        }
+    }
+}
+
+impl<T: Value> NodeInfo for LeafNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+    fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        Vec::new()
+    }
+}
+
+impl<T: Value> TypedNode<T> for LeafNode<T> {
+    fn sample_value(&self, ctx: &mut SampleContext) -> T {
+        ctx.memoized(self.id, |ctx| (self.sample_fn)(ctx.rng()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Point mass: a constant lifted into the network.
+// ---------------------------------------------------------------------------
+
+/// Point-mass node: the paper's `Pointmass :: T → U<T>` coercion.
+pub(crate) struct PointNode<T> {
+    id: NodeId,
+    value: T,
+}
+
+impl<T> PointNode<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Self {
+            id: NodeId::fresh(),
+            value,
+        }
+    }
+}
+
+impl<T: Value + fmt::Debug> NodeInfo for PointNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> String {
+        format!("point({:?})", self.value)
+    }
+    fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        Vec::new()
+    }
+}
+
+impl<T: Value + fmt::Debug> TypedNode<T> for PointNode<T> {
+    fn sample_value(&self, _ctx: &mut SampleContext) -> T {
+        self.value.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unary lifted operator.
+// ---------------------------------------------------------------------------
+
+/// Inner node applying a pure unary function to one child.
+pub(crate) struct MapNode<A, T> {
+    id: NodeId,
+    label: String,
+    child: DynNode<A>,
+    f: Box<dyn Fn(A) -> T + Send + Sync>,
+}
+
+impl<A, T> MapNode<A, T> {
+    pub(crate) fn new(
+        label: impl Into<String>,
+        child: DynNode<A>,
+        f: impl Fn(A) -> T + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            id: NodeId::fresh(),
+            label: label.into(),
+            child,
+            f: Box::new(f),
+        }
+    }
+}
+
+impl<A: Value, T: Value> NodeInfo for MapNode<A, T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+    fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        vec![self.child.clone() as Arc<dyn NodeInfo>]
+    }
+}
+
+impl<A: Value, T: Value> TypedNode<T> for MapNode<A, T> {
+    fn sample_value(&self, ctx: &mut SampleContext) -> T {
+        if let Some(v) = ctx.lookup::<T>(self.id) {
+            return v;
+        }
+        let a = self.child.sample_value(ctx);
+        let v = (self.f)(a);
+        ctx.store(self.id, v.clone());
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary lifted operator.
+// ---------------------------------------------------------------------------
+
+/// Inner node applying a pure binary function to two children — the workhorse
+/// behind every lifted arithmetic, comparison, and logical operator.
+pub(crate) struct Map2Node<A, B, T> {
+    id: NodeId,
+    label: String,
+    left: DynNode<A>,
+    right: DynNode<B>,
+    f: Box<dyn Fn(A, B) -> T + Send + Sync>,
+}
+
+impl<A, B, T> Map2Node<A, B, T> {
+    pub(crate) fn new(
+        label: impl Into<String>,
+        left: DynNode<A>,
+        right: DynNode<B>,
+        f: impl Fn(A, B) -> T + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            id: NodeId::fresh(),
+            label: label.into(),
+            left,
+            right,
+            f: Box::new(f),
+        }
+    }
+}
+
+impl<A: Value, B: Value, T: Value> NodeInfo for Map2Node<A, B, T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+    fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        vec![
+            self.left.clone() as Arc<dyn NodeInfo>,
+            self.right.clone() as Arc<dyn NodeInfo>,
+        ]
+    }
+}
+
+impl<A: Value, B: Value, T: Value> TypedNode<T> for Map2Node<A, B, T> {
+    fn sample_value(&self, ctx: &mut SampleContext) -> T {
+        if let Some(v) = ctx.lookup::<T>(self.id) {
+            return v;
+        }
+        let a = self.left.sample_value(ctx);
+        let b = self.right.sample_value(ctx);
+        let v = (self.f)(a, b);
+        ctx.store(self.id, v.clone());
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monadic bind: dependent distributions.
+// ---------------------------------------------------------------------------
+
+/// Inner node whose distribution *depends on the sampled value* of its
+/// child: the conditional distribution `Pr[T | A = a]`. This is how expert
+/// developers "override [independence] by specifying the joint distribution
+/// between two variables" (paper §3.3).
+pub(crate) struct BindNode<A, T> {
+    id: NodeId,
+    label: String,
+    child: DynNode<A>,
+    f: Box<dyn Fn(A) -> Uncertain<T> + Send + Sync>,
+}
+
+impl<A, T> BindNode<A, T> {
+    pub(crate) fn new(
+        label: impl Into<String>,
+        child: DynNode<A>,
+        f: impl Fn(A) -> Uncertain<T> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            id: NodeId::fresh(),
+            label: label.into(),
+            child,
+            f: Box::new(f),
+        }
+    }
+}
+
+impl<A: Value, T: Value> NodeInfo for BindNode<A, T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+    fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        vec![self.child.clone() as Arc<dyn NodeInfo>]
+    }
+}
+
+impl<A: Value, T: Value> TypedNode<T> for BindNode<A, T> {
+    fn sample_value(&self, ctx: &mut SampleContext) -> T {
+        if let Some(v) = ctx.lookup::<T>(self.id) {
+            return v;
+        }
+        let a = self.child.sample_value(ctx);
+        let inner = (self.f)(a);
+        let v = inner.node().sample_value(ctx);
+        ctx.store(self.id, v.clone());
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encapsulation boundary: a sub-network sampled in its own context.
+// ---------------------------------------------------------------------------
+
+/// Wraps a sub-network so it is sampled in a *fresh* joint-sample context.
+///
+/// The wrapped variable becomes independent of every other use of the same
+/// leaves — the boundary a library puts around a distribution it hands out
+/// repeatedly (each `GPS.GetLocation()` call is a new reading even though
+/// the library reuses one error model).
+pub(crate) struct EncapsulatedNode<T> {
+    id: NodeId,
+    label: String,
+    inner: DynNode<T>,
+}
+
+impl<T> EncapsulatedNode<T> {
+    pub(crate) fn new(label: impl Into<String>, inner: DynNode<T>) -> Self {
+        Self {
+            id: NodeId::fresh(),
+            label: label.into(),
+            inner,
+        }
+    }
+}
+
+impl<T: Value> NodeInfo for EncapsulatedNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+    fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        vec![self.inner.clone() as Arc<dyn NodeInfo>]
+    }
+}
+
+impl<T: Value> TypedNode<T> for EncapsulatedNode<T> {
+    fn sample_value(&self, ctx: &mut SampleContext) -> T {
+        ctx.memoized(self.id, |ctx| {
+            let mut sub = ctx.fork();
+            self.inner.sample_value(&mut sub)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prior weighting: sampling–importance–resampling.
+// ---------------------------------------------------------------------------
+
+/// Applies a Bayesian prior by sampling–importance–resampling (paper §3.5):
+/// per joint sample, draws `candidates` independent samples of the child
+/// sub-network, weighs each by `weight`, and resamples one in proportion.
+pub(crate) struct WeightedNode<T> {
+    id: NodeId,
+    label: String,
+    inner: DynNode<T>,
+    /// Weight function; interpreted as a log-weight when `log_space`.
+    weight: Box<dyn Fn(&T) -> f64 + Send + Sync>,
+    candidates: usize,
+    /// When set, `weight` returns *log* weights and resampling normalizes
+    /// by the pool maximum — immune to extreme-likelihood underflow.
+    log_space: bool,
+}
+
+impl<T> WeightedNode<T> {
+    pub(crate) fn new(
+        label: impl Into<String>,
+        inner: DynNode<T>,
+        weight: impl Fn(&T) -> f64 + Send + Sync + 'static,
+        candidates: usize,
+    ) -> Self {
+        debug_assert!(candidates > 0);
+        Self {
+            id: NodeId::fresh(),
+            label: label.into(),
+            inner,
+            weight: Box::new(weight),
+            candidates,
+            log_space: false,
+        }
+    }
+
+    pub(crate) fn new_log_space(
+        label: impl Into<String>,
+        inner: DynNode<T>,
+        ln_weight: impl Fn(&T) -> f64 + Send + Sync + 'static,
+        candidates: usize,
+    ) -> Self {
+        debug_assert!(candidates > 0);
+        Self {
+            id: NodeId::fresh(),
+            label: label.into(),
+            inner,
+            weight: Box::new(ln_weight),
+            candidates,
+            log_space: true,
+        }
+    }
+}
+
+impl<T: Value> NodeInfo for WeightedNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+    fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        vec![self.inner.clone() as Arc<dyn NodeInfo>]
+    }
+}
+
+impl<T: Value> TypedNode<T> for WeightedNode<T> {
+    fn sample_value(&self, ctx: &mut SampleContext) -> T {
+        /// If every candidate in a pool has zero weight, redraw the pool up
+        /// to this many times before falling back to an unweighted draw.
+        const ZERO_WEIGHT_ROUNDS: usize = 8;
+        ctx.memoized(self.id, |ctx| {
+            let mut pool = Vec::with_capacity(self.candidates);
+            let mut weights = Vec::with_capacity(self.candidates);
+            for _ in 0..ZERO_WEIGHT_ROUNDS {
+                pool.clear();
+                weights.clear();
+                for _ in 0..self.candidates {
+                    let mut sub = ctx.fork();
+                    let v = self.inner.sample_value(&mut sub);
+                    let raw = (self.weight)(&v);
+                    pool.push(v);
+                    weights.push(raw);
+                }
+                if self.log_space {
+                    // Normalize by the pool maximum before exponentiating,
+                    // so astronomically small likelihoods keep their
+                    // *relative* weights instead of all flushing to zero.
+                    let max = weights
+                        .iter()
+                        .copied()
+                        .filter(|w| w.is_finite())
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    for w in weights.iter_mut() {
+                        *w = if w.is_finite() && max.is_finite() {
+                            (*w - max).exp()
+                        } else {
+                            0.0
+                        };
+                    }
+                } else {
+                    for w in weights.iter_mut() {
+                        *w = if w.is_finite() { w.max(0.0) } else { 0.0 };
+                    }
+                }
+                let total: f64 = weights.iter().sum();
+                if total > 0.0 {
+                    use rand::Rng;
+                    let mut u = ctx.rng().gen::<f64>() * total;
+                    for (i, w) in weights.iter().enumerate() {
+                        u -= w;
+                        if u <= 0.0 {
+                            return pool.swap_remove(i);
+                        }
+                    }
+                    return pool.pop().expect("candidate pool is non-empty");
+                }
+            }
+            // Prior assigns zero mass to every candidate across all rounds:
+            // fall back to an unweighted draw rather than failing the whole
+            // joint sample (documented on `Uncertain::weight_by`).
+            use rand::Rng;
+            let i = ctx.rng().gen_range(0..pool.len());
+            pool.swap_remove(i)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rejection conditioning.
+// ---------------------------------------------------------------------------
+
+/// Conditions a sub-network on a hard predicate by rejection sampling: per
+/// joint sample, redraws the child (in fresh sub-contexts) until the
+/// predicate holds, up to `max_tries`.
+pub(crate) struct ConditionedNode<T> {
+    id: NodeId,
+    label: String,
+    inner: DynNode<T>,
+    predicate: Box<dyn Fn(&T) -> bool + Send + Sync>,
+    max_tries: usize,
+}
+
+impl<T> ConditionedNode<T> {
+    pub(crate) fn new(
+        label: impl Into<String>,
+        inner: DynNode<T>,
+        predicate: impl Fn(&T) -> bool + Send + Sync + 'static,
+        max_tries: usize,
+    ) -> Self {
+        debug_assert!(max_tries > 0);
+        Self {
+            id: NodeId::fresh(),
+            label: label.into(),
+            inner,
+            predicate: Box::new(predicate),
+            max_tries,
+        }
+    }
+}
+
+impl<T: Value> NodeInfo for ConditionedNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+    fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        vec![self.inner.clone() as Arc<dyn NodeInfo>]
+    }
+}
+
+impl<T: Value> TypedNode<T> for ConditionedNode<T> {
+    fn sample_value(&self, ctx: &mut SampleContext) -> T {
+        ctx.memoized(self.id, |ctx| {
+            for _ in 0..self.max_tries {
+                let mut sub = ctx.fork();
+                let v = self.inner.sample_value(&mut sub);
+                if (self.predicate)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "condition_on: predicate rejected {} consecutive samples of node {} ({}); \
+                 the evidence is (nearly) impossible under this distribution",
+                self.max_tries,
+                self.id,
+                self.label
+            );
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::Sampler;
+    use crate::uncertain::Uncertain;
+
+    #[test]
+    fn node_ids_are_unique_and_monotonic() {
+        let a = NodeId::fresh();
+        let b = NodeId::fresh();
+        assert_ne!(a, b);
+        assert!(b.as_u64() > a.as_u64());
+        assert_eq!(format!("{a}"), format!("n{}", a.as_u64()));
+    }
+
+    #[test]
+    fn point_node_is_leaf_with_debug_label() {
+        let u = Uncertain::point(7);
+        let view = u.network();
+        assert_eq!(view.node_count(), 1);
+        assert!(view.nodes().next().unwrap().label.contains('7'));
+    }
+
+    #[test]
+    fn leaf_memoization_makes_copies_correlated() {
+        // x - x must be exactly zero in every joint sample (paper Fig. 8).
+        let x = Uncertain::normal(0.0, 10.0).unwrap();
+        let diff = x.clone() - x;
+        let mut s = Sampler::seeded(1);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&diff), 0.0);
+        }
+    }
+
+    #[test]
+    fn encapsulated_copies_are_independent() {
+        let x = Uncertain::normal(0.0, 10.0).unwrap();
+        let independent = x.encapsulate() - x.encapsulate();
+        let mut s = Sampler::seeded(2);
+        let nonzero = (0..100).filter(|_| s.sample(&independent) != 0.0).count();
+        assert!(nonzero > 90, "nonzero={nonzero}");
+    }
+
+    #[test]
+    #[should_panic(expected = "condition_on")]
+    fn impossible_condition_panics() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let impossible = x.condition_on(|v: &f64| *v > 1e9, 32);
+        let mut s = Sampler::seeded(3);
+        let _ = s.sample(&impossible);
+    }
+
+    #[test]
+    fn zero_weight_prior_falls_back_to_unweighted() {
+        let x = Uncertain::normal(5.0, 1.0).unwrap();
+        let weighted = x.weight_by_k(|_| 0.0, 8);
+        let mut s = Sampler::seeded(4);
+        // Must not panic, and must still produce plausible values.
+        let v = s.sample(&weighted);
+        assert!((0.0..10.0).contains(&v));
+    }
+}

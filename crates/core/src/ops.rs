@@ -1,0 +1,235 @@
+//! Lifted arithmetic operators (paper Table 1: `+ − × ÷` over `U<T>`).
+//!
+//! Each operator allocates one inner node in the Bayesian network; no
+//! sampling happens here. All four ownership combinations are provided
+//! (`a + b`, `&a + b`, `a + &b`, `&a + &b`) because `Uncertain` values are
+//! routinely reused, plus mixed scalar forms (`speed / dt`, `2.0 * x`) for
+//! the primitive numeric types — the paper's implicit point-mass coercion.
+
+use crate::uncertain::{Uncertain, Value};
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+
+macro_rules! lift_binary_op {
+    ($op_trait:ident, $method:ident, $label:expr) => {
+        impl<T> $op_trait<Uncertain<T>> for Uncertain<T>
+        where
+            T: $op_trait<Output = T> + Value,
+        {
+            type Output = Uncertain<T>;
+            fn $method(self, rhs: Uncertain<T>) -> Uncertain<T> {
+                self.map2($label, &rhs, |a, b| a.$method(b))
+            }
+        }
+
+        impl<T> $op_trait<&Uncertain<T>> for Uncertain<T>
+        where
+            T: $op_trait<Output = T> + Value,
+        {
+            type Output = Uncertain<T>;
+            fn $method(self, rhs: &Uncertain<T>) -> Uncertain<T> {
+                self.map2($label, rhs, |a, b| a.$method(b))
+            }
+        }
+
+        impl<T> $op_trait<Uncertain<T>> for &Uncertain<T>
+        where
+            T: $op_trait<Output = T> + Value,
+        {
+            type Output = Uncertain<T>;
+            fn $method(self, rhs: Uncertain<T>) -> Uncertain<T> {
+                self.map2($label, &rhs, |a, b| a.$method(b))
+            }
+        }
+
+        impl<T> $op_trait<&Uncertain<T>> for &Uncertain<T>
+        where
+            T: $op_trait<Output = T> + Value,
+        {
+            type Output = Uncertain<T>;
+            fn $method(self, rhs: &Uncertain<T>) -> Uncertain<T> {
+                self.map2($label, rhs, |a, b| a.$method(b))
+            }
+        }
+    };
+}
+
+lift_binary_op!(Add, add, "+");
+lift_binary_op!(Sub, sub, "-");
+lift_binary_op!(Mul, mul, "*");
+lift_binary_op!(Div, div, "/");
+lift_binary_op!(Rem, rem, "%");
+
+impl<T> Neg for Uncertain<T>
+where
+    T: Neg<Output = T> + Value,
+{
+    type Output = Uncertain<T>;
+    fn neg(self) -> Uncertain<T> {
+        self.map("neg", |v| -v)
+    }
+}
+
+impl<T> Neg for &Uncertain<T>
+where
+    T: Neg<Output = T> + Value,
+{
+    type Output = Uncertain<T>;
+    fn neg(self) -> Uncertain<T> {
+        self.map("neg", |v| -v)
+    }
+}
+
+/// Scalar mixing: `Uncertain<$t> ⊕ $t` and `$t ⊕ Uncertain<$t>` for the
+/// primitive numeric types, implementing the paper's coercion of concrete
+/// operands to point masses.
+macro_rules! lift_scalar_ops {
+    ($($t:ty),*) => {$(
+        lift_scalar_ops!(@one $t, Add, add, "+");
+        lift_scalar_ops!(@one $t, Sub, sub, "-");
+        lift_scalar_ops!(@one $t, Mul, mul, "*");
+        lift_scalar_ops!(@one $t, Div, div, "/");
+        lift_scalar_ops!(@one $t, Rem, rem, "%");
+    )*};
+    (@one $t:ty, $op_trait:ident, $method:ident, $label:expr) => {
+        impl $op_trait<$t> for Uncertain<$t> {
+            type Output = Uncertain<$t>;
+            fn $method(self, rhs: $t) -> Uncertain<$t> {
+                self.map(concat!($label, " scalar"), move |a: $t| a.$method(rhs))
+            }
+        }
+
+        impl $op_trait<$t> for &Uncertain<$t> {
+            type Output = Uncertain<$t>;
+            fn $method(self, rhs: $t) -> Uncertain<$t> {
+                self.map(concat!($label, " scalar"), move |a: $t| a.$method(rhs))
+            }
+        }
+
+        impl $op_trait<Uncertain<$t>> for $t {
+            type Output = Uncertain<$t>;
+            fn $method(self, rhs: Uncertain<$t>) -> Uncertain<$t> {
+                rhs.map(concat!("scalar ", $label), move |b: $t| self.$method(b))
+            }
+        }
+
+        impl $op_trait<&Uncertain<$t>> for $t {
+            type Output = Uncertain<$t>;
+            fn $method(self, rhs: &Uncertain<$t>) -> Uncertain<$t> {
+                rhs.map(concat!("scalar ", $label), move |b: $t| self.$method(b))
+            }
+        }
+    };
+}
+
+lift_scalar_ops!(f32, f64, i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, isize, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sampler;
+
+    #[test]
+    fn point_arithmetic_matches_scalar_arithmetic() {
+        let a = Uncertain::point(6.0);
+        let b = Uncertain::point(3.0);
+        let mut s = Sampler::seeded(0);
+        assert_eq!(s.sample(&(&a + &b)), 9.0);
+        assert_eq!(s.sample(&(&a - &b)), 3.0);
+        assert_eq!(s.sample(&(&a * &b)), 18.0);
+        assert_eq!(s.sample(&(&a / &b)), 2.0);
+        assert_eq!(s.sample(&(&a % &b)), 0.0);
+        assert_eq!(s.sample(&(-&a)), -6.0);
+    }
+
+    #[test]
+    fn all_ownership_combinations_compile_and_agree() {
+        let a = Uncertain::point(10_i64);
+        let b = Uncertain::point(4_i64);
+        let mut s = Sampler::seeded(0);
+        assert_eq!(s.sample(&(a.clone() + b.clone())), 14);
+        assert_eq!(s.sample(&(&a + b.clone())), 14);
+        assert_eq!(s.sample(&(a.clone() + &b)), 14);
+        assert_eq!(s.sample(&(&a + &b)), 14);
+    }
+
+    #[test]
+    fn scalar_mixing_both_sides() {
+        let x = Uncertain::point(8.0);
+        let mut s = Sampler::seeded(0);
+        assert_eq!(s.sample(&(&x + 2.0)), 10.0);
+        assert_eq!(s.sample(&(2.0 + &x)), 10.0);
+        assert_eq!(s.sample(&(x.clone() - 3.0)), 5.0);
+        assert_eq!(s.sample(&(20.0 / x.clone())), 2.5);
+        assert_eq!(s.sample(&(3.0 * x.clone())), 24.0);
+        let n = Uncertain::point(17_u32);
+        assert_eq!(s.sample(&(&n % 5)), 2);
+    }
+
+    #[test]
+    fn sum_variance_compounds() {
+        // Var[a + b] = 2 for two independent N(0,1) (paper Fig. 6).
+        let a = Uncertain::normal(0.0, 1.0).unwrap();
+        let b = Uncertain::normal(0.0, 1.0).unwrap();
+        let c = &a + &b;
+        let mut s = Sampler::seeded(42);
+        let stats = c.stats_with(&mut s, 20_000).unwrap();
+        assert!((stats.variance() - 2.0).abs() < 0.15, "{}", stats.variance());
+    }
+
+    #[test]
+    fn shared_dependence_halves_nothing() {
+        // x + x ~ 2x, so Var[x + x] = 4·Var[x], NOT 2·Var[x] (Fig. 8).
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let doubled = &x + &x;
+        let mut s = Sampler::seeded(43);
+        let stats = doubled.stats_with(&mut s, 20_000).unwrap();
+        assert!((stats.variance() - 4.0).abs() < 0.3, "{}", stats.variance());
+    }
+
+    #[test]
+    fn subtraction_of_self_is_exactly_zero() {
+        let x = Uncertain::uniform(0.0, 100.0).unwrap();
+        let zero = &x - &x;
+        let mut s = Sampler::seeded(44);
+        for _ in 0..200 {
+            assert_eq!(s.sample(&zero), 0.0);
+        }
+    }
+
+    #[test]
+    fn division_by_point_mass_scales() {
+        // The GPS-Walking pattern: Distance / dt.
+        let distance = Uncertain::normal(30.0, 1.0).unwrap();
+        let dt = 10.0;
+        let speed = &distance / dt;
+        let mut s = Sampler::seeded(45);
+        let mean = speed.expected_value_with(&mut s, 5000);
+        assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn deep_expression_chains_work() {
+        let x = Uncertain::point(1.0);
+        let mut expr = x.clone();
+        for _ in 0..100 {
+            expr = expr + &x;
+        }
+        let mut s = Sampler::seeded(46);
+        assert_eq!(s.sample(&expr), 101.0);
+    }
+
+    #[test]
+    fn very_deep_chains_stay_within_stack() {
+        // Ancestral sampling recurses to the network depth; this pins the
+        // supported depth well beyond anything a hand-written program
+        // produces (the graph walk itself is iterative).
+        let x = Uncertain::point(1.0);
+        let mut expr = x.clone();
+        for _ in 0..4000 {
+            expr = expr + &x;
+        }
+        let mut s = Sampler::seeded(47);
+        assert_eq!(s.sample(&expr), 4001.0);
+        assert_eq!(expr.network().depth(), 4001);
+    }
+}

@@ -1,0 +1,396 @@
+//! The `Uncertain<T>` type: constructors and core combinators.
+
+use crate::node::{BindNode, DynNode, LeafNode, Map2Node, MapNode, PointNode};
+use crate::NodeId;
+use std::fmt;
+use std::sync::Arc;
+use uncertain_dist::{Bernoulli, Distribution, Gaussian, ParamError, Rayleigh, Uniform};
+
+/// The bound every value carried by an [`Uncertain<T>`] must satisfy.
+///
+/// Values are cloned into the per-joint-sample memo table (`Clone +
+/// 'static`) and the network is shareable across threads (`Send + Sync`).
+/// This trait is blanket-implemented; you never implement it by hand.
+pub trait Value: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Value for T {}
+
+/// A random variable of type `T`, represented as a node in a lazily built
+/// Bayesian network (paper §3).
+///
+/// `Uncertain<T>` is cheap to clone (it is an `Arc` handle) and cloning
+/// preserves *identity*: a clone refers to the **same** random variable, so
+/// computations that use both stay perfectly correlated. Use
+/// [`Uncertain::encapsulate`] when you want an independent re-draw instead.
+///
+/// # Examples
+///
+/// Computation compounds uncertainty (paper Fig. 6):
+///
+/// ```
+/// use uncertain_core::{Sampler, Uncertain};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Uncertain::normal(0.0, 1.0)?;
+/// let b = Uncertain::normal(0.0, 1.0)?;
+/// let c = &a + &b;
+///
+/// let mut s = Sampler::seeded(7);
+/// let stats = c.stats_with(&mut s, 4000)?;
+/// // Var[c] = Var[a] + Var[b] = 2, so σ ≈ 1.41.
+/// assert!((stats.std_dev() - 2f64.sqrt()).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Uncertain<T> {
+    node: DynNode<T>,
+}
+
+impl<T> Clone for Uncertain<T> {
+    fn clone(&self) -> Self {
+        Self {
+            node: Arc::clone(&self.node),
+        }
+    }
+}
+
+impl<T: Value> fmt::Debug for Uncertain<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Uncertain")
+            .field("id", &self.node.id())
+            .field("label", &self.node.label())
+            .finish()
+    }
+}
+
+impl<T> Uncertain<T> {
+    pub(crate) fn from_node(node: DynNode<T>) -> Self {
+        Self { node }
+    }
+
+    pub(crate) fn node(&self) -> &DynNode<T> {
+        &self.node
+    }
+
+    /// The id of this variable's root node in the Bayesian network.
+    ///
+    /// Two `Uncertain` values with the same root id are the same random
+    /// variable.
+    pub fn id(&self) -> NodeId
+    where
+        T: Value,
+    {
+        self.node.id()
+    }
+}
+
+impl<T: Value> Uncertain<T> {
+    /// Lifts a raw *sampling function* into an uncertain value — the
+    /// fundamental leaf constructor (paper §4.1: "a sampling function has no
+    /// arguments and returns a new random sample on each invocation").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    /// use rand::Rng;
+    ///
+    /// let die = Uncertain::from_fn("d6", |rng| rng.gen_range(1..=6_i32));
+    /// let mut s = Sampler::seeded(0);
+    /// assert!((1..=6).contains(&s.sample(&die)));
+    /// ```
+    pub fn from_fn(
+        label: impl Into<String>,
+        f: impl Fn(&mut dyn rand::RngCore) -> T + Send + Sync + 'static,
+    ) -> Self {
+        Self::from_node(Arc::new(LeafNode::new(label, f)))
+    }
+
+    /// Lifts a [`Distribution`] from the `uncertain-dist` substrate into an
+    /// uncertain value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::dist::Rayleigh;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let gps_error = Uncertain::from_distribution(Rayleigh::from_gps_accuracy(4.0)?);
+    /// let mut s = Sampler::seeded(1);
+    /// assert!(s.sample(&gps_error) >= 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_distribution<D>(dist: D) -> Self
+    where
+        D: Distribution<T> + 'static,
+    {
+        let label = short_type_name::<D>();
+        Self::from_fn(label, move |rng| dist.sample(rng))
+    }
+
+    /// Wraps a concrete value as a point-mass distribution — the paper's
+    /// `Pointmass` coercion (Table 1). Equivalent to `Uncertain::from(v)`.
+    pub fn point(value: T) -> Self
+    where
+        T: fmt::Debug,
+    {
+        Self::from_node(Arc::new(PointNode::new(value)))
+    }
+
+    /// Applies a pure function to this variable, yielding a new inner node
+    /// in the Bayesian network (a lifted unary operator).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let x = Uncertain::normal(0.0, 1.0)?;
+    /// let magnitude = x.map("abs", |v: f64| v.abs());
+    /// let mut s = Sampler::seeded(2);
+    /// assert!(s.sample(&magnitude) >= 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn map<U: Value>(
+        &self,
+        label: impl Into<String>,
+        f: impl Fn(T) -> U + Send + Sync + 'static,
+    ) -> Uncertain<U> {
+        Uncertain::from_node(Arc::new(MapNode::new(label, self.node.clone(), f)))
+    }
+
+    /// Combines this variable with another through a pure binary function —
+    /// the general lifted binary operator every arithmetic/comparison/logic
+    /// operator reduces to. The result depends on *both* inputs; shared
+    /// ancestry is handled by node identity (paper Fig. 8).
+    pub fn map2<U: Value, V: Value>(
+        &self,
+        label: impl Into<String>,
+        other: &Uncertain<U>,
+        f: impl Fn(T, U) -> V + Send + Sync + 'static,
+    ) -> Uncertain<V> {
+        Uncertain::from_node(Arc::new(Map2Node::new(
+            label,
+            self.node.clone(),
+            other.node.clone(),
+            f,
+        )))
+    }
+
+    /// Pairs two variables into one joint variable (sampled jointly, so any
+    /// shared ancestry stays correlated).
+    pub fn zip<U: Value>(&self, other: &Uncertain<U>) -> Uncertain<(T, U)> {
+        self.map2("zip", other, |a, b| (a, b))
+    }
+
+    /// Monadic bind: builds a variable whose *distribution* depends on the
+    /// sampled value of this one — the conditional distribution
+    /// `Pr[U | T = t]`. This is how dependent random variables are
+    /// expressed (paper §3.3).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Sampler, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // A sensor whose noise grows with the (uncertain) temperature.
+    /// let temp = Uncertain::uniform(10.0, 30.0)?;
+    /// let reading = temp.flat_map("sensor", |t| {
+    ///     Uncertain::normal(t, 0.1 * t).expect("positive std-dev")
+    /// });
+    /// let mut s = Sampler::seeded(3);
+    /// let r = s.sample(&reading);
+    /// assert!(r > 0.0 && r < 60.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn flat_map<U: Value>(
+        &self,
+        label: impl Into<String>,
+        f: impl Fn(T) -> Uncertain<U> + Send + Sync + 'static,
+    ) -> Uncertain<U> {
+        Uncertain::from_node(Arc::new(BindNode::new(label, self.node.clone(), f)))
+    }
+}
+
+impl Uncertain<f64> {
+    /// A Gaussian leaf `N(mean, std_dev)` (Box–Muller sampling function).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `std_dev ≤ 0` or a parameter is not finite.
+    pub fn normal(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        Ok(Self::from_distribution(Gaussian::new(mean, std_dev)?))
+    }
+
+    /// A uniform leaf on `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `low >= high` or a bound is not finite.
+    pub fn uniform(low: f64, high: f64) -> Result<Self, ParamError> {
+        Ok(Self::from_distribution(Uniform::new(low, high)?))
+    }
+
+    /// A Rayleigh leaf with scale `ρ` — the paper's GPS error shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `scale` is not positive and finite.
+    pub fn rayleigh(scale: f64) -> Result<Self, ParamError> {
+        Ok(Self::from_distribution(Rayleigh::new(scale)?))
+    }
+}
+
+impl Uncertain<bool> {
+    /// A Bernoulli leaf that is `true` with probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `p ∈ [0, 1]`.
+    pub fn bernoulli(p: f64) -> Result<Self, ParamError> {
+        Ok(Self::from_distribution(Bernoulli::new(p)?))
+    }
+}
+
+impl<T: Value + fmt::Debug> From<T> for Uncertain<T> {
+    /// Coerces a concrete value to a point-mass distribution — the implicit
+    /// lifting the paper applies to scalar operands (`Distance / dt`).
+    fn from(value: T) -> Self {
+        Uncertain::point(value)
+    }
+}
+
+impl<T> From<&Uncertain<T>> for Uncertain<T> {
+    fn from(u: &Uncertain<T>) -> Self {
+        u.clone()
+    }
+}
+
+/// Argument-position conversion into [`Uncertain<T>`], accepted by the
+/// comparison methods so both `speed.gt(4.0)` and `speed.gt(&limit)` work.
+///
+/// Implemented for `T` itself (point mass), for `Uncertain<T>`, and for
+/// `&Uncertain<T>`.
+pub trait IntoUncertain<T> {
+    /// Performs the conversion.
+    fn into_uncertain(self) -> Uncertain<T>;
+}
+
+impl<T> IntoUncertain<T> for Uncertain<T> {
+    fn into_uncertain(self) -> Uncertain<T> {
+        self
+    }
+}
+
+impl<T> IntoUncertain<T> for &Uncertain<T> {
+    fn into_uncertain(self) -> Uncertain<T> {
+        self.clone()
+    }
+}
+
+impl<T: Value + fmt::Debug> IntoUncertain<T> for T {
+    fn into_uncertain(self) -> Uncertain<T> {
+        Uncertain::point(self)
+    }
+}
+
+/// Trims a fully qualified type name down to its final path segment
+/// (dropping generic arguments), for readable leaf labels.
+fn short_type_name<D>() -> String {
+    let full = std::any::type_name::<D>();
+    let base = full.split('<').next().unwrap_or(full);
+    base.rsplit("::").next().unwrap_or(base).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sampler;
+
+    #[test]
+    fn point_mass_samples_constantly() {
+        let u = Uncertain::point(3.5);
+        let mut s = Sampler::seeded(0);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&u), 3.5);
+        }
+    }
+
+    #[test]
+    fn from_scalar_is_point_mass() {
+        let u: Uncertain<i32> = 9.into();
+        let mut s = Sampler::seeded(0);
+        assert_eq!(s.sample(&u), 9);
+    }
+
+    #[test]
+    fn clone_preserves_identity() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let y = x.clone();
+        assert_eq!(x.id(), y.id());
+    }
+
+    #[test]
+    fn map_transforms_samples() {
+        let x = Uncertain::point(2.0);
+        let y = x.map("square", |v: f64| v * v);
+        let mut s = Sampler::seeded(0);
+        assert_eq!(s.sample(&y), 4.0);
+    }
+
+    #[test]
+    fn map2_combines() {
+        let a = Uncertain::point(3);
+        let b = Uncertain::point(4);
+        let c = a.map2("pythagoras", &b, |x: i32, y: i32| x * x + y * y);
+        let mut s = Sampler::seeded(0);
+        assert_eq!(s.sample(&c), 25);
+    }
+
+    #[test]
+    fn zip_is_jointly_sampled() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let pair = x.zip(&x);
+        let mut s = Sampler::seeded(5);
+        for _ in 0..50 {
+            let (a, b) = s.sample(&pair);
+            assert_eq!(a, b, "zip of a variable with itself must be diagonal");
+        }
+    }
+
+    #[test]
+    fn flat_map_uses_sampled_value() {
+        let choice = Uncertain::bernoulli(1.0).unwrap();
+        let v = choice.flat_map("pick", |b| {
+            if b {
+                Uncertain::point(10.0)
+            } else {
+                Uncertain::point(-10.0)
+            }
+        });
+        let mut s = Sampler::seeded(6);
+        assert_eq!(s.sample(&v), 10.0);
+    }
+
+    #[test]
+    fn debug_shows_id_and_label() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let dbg = format!("{x:?}");
+        assert!(dbg.contains("Uncertain"));
+        assert!(dbg.contains("Gaussian"), "label should name the leaf: {dbg}");
+    }
+
+    #[test]
+    fn short_type_name_strips_paths_and_generics() {
+        assert_eq!(super::short_type_name::<uncertain_dist::Gaussian>(), "Gaussian");
+        assert_eq!(
+            super::short_type_name::<uncertain_dist::PointMass<f64>>(),
+            "PointMass"
+        );
+    }
+}

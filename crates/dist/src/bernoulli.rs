@@ -1,0 +1,108 @@
+//! Bernoulli distribution over `bool`.
+
+use crate::{Distribution, ParamError};
+use rand::{Rng, RngCore};
+
+/// Bernoulli distribution: `true` with probability `p`.
+///
+/// In the `Uncertain<T>` semantics every lifted comparison produces a
+/// Bernoulli whose parameter is the *evidence* for the condition (paper
+/// §3.4); this type is the leaf-level version of that object, used both by
+/// the runtime and by the hypothesis-test validation suite.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Bernoulli, Distribution};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let coin = Bernoulli::new(0.9)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let flips = coin.sample_n(&mut rng, 1000);
+/// let heads = flips.iter().filter(|&&b| b).count();
+/// assert!(heads > 850 && heads < 950);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli with success probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError::new(format!(
+                "bernoulli probability must be in [0,1], got {p}"
+            )));
+        }
+        Ok(Self { p })
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean of the distribution (equals `p`).
+    pub fn mean(&self) -> f64 {
+        self.p
+    }
+
+    /// Variance `p(1-p)`.
+    pub fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample(&self, rng: &mut dyn RngCore) -> bool {
+        rng.gen::<f64>() < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let never = Bernoulli::new(0.0).unwrap();
+        let always = Bernoulli::new(1.0).unwrap();
+        for _ in 0..100 {
+            assert!(!never.sample(&mut rng));
+            assert!(always.sample(&mut rng));
+        }
+    }
+
+    #[test]
+    fn frequency_matches_p() {
+        let b = Bernoulli::new(0.3).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let n = 50_000;
+        let k = (0..n).filter(|_| b.sample(&mut rng)).count() as f64 / n as f64;
+        assert!((k - 0.3).abs() < 0.01, "freq={k}");
+    }
+
+    #[test]
+    fn moments() {
+        let b = Bernoulli::new(0.25).unwrap();
+        assert_eq!(b.mean(), 0.25);
+        assert!((b.variance() - 0.1875).abs() < 1e-12);
+    }
+}

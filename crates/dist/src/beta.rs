@@ -1,0 +1,150 @@
+//! Beta distribution.
+
+use crate::special::{ln_gamma, reg_inc_beta};
+use crate::{Continuous, Distribution, Gamma, ParamError};
+use rand::RngCore;
+
+/// Beta distribution on `[0, 1]` with shapes `α, β`.
+///
+/// The natural prior for Bernoulli parameters (e.g. belief about the
+/// evidence of a conditional) and the paper's suggested non-negative noise
+/// alternative in SensorLife (§5.2). Sampled as `X/(X+Y)` with
+/// `X ~ Gamma(α), Y ~ Gamma(β)`.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Beta, Continuous};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let b = Beta::new(2.0, 5.0)?;
+/// assert!((b.mean() - 2.0 / 7.0).abs() < 1e-12);
+/// assert!((b.cdf(1.0) - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+    gamma_a: Gamma,
+    gamma_b: Gamma,
+}
+
+impl Beta {
+    /// Creates a Beta with shapes `alpha` and `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless both shapes are positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, ParamError> {
+        Ok(Self {
+            alpha,
+            beta,
+            gamma_a: Gamma::new(alpha, 1.0)
+                .map_err(|_| ParamError::new(format!("beta alpha must be positive, got {alpha}")))?,
+            gamma_b: Gamma::new(beta, 1.0)
+                .map_err(|_| ParamError::new(format!("beta beta must be positive, got {beta}")))?,
+        })
+    }
+
+    /// The first shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The second shape parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Distribution<f64> for Beta {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let x = self.gamma_a.sample(rng);
+        let y = self.gamma_b.sample(rng);
+        x / (x + y)
+    }
+}
+
+impl Continuous for Beta {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return f64::NEG_INFINITY;
+        }
+        let ln_b = ln_gamma(self.alpha) + ln_gamma(self.beta) - ln_gamma(self.alpha + self.beta);
+        (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - ln_b
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            reg_inc_beta(self.alpha, self.beta, x)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        let b = Beta::new(1.0, 1.0).unwrap();
+        assert!((b.pdf(0.3) - 1.0).abs() < 1e-10);
+        assert!((b.cdf(0.7) - 0.7).abs() < 1e-10);
+        assert_eq!(b.mean(), 0.5);
+    }
+
+    #[test]
+    fn samples_in_unit_interval_with_right_mean() {
+        let b = Beta::new(2.0, 6.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+        let n = 40_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = b.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn symmetry() {
+        let b = Beta::new(3.0, 3.0).unwrap();
+        assert!((b.cdf(0.5) - 0.5).abs() < 1e-10);
+        assert!((b.pdf(0.3) - b.pdf(0.7)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let b = Beta::new(2.5, 1.5).unwrap();
+        for &p in &[0.1, 0.4, 0.6, 0.9] {
+            assert!((b.cdf(b.quantile(p)) - p).abs() < 1e-8);
+        }
+    }
+}

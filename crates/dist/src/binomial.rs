@@ -1,0 +1,143 @@
+//! Binomial distribution.
+
+use crate::special::ln_choose;
+use crate::{Discrete, Distribution, ParamError};
+use rand::{Rng, RngCore};
+
+/// Binomial distribution: number of successes in `n` Bernoulli(`p`) trials.
+///
+/// Used by the hypothesis-test validation suite (the count of `true`
+/// samples from an `Uncertain<bool>` is binomial) and for analytic
+/// cross-checks of the SPRT error bounds.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Binomial, Discrete};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let b = Binomial::new(10, 0.5)?;
+/// assert_eq!(b.mean(), 5.0);
+/// assert!((b.pmf(5) - 0.24609375).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution over `n` trials with success
+    /// probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `p ∈ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, ParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError::new(format!(
+                "binomial probability must be in [0,1], got {p}"
+            )));
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Per-trial success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        // Direct simulation; n is small in every use in this repository.
+        (0..self.n).filter(|_| rng.gen::<f64>() < self.p).count() as u64
+    }
+}
+
+impl Discrete for Binomial {
+    fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        let k = k.min(self.n);
+        (0..=k).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(20, 0.3).unwrap();
+        let total: f64 = (0..=20).map(|k| b.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10, "total={total}");
+    }
+
+    #[test]
+    fn degenerate_p() {
+        let b0 = Binomial::new(5, 0.0).unwrap();
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.pmf(1), 0.0);
+        let b1 = Binomial::new(5, 1.0).unwrap();
+        assert_eq!(b1.pmf(5), 1.0);
+        assert_eq!(b1.pmf(4), 0.0);
+    }
+
+    #[test]
+    fn sample_within_range_and_mean() {
+        let b = Binomial::new(40, 0.25).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let k = b.sample(&mut rng);
+            assert!(k <= 40);
+            sum += k;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let b = Binomial::new(15, 0.6).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=15 {
+            let c = b.cdf(k);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!((b.cdf(15) - 1.0).abs() < 1e-9);
+    }
+}

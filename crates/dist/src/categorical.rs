@@ -1,0 +1,163 @@
+//! Categorical (finite, weighted) distribution.
+
+use crate::{Distribution, ParamError};
+use rand::{Rng, RngCore};
+
+/// A categorical distribution: a finite set of values with explicit
+/// probabilities.
+///
+/// This is the representation the paper attributes to CES's `prob<T>`
+/// (§3.2, \[30\]): "for finite domains, a simple map can assign a probability
+/// to each possible value." It is useful for discrete priors and for exact
+/// expected-value cross-checks in the test suite.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Categorical, Distribution};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let biased = Categorical::new(vec![("heads", 0.9), ("tails", 0.1)])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let flip = biased.sample(&mut rng);
+/// assert!(flip == "heads" || flip == "tails");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical<T> {
+    items: Vec<(T, f64)>,
+    cumulative: Vec<f64>,
+}
+
+impl<T> Categorical<T> {
+    /// Creates a categorical distribution from `(value, weight)` pairs.
+    ///
+    /// Weights need not sum to 1; they are normalized internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the list is empty, any weight is negative or
+    /// non-finite, or all weights are zero.
+    pub fn new(items: Vec<(T, f64)>) -> Result<Self, ParamError> {
+        if items.is_empty() {
+            return Err(ParamError::new("categorical must have at least one item"));
+        }
+        let mut total = 0.0;
+        for (i, (_, w)) in items.iter().enumerate() {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(ParamError::new(format!(
+                    "categorical weight {i} must be finite and non-negative, got {w}"
+                )));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(ParamError::new("categorical weights must not all be zero"));
+        }
+        let mut cumulative = Vec::with_capacity(items.len());
+        let mut acc = 0.0;
+        for (_, w) in &items {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { items, cumulative })
+    }
+
+    /// Probability of the item at index `i` (after normalization).
+    pub fn probability(&self, i: usize) -> Option<f64> {
+        if i >= self.items.len() {
+            return None;
+        }
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        Some(self.cumulative[i] - prev)
+    }
+
+    /// The `(value, raw-weight)` pairs this distribution was built from.
+    pub fn items(&self) -> &[(T, f64)] {
+        &self.items
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no categories (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<T: Clone + Send + Sync> Distribution<T> for Categorical<T> {
+    fn sample(&self, rng: &mut dyn RngCore) -> T {
+        let u: f64 = rng.gen();
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.items.len() - 1),
+            Err(i) => i.min(self.items.len() - 1),
+        };
+        self.items[idx].0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Categorical::<i32>::new(vec![]).is_err());
+        assert!(Categorical::new(vec![(1, -1.0)]).is_err());
+        assert!(Categorical::new(vec![(1, 0.0), (2, 0.0)]).is_err());
+        assert!(Categorical::new(vec![(1, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn normalizes_weights() {
+        let c = Categorical::new(vec![("a", 2.0), ("b", 6.0)]).unwrap();
+        assert!((c.probability(0).unwrap() - 0.25).abs() < 1e-12);
+        assert!((c.probability(1).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(c.probability(2), None);
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let c = Categorical::new(vec![(0usize, 1.0), (1, 2.0), (2, 7.0)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let n = 50_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.2).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn singleton_always_sampled() {
+        let c = Categorical::new(vec![(42, 3.0)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(c.sample(&mut rng), 42);
+        }
+    }
+
+    #[test]
+    fn zero_weight_items_never_sampled() {
+        let c = Categorical::new(vec![(0, 0.0), (1, 1.0)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..500 {
+            assert_eq!(c.sample(&mut rng), 1);
+        }
+    }
+}

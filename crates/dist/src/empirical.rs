@@ -1,0 +1,166 @@
+//! Empirical distribution over a fixed pool of samples.
+
+use crate::{Distribution, ParamError};
+use rand::{Rng, RngCore};
+
+/// An empirical distribution: resamples uniformly from a fixed pool.
+///
+/// This is exactly how the paper's Parakeet case study works at runtime
+/// (§5.3): hybrid Monte Carlo runs *offline* and captures a fixed pool of
+/// posterior samples, and the runtime sampling function draws uniformly from
+/// that pool. "If the sample size is sufficiently large, this approach
+/// approximates true sampling well."
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Distribution, Empirical};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let pool = Empirical::new(vec![1.0, 2.0, 3.0])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let x = pool.sample(&mut rng);
+/// assert!([1.0, 2.0, 3.0].contains(&x));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical<T> {
+    pool: Vec<T>,
+}
+
+impl<T> Empirical<T> {
+    /// Creates an empirical distribution from a pool of samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the pool is empty.
+    pub fn new(pool: Vec<T>) -> Result<Self, ParamError> {
+        if pool.is_empty() {
+            return Err(ParamError::new("empirical pool must not be empty"));
+        }
+        Ok(Self { pool })
+    }
+
+    /// Number of samples in the pool.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the pool is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// A view of the underlying pool.
+    pub fn pool(&self) -> &[T] {
+        &self.pool
+    }
+
+    /// Consumes the distribution and returns the pool.
+    pub fn into_pool(self) -> Vec<T> {
+        self.pool
+    }
+}
+
+impl Empirical<f64> {
+    /// Sample mean of the pool.
+    pub fn mean(&self) -> f64 {
+        self.pool.iter().sum::<f64>() / self.pool.len() as f64
+    }
+
+    /// Unbiased sample variance of the pool (0 for a single-element pool).
+    pub fn variance(&self) -> f64 {
+        if self.pool.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.pool.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (self.pool.len() - 1) as f64
+    }
+
+    /// Empirical CDF at `x`: fraction of the pool `≤ x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.pool.iter().filter(|&&v| v <= x).count() as f64 / self.pool.len() as f64
+    }
+}
+
+impl<T: Clone + Send + Sync> Distribution<T> for Empirical<T> {
+    fn sample(&self, rng: &mut dyn RngCore) -> T {
+        let i = rng.gen_range(0..self.pool.len());
+        self.pool[i].clone()
+    }
+}
+
+impl<T> FromIterator<T> for Empirical<T> {
+    /// Collects an iterator into a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty; use [`Empirical::new`] for fallible
+    /// construction.
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let pool: Vec<T> = iter.into_iter().collect();
+        assert!(
+            !pool.is_empty(),
+            "cannot collect an empty iterator into an Empirical distribution"
+        );
+        Self { pool }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_pool() {
+        assert!(Empirical::<f64>::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn samples_come_from_pool() {
+        let pool = vec![10, 20, 30, 40];
+        let e = Empirical::new(pool.clone()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            assert!(pool.contains(&e.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn resampling_is_roughly_uniform() {
+        let e = Empirical::new(vec![0, 1]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let ones: usize = (0..n).map(|_| e.sample(&mut rng) as usize).sum();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn stats() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.mean(), 2.5);
+        assert!((e.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.cdf(2.0), 0.5);
+        assert_eq!(e.cdf(0.0), 0.0);
+        assert_eq!(e.cdf(10.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let e: Empirical<i32> = (0..5).collect();
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.pool(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty iterator")]
+    fn from_empty_iterator_panics() {
+        let _: Empirical<i32> = std::iter::empty().collect();
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for invalid distribution parameters.
+
+use std::fmt;
+
+/// Returned when a distribution constructor receives invalid parameters
+/// (e.g. a non-positive standard deviation or a probability outside `[0,1]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError {
+    what: String,
+}
+
+impl ParamError {
+    /// Creates a parameter error with a human-readable description.
+    pub fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParamError::new("std_dev must be positive, got -1");
+        let s = e.to_string();
+        assert!(s.contains("std_dev"));
+        assert!(s.contains("invalid distribution parameter"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ParamError>();
+    }
+}

@@ -1,0 +1,134 @@
+//! Exponential distribution.
+
+use crate::{Continuous, Distribution, ParamError};
+use rand::{Rng, RngCore};
+
+/// Exponential distribution with rate `λ`: `f(x) = λ·e^(−λx)` for `x ≥ 0`.
+///
+/// Used in the test suite as an asymmetric, heavy-ish-tailed stress case for
+/// the `Uncertain<T>` operators and in the sensor substrate for inter-event
+/// timing.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, Exponential};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let e = Exponential::new(2.0)?;
+/// assert_eq!(e.mean(), 0.5);
+/// assert!((e.cdf(e.quantile(0.3)) - 0.3).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `rate` is finite and strictly positive.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ParamError::new(format!(
+                "exponential rate must be positive and finite, got {rate}"
+            )));
+        }
+        Ok(Self { rate })
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution<f64> for Exponential {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+impl Continuous for Exponential {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        -(1.0 - p).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-2.0).is_err());
+    }
+
+    #[test]
+    fn sample_mean() {
+        let e = Exponential::new(0.25).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn memorylessness_spot_check() {
+        // Pr[X > s+t | X > s] = Pr[X > t]
+        let e = Exponential::new(1.5).unwrap();
+        let tail = |x: f64| 1.0 - e.cdf(x);
+        assert!((tail(2.0 + 1.0) / tail(2.0) - tail(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let e = Exponential::new(3.0).unwrap();
+        let mut sum = 0.0;
+        let dx = 1e-4;
+        let mut x = 0.0;
+        while x < 10.0 {
+            sum += e.pdf(x) * dx;
+            x += dx;
+        }
+        assert!((sum - 1.0).abs() < 1e-3, "integral={sum}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Gaussian kernel density estimate over an empirical pool.
+
+use crate::{Continuous, Distribution, Gaussian, ParamError};
+use rand::{Rng, RngCore};
+
+/// A Gaussian kernel density estimate: an empirical pool smoothed with a
+/// Gaussian kernel.
+///
+/// The paper's §3.2 lists empirically derived error models (machine
+/// learning, measurement) as one of the two ways expert developers identify
+/// distributions. A KDE turns raw observed errors into a proper continuous
+/// distribution with a density — which the Bayesian machinery (priors,
+/// likelihood weighting) requires. Sampling is smoothed bootstrap: pick a
+/// pool point, add kernel noise.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, KernelDensity};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let observed = vec![1.0, 1.1, 0.9, 1.05, 0.98, 3.0];
+/// let kde = KernelDensity::from_samples(&observed)?;
+/// assert!(kde.pdf(1.0) > kde.pdf(2.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDensity {
+    points: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl KernelDensity {
+    /// Builds a KDE with an explicit bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `samples` is empty, contains non-finite
+    /// values, or `bandwidth` is not strictly positive.
+    pub fn new(samples: &[f64], bandwidth: f64) -> Result<Self, ParamError> {
+        if samples.is_empty() {
+            return Err(ParamError::new("kde needs at least one sample"));
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(ParamError::new("kde samples must be finite"));
+        }
+        if bandwidth <= 0.0 || !bandwidth.is_finite() {
+            return Err(ParamError::new(format!(
+                "kde bandwidth must be positive and finite, got {bandwidth}"
+            )));
+        }
+        Ok(Self {
+            points: samples.to_vec(),
+            bandwidth,
+        })
+    }
+
+    /// Builds a KDE choosing the bandwidth by Silverman's rule of thumb.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `samples` is empty, non-finite, or has zero
+    /// spread (all values identical — use a point mass instead).
+    pub fn from_samples(samples: &[f64]) -> Result<Self, ParamError> {
+        if samples.is_empty() {
+            return Err(ParamError::new("kde needs at least one sample"));
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n.max(2.0);
+        let sd = var.sqrt();
+        if sd == 0.0 {
+            return Err(ParamError::new(
+                "kde samples have zero spread; use PointMass instead",
+            ));
+        }
+        let bandwidth = 1.06 * sd * n.powf(-0.2);
+        Self::new(samples, bandwidth)
+    }
+
+    /// The smoothing bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether there are no support points (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+impl Distribution<f64> for KernelDensity {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let i = rng.gen_range(0..self.points.len());
+        let kernel = Gaussian::new(self.points[i], self.bandwidth)
+            .expect("bandwidth validated at construction");
+        kernel.sample(rng)
+    }
+}
+
+impl Continuous for KernelDensity {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).ln()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let norm = 1.0 / (self.points.len() as f64 * self.bandwidth
+            * (2.0 * core::f64::consts::PI).sqrt());
+        self.points
+            .iter()
+            .map(|&p| {
+                let z = (x - p) / self.bandwidth;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let n = self.points.len() as f64;
+        self.points
+            .iter()
+            .map(|&p| crate::special::standard_normal_cdf((x - p) / self.bandwidth))
+            .sum::<f64>()
+            / n
+    }
+
+    fn mean(&self) -> f64 {
+        self.points.iter().sum::<f64>() / self.points.len() as f64
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        let pool_var =
+            self.points.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.points.len() as f64;
+        pool_var + self.bandwidth * self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(KernelDensity::new(&[], 1.0).is_err());
+        assert!(KernelDensity::new(&[1.0], 0.0).is_err());
+        assert!(KernelDensity::new(&[f64::NAN], 1.0).is_err());
+        assert!(KernelDensity::from_samples(&[2.0, 2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let kde = KernelDensity::from_samples(&[0.0, 1.0, 2.0, 1.5, 0.5]).unwrap();
+        let mut total = 0.0;
+        let dx = 0.001;
+        let mut x = -10.0;
+        while x < 12.0 {
+            total += kde.pdf(x) * dx;
+            x += dx;
+        }
+        assert!((total - 1.0).abs() < 1e-3, "total={total}");
+    }
+
+    #[test]
+    fn cdf_limits() {
+        let kde = KernelDensity::from_samples(&[0.0, 1.0, 5.0]).unwrap();
+        assert!(kde.cdf(-100.0) < 1e-6);
+        assert!(kde.cdf(100.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn sample_mean_near_pool_mean() {
+        let kde = KernelDensity::from_samples(&[2.0, 4.0, 6.0, 8.0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(27);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| kde.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn variance_includes_bandwidth() {
+        let kde = KernelDensity::new(&[0.0, 10.0], 2.0).unwrap();
+        // Pool variance = 25, plus bandwidth² = 4.
+        assert!((kde.variance() - 29.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Log-normal distribution.
+
+use crate::special::{standard_normal_cdf, standard_normal_quantile};
+use crate::{Continuous, Distribution, Gaussian, ParamError};
+use rand::RngCore;
+
+/// Log-normal distribution: `exp(N(μ, σ))`.
+///
+/// A natural positive-support prior for rates and speeds; the GPS case study
+/// offers it as an alternative walking-speed prior (speeds are positive and
+/// right-skewed).
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, LogNormal};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let ln = LogNormal::new(0.0, 0.5)?;
+/// assert!((ln.cdf(1.0) - 0.5).abs() < 1e-12); // median = e^μ = 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+    normal: Gaussian,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose logarithm is `N(mu, sigma)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `sigma` is finite and positive and `mu`
+    /// is finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        let normal = Gaussian::new(mu, sigma)?;
+        Ok(Self { mu, sigma, normal })
+    }
+
+    /// Builds a log-normal with the given *linear-scale* median and a shape
+    /// parameter `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `median` is positive and `sigma` valid.
+    pub fn from_median(median: f64, sigma: f64) -> Result<Self, ParamError> {
+        if median <= 0.0 || !median.is_finite() {
+            return Err(ParamError::new(format!(
+                "log-normal median must be positive and finite, got {median}"
+            )));
+        }
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Location parameter `μ` (mean of the log).
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Shape parameter `σ` (std-dev of the log).
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+impl Continuous for LogNormal {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        -0.5 * z * z - x.ln() - self.sigma.ln() - 0.5 * (2.0 * core::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            standard_normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        ((s2).exp_m1()) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        (self.mu + self.sigma * standard_normal_quantile(p)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::from_median(-1.0, 1.0).is_err());
+        assert!(LogNormal::from_median(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn median_construction() {
+        let ln = LogNormal::from_median(3.0, 0.4).unwrap();
+        assert!((ln.quantile(0.5) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positive_support() {
+        let ln = LogNormal::new(1.0, 2.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        for _ in 0..500 {
+            assert!(ln.sample(&mut rng) > 0.0);
+        }
+        assert_eq!(ln.pdf(-1.0), 0.0);
+        assert_eq!(ln.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn analytic_mean_matches_samples() {
+        let ln = LogNormal::new(0.2, 0.3).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| ln.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - ln.mean()).abs() < 0.02, "{mean} vs {}", ln.mean());
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let ln = LogNormal::new(-0.5, 0.8).unwrap();
+        for &p in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+            assert!((ln.cdf(ln.quantile(p)) - p).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Finite mixture of continuous distributions.
+
+use crate::{Categorical, Continuous, Distribution, ParamError};
+use rand::RngCore;
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite mixture of continuous component distributions.
+///
+/// Mixtures arise naturally in the paper's prior machinery — e.g. a
+/// road-snapping prior is a mixture of mass concentrated on roads plus a
+/// diffuse background (§3.5, Fig. 10). Sampling picks a component by weight,
+/// then samples it; the density is the weighted sum of component densities.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, Gaussian, Mixture};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let bimodal = Mixture::new(vec![
+///     (Arc::new(Gaussian::new(-2.0, 0.5)?) as Arc<dyn Continuous>, 0.5),
+///     (Arc::new(Gaussian::new(2.0, 0.5)?), 0.5),
+/// ])?;
+/// assert!((bimodal.mean()).abs() < 1e-12);
+/// assert!(bimodal.pdf(-2.0) > bimodal.pdf(0.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Mixture {
+    selector: Categorical<usize>,
+    components: Vec<(Arc<dyn Continuous>, f64)>,
+}
+
+impl Mixture {
+    /// Creates a mixture from `(component, weight)` pairs. Weights are
+    /// normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the list is empty or the weights are
+    /// invalid (negative, non-finite, or all zero).
+    pub fn new(components: Vec<(Arc<dyn Continuous>, f64)>) -> Result<Self, ParamError> {
+        let selector = Categorical::new(
+            components
+                .iter()
+                .enumerate()
+                .map(|(i, (_, w))| (i, *w))
+                .collect(),
+        )?;
+        // Store normalized weights alongside the components.
+        let components = components
+            .into_iter()
+            .enumerate()
+            .map(|(i, (c, _))| {
+                let p = selector
+                    .probability(i)
+                    .expect("component index in range by construction");
+                (c, p)
+            })
+            .collect();
+        Ok(Self {
+            selector,
+            components,
+        })
+    }
+
+    /// Number of mixture components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether there are no components (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Normalized weight of component `i`.
+    pub fn weight(&self, i: usize) -> Option<f64> {
+        self.components.get(i).map(|(_, w)| *w)
+    }
+}
+
+impl fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mixture")
+            .field("components", &self.components.len())
+            .field(
+                "weights",
+                &self.components.iter().map(|(_, w)| *w).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Distribution<f64> for Mixture {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let i = self.selector.sample(rng);
+        self.components[i].0.sample(rng)
+    }
+}
+
+impl Continuous for Mixture {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).ln()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|(c, w)| w * c.pdf(x))
+            .sum::<f64>()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|(c, w)| w * c.cdf(x))
+            .sum::<f64>()
+    }
+
+    fn mean(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|(c, w)| w * c.mean())
+            .sum::<f64>()
+    }
+
+    fn variance(&self) -> f64 {
+        // Law of total variance: E[Var] + Var[E].
+        let mean = self.mean();
+        self.components
+            .iter()
+            .map(|(c, w)| w * (c.variance() + (c.mean() - mean).powi(2)))
+            .sum::<f64>()
+    }
+
+    fn support(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (c, _) in &self.components {
+            let (l, h) = c.support();
+            lo = lo.min(l);
+            hi = hi.max(h);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gaussian, Uniform};
+    use rand::SeedableRng;
+
+    fn bimodal() -> Mixture {
+        Mixture::new(vec![
+            (
+                Arc::new(Gaussian::new(-3.0, 1.0).unwrap()) as Arc<dyn Continuous>,
+                1.0,
+            ),
+            (Arc::new(Gaussian::new(3.0, 1.0).unwrap()), 3.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Mixture::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let m = bimodal();
+        assert!((m.weight(0).unwrap() - 0.25).abs() < 1e-12);
+        assert!((m.weight(1).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(m.weight(2), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let m = bimodal();
+        assert!((m.mean() - (0.25 * -3.0 + 0.75 * 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variance_law() {
+        let m = bimodal();
+        // Var = E[Var] + Var[E] = 1 + (0.25·(−3−1.5)² + 0.75·(3−1.5)²)
+        let expected = 1.0 + 0.25 * 4.5_f64.powi(2) + 0.75 * 1.5_f64.powi(2);
+        assert!((m.variance() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_split_matches_weights() {
+        let m = bimodal();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let n = 30_000;
+        let right = (0..n).filter(|_| m.sample(&mut rng) > 0.0).count() as f64 / n as f64;
+        assert!((right - 0.75).abs() < 0.02, "right={right}");
+    }
+
+    #[test]
+    fn support_is_union() {
+        let m = Mixture::new(vec![
+            (
+                Arc::new(Uniform::new(0.0, 1.0).unwrap()) as Arc<dyn Continuous>,
+                1.0,
+            ),
+            (Arc::new(Uniform::new(5.0, 6.0).unwrap()), 1.0),
+        ])
+        .unwrap();
+        assert_eq!(m.support(), (0.0, 6.0));
+    }
+
+    #[test]
+    fn cdf_is_weighted_sum() {
+        let m = bimodal();
+        // At x = 0, the left component has CDF ≈ 0.9987, right ≈ 0.0013.
+        let g_left = Gaussian::new(-3.0, 1.0).unwrap();
+        let g_right = Gaussian::new(3.0, 1.0).unwrap();
+        let expect = 0.25 * g_left.cdf(0.0) + 0.75 * g_right.cdf(0.0);
+        assert!((m.cdf(0.0) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Point-mass (degenerate) distribution.
+
+use crate::Distribution;
+use rand::RngCore;
+
+/// A point-mass distribution: every sample is the same value.
+///
+/// This is the paper's `Pointmass :: T → U<T>` operator (Table 1): scalars
+/// are coerced to uncertain values by wrapping them in a point mass, which
+/// is how `Distance / dt` mixes an uncertain numerator with a concrete
+/// denominator.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Distribution, PointMass};
+/// use rand::SeedableRng;
+///
+/// let five = PointMass::new(5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(five.sample(&mut rng), 5);
+/// assert_eq!(five.sample(&mut rng), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PointMass<T> {
+    value: T,
+}
+
+impl<T> PointMass<T> {
+    /// Creates a point mass at `value`.
+    pub fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// The single supported value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Consumes the distribution and returns the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T: Clone + Send + Sync> Distribution<T> for PointMass<T> {
+    fn sample(&self, _rng: &mut dyn RngCore) -> T {
+        self.value.clone()
+    }
+}
+
+impl<T> From<T> for PointMass<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_same_value() {
+        let p = PointMass::new("label".to_string());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(p.sample(&mut rng), "label");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let p = PointMass::from(3.5);
+        assert_eq!(*p.value(), 3.5);
+        assert_eq!(p.into_inner(), 3.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Poisson distribution.
+
+use crate::special::{ln_gamma, reg_lower_gamma};
+use crate::{Discrete, Distribution, ParamError};
+use rand::{Rng, RngCore};
+
+/// Poisson distribution with rate `λ`: counts of events per interval.
+///
+/// Used for event-count sensors in the test suite. Sampling uses Knuth's
+/// product-of-uniforms method for moderate rates and splits larger rates
+/// into summed halves (Poisson additivity), keeping the method exact at
+/// every `λ`.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Discrete, Poisson};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let p = Poisson::new(4.0)?;
+/// assert_eq!(p.mean(), 4.0);
+/// assert_eq!(p.variance(), 4.0);
+/// assert!((p.pmf(0) - (-4.0_f64).exp()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson with rate `λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `lambda` is positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(ParamError::new(format!(
+                "poisson rate must be positive and finite, got {lambda}"
+            )));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// The rate parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Knuth's method: multiply uniforms until the product drops below
+    /// `e^(−λ)`. Exact, O(λ) — fine for the split rates used below.
+    fn knuth(lambda: f64, rng: &mut dyn RngCore) -> u64 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    }
+}
+
+impl Distribution<u64> for Poisson {
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        // Split large rates: Poisson(λ) = Poisson(λ/2) + Poisson(λ/2).
+        let mut remaining = self.lambda;
+        let mut total = 0u64;
+        while remaining > 30.0 {
+            total += Self::knuth(30.0, rng);
+            remaining -= 30.0;
+        }
+        total + Self::knuth(remaining, rng)
+    }
+}
+
+impl Discrete for Poisson {
+    fn ln_pmf(&self, k: u64) -> f64 {
+        k as f64 * self.lambda.ln() - self.lambda - ln_gamma(k as f64 + 1.0)
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        // Pr[X ≤ k] = Q(k+1, λ) = 1 − P(k+1, λ).
+        1.0 - reg_lower_gamma(k as f64 + 1.0, self.lambda)
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let p = Poisson::new(3.5).unwrap();
+        let total: f64 = (0..60).map(|k| p.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let p = Poisson::new(2.2).unwrap();
+        let direct: f64 = (0..=5).map(|k| p.pmf(k)).sum();
+        assert!((p.cdf(5) - direct).abs() < 1e-10, "{} vs {direct}", p.cdf(5));
+    }
+
+    #[test]
+    fn sample_mean_small_rate() {
+        let p = Poisson::new(1.7).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(46);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 1.7).abs() < 0.03, "mean={mean}");
+    }
+
+    #[test]
+    fn sample_mean_large_rate_uses_split() {
+        let p = Poisson::new(100.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        let n = 10_000;
+        let xs: Vec<f64> = (0..n).map(|_| p.sample(&mut rng) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean={mean}");
+        assert!((var - 100.0).abs() < 5.0, "var={var}");
+    }
+}

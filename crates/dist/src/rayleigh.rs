@@ -1,0 +1,168 @@
+//! Rayleigh distribution — the paper's GPS error posterior.
+
+use crate::{Continuous, Distribution, ParamError};
+use rand::{Rng, RngCore};
+
+/// Rayleigh distribution with scale `ρ`:
+/// `f(x; ρ) = (x/ρ²)·exp(−x²/2ρ²)` for `x ≥ 0`.
+///
+/// This is the distribution at the heart of the paper's GPS model (§4.1):
+/// the distance between a GPS sample and the true location follows
+/// `Rayleigh(ε/√ln 400)` where `ε` is the sensor's reported 95% horizontal
+/// accuracy. Its mode is *away from zero* — the true location is unlikely to
+/// be at the center of the reported circle (Fig. 11).
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, Rayleigh};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let r = Rayleigh::new(2.0)?;
+/// // Mode of a Rayleigh is ρ itself.
+/// assert!(r.pdf(2.0) > r.pdf(0.1));
+/// assert!(r.pdf(2.0) > r.pdf(6.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rayleigh {
+    scale: f64,
+}
+
+impl Rayleigh {
+    /// Creates a Rayleigh distribution with scale `ρ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `scale` is finite and strictly positive.
+    pub fn new(scale: f64) -> Result<Self, ParamError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(ParamError::new(format!(
+                "rayleigh scale must be positive and finite, got {scale}"
+            )));
+        }
+        Ok(Self { scale })
+    }
+
+    /// Builds the paper's GPS posterior from a 95% confidence radius `ε`
+    /// (meters): `Rayleigh(ε / √ln 400)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `epsilon` is finite and positive.
+    pub fn from_gps_accuracy(epsilon: f64) -> Result<Self, ParamError> {
+        Self::new(epsilon / (400.0_f64).ln().sqrt())
+    }
+
+    /// The scale parameter `ρ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The mode of the distribution (equals `ρ`).
+    pub fn mode(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Distribution<f64> for Rayleigh {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Inverse-CDF sampling: x = ρ·√(−2 ln U).
+        let u: f64 = 1.0 - rng.gen::<f64>(); // in (0, 1]
+        self.scale * (-2.0 * u.ln()).sqrt()
+    }
+}
+
+impl Continuous for Rayleigh {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let r2 = self.scale * self.scale;
+        x.ln() - r2.ln() - x * x / (2.0 * r2)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-x * x / (2.0 * self.scale * self.scale)).exp()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * (core::f64::consts::PI / 2.0).sqrt()
+    }
+
+    fn variance(&self) -> f64 {
+        (2.0 - core::f64::consts::PI / 2.0) * self.scale * self.scale
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        self.scale * (-2.0 * (1.0 - p).ln()).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(Rayleigh::new(0.0).is_err());
+        assert!(Rayleigh::new(-1.0).is_err());
+        assert!(Rayleigh::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn gps_accuracy_conversion() {
+        // ε = 4 m ⇒ ρ = 4/√ln400 ≈ 1.6344
+        let r = Rayleigh::from_gps_accuracy(4.0).unwrap();
+        assert!((r.scale() - 4.0 / (400.0_f64).ln().sqrt()).abs() < 1e-12);
+        // 95% of the mass must lie within ε of the center — that is the
+        // defining property of the paper's ε/√ln400 scaling.
+        assert!((r.cdf(4.0) - 0.95).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic() {
+        let r = Rayleigh::new(3.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - r.mean()).abs() < 0.05, "mean={mean} vs {}", r.mean());
+    }
+
+    #[test]
+    fn samples_nonnegative() {
+        let r = Rayleigh::new(0.5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(r.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let r = Rayleigh::new(1.7).unwrap();
+        for &p in &[0.05, 0.3, 0.5, 0.8, 0.99] {
+            assert!((r.cdf(r.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pdf_zero_below_support() {
+        let r = Rayleigh::new(1.0).unwrap();
+        assert_eq!(r.pdf(-0.5), 0.0);
+        assert_eq!(r.cdf(-0.5), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Rician (Rice) distribution.
+
+use crate::special::{bessel_i0, bessel_i1, ln_bessel_i0};
+use crate::{Continuous, Distribution, Gaussian, ParamError};
+use rand::RngCore;
+
+/// Rician distribution: the magnitude `√((ν + X)² + Y²)` of a 2D Gaussian
+/// displaced from the origin (`X, Y ~ N(0, σ)`).
+///
+/// This is the *exact* likelihood of an observed GPS displacement given a
+/// true movement of length ν when both fixes carry isotropic Gaussian
+/// error — the density the GPS speed posterior uses
+/// (`uncertain-gps::priors::posterior_speed`). At ν = 0 it reduces to the
+/// paper's Rayleigh.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, Rician};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let r = Rician::new(3.0, 1.0)?;
+/// // The density peaks near ν for large ν/σ.
+/// assert!(r.pdf(3.1) > r.pdf(1.0));
+/// assert!(r.pdf(3.1) > r.pdf(6.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rician {
+    nu: f64,
+    sigma: f64,
+    noise: Gaussian,
+}
+
+impl Rician {
+    /// Creates a Rician with noncentrality `nu ≥ 0` and noise `sigma > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `nu ≥ 0` and `sigma > 0` (finite).
+    pub fn new(nu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if nu < 0.0 || !nu.is_finite() {
+            return Err(ParamError::new(format!(
+                "rician nu must be non-negative and finite, got {nu}"
+            )));
+        }
+        let noise = Gaussian::new(0.0, sigma)?;
+        Ok(Self { nu, sigma, noise })
+    }
+
+    /// The noncentrality parameter ν (the true underlying magnitude).
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// The per-axis noise σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution<f64> for Rician {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let x = self.nu + self.noise.sample(rng);
+        let y = self.noise.sample(rng);
+        (x * x + y * y).sqrt()
+    }
+}
+
+impl Continuous for Rician {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if x == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let s2 = self.sigma * self.sigma;
+        // ln f = ln x − ln σ² − (x² + ν²)/2σ² + ln I₀(xν/σ²), using the
+        // overflow-safe ln I₀ for large arguments.
+        x.ln() - s2.ln() - (x * x + self.nu * self.nu) / (2.0 * s2)
+            + ln_bessel_i0(x * self.nu / s2)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        // Numerically integrate the density (the Marcum Q-function has no
+        // elementary form); the integrand is smooth and light-tailed.
+        let n = 2048;
+        let dx = x / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let xi = (i as f64 + 0.5) * dx;
+            acc += self.pdf(xi) * dx;
+        }
+        acc.min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        // σ√(π/2)·L_{1/2}(−ν²/2σ²); with t = ν²/4σ² the Laguerre value is
+        // e^(−t)[(1 + 2t)I₀(t) + 2t·I₁(t)] — the e^(−t) lives inside the
+        // scaled Bessels below.
+        let t = self.nu * self.nu / (4.0 * self.sigma * self.sigma);
+        let laguerre = (1.0 + 2.0 * t) * bessel_i0_scaled(t) + 2.0 * t * bessel_i1_scaled(t);
+        self.sigma * (core::f64::consts::PI / 2.0).sqrt() * laguerre
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        2.0 * self.sigma * self.sigma + self.nu * self.nu - m * m
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+}
+
+/// `e^(−t)·I₀(t)` — scaled to avoid overflow in the Laguerre formula.
+fn bessel_i0_scaled(t: f64) -> f64 {
+    if t < 300.0 {
+        (-t).exp() * bessel_i0(t)
+    } else {
+        // Asymptotic with first corrections: I₀(t) ≈ e^t/√(2πt)·(1 + 1/8t + 9/128t²).
+        (1.0 + 1.0 / (8.0 * t) + 9.0 / (128.0 * t * t))
+            / (2.0 * core::f64::consts::PI * t).sqrt()
+    }
+}
+
+/// `e^(−t)·I₁(t)`.
+fn bessel_i1_scaled(t: f64) -> f64 {
+    if t < 300.0 {
+        (-t).exp() * bessel_i1(t)
+    } else {
+        // I₁(t) ≈ e^t/√(2πt)·(1 − 3/8t − 15/128t²).
+        (1.0 - 3.0 / (8.0 * t) - 15.0 / (128.0 * t * t))
+            / (2.0 * core::f64::consts::PI * t).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rayleigh;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Rician::new(-1.0, 1.0).is_err());
+        assert!(Rician::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn reduces_to_rayleigh_at_zero_nu() {
+        let rice = Rician::new(0.0, 2.0).unwrap();
+        let ray = Rayleigh::new(2.0).unwrap();
+        for &x in &[0.5, 1.0, 2.0, 4.0] {
+            assert!(
+                (rice.pdf(x) - ray.pdf(x)).abs() < 1e-9,
+                "x={x}: {} vs {}",
+                rice.pdf(x),
+                ray.pdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic() {
+        let r = Rician::new(4.0, 1.5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(49);
+        let n = 60_000;
+        let mean: f64 = (0..n).map(|_| r.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - r.mean()).abs() < 0.02, "{mean} vs {}", r.mean());
+    }
+
+    #[test]
+    fn analytic_mean_large_snr_approaches_nu() {
+        // For ν ≫ σ, E ≈ ν + σ²/2ν.
+        let r = Rician::new(50.0, 1.0).unwrap();
+        assert!((r.mean() - (50.0 + 1.0 / 100.0)).abs() < 1e-3, "{}", r.mean());
+    }
+
+    #[test]
+    fn cdf_is_calibrated_against_samples() {
+        let r = Rician::new(3.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        let n = 40_000;
+        let below = (0..n).filter(|_| r.sample(&mut rng) <= 3.0).count() as f64 / n as f64;
+        assert!((below - r.cdf(3.0)).abs() < 0.01, "{below} vs {}", r.cdf(3.0));
+    }
+
+    #[test]
+    fn ln_pdf_stable_at_high_snr() {
+        // xν/σ² huge: ln I₀ must not overflow.
+        let r = Rician::new(1000.0, 1.0).unwrap();
+        let lp = r.ln_pdf(1000.0);
+        assert!(lp.is_finite());
+        assert!(r.ln_pdf(900.0) < lp);
+    }
+}

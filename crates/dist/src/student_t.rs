@@ -1,0 +1,149 @@
+//! Student's t distribution.
+
+use crate::special::{ln_gamma, reg_inc_beta};
+use crate::{Continuous, Distribution, Gamma, Gaussian, ParamError};
+use rand::RngCore;
+
+/// Student's t distribution with `ν` degrees of freedom — the
+/// heavy-tailed sibling of the Gaussian, used for robust error models and
+/// as the small-sample distribution of standardized means.
+///
+/// Sampled as `Z / √(V/ν)` with `Z ~ N(0,1)` and `V ~ χ²(ν) = Gamma(ν/2, 2)`.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, StudentT};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let t = StudentT::new(5.0)?;
+/// assert!((t.cdf(0.0) - 0.5).abs() < 1e-12);
+/// // Heavier tails than a Gaussian:
+/// let g = uncertain_dist::Gaussian::standard();
+/// assert!(1.0 - t.cdf(3.0) > 1.0 - g.cdf(3.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+    chi2: Gamma,
+    normal: Gaussian,
+}
+
+impl StudentT {
+    /// Creates a t distribution with `nu` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `nu` is positive and finite.
+    pub fn new(nu: f64) -> Result<Self, ParamError> {
+        if nu <= 0.0 || !nu.is_finite() {
+            return Err(ParamError::new(format!(
+                "degrees of freedom must be positive and finite, got {nu}"
+            )));
+        }
+        Ok(Self {
+            nu,
+            chi2: Gamma::new(nu / 2.0, 2.0).expect("validated above"),
+            normal: Gaussian::standard(),
+        })
+    }
+
+    /// Degrees of freedom ν.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+}
+
+impl Distribution<f64> for StudentT {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let z = self.normal.sample(rng);
+        let v = self.chi2.sample(rng);
+        z / (v / self.nu).sqrt()
+    }
+}
+
+impl Continuous for StudentT {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let nu = self.nu;
+        ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * core::f64::consts::PI).ln()
+            - (nu + 1.0) / 2.0 * (1.0 + x * x / nu).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        // Via the incomplete beta: F(x) = 1 − ½ I_{ν/(ν+x²)}(ν/2, 1/2) for x>0.
+        if x == 0.0 {
+            return 0.5;
+        }
+        let ib = reg_inc_beta(self.nu / 2.0, 0.5, self.nu / (self.nu + x * x));
+        if x > 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        // Defined for ν > 1; the symmetric center otherwise.
+        0.0
+    }
+
+    fn variance(&self) -> f64 {
+        if self.nu > 2.0 {
+            self.nu / (self.nu - 2.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_nu() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-3.0).is_err());
+    }
+
+    #[test]
+    fn nu_one_is_cauchy() {
+        // t(1) is the standard Cauchy: F(1) = 3/4.
+        let t = StudentT::new(1.0).unwrap();
+        assert!((t.cdf(1.0) - 0.75).abs() < 1e-9);
+        assert!((t.cdf(-1.0) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_critical_value() {
+        // t(10): Pr[T ≤ 1.812] ≈ 0.95.
+        let t = StudentT::new(10.0).unwrap();
+        assert!((t.cdf(1.8124611228107335) - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approaches_gaussian_for_large_nu() {
+        let t = StudentT::new(1000.0).unwrap();
+        let g = Gaussian::standard();
+        for &x in &[-2.0, -0.5, 0.7, 1.5] {
+            assert!((t.cdf(x) - g.cdf(x)).abs() < 2e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sample_variance_matches() {
+        let t = StudentT::new(8.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(48);
+        let n = 60_000;
+        let xs: Vec<f64> = (0..n).map(|_| t.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 8.0 / 6.0).abs() < 0.1, "var={var}");
+    }
+}

@@ -1,0 +1,267 @@
+//! The core distribution traits: sampling functions, densities and CDFs.
+
+use rand::RngCore;
+
+/// A *sampling function* over values of type `T` (paper §3.2/§4.1).
+///
+/// This is the paper's chosen representation for arbitrary distributions: a
+/// procedure that returns a fresh random draw on each invocation. Everything
+/// in the `Uncertain<T>` runtime — leaf nodes, ancestral sampling, hypothesis
+/// tests — is built on this trait.
+///
+/// Implementors must be `Send + Sync` so distributions can be shared across
+/// threads inside the (immutable) Bayesian network.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Distribution, Uniform};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let u = Uniform::new(0.0, 1.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = u.sample(&mut rng);
+/// assert!((0.0..1.0).contains(&x));
+/// # Ok(())
+/// # }
+/// ```
+pub trait Distribution<T>: Send + Sync {
+    /// Draws one sample from the distribution using `rng` as the randomness
+    /// source.
+    fn sample(&self, rng: &mut dyn RngCore) -> T;
+
+    /// Draws `n` samples into a fresh `Vec`.
+    ///
+    /// A convenience over repeated [`Distribution::sample`] calls; the
+    /// default implementation is almost always sufficient.
+    fn sample_n(&self, rng: &mut dyn RngCore, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Blanket impl so `&D`, `Box<D>` and `Arc<D>` are themselves distributions.
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample(&self, rng: &mut dyn RngCore) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for Box<D> {
+    fn sample(&self, rng: &mut dyn RngCore) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for std::sync::Arc<D> {
+    fn sample(&self, rng: &mut dyn RngCore) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// A continuous real-valued distribution with a density.
+///
+/// The case studies need densities as *likelihood functions* (BayesLife's
+/// posterior test, the GPS walking-speed prior) and CDFs for analytic checks
+/// in the test suite.
+pub trait Continuous: Distribution<f64> {
+    /// Natural log of the probability density at `x`.
+    ///
+    /// Returns `-∞` outside the support.
+    fn ln_pdf(&self, x: f64) -> f64;
+
+    /// Probability density at `x`; zero outside the support.
+    fn pdf(&self, x: f64) -> f64 {
+        self.ln_pdf(x).exp()
+    }
+
+    /// Cumulative distribution function `Pr[X ≤ x]`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+
+    /// Standard deviation (square root of [`Continuous::variance`]).
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Support of the distribution as a closed interval (may be infinite).
+    fn support(&self) -> (f64, f64) {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Quantile function (inverse CDF) at probability `p ∈ [0, 1]`.
+    ///
+    /// The default implementation inverts [`Continuous::cdf`] by bisection
+    /// over the support, expanding unbounded supports geometrically. Returns
+    /// `NaN` for `p` outside `[0, 1]`.
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        let (mut lo, mut hi) = self.support();
+        if p == 0.0 {
+            return lo;
+        }
+        if p == 1.0 {
+            return hi;
+        }
+        // Establish finite brackets.
+        if lo.is_infinite() {
+            lo = self.mean() - 1.0;
+            let mut step = 1.0;
+            while self.cdf(lo) > p {
+                lo -= step;
+                step *= 2.0;
+                if step > 1e300 {
+                    return f64::NEG_INFINITY;
+                }
+            }
+        }
+        if hi.is_infinite() {
+            hi = self.mean() + 1.0;
+            let mut step = 1.0;
+            while self.cdf(hi) < p {
+                hi += step;
+                step *= 2.0;
+                if step > 1e300 {
+                    return f64::INFINITY;
+                }
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo).abs() < 1e-12 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// A discrete distribution over integer counts with a probability mass
+/// function.
+pub trait Discrete: Distribution<u64> {
+    /// Natural log of the probability mass at `k`.
+    fn ln_pmf(&self, k: u64) -> f64;
+
+    /// Probability mass at `k`.
+    fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Cumulative mass `Pr[X ≤ k]`.
+    fn cdf(&self, k: u64) -> f64;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+}
+
+/// Wraps a closure as a [`Distribution`] — the literal "sampling function"
+/// of the paper, for cases where no named distribution fits.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Distribution, SamplingFn};
+/// use rand::{Rng, SeedableRng};
+///
+/// // A die roll as a bare sampling function.
+/// let die = SamplingFn::new(|rng| rng.gen_range(1..=6_u32));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let roll = die.sample(&mut rng);
+/// assert!((1..=6).contains(&roll));
+/// ```
+pub struct SamplingFn<T, F>
+where
+    F: Fn(&mut dyn RngCore) -> T + Send + Sync,
+{
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T, F> SamplingFn<T, F>
+where
+    F: Fn(&mut dyn RngCore) -> T + Send + Sync,
+{
+    /// Wraps `f` as a distribution.
+    pub fn new(f: F) -> Self {
+        Self {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, F> Distribution<T> for SamplingFn<T, F>
+where
+    F: Fn(&mut dyn RngCore) -> T + Send + Sync,
+{
+    fn sample(&self, rng: &mut dyn RngCore) -> T {
+        (self.f)(rng)
+    }
+}
+
+impl<T, F> std::fmt::Debug for SamplingFn<T, F>
+where
+    F: Fn(&mut dyn RngCore) -> T + Send + Sync,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplingFn").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Uniform;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_n_length_and_determinism() {
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let mut a = rand::rngs::StdRng::seed_from_u64(42);
+        let mut b = rand::rngs::StdRng::seed_from_u64(42);
+        let xs = u.sample_n(&mut a, 16);
+        let ys = u.sample_n(&mut b, 16);
+        assert_eq!(xs.len(), 16);
+        assert_eq!(xs, ys, "same seed must yield the same stream");
+    }
+
+    #[test]
+    #[allow(clippy::needless_borrows_for_generic_args)] // the borrow IS the point
+    fn references_and_boxes_are_distributions() {
+        fn takes_dist<D: Distribution<f64>>(d: D, rng: &mut dyn RngCore) -> f64 {
+            d.sample(rng)
+        }
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = takes_dist(&u, &mut rng);
+        let boxed: Box<dyn Distribution<f64>> = Box::new(u);
+        let _ = takes_dist(&*boxed, &mut rng);
+        let _ = takes_dist(boxed, &mut rng);
+    }
+
+    #[test]
+    fn default_quantile_inverts_cdf() {
+        let u = Uniform::new(2.0, 6.0).unwrap();
+        for &p in &[0.1, 0.25, 0.5, 0.9] {
+            let q = u.quantile(p);
+            assert!((u.cdf(q) - p).abs() < 1e-9, "p={p} q={q}");
+        }
+        assert!(u.quantile(-0.1).is_nan());
+        assert!(u.quantile(1.1).is_nan());
+    }
+}

@@ -1,0 +1,156 @@
+//! Triangular distribution.
+
+use crate::{Continuous, Distribution, ParamError};
+use rand::{Rng, RngCore};
+
+/// Triangular distribution on `[low, high]` with mode `peak`.
+///
+/// A cheap, bounded, unimodal prior that domain experts can state without
+/// any statistics background ("somewhere between 2 and 4 mph, usually 3") —
+/// the accessibility the paper's §3.5 asks of constraint abstractions.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, Triangular};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let t = Triangular::new(2.0, 3.0, 4.0)?;
+/// assert_eq!(t.mean(), 3.0);
+/// assert!(t.pdf(3.0) > t.pdf(2.2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangular {
+    low: f64,
+    peak: f64,
+    high: f64,
+}
+
+impl Triangular {
+    /// Creates a triangular distribution with support `[low, high]` and mode
+    /// `peak`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `low ≤ peak ≤ high`, `low < high`, and
+    /// all parameters are finite.
+    pub fn new(low: f64, peak: f64, high: f64) -> Result<Self, ParamError> {
+        if !low.is_finite() || !peak.is_finite() || !high.is_finite() {
+            return Err(ParamError::new("triangular parameters must be finite"));
+        }
+        if low >= high || peak < low || peak > high {
+            return Err(ParamError::new(format!(
+                "triangular requires low <= peak <= high and low < high, got ({low}, {peak}, {high})"
+            )));
+        }
+        Ok(Self { low, peak, high })
+    }
+
+    /// Mode of the distribution.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+}
+
+impl Distribution<f64> for Triangular {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.gen();
+        let f = (self.peak - self.low) / (self.high - self.low);
+        if u < f {
+            self.low + ((self.high - self.low) * (self.peak - self.low) * u).sqrt()
+        } else {
+            self.high - ((self.high - self.low) * (self.high - self.peak) * (1.0 - u)).sqrt()
+        }
+    }
+}
+
+impl Continuous for Triangular {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).ln()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let (a, c, b) = (self.low, self.peak, self.high);
+        if x < a || x > b {
+            0.0
+        } else if x < c {
+            2.0 * (x - a) / ((b - a) * (c - a))
+        } else if x == c {
+            2.0 / (b - a)
+        } else {
+            2.0 * (b - x) / ((b - a) * (b - c))
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let (a, c, b) = (self.low, self.peak, self.high);
+        if x <= a {
+            0.0
+        } else if x >= b {
+            1.0
+        } else if x <= c {
+            (x - a).powi(2) / ((b - a) * (c - a))
+        } else {
+            1.0 - (b - x).powi(2) / ((b - a) * (b - c))
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.low + self.peak + self.high) / 3.0
+    }
+
+    fn variance(&self) -> f64 {
+        let (a, c, b) = (self.low, self.peak, self.high);
+        (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.low, self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Triangular::new(0.0, -1.0, 2.0).is_err());
+        assert!(Triangular::new(0.0, 3.0, 2.0).is_err());
+        assert!(Triangular::new(2.0, 2.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_peak_at_bound_ok() {
+        // peak == low gives a decreasing ramp; still valid.
+        let t = Triangular::new(0.0, 0.0, 1.0).unwrap();
+        assert!(t.pdf(0.05) > t.pdf(0.9));
+    }
+
+    #[test]
+    fn samples_in_support_and_mean() {
+        let t = Triangular::new(1.0, 2.0, 6.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = t.sample(&mut rng);
+            assert!((1.0..=6.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn cdf_quantile_consistency() {
+        let t = Triangular::new(-1.0, 0.5, 2.0).unwrap();
+        for &p in &[0.1, 0.4, 0.7, 0.95] {
+            let q = t.quantile(p);
+            assert!((t.cdf(q) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Truncation of a continuous distribution to an interval.
+
+use crate::{Continuous, Distribution, ParamError};
+use rand::RngCore;
+use std::fmt;
+use std::sync::Arc;
+
+/// A continuous distribution truncated (and renormalized) to `[low, high]`.
+///
+/// Truncation is the simplest *constraint abstraction* from the paper's
+/// prior-knowledge discussion (§3.5): "humans are incredibly unlikely to
+/// walk at 60 mph" becomes a truncated walking-speed distribution. Sampling
+/// uses the inverse-CDF of the base distribution restricted to the interval,
+/// so it never rejects.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, Gaussian, Truncated};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let walking = Truncated::new(Arc::new(Gaussian::new(3.0, 1.0)?), 0.0, 6.0)?;
+/// assert_eq!(walking.support(), (0.0, 6.0));
+/// assert_eq!(walking.pdf(-1.0), 0.0);
+/// assert!(walking.pdf(3.0) > Gaussian::new(3.0, 1.0)?.pdf(3.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Truncated {
+    base: Arc<dyn Continuous>,
+    low: f64,
+    high: f64,
+    cdf_low: f64,
+    mass: f64,
+}
+
+impl Truncated {
+    /// Truncates `base` to `[low, high]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `low >= high` or the base distribution has
+    /// (numerically) zero mass on the interval.
+    pub fn new(base: Arc<dyn Continuous>, low: f64, high: f64) -> Result<Self, ParamError> {
+        if low >= high || low.is_nan() || high.is_nan() {
+            return Err(ParamError::new(format!(
+                "truncation requires low < high, got [{low}, {high}]"
+            )));
+        }
+        let cdf_low = base.cdf(low);
+        let mass = base.cdf(high) - cdf_low;
+        if mass <= 0.0 || mass.is_nan() {
+            return Err(ParamError::new(format!(
+                "base distribution has no mass on [{low}, {high}]"
+            )));
+        }
+        Ok(Self {
+            base,
+            low,
+            high,
+            cdf_low,
+            mass,
+        })
+    }
+
+    /// Lower truncation bound.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper truncation bound.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// The probability mass the base distribution had on the interval.
+    pub fn base_mass(&self) -> f64 {
+        self.mass
+    }
+}
+
+impl fmt::Debug for Truncated {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Truncated")
+            .field("low", &self.low)
+            .field("high", &self.high)
+            .field("base_mass", &self.mass)
+            .finish()
+    }
+}
+
+impl Distribution<f64> for Truncated {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        use rand::Rng;
+        let u: f64 = rng.gen();
+        let p = self.cdf_low + u * self.mass;
+        self.base.quantile(p).clamp(self.low, self.high)
+    }
+}
+
+impl Continuous for Truncated {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.low || x > self.high {
+            f64::NEG_INFINITY
+        } else {
+            self.base.ln_pdf(x) - self.mass.ln()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.low {
+            0.0
+        } else if x >= self.high {
+            1.0
+        } else {
+            (self.base.cdf(x) - self.cdf_low) / self.mass
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        // Numeric integration over the (finite) truncated support.
+        let n = 4096;
+        let dx = (self.high - self.low) / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = self.low + (i as f64 + 0.5) * dx;
+            acc += x * self.pdf(x) * dx;
+        }
+        acc
+    }
+
+    fn variance(&self) -> f64 {
+        let mean = self.mean();
+        let n = 4096;
+        let dx = (self.high - self.low) / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = self.low + (i as f64 + 0.5) * dx;
+            acc += (x - mean).powi(2) * self.pdf(x) * dx;
+        }
+        acc
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.low, self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gaussian;
+    use rand::SeedableRng;
+
+    fn trunc_normal() -> Truncated {
+        Truncated::new(Arc::new(Gaussian::new(0.0, 1.0).unwrap()), -1.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_interval() {
+        let g = Arc::new(Gaussian::new(0.0, 1.0).unwrap());
+        assert!(Truncated::new(g.clone(), 1.0, 1.0).is_err());
+        assert!(Truncated::new(g.clone(), 2.0, 1.0).is_err());
+        // No mass far in the tail.
+        assert!(Truncated::new(g, 50.0, 51.0).is_err());
+    }
+
+    #[test]
+    fn samples_in_bounds() {
+        let t = trunc_normal();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..2000 {
+            let x = t.sample(&mut rng);
+            assert!((-1.0..=2.0).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn density_renormalized() {
+        let t = trunc_normal();
+        // Integral of pdf over the support ≈ 1.
+        let n = 20_000;
+        let dx = 3.0 / n as f64;
+        let total: f64 = (0..n)
+            .map(|i| t.pdf(-1.0 + (i as f64 + 0.5) * dx) * dx)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-4, "total={total}");
+    }
+
+    #[test]
+    fn cdf_endpoints() {
+        let t = trunc_normal();
+        assert_eq!(t.cdf(-1.5), 0.0);
+        assert_eq!(t.cdf(2.5), 1.0);
+        assert!(t.cdf(0.0) > 0.0 && t.cdf(0.0) < 1.0);
+    }
+
+    #[test]
+    fn truncated_mean_shifts_toward_kept_mass() {
+        // Truncating N(0,1) to [0, 4] gives mean ≈ 0.798 (half-normal).
+        let t = Truncated::new(Arc::new(Gaussian::new(0.0, 1.0).unwrap()), 0.0, 8.0).unwrap();
+        let m = t.mean();
+        assert!((m - (2.0 / core::f64::consts::PI).sqrt()).abs() < 1e-3, "m={m}");
+    }
+
+    #[test]
+    fn sample_mean_matches_numeric_mean() {
+        let t = trunc_normal();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| t.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - t.mean()).abs() < 0.02, "{mean} vs {}", t.mean());
+    }
+}

@@ -1,0 +1,165 @@
+//! Continuous uniform distribution on `[low, high)`.
+
+use crate::{Continuous, Distribution, ParamError};
+use rand::{Rng, RngCore};
+
+/// Continuous uniform distribution on the half-open interval `[low, high)`.
+///
+/// A pseudo-random number generator *is* a sampling function for the uniform
+/// distribution (paper §4.1); this type is the typed wrapper around it.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{Continuous, Uniform};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let u = Uniform::new(-1.0, 3.0)?;
+/// assert_eq!(u.mean(), 1.0);
+/// assert!((u.cdf(0.0) - 0.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `low >= high` or either bound is not finite.
+    pub fn new(low: f64, high: f64) -> Result<Self, ParamError> {
+        if !low.is_finite() || !high.is_finite() {
+            return Err(ParamError::new(format!(
+                "uniform bounds must be finite, got [{low}, {high})"
+            )));
+        }
+        if low >= high {
+            return Err(ParamError::new(format!(
+                "uniform requires low < high, got [{low}, {high})"
+            )));
+        }
+        Ok(Self { low, high })
+    }
+
+    /// The standard uniform distribution on `[0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            low: 0.0,
+            high: 1.0,
+        }
+    }
+
+    /// Lower bound of the support.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound of the support.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.low + (self.high - self.low) * rng.gen::<f64>()
+    }
+}
+
+impl Continuous for Uniform {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x >= self.low && x < self.high {
+            -(self.high - self.low).ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.low {
+            0.0
+        } else if x >= self.high {
+            1.0
+        } else {
+            (x - self.low) / (self.high - self.low)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.low + self.high)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.low, self.high)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        self.low + p * (self.high - self.low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let u = Uniform::new(-2.0, 5.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic() {
+        let u = Uniform::new(0.0, 10.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| u.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn pdf_and_cdf() {
+        let u = Uniform::new(0.0, 4.0).unwrap();
+        assert!((u.pdf(2.0) - 0.25).abs() < 1e-12);
+        assert_eq!(u.pdf(-1.0), 0.0);
+        assert_eq!(u.pdf(4.5), 0.0);
+        assert_eq!(u.cdf(-1.0), 0.0);
+        assert_eq!(u.cdf(9.0), 1.0);
+        assert!((u.cdf(1.0) - 0.25).abs() < 1e-12);
+        assert!((u.variance() - 16.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_linear() {
+        let u = Uniform::new(2.0, 4.0).unwrap();
+        assert!((u.quantile(0.5) - 3.0).abs() < 1e-12);
+        assert!((u.quantile(0.0) - 2.0).abs() < 1e-12);
+        assert!((u.quantile(1.0) - 4.0).abs() < 1e-12);
+    }
+}

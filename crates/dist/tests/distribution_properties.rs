@@ -1,0 +1,182 @@
+//! Property-based audits of every distribution: sample moments match the
+//! analytic moments, CDFs are monotone and bounded, densities are
+//! non-negative, and quantiles invert CDFs — across randomized parameters.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use uncertain_dist::{
+    Bernoulli, Beta, Binomial, Continuous, Discrete, Distribution, Exponential, Gamma, Gaussian,
+    LogNormal, Poisson, Rayleigh, Rician, StudentT, Triangular, Uniform,
+};
+
+const N: usize = 8000;
+
+/// Checks sample mean/variance against analytic values with CLT-scaled
+/// tolerances.
+fn check_moments<D: Continuous>(dist: &D, seed: u64) -> Result<(), TestCaseError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let xs = dist.sample_n(&mut rng, N);
+    let mean = xs.iter().sum::<f64>() / N as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (N - 1) as f64;
+    let sd = dist.std_dev();
+    // Mean within 6 standard errors; variance within 30% (generous, for
+    // heavy-ish tails).
+    prop_assert!(
+        (mean - dist.mean()).abs() < 6.0 * sd / (N as f64).sqrt() + 1e-9,
+        "mean {mean} vs {}",
+        dist.mean()
+    );
+    prop_assert!(
+        (var - dist.variance()).abs() < 0.3 * dist.variance() + 1e-9,
+        "var {var} vs {}",
+        dist.variance()
+    );
+    Ok(())
+}
+
+/// Checks CDF monotonicity/bounds and quantile round-trips over the
+/// distribution's central region.
+fn check_cdf_quantile<D: Continuous>(dist: &D) -> Result<(), TestCaseError> {
+    let mut prev = 0.0;
+    for i in 0..=20 {
+        let p = i as f64 / 20.0;
+        let q = dist.quantile(p.clamp(0.01, 0.99));
+        let c = dist.cdf(q);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(c + 1e-6 >= prev, "cdf must be monotone");
+        prev = c;
+        prop_assert!(dist.pdf(q) >= 0.0, "density must be non-negative");
+    }
+    for &p in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+        let q = dist.quantile(p);
+        prop_assert!(
+            (dist.cdf(q) - p).abs() < 1e-6,
+            "quantile must invert cdf at p={p}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gaussian_properties(mu in -50.0_f64..50.0, sd in 0.1_f64..20.0, seed in 0u64..1000) {
+        let d = Gaussian::new(mu, sd).unwrap();
+        check_moments(&d, seed)?;
+        check_cdf_quantile(&d)?;
+    }
+
+    #[test]
+    fn uniform_properties(lo in -50.0_f64..0.0, w in 0.5_f64..100.0, seed in 0u64..1000) {
+        let d = Uniform::new(lo, lo + w).unwrap();
+        check_moments(&d, seed)?;
+        check_cdf_quantile(&d)?;
+    }
+
+    #[test]
+    fn rayleigh_properties(scale in 0.1_f64..20.0, seed in 0u64..1000) {
+        let d = Rayleigh::new(scale).unwrap();
+        check_moments(&d, seed)?;
+        check_cdf_quantile(&d)?;
+    }
+
+    #[test]
+    fn exponential_properties(rate in 0.05_f64..10.0, seed in 0u64..1000) {
+        let d = Exponential::new(rate).unwrap();
+        check_moments(&d, seed)?;
+        check_cdf_quantile(&d)?;
+    }
+
+    #[test]
+    fn gamma_properties(shape in 0.5_f64..10.0, scale in 0.2_f64..5.0, seed in 0u64..1000) {
+        let d = Gamma::new(shape, scale).unwrap();
+        check_moments(&d, seed)?;
+        check_cdf_quantile(&d)?;
+    }
+
+    #[test]
+    fn beta_properties(a in 0.5_f64..8.0, b in 0.5_f64..8.0, seed in 0u64..1000) {
+        let d = Beta::new(a, b).unwrap();
+        check_moments(&d, seed)?;
+        check_cdf_quantile(&d)?;
+    }
+
+    #[test]
+    fn lognormal_properties(mu in -1.0_f64..1.0, sigma in 0.1_f64..0.8, seed in 0u64..1000) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        check_moments(&d, seed)?;
+        check_cdf_quantile(&d)?;
+    }
+
+    #[test]
+    fn triangular_properties(lo in -10.0_f64..0.0, peak in 0.0_f64..5.0, hi in 5.0_f64..15.0, seed in 0u64..1000) {
+        let d = Triangular::new(lo, peak, hi).unwrap();
+        check_moments(&d, seed)?;
+        check_cdf_quantile(&d)?;
+    }
+
+    #[test]
+    fn rician_properties(nu in 0.0_f64..10.0, sigma in 0.3_f64..3.0, seed in 0u64..1000) {
+        let d = Rician::new(nu, sigma).unwrap();
+        check_moments(&d, seed)?;
+        // Rician CDF is numeric integration; spot-check bounds/monotonicity.
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let x = i as f64 * (nu + 4.0 * sigma) / 10.0;
+            let c = d.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c + 1e-6 >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn student_t_properties(nu in 3.0_f64..50.0, seed in 0u64..1000) {
+        let d = StudentT::new(nu).unwrap();
+        check_moments(&d, seed)?;
+        check_cdf_quantile(&d)?;
+    }
+
+    #[test]
+    fn bernoulli_frequency(p in 0.0_f64..1.0, seed in 0u64..1000) {
+        let d = Bernoulli::new(p).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let k = d.sample_n(&mut rng, N).into_iter().filter(|&b| b).count() as f64 / N as f64;
+        prop_assert!((k - p).abs() < 6.0 * (p * (1.0 - p) / N as f64).sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn binomial_matches_bernoulli_sum(n in 1u64..60, p in 0.05_f64..0.95, seed in 0u64..1000) {
+        let d = Binomial::new(n, p).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mean = d.sample_n(&mut rng, 4000).iter().sum::<u64>() as f64 / 4000.0;
+        prop_assert!(
+            (mean - d.mean()).abs() < 6.0 * (d.variance() / 4000.0).sqrt() + 0.05,
+            "mean {mean} vs {}",
+            d.mean()
+        );
+        // PMF sums to 1 over the support.
+        let total: f64 = (0..=n).map(|k| d.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_mean_variance(lambda in 0.2_f64..80.0, seed in 0u64..1000) {
+        let d = Poisson::new(lambda).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = d.sample_n(&mut rng, 4000).into_iter().map(|k| k as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!(
+            (mean - lambda).abs() < 6.0 * (lambda / 4000.0).sqrt() + 0.05,
+            "mean {mean} vs {lambda}"
+        );
+        // CDF via regularized gamma is monotone in k.
+        let mut prev = 0.0;
+        for k in 0..10 {
+            let c = d.cdf(k);
+            prop_assert!(c + 1e-12 >= prev && (0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The GPS-Walking application (paper Fig. 5).
+//!
+//! A fitness app that encourages walking faster than 4 mph. The naive
+//! version branches directly on a point estimate; the `Uncertain<T>`
+//! version evaluates evidence, and deliberately demands *stronger* evidence
+//! (90%) before admonishing the user — the developer chooses their own
+//! balance of false positives and negatives (§3.4).
+
+use uncertain_core::{EvalConfig, Sampler, Uncertain};
+
+/// What GPS-Walking says to the user after a speed measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// "Good job" — walking faster than 4 mph.
+    GoodJob,
+    /// "Speed up" — confidently walking slower than 4 mph.
+    SpeedUp,
+    /// Say nothing — the evidence is not strong enough either way (only
+    /// the uncertain version can choose this).
+    Silent,
+}
+
+/// The GPS-Walking application logic, in both variants of paper Fig. 5.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::{Sampler, Uncertain};
+/// use uncertain_gps::{Action, GpsWalking};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let app = GpsWalking::new(4.0);
+/// // Naive: any point estimate above 4 is "good job" — noise included.
+/// assert_eq!(app.naive_action(33.0), Action::GoodJob);
+///
+/// // Uncertain: confidently slow → SpeedUp.
+/// let mut s = Sampler::seeded(0);
+/// let slow = Uncertain::normal(1.0, 0.5)?;
+/// assert_eq!(app.uncertain_action(&slow, &mut s), Action::SpeedUp);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsWalking {
+    threshold_mph: f64,
+    admonish_confidence: f64,
+    config: EvalConfig,
+}
+
+impl GpsWalking {
+    /// Creates the app with the given target speed (the paper uses 4 mph)
+    /// and the default 0.9 confidence requirement for `SpeedUp`.
+    pub fn new(threshold_mph: f64) -> Self {
+        Self {
+            threshold_mph,
+            admonish_confidence: 0.9,
+            config: EvalConfig::default(),
+        }
+    }
+
+    /// Returns a copy demanding a different confidence before admonishing.
+    pub fn with_admonish_confidence(mut self, confidence: f64) -> Self {
+        self.admonish_confidence = confidence;
+        self
+    }
+
+    /// Returns a copy using a custom hypothesis-test configuration.
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The target speed in mph.
+    pub fn threshold_mph(&self) -> f64 {
+        self.threshold_mph
+    }
+
+    /// Fig. 5(a): the naive app. A point estimate above the threshold is
+    /// `GoodJob`, anything else `SpeedUp` — no third option, no notion of
+    /// evidence.
+    pub fn naive_action(&self, speed_mph: f64) -> Action {
+        if speed_mph > self.threshold_mph {
+            Action::GoodJob
+        } else {
+            Action::SpeedUp
+        }
+    }
+
+    /// Fig. 5(b): the `Uncertain<T>` app.
+    ///
+    /// ```text
+    /// if (Speed > 4)              GoodJob();   // implicit: more likely than not
+    /// else if ((Speed < 4).Pr(0.9)) SpeedUp(); // explicit: strong evidence only
+    /// else                        /* silent */
+    /// ```
+    pub fn uncertain_action(&self, speed: &Uncertain<f64>, sampler: &mut Sampler) -> Action {
+        let fast = speed.gt(self.threshold_mph);
+        if fast
+            .evaluate(0.5, sampler, &self.config)
+            .to_bool()
+        {
+            Action::GoodJob
+        } else if speed
+            .lt(self.threshold_mph)
+            .evaluate(self.admonish_confidence, sampler, &self.config)
+            .is_true()
+        {
+            Action::SpeedUp
+        } else {
+            Action::Silent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_is_binary() {
+        let app = GpsWalking::new(4.0);
+        assert_eq!(app.naive_action(4.1), Action::GoodJob);
+        assert_eq!(app.naive_action(3.9), Action::SpeedUp);
+        assert_eq!(app.naive_action(4.0), Action::SpeedUp);
+    }
+
+    #[test]
+    fn confident_fast_walker_gets_praise() {
+        let app = GpsWalking::new(4.0);
+        let mut s = Sampler::seeded(1);
+        let speed = Uncertain::normal(6.0, 0.5).unwrap();
+        assert_eq!(app.uncertain_action(&speed, &mut s), Action::GoodJob);
+    }
+
+    #[test]
+    fn confident_slow_walker_is_admonished() {
+        let app = GpsWalking::new(4.0);
+        let mut s = Sampler::seeded(2);
+        let speed = Uncertain::normal(2.0, 0.3).unwrap();
+        assert_eq!(app.uncertain_action(&speed, &mut s), Action::SpeedUp);
+    }
+
+    #[test]
+    fn borderline_slow_walker_is_left_alone() {
+        // Mean below 4 but with spread: not 90% sure they're slow, and not
+        // more-likely-than-not fast → stay silent. This branch does not
+        // exist in the naive app.
+        let app = GpsWalking::new(4.0);
+        let mut s = Sampler::seeded(3);
+        let speed = Uncertain::normal(3.7, 2.0).unwrap();
+        let mut silent = 0;
+        for _ in 0..20 {
+            if app.uncertain_action(&speed, &mut s) == Action::Silent {
+                silent += 1;
+            }
+        }
+        assert!(silent >= 15, "silent={silent}/20");
+    }
+
+    #[test]
+    fn lower_confidence_admonishes_more() {
+        let strict = GpsWalking::new(4.0); // 0.9
+        let lax = GpsWalking::new(4.0).with_admonish_confidence(0.55);
+        let speed = Uncertain::normal(3.3, 1.2).unwrap();
+        let mut s = Sampler::seeded(4);
+        let strict_speedups = (0..30)
+            .filter(|_| strict.uncertain_action(&speed, &mut s) == Action::SpeedUp)
+            .count();
+        let lax_speedups = (0..30)
+            .filter(|_| lax.uncertain_action(&speed, &mut s) == Action::SpeedUp)
+            .count();
+        assert!(
+            lax_speedups > strict_speedups,
+            "lax={lax_speedups} strict={strict_speedups}"
+        );
+    }
+}

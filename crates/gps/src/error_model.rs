@@ -1,0 +1,302 @@
+//! The paper's GPS error model (§4.1, Fig. 11).
+//!
+//! A GPS fix is a center point plus a 95% confidence radius ε ("horizontal
+//! accuracy"). The paper derives the posterior for the *true* location:
+//! its distance from the reported point follows `Rayleigh(ε / √ln 400)`
+//! with uniform direction — so the true location is *unlikely to be at the
+//! center* of the circle, and most likely at a fixed radius ρ from it.
+
+use crate::geo::GeoCoordinate;
+use uncertain_core::Uncertain;
+use uncertain_dist::{ParamError, Rayleigh, Uniform};
+
+/// Converts a 95% horizontal-accuracy radius ε (meters) to the Rayleigh
+/// scale ρ = ε/√ln 400 of the paper's GPS posterior.
+///
+/// # Examples
+///
+/// ```
+/// let rho = uncertain_gps::rho_from_accuracy(4.0);
+/// assert!((rho - 1.634).abs() < 1e-3);
+/// ```
+pub fn rho_from_accuracy(epsilon: f64) -> f64 {
+    epsilon / (400.0_f64).ln().sqrt()
+}
+
+/// The radius containing probability mass `confidence` of a Rayleigh with
+/// scale `rho`: `r = ρ·√(−2 ln(1 − c))`.
+///
+/// This is the conversion behind the paper's Fig. 2: the same error
+/// distribution drawn as a 95% circle (Windows Phone) or a 68% circle
+/// (Android) — the *smaller* circle can be the *less* accurate fix.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_gps::{radius_for_confidence, rho_from_accuracy};
+///
+/// let rho = rho_from_accuracy(4.0);
+/// // By construction, the 95% radius recovers ε.
+/// assert!((radius_for_confidence(rho, 0.95) - 4.0).abs() < 1e-9);
+/// // The 68% circle is visibly smaller for the same accuracy.
+/// assert!(radius_for_confidence(rho, 0.68) < 2.5);
+/// ```
+pub fn radius_for_confidence(rho: f64, confidence: f64) -> f64 {
+    rho * (-2.0 * (1.0 - confidence).ln()).sqrt()
+}
+
+/// One GPS fix: the reported point plus its 95% horizontal accuracy —
+/// exactly the fields of the Windows Phone API the paper quotes in §2.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::Sampler;
+/// use uncertain_gps::{GeoCoordinate, GpsReading};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fix = GpsReading::new(GeoCoordinate::new(47.0, -122.0), 4.0)?;
+/// // The uncertain location: a distribution, not a point.
+/// let location = fix.location();
+/// let mut s = Sampler::seeded(0);
+/// let sample = s.sample(&location);
+/// assert!(fix.center().distance_meters(&sample) < 20.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsReading {
+    center: GeoCoordinate,
+    accuracy: f64,
+}
+
+impl GpsReading {
+    /// Creates a reading from the reported point and the 95%
+    /// horizontal-accuracy radius (meters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `accuracy` is positive and finite.
+    pub fn new(center: GeoCoordinate, accuracy: f64) -> Result<Self, ParamError> {
+        if accuracy <= 0.0 || !accuracy.is_finite() {
+            return Err(ParamError::new(format!(
+                "horizontal accuracy must be positive and finite, got {accuracy}"
+            )));
+        }
+        Ok(Self { center, accuracy })
+    }
+
+    /// The reported point (what naive code treats as *the* location).
+    pub fn center(&self) -> GeoCoordinate {
+        self.center
+    }
+
+    /// The 95% horizontal-accuracy radius ε, in meters.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// The Rayleigh scale ρ of the location posterior.
+    pub fn rho(&self) -> f64 {
+        rho_from_accuracy(self.accuracy)
+    }
+
+    /// The paper's `GPS.GetLocation()` (Fig. 12): the posterior
+    /// distribution over the user's true location, as an
+    /// `Uncertain<GeoCoordinate>` whose sampling function draws a Rayleigh
+    /// radial distance and a uniform bearing around the reported point.
+    pub fn location(&self) -> Uncertain<GeoCoordinate> {
+        let center = self.center;
+        let radial = Rayleigh::new(self.rho()).expect("accuracy validated at construction");
+        let bearing = Uniform::new(0.0, 360.0).expect("static bounds are valid");
+        Uncertain::from_fn("GPS location", move |rng| {
+            use uncertain_dist::Distribution;
+            let r = radial.sample(rng);
+            let b = bearing.sample(rng);
+            center.destination(r, b)
+        })
+    }
+
+    /// Probability density of the true location being `point`, under the
+    /// radial Rayleigh model (per square meter, isotropic).
+    ///
+    /// The model "Rayleigh radial distance, uniform bearing" is exactly an
+    /// isotropic 2D Gaussian with per-axis σ = ρ, so this density is
+    /// `exp(−r²/2ρ²) / 2πρ²` — usable directly as a fusion likelihood.
+    pub fn density_at(&self, point: &GeoCoordinate) -> f64 {
+        let r = self.center.distance_meters(point);
+        let rho2 = self.rho() * self.rho();
+        (-r * r / (2.0 * rho2)).exp() / (2.0 * std::f64::consts::PI * rho2)
+    }
+
+    /// **Sensor fusion**: the posterior over the true location given *two*
+    /// independent fixes, `p(loc | a, b) ∝ p(a | loc) · p(b | loc)` —
+    /// Bayes' theorem made one line by `Uncertain<T>` (§3.5: abstractions
+    /// that capture only point estimates cannot do this).
+    ///
+    /// Implemented by importance-resampling this fix's posterior with the
+    /// other fix's likelihood. For two equal-accuracy fixes the fused
+    /// posterior centers midway between them with per-axis spread `ρ/√2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::Sampler;
+    /// use uncertain_gps::{GeoCoordinate, GpsReading};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let a = GpsReading::new(GeoCoordinate::new(47.6, -122.3), 8.0)?;
+    /// let b = GpsReading::new(a.center().destination(4.0, 90.0), 8.0)?;
+    /// let fused = a.fuse(&b);
+    /// let mut s = Sampler::seeded(0);
+    /// let midpoint = a.center().destination(2.0, 90.0);
+    /// let err = fused.expect_by(&mut s, 2000, |p| midpoint.distance_meters(p));
+    /// assert!(err < 8.0); // tighter than either individual fix
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn fuse(&self, other: &GpsReading) -> Uncertain<GeoCoordinate> {
+        let other = *other;
+        self.location()
+            .weight_by_k(move |p| other.density_at(p), 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_core::Sampler;
+
+    fn reading() -> GpsReading {
+        GpsReading::new(GeoCoordinate::new(47.6, -122.3), 4.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_accuracy() {
+        let c = GeoCoordinate::new(0.0, 0.0);
+        assert!(GpsReading::new(c, 0.0).is_err());
+        assert!(GpsReading::new(c, -4.0).is_err());
+        assert!(GpsReading::new(c, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ninety_five_percent_within_epsilon() {
+        // The defining property of ρ = ε/√ln400: 95% of posterior mass lies
+        // within ε of the reported point.
+        let r = reading();
+        let loc = r.location();
+        let mut s = Sampler::seeded(1);
+        let n = 10_000;
+        let inside = (0..n)
+            .filter(|_| {
+                let p = s.sample(&loc);
+                r.center().distance_meters(&p) <= r.accuracy()
+            })
+            .count() as f64
+            / n as f64;
+        assert!((inside - 0.95).abs() < 0.01, "inside={inside}");
+    }
+
+    #[test]
+    fn true_location_unlikely_at_center() {
+        // Fig. 11: the posterior mode is at radius ρ, not at the center.
+        let r = reading();
+        let loc = r.location();
+        let mut s = Sampler::seeded(2);
+        let n = 10_000;
+        let near_center = (0..n)
+            .filter(|_| {
+                let p = s.sample(&loc);
+                r.center().distance_meters(&p) <= 0.2
+            })
+            .count();
+        // With ρ ≈ 1.63 m, mass within 0.2 m of center is < 1%.
+        assert!(near_center < n / 50, "near_center={near_center}");
+    }
+
+    #[test]
+    fn direction_is_isotropic() {
+        let r = reading();
+        let loc = r.location();
+        let mut s = Sampler::seeded(3);
+        let n = 4000;
+        let east = (0..n)
+            .filter(|_| s.sample(&loc).longitude > r.center().longitude)
+            .count() as f64
+            / n as f64;
+        assert!((east - 0.5).abs() < 0.03, "east={east}");
+    }
+
+    #[test]
+    fn confidence_circle_conversion() {
+        // Fig. 2: a 95% circle of 4 m and a 68% circle of 4 m imply very
+        // different accuracies — the 68% one is ~1.7x worse.
+        let rho95 = rho_from_accuracy(4.0); // circle IS the 95% radius
+        let rho68 = 4.0 / (-2.0 * (1.0 - 0.68_f64).ln()).sqrt();
+        assert!(rho68 > 1.6 * rho95, "rho68={rho68} rho95={rho95}");
+        assert!((radius_for_confidence(rho95, 0.95) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_is_a_proper_2d_gaussian() {
+        // Integrates to 1 over the plane (polar integration).
+        let r = reading();
+        let mut total = 0.0;
+        let dr = 0.02;
+        let mut radius = dr / 2.0;
+        while radius < 25.0 {
+            let p = r.center().destination(radius, 45.0);
+            total += r.density_at(&p) * 2.0 * std::f64::consts::PI * radius * dr;
+            radius += dr;
+        }
+        assert!((total - 1.0).abs() < 1e-3, "total={total}");
+    }
+
+    #[test]
+    fn fusion_halves_the_variance() {
+        // Two identical-accuracy fixes at the same point: the fused
+        // posterior's radial spread shrinks by ≈ √2.
+        let a = reading();
+        let b = reading();
+        let fused = a.fuse(&b);
+        let single = a.location();
+        let mut s = Sampler::seeded(4);
+        let spread = |loc: &uncertain_core::Uncertain<GeoCoordinate>, s: &mut Sampler| {
+            let center = a.center();
+            (0..4000)
+                .map(|_| center.distance_meters(&s.sample(loc)).powi(2))
+                .sum::<f64>()
+                / 4000.0
+        };
+        let fused_ms = spread(&fused, &mut s);
+        let single_ms = spread(&single, &mut s);
+        let ratio = fused_ms / single_ms;
+        assert!((ratio - 0.5).abs() < 0.1, "ratio={ratio}");
+    }
+
+    #[test]
+    fn fusion_centers_between_disagreeing_fixes() {
+        let a = reading();
+        let b = GpsReading::new(a.center().destination(3.0, 90.0), 4.0).unwrap();
+        let fused = a.fuse(&b);
+        let midpoint = a.center().destination(1.5, 90.0);
+        let mut s = Sampler::seeded(5);
+        let mean_err = fused.expect_by(&mut s, 4000, |p| midpoint.distance_meters(p));
+        let a_err = fused.expect_by(&mut s, 4000, |p| a.center().distance_meters(p));
+        assert!(mean_err < a_err, "fused mass sits nearer the midpoint");
+    }
+
+    #[test]
+    fn density_peaks_near_rho() {
+        let r = reading();
+        let at = |d: f64| {
+            let p = r.center().destination(d, 90.0);
+            r.density_at(&p)
+        };
+        // The 2D density (radial Rayleigh / circumference) is monotone
+        // decreasing in r for this model, and finite everywhere off-center.
+        assert!(at(0.5) > at(3.0));
+        assert!(at(3.0) > at(8.0));
+        assert!(at(1.0).is_finite());
+    }
+}

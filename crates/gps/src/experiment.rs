@@ -1,0 +1,305 @@
+//! The full GPS-Walking experiment driver (paper Figs. 3 and 13, §5.1).
+//!
+//! Walks a synthetic user for `duration_s` seconds, reads the simulated
+//! GPS once per second, and computes the per-second speed three ways:
+//!
+//! 1. **naive** — point estimates only (Fig. 3 / Fig. 5a),
+//! 2. **expected** — `Speed.E()` over the uncertain speed (Fig. 13 "GPS
+//!    speed"),
+//! 3. **improved** — the uncertain speed reweighted by the walking-speed
+//!    prior (Fig. 13 "Improved speed").
+//!
+//! It also runs both versions of the app's conditionals and tallies the
+//! headline numbers the paper reports in prose: seconds spent "faster than
+//! 7 mph" (a running pace while walking) and the maximum absurd speed.
+
+use crate::app::{Action, GpsWalking};
+use crate::priors;
+use crate::sensor::SimulatedGps;
+use crate::speed::{naive_speed, uncertain_speed};
+use crate::trajectory::WalkSimulator;
+use uncertain_core::Sampler;
+use uncertain_dist::ParamError;
+
+/// One second of the experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkRecord {
+    /// Seconds since the start.
+    pub t: usize,
+    /// The walker's true speed (ground truth), mph.
+    pub true_speed: f64,
+    /// The naive point-estimate speed, mph.
+    pub naive_speed: f64,
+    /// `Speed.E()` of the uncertain speed, mph.
+    pub expected_speed: f64,
+    /// Expected value of the prior-improved speed, mph.
+    pub improved_speed: f64,
+    /// 95% coverage interval of the uncertain speed, mph.
+    pub interval_95: (f64, f64),
+    /// 95% coverage interval of the improved speed, mph.
+    pub improved_interval_95: (f64, f64),
+    /// What the naive app said this second.
+    pub naive_action: Action,
+    /// What the uncertain app said this second.
+    pub uncertain_action: Action,
+}
+
+/// Aggregated results of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkResult {
+    /// Per-second records (one per second from t = 1).
+    pub records: Vec<WalkRecord>,
+}
+
+impl WalkResult {
+    /// Mean of a per-record field.
+    fn mean_of(&self, f: impl Fn(&WalkRecord) -> f64) -> f64 {
+        self.records.iter().map(&f).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Mean naive speed (the paper's data averaged 3.5 mph for a 3 mph
+    /// walk).
+    pub fn mean_naive_speed(&self) -> f64 {
+        self.mean_of(|r| r.naive_speed)
+    }
+
+    /// Mean of `Speed.E()`.
+    pub fn mean_expected_speed(&self) -> f64 {
+        self.mean_of(|r| r.expected_speed)
+    }
+
+    /// Mean prior-improved speed.
+    pub fn mean_improved_speed(&self) -> f64 {
+        self.mean_of(|r| r.improved_speed)
+    }
+
+    /// Seconds a given speed series spent above `mph`.
+    pub fn seconds_above(&self, mph: f64, series: impl Fn(&WalkRecord) -> f64) -> usize {
+        self.records.iter().filter(|r| series(r) > mph).count()
+    }
+
+    /// The largest value of a series (e.g. the paper's absurd 59 mph).
+    pub fn max_of(&self, series: impl Fn(&WalkRecord) -> f64) -> f64 {
+        self.records
+            .iter()
+            .map(series)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean width of the 95% interval of the raw uncertain speed.
+    pub fn mean_interval_width(&self) -> f64 {
+        self.mean_of(|r| r.interval_95.1 - r.interval_95.0)
+    }
+
+    /// Mean width of the 95% interval of the prior-improved speed.
+    pub fn mean_improved_interval_width(&self) -> f64 {
+        self.mean_of(|r| r.improved_interval_95.1 - r.improved_interval_95.0)
+    }
+
+    /// How often an action was chosen by the naive app.
+    pub fn naive_action_count(&self, action: Action) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.naive_action == action)
+            .count()
+    }
+
+    /// How often an action was chosen by the uncertain app.
+    pub fn uncertain_action_count(&self, action: Action) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.uncertain_action == action)
+            .count()
+    }
+}
+
+/// Configuration of one GPS-Walking experiment run.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_gps::WalkExperiment;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let result = WalkExperiment::new(4.0, 60, 42).samples_per_estimate(100).run()?;
+/// assert_eq!(result.records.len(), 60);
+/// // Naive speed occasionally looks like running even though the user
+/// // walks at 3 mph.
+/// assert!(result.max_of(|r| r.naive_speed) > 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkExperiment {
+    accuracy: f64,
+    duration_s: usize,
+    seed: u64,
+    true_speed_mph: f64,
+    samples_per_estimate: usize,
+    error_correlation: f64,
+    glitch_rate: f64,
+}
+
+impl WalkExperiment {
+    /// Creates an experiment with GPS accuracy ε (meters), a duration in
+    /// seconds, and a deterministic seed. The walker moves at the paper's
+    /// 3 mph.
+    pub fn new(accuracy: f64, duration_s: usize, seed: u64) -> Self {
+        Self {
+            accuracy,
+            duration_s,
+            seed,
+            true_speed_mph: 3.0,
+            samples_per_estimate: 300,
+            // Realistic per-second GPS error: strongly time-correlated
+            // drift with occasional multipath glitches (the source of the
+            // paper's absurd 59 mph readings). See SimulatedGps::read_sequence.
+            error_correlation: 0.85,
+            glitch_rate: 0.01,
+        }
+    }
+
+    /// Returns a copy with different error-correlation dynamics
+    /// (`correlation ∈ [0,1)`, `glitch_rate ∈ [0,1]`).
+    pub fn error_dynamics(mut self, correlation: f64, glitch_rate: f64) -> Self {
+        self.error_correlation = correlation;
+        self.glitch_rate = glitch_rate;
+        self
+    }
+
+    /// Returns a copy with a different true walking speed.
+    pub fn true_speed(mut self, mph: f64) -> Self {
+        self.true_speed_mph = mph;
+        self
+    }
+
+    /// Returns a copy with a different per-second sample budget for the
+    /// `E`/stats evaluations.
+    pub fn samples_per_estimate(mut self, n: usize) -> Self {
+        self.samples_per_estimate = n;
+        self
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the configured accuracy is invalid.
+    pub fn run(&self) -> Result<WalkResult, ParamError> {
+        let walk = WalkSimulator::new(self.true_speed_mph, self.duration_s, self.seed);
+        let positions = walk.positions();
+        let gps = SimulatedGps::new(self.accuracy)?;
+        let app = GpsWalking::new(4.0);
+        let mut sampler = Sampler::seeded(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        // Take one fix per second, with time-correlated error.
+        let truths: Vec<_> = positions.iter().map(|p| p.position).collect();
+        let fixes = gps.read_sequence(
+            &truths,
+            self.error_correlation,
+            self.glitch_rate,
+            sampler.rng(),
+        );
+
+        let mut records = Vec::with_capacity(self.duration_s);
+        for t in 1..positions.len() {
+            let speed = uncertain_speed(&fixes[t - 1], &fixes[t], 1.0);
+            let improved =
+                priors::posterior_speed(&fixes[t - 1], &fixes[t], 1.0, priors::walking_speed());
+            let stats = speed
+                .stats_with(&mut sampler, self.samples_per_estimate)
+                .expect("speed samples are finite");
+            let improved_stats = improved
+                .stats_with(&mut sampler, self.samples_per_estimate)
+                .expect("improved-speed samples are finite");
+            records.push(WalkRecord {
+                t,
+                true_speed: positions[t].speed_mph,
+                naive_speed: naive_speed(&fixes[t - 1], &fixes[t], 1.0),
+                expected_speed: stats.mean(),
+                improved_speed: improved_stats.mean(),
+                interval_95: stats.coverage_interval(0.95),
+                improved_interval_95: improved_stats.coverage_interval(0.95),
+                naive_action: app.naive_action(naive_speed(&fixes[t - 1], &fixes[t], 1.0)),
+                uncertain_action: app.uncertain_action(&improved, &mut sampler),
+            });
+        }
+        Ok(WalkResult { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_run() -> WalkResult {
+        WalkExperiment::new(4.0, 120, 7)
+            .samples_per_estimate(150)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn record_count_matches_duration() {
+        let r = quick_run();
+        assert_eq!(r.records.len(), 120);
+    }
+
+    #[test]
+    fn naive_speed_is_noisy_and_biased_up() {
+        let r = quick_run();
+        // True speed is 3 mph; naive mean is biased upward by compounded
+        // error (paper observed 3.5 mph) and has absurd outliers.
+        assert!(r.mean_naive_speed() > 3.2, "{}", r.mean_naive_speed());
+        assert!(
+            r.max_of(|rec| rec.naive_speed) > 8.0,
+            "max naive = {}",
+            r.max_of(|rec| rec.naive_speed)
+        );
+    }
+
+    #[test]
+    fn prior_improves_speed_estimates() {
+        let r = quick_run();
+        let naive_err = r
+            .records
+            .iter()
+            .map(|rec| (rec.naive_speed - rec.true_speed).abs())
+            .sum::<f64>()
+            / r.records.len() as f64;
+        let improved_err = r
+            .records
+            .iter()
+            .map(|rec| (rec.improved_speed - rec.true_speed).abs())
+            .sum::<f64>()
+            / r.records.len() as f64;
+        assert!(
+            improved_err < naive_err / 2.0,
+            "naive err {naive_err:.2} vs improved {improved_err:.2}"
+        );
+    }
+
+    #[test]
+    fn prior_tightens_intervals() {
+        let r = quick_run();
+        assert!(
+            r.mean_improved_interval_width() < r.mean_interval_width() / 2.0,
+            "raw {} vs improved {}",
+            r.mean_interval_width(),
+            r.mean_improved_interval_width()
+        );
+    }
+
+    #[test]
+    fn uncertain_app_avoids_false_praise() {
+        // The user truly walks at 3 mph (< 4): every GoodJob is a false
+        // positive. The uncertain app must produce far fewer than naive.
+        let r = quick_run();
+        let naive_fp = r.naive_action_count(Action::GoodJob);
+        let uncertain_fp = r.uncertain_action_count(Action::GoodJob);
+        assert!(
+            uncertain_fp * 2 < naive_fp.max(1),
+            "naive FP {naive_fp}, uncertain FP {uncertain_fp}"
+        );
+    }
+}

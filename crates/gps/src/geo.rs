@@ -1,0 +1,162 @@
+//! Geographic coordinates and geodesy.
+
+use std::fmt;
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// A latitude/longitude pair in degrees — the paper's `GeoCoordinate`,
+/// "a pair of doubles (latitude and longitude), and so … numeric"
+/// (Fig. 5 caption).
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_gps::GeoCoordinate;
+///
+/// let redmond = GeoCoordinate::new(47.674, -122.121);
+/// let nearby = redmond.destination(100.0, 90.0); // 100 m due east
+/// let d = redmond.distance_meters(&nearby);
+/// assert!((d - 100.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoCoordinate {
+    /// Latitude in degrees, positive north.
+    pub latitude: f64,
+    /// Longitude in degrees, positive east.
+    pub longitude: f64,
+}
+
+impl GeoCoordinate {
+    /// Creates a coordinate from degrees.
+    pub fn new(latitude: f64, longitude: f64) -> Self {
+        Self {
+            latitude,
+            longitude,
+        }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in meters.
+    pub fn distance_meters(&self, other: &GeoCoordinate) -> f64 {
+        let lat1 = self.latitude.to_radians();
+        let lat2 = other.latitude.to_radians();
+        let dlat = (other.latitude - self.latitude).to_radians();
+        let dlon = (other.longitude - self.longitude).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Initial great-circle bearing toward `other`, in degrees clockwise
+    /// from north, normalized to `[0, 360)`.
+    pub fn bearing_to(&self, other: &GeoCoordinate) -> f64 {
+        let lat1 = self.latitude.to_radians();
+        let lat2 = other.latitude.to_radians();
+        let dlon = (other.longitude - self.longitude).to_radians();
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        (y.atan2(x).to_degrees() + 360.0) % 360.0
+    }
+
+    /// The point `distance_m` meters away along `bearing_deg` (degrees
+    /// clockwise from north), on the great circle.
+    pub fn destination(&self, distance_m: f64, bearing_deg: f64) -> GeoCoordinate {
+        let ang = distance_m / EARTH_RADIUS_M;
+        let bearing = bearing_deg.to_radians();
+        let lat1 = self.latitude.to_radians();
+        let lon1 = self.longitude.to_radians();
+        let lat2 =
+            (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * bearing.cos()).asin();
+        let lon2 = lon1
+            + (bearing.sin() * ang.sin() * lat1.cos())
+                .atan2(ang.cos() - lat1.sin() * lat2.sin());
+        GeoCoordinate {
+            latitude: lat2.to_degrees(),
+            longitude: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0,
+        }
+    }
+}
+
+impl fmt::Display for GeoCoordinate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}°, {:.6}°)", self.latitude, self.longitude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEATTLE: GeoCoordinate = GeoCoordinate {
+        latitude: 47.6062,
+        longitude: -122.3321,
+    };
+    const PORTLAND: GeoCoordinate = GeoCoordinate {
+        latitude: 45.5152,
+        longitude: -122.6784,
+    };
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        assert_eq!(SEATTLE.distance_meters(&SEATTLE), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let ab = SEATTLE.distance_meters(&PORTLAND);
+        let ba = PORTLAND.distance_meters(&SEATTLE);
+        assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seattle_portland_distance() {
+        // Known ≈ 233 km great-circle.
+        let d = SEATTLE.distance_meters(&PORTLAND);
+        assert!((d - 233_000.0).abs() < 3_000.0, "d={d}");
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        for bearing in [0.0, 45.0, 90.0, 180.0, 270.0, 333.0] {
+            let p = SEATTLE.destination(500.0, bearing);
+            let d = SEATTLE.distance_meters(&p);
+            assert!((d - 500.0).abs() < 0.05, "bearing {bearing}: d={d}");
+            let back = SEATTLE.bearing_to(&p);
+            assert!(
+                (back - bearing).abs() < 0.1 || (back - bearing).abs() > 359.9,
+                "bearing {bearing} vs {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_displacements_are_locally_euclidean() {
+        let east = SEATTLE.destination(30.0, 90.0);
+        let north = SEATTLE.destination(40.0, 0.0);
+        // 30-40-50 triangle.
+        let d = east.distance_meters(&north);
+        assert!((d - 50.0).abs() < 0.05, "d={d}");
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let north = SEATTLE.destination(100.0, 0.0);
+        let east = SEATTLE.destination(100.0, 90.0);
+        let b_north = SEATTLE.bearing_to(&north);
+        assert!(!(0.01..=359.99).contains(&b_north), "b_north={b_north}");
+        assert!((SEATTLE.bearing_to(&east) - 90.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn longitude_normalized() {
+        let near_dateline = GeoCoordinate::new(0.0, 179.9999);
+        let p = near_dateline.destination(10_000.0, 90.0);
+        assert!((-180.0..=180.0).contains(&p.longitude));
+    }
+
+    #[test]
+    fn display_format() {
+        let s = format!("{SEATTLE}");
+        assert!(s.contains("47.6062"));
+    }
+}

@@ -1,0 +1,43 @@
+//! GPS substrate and the **GPS-Walking** case study (paper §2, §4.1, §5.1).
+//!
+//! The paper's motivating example: smartphone GPS returns an estimated
+//! location plus a "horizontal accuracy" that almost every application
+//! ignores, and computing speed from two such estimates compounds the error
+//! into absurdities (59 mph while walking). This crate builds everything
+//! that experiment needs, from scratch:
+//!
+//! * [`GeoCoordinate`] and geodesy (haversine distance, destination points),
+//! * the paper's GPS error model — the posterior
+//!   `Rayleigh(ε / √ln 400)` over distance from the reported point
+//!   ([`GpsReading::location`], §4.1, Fig. 11),
+//! * a **simulated sensor** over synthetic walking trajectories
+//!   ([`WalkSimulator`], [`SimulatedGps`]) substituting for the authors'
+//!   phone traces (see DESIGN.md §4 — the effects reproduced are properties
+//!   of the error model, not of a particular trace),
+//! * speed computation both ways ([`naive_speed`], [`uncertain_speed`]),
+//! * walking-speed priors ([`priors`]) that remove the absurd values
+//!   (Fig. 13),
+//! * the GPS-Walking application itself ([`GpsWalking`], Fig. 5) and the
+//!   full experiment driver ([`WalkExperiment`]) behind Figs. 3 and 13.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod app;
+mod error_model;
+mod experiment;
+mod geo;
+pub mod priors;
+mod roads;
+mod sensor;
+mod speed;
+mod trajectory;
+
+pub use app::{Action, GpsWalking};
+pub use error_model::{radius_for_confidence, rho_from_accuracy, GpsReading};
+pub use experiment::{WalkExperiment, WalkRecord, WalkResult};
+pub use geo::{GeoCoordinate, EARTH_RADIUS_M};
+pub use roads::RoadMap;
+pub use sensor::SimulatedGps;
+pub use speed::{naive_speed, ticket_probability, uncertain_speed, MPS_TO_MPH};
+pub use trajectory::{TruePosition, WalkSimulator};

@@ -1,0 +1,201 @@
+//! Preset prior distributions for GPS quantities (paper §3.5, §5.1).
+//!
+//! "Expert developers add preset prior distributions to their libraries for
+//! common cases. For example, GPS libraries would include priors for
+//! driving (roads and driving speeds), walking (walking speeds), and being
+//! on land." This module is that library: named constructors for the speed
+//! priors, plus the one-line `apply` that turns a raw speed estimate into a
+//! prior-improved posterior (Fig. 13's "Improved speed").
+
+use crate::error_model::GpsReading;
+use crate::speed::MPS_TO_MPH;
+use std::sync::Arc;
+use uncertain_core::Uncertain;
+use uncertain_dist::{Continuous, Gaussian, Rician, Truncated};
+
+/// Prior over plausible *walking* speeds (mph): a Gaussian centered at the
+/// typical 3 mph, truncated to `[0, 8]` — "humans are incredibly unlikely
+/// to walk at 60 mph or even 10 mph" (§5.1).
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::Continuous;
+/// let prior = uncertain_gps::priors::walking_speed();
+/// assert!(prior.pdf(3.0) > prior.pdf(7.0));
+/// assert_eq!(prior.pdf(20.0), 0.0);
+/// ```
+pub fn walking_speed() -> Truncated {
+    Truncated::new(
+        Arc::new(Gaussian::new(3.0, 1.5).expect("static parameters are valid")),
+        0.0,
+        8.0,
+    )
+    .expect("static truncation bounds are valid")
+}
+
+/// Prior over plausible *running* speeds (mph): centered at 6 mph,
+/// truncated to `[2, 14]`.
+pub fn running_speed() -> Truncated {
+    Truncated::new(
+        Arc::new(Gaussian::new(6.0, 2.0).expect("static parameters are valid")),
+        2.0,
+        14.0,
+    )
+    .expect("static truncation bounds are valid")
+}
+
+/// Prior over plausible urban *driving* speeds (mph): centered at 30 mph,
+/// truncated to `[0, 90]`.
+pub fn driving_speed() -> Truncated {
+    Truncated::new(
+        Arc::new(Gaussian::new(30.0, 15.0).expect("static parameters are valid")),
+        0.0,
+        90.0,
+    )
+    .expect("static truncation bounds are valid")
+}
+
+/// Applies a speed prior to a raw speed estimate:
+/// `posterior ∝ likelihood × prior` by importance resampling.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::{Sampler, Uncertain};
+/// use uncertain_gps::priors;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A speed estimate so noisy it allows 59 mph while walking…
+/// let raw = Uncertain::normal(5.0, 20.0)?;
+/// let improved = priors::apply(&raw, priors::walking_speed());
+/// let mut s = Sampler::seeded(0);
+/// // …is pulled back into the plausible range.
+/// let e = improved.expected_value_with(&mut s, 2000);
+/// assert!(e >= 0.0 && e <= 8.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn apply(speed: &Uncertain<f64>, prior: impl Continuous + 'static) -> Uncertain<f64> {
+    speed.with_prior(prior)
+}
+
+/// The full Bayesian speed posterior for a pair of GPS fixes:
+/// samples the *prior* over speeds and weights by the *likelihood* of the
+/// observed displacement (the structure of Park et al.'s `bayes` operator,
+/// which the paper cites as the way forward for composable priors, §3.5).
+///
+/// Unlike [`apply`] — which resamples the likelihood and can only keep
+/// values the noisy estimate happens to produce — this form stays inside
+/// the prior's support even when a multipath glitch puts the measured
+/// displacement far outside it, which is exactly the paper's "remove the
+/// absurd 59 mph" scenario (Fig. 13).
+///
+/// The likelihood is the *exact* error model: given a true movement of
+/// length `s·dt`, the observed displacement between two fixes with
+/// isotropic per-axis noise `ρ₁, ρ₂` is `Rician(s·dt, √(ρ₁² + ρ₂²))` —
+/// implemented with the overflow-safe Bessel machinery in
+/// `uncertain-dist`.
+///
+/// # Panics
+///
+/// Panics if `dt_seconds` is not strictly positive.
+pub fn posterior_speed(
+    from: &GpsReading,
+    to: &GpsReading,
+    dt_seconds: f64,
+    prior: impl Continuous + 'static,
+) -> Uncertain<f64> {
+    assert!(dt_seconds > 0.0, "dt must be positive");
+    let d_obs = from.center().distance_meters(&to.center());
+    // Per-axis noise of the displacement between the two fixes.
+    let sigma = (from.rho().powi(2) + to.rho().powi(2)).sqrt().max(1e-6);
+    let ln_likelihood = move |s: &f64| {
+        let expected_m = (s.max(0.0)) / MPS_TO_MPH * dt_seconds;
+        match Rician::new(expected_m, sigma) {
+            Ok(rician) => rician.ln_pdf(d_obs),
+            Err(_) => f64::NEG_INFINITY,
+        }
+    };
+    // Log-space weighting: a 100 m multipath glitch makes every candidate's
+    // raw likelihood underflow, but the *relative* log-likelihoods still
+    // rank candidates correctly.
+    Uncertain::from_distribution(prior).weight_by_ln_k(ln_likelihood, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_core::Sampler;
+
+    #[test]
+    fn walking_prior_bounds() {
+        let p = walking_speed();
+        assert_eq!(p.support(), (0.0, 8.0));
+        assert!(p.pdf(3.0) > 0.0);
+        assert_eq!(p.pdf(-1.0), 0.0);
+        assert_eq!(p.pdf(9.0), 0.0);
+    }
+
+    #[test]
+    fn priors_are_ordered_by_speed() {
+        let w = walking_speed();
+        let r = running_speed();
+        let d = driving_speed();
+        assert!(w.mean() < r.mean());
+        assert!(r.mean() < d.mean());
+    }
+
+    #[test]
+    fn applying_prior_removes_absurd_speeds() {
+        // A raw estimate with heavy mass above 10 mph.
+        let raw = Uncertain::normal(3.0, 10.0).unwrap();
+        let improved = apply(&raw, walking_speed());
+        let mut s = Sampler::seeded(1);
+        let absurd = (0..2000).filter(|_| s.sample(&improved) > 10.0).count();
+        assert_eq!(absurd, 0, "no sample may exceed the prior's support");
+    }
+
+    #[test]
+    fn posterior_speed_stays_in_prior_support() {
+        use crate::geo::GeoCoordinate;
+        // A multipath glitch: the fixes are 30 m apart over one second
+        // (67 mph!), yet the walking posterior must stay ≤ 8 mph.
+        let a = GpsReading::new(GeoCoordinate::new(47.6, -122.3), 4.0).unwrap();
+        let b = GpsReading::new(a.center().destination(30.0, 45.0), 4.0).unwrap();
+        let post = posterior_speed(&a, &b, 1.0, walking_speed());
+        let mut s = Sampler::seeded(3);
+        for _ in 0..500 {
+            let v = s.sample(&post);
+            assert!((0.0..=8.0).contains(&v), "v={v}");
+        }
+        // And the evidence pushes toward the fast end of the support.
+        let e = post.expected_value_with(&mut s, 2000);
+        assert!(e > 3.0, "glitch should pull the posterior up: e={e}");
+    }
+
+    #[test]
+    fn posterior_speed_tracks_consistent_observations() {
+        use crate::geo::GeoCoordinate;
+        // Fixes 1.3 m apart (a genuine 3 mph step): posterior ≈ prior mean.
+        let a = GpsReading::new(GeoCoordinate::new(47.6, -122.3), 4.0).unwrap();
+        let b = GpsReading::new(a.center().destination(1.3, 45.0), 4.0).unwrap();
+        let post = posterior_speed(&a, &b, 1.0, walking_speed());
+        let mut s = Sampler::seeded(4);
+        let e = post.expected_value_with(&mut s, 2000);
+        assert!((e - 3.0).abs() < 1.0, "e={e}");
+    }
+
+    #[test]
+    fn prior_tightens_confidence_interval() {
+        let raw = Uncertain::normal(3.0, 8.0).unwrap();
+        let improved = apply(&raw, walking_speed());
+        let mut s = Sampler::seeded(2);
+        let raw_sd = raw.stats_with(&mut s, 3000).unwrap().std_dev();
+        let improved_sd = improved.stats_with(&mut s, 3000).unwrap().std_dev();
+        assert!(
+            improved_sd < raw_sd / 2.0,
+            "raw σ={raw_sd:.2}, improved σ={improved_sd:.2}"
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Road-snapping priors over locations (paper §3.5, Fig. 10).
+//!
+//! "A developer working with GPS can provide a prior distribution that
+//! assigns high probabilities to roads and lower probabilities elsewhere.
+//! This prior distribution achieves a 'road-snapping' behavior, fixing the
+//! user's location to nearby roads unless GPS evidence to the contrary is
+//! very strong." This module is that prior: a polyline road map plus a
+//! distance-based density applied to an `Uncertain<GeoCoordinate>` by
+//! importance resampling — the posterior mean shifts from the raw fix `p`
+//! toward the snapped point `s`, exactly the figure's geometry.
+
+use crate::geo::GeoCoordinate;
+use uncertain_core::Uncertain;
+use uncertain_dist::ParamError;
+
+/// A road network as a set of great-circle-short segments (endpoints in
+/// degrees). Segments are short enough in practice (city blocks) that a
+/// local equirectangular projection is exact to well under GPS noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadMap {
+    segments: Vec<(GeoCoordinate, GeoCoordinate)>,
+}
+
+impl RoadMap {
+    /// Creates a road map from line segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `segments` is empty or any segment is
+    /// degenerate (identical endpoints).
+    pub fn new(segments: Vec<(GeoCoordinate, GeoCoordinate)>) -> Result<Self, ParamError> {
+        if segments.is_empty() {
+            return Err(ParamError::new("road map needs at least one segment"));
+        }
+        for (a, b) in &segments {
+            if a == b {
+                return Err(ParamError::new(format!(
+                    "degenerate road segment at {a}"
+                )));
+            }
+        }
+        Ok(Self { segments })
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the map has no segments (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Distance in meters from `point` to the nearest road.
+    pub fn distance_to_road(&self, point: &GeoCoordinate) -> f64 {
+        self.segments
+            .iter()
+            .map(|(a, b)| point_segment_distance(point, a, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Applies the road prior to an uncertain location: candidates near a
+    /// road carry weight `≈ 1`, candidates `d` meters away carry
+    /// `exp(−d²/2σ²) + background` — the `background` floor keeps truly
+    /// off-road evidence representable ("unless GPS evidence to the
+    /// contrary is very strong").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `road_sigma > 0` and `background ≥ 0`.
+    pub fn snap(
+        &self,
+        location: &Uncertain<GeoCoordinate>,
+        road_sigma: f64,
+        background: f64,
+    ) -> Uncertain<GeoCoordinate> {
+        assert!(road_sigma > 0.0, "road sigma must be positive");
+        assert!(background >= 0.0, "background weight must be non-negative");
+        let map = self.clone();
+        location.weight_by_k(
+            move |p| {
+                let d = map.distance_to_road(p);
+                (-0.5 * (d / road_sigma).powi(2)).exp() + background
+            },
+            32,
+        )
+    }
+}
+
+/// Point-to-segment distance in meters using a local equirectangular
+/// projection centered on the query point.
+fn point_segment_distance(p: &GeoCoordinate, a: &GeoCoordinate, b: &GeoCoordinate) -> f64 {
+    let meters_per_deg_lat = std::f64::consts::PI * crate::geo::EARTH_RADIUS_M / 180.0;
+    let meters_per_deg_lon = meters_per_deg_lat * p.latitude.to_radians().cos();
+    let to_xy = |g: &GeoCoordinate| {
+        (
+            (g.longitude - p.longitude) * meters_per_deg_lon,
+            (g.latitude - p.latitude) * meters_per_deg_lat,
+        )
+    };
+    let (ax, ay) = to_xy(a);
+    let (bx, by) = to_xy(b);
+    // p is the origin of the local frame.
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        (-(ax * dx + ay * dy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    (cx * cx + cy * cy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_model::GpsReading;
+    use uncertain_core::Sampler;
+
+    /// A straight east-west road through the reference point.
+    fn straight_road() -> RoadMap {
+        let c = GeoCoordinate::new(47.6, -122.3);
+        RoadMap::new(vec![(c.destination(500.0, 270.0), c.destination(500.0, 90.0))]).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_maps() {
+        assert!(RoadMap::new(vec![]).is_err());
+        let p = GeoCoordinate::new(1.0, 1.0);
+        assert!(RoadMap::new(vec![(p, p)]).is_err());
+    }
+
+    #[test]
+    fn distance_to_road_geometry() {
+        let road = straight_road();
+        let c = GeoCoordinate::new(47.6, -122.3);
+        assert!(road.distance_to_road(&c) < 0.5, "on the road");
+        let north = c.destination(30.0, 0.0);
+        let d = road.distance_to_road(&north);
+        assert!((d - 30.0).abs() < 0.5, "30 m north: d={d}");
+        // Beyond the segment end, distance is to the endpoint.
+        let far_east = c.destination(800.0, 90.0);
+        let d = road.distance_to_road(&far_east);
+        assert!((d - 300.0).abs() < 1.0, "past the end: d={d}");
+    }
+
+    #[test]
+    fn snapping_shifts_the_mean_toward_the_road() {
+        // Fig. 10: a fix 10 m north of the road; the posterior mean moves
+        // from p toward the snapped point s on the road.
+        let road = straight_road();
+        let c = GeoCoordinate::new(47.6, -122.3);
+        let fix_center = c.destination(10.0, 0.0);
+        let fix = GpsReading::new(fix_center, 8.0).unwrap();
+        let raw = fix.location();
+        // σ_road = 2 m: posterior mean distance ≈ 10·σ²/(σ² + ρ²) ≈ 2.7 m.
+        let snapped = road.snap(&raw, 2.0, 1e-6);
+
+        let mut s = Sampler::seeded(1);
+        let raw_offset = raw.expect_by(&mut s, 2000, |p| {
+            road.distance_to_road(p)
+        });
+        let snapped_offset = snapped.expect_by(&mut s, 2000, |p| {
+            road.distance_to_road(p)
+        });
+        assert!(
+            snapped_offset < raw_offset / 2.0,
+            "snap must pull toward the road: {snapped_offset:.2} vs {raw_offset:.2}"
+        );
+    }
+
+    #[test]
+    fn strong_contrary_evidence_survives() {
+        // A fix 200 m from any road with tight accuracy: the background
+        // weight keeps the posterior near the evidence instead of
+        // teleporting onto the road.
+        let road = straight_road();
+        let c = GeoCoordinate::new(47.6, -122.3);
+        let off_road = c.destination(200.0, 0.0);
+        let fix = GpsReading::new(off_road, 4.0).unwrap();
+        let snapped = road.snap(&fix.location(), 4.0, 1e-3);
+        let mut s = Sampler::seeded(2);
+        let mean_dist_from_fix = snapped.expect_by(&mut s, 1000, |p| {
+            off_road.distance_meters(p)
+        });
+        assert!(
+            mean_dist_from_fix < 50.0,
+            "posterior stayed near the strong evidence: {mean_dist_from_fix:.1} m"
+        );
+    }
+
+    #[test]
+    fn multi_segment_maps_pick_the_nearest() {
+        let c = GeoCoordinate::new(47.6, -122.3);
+        let road = RoadMap::new(vec![
+            (c.destination(100.0, 270.0), c.destination(100.0, 90.0)), // through c
+            (
+                c.destination(1000.0, 0.0).destination(100.0, 270.0),
+                c.destination(1000.0, 0.0).destination(100.0, 90.0),
+            ), // 1 km north
+        ])
+        .unwrap();
+        assert_eq!(road.len(), 2);
+        let near_second = c.destination(990.0, 0.0);
+        let d = road.distance_to_road(&near_second);
+        assert!(d < 15.0, "nearest segment wins: d={d}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Speed from GPS fixes — the computation that compounds error (paper §2).
+
+use crate::error_model::GpsReading;
+use crate::geo::GeoCoordinate;
+use uncertain_core::{Sampler, Uncertain};
+
+/// Meters-per-second to miles-per-hour.
+pub const MPS_TO_MPH: f64 = 2.236_936_292_054_402;
+
+/// The naive speed computation of paper Fig. 5(a): treat both fixes as
+/// facts, divide distance by time, get absurdities.
+///
+/// # Panics
+///
+/// Panics if `dt_seconds` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_gps::{naive_speed, GeoCoordinate, GpsReading};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = GpsReading::new(GeoCoordinate::new(47.0, -122.0), 4.0)?;
+/// let b = GpsReading::new(a.center().destination(10.0, 90.0), 4.0)?;
+/// let mph = naive_speed(&a, &b, 1.0);
+/// assert!((mph - 10.0 * 2.23694).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn naive_speed(from: &GpsReading, to: &GpsReading, dt_seconds: f64) -> f64 {
+    assert!(dt_seconds > 0.0, "dt must be positive");
+    from.center().distance_meters(&to.center()) / dt_seconds * MPS_TO_MPH
+}
+
+/// The uncertain speed computation of paper Fig. 5(b): both locations are
+/// distributions, `Speed = Distance / dt` is a Bayesian network, and the
+/// result is an `Uncertain<f64>` in mph.
+///
+/// # Panics
+///
+/// Panics if `dt_seconds` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::Sampler;
+/// use uncertain_gps::{uncertain_speed, GeoCoordinate, GpsReading};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = GpsReading::new(GeoCoordinate::new(47.0, -122.0), 4.0)?;
+/// let b = GpsReading::new(a.center().destination(1.5, 90.0), 4.0)?;
+/// let speed = uncertain_speed(&a, &b, 1.0);
+/// let mut s = Sampler::seeded(0);
+/// // The point distance is 1.5 m ≈ 3.4 mph, but the distribution is wide.
+/// let stats = speed.stats_with(&mut s, 2000)?;
+/// assert!(stats.std_dev() > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn uncertain_speed(
+    from: &GpsReading,
+    to: &GpsReading,
+    dt_seconds: f64,
+) -> Uncertain<f64> {
+    assert!(dt_seconds > 0.0, "dt must be positive");
+    let l1 = from.location();
+    let l2 = to.location();
+    let distance = l1.map2("distance", &l2, |a: GeoCoordinate, b: GeoCoordinate| {
+        a.distance_meters(&b)
+    });
+    distance / dt_seconds * MPS_TO_MPH
+}
+
+/// The paper's Fig. 4 quantity: the probability that the conditional
+/// `Speed > limit_mph` fires for a driver whose *true* speed is
+/// `true_speed_mph`, with GPS accuracy `epsilon` and fixes `dt` apart.
+///
+/// Monte Carlo over both the sensor (fresh pair of fixes per trial) and
+/// the posterior (one evidence estimate per pair), using `trials × 1`
+/// posterior samples; with the implicit operator a ticket is issued when
+/// more than half the posterior mass exceeds the limit.
+pub fn ticket_probability(
+    true_speed_mph: f64,
+    epsilon: f64,
+    limit_mph: f64,
+    dt_seconds: f64,
+    trials: usize,
+    sampler: &mut Sampler,
+) -> f64 {
+    use crate::sensor::SimulatedGps;
+    let gps = SimulatedGps::new(epsilon).expect("epsilon validated by caller");
+    let start = GeoCoordinate::new(47.6, -122.3);
+    let meters = true_speed_mph / MPS_TO_MPH * dt_seconds;
+    let end = start.destination(meters, 90.0);
+    let mut tickets = 0usize;
+    for _ in 0..trials {
+        let a = gps.read(&start, sampler.rng());
+        let b = gps.read(&end, sampler.rng());
+        // The naive conditional: one point estimate against the limit.
+        if naive_speed(&a, &b, dt_seconds) > limit_mph {
+            tickets += 1;
+        }
+    }
+    tickets as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::SimulatedGps;
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let a = GpsReading::new(GeoCoordinate::new(0.0, 0.0), 4.0).unwrap();
+        let _ = naive_speed(&a, &a, 0.0);
+    }
+
+    #[test]
+    fn naive_speed_of_identical_fixes_is_zero() {
+        let a = GpsReading::new(GeoCoordinate::new(47.0, -122.0), 4.0).unwrap();
+        assert_eq!(naive_speed(&a, &a, 1.0), 0.0);
+    }
+
+    #[test]
+    fn uncertain_speed_mean_tracks_compound_error() {
+        // Even for a stationary user, E[speed] > 0: distance between two
+        // independent error clouds is positive — exactly the paper's
+        // compounding-error point.
+        let truth = GeoCoordinate::new(47.6, -122.3);
+        let gps = SimulatedGps::new(4.0).unwrap();
+        let mut s = Sampler::seeded(1);
+        let a = gps.read(&truth, s.rng());
+        let b = gps.read(&truth, s.rng());
+        let speed = uncertain_speed(&a, &b, 1.0);
+        let e = speed.expected_value_with(&mut s, 2000);
+        assert!(e > 2.0, "stationary user, E[speed] = {e} mph");
+    }
+
+    #[test]
+    fn walking_speed_is_dominated_by_noise_at_1s() {
+        // ε = 4 m over 1 s: the 95% interval of speed spans >10 mph
+        // (the paper quotes 12.7 mph).
+        let start = GeoCoordinate::new(47.6, -122.3);
+        let end = start.destination(1.34, 90.0); // 3 mph for 1 s
+        let a = GpsReading::new(start, 4.0).unwrap();
+        let b = GpsReading::new(end, 4.0).unwrap();
+        let speed = uncertain_speed(&a, &b, 1.0);
+        let mut s = Sampler::seeded(2);
+        let st = speed.stats_with(&mut s, 4000).unwrap();
+        let (lo, hi) = st.coverage_interval(0.95);
+        assert!(hi - lo > 8.0, "95% interval = [{lo:.1}, {hi:.1}] mph");
+    }
+
+    #[test]
+    fn longer_dt_suppresses_noise() {
+        let start = GeoCoordinate::new(47.6, -122.3);
+        let a = GpsReading::new(start, 4.0).unwrap();
+        let b1 = GpsReading::new(start.destination(1.34, 90.0), 4.0).unwrap();
+        let b60 = GpsReading::new(start.destination(80.4, 90.0), 4.0).unwrap();
+        let mut s = Sampler::seeded(3);
+        let sd1 = uncertain_speed(&a, &b1, 1.0)
+            .stats_with(&mut s, 3000)
+            .unwrap()
+            .std_dev();
+        let sd60 = uncertain_speed(&a, &b60, 60.0)
+            .stats_with(&mut s, 3000)
+            .unwrap()
+            .std_dev();
+        assert!(sd60 < sd1 / 20.0, "sd1={sd1} sd60={sd60}");
+    }
+
+    #[test]
+    fn ticket_probability_shape() {
+        // Fig. 4: well below the limit → ~0; at the limit → ~0.5; well
+        // above → ~1. And at 57 mph with ε = 4 m the paper quotes ~32%.
+        let mut s = Sampler::seeded(4);
+        let below = ticket_probability(40.0, 4.0, 60.0, 1.0, 400, &mut s);
+        let at = ticket_probability(60.0, 4.0, 60.0, 1.0, 400, &mut s);
+        let above = ticket_probability(80.0, 4.0, 60.0, 1.0, 400, &mut s);
+        assert!(below < 0.05, "below={below}");
+        assert!((at - 0.5).abs() < 0.1, "at={at}");
+        assert!(above > 0.95, "above={above}");
+        let near = ticket_probability(57.0, 4.0, 60.0, 1.0, 1000, &mut s);
+        assert!(near > 0.15 && near < 0.45, "57mph → {near}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthetic walking trajectories — the ground-truth substrate.
+//!
+//! The paper's evaluation walked outside for 15 minutes with a Windows
+//! Phone; those traces are unavailable, so this module generates the
+//! closest synthetic equivalent: a walker moving at a nominal speed with
+//! smoothly drifting heading, sampled once per second (see DESIGN.md §4 for
+//! why this substitution preserves the experiment).
+
+use crate::geo::GeoCoordinate;
+use crate::speed::MPS_TO_MPH;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A timestamped true position on the walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruePosition {
+    /// Seconds since the start of the walk.
+    pub t: f64,
+    /// The walker's true position.
+    pub position: GeoCoordinate,
+    /// The walker's true instantaneous speed, in mph.
+    pub speed_mph: f64,
+}
+
+/// Generates a deterministic synthetic walk.
+///
+/// The walker moves at `speed_mph` with small per-second speed jitter and a
+/// heading that drifts as a random walk — the shape of a real outdoor
+/// stroll without the authors' exact trace.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_gps::WalkSimulator;
+///
+/// let walk = WalkSimulator::new(3.0, 60, 42).positions();
+/// assert_eq!(walk.len(), 61); // t = 0..=60 s
+/// // Consecutive positions are ~1.3 m apart at 3 mph.
+/// let step = walk[0].position.distance_meters(&walk[1].position);
+/// assert!(step > 0.5 && step < 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkSimulator {
+    speed_mph: f64,
+    duration_s: usize,
+    seed: u64,
+    start: GeoCoordinate,
+    heading_volatility_deg: f64,
+    speed_jitter_mph: f64,
+}
+
+impl WalkSimulator {
+    /// Creates a walk at `speed_mph` lasting `duration_s` seconds, with a
+    /// deterministic seed.
+    pub fn new(speed_mph: f64, duration_s: usize, seed: u64) -> Self {
+        Self {
+            speed_mph,
+            duration_s,
+            seed,
+            start: GeoCoordinate::new(47.6062, -122.3321),
+            heading_volatility_deg: 10.0,
+            speed_jitter_mph: 0.15,
+        }
+    }
+
+    /// Returns a copy starting from a different coordinate.
+    pub fn with_start(mut self, start: GeoCoordinate) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Returns a copy with a different per-second heading drift (degrees).
+    pub fn with_heading_volatility(mut self, degrees: f64) -> Self {
+        self.heading_volatility_deg = degrees;
+        self
+    }
+
+    /// The nominal walking speed in mph.
+    pub fn speed_mph(&self) -> f64 {
+        self.speed_mph
+    }
+
+    /// Generates the positions at t = 0, 1, …, `duration_s` seconds
+    /// (`duration_s + 1` entries).
+    pub fn positions(&self) -> Vec<TruePosition> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut heading: f64 = rng.gen_range(0.0..360.0);
+        let mut here = self.start;
+        let mut out = Vec::with_capacity(self.duration_s + 1);
+        let mut speed = self.speed_mph;
+        out.push(TruePosition {
+            t: 0.0,
+            position: here,
+            speed_mph: speed,
+        });
+        for t in 1..=self.duration_s {
+            // Smooth heading drift and small speed jitter.
+            heading = (heading
+                + gaussian(&mut rng) * self.heading_volatility_deg)
+                .rem_euclid(360.0);
+            speed = (self.speed_mph + gaussian(&mut rng) * self.speed_jitter_mph).max(0.0);
+            let meters = speed / MPS_TO_MPH; // speed [mph] → m per 1 s step
+            here = here.destination(meters, heading);
+            out.push(TruePosition {
+                t: t as f64,
+                position: here,
+                speed_mph: speed,
+            });
+        }
+        out
+    }
+}
+
+/// One standard-normal draw (Box–Muller) from a plain RNG.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = WalkSimulator::new(3.0, 30, 7).positions();
+        let b = WalkSimulator::new(3.0, 30, 7).positions();
+        assert_eq!(a, b);
+        let c = WalkSimulator::new(3.0, 30, 8).positions();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_and_timestamps() {
+        let walk = WalkSimulator::new(3.0, 10, 0).positions();
+        assert_eq!(walk.len(), 11);
+        for (i, p) in walk.iter().enumerate() {
+            assert_eq!(p.t, i as f64);
+        }
+    }
+
+    #[test]
+    fn true_speed_stays_near_nominal() {
+        let walk = WalkSimulator::new(3.0, 900, 1).positions();
+        let mean: f64 =
+            walk.iter().map(|p| p.speed_mph).sum::<f64>() / walk.len() as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+        assert!(walk.iter().all(|p| p.speed_mph < 4.5 && p.speed_mph >= 0.0));
+    }
+
+    #[test]
+    fn step_lengths_match_speed() {
+        let walk = WalkSimulator::new(3.0, 100, 2).positions();
+        for w in walk.windows(2) {
+            let d = w[0].position.distance_meters(&w[1].position);
+            // 3 mph ≈ 1.34 m/s; jitter keeps it in a narrow band.
+            assert!(d > 0.8 && d < 2.0, "step={d}");
+        }
+    }
+
+    #[test]
+    fn heading_drift_bends_the_path() {
+        // With drift, the end-to-end displacement is well below the path
+        // length (a straight line would match it).
+        let walk = WalkSimulator::new(3.0, 900, 3).positions();
+        let path_len: f64 = walk
+            .windows(2)
+            .map(|w| w[0].position.distance_meters(&w[1].position))
+            .sum();
+        let displacement = walk[0]
+            .position
+            .distance_meters(&walk.last().unwrap().position);
+        assert!(
+            displacement < 0.9 * path_len,
+            "displacement={displacement} path={path_len}"
+        );
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let start = GeoCoordinate::new(1.0, 2.0);
+        let walk = WalkSimulator::new(2.0, 5, 0)
+            .with_start(start)
+            .with_heading_volatility(0.0)
+            .positions();
+        assert_eq!(walk[0].position, start);
+    }
+}

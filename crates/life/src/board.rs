@@ -1,0 +1,234 @@
+//! The Game-of-Life board and its exact (ground-truth) dynamics.
+
+use crate::rules::next_state;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A finite (non-wrapping) Game-of-Life board.
+///
+/// Edge and corner cells simply have fewer neighbors, matching the paper's
+/// "cells on corners and edges of the grid have fewer sensors."
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_life::Board;
+///
+/// // A blinker oscillates with period 2.
+/// let mut b = Board::new(5, 5);
+/// b.set(1, 2, true);
+/// b.set(2, 2, true);
+/// b.set(3, 2, true);
+/// let next = b.step();
+/// assert!(next.get(2, 1) && next.get(2, 2) && next.get(2, 3));
+/// assert_eq!(next.step(), b);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Board {
+    width: usize,
+    height: usize,
+    cells: Vec<bool>,
+}
+
+impl Board {
+    /// Creates an all-dead board.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "board must be non-empty");
+        Self {
+            width,
+            height,
+            cells: vec![false; width * height],
+        }
+    }
+
+    /// Creates a board with each cell alive independently with probability
+    /// `density`, deterministically from `seed` (the paper randomly
+    /// initializes a 20×20 board).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `density ∉ [0, 1]`.
+    pub fn random(width: usize, height: usize, density: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+        let mut board = Self::new(width, height);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for cell in &mut board.cells {
+            *cell = rng.gen::<f64>() < density;
+        }
+        board
+    }
+
+    /// Board width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Board height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The state of cell `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        assert!(x < self.width && y < self.height, "cell out of bounds");
+        self.cells[y * self.width + x]
+    }
+
+    /// Sets the state of cell `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, alive: bool) {
+        assert!(x < self.width && y < self.height, "cell out of bounds");
+        self.cells[y * self.width + x] = alive;
+    }
+
+    /// Number of live cells.
+    pub fn population(&self) -> usize {
+        self.cells.iter().filter(|&&c| c).count()
+    }
+
+    /// The in-bounds neighbor coordinates of `(x, y)` (3, 5, or 8 of them).
+    pub fn neighbors(&self, x: usize, y: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(8);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height
+                {
+                    out.push((nx as usize, ny as usize));
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact live-neighbor count of `(x, y)` — the perfect sensors that
+    /// define ground truth.
+    pub fn live_neighbors(&self, x: usize, y: usize) -> u8 {
+        self.neighbors(x, y)
+            .into_iter()
+            .filter(|&(nx, ny)| self.get(nx, ny))
+            .count() as u8
+    }
+
+    /// One exact generation of the game.
+    pub fn step(&self) -> Board {
+        let mut next = Board::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                next.set(x, y, next_state(self.get(x, y), self.live_neighbors(x, y)));
+            }
+        }
+        next
+    }
+
+    /// Iterates over all cell coordinates in row-major order.
+    pub fn coords(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.height).flat_map(move |y| (0..self.width).map(move |x| (x, y)))
+    }
+}
+
+impl fmt::Display for Board {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for y in 0..self.height {
+            for x in 0..self.width {
+                f.write_str(if self.get(x, y) { "█" } else { "·" })?;
+            }
+            f.write_str("\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_rejected() {
+        let _ = Board::new(0, 5);
+    }
+
+    #[test]
+    fn random_board_is_deterministic_and_dense() {
+        let a = Board::random(20, 20, 0.5, 3);
+        let b = Board::random(20, 20, 0.5, 3);
+        assert_eq!(a, b);
+        let pop = a.population();
+        assert!(pop > 140 && pop < 260, "pop={pop}");
+        assert_eq!(Board::random(10, 10, 0.0, 0).population(), 0);
+        assert_eq!(Board::random(10, 10, 1.0, 0).population(), 100);
+    }
+
+    #[test]
+    fn neighbor_counts_by_position() {
+        let b = Board::new(5, 5);
+        assert_eq!(b.neighbors(0, 0).len(), 3); // corner
+        assert_eq!(b.neighbors(2, 0).len(), 5); // edge
+        assert_eq!(b.neighbors(2, 2).len(), 8); // interior
+    }
+
+    #[test]
+    fn block_is_still_life() {
+        let mut b = Board::new(4, 4);
+        for (x, y) in [(1, 1), (1, 2), (2, 1), (2, 2)] {
+            b.set(x, y, true);
+        }
+        assert_eq!(b.step(), b);
+    }
+
+    #[test]
+    fn lonely_cell_dies() {
+        let mut b = Board::new(3, 3);
+        b.set(1, 1, true);
+        assert_eq!(b.step().population(), 0);
+    }
+
+    #[test]
+    fn reproduction_rule() {
+        let mut b = Board::new(3, 3);
+        b.set(0, 0, true);
+        b.set(1, 0, true);
+        b.set(2, 0, true);
+        let next = b.step();
+        assert!(next.get(1, 1), "dead cell with 3 neighbors must be born");
+    }
+
+    #[test]
+    fn live_neighbors_matches_manual_count() {
+        let b = Board::random(8, 8, 0.4, 11);
+        for (x, y) in b.coords() {
+            let manual = b
+                .neighbors(x, y)
+                .into_iter()
+                .filter(|&(nx, ny)| b.get(nx, ny))
+                .count() as u8;
+            assert_eq!(b.live_neighbors(x, y), manual);
+        }
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let mut b = Board::new(2, 2);
+        b.set(0, 0, true);
+        let s = b.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('█') && s.contains('·'));
+    }
+}

@@ -1,0 +1,377 @@
+//! The SensorLife evaluation harness (paper Fig. 14).
+//!
+//! "Each execution randomly initializes a 20 × 20 cell board and performs
+//! 25 generations, evaluating a total of 10000 cell updates. For each
+//! noise level σ, we execute each Game of Life 50 times. We report means
+//! and 95% confidence intervals." This module is that loop, parameterized
+//! so tests can run small and the figure binary can run the paper's sizes.
+
+use crate::board::Board;
+use crate::rules::next_state;
+use crate::sensor::NoisySensor;
+use crate::variants::{BayesLife, LifeVariant, NaiveLife, SensorLife};
+use uncertain_core::{EvalConfig, Sampler};
+use uncertain_dist::ParamError;
+use uncertain_stats::wilson_interval;
+
+/// Which noisy Game of Life to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Raw reals, direct branches (the buggy baseline).
+    Naive,
+    /// `Uncertain<T>` with hypothesis-tested conditionals.
+    Sensor,
+    /// SensorLife plus the Bayesian sensor fix.
+    Bayes,
+}
+
+impl Variant {
+    /// All variants, in the paper's presentation order.
+    pub const ALL: [Variant; 3] = [Variant::Naive, Variant::Sensor, Variant::Bayes];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Naive => "NaiveLife",
+            Variant::Sensor => "SensorLife",
+            Variant::Bayes => "BayesLife",
+        }
+    }
+}
+
+/// Aggregated accuracy/cost results for one `(variant, σ)` cell of Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantResult {
+    /// Which implementation ran.
+    pub variant: Variant,
+    /// The sensor noise amplitude σ.
+    pub sigma: f64,
+    /// Cell updates evaluated.
+    pub updates: u64,
+    /// Updates whose decision differed from ground truth.
+    pub errors: u64,
+    /// Total samples drawn across all updates.
+    pub samples: u64,
+}
+
+impl VariantResult {
+    /// Fraction of incorrect decisions (Fig. 14a's y-axis).
+    pub fn error_rate(&self) -> f64 {
+        self.errors as f64 / self.updates as f64
+    }
+
+    /// 95% Wilson interval on the error rate.
+    pub fn error_rate_ci(&self) -> (f64, f64) {
+        wilson_interval(self.errors, self.updates, 0.95)
+            .expect("updates > 0 by construction")
+    }
+
+    /// Mean samples drawn per cell update (Fig. 14b's y-axis).
+    pub fn samples_per_update(&self) -> f64 {
+        self.samples as f64 / self.updates as f64
+    }
+}
+
+/// Configuration of one Fig. 14 experiment.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_life::{LifeExperiment, Variant};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let exp = LifeExperiment::new(8, 8, 3, 2, 42);
+/// let naive = exp.run(Variant::Naive, 0.1)?;
+/// let sensor = exp.run(Variant::Sensor, 0.1)?;
+/// assert!(naive.error_rate() > sensor.error_rate());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifeExperiment {
+    width: usize,
+    height: usize,
+    generations: usize,
+    runs: usize,
+    seed: u64,
+    density: f64,
+    config: EvalConfig,
+}
+
+impl LifeExperiment {
+    /// Creates an experiment over `runs` random `width × height` boards,
+    /// each advanced `generations` steps.
+    pub fn new(width: usize, height: usize, generations: usize, runs: usize, seed: u64) -> Self {
+        Self {
+            width,
+            height,
+            generations,
+            runs,
+            seed,
+            density: 0.35,
+            // A tighter cap than the library default keeps the marginal
+            // conditionals (σ near 0.4) from dominating the runtime while
+            // preserving the paper's qualitative sample-count curve.
+            config: EvalConfig::default().with_max_samples(400),
+        }
+    }
+
+    /// The paper's exact configuration: 20×20 board, 25 generations,
+    /// 50 runs (10 000 cell updates per run set).
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::new(20, 20, 25, 50, seed)
+    }
+
+    /// Returns a copy with a different initial live-cell density.
+    pub fn with_density(mut self, density: f64) -> Self {
+        self.density = density;
+        self
+    }
+
+    /// Returns a copy with a different conditional-evaluation config.
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Total cell updates this experiment will evaluate.
+    pub fn total_updates(&self) -> u64 {
+        (self.width * self.height * self.generations * self.runs) as u64
+    }
+
+    /// Runs one variant at noise level `sigma`.
+    ///
+    /// Every run follows the ground-truth trajectory: each generation the
+    /// variant decides every cell from noisy sensing of the *true* board,
+    /// decisions are scored against the exact rules, and the board then
+    /// advances exactly. This isolates per-update decision accuracy, the
+    /// quantity Fig. 14(a) plots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `sigma` is invalid.
+    pub fn run(&self, variant: Variant, sigma: f64) -> Result<VariantResult, ParamError> {
+        let sensor = NoisySensor::new(sigma)?;
+        let implementation: Box<dyn LifeVariant> = match variant {
+            Variant::Naive => Box::new(NaiveLife::new(sensor)),
+            Variant::Sensor => Box::new(SensorLife::new(sensor).with_config(self.config)),
+            Variant::Bayes => Box::new(BayesLife::new(sensor).with_config(self.config)),
+        };
+        let mut errors = 0u64;
+        let mut updates = 0u64;
+        let mut samples = 0u64;
+        for run in 0..self.runs {
+            let run_seed = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(run as u64);
+            let mut board = Board::random(self.width, self.height, self.density, run_seed);
+            let mut sampler = Sampler::seeded(run_seed ^ 0xABCD_EF01_2345_6789);
+            for _ in 0..self.generations {
+                for (x, y) in board.coords() {
+                    let truth = next_state(board.get(x, y), board.live_neighbors(x, y));
+                    let decision = implementation.decide(&board, x, y, &mut sampler);
+                    if decision.alive != truth {
+                        errors += 1;
+                    }
+                    samples += decision.samples;
+                    updates += 1;
+                }
+                board = board.step();
+            }
+        }
+        Ok(VariantResult {
+            variant,
+            sigma,
+            updates,
+            errors,
+            samples,
+        })
+    }
+
+    /// Extension experiment: runs a variant **closed-loop** — the noisy
+    /// implementation evolves its *own* board from its own decisions while
+    /// ground truth evolves exactly from the same start — and reports the
+    /// per-generation fraction of cells that disagree with the true board,
+    /// averaged over runs.
+    ///
+    /// This is the macro-scale version of the paper's "computation
+    /// compounds error": per-update errors accumulate into board-level
+    /// divergence generation after generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `sigma` is invalid.
+    pub fn run_closed_loop(
+        &self,
+        variant: Variant,
+        sigma: f64,
+    ) -> Result<Vec<f64>, ParamError> {
+        let sensor = NoisySensor::new(sigma)?;
+        let implementation: Box<dyn LifeVariant> = match variant {
+            Variant::Naive => Box::new(NaiveLife::new(sensor)),
+            Variant::Sensor => Box::new(SensorLife::new(sensor).with_config(self.config)),
+            Variant::Bayes => Box::new(BayesLife::new(sensor).with_config(self.config)),
+        };
+        let cells = (self.width * self.height) as f64;
+        let mut divergence = vec![0.0; self.generations];
+        for run in 0..self.runs {
+            let run_seed = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(run as u64);
+            let mut truth = Board::random(self.width, self.height, self.density, run_seed);
+            let mut believed = truth.clone();
+            let mut sampler = Sampler::seeded(run_seed ^ 0x5151_5151_5151_5151);
+            for gen_divergence in divergence.iter_mut() {
+                // The noisy system advances its own board by sensing itself.
+                let mut next = Board::new(self.width, self.height);
+                for (x, y) in believed.coords() {
+                    next.set(
+                        x,
+                        y,
+                        implementation.decide(&believed, x, y, &mut sampler).alive,
+                    );
+                }
+                believed = next;
+                truth = truth.step();
+                let differing = truth
+                    .coords()
+                    .filter(|&(x, y)| truth.get(x, y) != believed.get(x, y))
+                    .count();
+                *gen_divergence += differing as f64 / cells / self.runs as f64;
+            }
+        }
+        Ok(divergence)
+    }
+
+    /// Runs all three variants across a noise sweep — the full Fig. 14
+    /// data set, in row-major `(sigma, variant)` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if any `sigma` is invalid.
+    pub fn sweep(&self, sigmas: &[f64]) -> Result<Vec<VariantResult>, ParamError> {
+        let mut out = Vec::with_capacity(sigmas.len() * Variant::ALL.len());
+        for &sigma in sigmas {
+            for variant in Variant::ALL {
+                out.push(self.run(variant, sigma)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LifeExperiment {
+        LifeExperiment::new(8, 8, 3, 2, 7)
+    }
+
+    #[test]
+    fn update_accounting() {
+        let exp = small();
+        assert_eq!(exp.total_updates(), 8 * 8 * 3 * 2);
+        let r = exp.run(Variant::Naive, 0.1).unwrap();
+        assert_eq!(r.updates, exp.total_updates());
+        assert_eq!(r.samples, r.updates, "naive draws 1 per update");
+    }
+
+    #[test]
+    fn zero_noise_no_errors() {
+        let exp = small();
+        for v in Variant::ALL {
+            let r = exp.run(v, 0.0).unwrap();
+            assert_eq!(r.errors, 0, "{} at σ=0", v.name());
+        }
+    }
+
+    #[test]
+    fn figure_14a_ordering_at_sigma_02() {
+        let exp = small();
+        let naive = exp.run(Variant::Naive, 0.2).unwrap();
+        let sensor = exp.run(Variant::Sensor, 0.2).unwrap();
+        let bayes = exp.run(Variant::Bayes, 0.2).unwrap();
+        assert!(
+            naive.error_rate() > sensor.error_rate(),
+            "naive {} vs sensor {}",
+            naive.error_rate(),
+            sensor.error_rate()
+        );
+        assert!(bayes.error_rate() < 0.02, "bayes {}", bayes.error_rate());
+    }
+
+    #[test]
+    fn figure_14b_sample_ordering() {
+        let exp = small();
+        let naive = exp.run(Variant::Naive, 0.2).unwrap();
+        let sensor = exp.run(Variant::Sensor, 0.2).unwrap();
+        let bayes = exp.run(Variant::Bayes, 0.2).unwrap();
+        assert_eq!(naive.samples_per_update(), 1.0);
+        assert!(sensor.samples_per_update() > bayes.samples_per_update());
+        assert!(bayes.samples_per_update() > 1.0);
+    }
+
+    #[test]
+    fn sensor_samples_grow_with_noise() {
+        let exp = small();
+        let quiet = exp.run(Variant::Sensor, 0.05).unwrap();
+        let loud = exp.run(Variant::Sensor, 0.35).unwrap();
+        assert!(
+            loud.samples_per_update() > quiet.samples_per_update(),
+            "quiet {} vs loud {}",
+            quiet.samples_per_update(),
+            loud.samples_per_update()
+        );
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let exp = LifeExperiment::new(6, 6, 2, 1, 3);
+        let rows = exp.sweep(&[0.1, 0.2]).unwrap();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].variant, Variant::Naive);
+        assert_eq!(rows[0].sigma, 0.1);
+        assert_eq!(rows[5].variant, Variant::Bayes);
+        assert_eq!(rows[5].sigma, 0.2);
+    }
+
+    #[test]
+    fn closed_loop_divergence_grows_for_naive() {
+        let exp = LifeExperiment::new(8, 8, 6, 2, 9);
+        let series = exp.run_closed_loop(Variant::Naive, 0.15).unwrap();
+        assert_eq!(series.len(), 6);
+        // Naive divergence saturates quickly at a high level (two chaotic
+        // boards decorrelate; disagreement hovers near the random-overlap
+        // plateau rather than growing without bound).
+        assert!(
+            series[5] > 0.15,
+            "naive closed loop should be badly diverged: {series:?}"
+        );
+        // Bayes stays faithful at this noise level.
+        let bayes = exp.run_closed_loop(Variant::Bayes, 0.15).unwrap();
+        assert!(
+            bayes[5] < series[5] / 2.0,
+            "bayes {bayes:?} vs naive {series:?}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_zero_noise_tracks_exactly() {
+        let exp = LifeExperiment::new(8, 8, 4, 1, 10);
+        for v in Variant::ALL {
+            let series = exp.run_closed_loop(v, 0.0).unwrap();
+            assert!(series.iter().all(|&d| d == 0.0), "{:?}", series);
+        }
+    }
+
+    #[test]
+    fn ci_brackets_rate() {
+        let exp = small();
+        let r = exp.run(Variant::Naive, 0.3).unwrap();
+        let (lo, hi) = r.error_rate_ci();
+        assert!(lo <= r.error_rate() && r.error_rate() <= hi);
+    }
+}

@@ -1,0 +1,39 @@
+//! Game-of-Life substrate and the **SensorLife** case study (paper §5.2).
+//!
+//! Conway's Game of Life with *noisy sensors*: each cell senses whether its
+//! neighbors are alive through a sensor perturbed by zero-mean Gaussian
+//! noise, and ground truth (the exact game) is available for free — which
+//! makes it the paper's accuracy microscope for `Uncertain<T>`.
+//!
+//! Three players, exactly as in the paper:
+//!
+//! * [`NaiveLife`] — reads each sensor once, sums the raw reals, branches
+//!   directly. It inherits the classic uncertainty bugs: noise crosses the
+//!   integer rule thresholds, and the reproduction rule's `NumLive == 3`
+//!   (float equality on noisy data) essentially never fires.
+//! * [`SensorLife`] — wraps each sensor in `Uncertain<f64>`, sums with the
+//!   lifted `+`, and evaluates every rule with hypothesis tests; "equals 3"
+//!   becomes the calibrated *rounds to 3*.
+//! * [`BayesLife`] — adds the expert's domain knowledge: the true state is
+//!   0 or 1 and the noise is Gaussian with known σ, so Bayes' theorem snaps
+//!   each raw sample to the more likely hypothesis before summing
+//!   (the paper's `SenseNeighborFixed`).
+//!
+//! [`LifeExperiment`] reruns the paper's Fig. 14: error rate per cell
+//! update and samples drawn per cell update, across noise levels.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod board;
+mod eval;
+pub mod patterns;
+mod rules;
+mod sensor;
+mod variants;
+
+pub use board::Board;
+pub use eval::{LifeExperiment, Variant, VariantResult};
+pub use rules::next_state;
+pub use sensor::NoisySensor;
+pub use variants::{BayesLife, CellDecision, JointBayesLife, LifeVariant, NaiveLife, SensorLife};

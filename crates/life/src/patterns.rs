@@ -1,0 +1,156 @@
+//! Classic Game-of-Life patterns, for tests, demos, and structured
+//! (non-random) noisy-sensing experiments.
+
+use crate::board::Board;
+
+/// A named pattern with known dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// 2×2 still life.
+    Block,
+    /// Period-2 oscillator (3 cells in a row).
+    Blinker,
+    /// Period-2 oscillator (6 cells).
+    Toad,
+    /// Period-2 oscillator (two corner blocks).
+    Beacon,
+    /// The glider: period 4, translating (+1, +1).
+    Glider,
+}
+
+impl Pattern {
+    /// All defined patterns.
+    pub const ALL: [Pattern; 5] = [
+        Pattern::Block,
+        Pattern::Blinker,
+        Pattern::Toad,
+        Pattern::Beacon,
+        Pattern::Glider,
+    ];
+
+    /// The live cells of the pattern relative to its top-left corner.
+    pub fn cells(&self) -> &'static [(usize, usize)] {
+        match self {
+            Pattern::Block => &[(0, 0), (1, 0), (0, 1), (1, 1)],
+            Pattern::Blinker => &[(0, 0), (1, 0), (2, 0)],
+            Pattern::Toad => &[(1, 0), (2, 0), (3, 0), (0, 1), (1, 1), (2, 1)],
+            Pattern::Beacon => &[
+                (0, 0),
+                (1, 0),
+                (0, 1),
+                (2, 3),
+                (3, 3),
+                (3, 2),
+            ],
+            Pattern::Glider => &[(1, 0), (2, 1), (0, 2), (1, 2), (2, 2)],
+        }
+    }
+
+    /// The oscillation period on an open board (1 for still lifes; the
+    /// glider reproduces its shape every 4 steps, displaced).
+    pub fn period(&self) -> usize {
+        match self {
+            Pattern::Block => 1,
+            Pattern::Blinker | Pattern::Toad | Pattern::Beacon => 2,
+            Pattern::Glider => 4,
+        }
+    }
+
+    /// Per-period translation `(dx, dy)` of the pattern (zero for
+    /// non-spaceships).
+    pub fn translation(&self) -> (usize, usize) {
+        match self {
+            Pattern::Glider => (1, 1),
+            _ => (0, 0),
+        }
+    }
+
+    /// Stamps the pattern onto a board at `(x, y)` (top-left corner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern cell falls outside the board.
+    pub fn stamp(&self, board: &mut Board, x: usize, y: usize) {
+        for &(dx, dy) in self.cells() {
+            board.set(x + dx, y + dy, true);
+        }
+    }
+
+    /// A fresh board of the given size containing only this pattern,
+    /// offset enough from the edges to evolve freely for a few periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the board is too small for the pattern plus margin.
+    pub fn board(&self, width: usize, height: usize) -> Board {
+        let mut b = Board::new(width, height);
+        self.stamp(&mut b, 3, 3);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn still_life_is_fixed_point() {
+        let b = Pattern::Block.board(8, 8);
+        assert_eq!(b.step(), b);
+    }
+
+    #[test]
+    fn oscillators_have_their_periods() {
+        for p in [Pattern::Blinker, Pattern::Toad, Pattern::Beacon] {
+            let b = p.board(12, 12);
+            let mut evolved = b.clone();
+            for step in 1..=p.period() {
+                evolved = evolved.step();
+                if step < p.period() {
+                    assert_ne!(evolved, b, "{p:?} must change mid-period");
+                }
+            }
+            assert_eq!(evolved, b, "{p:?} must return after its period");
+        }
+    }
+
+    #[test]
+    fn glider_translates() {
+        let b = Pattern::Glider.board(16, 16);
+        let mut evolved = b.clone();
+        for _ in 0..Pattern::Glider.period() {
+            evolved = evolved.step();
+        }
+        // Same shape displaced by (1, 1).
+        let mut expected = Board::new(16, 16);
+        Pattern::Glider.stamp(&mut expected, 4, 4);
+        assert_eq!(evolved, expected);
+        // Population is conserved by the glider.
+        assert_eq!(evolved.population(), 5);
+    }
+
+    #[test]
+    fn populations_match_cell_lists() {
+        for p in Pattern::ALL {
+            assert_eq!(p.board(12, 12).population(), p.cells().len(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn noisy_sensing_of_a_still_life_stays_stable() {
+        // A block sensed through BayesLife at moderate noise: decisions
+        // must reproduce the still life every generation.
+        use crate::sensor::NoisySensor;
+        use crate::variants::{BayesLife, LifeVariant};
+        use uncertain_core::Sampler;
+
+        let board = Pattern::Block.board(8, 8);
+        let bayes = BayesLife::new(NoisySensor::new(0.2).unwrap());
+        let mut s = Sampler::seeded(3);
+        for (x, y) in board.coords() {
+            let truth =
+                crate::rules::next_state(board.get(x, y), board.live_neighbors(x, y));
+            assert_eq!(bayes.decide(&board, x, y, &mut s).alive, truth);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The exact rules of Conway's Game of Life (paper §5.2).
+
+/// The next state of a cell with `live_neighbors` live neighbors.
+///
+/// 1. A live cell with 2 or 3 live neighbors lives (survival).
+/// 2. A live cell with fewer than 2 dies (underpopulation).
+/// 3. A live cell with more than 3 dies (overcrowding).
+/// 4. A dead cell with exactly 3 becomes live (reproduction).
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_life::next_state;
+///
+/// assert!(next_state(true, 2));
+/// assert!(next_state(true, 3));
+/// assert!(!next_state(true, 1));
+/// assert!(!next_state(true, 4));
+/// assert!(next_state(false, 3));
+/// assert!(!next_state(false, 2));
+/// ```
+pub fn next_state(is_alive: bool, live_neighbors: u8) -> bool {
+    if is_alive {
+        (2..=3).contains(&live_neighbors)
+    } else {
+        live_neighbors == 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_rule_table() {
+        for n in 0..=8u8 {
+            assert_eq!(next_state(true, n), n == 2 || n == 3, "alive, n={n}");
+            assert_eq!(next_state(false, n), n == 3, "dead, n={n}");
+        }
+    }
+}

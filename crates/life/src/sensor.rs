@@ -1,0 +1,192 @@
+//! Noisy binary sensors (paper §5.2: "we artificially induce zero-mean
+//! Gaussian noise N(0, σ) on each of these sensors").
+
+use uncertain_core::Uncertain;
+use uncertain_dist::{Gaussian, ParamError};
+
+/// A binary sensor corrupted by zero-mean Gaussian noise: sensing a cell
+/// with true state `s ∈ {0, 1}` returns `s + N(0, σ)` — a real number, not
+/// a bit.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::Sampler;
+/// use uncertain_life::NoisySensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sensor = NoisySensor::new(0.2)?;
+/// let reading = sensor.uncertain(true);
+/// let mut s = Sampler::seeded(0);
+/// let v = s.sample(&reading);
+/// assert!((v - 1.0).abs() < 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoisySensor {
+    sigma: f64,
+}
+
+impl NoisySensor {
+    /// Creates a sensor with noise amplitude `sigma ≥ 0` (0 = perfect).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `sigma` is negative or not finite.
+    pub fn new(sigma: f64) -> Result<Self, ParamError> {
+        if sigma < 0.0 || !sigma.is_finite() {
+            return Err(ParamError::new(format!(
+                "noise amplitude must be non-negative and finite, got {sigma}"
+            )));
+        }
+        Ok(Self { sigma })
+    }
+
+    /// The noise amplitude σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// One raw reading of a cell with true state `actual` — what NaiveLife
+    /// consumes directly.
+    pub fn sense(&self, actual: bool, rng: &mut dyn rand::RngCore) -> f64 {
+        let s = if actual { 1.0 } else { 0.0 };
+        if self.sigma == 0.0 {
+            return s;
+        }
+        use uncertain_dist::Distribution;
+        let noise = Gaussian::new(0.0, self.sigma).expect("sigma validated positive");
+        s + noise.sample(rng)
+    }
+
+    /// The sensor as an uncertain value (the paper's `SenseNeighbor`): a
+    /// fresh leaf whose sampling function re-reads the sensor. Each call
+    /// creates a new leaf — distinct readings are independent.
+    pub fn uncertain(&self, actual: bool) -> Uncertain<f64> {
+        let sensor = *self;
+        Uncertain::from_fn("sensor", move |rng| sensor.sense(actual, rng))
+    }
+
+    /// The expert-improved sensor of BayesLife (the paper's
+    /// `SenseNeighborFixed`): each raw sample is snapped to the hypothesis
+    /// (0 or 1) with the higher posterior probability. With equal priors
+    /// and symmetric Gaussian likelihoods that is simply the closer of 0
+    /// or 1 — i.e. thresholding at 0.5 (§5.2).
+    pub fn uncertain_snapped(&self, actual: bool) -> Uncertain<f64> {
+        self.uncertain(actual)
+            .map("bayes snap", |v| if v > 0.5 { 1.0 } else { 0.0 })
+    }
+
+    /// The paper's suggested improvement on `SenseNeighborFixed` (§5.2):
+    /// "a better implementation could calculate joint likelihoods with
+    /// multiple samples, since each sample is drawn from the same
+    /// underlying distribution." Each evaluation reads the sensor `reads`
+    /// times and snaps the *mean* — the joint maximum-likelihood decision
+    /// for i.i.d. Gaussian noise — shrinking the effective noise to
+    /// `σ/√reads` and staying accurate well past the σ ≈ 0.4 breakdown of
+    /// single-sample snapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads == 0`.
+    pub fn uncertain_snapped_joint(&self, actual: bool, reads: usize) -> Uncertain<f64> {
+        assert!(reads > 0, "need at least one read");
+        let sensor = *self;
+        Uncertain::from_fn("bayes joint snap", move |rng| {
+            let mean: f64 =
+                (0..reads).map(|_| sensor.sense(actual, rng)).sum::<f64>() / reads as f64;
+            if mean > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_core::Sampler;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(NoisySensor::new(-0.1).is_err());
+        assert!(NoisySensor::new(f64::NAN).is_err());
+        assert!(NoisySensor::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let s = NoisySensor::new(0.0).unwrap();
+        let mut rng = rand::rngs::OsRng;
+        assert_eq!(s.sense(true, &mut rng), 1.0);
+        assert_eq!(s.sense(false, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn readings_center_on_true_state() {
+        let s = NoisySensor::new(0.3).unwrap();
+        let mut sampler = Sampler::seeded(1);
+        let live = s.uncertain(true);
+        let dead = s.uncertain(false);
+        let e_live = live.expected_value_with(&mut sampler, 5000);
+        let e_dead = dead.expected_value_with(&mut sampler, 5000);
+        assert!((e_live - 1.0).abs() < 0.02, "{e_live}");
+        assert!(e_dead.abs() < 0.02, "{e_dead}");
+    }
+
+    #[test]
+    fn distinct_readings_are_independent() {
+        let s = NoisySensor::new(0.5).unwrap();
+        let a = s.uncertain(true);
+        let b = s.uncertain(true);
+        let diff = a - b;
+        let mut sampler = Sampler::seeded(2);
+        let nonzero = (0..100).filter(|_| sampler.sample(&diff) != 0.0).count();
+        assert!(nonzero > 95);
+    }
+
+    #[test]
+    fn snapping_fixes_moderate_noise() {
+        // At σ = 0.3, snapping restores the true bit with probability
+        // Φ(0.5/0.3) ≈ 0.952.
+        let s = NoisySensor::new(0.3).unwrap();
+        let snapped = s.uncertain_snapped(true);
+        let mut sampler = Sampler::seeded(3);
+        let ok = (0..5000)
+            .filter(|_| sampler.sample(&snapped) == 1.0)
+            .count() as f64
+            / 5000.0;
+        assert!((ok - 0.952).abs() < 0.02, "ok={ok}");
+    }
+
+    #[test]
+    fn joint_snapping_beats_single_at_high_noise() {
+        // σ = 0.6: single-sample snapping is barely better than chance
+        // (Φ(0.5/0.6) ≈ 0.80); 9 joint reads give Φ(0.5·3/0.6) ≈ 0.994.
+        let s = NoisySensor::new(0.6).unwrap();
+        let single = s.uncertain_snapped(true);
+        let joint = s.uncertain_snapped_joint(true, 9);
+        let mut sampler = Sampler::seeded(5);
+        let acc = |u: &uncertain_core::Uncertain<f64>, sampler: &mut Sampler| {
+            (0..4000).filter(|_| sampler.sample(u) == 1.0).count() as f64 / 4000.0
+        };
+        let acc_single = acc(&single, &mut sampler);
+        let acc_joint = acc(&joint, &mut sampler);
+        assert!((acc_single - 0.797).abs() < 0.03, "single={acc_single}");
+        assert!(acc_joint > 0.98, "joint={acc_joint}");
+    }
+
+    #[test]
+    fn snapped_values_are_binary() {
+        let s = NoisySensor::new(1.0).unwrap();
+        let snapped = s.uncertain_snapped(false);
+        let mut sampler = Sampler::seeded(4);
+        for _ in 0..200 {
+            let v = sampler.sample(&snapped);
+            assert!(v == 0.0 || v == 1.0);
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The three noisy Games of Life (paper §5.2): NaiveLife, SensorLife,
+//! BayesLife.
+
+use crate::board::Board;
+use crate::sensor::NoisySensor;
+use uncertain_core::{EvalConfig, Sampler, Uncertain};
+
+/// One cell-update decision plus its sampling cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellDecision {
+    /// The decided next state of the cell.
+    pub alive: bool,
+    /// Bernoulli/joint samples drawn to reach the decision (Fig. 14b's
+    /// y-axis). NaiveLife always reports 1: it reads the world once.
+    pub samples: u64,
+}
+
+/// A Game-of-Life implementation that decides cell updates from *noisy*
+/// sensing of the current board.
+pub trait LifeVariant {
+    /// Short display name ("NaiveLife", …).
+    fn name(&self) -> &'static str;
+
+    /// Decides the next state of cell `(x, y)` by sensing `board` through
+    /// noisy sensors.
+    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision;
+}
+
+/// Builds the paper's `CountLiveNeighbors`: the lifted sum of one uncertain
+/// sensor reading per neighbor.
+fn count_live_neighbors(sensor_reading: impl Fn(bool) -> Uncertain<f64>, board: &Board, x: usize, y: usize) -> Uncertain<f64> {
+    let mut sum = Uncertain::point(0.0);
+    for (nx, ny) in board.neighbors(x, y) {
+        sum = sum + sensor_reading(board.get(nx, ny));
+    }
+    sum
+}
+
+/// Applies the Game-of-Life rules to an *uncertain* neighbor count with
+/// hypothesis-tested conditionals — the shared decision procedure of
+/// SensorLife and BayesLife (the code block of §5.2, with `NumLive == 3`
+/// read as the calibrated `rounds_to(3)`).
+///
+/// `banded` selects the threshold style: the paper's literal integer
+/// thresholds (`NumLive < 2`), which sit exactly on the noise
+/// distribution's center when the true count equals the threshold
+/// (evidence ≈ 0.5, an intrinsic error floor), or calibrated half-integer
+/// bands (`NumLive < 1.5`) that ask the round-to-nearest-count question.
+fn decide_uncertain(
+    num_live: &Uncertain<f64>,
+    is_alive: bool,
+    banded: bool,
+    sampler: &mut Sampler,
+    config: &EvalConfig,
+) -> CellDecision {
+    let mut samples = 0u64;
+    let mut implicit = |cond: &Uncertain<bool>| {
+        let o = cond.evaluate(0.5, sampler, config);
+        samples += o.samples as u64;
+        o.to_bool()
+    };
+    let (lo, hi) = if banded { (1.5, 3.5) } else { (2.0, 3.0) };
+    let alive = if is_alive {
+        if implicit(&num_live.lt(lo)) {
+            false // underpopulation
+        } else if implicit(&(num_live.ge(lo) & num_live.le(hi))) {
+            true // survival
+        } else if implicit(&num_live.gt(hi)) {
+            false // overcrowding
+        } else {
+            is_alive // no rule conclusively fired
+        }
+    } else if implicit(&num_live.rounds_to(3)) {
+        true // reproduction
+    } else {
+        false
+    };
+    CellDecision { alive, samples }
+}
+
+/// Fig. 14's "NaiveLife": reads each sensor once, sums the raw reals, and
+/// branches directly on the noisy sum.
+///
+/// Both uncertainty bugs are left intact deliberately: small noise crosses
+/// the integer thresholds of rules 1–3, and rule 4's float equality
+/// `NumLive == 3.0` essentially never fires once noise is present, so
+/// births are silently missed — a constant error floor at every noise
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaiveLife {
+    sensor: NoisySensor,
+}
+
+impl NaiveLife {
+    /// Creates a NaiveLife reading through `sensor`.
+    pub fn new(sensor: NoisySensor) -> Self {
+        Self { sensor }
+    }
+}
+
+impl LifeVariant for NaiveLife {
+    fn name(&self) -> &'static str {
+        "NaiveLife"
+    }
+
+    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision {
+        let sum: f64 = board
+            .neighbors(x, y)
+            .into_iter()
+            .map(|(nx, ny)| self.sensor.sense(board.get(nx, ny), sampler.rng()))
+            .sum();
+        let is_alive = board.get(x, y);
+        #[allow(clippy::float_cmp)] // the bug under study: exact float equality
+        let alive = if is_alive {
+            (2.0..=3.0).contains(&sum)
+        } else {
+            sum == 3.0 // ← the uncertainty bug: never true under noise
+        };
+        CellDecision { alive, samples: 1 }
+    }
+}
+
+/// Fig. 14's "SensorLife": wraps each sensor in `Uncertain<f64>`, sums with
+/// the lifted `+`, and evaluates every rule with a hypothesis test, so each
+/// sensor may be sampled many times per update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorLife {
+    sensor: NoisySensor,
+    config: EvalConfig,
+    banded: bool,
+}
+
+impl SensorLife {
+    /// Creates a SensorLife reading through `sensor` with the default
+    /// conditional configuration and the paper's literal integer
+    /// thresholds.
+    pub fn new(sensor: NoisySensor) -> Self {
+        Self {
+            sensor,
+            config: EvalConfig::default(),
+            banded: false,
+        }
+    }
+
+    /// Returns a copy using a custom hypothesis-test configuration.
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Returns a copy using calibrated half-integer thresholds
+    /// (`NumLive < 1.5` instead of `NumLive < 2`) — an ablation: the
+    /// literal integer thresholds put boundary counts exactly at
+    /// evidence 0.5, an error floor no sampling budget can remove.
+    pub fn banded(mut self) -> Self {
+        self.banded = true;
+        self
+    }
+}
+
+impl LifeVariant for SensorLife {
+    fn name(&self) -> &'static str {
+        "SensorLife"
+    }
+
+    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision {
+        let sensor = self.sensor;
+        let num_live = count_live_neighbors(|b| sensor.uncertain(b), board, x, y);
+        decide_uncertain(&num_live, board.get(x, y), self.banded, sampler, &self.config)
+    }
+}
+
+/// Fig. 14's "BayesLife": SensorLife plus the expert's Bayesian fix — every
+/// raw sample is snapped to the more likely of the hypotheses s = 0 and
+/// s = 1 before summing (`SenseNeighborFixed`, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BayesLife {
+    sensor: NoisySensor,
+    config: EvalConfig,
+}
+
+impl BayesLife {
+    /// Creates a BayesLife reading through `sensor` with the default
+    /// conditional configuration.
+    pub fn new(sensor: NoisySensor) -> Self {
+        Self {
+            sensor,
+            config: EvalConfig::default(),
+        }
+    }
+
+    /// Returns a copy using a custom hypothesis-test configuration.
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl LifeVariant for BayesLife {
+    fn name(&self) -> &'static str {
+        "BayesLife"
+    }
+
+    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision {
+        let sensor = self.sensor;
+        let num_live = count_live_neighbors(|b| sensor.uncertain_snapped(b), board, x, y);
+        // Snapped sensors yield integer sums, where the literal and banded
+        // thresholds coincide.
+        decide_uncertain(&num_live, board.get(x, y), false, sampler, &self.config)
+    }
+}
+
+/// The §5.2 "better implementation" the paper sketches: BayesLife whose
+/// sensor fixes each reading from the **joint likelihood of several
+/// samples** ([`NoisySensor::uncertain_snapped_joint`]), effective even
+/// past the σ ≈ 0.4 breakdown of single-sample snapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointBayesLife {
+    sensor: NoisySensor,
+    config: EvalConfig,
+    reads: usize,
+}
+
+impl JointBayesLife {
+    /// Creates a joint-likelihood BayesLife taking `reads` sensor reads per
+    /// sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads == 0`.
+    pub fn new(sensor: NoisySensor, reads: usize) -> Self {
+        assert!(reads > 0, "need at least one read");
+        Self {
+            sensor,
+            config: EvalConfig::default(),
+            reads,
+        }
+    }
+
+    /// Returns a copy using a custom hypothesis-test configuration.
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sensor reads folded into each joint decision.
+    pub fn reads(&self) -> usize {
+        self.reads
+    }
+}
+
+impl LifeVariant for JointBayesLife {
+    fn name(&self) -> &'static str {
+        "JointBayesLife"
+    }
+
+    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision {
+        let sensor = self.sensor;
+        let reads = self.reads;
+        let num_live =
+            count_live_neighbors(|b| sensor.uncertain_snapped_joint(b, reads), board, x, y);
+        let mut decision =
+            decide_uncertain(&num_live, board.get(x, y), false, sampler, &self.config);
+        // Each joint sample costs `reads` physical sensor reads per
+        // neighbor; report the honest sampling cost.
+        decision.samples *= reads as u64;
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::next_state;
+
+    fn test_board() -> Board {
+        Board::random(8, 8, 0.4, 5)
+    }
+
+    fn error_rate(variant: &dyn LifeVariant, board: &Board, sampler: &mut Sampler) -> f64 {
+        let mut errors = 0usize;
+        let mut updates = 0usize;
+        for (x, y) in board.coords() {
+            let truth = next_state(board.get(x, y), board.live_neighbors(x, y));
+            if variant.decide(board, x, y, sampler).alive != truth {
+                errors += 1;
+            }
+            updates += 1;
+        }
+        errors as f64 / updates as f64
+    }
+
+    #[test]
+    fn noiseless_sensor_life_is_exact() {
+        let sensor = NoisySensor::new(0.0).unwrap();
+        let board = test_board();
+        let mut s = Sampler::seeded(1);
+        assert_eq!(error_rate(&SensorLife::new(sensor), &board, &mut s), 0.0);
+        assert_eq!(error_rate(&BayesLife::new(sensor), &board, &mut s), 0.0);
+    }
+
+    #[test]
+    fn noiseless_naive_is_exact_too() {
+        // With σ = 0 the sums are exact integers, so even the float
+        // equality fires.
+        let sensor = NoisySensor::new(0.0).unwrap();
+        let board = test_board();
+        let mut s = Sampler::seeded(2);
+        assert_eq!(error_rate(&NaiveLife::new(sensor), &board, &mut s), 0.0);
+    }
+
+    #[test]
+    fn naive_misses_births_under_noise() {
+        // Any nonzero noise makes `sum == 3.0` measure-zero: no dead cell
+        // is ever born.
+        let sensor = NoisySensor::new(0.05).unwrap();
+        let naive = NaiveLife::new(sensor);
+        let board = test_board();
+        let mut s = Sampler::seeded(3);
+        for (x, y) in board.coords() {
+            if !board.get(x, y) {
+                assert!(!naive.decide(&board, x, y, &mut s).alive);
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_ordering_at_moderate_noise() {
+        let sensor = NoisySensor::new(0.2).unwrap();
+        let board = test_board();
+        let mut s = Sampler::seeded(4);
+        let naive = error_rate(&NaiveLife::new(sensor), &board, &mut s);
+        let sensor_life = error_rate(&SensorLife::new(sensor), &board, &mut s);
+        let bayes = error_rate(&BayesLife::new(sensor), &board, &mut s);
+        assert!(
+            naive > sensor_life,
+            "naive {naive} should err more than sensor {sensor_life}"
+        );
+        assert!(bayes <= sensor_life, "bayes {bayes} vs sensor {sensor_life}");
+        assert!(bayes < 0.02, "bayes should be near-perfect, got {bayes}");
+    }
+
+    #[test]
+    fn sample_counts_ordering() {
+        let sensor = NoisySensor::new(0.2).unwrap();
+        let board = test_board();
+        let mut s = Sampler::seeded(5);
+        let total = |v: &dyn LifeVariant, s: &mut Sampler| -> u64 {
+            board.coords().map(|(x, y)| v.decide(&board, x, y, s).samples).sum()
+        };
+        let naive = total(&NaiveLife::new(sensor), &mut s);
+        let sensor_life = total(&SensorLife::new(sensor), &mut s);
+        let bayes = total(&BayesLife::new(sensor), &mut s);
+        assert_eq!(naive, 64, "naive draws exactly one sample per update");
+        assert!(sensor_life > naive, "sensor={sensor_life}");
+        assert!(bayes > naive);
+        assert!(
+            bayes < sensor_life,
+            "bayes ({bayes}) needs fewer samples than sensor ({sensor_life})"
+        );
+    }
+
+    #[test]
+    fn variant_names() {
+        let sensor = NoisySensor::new(0.1).unwrap();
+        assert_eq!(NaiveLife::new(sensor).name(), "NaiveLife");
+        assert_eq!(SensorLife::new(sensor).name(), "SensorLife");
+        assert_eq!(BayesLife::new(sensor).name(), "BayesLife");
+        assert_eq!(JointBayesLife::new(sensor, 5).name(), "JointBayesLife");
+    }
+
+    #[test]
+    fn banded_thresholds_remove_the_low_noise_floor() {
+        // At σ = 0.05 the literal thresholds err on boundary counts
+        // (evidence ≈ 0.5); half-integer bands are decisively separated.
+        let sensor = NoisySensor::new(0.05).unwrap();
+        let board = test_board();
+        let mut s = Sampler::seeded(11);
+        let literal = error_rate(&SensorLife::new(sensor), &board, &mut s);
+        let banded = error_rate(&SensorLife::new(sensor).banded(), &board, &mut s);
+        assert!(banded < 0.01, "banded floor should vanish: {banded}");
+        assert!(
+            banded < literal,
+            "banded {banded} must not exceed literal {literal}"
+        );
+    }
+
+    #[test]
+    fn joint_bayes_survives_extreme_noise() {
+        // σ = 0.6: single-sample BayesLife breaks down (the paper's
+        // observation past σ = 0.4); the joint-likelihood fix still tracks
+        // ground truth closely.
+        let sensor = NoisySensor::new(0.6).unwrap();
+        let board = test_board();
+        let mut s = Sampler::seeded(9);
+        let single = error_rate(&BayesLife::new(sensor), &board, &mut s);
+        let joint = error_rate(&JointBayesLife::new(sensor, 9), &board, &mut s);
+        assert!(
+            joint < single / 2.0,
+            "joint {joint} should beat single {single} at σ=0.6"
+        );
+    }
+}

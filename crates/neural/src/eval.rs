@@ -1,0 +1,164 @@
+//! Precision/recall evaluation for edge detection (paper Fig. 16).
+//!
+//! "For each evaluation example we compute the ground truth `s(p) > 0.1`
+//! and then evaluate this conditional using Uncertain\<T\>, which asks
+//! whether `Pr[s(p) > 0.1] > α` for varying thresholds α."
+
+use crate::parakeet::Parakeet;
+use crate::parrot::Parrot;
+use crate::sobel::{Dataset, EDGE_THRESHOLD};
+use uncertain_core::Sampler;
+use uncertain_stats::ConfusionMatrix;
+
+/// One `(α, precision, recall)` point of Fig. 16.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecallPoint {
+    /// The conditional threshold α.
+    pub alpha: f64,
+    /// Precision (`None` if nothing was predicted positive).
+    pub precision: Option<f64>,
+    /// Recall (`None` if the evaluation set had no positives).
+    pub recall: Option<f64>,
+    /// The underlying confusion matrix.
+    pub matrix: ConfusionMatrix,
+}
+
+/// Evaluates Parakeet's edge detector across conditional thresholds α.
+///
+/// For each test patch, the evidence `Pr[s(p) > 0.1]` is estimated once
+/// from `samples_per_input` PPD samples, then compared against every α —
+/// the full Fig. 16 sweep in one pass over the data.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty, `alphas` is empty, or
+/// `samples_per_input == 0`.
+pub fn parakeet_precision_recall(
+    parakeet: &Parakeet,
+    test: &Dataset,
+    alphas: &[f64],
+    samples_per_input: usize,
+    sampler: &mut Sampler,
+) -> Vec<PrecisionRecallPoint> {
+    assert!(!test.is_empty(), "need evaluation examples");
+    assert!(!alphas.is_empty(), "need at least one threshold");
+    assert!(samples_per_input > 0, "need at least one PPD sample");
+
+    // Estimate the evidence once per input.
+    let evidence: Vec<(f64, bool)> = test
+        .inputs
+        .iter()
+        .zip(&test.targets)
+        .map(|(x, &t)| {
+            let ppd = parakeet.predict(x);
+            let p = ppd
+                .gt(EDGE_THRESHOLD)
+                .probability_with(sampler, samples_per_input);
+            (p, t > EDGE_THRESHOLD)
+        })
+        .collect();
+
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let mut matrix = ConfusionMatrix::new();
+            for &(p, actual) in &evidence {
+                matrix.record(p > alpha, actual);
+            }
+            PrecisionRecallPoint {
+                alpha,
+                precision: matrix.precision(),
+                recall: matrix.recall(),
+                matrix,
+            }
+        })
+        .collect()
+}
+
+/// Evaluates the Parrot baseline's fixed edge decision on the same data.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn parrot_confusion(parrot: &Parrot, test: &Dataset) -> ConfusionMatrix {
+    assert!(!test.is_empty(), "need evaluation examples");
+    let mut matrix = ConfusionMatrix::new();
+    for (x, &t) in test.inputs.iter().zip(&test.targets) {
+        matrix.record(parrot.is_edge(x), t > EDGE_THRESHOLD);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hmc::HmcConfig;
+    use crate::sobel::generate_dataset;
+    use rand::SeedableRng;
+
+    fn setup() -> (Parakeet, Parrot, Dataset) {
+        let train = generate_dataset(200, 40);
+        let test = generate_dataset(120, 41);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let parrot = Parrot::train(&train, 50, 0.05, &mut rng);
+        let cfg = HmcConfig {
+            step_size: 0.003,
+            leapfrog_steps: 15,
+            burn_in: 150,
+            samples: 60,
+            thin: 2,
+            seed: 43,
+        };
+        let parakeet = Parakeet::train(&train, cfg, &mut rng);
+        (parakeet, parrot, test)
+    }
+
+    #[test]
+    fn recall_decreases_and_precision_rises_with_alpha() {
+        let (parakeet, _, test) = setup();
+        let mut s = Sampler::seeded(44);
+        let alphas = [0.1, 0.5, 0.9];
+        let points = parakeet_precision_recall(&parakeet, &test, &alphas, 80, &mut s);
+        assert_eq!(points.len(), 3);
+        let recall: Vec<f64> = points.iter().map(|p| p.recall.unwrap()).collect();
+        assert!(
+            recall[0] >= recall[1] && recall[1] >= recall[2],
+            "recall must be monotone non-increasing in α: {recall:?}"
+        );
+        let precision: Vec<f64> = points.iter().map(|p| p.precision.unwrap_or(1.0)).collect();
+        assert!(
+            precision[2] >= precision[0] - 0.05,
+            "precision should not collapse as α grows: {precision:?}"
+        );
+    }
+
+    #[test]
+    fn low_alpha_has_high_recall() {
+        let (parakeet, _, test) = setup();
+        let mut s = Sampler::seeded(45);
+        let points = parakeet_precision_recall(&parakeet, &test, &[0.05], 80, &mut s);
+        // The misses at this tiny HMC budget are borderline patches whose
+        // true Sobel value sits just above the 0.1 threshold; the figure
+        // binary's full budget pushes recall well above 0.9.
+        assert!(points[0].recall.unwrap() > 0.7, "{:?}", points[0].recall);
+    }
+
+    #[test]
+    fn parrot_confusion_counts_everything() {
+        let (_, parrot, test) = setup();
+        let m = parrot_confusion(&parrot, &test);
+        assert_eq!(m.total(), test.len() as u64);
+        // With the near-threshold patch class, a small-budget Parrot
+        // misfires on weak edges (the paper's amplification effect), but
+        // still detects clear ones.
+        assert!(m.recall().unwrap() > 0.5, "recall {:?}", m.recall());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one threshold")]
+    fn empty_alphas_rejected() {
+        let (parakeet, _, test) = setup();
+        let mut s = Sampler::seeded(46);
+        let _ = parakeet_precision_recall(&parakeet, &test, &[], 10, &mut s);
+    }
+}

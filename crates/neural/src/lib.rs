@@ -1,0 +1,42 @@
+//! Neural-network substrate and the **Parakeet** case study (paper §5.3).
+//!
+//! Parrot (Esmaeilzadeh et al., MICRO 2012) trains a single neural network
+//! to approximate a function — here the Sobel operator — for approximate
+//! hardware. The paper's point: a *point-estimate* network amplifies
+//! generalization error through downstream conditionals (`s(p) > 0.1`
+//! suffers a 36% false-positive rate), whereas **Parakeet** wraps a
+//! Bayesian neural network's posterior predictive distribution (PPD) in
+//! `Uncertain<T>`, letting developers pick their own precision/recall
+//! balance with the conditional threshold α (Fig. 16).
+//!
+//! Everything is built from scratch in this crate:
+//!
+//! * [`Mlp`] — a feed-forward network (tanh hidden layers, linear output)
+//!   with exact backprop gradients,
+//! * [`SgdTrainer`] — plain stochastic gradient descent (the Parrot
+//!   baseline's training loop),
+//! * [`sobel`] — the Sobel gradient operator and a synthetic 3×3-patch
+//!   dataset generator (the substitute for Parrot's image suite, see
+//!   DESIGN.md §4),
+//! * [`Hmc`] — hybrid (Hamiltonian) Monte Carlo over network weights, the
+//!   algorithm the paper adopts from Neal \[20\]; run offline, retaining a
+//!   thinned pool of weight samples,
+//! * [`Parrot`] / [`Parakeet`] — the two contestants of Fig. 15/16,
+//! * [`eval`] — precision/recall sweeps over the conditional threshold α.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod eval;
+mod hmc;
+mod network;
+mod parakeet;
+mod parrot;
+pub mod sobel;
+mod train;
+
+pub use hmc::{Hmc, HmcConfig, HmcRun, LogDensity};
+pub use network::Mlp;
+pub use parakeet::{BayesianMlpPosterior, Parakeet};
+pub use parrot::Parrot;
+pub use train::SgdTrainer;

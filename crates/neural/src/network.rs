@@ -1,0 +1,310 @@
+//! A feed-forward multi-layer perceptron with exact backprop gradients.
+
+use rand::RngCore;
+
+/// A fully connected feed-forward network: tanh activations on hidden
+/// layers, linear output (a regression network, as Parrot uses for the
+/// Sobel operator).
+///
+/// Parameters are stored *flat* (`Vec<f64>`) so the HMC sampler can treat
+/// the network as a point in ℝⁿ.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_neural::Mlp;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = Mlp::new(&[9, 8, 1], &mut rng);
+/// assert_eq!(net.num_params(), 9 * 8 + 8 + 8 + 1);
+/// let y = net.predict(&[0.0; 9]);
+/// assert!(y.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    sizes: Vec<usize>,
+    params: Vec<f64>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes (`[inputs, hidden…,
+    /// outputs]`), weights initialized `N(0, 1/√fan_in)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layer sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], rng: &mut dyn RngCore) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output layers");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let count = Self::param_count(sizes);
+        let mut params = Vec::with_capacity(count);
+        for l in 0..sizes.len() - 1 {
+            let fan_in = sizes[l] as f64;
+            let scale = 1.0 / fan_in.sqrt();
+            for _ in 0..sizes[l] * sizes[l + 1] {
+                params.push(gaussian(rng) * scale);
+            }
+            params.extend(std::iter::repeat_n(0.0, sizes[l + 1])); // biases start at zero
+        }
+        Self {
+            sizes: sizes.to_vec(),
+            params,
+        }
+    }
+
+    /// Reconstructs a network from flat parameters (the inverse of
+    /// [`Mlp::params`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` does not match the architecture.
+    pub fn from_params(sizes: &[usize], params: Vec<f64>) -> Self {
+        assert_eq!(
+            params.len(),
+            Self::param_count(sizes),
+            "parameter vector does not match architecture"
+        );
+        Self {
+            sizes: sizes.to_vec(),
+            params,
+        }
+    }
+
+    fn param_count(sizes: &[usize]) -> usize {
+        sizes
+            .windows(2)
+            .map(|w| w[0] * w[1] + w[1])
+            .sum()
+    }
+
+    /// The layer sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of scalar parameters (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The flat parameter vector.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Mutable access to the flat parameter vector (used by SGD).
+    pub fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    /// Runs the network, returning all output activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input layer.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_trace(input).pop().expect("at least one layer")
+    }
+
+    /// Runs the network and returns the first output — the scalar
+    /// prediction for regression networks.
+    pub fn predict(&self, input: &[f64]) -> f64 {
+        self.forward(input)[0]
+    }
+
+    /// Forward pass retaining every layer's activations (input first,
+    /// output last) for backprop.
+    fn forward_trace(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(input.len(), self.sizes[0], "input size mismatch");
+        let mut activations = vec![input.to_vec()];
+        let mut offset = 0;
+        for l in 0..self.sizes.len() - 1 {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            let weights = &self.params[offset..offset + n_in * n_out];
+            let biases = &self.params[offset + n_in * n_out..offset + n_in * n_out + n_out];
+            offset += n_in * n_out + n_out;
+            let prev = activations.last().expect("seeded with the input");
+            let last_layer = l == self.sizes.len() - 2;
+            let mut next = Vec::with_capacity(n_out);
+            for j in 0..n_out {
+                let mut z = biases[j];
+                for (i, &a) in prev.iter().enumerate() {
+                    z += weights[j * n_in + i] * a;
+                }
+                next.push(if last_layer { z } else { z.tanh() });
+            }
+            activations.push(next);
+        }
+        activations
+    }
+
+    /// Backprop for one example under squared-error loss
+    /// `L = ½(y − t)²` (first output only): returns `(loss, ∂L/∂params)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input layer.
+    pub fn grad_squared_error(&self, input: &[f64], target: f64) -> (f64, Vec<f64>) {
+        let activations = self.forward_trace(input);
+        let output = activations.last().expect("at least one layer")[0];
+        let loss = 0.5 * (output - target).powi(2);
+
+        let mut grad = vec![0.0; self.params.len()];
+        // Delta at the (linear) output layer.
+        let mut delta: Vec<f64> = activations
+            .last()
+            .expect("at least one layer")
+            .iter()
+            .enumerate()
+            .map(|(j, _)| if j == 0 { output - target } else { 0.0 })
+            .collect();
+
+        // Walk layers backward; track the flat offset of each layer.
+        let mut offsets = Vec::new();
+        let mut off = 0;
+        for l in 0..self.sizes.len() - 1 {
+            offsets.push(off);
+            off += self.sizes[l] * self.sizes[l + 1] + self.sizes[l + 1];
+        }
+
+        for l in (0..self.sizes.len() - 1).rev() {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            let offset = offsets[l];
+            let prev = &activations[l];
+            // Gradients for this layer's weights and biases.
+            for j in 0..n_out {
+                for i in 0..n_in {
+                    grad[offset + j * n_in + i] = delta[j] * prev[i];
+                }
+                grad[offset + n_in * n_out + j] = delta[j];
+            }
+            if l > 0 {
+                // Propagate delta to the previous (tanh) layer.
+                let weights = &self.params[offset..offset + n_in * n_out];
+                let mut new_delta = vec![0.0; n_in];
+                for (i, nd) in new_delta.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for j in 0..n_out {
+                        acc += weights[j * n_in + i] * delta[j];
+                    }
+                    // activations[l] are tanh outputs: d tanh(z)/dz = 1 − a².
+                    *nd = acc * (1.0 - prev[i] * prev[i]);
+                }
+                delta = new_delta;
+            }
+        }
+        (loss, grad)
+    }
+
+    /// Mean squared error of the scalar prediction over a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn mse(&self, inputs: &[Vec<f64>], targets: &[f64]) -> f64 {
+        assert!(!inputs.is_empty(), "mse of an empty dataset");
+        assert_eq!(inputs.len(), targets.len());
+        inputs
+            .iter()
+            .zip(targets)
+            .map(|(x, &t)| (self.predict(x) - t).powi(2))
+            .sum::<f64>()
+            / inputs.len() as f64
+    }
+}
+
+/// One standard-normal draw (Box–Muller).
+fn gaussian(rng: &mut dyn RngCore) -> f64 {
+    use rand::Rng;
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_layers_rejected() {
+        let _ = Mlp::new(&[3], &mut rng());
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let net = Mlp::new(&[9, 8, 1], &mut rng());
+        assert_eq!(net.num_params(), 89);
+        let deep = Mlp::new(&[4, 5, 6, 2], &mut rng());
+        assert_eq!(deep.num_params(), 4 * 5 + 5 + 5 * 6 + 6 + 6 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = Mlp::new(&[3, 4, 1], &mut rng());
+        let x = [0.1, -0.2, 0.3];
+        assert_eq!(net.predict(&x), net.predict(&x));
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let net = Mlp::new(&[3, 4, 1], &mut rng());
+        let rebuilt = Mlp::from_params(net.sizes(), net.params().to_vec());
+        let x = [0.5, 0.5, 0.5];
+        assert_eq!(net.predict(&x), rebuilt.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match architecture")]
+    fn bad_param_vector_rejected() {
+        let _ = Mlp::from_params(&[3, 4, 1], vec![0.0; 7]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let net = Mlp::new(&[3, 5, 1], &mut rng());
+        let x = [0.3, -0.7, 0.2];
+        let t = 0.4;
+        let (_, grad) = net.grad_squared_error(&x, t);
+        let eps = 1e-6;
+        for k in (0..net.num_params()).step_by(7) {
+            let mut plus = net.clone();
+            plus.params_mut()[k] += eps;
+            let mut minus = net.clone();
+            minus.params_mut()[k] -= eps;
+            let l_plus = 0.5 * (plus.predict(&x) - t).powi(2);
+            let l_minus = 0.5 * (minus.predict(&x) - t).powi(2);
+            let numeric = (l_plus - l_minus) / (2.0 * eps);
+            assert!(
+                (grad[k] - numeric).abs() < 1e-6,
+                "param {k}: analytic {} vs numeric {numeric}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn loss_is_zero_at_perfect_prediction() {
+        let net = Mlp::new(&[2, 3, 1], &mut rng());
+        let x = [0.1, 0.9];
+        let y = net.predict(&x);
+        let (loss, grad) = net.grad_squared_error(&x, y);
+        assert!(loss < 1e-12);
+        assert!(grad.iter().all(|g| g.abs() < 1e-9));
+    }
+
+    #[test]
+    fn mse_averages() {
+        let net = Mlp::new(&[1, 2, 1], &mut rng());
+        let inputs = vec![vec![0.0], vec![1.0]];
+        let targets = vec![net.predict(&[0.0]), net.predict(&[1.0]) + 2.0];
+        // First example perfect, second off by 2 → MSE = 4/2 = 2.
+        assert!((net.mse(&inputs, &targets) - 2.0).abs() < 1e-12);
+    }
+}

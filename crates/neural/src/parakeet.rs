@@ -1,0 +1,452 @@
+//! Parakeet: Bayesian neural networks wrapped in `Uncertain<T>`
+//! (paper §5.3).
+//!
+//! Parakeet learns the **posterior predictive distribution**
+//! `p(t|x, D) = ∫ p(t|x, w) p(w|D) dw` instead of a single weight vector:
+//! hybrid Monte Carlo samples `p(w|D)` offline, a thinned pool of weight
+//! vectors is retained, and at runtime the sampling function draws a
+//! network from the pool, runs it on the input, and adds the likelihood
+//! noise — giving an `Uncertain<f64>` prediction whose conditionals the
+//! developer can calibrate.
+
+use crate::hmc::{Hmc, HmcConfig, LogDensity};
+use crate::network::Mlp;
+use crate::sobel::Dataset;
+use rand::RngCore;
+use std::sync::Arc;
+use uncertain_core::Uncertain;
+use uncertain_dist::{Distribution, Gaussian};
+
+/// The Bayesian posterior over MLP weights for a regression dataset:
+/// Gaussian likelihood `t ~ N(y(x; w), σ_noise)` and a Gaussian weight
+/// prior `w ~ N(0, σ_prior)` — the standard Bayesian-neural-network setup
+/// of Neal \[20\] the paper adopts.
+pub struct BayesianMlpPosterior {
+    template: Mlp,
+    inputs: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    noise_sigma: f64,
+    prior_sigma: f64,
+}
+
+impl std::fmt::Debug for BayesianMlpPosterior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BayesianMlpPosterior")
+            .field("architecture", &self.template.sizes())
+            .field("examples", &self.inputs.len())
+            .field("noise_sigma", &self.noise_sigma)
+            .field("prior_sigma", &self.prior_sigma)
+            .finish()
+    }
+}
+
+impl BayesianMlpPosterior {
+    /// Builds the posterior for `data` under the given architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or the sigmas are not positive.
+    pub fn new(
+        architecture: &[usize],
+        data: &Dataset,
+        noise_sigma: f64,
+        prior_sigma: f64,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        assert!(!data.is_empty(), "posterior needs training data");
+        assert!(noise_sigma > 0.0, "noise sigma must be positive");
+        assert!(prior_sigma > 0.0, "prior sigma must be positive");
+        Self {
+            template: Mlp::new(architecture, rng),
+            inputs: data.inputs.clone(),
+            targets: data.targets.clone(),
+            noise_sigma,
+            prior_sigma,
+        }
+    }
+
+    /// The likelihood noise σ (also the runtime PPD noise).
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+
+    /// A stable leapfrog step size for this posterior.
+    ///
+    /// The sharpest curvature of the log posterior scales like `N/σ²`
+    /// (N data terms, each with curvature ~1/σ²), and leapfrog is stable
+    /// only below `2/√λ_max`; this returns `0.5·σ/√N`, a comfortable
+    /// margin under that threshold. The paper notes HMC "often requires
+    /// hand tuning to achieve practical rejection rates" — this is the
+    /// tuning rule this reproduction uses.
+    pub fn suggested_step_size(&self) -> f64 {
+        0.5 * self.noise_sigma / (self.inputs.len() as f64).sqrt()
+    }
+
+    /// The maximum-a-posteriori warm start: plain SGD on the data (the
+    /// prior's pull is negligible at these scales). Starting the HMC chain
+    /// at the MAP avoids wasting the whole burn-in descending from a
+    /// random initialization.
+    pub fn map_estimate(&self, epochs: usize, learning_rate: f64, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut net = self.template.clone();
+        crate::train::SgdTrainer::new(learning_rate, epochs).train(
+            &mut net,
+            &self.inputs,
+            &self.targets,
+            rng,
+        );
+        net.params().to_vec()
+    }
+
+    fn network_with(&self, w: &[f64]) -> Mlp {
+        Mlp::from_params(self.template.sizes(), w.to_vec())
+    }
+}
+
+impl LogDensity for BayesianMlpPosterior {
+    fn dim(&self) -> usize {
+        self.template.num_params()
+    }
+
+    fn log_prob(&self, w: &[f64]) -> f64 {
+        let net = self.network_with(w);
+        let inv_n2 = 1.0 / (self.noise_sigma * self.noise_sigma);
+        let data_term: f64 = self
+            .inputs
+            .iter()
+            .zip(&self.targets)
+            .map(|(x, &t)| (net.predict(x) - t).powi(2))
+            .sum::<f64>()
+            * -0.5
+            * inv_n2;
+        let prior_term: f64 =
+            w.iter().map(|wi| wi * wi).sum::<f64>() * -0.5 / (self.prior_sigma * self.prior_sigma);
+        data_term + prior_term
+    }
+
+    fn grad(&self, w: &[f64]) -> Vec<f64> {
+        let net = self.network_with(w);
+        let inv_n2 = 1.0 / (self.noise_sigma * self.noise_sigma);
+        let mut grad = vec![0.0; w.len()];
+        for (x, &t) in self.inputs.iter().zip(&self.targets) {
+            let (_, g) = net.grad_squared_error(x, t);
+            for (acc, gi) in grad.iter_mut().zip(&g) {
+                // d logp = −(y−t)·dy/dw / σ² = −grad_mse / σ².
+                *acc -= gi * inv_n2;
+            }
+        }
+        for (acc, wi) in grad.iter_mut().zip(w) {
+            *acc -= wi / (self.prior_sigma * self.prior_sigma);
+        }
+        grad
+    }
+}
+
+/// The Parakeet predictor: a fixed pool of posterior weight samples whose
+/// predictions, plus likelihood noise, form the PPD (paper §5.3).
+///
+/// # Examples
+///
+/// ```no_run
+/// use uncertain_core::Sampler;
+/// use uncertain_neural::sobel::generate_dataset;
+/// use uncertain_neural::{HmcConfig, Parakeet};
+/// use rand::SeedableRng;
+///
+/// let data = generate_dataset(500, 1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let parakeet = Parakeet::train(&data, HmcConfig::default(), &mut rng);
+/// let prediction = parakeet.predict(&data.inputs[0]);
+/// // Ask a calibrated question instead of reading a point estimate:
+/// let mut s = Sampler::seeded(3);
+/// let confident_edge = prediction.gt(0.1).pr_with(0.8, &mut s);
+/// # let _ = confident_edge;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Parakeet {
+    pool: Arc<Vec<Mlp>>,
+    noise_sigma: f64,
+    acceptance_rate: f64,
+}
+
+impl Parakeet {
+    /// Default likelihood/PPD noise σ.
+    pub const DEFAULT_NOISE_SIGMA: f64 = 0.03;
+    /// Default weight-prior σ.
+    pub const DEFAULT_PRIOR_SIGMA: f64 = 3.0;
+
+    /// Trains Parakeet: builds the Bayesian posterior for `data` (with the
+    /// Parrot architecture) and runs HMC offline to capture the weight
+    /// pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or the HMC configuration is invalid.
+    pub fn train(data: &Dataset, hmc: HmcConfig, rng: &mut dyn RngCore) -> Self {
+        let posterior = BayesianMlpPosterior::new(
+            &crate::parrot::Parrot::ARCHITECTURE,
+            data,
+            Self::DEFAULT_NOISE_SIGMA,
+            Self::DEFAULT_PRIOR_SIGMA,
+            rng,
+        );
+        let init = posterior.map_estimate(40, 0.05, rng);
+        Self::from_posterior_with_init(&posterior, hmc, init)
+    }
+
+    /// Trains Parakeet fully automatically: MAP warm start by SGD, then
+    /// HMC with the posterior's [suggested step
+    /// size](BayesianMlpPosterior::suggested_step_size), retaining
+    /// `samples` networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `samples == 0`.
+    pub fn train_tuned(data: &Dataset, samples: usize, seed: u64, rng: &mut dyn RngCore) -> Self {
+        let posterior = BayesianMlpPosterior::new(
+            &crate::parrot::Parrot::ARCHITECTURE,
+            data,
+            Self::DEFAULT_NOISE_SIGMA,
+            Self::DEFAULT_PRIOR_SIGMA,
+            rng,
+        );
+        let init = posterior.map_estimate(40, 0.05, rng);
+        let cfg = HmcConfig {
+            step_size: posterior.suggested_step_size(),
+            leapfrog_steps: 30,
+            burn_in: samples,
+            samples,
+            thin: 3,
+            seed,
+        };
+        Self::from_posterior_with_init(&posterior, cfg, init)
+    }
+
+    /// Trains Parakeet from an explicit posterior (choose your own
+    /// architecture and sigmas), starting the chain at the template's
+    /// random initialization.
+    pub fn from_posterior(posterior: &BayesianMlpPosterior, hmc: HmcConfig) -> Self {
+        let init = posterior.template.params().to_vec();
+        Self::from_posterior_with_init(posterior, hmc, init)
+    }
+
+    /// Trains Parakeet from an explicit posterior and chain start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init.len()` does not match the posterior's dimension.
+    pub fn from_posterior_with_init(
+        posterior: &BayesianMlpPosterior,
+        hmc: HmcConfig,
+        init: Vec<f64>,
+    ) -> Self {
+        let run = Hmc::new(hmc).sample(posterior, init);
+        let pool = run
+            .samples
+            .iter()
+            .map(|w| posterior.network_with(w))
+            .collect();
+        Self {
+            pool: Arc::new(pool),
+            noise_sigma: posterior.noise_sigma,
+            acceptance_rate: run.acceptance_rate,
+        }
+    }
+
+    /// Number of networks in the posterior pool.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The HMC acceptance rate of the offline run (a health diagnostic).
+    pub fn acceptance_rate(&self) -> f64 {
+        self.acceptance_rate
+    }
+
+    /// The PPD for one input, as an `Uncertain<f64>`: each sample picks a
+    /// network uniformly from the pool, runs it, and adds the likelihood
+    /// noise. "If the sample size is sufficiently large, this approach
+    /// approximates true sampling well" (§5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch.len()` does not match the network input layer.
+    pub fn predict(&self, patch: &[f64]) -> Uncertain<f64> {
+        let pool = Arc::clone(&self.pool);
+        let noise =
+            Gaussian::new(0.0, self.noise_sigma).expect("noise sigma validated at training");
+        let patch = patch.to_vec();
+        assert_eq!(
+            patch.len(),
+            pool[0].sizes()[0],
+            "input size must match the network architecture"
+        );
+        Uncertain::from_fn("Parakeet PPD", move |rng| {
+            use rand::Rng;
+            let i = rng.gen_range(0..pool.len());
+            pool[i].predict(&patch) + noise.sample(rng)
+        })
+    }
+
+    /// The ensemble-mean point prediction (for diagnostics/figures).
+    pub fn mean_prediction(&self, patch: &[f64]) -> f64 {
+        self.pool.iter().map(|net| net.predict(patch)).sum::<f64>() / self.pool.len() as f64
+    }
+
+    /// The **Gaussian approximation** to the PPD the paper proposes as the
+    /// cheap alternative (§5.3): "a Gaussian approximation \[5\] to the PPD
+    /// would mitigate all these downsides, but may be an inappropriate
+    /// approximation in some cases. Since the Sobel operator's posterior is
+    /// approximately Gaussian, a Gaussian approximation may be
+    /// appropriate."
+    ///
+    /// The whole pool runs **once** here to fit `N(μ, √(σ²_pool + σ²_noise))`;
+    /// afterwards each joint sample is a single Gaussian draw instead of a
+    /// network execution — the downside it mitigates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch.len()` does not match the network input layer.
+    pub fn predict_gaussian(&self, patch: &[f64]) -> Uncertain<f64> {
+        let outputs: Vec<f64> = self.pool.iter().map(|net| net.predict(patch)).collect();
+        let n = outputs.len() as f64;
+        let mean = outputs.iter().sum::<f64>() / n;
+        let pool_var = if outputs.len() > 1 {
+            outputs.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let sd = (pool_var + self.noise_sigma * self.noise_sigma).sqrt();
+        Uncertain::from_distribution(
+            Gaussian::new(mean, sd.max(1e-12)).expect("positive standard deviation"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sobel::generate_dataset;
+    use rand::SeedableRng;
+    use uncertain_core::Sampler;
+
+    fn quick_parakeet() -> (Parakeet, Dataset) {
+        // Small HMC budget keeps the unit test fast; the figure binaries
+        // use larger budgets.
+        let data = generate_dataset(150, 20);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let cfg = HmcConfig {
+            step_size: 0.002,
+            leapfrog_steps: 12,
+            burn_in: 60,
+            samples: 40,
+            thin: 2,
+            seed: 5,
+        };
+        (Parakeet::train(&data, cfg, &mut rng), data)
+    }
+
+    #[test]
+    fn pool_has_configured_size() {
+        let (p, _) = quick_parakeet();
+        assert_eq!(p.pool_size(), 40);
+    }
+
+    #[test]
+    fn acceptance_rate_is_healthy() {
+        let (p, _) = quick_parakeet();
+        assert!(
+            p.acceptance_rate() > 0.4,
+            "acceptance {}",
+            p.acceptance_rate()
+        );
+    }
+
+    #[test]
+    fn ppd_is_a_distribution_not_a_point() {
+        let (p, data) = quick_parakeet();
+        let ppd = p.predict(&data.inputs[0]);
+        let mut s = Sampler::seeded(6);
+        let stats = ppd.stats_with(&mut s, 500).unwrap();
+        assert!(stats.std_dev() > 0.0, "PPD must have spread");
+    }
+
+    #[test]
+    fn ppd_tracks_targets_roughly() {
+        let (p, data) = quick_parakeet();
+        let mut s = Sampler::seeded(7);
+        let mut abs_err = 0.0;
+        let n = 30;
+        for i in 0..n {
+            let e = p.predict(&data.inputs[i]).expected_value_with(&mut s, 200);
+            abs_err += (e - data.targets[i]).abs();
+        }
+        let mae = abs_err / n as f64;
+        assert!(mae < 0.15, "mean absolute error {mae}");
+    }
+
+    #[test]
+    fn gaussian_ppd_matches_monte_carlo_moments() {
+        let (p, data) = quick_parakeet();
+        let mut s = Sampler::seeded(8);
+        for i in 0..5 {
+            let mc = p.predict(&data.inputs[i]).stats_with(&mut s, 2000).unwrap();
+            let ga = p
+                .predict_gaussian(&data.inputs[i])
+                .stats_with(&mut s, 2000)
+                .unwrap();
+            assert!(
+                (mc.mean() - ga.mean()).abs() < 0.03,
+                "mean {} vs {}",
+                mc.mean(),
+                ga.mean()
+            );
+            assert!(
+                (mc.std_dev() - ga.std_dev()).abs() < 0.03,
+                "sd {} vs {}",
+                mc.std_dev(),
+                ga.std_dev()
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_ppd_gives_same_edge_decisions_mostly() {
+        let (p, data) = quick_parakeet();
+        let mut s = Sampler::seeded(9);
+        let mut agree = 0;
+        let n = 40;
+        for i in 0..n {
+            let mc = p.predict(&data.inputs[i]).gt(0.1).probability_with(&mut s, 300);
+            let ga = p
+                .predict_gaussian(&data.inputs[i])
+                .gt(0.1)
+                .probability_with(&mut s, 300);
+            if (mc > 0.5) == (ga > 0.5) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= n - 3, "agreement {agree}/{n}");
+    }
+
+    #[test]
+    fn posterior_gradient_matches_finite_difference() {
+        let data = generate_dataset(20, 30);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let post = BayesianMlpPosterior::new(&[9, 4, 1], &data, 0.05, 2.0, &mut rng);
+        let w: Vec<f64> = post.template.params().to_vec();
+        let grad = post.grad(&w);
+        let eps = 1e-6;
+        for k in (0..w.len()).step_by(11) {
+            let mut plus = w.clone();
+            plus[k] += eps;
+            let mut minus = w.clone();
+            minus[k] -= eps;
+            let numeric = (post.log_prob(&plus) - post.log_prob(&minus)) / (2.0 * eps);
+            assert!(
+                (grad[k] - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "param {k}: {} vs {numeric}",
+                grad[k]
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The Parrot baseline (paper §5.3): one point-estimate network.
+
+use crate::network::Mlp;
+use crate::sobel::{Dataset, EDGE_THRESHOLD};
+use crate::train::SgdTrainer;
+use rand::RngCore;
+
+/// A single neural network trained to approximate the Sobel operator —
+/// the Parrot approach the paper compares against.
+///
+/// Parrot "locks developers into a particular balance of precision and
+/// recall": its edge decision is the bare conditional `y(x) > 0.1` on a
+/// point estimate, with no way to ask for more or less evidence.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_neural::sobel::generate_dataset;
+/// use uncertain_neural::Parrot;
+/// use rand::SeedableRng;
+///
+/// let data = generate_dataset(400, 1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let parrot = Parrot::train(&data, 40, 0.05, &mut rng);
+/// let rmse = parrot.rmse(&data);
+/// assert!(rmse < 0.1, "rmse={rmse}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parrot {
+    net: Mlp,
+}
+
+impl Parrot {
+    /// The paper's network topology for Sobel: 9 inputs, one hidden layer
+    /// of 8, one output.
+    pub const ARCHITECTURE: [usize; 3] = [9, 8, 1];
+
+    /// Trains the Parrot network with SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or the hyperparameters are invalid.
+    pub fn train(data: &Dataset, epochs: usize, learning_rate: f64, rng: &mut dyn RngCore) -> Self {
+        let mut net = Mlp::new(&Self::ARCHITECTURE, rng);
+        SgdTrainer::new(learning_rate, epochs).train(&mut net, &data.inputs, &data.targets, rng);
+        Self { net }
+    }
+
+    /// Wraps an already trained network.
+    pub fn from_network(net: Mlp) -> Self {
+        Self { net }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// The point-estimate prediction of `s(p)`.
+    pub fn predict(&self, patch: &[f64]) -> f64 {
+        self.net.predict(patch)
+    }
+
+    /// Parrot's edge decision: the naked conditional on a point estimate.
+    pub fn is_edge(&self, patch: &[f64]) -> bool {
+        self.predict(patch) > EDGE_THRESHOLD
+    }
+
+    /// Root-mean-square prediction error over a dataset (the paper quotes
+    /// 3.4% average RMSE for Parrot's Sobel network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn rmse(&self, data: &Dataset) -> f64 {
+        self.net.mse(&data.inputs, &data.targets).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sobel::generate_dataset;
+    use rand::SeedableRng;
+
+    fn trained() -> (Parrot, Dataset, Dataset) {
+        let train = generate_dataset(600, 10);
+        let test = generate_dataset(200, 11);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        (Parrot::train(&train, 60, 0.05, &mut rng), train, test)
+    }
+
+    #[test]
+    fn approximates_sobel_well_on_average() {
+        let (parrot, train, test) = trained();
+        assert!(parrot.rmse(&train) < 0.08, "train rmse {}", parrot.rmse(&train));
+        // Held-out error is a bit worse but still small.
+        assert!(parrot.rmse(&test) < 0.12, "test rmse {}", parrot.rmse(&test));
+    }
+
+    #[test]
+    fn edge_decision_uses_paper_threshold() {
+        let (parrot, _, test) = trained();
+        for x in test.inputs.iter().take(50) {
+            assert_eq!(parrot.is_edge(x), parrot.predict(x) > EDGE_THRESHOLD);
+        }
+    }
+
+    #[test]
+    fn conditional_amplifies_small_rmse() {
+        // The paper's amplification effect: a few-percent RMSE still yields
+        // a noticeable misclassification rate at the threshold.
+        let (parrot, _, test) = trained();
+        let mistakes = test
+            .inputs
+            .iter()
+            .zip(&test.targets)
+            .filter(|(x, &t)| parrot.is_edge(x) != (t > EDGE_THRESHOLD))
+            .count();
+        assert!(mistakes > 0, "point-estimate conditionals should misfire");
+    }
+}

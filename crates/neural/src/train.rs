@@ -1,0 +1,126 @@
+//! Stochastic gradient descent — the Parrot baseline's training loop.
+
+use crate::network::Mlp;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+/// Plain SGD over squared error, with per-epoch shuffling.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_neural::{Mlp, SgdTrainer};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut net = Mlp::new(&[1, 8, 1], &mut rng);
+/// // Learn y = x² on [-1, 1].
+/// let inputs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 32.0 - 1.0]).collect();
+/// let targets: Vec<f64> = inputs.iter().map(|x| x[0] * x[0]).collect();
+/// SgdTrainer::new(0.05, 400).train(&mut net, &inputs, &targets, &mut rng);
+/// assert!(net.mse(&inputs, &targets) < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdTrainer {
+    learning_rate: f64,
+    epochs: usize,
+}
+
+impl SgdTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate ≤ 0` or `epochs == 0`.
+    pub fn new(learning_rate: f64, epochs: usize) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(epochs > 0, "need at least one epoch");
+        Self {
+            learning_rate,
+            epochs,
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// The configured epoch count.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Trains `net` in place on `(inputs, targets)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or ragged.
+    pub fn train(
+        &self,
+        net: &mut Mlp,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        rng: &mut dyn RngCore,
+    ) {
+        assert!(!inputs.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                let (_, grad) = net.grad_squared_error(&inputs[i], targets[i]);
+                for (w, g) in net.params_mut().iter_mut().zip(&grad) {
+                    *w -= self.learning_rate * g;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_zero_lr() {
+        let _ = SgdTrainer::new(0.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_empty_dataset() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = Mlp::new(&[1, 2, 1], &mut rng);
+        SgdTrainer::new(0.1, 1).train(&mut net, &[], &[], &mut rng);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut net = Mlp::new(&[2, 6, 1], &mut rng);
+        let inputs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64 / 8.0, (i / 8) as f64 / 5.0])
+            .collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| (x[0] - x[1]).abs()).collect();
+        let before = net.mse(&inputs, &targets);
+        SgdTrainer::new(0.05, 300).train(&mut net, &inputs, &targets, &mut rng);
+        let after = net.mse(&inputs, &targets);
+        assert!(after < before / 4.0, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let mut net = Mlp::new(&[1, 3, 1], &mut rng);
+            let inputs = vec![vec![0.0], vec![0.5], vec![1.0]];
+            let targets = vec![0.0, 0.25, 1.0];
+            SgdTrainer::new(0.1, 50).train(&mut net, &inputs, &targets, &mut rng);
+            net.predict(&[0.7])
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,151 @@
+//! Confidence intervals for means and proportions.
+
+use crate::StatsError;
+use uncertain_dist::special::standard_normal_quantile;
+
+/// Normal-approximation confidence interval for a mean.
+///
+/// Returns `(low, high)` such that the interval covers the true mean with
+/// probability `confidence` under the CLT approximation — the paper's §3.2
+/// observes "the error in the mean of a data set is approximately Gaussian
+/// by the Central Limit Theorem."
+///
+/// # Errors
+///
+/// Returns [`StatsError`] unless `n ≥ 1`, `std_dev ≥ 0`, and
+/// `confidence ∈ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_stats::mean_confidence_interval;
+///
+/// # fn main() -> Result<(), uncertain_stats::StatsError> {
+/// let (lo, hi) = mean_confidence_interval(10.0, 2.0, 100, 0.95)?;
+/// assert!(lo < 10.0 && 10.0 < hi);
+/// assert!((hi - lo - 2.0 * 1.96 * 0.2).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mean_confidence_interval(
+    mean: f64,
+    std_dev: f64,
+    n: usize,
+    confidence: f64,
+) -> Result<(f64, f64), StatsError> {
+    if n == 0 {
+        return Err(StatsError::new("need at least one observation"));
+    }
+    if std_dev < 0.0 || !std_dev.is_finite() {
+        return Err(StatsError::new(format!(
+            "std_dev must be non-negative and finite, got {std_dev}"
+        )));
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::new(format!(
+            "confidence must be in (0,1), got {confidence}"
+        )));
+    }
+    let z = standard_normal_quantile(0.5 + confidence / 2.0);
+    let half = z * std_dev / (n as f64).sqrt();
+    Ok((mean - half, mean + half))
+}
+
+/// Wilson score interval for a Bernoulli proportion.
+///
+/// Better behaved than the Wald interval at extreme counts (0 or n
+/// successes), which the Life evaluation hits at low noise levels.
+///
+/// # Errors
+///
+/// Returns [`StatsError`] unless `successes ≤ n`, `n ≥ 1`, and
+/// `confidence ∈ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_stats::wilson_interval;
+///
+/// # fn main() -> Result<(), uncertain_stats::StatsError> {
+/// let (lo, hi) = wilson_interval(0, 100, 0.95)?;
+/// assert!(lo < 1e-12);
+/// assert!(hi > 0.01 && hi < 0.05); // zero successes still gives a nonzero upper bound
+/// # Ok(())
+/// # }
+/// ```
+pub fn wilson_interval(
+    successes: u64,
+    n: u64,
+    confidence: f64,
+) -> Result<(f64, f64), StatsError> {
+    if n == 0 {
+        return Err(StatsError::new("need at least one trial"));
+    }
+    if successes > n {
+        return Err(StatsError::new(format!(
+            "successes ({successes}) cannot exceed trials ({n})"
+        )));
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::new(format!(
+            "confidence must be in (0,1), got {confidence}"
+        )));
+    }
+    let z = standard_normal_quantile(0.5 + confidence / 2.0);
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt() / denom;
+    Ok(((center - half).max(0.0), (center + half).min(1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_rejects_bad_input() {
+        assert!(mean_confidence_interval(0.0, 1.0, 0, 0.95).is_err());
+        assert!(mean_confidence_interval(0.0, -1.0, 10, 0.95).is_err());
+        assert!(mean_confidence_interval(0.0, 1.0, 10, 0.0).is_err());
+        assert!(mean_confidence_interval(0.0, 1.0, 10, 1.0).is_err());
+    }
+
+    #[test]
+    fn mean_ci_shrinks_with_n() {
+        let (lo1, hi1) = mean_confidence_interval(0.0, 1.0, 10, 0.95).unwrap();
+        let (lo2, hi2) = mean_confidence_interval(0.0, 1.0, 1000, 0.95).unwrap();
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn mean_ci_grows_with_confidence() {
+        let (lo1, hi1) = mean_confidence_interval(0.0, 1.0, 100, 0.68).unwrap();
+        let (lo2, hi2) = mean_confidence_interval(0.0, 1.0, 100, 0.95).unwrap();
+        assert!(hi2 - lo2 > hi1 - lo1);
+        assert!(lo2 < lo1 && hi2 > hi1);
+    }
+
+    #[test]
+    fn wilson_rejects_bad_input() {
+        assert!(wilson_interval(1, 0, 0.95).is_err());
+        assert!(wilson_interval(5, 4, 0.95).is_err());
+        assert!(wilson_interval(1, 10, 1.5).is_err());
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(30, 100, 0.95).unwrap();
+        assert!(lo < 0.3 && 0.3 < hi);
+    }
+
+    #[test]
+    fn wilson_clamped_to_unit_interval() {
+        let (lo, _) = wilson_interval(0, 5, 0.99).unwrap();
+        let (_, hi) = wilson_interval(5, 5, 0.99).unwrap();
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Binary-classification metrics: confusion matrix, precision, recall.
+
+/// A binary-classification confusion matrix.
+///
+/// Used by the Parakeet evaluation (paper Fig. 16): *precision* is the
+/// probability a detected edge is a real edge (false positives), *recall*
+/// the probability a real edge is detected (false negatives). Developers
+/// pick the trade-off with the conditional threshold α.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_stats::ConfusionMatrix;
+///
+/// let mut m = ConfusionMatrix::new();
+/// m.record(true, true);   // true positive
+/// m.record(true, false);  // false positive
+/// m.record(false, true);  // false negative
+/// m.record(false, false); // true negative
+/// assert_eq!(m.precision(), Some(0.5));
+/// assert_eq!(m.recall(), Some(0.5));
+/// assert_eq!(m.accuracy(), Some(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ConfusionMatrix {
+    tp: u64,
+    fp: u64,
+    tn: u64,
+    fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `(predicted, actual)` observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// True positives.
+    pub fn true_positives(&self) -> u64 {
+        self.tp
+    }
+
+    /// False positives.
+    pub fn false_positives(&self) -> u64 {
+        self.fp
+    }
+
+    /// True negatives.
+    pub fn true_negatives(&self) -> u64 {
+        self.tn
+    }
+
+    /// False negatives.
+    pub fn false_negatives(&self) -> u64 {
+        self.fn_
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision `tp / (tp + fp)`; `None` when nothing was predicted
+    /// positive.
+    pub fn precision(&self) -> Option<f64> {
+        let denom = self.tp + self.fp;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// Recall `tp / (tp + fn)`; `None` when there were no actual positives.
+    pub fn recall(&self) -> Option<f64> {
+        let denom = self.tp + self.fn_;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// F1 score (harmonic mean of precision and recall); `None` if either
+    /// is undefined or both are zero.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        if p + r == 0.0 {
+            return None;
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Accuracy `(tp + tn) / total`; `None` when empty.
+    pub fn accuracy(&self) -> Option<f64> {
+        (self.total() > 0).then(|| (self.tp + self.tn) as f64 / self.total() as f64)
+    }
+
+    /// False-positive rate `fp / (fp + tn)`; `None` when there were no
+    /// actual negatives.
+    pub fn false_positive_rate(&self) -> Option<f64> {
+        let denom = self.fp + self.tn;
+        (denom > 0).then(|| self.fp as f64 / denom as f64)
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_no_metrics() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.precision(), None);
+        assert_eq!(m.recall(), None);
+        assert_eq!(m.f1(), None);
+        assert_eq!(m.accuracy(), None);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let mut m = ConfusionMatrix::new();
+        for _ in 0..10 {
+            m.record(true, true);
+            m.record(false, false);
+        }
+        assert_eq!(m.precision(), Some(1.0));
+        assert_eq!(m.recall(), Some(1.0));
+        assert_eq!(m.f1(), Some(1.0));
+        assert_eq!(m.accuracy(), Some(1.0));
+        assert_eq!(m.false_positive_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn all_positive_predictor_has_full_recall() {
+        let mut m = ConfusionMatrix::new();
+        // Predict everything positive on a 50/50 set — Parrot's behavior in
+        // the paper: 100% recall, poor precision.
+        for i in 0..100 {
+            m.record(true, i % 2 == 0);
+        }
+        assert_eq!(m.recall(), Some(1.0));
+        assert_eq!(m.precision(), Some(0.5));
+    }
+
+    #[test]
+    fn f1_balances() {
+        let mut m = ConfusionMatrix::new();
+        m.record(true, true); // p=1, r=0.5
+        m.record(false, true);
+        assert_eq!(m.precision(), Some(1.0));
+        assert_eq!(m.recall(), Some(0.5));
+        assert!((m.f1().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::new();
+        a.record(true, true);
+        let mut b = ConfusionMatrix::new();
+        b.record(false, false);
+        b.record(true, false);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.true_positives(), 1);
+        assert_eq!(a.true_negatives(), 1);
+        assert_eq!(a.false_positives(), 1);
+    }
+}

@@ -1,0 +1,445 @@
+//! Descriptive statistics: summaries, quantiles, histograms.
+
+use crate::StatsError;
+
+/// A complete descriptive summary of a sample of `f64` values.
+///
+/// This is what the `Uncertain<T>` runtime returns from its `stats(n)`
+/// evaluation operator, and what the benchmark harness prints for every
+/// figure series.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_stats::Summary;
+///
+/// # fn main() -> Result<(), uncertain_stats::StatsError> {
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0])?;
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.median(), 3.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Summary {
+    /// Computes a summary from a slice of values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `data` is empty or contains non-finite
+    /// values.
+    pub fn from_slice(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::new("cannot summarize an empty sample"));
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::new("sample contains non-finite values"));
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let variance = if data.len() < 2 {
+            0.0
+        } else {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        Ok(Self {
+            sorted,
+            mean,
+            variance,
+        })
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for a single observation).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.std_dev() / (self.count() as f64).sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("summary is never empty")
+    }
+
+    /// Median (the 0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Linear-interpolated sample quantile at probability `p ∈ [0, 1]`.
+    ///
+    /// Out-of-range `p` is clamped.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let pos = p * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// A symmetric interval `[quantile((1−c)/2), quantile((1+c)/2)]`
+    /// covering fraction `c` of the sample — the empirical analogue of a
+    /// confidence region for the *distribution* (e.g. `c = 0.95` for the
+    /// paper's 95% confidence intervals on speed).
+    pub fn coverage_interval(&self, c: f64) -> (f64, f64) {
+        let c = c.clamp(0.0, 1.0);
+        (
+            self.quantile((1.0 - c) / 2.0),
+            self.quantile((1.0 + c) / 2.0),
+        )
+    }
+}
+
+impl std::fmt::Display for Summary {
+    /// One-line summary: `n=…, mean=… ± σ, median, [min, max]`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} ±{:.4} median={:.4} range=[{:.4}, {:.4}]",
+            self.count(),
+            self.mean(),
+            self.std_dev(),
+            self.median(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A fixed-width histogram over an interval.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_stats::Histogram;
+///
+/// # fn main() -> Result<(), uncertain_stats::StatsError> {
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// for x in [1.0, 1.5, 7.2, 9.9, -3.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(0), 2);       // [0, 2)
+/// assert_eq!(h.underflow(), 1);    // -3.0
+/// assert_eq!(h.total(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins on `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] unless `low < high` and `bins ≥ 1`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Result<Self, StatsError> {
+        if low >= high || !low.is_finite() || !high.is_finite() {
+            return Err(StatsError::new(format!(
+                "histogram requires finite low < high, got [{low}, {high})"
+            )));
+        }
+        if bins == 0 {
+            return Err(StatsError::new("histogram needs at least one bin"));
+        }
+        Ok(Self {
+            low,
+            high,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Lower edge of the histogram range.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper edge of the histogram range.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds an observation.
+    pub fn add(&mut self, x: f64) {
+        let low = self.low();
+        let high = self.high();
+        if x < low {
+            self.underflow += 1;
+        } else if x >= high {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - low) / (high - low) * self.counts.len() as f64) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i` (0 if out of range).
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations added (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.high() - self.low()) / self.counts.len() as f64;
+        self.low() + (i as f64 + 0.5) * width
+    }
+
+    /// Renders a one-line-per-bin ASCII bar chart, used by the figure
+    /// binaries to "plot" distributions in the terminal.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("{:>10.3} | {:<width$} {}\n", self.bin_center(i), bar, c));
+        }
+        out
+    }
+
+    /// Iterates over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_center(i), c))
+    }
+}
+
+impl Histogram {
+    /// Merges another histogram with identical bounds and bin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            (self.low, self.high, self.counts.len()),
+            (other.low, other.high, other.counts.len()),
+            "histograms must share bounds and bin count"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Approximate quantile from the binned counts (linear within bins;
+    /// under/overflow contribute at the edges). Returns `None` when the
+    /// histogram is empty.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = p * total as f64;
+        let mut acc = self.underflow as f64;
+        if target <= acc {
+            return Some(self.low);
+        }
+        let width = (self.high - self.low) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - acc) / c as f64;
+                return Some(self.low + (i as f64 + frac) * width);
+            }
+            acc = next;
+        }
+        Some(self.high)
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::from_slice(&[]).is_err());
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_err());
+        assert!(Summary::from_slice(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::from_slice(&[4.2]).unwrap();
+        assert_eq!(s.mean(), 4.2);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.median(), 4.2);
+        assert_eq!(s.quantile(0.9), 4.2);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::from_slice(&[0.0, 10.0]).unwrap();
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(0.5), 5.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+        assert_eq!(s.quantile(-1.0), 0.0); // clamped
+        assert_eq!(s.quantile(2.0), 10.0); // clamped
+    }
+
+    #[test]
+    fn coverage_interval_nested() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = Summary::from_slice(&data).unwrap();
+        let (lo95, hi95) = s.coverage_interval(0.95);
+        let (lo50, hi50) = s.coverage_interval(0.50);
+        assert!(lo95 < lo50 && hi50 < hi95);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.extend([0.0, 0.24, 0.25, 0.5, 0.99, 1.0, -0.1]);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 7);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_config() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn summary_display_is_informative() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("mean=2.0000"));
+        assert!(text.contains("median=2.0000"));
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+        a.extend([0.1, 0.6]);
+        let mut b = Histogram::new(0.0, 1.0, 4).unwrap();
+        b.extend([0.1, 0.9, 2.0]);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share bounds")]
+    fn histogram_merge_rejects_mismatch() {
+        let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+        let b = Histogram::new(0.0, 2.0, 4).unwrap();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_quantile_tracks_data() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        h.extend((0..1000).map(|i| i as f64 / 10.0));
+        assert_eq!(Histogram::new(0.0, 1.0, 2).unwrap().quantile(0.5), None);
+        let q50 = h.quantile(0.5).unwrap();
+        let q90 = h.quantile(0.9).unwrap();
+        assert!((q50 - 50.0).abs() < 1.5, "q50={q50}");
+        assert!((q90 - 90.0).abs() < 1.5, "q90={q90}");
+        assert!(h.quantile(0.0).unwrap() <= q50);
+    }
+
+    #[test]
+    fn histogram_render_contains_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend([0.5, 0.6, 1.5]);
+        let s = h.render(20);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() == 2);
+    }
+}

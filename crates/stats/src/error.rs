@@ -1,0 +1,43 @@
+//! Error type for invalid statistical-test configuration.
+
+use std::fmt;
+
+/// Returned when a hypothesis test or estimator is configured with invalid
+/// parameters (probabilities outside `(0, 1)`, empty data, zero batch
+/// sizes, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsError {
+    what: String,
+}
+
+impl StatsError {
+    /// Creates an error with a human-readable description.
+    pub fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid statistics configuration: {}", self.what)
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = StatsError::new("alpha must be in (0,1)");
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<StatsError>();
+    }
+}

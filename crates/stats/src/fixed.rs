@@ -1,0 +1,137 @@
+//! Fixed-sample-size hypothesis test — the baseline the paper improves on.
+//!
+//! Prior sampling-function systems "compute with a fixed pool of samples"
+//! (paper §4.3). This module implements that baseline so the benchmark
+//! harness can quantify the SPRT's advantage in samples drawn.
+
+use crate::StatsError;
+use uncertain_dist::special::standard_normal_cdf;
+
+/// Outcome of a [`FixedSampleTest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedOutcome {
+    /// Whether `Pr[X] > threshold` was accepted.
+    pub accepted: bool,
+    /// Number of samples drawn (always the configured size).
+    pub samples: usize,
+    /// Number of `true` samples.
+    pub successes: u64,
+    /// Empirical estimate of `p`.
+    pub estimate: f64,
+    /// One-sided p-value of the observed count under `H₀: p = threshold`
+    /// (normal approximation).
+    pub p_value: f64,
+}
+
+/// A fixed-size test of `Pr[X] > threshold`: always draws exactly `n`
+/// samples and compares the empirical frequency to the threshold.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_stats::FixedSampleTest;
+/// use rand::{Rng, SeedableRng};
+///
+/// # fn main() -> Result<(), uncertain_stats::StatsError> {
+/// let test = FixedSampleTest::new(0.5, 1000)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let o = test.run(|| rng.gen::<f64>() < 0.8);
+/// assert!(o.accepted);
+/// assert_eq!(o.samples, 1000); // no early stopping, ever
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedSampleTest {
+    threshold: f64,
+    n: usize,
+}
+
+impl FixedSampleTest {
+    /// Creates a fixed test of `Pr[X] > threshold` with sample size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] unless `threshold ∈ (0, 1)` and `n ≥ 1`.
+    pub fn new(threshold: f64, n: usize) -> Result<Self, StatsError> {
+        if !(threshold > 0.0 && threshold < 1.0) {
+            return Err(StatsError::new(format!(
+                "threshold must be in (0,1), got {threshold}"
+            )));
+        }
+        if n == 0 {
+            return Err(StatsError::new("sample size must be at least 1"));
+        }
+        Ok(Self { threshold, n })
+    }
+
+    /// The configured sample size.
+    pub fn sample_size(&self) -> usize {
+        self.n
+    }
+
+    /// Runs the test, always drawing exactly `n` samples from `gen`.
+    pub fn run(&self, mut gen: impl FnMut() -> bool) -> FixedOutcome {
+        let mut successes = 0u64;
+        for _ in 0..self.n {
+            if gen() {
+                successes += 1;
+            }
+        }
+        let estimate = successes as f64 / self.n as f64;
+        // One-sided z-test against p = threshold.
+        let se = (self.threshold * (1.0 - self.threshold) / self.n as f64).sqrt();
+        let z = (estimate - self.threshold) / se;
+        FixedOutcome {
+            accepted: estimate > self.threshold,
+            samples: self.n,
+            successes,
+            estimate,
+            p_value: 1.0 - standard_normal_cdf(z),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(FixedSampleTest::new(0.0, 10).is_err());
+        assert!(FixedSampleTest::new(1.0, 10).is_err());
+        assert!(FixedSampleTest::new(0.5, 0).is_err());
+    }
+
+    #[test]
+    fn always_draws_exactly_n() {
+        let t = FixedSampleTest::new(0.5, 123).unwrap();
+        let mut count = 0usize;
+        let o = t.run(|| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 123);
+        assert_eq!(o.samples, 123);
+        assert_eq!(o.successes, 123);
+        assert!(o.accepted);
+    }
+
+    #[test]
+    fn p_value_small_for_strong_evidence() {
+        let t = FixedSampleTest::new(0.5, 500).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let o = t.run(|| rng.gen::<f64>() < 0.9);
+        assert!(o.p_value < 1e-6, "p={}", o.p_value);
+    }
+
+    #[test]
+    fn p_value_large_for_null() {
+        let t = FixedSampleTest::new(0.5, 500).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let o = t.run(|| rng.gen::<f64>() < 0.2);
+        assert!(o.p_value > 0.5, "p={}", o.p_value);
+        assert!(!o.accepted);
+    }
+}

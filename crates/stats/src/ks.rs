@@ -1,0 +1,139 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! Validates that a sampling function really draws from the distribution
+//! it claims to — the approximation-error audit the repository's test
+//! suites run against every distribution (`Uncertain<T>` is only as sound
+//! as its leaves).
+
+use crate::StatsError;
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsOutcome {
+    /// The KS statistic `D = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value of observing a deviation at least this large
+    /// under the null hypothesis that the sample comes from `F`.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsOutcome {
+    /// Whether the null hypothesis survives at significance `alpha`.
+    pub fn fits(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Runs a one-sample KS test of `sample` against the CDF `cdf`.
+///
+/// # Errors
+///
+/// Returns [`StatsError`] if the sample is empty or contains non-finite
+/// values.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_stats::ks_test;
+///
+/// # fn main() -> Result<(), uncertain_stats::StatsError> {
+/// // A perfectly spaced uniform grid fits the uniform CDF.
+/// let sample: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+/// let outcome = ks_test(&sample, |x| x.clamp(0.0, 1.0))?;
+/// assert!(outcome.fits(0.05));
+/// // …and clearly does not fit a squashed CDF.
+/// let bad = ks_test(&sample, |x| (x * x).clamp(0.0, 1.0))?;
+/// assert!(!bad.fits(0.05));
+/// # Ok(())
+/// # }
+/// ```
+pub fn ks_test(sample: &[f64], cdf: impl Fn(f64) -> f64) -> Result<KsOutcome, StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::new("ks test needs a non-empty sample"));
+    }
+    if sample.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::new("ks test sample must be finite"));
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let below = i as f64 / n;
+        let above = (i as f64 + 1.0) / n;
+        d = d.max((f - below).abs()).max((above - f).abs());
+    }
+    Ok(KsOutcome {
+        statistic: d,
+        p_value: ks_p_value(d, sorted.len()),
+        n: sorted.len(),
+    })
+}
+
+/// Asymptotic KS p-value: `Q(λ) = 2 Σ (−1)^{k−1} e^(−2k²λ²)` with the
+/// standard small-sample correction `λ = (√n + 0.12 + 0.11/√n)·D`.
+fn ks_p_value(d: f64, n: usize) -> f64 {
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64 * lambda).powi(2)).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use uncertain_dist::special::standard_normal_cdf;
+    use uncertain_dist::{Distribution, Gaussian};
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(ks_test(&[], |x| x).is_err());
+        assert!(ks_test(&[f64::NAN], |x| x).is_err());
+    }
+
+    #[test]
+    fn gaussian_samples_fit_gaussian_cdf() {
+        let g = Gaussian::new(0.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+        let sample: Vec<f64> = (0..2000).map(|_| g.sample(&mut rng)).collect();
+        let outcome = ks_test(&sample, standard_normal_cdf).unwrap();
+        assert!(outcome.fits(0.01), "D={} p={}", outcome.statistic, outcome.p_value);
+    }
+
+    #[test]
+    fn gaussian_samples_reject_shifted_cdf() {
+        let g = Gaussian::new(0.3, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let sample: Vec<f64> = (0..2000).map(|_| g.sample(&mut rng)).collect();
+        let outcome = ks_test(&sample, standard_normal_cdf).unwrap();
+        assert!(!outcome.fits(0.01), "should reject a 0.3σ shift");
+    }
+
+    #[test]
+    fn uniform_noise_rejects_gaussian() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+        let sample: Vec<f64> = (0..1000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let outcome = ks_test(&sample, standard_normal_cdf).unwrap();
+        assert!(!outcome.fits(0.01));
+    }
+
+    #[test]
+    fn p_value_bounds() {
+        let outcome = ks_test(&[0.5], |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!((0.0..=1.0).contains(&outcome.p_value));
+        assert_eq!(outcome.n, 1);
+    }
+}

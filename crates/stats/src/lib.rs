@@ -1,0 +1,62 @@
+//! Statistics substrate for the `Uncertain<T>` reproduction.
+//!
+//! The paper's conditional semantics (§3.4/§4.3) rests on *sequential
+//! hypothesis testing*: every comparison of uncertain values is decided by
+//! Wald's sequential probability ratio test (SPRT), drawing only as many
+//! samples as that particular conditional needs. This crate implements that
+//! machinery from scratch, plus the surrounding statistical toolkit the
+//! case studies and evaluation harness use:
+//!
+//! * [`Sprt`] / [`SequentialTest`] — Wald's SPRT over Bernoulli samples with
+//!   batching and a termination cap, exactly as §4.3 describes,
+//! * [`GroupSequentialTest`] — a Pocock-style "closed" sequential design
+//!   with a guaranteed bound on the sample size (the paper's anticipated
+//!   future work, §4.3),
+//! * [`FixedSampleTest`] — the fixed-sample-size baseline the paper argues
+//!   against (used by the ablation benches),
+//! * [`Summary`] / [`OnlineStats`] / [`Histogram`] — descriptive statistics,
+//! * [`mean_confidence_interval`] / [`wilson_interval`] — confidence
+//!   intervals for means and proportions,
+//! * [`ConfusionMatrix`] — precision/recall for the Parakeet evaluation
+//!   (Fig. 16).
+//!
+//! # Examples
+//!
+//! ```
+//! use uncertain_stats::{SequentialTest, TestDecision};
+//! use rand::{Rng, SeedableRng};
+//!
+//! # fn main() -> Result<(), uncertain_stats::StatsError> {
+//! // Is Pr[heads] > 0.5 for a coin that is actually 0.8?
+//! let test = SequentialTest::at_threshold(0.5)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let outcome = test.run(|| rng.gen::<f64>() < 0.8);
+//! assert_eq!(outcome.decision, TestDecision::AcceptAlternative);
+//! // Far fewer samples than a fixed-size test would use:
+//! assert!(outcome.samples < 100);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ci;
+mod classify;
+mod descriptive;
+mod error;
+mod fixed;
+mod gst;
+mod ks;
+mod online;
+mod sprt;
+
+pub use ci::{mean_confidence_interval, wilson_interval};
+pub use classify::ConfusionMatrix;
+pub use descriptive::{Histogram, Summary};
+pub use error::StatsError;
+pub use fixed::{FixedOutcome, FixedSampleTest};
+pub use gst::{GroupSequentialOutcome, GroupSequentialTest};
+pub use ks::{ks_test, KsOutcome};
+pub use online::OnlineStats;
+pub use sprt::{SequentialTest, Sprt, TestDecision, TestOutcome};

@@ -1,0 +1,457 @@
+//! Wald's sequential probability ratio test (SPRT).
+//!
+//! The paper (§4.3) decides every conditional on uncertain data with an
+//! SPRT: draw a batch of `k` Bernoulli samples, update the log-likelihood
+//! ratio, stop as soon as the evidence crosses a boundary, and cap the
+//! total sample size to guarantee termination. "Wald's SPRT is optimal in
+//! terms of average sample size" — this module is a faithful, reusable
+//! implementation of that design.
+
+use crate::StatsError;
+
+/// Outcome category of a sequential test step or run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestDecision {
+    /// The evidence favors the alternative hypothesis `H₁: p ≥ p₁`.
+    AcceptAlternative,
+    /// The evidence favors the null hypothesis `H₀: p ≤ p₀`.
+    AcceptNull,
+    /// Neither boundary has been crossed yet; more samples are needed.
+    Continue,
+}
+
+/// The boundaries and likelihood model of one Wald SPRT.
+///
+/// Tests `H₀: p = p₀` against `H₁: p = p₁` (with `p₀ < p₁`) for the
+/// parameter `p` of a Bernoulli distribution, with type-I error bound `α`
+/// (false acceptance of `H₁`) and type-II error bound `β` (false acceptance
+/// of `H₀`).
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_stats::{Sprt, TestDecision};
+///
+/// # fn main() -> Result<(), uncertain_stats::StatsError> {
+/// let sprt = Sprt::new(0.45, 0.55, 0.05, 0.05)?;
+/// // 90 successes out of 100 is overwhelming evidence for H₁.
+/// assert_eq!(sprt.decide(90, 100), TestDecision::AcceptAlternative);
+/// // 50/100 is inside the indifference region: keep sampling.
+/// assert_eq!(sprt.decide(50, 100), TestDecision::Continue);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sprt {
+    p0: f64,
+    p1: f64,
+    alpha: f64,
+    beta: f64,
+    /// ln((1−β)/α): accept H₁ at or above this log-likelihood ratio.
+    upper: f64,
+    /// ln(β/(1−α)): accept H₀ at or below this log-likelihood ratio.
+    lower: f64,
+    /// Per-success increment of the LLR: ln(p₁/p₀).
+    success_step: f64,
+    /// Per-failure increment of the LLR: ln((1−p₁)/(1−p₀)).
+    failure_step: f64,
+}
+
+impl Sprt {
+    /// Creates an SPRT of `H₀: p = p0` vs `H₁: p = p1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] unless `0 < p0 < p1 < 1` and
+    /// `alpha, beta ∈ (0, 1)`.
+    pub fn new(p0: f64, p1: f64, alpha: f64, beta: f64) -> Result<Self, StatsError> {
+        if !(p0 > 0.0 && p1 < 1.0 && p0 < p1) {
+            return Err(StatsError::new(format!(
+                "sprt requires 0 < p0 < p1 < 1, got p0={p0}, p1={p1}"
+            )));
+        }
+        for (name, v) in [("alpha", alpha), ("beta", beta)] {
+            if !(v > 0.0 && v < 1.0) {
+                return Err(StatsError::new(format!("{name} must be in (0,1), got {v}")));
+            }
+        }
+        Ok(Self {
+            p0,
+            p1,
+            alpha,
+            beta,
+            upper: ((1.0 - beta) / alpha).ln(),
+            lower: (beta / (1.0 - alpha)).ln(),
+            success_step: (p1 / p0).ln(),
+            failure_step: ((1.0 - p1) / (1.0 - p0)).ln(),
+        })
+    }
+
+    /// Builds the SPRT the `Uncertain<T>` runtime uses for a conditional at
+    /// probability `threshold`, with an indifference half-width `delta`:
+    /// `H₀: p ≤ threshold − δ` vs `H₁: p ≥ threshold + δ`, clamped away from
+    /// 0 and 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `threshold ∈ (0, 1)` does not hold, or
+    /// `delta`, `alpha`, `beta` are out of range.
+    pub fn for_threshold(
+        threshold: f64,
+        delta: f64,
+        alpha: f64,
+        beta: f64,
+    ) -> Result<Self, StatsError> {
+        if !(threshold > 0.0 && threshold < 1.0) {
+            return Err(StatsError::new(format!(
+                "conditional threshold must be in (0,1), got {threshold}"
+            )));
+        }
+        if !(delta > 0.0 && delta < 0.5) {
+            return Err(StatsError::new(format!(
+                "indifference delta must be in (0, 0.5), got {delta}"
+            )));
+        }
+        let floor = 1e-4;
+        let p0 = (threshold - delta).max(floor);
+        let p1 = (threshold + delta).min(1.0 - floor);
+        Self::new(p0, p1, alpha, beta)
+    }
+
+    /// The null-hypothesis parameter `p₀`.
+    pub fn p0(&self) -> f64 {
+        self.p0
+    }
+
+    /// The alternative-hypothesis parameter `p₁`.
+    pub fn p1(&self) -> f64 {
+        self.p1
+    }
+
+    /// Bound on the type-I error (accepting `H₁` when `H₀` is true).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Bound on the type-II error (accepting `H₀` when `H₁` is true).
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The log-likelihood ratio after observing `successes` out of `n`
+    /// Bernoulli samples.
+    pub fn log_likelihood_ratio(&self, successes: u64, n: u64) -> f64 {
+        debug_assert!(successes <= n);
+        successes as f64 * self.success_step + (n - successes) as f64 * self.failure_step
+    }
+
+    /// Applies Wald's stopping rule to the current counts.
+    pub fn decide(&self, successes: u64, n: u64) -> TestDecision {
+        let llr = self.log_likelihood_ratio(successes, n);
+        if llr >= self.upper {
+            TestDecision::AcceptAlternative
+        } else if llr <= self.lower {
+            TestDecision::AcceptNull
+        } else {
+            TestDecision::Continue
+        }
+    }
+}
+
+/// Result of running a [`SequentialTest`] to completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestOutcome {
+    /// The final decision ([`TestDecision::Continue`] never appears here;
+    /// hitting the sample cap falls back to the empirical estimate and is
+    /// flagged by `conclusive = false`).
+    pub decision: TestDecision,
+    /// Total number of Bernoulli samples drawn.
+    pub samples: usize,
+    /// Number of `true` samples observed.
+    pub successes: u64,
+    /// The empirical estimate `successes / samples`.
+    pub estimate: f64,
+    /// `true` if a Wald boundary was crossed; `false` if the max-sample cap
+    /// forced a fallback decision (paper §4.3: the artificial cap slightly
+    /// perturbs the nominal error rates).
+    pub conclusive: bool,
+}
+
+impl TestOutcome {
+    /// Whether the alternative hypothesis was accepted.
+    pub fn accepted(&self) -> bool {
+        self.decision == TestDecision::AcceptAlternative
+    }
+}
+
+/// A batched, capped runner for a Wald [`Sprt`] — the exact procedure of
+/// paper §4.3: draw `batch` samples, test, repeat until significant or the
+/// cap is reached.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_stats::SequentialTest;
+/// use rand::{Rng, SeedableRng};
+///
+/// # fn main() -> Result<(), uncertain_stats::StatsError> {
+/// let test = SequentialTest::at_threshold(0.9)?; // evidence must exceed 90%
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let outcome = test.run(|| rng.gen::<f64>() < 0.5); // true p = 0.5
+/// assert!(!outcome.accepted());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialTest {
+    sprt: Sprt,
+    threshold: f64,
+    batch: usize,
+    max_samples: usize,
+}
+
+impl SequentialTest {
+    /// Default indifference-region half-width `δ`.
+    pub const DEFAULT_DELTA: f64 = 0.05;
+    /// Default type-I error bound `α`.
+    pub const DEFAULT_ALPHA: f64 = 0.05;
+    /// Default type-II error bound `β`.
+    pub const DEFAULT_BETA: f64 = 0.05;
+    /// Default batch size `k` (the paper suggests `k = 10`).
+    pub const DEFAULT_BATCH: usize = 10;
+    /// Default termination cap on the total sample count.
+    pub const DEFAULT_MAX_SAMPLES: usize = 1000;
+
+    /// Creates a sequential test for `Pr[X] > threshold` with the paper's
+    /// default parameters (`δ = 0.05`, `α = β = 0.05`, `k = 10`,
+    /// cap = 1000).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `threshold ∉ (0, 1)`.
+    pub fn at_threshold(threshold: f64) -> Result<Self, StatsError> {
+        Self::with_params(
+            threshold,
+            Self::DEFAULT_DELTA,
+            Self::DEFAULT_ALPHA,
+            Self::DEFAULT_BETA,
+            Self::DEFAULT_BATCH,
+            Self::DEFAULT_MAX_SAMPLES,
+        )
+    }
+
+    /// Creates a fully parameterized sequential test.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] for out-of-range probabilities, a zero batch,
+    /// or a cap smaller than one batch.
+    pub fn with_params(
+        threshold: f64,
+        delta: f64,
+        alpha: f64,
+        beta: f64,
+        batch: usize,
+        max_samples: usize,
+    ) -> Result<Self, StatsError> {
+        if batch == 0 {
+            return Err(StatsError::new("batch size must be at least 1"));
+        }
+        if max_samples < batch {
+            return Err(StatsError::new(format!(
+                "max_samples ({max_samples}) must be at least the batch size ({batch})"
+            )));
+        }
+        Ok(Self {
+            sprt: Sprt::for_threshold(threshold, delta, alpha, beta)?,
+            threshold,
+            batch,
+            max_samples,
+        })
+    }
+
+    /// The underlying Wald SPRT.
+    pub fn sprt(&self) -> &Sprt {
+        &self.sprt
+    }
+
+    /// The conditional threshold being tested.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The batch size `k`.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The termination cap.
+    pub fn max_samples(&self) -> usize {
+        self.max_samples
+    }
+
+    /// Runs the test to completion, pulling Bernoulli samples from `gen`.
+    ///
+    /// Draws `batch` samples at a time and applies Wald's stopping rule
+    /// after each batch. If the cap is reached without crossing a boundary,
+    /// the decision falls back to comparing the empirical estimate against
+    /// the threshold and the outcome is marked inconclusive.
+    pub fn run(&self, mut gen: impl FnMut() -> bool) -> TestOutcome {
+        let mut n: usize = 0;
+        let mut successes: u64 = 0;
+        while n < self.max_samples {
+            let take = self.batch.min(self.max_samples - n);
+            for _ in 0..take {
+                if gen() {
+                    successes += 1;
+                }
+            }
+            n += take;
+            match self.sprt.decide(successes, n as u64) {
+                TestDecision::Continue => continue,
+                decision => {
+                    return TestOutcome {
+                        decision,
+                        samples: n,
+                        successes,
+                        estimate: successes as f64 / n as f64,
+                        conclusive: true,
+                    }
+                }
+            }
+        }
+        let estimate = successes as f64 / n as f64;
+        TestOutcome {
+            decision: if estimate > self.threshold {
+                TestDecision::AcceptAlternative
+            } else {
+                TestDecision::AcceptNull
+            },
+            samples: n,
+            successes,
+            estimate,
+            conclusive: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Sprt::new(0.5, 0.5, 0.05, 0.05).is_err());
+        assert!(Sprt::new(0.6, 0.4, 0.05, 0.05).is_err());
+        assert!(Sprt::new(0.0, 0.5, 0.05, 0.05).is_err());
+        assert!(Sprt::new(0.4, 1.0, 0.05, 0.05).is_err());
+        assert!(Sprt::new(0.4, 0.6, 0.0, 0.05).is_err());
+        assert!(Sprt::new(0.4, 0.6, 0.05, 1.0).is_err());
+        assert!(SequentialTest::at_threshold(0.0).is_err());
+        assert!(SequentialTest::at_threshold(1.0).is_err());
+        assert!(SequentialTest::with_params(0.5, 0.05, 0.05, 0.05, 0, 100).is_err());
+        assert!(SequentialTest::with_params(0.5, 0.05, 0.05, 0.05, 10, 5).is_err());
+    }
+
+    #[test]
+    fn threshold_clamping_near_edges() {
+        // threshold 0.97 with δ=0.05 would push p1 past 1; must clamp.
+        let s = Sprt::for_threshold(0.97, 0.05, 0.05, 0.05).unwrap();
+        assert!(s.p1() < 1.0);
+        assert!(s.p0() < s.p1());
+        let s = Sprt::for_threshold(0.03, 0.05, 0.05, 0.05).unwrap();
+        assert!(s.p0() > 0.0);
+    }
+
+    #[test]
+    fn llr_monotone_in_successes() {
+        let s = Sprt::new(0.45, 0.55, 0.05, 0.05).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=50 {
+            let llr = s.log_likelihood_ratio(k, 50);
+            assert!(llr > prev);
+            prev = llr;
+        }
+    }
+
+    #[test]
+    fn obvious_cases_decide_quickly() {
+        let t = SequentialTest::at_threshold(0.5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        // p = 0.95: should accept H1 in very few batches.
+        let o = t.run(|| rng.gen::<f64>() < 0.95);
+        assert!(o.accepted());
+        assert!(o.conclusive);
+        assert!(o.samples <= 50, "samples={}", o.samples);
+        // p = 0.05: should accept H0 quickly.
+        let o = t.run(|| rng.gen::<f64>() < 0.05);
+        assert!(!o.accepted());
+        assert!(o.conclusive);
+        assert!(o.samples <= 50, "samples={}", o.samples);
+    }
+
+    #[test]
+    fn hard_cases_use_more_samples() {
+        let t = SequentialTest::at_threshold(0.5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut easy_total = 0usize;
+        let mut hard_total = 0usize;
+        for _ in 0..50 {
+            easy_total += t.run(|| rng.gen::<f64>() < 0.9).samples;
+            hard_total += t.run(|| rng.gen::<f64>() < 0.55).samples;
+        }
+        assert!(
+            hard_total > 2 * easy_total,
+            "hard={hard_total} easy={easy_total}"
+        );
+    }
+
+    #[test]
+    fn indifferent_case_hits_cap() {
+        // True p exactly at the threshold: the SPRT should frequently hit
+        // the cap and fall back (inconclusive).
+        let t = SequentialTest::with_params(0.5, 0.05, 0.05, 0.05, 10, 200).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let inconclusive = (0..100)
+            .filter(|_| !t.run(|| rng.gen::<f64>() < 0.5).conclusive)
+            .count();
+        assert!(inconclusive > 40, "inconclusive={inconclusive}");
+    }
+
+    #[test]
+    fn error_rates_within_bounds() {
+        // With true p = p1, the rate of false H0 acceptance must be ~≤ β.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let t = SequentialTest::with_params(0.5, 0.1, 0.05, 0.05, 10, 5000).unwrap();
+        let trials = 300;
+        let false_negatives = (0..trials)
+            .filter(|_| !t.run(|| rng.gen::<f64>() < 0.6).accepted())
+            .count() as f64
+            / trials as f64;
+        assert!(false_negatives < 0.10, "fnr={false_negatives}");
+        let false_positives = (0..trials)
+            .filter(|_| t.run(|| rng.gen::<f64>() < 0.4).accepted())
+            .count() as f64
+            / trials as f64;
+        assert!(false_positives < 0.10, "fpr={false_positives}");
+    }
+
+    #[test]
+    fn outcome_accounting_is_consistent() {
+        let t = SequentialTest::at_threshold(0.5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let o = t.run(|| rng.gen::<f64>() < 0.7);
+        assert!(o.successes as usize <= o.samples);
+        assert!((o.estimate - o.successes as f64 / o.samples as f64).abs() < 1e-12);
+        assert_eq!(o.samples % t.batch(), 0);
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let t = SequentialTest::with_params(0.5, 0.01, 0.05, 0.05, 7, 100).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let o = t.run(|| rng.gen::<f64>() < 0.5);
+        assert!(o.samples <= 100);
+    }
+}

@@ -1,0 +1,127 @@
+//! `Uncertain<T>` over *your own* types: the paper's algebra is generic —
+//! "developers may override other types as well" (§3.1) — so any type with
+//! arithmetic can carry uncertainty. Here: a 2D force vector and a typed
+//! temperature.
+//!
+//! Run with `cargo run --example custom_types`.
+
+use std::ops::{Add, Div, Mul};
+use uncertain_suite::{Sampler, Uncertain};
+
+/// A plain 2D vector — a "numeric" user type like the paper's
+/// `GeoCoordinate`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct Vec2 {
+    x: f64,
+    y: f64,
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2 {
+            x: self.x * k,
+            y: self.y * k,
+        }
+    }
+}
+
+impl Vec2 {
+    fn magnitude(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+}
+
+/// Degrees Celsius as a newtype (the guide's static distinction between
+/// unit interpretations).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+struct Celsius(f64);
+
+impl Add for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: Celsius) -> Celsius {
+        Celsius(self.0 + rhs.0)
+    }
+}
+
+impl Div<f64> for Celsius {
+    type Output = Celsius;
+    fn div(self, k: f64) -> Celsius {
+        Celsius(self.0 / k)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sampler = Sampler::seeded(21);
+
+    // --- Uncertain forces -------------------------------------------------
+    // Two force sensors, each with independent 2D Gaussian noise.
+    let sensor = |mean: Vec2, sd: f64, label: &str| -> Uncertain<Vec2> {
+        let noise_x = Uncertain::normal(mean.x, sd).expect("positive sd");
+        let noise_y = Uncertain::normal(mean.y, sd).expect("positive sd");
+        noise_x.map2(label, &noise_y, |x, y| Vec2 { x, y })
+    };
+    let f1 = sensor(Vec2 { x: 3.0, y: 0.5 }, 0.4, "sensor 1");
+    let f2 = sensor(Vec2 { x: -1.0, y: 2.0 }, 0.6, "sensor 2");
+
+    // The lifted `+` works because Vec2: Add — the generic algebra of §3.1.
+    let net_force = f1.map2("+", &f2, |a, b| a + b);
+    let magnitude = net_force.map("‖·‖", Vec2::magnitude);
+
+    println!(
+        "E[‖F₁ + F₂‖] = {:.3} N (true resultant ‖(2, 2.5)‖ = {:.3})",
+        magnitude.expected_value_with(&mut sampler, 4000),
+        (Vec2 { x: 2.0, y: 2.5 }).magnitude()
+    );
+    println!(
+        "Pr[net force exceeds 4 N] ≈ {:.2}",
+        magnitude.gt(4.0).probability_with(&mut sampler, 4000)
+    );
+    if magnitude.gt(5.0).pr_with(0.95, &mut sampler) {
+        println!("…trip the overload breaker (95% sure).");
+    } else {
+        println!("…no confident overload: keep running.");
+    }
+
+    // --- Uncertain temperatures -------------------------------------------
+    // Three thermometer readings of the same room; average them with the
+    // lifted algebra over the newtype.
+    let read = |true_temp: f64| -> Uncertain<Celsius> {
+        Uncertain::normal(true_temp, 0.8)
+            .expect("positive sd")
+            .map("Celsius", Celsius)
+    };
+    let t1 = read(21.4);
+    let t2 = read(21.4);
+    let t3 = read(21.4);
+    let mean_temp = t1
+        .map2("+", &t2, |a, b| a + b)
+        .map2("+", &t3, |a, b| a + b)
+        .map("÷3", |sum: Celsius| sum / 3.0);
+
+    // Comparisons come from PartialOrd on the newtype.
+    let too_warm = mean_temp.gt(Celsius(22.0));
+    println!(
+        "\nPr[room above 22 °C] ≈ {:.2}",
+        too_warm.probability_with(&mut sampler, 4000)
+    );
+    println!(
+        "turn on the AC? {}",
+        if too_warm.pr_with(0.9, &mut sampler) {
+            "yes (90% sure)"
+        } else {
+            "no — evidence is weak"
+        }
+    );
+    Ok(())
+}

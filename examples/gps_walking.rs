@@ -1,0 +1,49 @@
+//! The paper's Fig. 5 GPS-Walking app, end to end on the simulated sensor:
+//! naive vs. uncertain behavior, second by second.
+//!
+//! Run with `cargo run --example gps_walking --release`.
+
+use uncertain_suite::gps::{Action, WalkExperiment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("GPS-Walking: walking at a true 3 mph with ε = 4 m GPS for 3 minutes\n");
+    let result = WalkExperiment::new(4.0, 180, 5)
+        .samples_per_estimate(200)
+        .run()?;
+
+    println!("t(s)  true  naive  improved  naive-app     uncertain-app");
+    for r in result.records.iter().step_by(6) {
+        let show = |a: Action| match a {
+            Action::GoodJob => "GoodJob!",
+            Action::SpeedUp => "SpeedUp!",
+            Action::Silent => "(silent)",
+        };
+        println!(
+            "{:>4} {:>5.1} {:>6.1} {:>9.1}  {:<12} {}",
+            r.t,
+            r.true_speed,
+            r.naive_speed,
+            r.improved_speed,
+            show(r.naive_action),
+            show(r.uncertain_action)
+        );
+    }
+
+    println!();
+    println!(
+        "the user never walked faster than 4 mph, yet the naive app praised them {} times;",
+        result.naive_action_count(Action::GoodJob)
+    );
+    println!(
+        "the uncertain app praised {} times, admonished {} times, and stayed silent {} times",
+        result.uncertain_action_count(Action::GoodJob),
+        result.uncertain_action_count(Action::SpeedUp),
+        result.uncertain_action_count(Action::Silent)
+    );
+    println!(
+        "max naive speed: {:.1} mph; max prior-improved speed: {:.1} mph",
+        result.max_of(|r| r.naive_speed),
+        result.max_of(|r| r.improved_speed)
+    );
+    Ok(())
+}

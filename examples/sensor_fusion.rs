@@ -1,0 +1,61 @@
+//! Sensor fusion: combine two GPS fixes into one sharper posterior with
+//! Bayes' theorem — impossible with point-plus-radius APIs, one line with
+//! `Uncertain<GeoCoordinate>`.
+//!
+//! Run with `cargo run --example sensor_fusion`.
+
+use uncertain_suite::gps::{GeoCoordinate, SimulatedGps};
+use uncertain_suite::Sampler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let truth = GeoCoordinate::new(47.6097, -122.3331); // Pike Place Market
+    let mut sampler = Sampler::seeded(8);
+
+    // Two sensors fix the same spot: phone GPS (ε = 12 m) and a watch
+    // (ε = 8 m).
+    let phone = SimulatedGps::new(12.0)?.read(&truth, sampler.rng());
+    let watch = SimulatedGps::new(8.0)?.read(&truth, sampler.rng());
+    println!("truth:        {truth}");
+    println!(
+        "phone fix:    {}  (ε = {:.0} m, error {:.1} m)",
+        phone.center(),
+        phone.accuracy(),
+        truth.distance_meters(&phone.center())
+    );
+    println!(
+        "watch fix:    {}  (ε = {:.0} m, error {:.1} m)",
+        watch.center(),
+        watch.accuracy(),
+        truth.distance_meters(&watch.center())
+    );
+
+    let fused = phone.fuse(&watch);
+    let n = 4000;
+    let err = |loc: &uncertain_suite::Uncertain<GeoCoordinate>, s: &mut Sampler| {
+        loc.expect_by(s, n, |p| truth.distance_meters(p))
+    };
+    let phone_err = err(&phone.location(), &mut sampler);
+    let watch_err = err(&watch.location(), &mut sampler);
+    let fused_err = err(&fused, &mut sampler);
+
+    println!();
+    println!("E[distance from truth]:");
+    println!("  phone alone: {phone_err:.2} m");
+    println!("  watch alone: {watch_err:.2} m");
+    println!("  fused:       {fused_err:.2} m");
+
+    // A confidence question only a distribution can answer:
+    let near_market = fused.map("within 10 m", move |p: GeoCoordinate| {
+        truth.distance_meters(&p) <= 10.0
+    });
+    println!(
+        "\nPr[fused location within 10 m of the market] ≈ {:.2}",
+        near_market.probability_with(&mut sampler, n)
+    );
+    if near_market.pr_with(0.9, &mut sampler) {
+        println!("…confident enough (>90%) to auto-check-in.");
+    } else {
+        println!("…not confident enough (>90%) to auto-check-in; ask the user.");
+    }
+    Ok(())
+}

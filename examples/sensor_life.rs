@@ -1,0 +1,63 @@
+//! SensorLife live: watch the three noisy Games of Life track (or lose)
+//! the true board over a few generations.
+//!
+//! Run with `cargo run --example sensor_life --release`.
+
+use uncertain_suite::life::{
+    BayesLife, Board, LifeVariant, NaiveLife, NoisySensor, SensorLife,
+};
+use uncertain_suite::Sampler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sigma = 0.2;
+    let sensor = NoisySensor::new(sigma)?;
+    let variants: Vec<Box<dyn LifeVariant>> = vec![
+        Box::new(NaiveLife::new(sensor)),
+        Box::new(SensorLife::new(sensor)),
+        Box::new(BayesLife::new(sensor)),
+    ];
+
+    let mut board = Board::random(12, 12, 0.35, 99);
+    let mut sampler = Sampler::seeded(100);
+    let mut cumulative = vec![0usize; variants.len()];
+    let mut updates = 0usize;
+
+    println!("noise σ = {sigma}; per-generation wrong decisions vs. ground truth\n");
+    for generation in 1..=8 {
+        let mut errors = vec![0usize; variants.len()];
+        for (x, y) in board.coords() {
+            let truth = uncertain_suite::life::next_state(
+                board.get(x, y),
+                board.live_neighbors(x, y),
+            );
+            for (i, v) in variants.iter().enumerate() {
+                if v.decide(&board, x, y, &mut sampler).alive != truth {
+                    errors[i] += 1;
+                }
+            }
+            updates += 1;
+        }
+        for (c, e) in cumulative.iter_mut().zip(&errors) {
+            *c += e;
+        }
+        println!(
+            "generation {generation}: Naive {:>3}  Sensor {:>3}  Bayes {:>3}   (of {} cells)",
+            errors[0],
+            errors[1],
+            errors[2],
+            board.width() * board.height()
+        );
+        board = board.step();
+    }
+
+    println!("\ntrue board after 8 generations:\n{board}");
+    println!("cumulative error rates over {updates} updates:");
+    for (v, &e) in variants.iter().zip(&cumulative) {
+        println!(
+            "  {:<11} {:>6.2}%",
+            v.name(),
+            100.0 * e as f64 / updates as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! The paper's §2 speeding-ticket scenario: issuing tickets from GPS speed
+//! with a naive boolean versus demanding strong evidence.
+//!
+//! Run with `cargo run --example speeding_ticket`.
+
+use uncertain_suite::gps::{uncertain_speed, GeoCoordinate, GpsReading, MPS_TO_MPH};
+use uncertain_suite::{EvalConfig, Sampler, Uncertain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let limit = 60.0;
+    println!("speed limit {limit} mph, GPS ε = 4 m, fixes 1 s apart\n");
+    println!("{:>10} {:>14} {:>18} {:>20}", "true mph", "Pr[>limit]", "naive verdict", "evidence .pr(0.95)");
+
+    let mut sampler = Sampler::seeded(7);
+    for true_mph in [50.0, 55.0, 57.0, 60.0, 63.0, 70.0, 90.0] {
+        // Build the uncertain speed for one pair of fixes around the true
+        // displacement.
+        let start = GeoCoordinate::new(47.6, -122.3);
+        let end = start.destination(true_mph / MPS_TO_MPH, 90.0);
+        let a = GpsReading::new(start, 4.0)?;
+        let b = GpsReading::new(end, 4.0)?;
+        let speed = uncertain_speed(&a, &b, 1.0);
+
+        let over = speed.gt(limit);
+        let evidence = over.probability_with(&mut sampler, 3000);
+        // A naive app reads one sample (a point estimate) and compares.
+        let naive_verdict = sampler.sample(&speed) > limit;
+        let calibrated = over.evaluate(0.95, &mut sampler, &EvalConfig::default());
+        println!(
+            "{:>10.0} {:>14.3} {:>18} {:>20}",
+            true_mph,
+            evidence,
+            if naive_verdict { "TICKET" } else { "-" },
+            if calibrated.is_true() { "TICKET" } else { "-" }
+        );
+    }
+
+    println!();
+    println!("a calibrated officer needs Pr[speeding] > 0.95 before writing the ticket;");
+    println!("a naive one fines people for GPS noise.");
+
+    // The same pattern works for any uncertain quantity:
+    let blood_pressure = Uncertain::normal(138.0, 8.0)?;
+    let hypertensive = blood_pressure.gt(140.0);
+    println!(
+        "\nbonus: Pr[BP > 140] = {:.2} — would you medicate on one cuff reading?",
+        hypertensive.probability_with(&mut sampler, 3000)
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the **Uncertain\<T\>** reproduction (Bornholt,
+//! Mytkowicz, McKinley — ASPLOS 2014).
+//!
+//! Re-exports the whole suite under one roof and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! * `core` ([`uncertain_core`]) — the `Uncertain<T>` type itself,
+//! * `dist` ([`uncertain_dist`]) — the distribution substrate,
+//! * `stats` ([`uncertain_stats`]) — hypothesis tests and statistics,
+//! * `gps` ([`uncertain_gps`]) — the GPS-Walking case study (§5.1),
+//! * `life` ([`uncertain_life`]) — the SensorLife case study (§5.2),
+//! * `neural` ([`uncertain_neural`]) — the Parakeet case study (§5.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use uncertain_suite::{Sampler, Uncertain};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let noisy = Uncertain::normal(3.0, 1.0)?;
+//! let mut sampler = Sampler::seeded(1);
+//! assert!(noisy.gt(2.0).is_probable_with(&mut sampler));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use uncertain_core::{
+    EvalConfig, HypothesisOutcome, IntoUncertain, NetworkView, NodeId, NodeMeta, Sampler,
+    Uncertain, Value,
+};
+
+pub use uncertain_core as core;
+pub use uncertain_dist as dist;
+pub use uncertain_gps as gps;
+pub use uncertain_life as life;
+pub use uncertain_neural as neural;
+pub use uncertain_stats as stats;
