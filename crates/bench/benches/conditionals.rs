@@ -11,23 +11,35 @@ use uncertain_stats::{FixedSampleTest, GroupSequentialTest, SequentialTest};
 /// the conditional gets easier; a fixed pool pays full price everywhere.
 fn bench_conditional_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("decide Pr[x]>0.5");
-    for &(label, p) in &[("easy p=0.95", 0.95), ("medium p=0.7", 0.7), ("hard p=0.55", 0.55)] {
+    for &(label, p) in &[
+        ("easy p=0.95", 0.95),
+        ("medium p=0.7", 0.7),
+        ("hard p=0.55", 0.55),
+    ] {
         let bern = Uncertain::bernoulli(p).unwrap();
         group.bench_with_input(BenchmarkId::new("sprt", label), &bern, |bencher, b| {
             let mut s = Sampler::seeded(1);
             let test = SequentialTest::at_threshold(0.5).unwrap();
             bencher.iter(|| black_box(test.run(|| s.sample(b))));
         });
-        group.bench_with_input(BenchmarkId::new("fixed-1000", label), &bern, |bencher, b| {
-            let mut s = Sampler::seeded(1);
-            let test = FixedSampleTest::new(0.5, 1000).unwrap();
-            bencher.iter(|| black_box(test.run(|| s.sample(b))));
-        });
-        group.bench_with_input(BenchmarkId::new("pocock-5x200", label), &bern, |bencher, b| {
-            let mut s = Sampler::seeded(1);
-            let test = GroupSequentialTest::new(0.5, 5, 200).unwrap();
-            bencher.iter(|| black_box(test.run(|| s.sample(b))));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fixed-1000", label),
+            &bern,
+            |bencher, b| {
+                let mut s = Sampler::seeded(1);
+                let test = FixedSampleTest::new(0.5, 1000).unwrap();
+                bencher.iter(|| black_box(test.run(|| s.sample(b))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pocock-5x200", label),
+            &bern,
+            |bencher, b| {
+                let mut s = Sampler::seeded(1);
+                let test = GroupSequentialTest::new(0.5, 5, 200).unwrap();
+                bencher.iter(|| black_box(test.run(|| s.sample(b))));
+            },
+        );
     }
     group.finish();
 }

@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{:>6} {:>16} {:>22}",
-        "σ", "BayesLife err", format!("JointBayes({reads}) err")
+        "σ",
+        "BayesLife err",
+        format!("JointBayes({reads}) err")
     );
     for sigma in [0.3, 0.4, 0.5, 0.6, 0.7] {
         let sensor = NoisySensor::new(sigma)?;
@@ -27,10 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut updates = 0usize;
             for _ in 0..reps {
                 for (x, y) in board.coords() {
-                    let truth = uncertain_life::next_state(
-                        board.get(x, y),
-                        board.live_neighbors(x, y),
-                    );
+                    let truth =
+                        uncertain_life::next_state(board.get(x, y), board.live_neighbors(x, y));
                     if v.decide(&board, x, y, sampler).alive != truth {
                         errors += 1;
                     }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|v| Ok::<_, uncertain_core::dist::ParamError>((v, exp.run_closed_loop(v, sigma)?)))
         .collect::<Result<_, _>>()?;
 
-    println!("{:>4} {:>12} {:>12} {:>12}", "gen", "NaiveLife", "SensorLife", "BayesLife");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "gen", "NaiveLife", "SensorLife", "BayesLife"
+    );
     let generations = series[0].1.len();
     for g in 0..generations {
         println!(

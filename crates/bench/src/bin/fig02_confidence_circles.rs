@@ -11,7 +11,10 @@ use uncertain_gps::{radius_for_confidence, rho_from_accuracy};
 
 fn main() {
     header("Figure 2: the same circle radius under two confidence conventions");
-    println!("{:>12} {:>14} {:>14} {:>16}", "radius (m)", "ρ if 95% CI", "ρ if 68% CI", "σ ratio 68/95");
+    println!(
+        "{:>12} {:>14} {:>14} {:>16}",
+        "radius (m)", "ρ if 95% CI", "ρ if 68% CI", "σ ratio 68/95"
+    );
     for radius in [2.0, 4.0, 8.0, 16.0] {
         // If the circle is the 95% radius (WP), ρ = r/√ln400.
         let rho95 = rho_from_accuracy(radius);
@@ -31,7 +34,11 @@ fn main() {
     println!("  Android (68%): drawn r = 3.0 m  →  ρ = {android:.3} m");
     println!(
         "  the SMALLER circle is the LESS accurate fix ({})",
-        if android > wp { "confirmed" } else { "not confirmed" }
+        if android > wp {
+            "confirmed"
+        } else {
+            "not confirmed"
+        }
     );
     println!(
         "  Android's true 95% radius would be {:.2} m",

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("true walking speed:        3.0 mph");
-    println!("mean naive speed:          {:.2} mph (paper: 3.5)", result.mean_naive_speed());
+    println!(
+        "mean naive speed:          {:.2} mph (paper: 3.5)",
+        result.mean_naive_speed()
+    );
     println!(
         "max naive speed:           {:.1} mph (paper: absurd values up to 59)",
         result.max_of(|r| r.naive_speed)

@@ -27,8 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("analytic:  Var[Y + 2X] = 1 + 4 = 5      (correct network, Fig. 8b)");
     println!("analytic:  Var[Y + X + X'] = 1 + 1 + 1 = 3 (wrong network, Fig. 8a)");
     println!();
-    println!("measured (correct, shared X):     Var[B] = {:.3}", correct.variance());
-    println!("measured (wrong, independent X'): Var[B] = {:.3}", wrong.variance());
+    println!(
+        "measured (correct, shared X):     Var[B] = {:.3}",
+        correct.variance()
+    );
+    println!(
+        "measured (wrong, independent X'): Var[B] = {:.3}",
+        wrong.variance()
+    );
     println!();
     println!("network for B (note the single shared X leaf):");
     print!("{}", b.to_dot());

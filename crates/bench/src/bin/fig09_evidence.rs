@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hist = speed.histogram_with(&mut sampler, n, 0.0, 20.0, 40)?;
     println!("speed distribution (mph); rows right of the ━ line are the evidence:");
     for (center, count) in hist.iter() {
-        let marker = if (center - 4.0).abs() < 0.25 { "━" } else { " " };
+        let marker = if (center - 4.0).abs() < 0.25 {
+            "━"
+        } else {
+            " "
+        };
         let bar = "#".repeat((count as usize * 45 / (n / 12)).min(45));
         println!("{center:>6.2} {marker}| {bar}");
     }
@@ -33,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("implicit conditional takes the branch iff this exceeds 0.5;");
     println!("the explicit (Speed < 4).Pr(0.9) requires the complement to exceed 0.9:");
     let complement = speed.lt(4.0).probability_with(&mut sampler, n);
-    println!("Pr[Speed < 4 mph] = {complement:.3} → SpeedUp fires: {}",
-        complement > 0.9);
+    println!(
+        "Pr[Speed < 4 mph] = {complement:.3} → SpeedUp fires: {}",
+        complement > 0.9
+    );
     Ok(())
 }

@@ -9,13 +9,21 @@ use uncertain_gps::{GeoCoordinate, GpsReading};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Figure 11: GPS posterior Rayleigh(ε/√ln400) for ε = 4 m");
     let radial = Rayleigh::from_gps_accuracy(4.0)?;
-    println!("scale ρ = {:.4} m   mode = {:.4} m   mean = {:.4} m", radial.scale(), radial.mode(), radial.mean());
+    println!(
+        "scale ρ = {:.4} m   mode = {:.4} m   mean = {:.4} m",
+        radial.scale(),
+        radial.mode(),
+        radial.mean()
+    );
     println!();
     println!("radial density (distance from reported point):");
     let mut r = 0.0;
     while r <= 6.0 {
         let d = radial.pdf(r);
-        println!("{r:>5.2} m | {:<50} {d:.4}", "#".repeat((d * 80.0) as usize));
+        println!(
+            "{r:>5.2} m | {:<50} {d:.4}",
+            "#".repeat((d * 80.0) as usize)
+        );
         r += 0.25;
     }
 
@@ -31,6 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let within_eps = dists.iter().filter(|&&d| d <= 4.0).count() as f64 / n as f64;
     let within_tenth = dists.iter().filter(|&&d| d <= 0.4).count() as f64 / n as f64;
     println!("  Pr[within ε = 4 m]      = {within_eps:.3} (construction: 0.95)");
-    println!("  Pr[within 0.4 m of center] = {within_tenth:.3} — the center is an unlikely location");
+    println!(
+        "  Pr[within 0.4 m of center] = {within_tenth:.3} — the center is an unlikely location"
+    );
     Ok(())
 }

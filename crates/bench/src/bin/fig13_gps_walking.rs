@@ -28,22 +28,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!();
-    println!("series means over {} s (true speed 3.0 mph):", result.records.len());
-    println!("  naive:     {:.2} mph  (paper: 3.5)", result.mean_naive_speed());
+    println!(
+        "series means over {} s (true speed 3.0 mph):",
+        result.records.len()
+    );
+    println!(
+        "  naive:     {:.2} mph  (paper: 3.5)",
+        result.mean_naive_speed()
+    );
     println!("  E[speed]:  {:.2} mph", result.mean_expected_speed());
     println!("  improved:  {:.2} mph", result.mean_improved_speed());
     println!();
     println!("absurd values (max of series):");
-    println!("  naive:     {:.1} mph (paper: 59)", result.max_of(|r| r.naive_speed));
-    println!("  improved:  {:.1} mph (prior removes the absurdities)", result.max_of(|r| r.improved_speed));
+    println!(
+        "  naive:     {:.1} mph (paper: 59)",
+        result.max_of(|r| r.naive_speed)
+    );
+    println!(
+        "  improved:  {:.1} mph (prior removes the absurdities)",
+        result.max_of(|r| r.improved_speed)
+    );
     println!();
-    println!("95% interval width (mean): raw {:.1} mph → improved {:.1} mph",
+    println!(
+        "95% interval width (mean): raw {:.1} mph → improved {:.1} mph",
         result.mean_interval_width(),
-        result.mean_improved_interval_width());
+        result.mean_improved_interval_width()
+    );
     println!();
     println!("seconds reported above 7 mph (running pace while walking):");
-    println!("  naive series:    {} s (paper: ~30-35 s)", result.seconds_above(7.0, |r| r.naive_speed));
-    println!("  improved series: {} s (paper: ~4 s)", result.seconds_above(7.0, |r| r.improved_speed));
+    println!(
+        "  naive series:    {} s (paper: ~30-35 s)",
+        result.seconds_above(7.0, |r| r.naive_speed)
+    );
+    println!(
+        "  improved series: {} s (paper: ~4 s)",
+        result.seconds_above(7.0, |r| r.improved_speed)
+    );
     println!();
     println!("app conditionals over the walk (user truly below 4 mph):");
     println!(

@@ -25,12 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for variant in Variant::ALL {
             let r = experiment.run(variant, sigma)?;
             let (lo, hi) = r.error_rate_ci();
-            row.push_str(&format!(
-                " {:>9.4} [{:.4},{:.4}]",
-                r.error_rate(),
-                lo,
-                hi
-            ));
+            row.push_str(&format!(" {:>9.4} [{:.4},{:.4}]", r.error_rate(), lo, hi));
             results.push(r);
         }
         println!("{row}");

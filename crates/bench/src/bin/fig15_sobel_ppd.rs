@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = match target {
         Some(x) => x,
         None => {
-            println!("no Parrot false positive in this test set; using the closest near-threshold input");
+            println!(
+                "no Parrot false positive in this test set; using the closest near-threshold input"
+            );
             test.inputs[0].clone()
         }
     };
@@ -50,15 +52,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("true s(p)        = {truth:.4}  (edge iff > {EDGE_THRESHOLD})");
-    println!("Parrot estimate  = {:.4}  → reports {}", parrot.predict(&input),
-        if parrot.is_edge(&input) { "EDGE (false positive)" } else { "no edge" });
-    println!("PPD mean         = {:.4} ± {:.4}", stats.mean(), stats.std_dev());
+    println!(
+        "Parrot estimate  = {:.4}  → reports {}",
+        parrot.predict(&input),
+        if parrot.is_edge(&input) {
+            "EDGE (false positive)"
+        } else {
+            "no edge"
+        }
+    );
+    println!(
+        "PPD mean         = {:.4} ± {:.4}",
+        stats.mean(),
+        stats.std_dev()
+    );
 
-    let evidence = ppd.gt(EDGE_THRESHOLD).probability_with(&mut sampler, scaled(5000, 500));
+    let evidence = ppd
+        .gt(EDGE_THRESHOLD)
+        .probability_with(&mut sampler, scaled(5000, 500));
     println!("evidence Pr[s(p) > 0.1] = {evidence:.3} (paper's example: 0.70)");
     println!(
         "explicit conditional .pr(0.8): {}",
-        if ppd.gt(EDGE_THRESHOLD).pr_with(0.8, &mut sampler) { "EDGE" } else { "no edge — false positive suppressed" }
+        if ppd.gt(EDGE_THRESHOLD).pr_with(0.8, &mut sampler) {
+            "EDGE"
+        } else {
+            "no edge — false positive suppressed"
+        }
     );
 
     println!();

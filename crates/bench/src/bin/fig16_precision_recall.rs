@@ -34,16 +34,14 @@ fn main() {
     );
 
     println!();
-    println!("{:>6} {:>11} {:>9} {:>6} {:>6} {:>6} {:>6}", "α", "precision", "recall", "tp", "fp", "fn", "tn");
+    println!(
+        "{:>6} {:>11} {:>9} {:>6} {:>6} {:>6} {:>6}",
+        "α", "precision", "recall", "tp", "fp", "fn", "tn"
+    );
     let alphas: Vec<f64> = (1..20).map(|i| i as f64 / 20.0).collect();
     let mut sampler = Sampler::seeded(163);
-    let points = parakeet_precision_recall(
-        &parakeet,
-        &test,
-        &alphas,
-        scaled(400, 100),
-        &mut sampler,
-    );
+    let points =
+        parakeet_precision_recall(&parakeet, &test, &alphas, scaled(400, 100), &mut sampler);
     for p in &points {
         println!(
             "{:>6.2} {:>11.3} {:>9.3} {:>6} {:>6} {:>6} {:>6}",

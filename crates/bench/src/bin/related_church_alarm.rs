@@ -52,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Uncertain<T>'s question: a conditional on the concrete instance. -
     let started = Instant::now();
-    let outcome = phone_working
-        .evaluate(0.5, &mut sampler, &uncertain_core::EvalConfig::default());
+    let outcome = phone_working.evaluate(0.5, &mut sampler, &uncertain_core::EvalConfig::default());
     println!();
     println!(
         "goal-directed conditional `if (phoneWorking)`: decided {} with {} samples in {:.2?}",

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("a * b", &a * &b),
         ("a / b", &a / &b),
     ] {
-        println!("  {sym:<6} E = {:7.3}", expr.expected_value_with(&mut s, 4000));
+        println!(
+            "  {sym:<6} E = {:7.3}",
+            expr.expected_value_with(&mut s, 4000)
+        );
     }
 
     println!("\nOrder (< > ≤ ≥) :: U<T> → U<T> → U<Bool>");
@@ -34,22 +37,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nLogical (∧ ∨) :: U<Bool> → U<Bool> → U<Bool>   Unary (¬) :: U<Bool> → U<Bool>");
     let p = Uncertain::bernoulli(0.7)?;
     let q = Uncertain::bernoulli(0.4)?;
-    println!("  p ∧ q  Pr = {:.3} (0.28 analytic)", (&p & &q).probability_with(&mut s, 8000));
-    println!("  p ∨ q  Pr = {:.3} (0.82 analytic)", (&p | &q).probability_with(&mut s, 8000));
-    println!("  ¬p     Pr = {:.3} (0.30 analytic)", (!&p).probability_with(&mut s, 8000));
+    println!(
+        "  p ∧ q  Pr = {:.3} (0.28 analytic)",
+        (&p & &q).probability_with(&mut s, 8000)
+    );
+    println!(
+        "  p ∨ q  Pr = {:.3} (0.82 analytic)",
+        (&p | &q).probability_with(&mut s, 8000)
+    );
+    println!(
+        "  ¬p     Pr = {:.3} (0.30 analytic)",
+        (!&p).probability_with(&mut s, 8000)
+    );
 
     println!("\nPointmass :: T → U<T>");
     let four: Uncertain<f64> = 4.0.into();
-    println!("  Uncertain::from(4.0) samples {} every time", s.sample(&four));
+    println!(
+        "  Uncertain::from(4.0) samples {} every time",
+        s.sample(&four)
+    );
 
     println!("\nConditionals:");
     let fast = b.gt(&a); // Pr ≈ Φ(1/√2) ≈ 0.76
-    println!("  implicit Pr :: U<Bool> → Bool          if (b > a)       → {}", fast.is_probable_with(&mut s));
-    println!("  explicit Pr :: U<Bool> → [0,1] → Bool  (b > a).Pr(0.9)  → {}", fast.pr_with(0.9, &mut s));
+    println!(
+        "  implicit Pr :: U<Bool> → Bool          if (b > a)       → {}",
+        fast.is_probable_with(&mut s)
+    );
+    println!(
+        "  explicit Pr :: U<Bool> → [0,1] → Bool  (b > a).Pr(0.9)  → {}",
+        fast.pr_with(0.9, &mut s)
+    );
     let o = fast.evaluate(0.5, &mut s, &EvalConfig::default());
-    println!("  (SPRT used {} samples; estimate {:.2}; conclusive: {})", o.samples, o.estimate, o.conclusive);
+    println!(
+        "  (SPRT used {} samples; estimate {:.2}; conclusive: {})",
+        o.samples, o.estimate, o.conclusive
+    );
 
     println!("\nExpected value E :: U<T> → T");
-    println!("  (a + b).E() = {:.3}", (&a + &b).expected_value_with(&mut s, 4000));
+    println!(
+        "  (a + b).E() = {:.3}",
+        (&a + &b).expected_value_with(&mut s, 4000)
+    );
     Ok(())
 }

@@ -17,6 +17,7 @@
 //! can be inconclusive, in which case neither `A < B` nor `A >= B` would
 //! conclusively hold.
 
+use crate::plan::Plan;
 use crate::sampler::Sampler;
 use crate::uncertain::Uncertain;
 use uncertain_stats::{SequentialTest, StatsError, TestDecision};
@@ -203,7 +204,17 @@ impl Uncertain<bool> {
         let test = config
             .sequential_test(threshold)
             .expect("invalid conditional threshold or evaluation config");
-        let outcome = test.run(|| sampler.sample(self));
+        // The SPRT hot path: compile the network once, then draw every
+        // batch through the plan (no per-sample hashing/boxing). Seeding is
+        // identical to `Sampler::sample`, so results match the tree-walk
+        // bit for bit.
+        let plan = Plan::compile(self);
+        let mut ctx = plan.new_context();
+        let outcome = test.run_batched(|k| {
+            (0..k)
+                .map(|_| sampler.sample_planned(&plan, &mut ctx))
+                .collect()
+        });
         HypothesisOutcome {
             threshold,
             accepted: outcome.decision == TestDecision::AcceptAlternative,
@@ -222,7 +233,11 @@ impl Uncertain<bool> {
     /// Panics if `n == 0`.
     pub fn probability_with(&self, sampler: &mut Sampler, n: usize) -> f64 {
         assert!(n > 0, "probability estimate needs at least one sample");
-        let hits = (0..n).filter(|_| sampler.sample(self)).count();
+        let plan = Plan::compile(self);
+        let mut ctx = plan.new_context();
+        let hits = (0..n)
+            .filter(|_| sampler.sample_planned(&plan, &mut ctx))
+            .count();
         hits as f64 / n as f64
     }
 
@@ -263,10 +278,12 @@ impl Uncertain<bool> {
     ) -> Option<f64> {
         assert!(n > 0, "probability estimate needs at least one sample");
         let joint = self.zip(evidence);
+        let plan = Plan::compile(&joint);
+        let mut ctx = plan.new_context();
         let mut evidence_hits = 0u64;
         let mut both_hits = 0u64;
         for _ in 0..n {
-            let (a, b) = sampler.sample(&joint);
+            let (a, b) = sampler.sample_planned(&plan, &mut ctx);
             if b {
                 evidence_hits += 1;
                 if a {

@@ -1,24 +1,30 @@
 //! A reusable evaluator for one network — the paper's "compile at the
-//! conditional" fast path.
+//! conditional" fast path, made literal.
 //!
-//! [`Sampler`](crate::Sampler) builds a fresh evaluation context per joint
-//! sample, which is the right default for one-off queries. A conditional,
-//! however, samples the *same* network tens to hundreds of times (§4.3);
-//! an [`Evaluator`] pins the network and reuses one context — clearing the
-//! memo table in place instead of reallocating it — which is the practical
-//! payoff of the paper's observation that "the runtime … much like a JIT,
-//! compiles those expression trees to executable code at conditionals."
+//! [`Sampler`](crate::Sampler) tree-walks the network with a fresh
+//! evaluation context per joint sample, which is the right default for
+//! one-off queries. A conditional, however, samples the *same* network tens
+//! to hundreds of times (§4.3); an [`Evaluator`] compiles the network once
+//! into a [`Plan`] — dense slot indices instead of a `NodeId` hash map, a
+//! flat reusable arena instead of per-sample boxing — and reuses one
+//! context across samples. This is the practical payoff of the paper's
+//! observation that "the runtime … much like a JIT, compiles those
+//! expression trees to executable code at conditionals."
 
+use crate::condition::{EvalConfig, HypothesisOutcome};
 use crate::context::SampleContext;
+use crate::plan::{sample_seed, Plan};
 use crate::uncertain::{Uncertain, Value};
-use uncertain_stats::{SequentialTest, TestDecision};
+use uncertain_stats::{SequentialTest, StatsError, TestDecision};
 
-/// Draws repeated joint samples of one pinned network with a reused
-/// evaluation context.
+/// Draws repeated joint samples of one pinned network through a compiled
+/// [`Plan`] with a reused evaluation context.
 ///
 /// Semantically identical to calling [`Sampler::sample`](crate::Sampler::sample)
 /// in a loop (each call is one independent joint sample; sharing within a
-/// sample is preserved); the difference is allocation churn.
+/// sample is preserved); the difference is that the per-node hash-map
+/// probes, heap boxing, and downcasts of the tree-walk interpreter are gone
+/// from the inner loop.
 ///
 /// # Examples
 ///
@@ -37,34 +43,68 @@ use uncertain_stats::{SequentialTest, TestDecision};
 /// ```
 pub struct Evaluator<T> {
     network: Uncertain<T>,
+    plan: Plan<T>,
     ctx: SampleContext,
+    seed: u64,
     samples_drawn: u64,
+    /// Next sample index of the indexed batch stream (see
+    /// [`Evaluator::sample_batch`]).
+    batch_cursor: u64,
+    /// The last sequential test built by [`Evaluator::try_decide`], keyed
+    /// by the config/threshold that produced it.
+    cached_test: Option<(EvalConfig, f64, SequentialTest)>,
 }
 
 impl<T: Value> std::fmt::Debug for Evaluator<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Evaluator")
             .field("network", &self.network)
+            .field("plan", &self.plan)
             .field("samples_drawn", &self.samples_drawn)
             .finish_non_exhaustive()
     }
 }
 
 impl<T: Value> Evaluator<T> {
-    /// Pins `network` with a deterministic RNG stream.
+    /// Compiles `network` and pins it with a deterministic RNG stream.
     pub fn new(network: &Uncertain<T>, seed: u64) -> Self {
+        let plan = Plan::compile(network);
+        let mut ctx = SampleContext::from_seed(seed);
+        plan.install(&mut ctx);
         Self {
             network: network.clone(),
-            ctx: SampleContext::from_seed(seed),
+            plan,
+            ctx,
+            seed,
             samples_drawn: 0,
+            batch_cursor: 0,
+            cached_test: None,
         }
     }
 
-    /// Draws one joint sample.
+    /// Draws one joint sample from the evaluator's continuous RNG stream.
     pub fn sample(&mut self) -> T {
-        self.ctx.begin_joint_sample();
         self.samples_drawn += 1;
-        self.network.node().sample_value(&mut self.ctx)
+        self.plan.evaluate(&mut self.ctx)
+    }
+
+    /// Draws the next `n` joint samples of the evaluator's *indexed batch
+    /// stream*: sample `i` (counted across all `sample_batch` calls) is
+    /// seeded by a SplitMix64 mix of `(seed, i)`, so the sequence of batch
+    /// samples depends only on the evaluator's seed — not on batch
+    /// boundaries, and bitwise identical to what a
+    /// [`ParSampler`](crate::ParSampler) with the same seed produces on any
+    /// number of threads.
+    pub fn sample_batch(&mut self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            self.ctx
+                .reseed(sample_seed(self.seed, self.batch_cursor + i as u64));
+            out.push(self.plan.evaluate(&mut self.ctx));
+        }
+        self.batch_cursor += n as u64;
+        self.samples_drawn += n as u64;
+        out
     }
 
     /// Joint samples drawn so far.
@@ -76,22 +116,59 @@ impl<T: Value> Evaluator<T> {
     pub fn network(&self) -> &Uncertain<T> {
         &self.network
     }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &Plan<T> {
+        &self.plan
+    }
 }
 
 impl Evaluator<bool> {
-    /// Runs the SPRT for `Pr[cond] > threshold` on the pinned Bernoulli —
-    /// the conditional fast path (same semantics as
+    /// Runs the SPRT for `Pr[cond] > threshold` on the pinned Bernoulli,
+    /// drawing batches through [`Evaluator::sample_batch`]. The built
+    /// [`SequentialTest`] is cached and reused across calls with the same
+    /// `config`/`threshold` (the common case: one conditional site decided
+    /// repeatedly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `threshold` or `config` are out of range
+    /// (e.g. `threshold ∉ (0, 1)`).
+    pub fn try_decide(
+        &mut self,
+        config: &EvalConfig,
+        threshold: f64,
+    ) -> Result<HypothesisOutcome, StatsError> {
+        let test = match &self.cached_test {
+            Some((c, t, test)) if *c == *config && *t == threshold => *test,
+            _ => {
+                let test = config.sequential_test(threshold)?;
+                self.cached_test = Some((*config, threshold, test));
+                test
+            }
+        };
+        let outcome = test.run_batched(|k| self.sample_batch(k));
+        Ok(HypothesisOutcome {
+            threshold,
+            accepted: outcome.decision == TestDecision::AcceptAlternative,
+            conclusive: outcome.conclusive,
+            samples: outcome.samples,
+            estimate: outcome.estimate,
+        })
+    }
+
+    /// Runs the SPRT for `Pr[cond] > threshold` with default configuration
+    /// — the conditional fast path (same semantics as
     /// [`Uncertain::evaluate`](crate::Uncertain::evaluate) with default
-    /// configuration, minus the per-sample context allocation).
+    /// configuration, minus the per-sample interpreter overhead).
     ///
     /// # Panics
     ///
     /// Panics if `threshold ∉ (0, 1)`.
     pub fn decide(&mut self, threshold: f64) -> bool {
-        let test = SequentialTest::at_threshold(threshold)
-            .expect("invalid conditional threshold");
-        let outcome = test.run(|| self.sample());
-        outcome.decision == TestDecision::AcceptAlternative
+        self.try_decide(&EvalConfig::default(), threshold)
+            .expect("invalid conditional threshold")
+            .to_bool()
     }
 }
 
@@ -114,7 +191,7 @@ impl Evaluator<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Sampler;
+    use crate::{ParSampler, Sampler};
 
     #[test]
     fn matches_sampler_distribution() {
@@ -165,6 +242,59 @@ mod tests {
     }
 
     #[test]
+    fn try_decide_reports_errors_instead_of_panicking() {
+        let b = Uncertain::bernoulli(0.5).unwrap();
+        let mut eval = Evaluator::new(&b, 6);
+        assert!(eval.try_decide(&EvalConfig::default(), 1.5).is_err());
+        assert!(eval.try_decide(&EvalConfig::default(), -0.1).is_err());
+        let ok = eval.try_decide(&EvalConfig::default(), 0.5).unwrap();
+        assert!(ok.samples > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid conditional threshold")]
+    fn decide_panics_on_bad_threshold() {
+        let b = Uncertain::bernoulli(0.5).unwrap();
+        let mut eval = Evaluator::new(&b, 6);
+        let _ = eval.decide(2.0);
+    }
+
+    #[test]
+    fn try_decide_reuses_the_cached_test() {
+        let likely = Uncertain::bernoulli(0.95).unwrap();
+        let mut eval = Evaluator::new(&likely, 7);
+        let cfg = EvalConfig::default();
+        let first = eval.try_decide(&cfg, 0.5).unwrap();
+        assert!(eval.cached_test.is_some());
+        let second = eval.try_decide(&cfg, 0.5).unwrap();
+        assert!(first.accepted && second.accepted);
+        // A different threshold rebuilds (and re-caches) the test.
+        let _ = eval.try_decide(&cfg, 0.6).unwrap();
+        assert_eq!(eval.cached_test.as_ref().unwrap().1, 0.6);
+    }
+
+    #[test]
+    fn sample_batch_is_batch_boundary_invariant() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let mut whole = Evaluator::new(&x, 11);
+        let all = whole.sample_batch(50);
+        let mut pieces = Evaluator::new(&x, 11);
+        let mut joined = pieces.sample_batch(13);
+        joined.extend(pieces.sample_batch(37));
+        assert_eq!(all, joined);
+    }
+
+    #[test]
+    fn sample_batch_matches_par_sampler() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let expr = &x * &x;
+        let mut eval = Evaluator::new(&expr, 21);
+        let serial = eval.sample_batch(64);
+        let parallel = ParSampler::with_threads(&expr, 21, 4).sample_batch(64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn agrees_statistically_with_sampler() {
         // Same distribution through both paths.
         let u = Uncertain::uniform(0.0, 1.0).unwrap();
@@ -172,8 +302,7 @@ mod tests {
         let mut sampler = Sampler::seeded(6);
         let via_sampler = cond.probability_with(&mut sampler, 20_000);
         let mut eval = Evaluator::new(&cond, 7);
-        let via_eval =
-            (0..20_000).filter(|_| eval.sample()).count() as f64 / 20_000.0;
+        let via_eval = (0..20_000).filter(|_| eval.sample()).count() as f64 / 20_000.0;
         assert!((via_sampler - via_eval).abs() < 0.02);
     }
 }

@@ -7,6 +7,7 @@
 //! intervals — the paper's 95% confidence intervals on speed) come for
 //! free through [`Uncertain::stats_with`].
 
+use crate::plan::{ParSampler, Plan};
 use crate::sampler::Sampler;
 use crate::uncertain::{Uncertain, Value};
 use uncertain_stats::{Histogram, StatsError, Summary};
@@ -30,9 +31,11 @@ impl Uncertain<f64> {
     /// Panics if `n == 0`.
     pub fn expected_value_with(&self, sampler: &mut Sampler, n: usize) -> f64 {
         assert!(n > 0, "expected value needs at least one sample");
+        let plan = Plan::compile(self);
+        let mut ctx = plan.new_context();
         let mut acc = 0.0;
         for _ in 0..n {
-            acc += sampler.sample(self);
+            acc += sampler.sample_planned(&plan, &mut ctx);
         }
         acc / n as f64
     }
@@ -83,10 +86,12 @@ impl Uncertain<f64> {
         Ok(hist)
     }
 
-    /// The `E` operator evaluated on several OS threads: `threads` workers
-    /// each draw `n / threads` joint samples from independently seeded
-    /// sub-streams and the results are averaged. Deterministic for a given
-    /// `(seed, n, threads)` triple.
+    /// The `E` operator evaluated on several OS threads through a compiled
+    /// plan: the network is compiled once, the `n` joint samples are
+    /// sharded across `threads` workers, and sample `i` is seeded purely by
+    /// `(seed, i)` ([`ParSampler`]). The result is therefore deterministic
+    /// for a given `(seed, n)` pair and *bitwise identical for any thread
+    /// count* — `threads` only changes the wall-clock time.
     ///
     /// The Bayesian network is immutable and `Send + Sync`, so workers
     /// share it without locking — one of the payoffs of the lazy,
@@ -98,29 +103,8 @@ impl Uncertain<f64> {
     pub fn expected_value_parallel(&self, seed: u64, n: usize, threads: usize) -> f64 {
         assert!(n > 0, "expected value needs at least one sample");
         assert!(threads > 0, "need at least one thread");
-        let per_thread = n.div_ceil(threads);
-        let total = per_thread * threads;
-        let sum: f64 = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|i| {
-                    let me = self.clone();
-                    scope.spawn(move || {
-                        let mut sampler =
-                            Sampler::seeded(seed.wrapping_add(1 + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                        let mut acc = 0.0;
-                        for _ in 0..per_thread {
-                            acc += sampler.sample(&me);
-                        }
-                        acc
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sampling worker panicked"))
-                .sum()
-        });
-        sum / total as f64
+        let values = ParSampler::with_threads(self, seed, threads).sample_batch(n);
+        values.iter().sum::<f64>() / n as f64
     }
 }
 
@@ -133,16 +117,13 @@ impl<T: Value> Uncertain<T> {
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn expect_by(
-        &self,
-        sampler: &mut Sampler,
-        n: usize,
-        score: impl Fn(&T) -> f64,
-    ) -> f64 {
+    pub fn expect_by(&self, sampler: &mut Sampler, n: usize, score: impl Fn(&T) -> f64) -> f64 {
         assert!(n > 0, "expected value needs at least one sample");
+        let plan = Plan::compile(self);
+        let mut ctx = plan.new_context();
         let mut acc = 0.0;
         for _ in 0..n {
-            acc += score(&sampler.sample(self));
+            acc += score(&sampler.sample_planned(&plan, &mut ctx));
         }
         acc / n as f64
     }
@@ -213,6 +194,9 @@ mod tests {
         assert!((par - 4.0).abs() < 0.05, "par={par}");
         // Deterministic for fixed (seed, n, threads).
         assert_eq!(par, x.expected_value_parallel(9, 40_000, 4));
+        // Bitwise identical for any thread count.
+        assert_eq!(par, x.expected_value_parallel(9, 40_000, 1));
+        assert_eq!(par, x.expected_value_parallel(9, 40_000, 7));
         // Different seeds differ.
         assert_ne!(par, x.expected_value_parallel(10, 40_000, 4));
     }

@@ -66,6 +66,7 @@ mod logic;
 mod math;
 mod node;
 mod ops;
+mod plan;
 mod sampler;
 mod uncertain;
 
@@ -73,6 +74,7 @@ pub use condition::{EvalConfig, HypothesisOutcome};
 pub use evaluator::Evaluator;
 pub use graph::{NetworkView, NodeMeta};
 pub use node::NodeId;
+pub use plan::{ParSampler, Plan};
 pub use sampler::Sampler;
 pub use uncertain::{IntoUncertain, Uncertain, Value};
 

@@ -220,8 +220,7 @@ mod tests {
 
     #[test]
     fn iterator_sum_works() {
-        let parts: Vec<Uncertain<f64>> =
-            (1..=4).map(|i| Uncertain::point(i as f64)).collect();
+        let parts: Vec<Uncertain<f64>> = (1..=4).map(|i| Uncertain::point(i as f64)).collect();
         let total: Uncertain<f64> = parts.into_iter().sum();
         let mut s = Sampler::seeded(4);
         assert_eq!(s.sample(&total), 10.0);

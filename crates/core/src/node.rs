@@ -15,6 +15,7 @@
 //! joint sample.
 
 use crate::context::SampleContext;
+use crate::plan::{compile_node, CompiledFn, PlanBuilder};
 use crate::uncertain::{Uncertain, Value};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +73,12 @@ pub(crate) trait TypedNode<T>: NodeInfo {
     /// Draws this node's value within the given joint-sample context,
     /// memoizing by node id so shared nodes are computed exactly once.
     fn sample_value(&self, ctx: &mut SampleContext) -> T;
+
+    /// Compiles this node into a slot-indexed closure for a
+    /// [`Plan`](crate::Plan). Implementations must visit children in the
+    /// same order as `sample_value` so compiled evaluation consumes RNG
+    /// draws in bitwise-identical order to the tree-walk interpreter.
+    fn compile(self: Arc<Self>, builder: &mut PlanBuilder) -> CompiledFn<T>;
 }
 
 pub(crate) type DynNode<T> = Arc<dyn TypedNode<T>>;
@@ -119,6 +126,20 @@ impl<T: Value> TypedNode<T> for LeafNode<T> {
     fn sample_value(&self, ctx: &mut SampleContext) -> T {
         ctx.memoized(self.id, |ctx| (self.sample_fn)(ctx.rng()))
     }
+
+    fn compile(self: Arc<Self>, builder: &mut PlanBuilder) -> CompiledFn<T> {
+        let id = self.id;
+        compile_node(builder, id, move |_, slot| {
+            Arc::new(move |ctx| {
+                if let Some(v) = ctx.slot_get::<T>(slot) {
+                    return v;
+                }
+                let v = (self.sample_fn)(ctx.rng());
+                ctx.slot_put(slot, v.clone());
+                v
+            })
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -155,6 +176,11 @@ impl<T: Value + fmt::Debug> NodeInfo for PointNode<T> {
 impl<T: Value + fmt::Debug> TypedNode<T> for PointNode<T> {
     fn sample_value(&self, _ctx: &mut SampleContext) -> T {
         self.value.clone()
+    }
+
+    fn compile(self: Arc<Self>, _builder: &mut PlanBuilder) -> CompiledFn<T> {
+        // Constants need no slot: the closure is the value.
+        Arc::new(move |_| self.value.clone())
     }
 }
 
@@ -206,6 +232,23 @@ impl<A: Value, T: Value> TypedNode<T> for MapNode<A, T> {
         let v = (self.f)(a);
         ctx.store(self.id, v.clone());
         v
+    }
+
+    fn compile(self: Arc<Self>, builder: &mut PlanBuilder) -> CompiledFn<T> {
+        let id = self.id;
+        let child = self.child.clone();
+        compile_node(builder, id, move |builder, slot| {
+            let child = child.compile(builder);
+            Arc::new(move |ctx| {
+                if let Some(v) = ctx.slot_get::<T>(slot) {
+                    return v;
+                }
+                let a = child(ctx);
+                let v = (self.f)(a);
+                ctx.slot_put(slot, v.clone());
+                v
+            })
+        })
     }
 }
 
@@ -266,6 +309,27 @@ impl<A: Value, B: Value, T: Value> TypedNode<T> for Map2Node<A, B, T> {
         ctx.store(self.id, v.clone());
         v
     }
+
+    fn compile(self: Arc<Self>, builder: &mut PlanBuilder) -> CompiledFn<T> {
+        let id = self.id;
+        let left = self.left.clone();
+        let right = self.right.clone();
+        compile_node(builder, id, move |builder, slot| {
+            // Left before right, matching `sample_value`'s RNG draw order.
+            let left = left.compile(builder);
+            let right = right.compile(builder);
+            Arc::new(move |ctx| {
+                if let Some(v) = ctx.slot_get::<T>(slot) {
+                    return v;
+                }
+                let a = left(ctx);
+                let b = right(ctx);
+                let v = (self.f)(a, b);
+                ctx.slot_put(slot, v.clone());
+                v
+            })
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -321,6 +385,27 @@ impl<A: Value, T: Value> TypedNode<T> for BindNode<A, T> {
         ctx.store(self.id, v.clone());
         v
     }
+
+    fn compile(self: Arc<Self>, builder: &mut PlanBuilder) -> CompiledFn<T> {
+        let id = self.id;
+        let child = self.child.clone();
+        compile_node(builder, id, move |builder, slot| {
+            let child = child.compile(builder);
+            Arc::new(move |ctx| {
+                if let Some(v) = ctx.slot_get::<T>(slot) {
+                    return v;
+                }
+                let a = child(ctx);
+                // The inner network only exists per joint sample, so it is
+                // tree-walked in the same context; planned nodes it closes
+                // over are redirected to their slots by the context.
+                let inner = (self.f)(a);
+                let v = inner.node().sample_value(ctx);
+                ctx.slot_put(slot, v.clone());
+                v
+            })
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -366,6 +451,24 @@ impl<T: Value> TypedNode<T> for EncapsulatedNode<T> {
         ctx.memoized(self.id, |ctx| {
             let mut sub = ctx.fork();
             self.inner.sample_value(&mut sub)
+        })
+    }
+
+    fn compile(self: Arc<Self>, builder: &mut PlanBuilder) -> CompiledFn<T> {
+        let id = self.id;
+        compile_node(builder, id, move |_, slot| {
+            Arc::new(move |ctx| {
+                if let Some(v) = ctx.slot_get::<T>(slot) {
+                    return v;
+                }
+                // Same fork semantics as the interpreter: the sub-network
+                // must decorrelate, so it runs in a fresh (plan-free)
+                // context seeded from this context's stream.
+                let mut sub = ctx.fork();
+                let v = self.inner.sample_value(&mut sub);
+                ctx.slot_put(slot, v.clone());
+                v
+            })
         })
     }
 }
@@ -437,64 +540,85 @@ impl<T: Value> NodeInfo for WeightedNode<T> {
     }
 }
 
-impl<T: Value> TypedNode<T> for WeightedNode<T> {
-    fn sample_value(&self, ctx: &mut SampleContext) -> T {
+impl<T: Value> WeightedNode<T> {
+    /// One sampling–importance–resampling draw. Shared verbatim by the
+    /// tree-walk interpreter and compiled plans so both execution modes
+    /// consume identical RNG streams.
+    fn draw(&self, ctx: &mut SampleContext) -> T {
         /// If every candidate in a pool has zero weight, redraw the pool up
         /// to this many times before falling back to an unweighted draw.
         const ZERO_WEIGHT_ROUNDS: usize = 8;
-        ctx.memoized(self.id, |ctx| {
-            let mut pool = Vec::with_capacity(self.candidates);
-            let mut weights = Vec::with_capacity(self.candidates);
-            for _ in 0..ZERO_WEIGHT_ROUNDS {
-                pool.clear();
-                weights.clear();
-                for _ in 0..self.candidates {
-                    let mut sub = ctx.fork();
-                    let v = self.inner.sample_value(&mut sub);
-                    let raw = (self.weight)(&v);
-                    pool.push(v);
-                    weights.push(raw);
+        let mut pool = Vec::with_capacity(self.candidates);
+        let mut weights = Vec::with_capacity(self.candidates);
+        for _ in 0..ZERO_WEIGHT_ROUNDS {
+            pool.clear();
+            weights.clear();
+            for _ in 0..self.candidates {
+                let mut sub = ctx.fork();
+                let v = self.inner.sample_value(&mut sub);
+                let raw = (self.weight)(&v);
+                pool.push(v);
+                weights.push(raw);
+            }
+            if self.log_space {
+                // Normalize by the pool maximum before exponentiating,
+                // so astronomically small likelihoods keep their
+                // *relative* weights instead of all flushing to zero.
+                let max = weights
+                    .iter()
+                    .copied()
+                    .filter(|w| w.is_finite())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                for w in weights.iter_mut() {
+                    *w = if w.is_finite() && max.is_finite() {
+                        (*w - max).exp()
+                    } else {
+                        0.0
+                    };
                 }
-                if self.log_space {
-                    // Normalize by the pool maximum before exponentiating,
-                    // so astronomically small likelihoods keep their
-                    // *relative* weights instead of all flushing to zero.
-                    let max = weights
-                        .iter()
-                        .copied()
-                        .filter(|w| w.is_finite())
-                        .fold(f64::NEG_INFINITY, f64::max);
-                    for w in weights.iter_mut() {
-                        *w = if w.is_finite() && max.is_finite() {
-                            (*w - max).exp()
-                        } else {
-                            0.0
-                        };
-                    }
-                } else {
-                    for w in weights.iter_mut() {
-                        *w = if w.is_finite() { w.max(0.0) } else { 0.0 };
-                    }
-                }
-                let total: f64 = weights.iter().sum();
-                if total > 0.0 {
-                    use rand::Rng;
-                    let mut u = ctx.rng().gen::<f64>() * total;
-                    for (i, w) in weights.iter().enumerate() {
-                        u -= w;
-                        if u <= 0.0 {
-                            return pool.swap_remove(i);
-                        }
-                    }
-                    return pool.pop().expect("candidate pool is non-empty");
+            } else {
+                for w in weights.iter_mut() {
+                    *w = if w.is_finite() { w.max(0.0) } else { 0.0 };
                 }
             }
-            // Prior assigns zero mass to every candidate across all rounds:
-            // fall back to an unweighted draw rather than failing the whole
-            // joint sample (documented on `Uncertain::weight_by`).
-            use rand::Rng;
-            let i = ctx.rng().gen_range(0..pool.len());
-            pool.swap_remove(i)
+            let total: f64 = weights.iter().sum();
+            if total > 0.0 {
+                use rand::Rng;
+                let mut u = ctx.rng().gen::<f64>() * total;
+                for (i, w) in weights.iter().enumerate() {
+                    u -= w;
+                    if u <= 0.0 {
+                        return pool.swap_remove(i);
+                    }
+                }
+                return pool.pop().expect("candidate pool is non-empty");
+            }
+        }
+        // Prior assigns zero mass to every candidate across all rounds:
+        // fall back to an unweighted draw rather than failing the whole
+        // joint sample (documented on `Uncertain::weight_by`).
+        use rand::Rng;
+        let i = ctx.rng().gen_range(0..pool.len());
+        pool.swap_remove(i)
+    }
+}
+
+impl<T: Value> TypedNode<T> for WeightedNode<T> {
+    fn sample_value(&self, ctx: &mut SampleContext) -> T {
+        ctx.memoized(self.id, |ctx| self.draw(ctx))
+    }
+
+    fn compile(self: Arc<Self>, builder: &mut PlanBuilder) -> CompiledFn<T> {
+        let id = self.id;
+        compile_node(builder, id, move |_, slot| {
+            Arc::new(move |ctx| {
+                if let Some(v) = ctx.slot_get::<T>(slot) {
+                    return v;
+                }
+                let v = self.draw(ctx);
+                ctx.slot_put(slot, v.clone());
+                v
+            })
         })
     }
 }
@@ -544,23 +668,41 @@ impl<T: Value> NodeInfo for ConditionedNode<T> {
     }
 }
 
+impl<T: Value> ConditionedNode<T> {
+    /// One rejection-sampling draw. Shared by the tree-walk interpreter and
+    /// compiled plans so both execution modes consume identical RNG streams.
+    fn draw(&self, ctx: &mut SampleContext) -> T {
+        for _ in 0..self.max_tries {
+            let mut sub = ctx.fork();
+            let v = self.inner.sample_value(&mut sub);
+            if (self.predicate)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "condition_on: predicate rejected {} consecutive samples of node {} ({}); \
+             the evidence is (nearly) impossible under this distribution",
+            self.max_tries, self.id, self.label
+        );
+    }
+}
+
 impl<T: Value> TypedNode<T> for ConditionedNode<T> {
     fn sample_value(&self, ctx: &mut SampleContext) -> T {
-        ctx.memoized(self.id, |ctx| {
-            for _ in 0..self.max_tries {
-                let mut sub = ctx.fork();
-                let v = self.inner.sample_value(&mut sub);
-                if (self.predicate)(&v) {
+        ctx.memoized(self.id, |ctx| self.draw(ctx))
+    }
+
+    fn compile(self: Arc<Self>, builder: &mut PlanBuilder) -> CompiledFn<T> {
+        let id = self.id;
+        compile_node(builder, id, move |_, slot| {
+            Arc::new(move |ctx| {
+                if let Some(v) = ctx.slot_get::<T>(slot) {
                     return v;
                 }
-            }
-            panic!(
-                "condition_on: predicate rejected {} consecutive samples of node {} ({}); \
-                 the evidence is (nearly) impossible under this distribution",
-                self.max_tries,
-                self.id,
-                self.label
-            );
+                let v = self.draw(ctx);
+                ctx.slot_put(slot, v.clone());
+                v
+            })
         })
     }
 }

@@ -173,7 +173,11 @@ mod tests {
         let c = &a + &b;
         let mut s = Sampler::seeded(42);
         let stats = c.stats_with(&mut s, 20_000).unwrap();
-        assert!((stats.variance() - 2.0).abs() < 0.15, "{}", stats.variance());
+        assert!(
+            (stats.variance() - 2.0).abs() < 0.15,
+            "{}",
+            stats.variance()
+        );
     }
 
     #[test]

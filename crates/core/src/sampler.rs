@@ -1,6 +1,7 @@
 //! The joint-sample driver.
 
 use crate::context::SampleContext;
+use crate::plan::Plan;
 use crate::uncertain::{Uncertain, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -61,8 +62,35 @@ impl Sampler {
     }
 
     /// Draws `n` joint samples into a `Vec`.
+    ///
+    /// Unlike a loop over [`Sampler::sample`], the evaluation context (memo
+    /// table and its allocation) is created once and re-seeded per draw —
+    /// the sample stream is bitwise identical, without `n` context
+    /// allocations.
     pub fn samples<T: Value>(&mut self, u: &Uncertain<T>, n: usize) -> Vec<T> {
-        (0..n).map(|_| self.sample(u)).collect()
+        let mut ctx = SampleContext::from_seed(0);
+        (0..n)
+            .map(|_| {
+                self.joint_samples += 1;
+                ctx.reseed(self.rng.gen());
+                ctx.begin_joint_sample();
+                u.node().sample_value(&mut ctx)
+            })
+            .collect()
+    }
+
+    /// Draws one joint sample through a compiled [`Plan`], consuming one
+    /// seed from this sampler's stream — the per-sample seeding is bitwise
+    /// identical to [`Sampler::sample`], so swapping the tree-walk for a
+    /// plan does not move any seeded experiment.
+    pub(crate) fn sample_planned<T: Value>(
+        &mut self,
+        plan: &Plan<T>,
+        ctx: &mut SampleContext,
+    ) -> T {
+        self.joint_samples += 1;
+        ctx.reseed(self.rng.gen());
+        plan.evaluate(ctx)
     }
 
     /// Total joint samples drawn through this sampler so far.
@@ -115,6 +143,33 @@ mod tests {
         let a = s.sample(&x);
         let b = s.sample(&x);
         assert_ne!(a, b, "separate joint samples must redraw the leaves");
+    }
+
+    #[test]
+    fn samples_matches_a_loop_of_sample() {
+        // The context-reuse fast path must not perturb the stream.
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let shared = &x * &x - &x;
+        let mut a = Sampler::seeded(17);
+        let batch = a.samples(&shared, 25);
+        let mut b = Sampler::seeded(17);
+        let looped: Vec<f64> = (0..25).map(|_| b.sample(&shared)).collect();
+        assert_eq!(batch, looped);
+        assert_eq!(a.joint_samples(), b.joint_samples());
+    }
+
+    #[test]
+    fn sample_planned_matches_sample() {
+        let x = Uncertain::uniform(0.0, 1.0).unwrap();
+        let expr = (&x + &x).gt(0.7);
+        let mut a = Sampler::seeded(23);
+        let tree: Vec<bool> = (0..40).map(|_| a.sample(&expr)).collect();
+        let mut b = Sampler::seeded(23);
+        let plan = Plan::compile(&expr);
+        let mut ctx = plan.new_context();
+        let planned: Vec<bool> = (0..40).map(|_| b.sample_planned(&plan, &mut ctx)).collect();
+        assert_eq!(tree, planned);
+        assert_eq!(b.joint_samples(), 40);
     }
 
     #[test]

@@ -382,12 +382,18 @@ mod tests {
         let x = Uncertain::normal(0.0, 1.0).unwrap();
         let dbg = format!("{x:?}");
         assert!(dbg.contains("Uncertain"));
-        assert!(dbg.contains("Gaussian"), "label should name the leaf: {dbg}");
+        assert!(
+            dbg.contains("Gaussian"),
+            "label should name the leaf: {dbg}"
+        );
     }
 
     #[test]
     fn short_type_name_strips_paths_and_generics() {
-        assert_eq!(super::short_type_name::<uncertain_dist::Gaussian>(), "Gaussian");
+        assert_eq!(
+            super::short_type_name::<uncertain_dist::Gaussian>(),
+            "Gaussian"
+        );
         assert_eq!(
             super::short_type_name::<uncertain_dist::PointMass<f64>>(),
             "PointMass"

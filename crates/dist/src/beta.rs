@@ -41,8 +41,9 @@ impl Beta {
         Ok(Self {
             alpha,
             beta,
-            gamma_a: Gamma::new(alpha, 1.0)
-                .map_err(|_| ParamError::new(format!("beta alpha must be positive, got {alpha}")))?,
+            gamma_a: Gamma::new(alpha, 1.0).map_err(|_| {
+                ParamError::new(format!("beta alpha must be positive, got {alpha}"))
+            })?,
             gamma_b: Gamma::new(beta, 1.0)
                 .map_err(|_| ParamError::new(format!("beta beta must be positive, got {beta}")))?,
         })

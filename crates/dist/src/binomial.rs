@@ -73,9 +73,7 @@ impl Discrete for Binomial {
         if self.p == 1.0 {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
-        ln_choose(self.n, k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (1.0 - self.p).ln()
+        ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
     }
 
     fn cdf(&self, k: u64) -> f64 {

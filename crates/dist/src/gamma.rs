@@ -100,7 +100,8 @@ impl Continuous for Gamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        (self.shape - 1.0) * x.ln() - x / self.scale
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
             - ln_gamma(self.shape)
             - self.shape * self.scale.ln()
     }
@@ -194,6 +195,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(44);
         let n = 40_000;
         let below = (0..n).filter(|_| g.sample(&mut rng) <= 2.0).count() as f64 / n as f64;
-        assert!((below - g.cdf(2.0)).abs() < 0.01, "{below} vs {}", g.cdf(2.0));
+        assert!(
+            (below - g.cdf(2.0)).abs() < 0.01,
+            "{below} vs {}",
+            g.cdf(2.0)
+        );
     }
 }

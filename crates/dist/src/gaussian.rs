@@ -157,10 +157,7 @@ mod tests {
         let g = Gaussian::new(0.0, 2.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
         let n = 20_000;
-        let inside = (0..n)
-            .filter(|_| g.sample(&mut rng).abs() <= 2.0)
-            .count() as f64
-            / n as f64;
+        let inside = (0..n).filter(|_| g.sample(&mut rng).abs() <= 2.0).count() as f64 / n as f64;
         assert!((inside - 0.6827).abs() < 0.02, "inside={inside}");
     }
 }

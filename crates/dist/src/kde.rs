@@ -110,8 +110,8 @@ impl Continuous for KernelDensity {
     }
 
     fn pdf(&self, x: f64) -> f64 {
-        let norm = 1.0 / (self.points.len() as f64 * self.bandwidth
-            * (2.0 * core::f64::consts::PI).sqrt());
+        let norm = 1.0
+            / (self.points.len() as f64 * self.bandwidth * (2.0 * core::f64::consts::PI).sqrt());
         self.points
             .iter()
             .map(|&p| {

@@ -118,7 +118,11 @@ mod tests {
     fn cdf_matches_pmf_sum() {
         let p = Poisson::new(2.2).unwrap();
         let direct: f64 = (0..=5).map(|k| p.pmf(k)).sum();
-        assert!((p.cdf(5) - direct).abs() < 1e-10, "{} vs {direct}", p.cdf(5));
+        assert!(
+            (p.cdf(5) - direct).abs() < 1e-10,
+            "{} vs {direct}",
+            p.cdf(5)
+        );
     }
 
     #[test]

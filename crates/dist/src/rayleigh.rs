@@ -139,7 +139,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         let n = 50_000;
         let mean: f64 = (0..n).map(|_| r.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - r.mean()).abs() < 0.05, "mean={mean} vs {}", r.mean());
+        assert!(
+            (mean - r.mean()).abs() < 0.05,
+            "mean={mean} vs {}",
+            r.mean()
+        );
     }
 
     #[test]

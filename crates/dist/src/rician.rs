@@ -79,8 +79,7 @@ impl Continuous for Rician {
         let s2 = self.sigma * self.sigma;
         // ln f = ln x − ln σ² − (x² + ν²)/2σ² + ln I₀(xν/σ²), using the
         // overflow-safe ln I₀ for large arguments.
-        x.ln() - s2.ln() - (x * x + self.nu * self.nu) / (2.0 * s2)
-            + ln_bessel_i0(x * self.nu / s2)
+        x.ln() - s2.ln() - (x * x + self.nu * self.nu) / (2.0 * s2) + ln_bessel_i0(x * self.nu / s2)
     }
 
     fn cdf(&self, x: f64) -> f64 {
@@ -124,8 +123,7 @@ fn bessel_i0_scaled(t: f64) -> f64 {
         (-t).exp() * bessel_i0(t)
     } else {
         // Asymptotic with first corrections: I₀(t) ≈ e^t/√(2πt)·(1 + 1/8t + 9/128t²).
-        (1.0 + 1.0 / (8.0 * t) + 9.0 / (128.0 * t * t))
-            / (2.0 * core::f64::consts::PI * t).sqrt()
+        (1.0 + 1.0 / (8.0 * t) + 9.0 / (128.0 * t * t)) / (2.0 * core::f64::consts::PI * t).sqrt()
     }
 }
 
@@ -135,8 +133,7 @@ fn bessel_i1_scaled(t: f64) -> f64 {
         (-t).exp() * bessel_i1(t)
     } else {
         // I₁(t) ≈ e^t/√(2πt)·(1 − 3/8t − 15/128t²).
-        (1.0 - 3.0 / (8.0 * t) - 15.0 / (128.0 * t * t))
-            / (2.0 * core::f64::consts::PI * t).sqrt()
+        (1.0 - 3.0 / (8.0 * t) - 15.0 / (128.0 * t * t)) / (2.0 * core::f64::consts::PI * t).sqrt()
     }
 }
 
@@ -179,7 +176,11 @@ mod tests {
     fn analytic_mean_large_snr_approaches_nu() {
         // For ν ≫ σ, E ≈ ν + σ²/2ν.
         let r = Rician::new(50.0, 1.0).unwrap();
-        assert!((r.mean() - (50.0 + 1.0 / 100.0)).abs() < 1e-3, "{}", r.mean());
+        assert!(
+            (r.mean() - (50.0 + 1.0 / 100.0)).abs() < 1e-3,
+            "{}",
+            r.mean()
+        );
     }
 
     #[test]
@@ -188,7 +189,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(50);
         let n = 40_000;
         let below = (0..n).filter(|_| r.sample(&mut rng) <= 3.0).count() as f64 / n as f64;
-        assert!((below - r.cdf(3.0)).abs() < 0.01, "{below} vs {}", r.cdf(3.0));
+        assert!(
+            (below - r.cdf(3.0)).abs() < 0.01,
+            "{below} vs {}",
+            r.cdf(3.0)
+        );
     }
 
     #[test]

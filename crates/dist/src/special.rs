@@ -295,7 +295,9 @@ mod tests {
 
     #[test]
     fn erf_inv_round_trip() {
-        for &p in &[-0.999, -0.9, -0.5, -0.1, 0.0, 0.1, 0.5, 0.9, 0.999, 0.9999999] {
+        for &p in &[
+            -0.999, -0.9, -0.5, -0.1, 0.0, 0.1, 0.5, 0.9, 0.999, 0.9999999,
+        ] {
             let x = erf_inv(p);
             assert!(
                 (erf(x) - p).abs() < 1e-11,
@@ -656,9 +658,7 @@ mod more_special_tests {
         // I_p(k, n−k+1) = Pr[Binomial(n,p) ≥ k].
         let (n, k, p) = (10u64, 4u64, 0.35_f64);
         let direct: f64 = (k..=n)
-            .map(|i| {
-                (ln_choose(n, i) + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln()).exp()
-            })
+            .map(|i| (ln_choose(n, i) + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln()).exp())
             .sum();
         let via_beta = reg_inc_beta(k as f64, (n - k + 1) as f64, p);
         assert!((direct - via_beta).abs() < 1e-10, "{direct} vs {via_beta}");

@@ -202,7 +202,10 @@ mod tests {
         // Truncating N(0,1) to [0, 4] gives mean ≈ 0.798 (half-normal).
         let t = Truncated::new(Arc::new(Gaussian::new(0.0, 1.0).unwrap()), 0.0, 8.0).unwrap();
         let m = t.mean();
-        assert!((m - (2.0 / core::f64::consts::PI).sqrt()).abs() < 1e-3, "m={m}");
+        assert!(
+            (m - (2.0 / core::f64::consts::PI).sqrt()).abs() < 1e-3,
+            "m={m}"
+        );
     }
 
     #[test]

@@ -95,10 +95,7 @@ impl GpsWalking {
     /// ```
     pub fn uncertain_action(&self, speed: &Uncertain<f64>, sampler: &mut Sampler) -> Action {
         let fast = speed.gt(self.threshold_mph);
-        if fast
-            .evaluate(0.5, sampler, &self.config)
-            .to_bool()
-        {
+        if fast.evaluate(0.5, sampler, &self.config).to_bool() {
             Action::GoodJob
         } else if speed
             .lt(self.threshold_mph)

@@ -42,8 +42,7 @@ impl GeoCoordinate {
         let lat2 = other.latitude.to_radians();
         let dlat = (other.latitude - self.latitude).to_radians();
         let dlon = (other.longitude - self.longitude).to_radians();
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 
@@ -65,11 +64,9 @@ impl GeoCoordinate {
         let bearing = bearing_deg.to_radians();
         let lat1 = self.latitude.to_radians();
         let lon1 = self.longitude.to_radians();
-        let lat2 =
-            (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * bearing.cos()).asin();
+        let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * bearing.cos()).asin();
         let lon2 = lon1
-            + (bearing.sin() * ang.sin() * lat1.cos())
-                .atan2(ang.cos() - lat1.sin() * lat2.sin());
+            + (bearing.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
         GeoCoordinate {
             latitude: lat2.to_degrees(),
             longitude: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0,

@@ -34,9 +34,7 @@ impl RoadMap {
         }
         for (a, b) in &segments {
             if a == b {
-                return Err(ParamError::new(format!(
-                    "degenerate road segment at {a}"
-                )));
+                return Err(ParamError::new(format!("degenerate road segment at {a}")));
             }
         }
         Ok(Self { segments })
@@ -122,7 +120,11 @@ mod tests {
     /// A straight east-west road through the reference point.
     fn straight_road() -> RoadMap {
         let c = GeoCoordinate::new(47.6, -122.3);
-        RoadMap::new(vec![(c.destination(500.0, 270.0), c.destination(500.0, 90.0))]).unwrap()
+        RoadMap::new(vec![(
+            c.destination(500.0, 270.0),
+            c.destination(500.0, 90.0),
+        )])
+        .unwrap()
     }
 
     #[test]
@@ -159,12 +161,8 @@ mod tests {
         let snapped = road.snap(&raw, 2.0, 1e-6);
 
         let mut s = Sampler::seeded(1);
-        let raw_offset = raw.expect_by(&mut s, 2000, |p| {
-            road.distance_to_road(p)
-        });
-        let snapped_offset = snapped.expect_by(&mut s, 2000, |p| {
-            road.distance_to_road(p)
-        });
+        let raw_offset = raw.expect_by(&mut s, 2000, |p| road.distance_to_road(p));
+        let snapped_offset = snapped.expect_by(&mut s, 2000, |p| road.distance_to_road(p));
         assert!(
             snapped_offset < raw_offset / 2.0,
             "snap must pull toward the road: {snapped_offset:.2} vs {raw_offset:.2}"
@@ -182,9 +180,7 @@ mod tests {
         let fix = GpsReading::new(off_road, 4.0).unwrap();
         let snapped = road.snap(&fix.location(), 4.0, 1e-3);
         let mut s = Sampler::seeded(2);
-        let mean_dist_from_fix = snapped.expect_by(&mut s, 1000, |p| {
-            off_road.distance_meters(p)
-        });
+        let mean_dist_from_fix = snapped.expect_by(&mut s, 1000, |p| off_road.distance_meters(p));
         assert!(
             mean_dist_from_fix < 50.0,
             "posterior stayed near the strong evidence: {mean_dist_from_fix:.1} m"

@@ -57,11 +57,7 @@ pub fn naive_speed(from: &GpsReading, to: &GpsReading, dt_seconds: f64) -> f64 {
 /// # Ok(())
 /// # }
 /// ```
-pub fn uncertain_speed(
-    from: &GpsReading,
-    to: &GpsReading,
-    dt_seconds: f64,
-) -> Uncertain<f64> {
+pub fn uncertain_speed(from: &GpsReading, to: &GpsReading, dt_seconds: f64) -> Uncertain<f64> {
     assert!(dt_seconds > 0.0, "dt must be positive");
     let l1 = from.location();
     let l2 = to.location();

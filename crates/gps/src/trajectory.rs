@@ -95,9 +95,8 @@ impl WalkSimulator {
         });
         for t in 1..=self.duration_s {
             // Smooth heading drift and small speed jitter.
-            heading = (heading
-                + gaussian(&mut rng) * self.heading_volatility_deg)
-                .rem_euclid(360.0);
+            heading =
+                (heading + gaussian(&mut rng) * self.heading_volatility_deg).rem_euclid(360.0);
             speed = (self.speed_mph + gaussian(&mut rng) * self.speed_jitter_mph).max(0.0);
             let meters = speed / MPS_TO_MPH; // speed [mph] → m per 1 s step
             here = here.destination(meters, heading);
@@ -143,8 +142,7 @@ mod tests {
     #[test]
     fn true_speed_stays_near_nominal() {
         let walk = WalkSimulator::new(3.0, 900, 1).positions();
-        let mean: f64 =
-            walk.iter().map(|p| p.speed_mph).sum::<f64>() / walk.len() as f64;
+        let mean: f64 = walk.iter().map(|p| p.speed_mph).sum::<f64>() / walk.len() as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
         assert!(walk.iter().all(|p| p.speed_mph < 4.5 && p.speed_mph >= 0.0));
     }

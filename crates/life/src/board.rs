@@ -108,8 +108,7 @@ impl Board {
                 }
                 let nx = x as i64 + dx;
                 let ny = y as i64 + dy;
-                if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height
-                {
+                if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height {
                     out.push((nx as usize, ny as usize));
                 }
             }

@@ -62,8 +62,7 @@ impl VariantResult {
 
     /// 95% Wilson interval on the error rate.
     pub fn error_rate_ci(&self) -> (f64, f64) {
-        wilson_interval(self.errors, self.updates, 0.95)
-            .expect("updates > 0 by construction")
+        wilson_interval(self.errors, self.updates, 0.95).expect("updates > 0 by construction")
     }
 
     /// Mean samples drawn per cell update (Fig. 14b's y-axis).
@@ -202,11 +201,7 @@ impl LifeExperiment {
     /// # Errors
     ///
     /// Returns [`ParamError`] if `sigma` is invalid.
-    pub fn run_closed_loop(
-        &self,
-        variant: Variant,
-        sigma: f64,
-    ) -> Result<Vec<f64>, ParamError> {
+    pub fn run_closed_loop(&self, variant: Variant, sigma: f64) -> Result<Vec<f64>, ParamError> {
         let sensor = NoisySensor::new(sigma)?;
         let implementation: Box<dyn LifeVariant> = match variant {
             Variant::Naive => Box::new(NaiveLife::new(sensor)),

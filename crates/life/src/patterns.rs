@@ -34,14 +34,7 @@ impl Pattern {
             Pattern::Block => &[(0, 0), (1, 0), (0, 1), (1, 1)],
             Pattern::Blinker => &[(0, 0), (1, 0), (2, 0)],
             Pattern::Toad => &[(1, 0), (2, 0), (3, 0), (0, 1), (1, 1), (2, 1)],
-            Pattern::Beacon => &[
-                (0, 0),
-                (1, 0),
-                (0, 1),
-                (2, 3),
-                (3, 3),
-                (3, 2),
-            ],
+            Pattern::Beacon => &[(0, 0), (1, 0), (0, 1), (2, 3), (3, 3), (3, 2)],
             Pattern::Glider => &[(1, 0), (2, 1), (0, 2), (1, 2), (2, 2)],
         }
     }
@@ -148,8 +141,7 @@ mod tests {
         let bayes = BayesLife::new(NoisySensor::new(0.2).unwrap());
         let mut s = Sampler::seeded(3);
         for (x, y) in board.coords() {
-            let truth =
-                crate::rules::next_state(board.get(x, y), board.live_neighbors(x, y));
+            let truth = crate::rules::next_state(board.get(x, y), board.live_neighbors(x, y));
             assert_eq!(bayes.decide(&board, x, y, &mut s).alive, truth);
         }
     }

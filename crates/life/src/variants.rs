@@ -28,7 +28,12 @@ pub trait LifeVariant {
 
 /// Builds the paper's `CountLiveNeighbors`: the lifted sum of one uncertain
 /// sensor reading per neighbor.
-fn count_live_neighbors(sensor_reading: impl Fn(bool) -> Uncertain<f64>, board: &Board, x: usize, y: usize) -> Uncertain<f64> {
+fn count_live_neighbors(
+    sensor_reading: impl Fn(bool) -> Uncertain<f64>,
+    board: &Board,
+    x: usize,
+    y: usize,
+) -> Uncertain<f64> {
     let mut sum = Uncertain::point(0.0);
     for (nx, ny) in board.neighbors(x, y) {
         sum = sum + sensor_reading(board.get(nx, ny));
@@ -166,7 +171,13 @@ impl LifeVariant for SensorLife {
     fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision {
         let sensor = self.sensor;
         let num_live = count_live_neighbors(|b| sensor.uncertain(b), board, x, y);
-        decide_uncertain(&num_live, board.get(x, y), self.banded, sampler, &self.config)
+        decide_uncertain(
+            &num_live,
+            board.get(x, y),
+            self.banded,
+            sampler,
+            &self.config,
+        )
     }
 }
 
@@ -336,7 +347,10 @@ mod tests {
             naive > sensor_life,
             "naive {naive} should err more than sensor {sensor_life}"
         );
-        assert!(bayes <= sensor_life, "bayes {bayes} vs sensor {sensor_life}");
+        assert!(
+            bayes <= sensor_life,
+            "bayes {bayes} vs sensor {sensor_life}"
+        );
         assert!(bayes < 0.02, "bayes should be near-perfect, got {bayes}");
     }
 
@@ -346,7 +360,10 @@ mod tests {
         let board = test_board();
         let mut s = Sampler::seeded(5);
         let total = |v: &dyn LifeVariant, s: &mut Sampler| -> u64 {
-            board.coords().map(|(x, y)| v.decide(&board, x, y, s).samples).sum()
+            board
+                .coords()
+                .map(|(x, y)| v.decide(&board, x, y, s).samples)
+                .sum()
         };
         let naive = total(&NaiveLife::new(sensor), &mut s);
         let sensor_life = total(&SensorLife::new(sensor), &mut s);

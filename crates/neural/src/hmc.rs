@@ -254,10 +254,18 @@ mod tests {
         let mean1: f64 = run.samples.iter().map(|s| s[1]).sum::<f64>() / 1500.0;
         assert!((mean0 - 2.0).abs() < 0.1, "mean0={mean0}");
         assert!((mean1 + 1.0).abs() < 0.1, "mean1={mean1}");
-        let var0: f64 =
-            run.samples.iter().map(|s| (s[0] - mean0).powi(2)).sum::<f64>() / 1499.0;
-        let var1: f64 =
-            run.samples.iter().map(|s| (s[1] - mean1).powi(2)).sum::<f64>() / 1499.0;
+        let var0: f64 = run
+            .samples
+            .iter()
+            .map(|s| (s[0] - mean0).powi(2))
+            .sum::<f64>()
+            / 1499.0;
+        let var1: f64 = run
+            .samples
+            .iter()
+            .map(|s| (s[1] - mean1).powi(2))
+            .sum::<f64>()
+            / 1499.0;
         assert!((var0 - 1.0).abs() < 0.2, "var0={var0}");
         assert!((var1 - 0.25).abs() < 0.08, "var1={var1}");
     }

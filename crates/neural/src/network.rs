@@ -72,10 +72,7 @@ impl Mlp {
     }
 
     fn param_count(sizes: &[usize]) -> usize {
-        sizes
-            .windows(2)
-            .map(|w| w[0] * w[1] + w[1])
-            .sum()
+        sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
     }
 
     /// The layer sizes.

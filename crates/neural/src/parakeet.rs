@@ -86,7 +86,12 @@ impl BayesianMlpPosterior {
     /// prior's pull is negligible at these scales). Starting the HMC chain
     /// at the MAP avoids wasting the whole burn-in descending from a
     /// random initialization.
-    pub fn map_estimate(&self, epochs: usize, learning_rate: f64, rng: &mut dyn RngCore) -> Vec<f64> {
+    pub fn map_estimate(
+        &self,
+        epochs: usize,
+        learning_rate: f64,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
         let mut net = self.template.clone();
         crate::train::SgdTrainer::new(learning_rate, epochs).train(
             &mut net,
@@ -416,7 +421,10 @@ mod tests {
         let mut agree = 0;
         let n = 40;
         for i in 0..n {
-            let mc = p.predict(&data.inputs[i]).gt(0.1).probability_with(&mut s, 300);
+            let mc = p
+                .predict(&data.inputs[i])
+                .gt(0.1)
+                .probability_with(&mut s, 300);
             let ga = p
                 .predict_gaussian(&data.inputs[i])
                 .gt(0.1)

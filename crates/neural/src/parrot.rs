@@ -93,9 +93,17 @@ mod tests {
     #[test]
     fn approximates_sobel_well_on_average() {
         let (parrot, train, test) = trained();
-        assert!(parrot.rmse(&train) < 0.08, "train rmse {}", parrot.rmse(&train));
+        assert!(
+            parrot.rmse(&train) < 0.08,
+            "train rmse {}",
+            parrot.rmse(&train)
+        );
         // Held-out error is a bit worse but still small.
-        assert!(parrot.rmse(&test) < 0.12, "test rmse {}", parrot.rmse(&test));
+        assert!(
+            parrot.rmse(&test) < 0.12,
+            "test rmse {}",
+            parrot.rmse(&test)
+        );
     }
 
     #[test]

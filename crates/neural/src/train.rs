@@ -64,7 +64,11 @@ impl SgdTrainer {
         rng: &mut dyn RngCore,
     ) {
         assert!(!inputs.is_empty(), "cannot train on an empty dataset");
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         let mut order: Vec<usize> = (0..inputs.len()).collect();
         for _ in 0..self.epochs {
             order.shuffle(rng);

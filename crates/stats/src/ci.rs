@@ -73,11 +73,7 @@ pub fn mean_confidence_interval(
 /// # Ok(())
 /// # }
 /// ```
-pub fn wilson_interval(
-    successes: u64,
-    n: u64,
-    confidence: f64,
-) -> Result<(f64, f64), StatsError> {
+pub fn wilson_interval(successes: u64, n: u64, confidence: f64) -> Result<(f64, f64), StatsError> {
     if n == 0 {
         return Err(StatsError::new("need at least one trial"));
     }

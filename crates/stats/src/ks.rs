@@ -110,7 +110,12 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(60);
         let sample: Vec<f64> = (0..2000).map(|_| g.sample(&mut rng)).collect();
         let outcome = ks_test(&sample, standard_normal_cdf).unwrap();
-        assert!(outcome.fits(0.01), "D={} p={}", outcome.statistic, outcome.p_value);
+        assert!(
+            outcome.fits(0.01),
+            "D={} p={}",
+            outcome.statistic,
+            outcome.p_value
+        );
     }
 
     #[test]

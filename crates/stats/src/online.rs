@@ -154,8 +154,7 @@ mod tests {
         let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
         let acc: OnlineStats = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((acc.mean() - mean).abs() < 1e-12);
         assert!((acc.variance() - var).abs() < 1e-12);
     }
@@ -166,7 +165,11 @@ mod tests {
         let acc: OnlineStats = (0..1000)
             .map(|i| 1e9 + (i % 2) as f64) // values 1e9 and 1e9+1
             .collect();
-        assert!((acc.variance() - 0.25025).abs() < 1e-3, "{}", acc.variance());
+        assert!(
+            (acc.variance() - 0.25025).abs() < 1e-3,
+            "{}",
+            acc.variance()
+        );
     }
 
     #[test]

@@ -333,6 +333,59 @@ impl SequentialTest {
             conclusive: false,
         }
     }
+
+    /// Runs the test to completion, pulling whole batches of Bernoulli
+    /// samples from `gen_batch` — the hook for samplers that amortize
+    /// per-sample overhead across a batch (compiled evaluation plans,
+    /// parallel batch sampling).
+    ///
+    /// `gen_batch(k)` must return exactly `k` samples. The stopping rule,
+    /// batch schedule, and cap fallback are identical to
+    /// [`SequentialTest::run`]: given the same underlying sample stream,
+    /// both runners produce the same [`TestOutcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gen_batch` returns a batch of the wrong length.
+    pub fn run_batched(&self, mut gen_batch: impl FnMut(usize) -> Vec<bool>) -> TestOutcome {
+        let mut n: usize = 0;
+        let mut successes: u64 = 0;
+        while n < self.max_samples {
+            let take = self.batch.min(self.max_samples - n);
+            let batch = gen_batch(take);
+            assert_eq!(
+                batch.len(),
+                take,
+                "sequential test asked for {take} samples"
+            );
+            successes += batch.iter().filter(|&&b| b).count() as u64;
+            n += take;
+            match self.sprt.decide(successes, n as u64) {
+                TestDecision::Continue => continue,
+                decision => {
+                    return TestOutcome {
+                        decision,
+                        samples: n,
+                        successes,
+                        estimate: successes as f64 / n as f64,
+                        conclusive: true,
+                    }
+                }
+            }
+        }
+        let estimate = successes as f64 / n as f64;
+        TestOutcome {
+            decision: if estimate > self.threshold {
+                TestDecision::AcceptAlternative
+            } else {
+                TestDecision::AcceptNull
+            },
+            samples: n,
+            successes,
+            estimate,
+            conclusive: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -445,6 +498,25 @@ mod tests {
         assert!(o.successes as usize <= o.samples);
         assert!((o.estimate - o.successes as f64 / o.samples as f64).abs() < 1e-12);
         assert_eq!(o.samples % t.batch(), 0);
+    }
+
+    #[test]
+    fn run_batched_matches_run_on_the_same_stream() {
+        let t = SequentialTest::at_threshold(0.5).unwrap();
+        for (seed, p) in [(10, 0.9), (11, 0.55), (12, 0.1), (13, 0.5)] {
+            let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+            let serial = t.run(|| a.gen::<f64>() < p);
+            let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+            let batched = t.run_batched(|k| (0..k).map(|_| b.gen::<f64>() < p).collect());
+            assert_eq!(serial, batched, "seed {seed} p {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential test asked for")]
+    fn run_batched_rejects_short_batches() {
+        let t = SequentialTest::at_threshold(0.5).unwrap();
+        let _ = t.run_batched(|k| vec![true; k.saturating_sub(1)]);
     }
 
     #[test]

@@ -18,7 +18,10 @@ fn main() {
     let parrot = Parrot::train(&train, 50, 0.05, &mut rng);
     println!("  RMSE on held-out data: {:.3}", parrot.rmse(&test));
 
-    println!("training Parakeet (HMC posterior, {} examples)…", train.len());
+    println!(
+        "training Parakeet (HMC posterior, {} examples)…",
+        train.len()
+    );
     let parakeet = Parakeet::train_tuned(&train, 120, 10, &mut rng);
     println!(
         "  pool of {} networks, HMC acceptance {:.2}\n",
@@ -55,7 +58,11 @@ fn main() {
     println!(
         "\nfor one test patch: Pr[s(p) > {EDGE_THRESHOLD}] ≈ {evidence:.2}; \
          .pr(0.8) says {}",
-        if parakeet.predict(patch).gt(EDGE_THRESHOLD).pr_with(0.8, &mut sampler) {
+        if parakeet
+            .predict(patch)
+            .gt(EDGE_THRESHOLD)
+            .pr_with(0.8, &mut sampler)
+        {
             "EDGE"
         } else {
             "no edge"

@@ -3,9 +3,7 @@
 //!
 //! Run with `cargo run --example sensor_life --release`.
 
-use uncertain_suite::life::{
-    BayesLife, Board, LifeVariant, NaiveLife, NoisySensor, SensorLife,
-};
+use uncertain_suite::life::{BayesLife, Board, LifeVariant, NaiveLife, NoisySensor, SensorLife};
 use uncertain_suite::Sampler;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,10 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for generation in 1..=8 {
         let mut errors = vec![0usize; variants.len()];
         for (x, y) in board.coords() {
-            let truth = uncertain_suite::life::next_state(
-                board.get(x, y),
-                board.live_neighbors(x, y),
-            );
+            let truth =
+                uncertain_suite::life::next_state(board.get(x, y), board.live_neighbors(x, y));
             for (i, v) in variants.iter().enumerate() {
                 if v.decide(&board, x, y, &mut sampler).alive != truth {
                     errors[i] += 1;

@@ -9,7 +9,10 @@ use uncertain_suite::{EvalConfig, Sampler, Uncertain};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let limit = 60.0;
     println!("speed limit {limit} mph, GPS ε = 4 m, fixes 1 s apart\n");
-    println!("{:>10} {:>14} {:>18} {:>20}", "true mph", "Pr[>limit]", "naive verdict", "evidence .pr(0.95)");
+    println!(
+        "{:>10} {:>14} {:>18} {:>20}",
+        "true mph", "Pr[>limit]", "naive verdict", "evidence .pr(0.95)"
+    );
 
     let mut sampler = Sampler::seeded(7);
     for true_mph in [50.0, 55.0, 57.0, 60.0, 63.0, 70.0, 90.0] {

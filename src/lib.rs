@@ -25,8 +25,8 @@
 //! ```
 
 pub use uncertain_core::{
-    EvalConfig, HypothesisOutcome, IntoUncertain, NetworkView, NodeId, NodeMeta, Sampler,
-    Uncertain, Value,
+    EvalConfig, Evaluator, HypothesisOutcome, IntoUncertain, NetworkView, NodeId, NodeMeta,
+    ParSampler, Plan, Sampler, Uncertain, Value,
 };
 
 pub use uncertain_core as core;

@@ -4,7 +4,7 @@
 //! predictably.
 
 use uncertain_suite::dist::{Empirical, ParamError};
-use uncertain_suite::stats::{Summary, StatsError};
+use uncertain_suite::stats::{StatsError, Summary};
 use uncertain_suite::{EvalConfig, Sampler, Uncertain};
 
 #[test]

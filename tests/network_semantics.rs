@@ -91,7 +91,10 @@ fn ternary_logic_on_marginal_comparisons() {
             neither += 1;
         }
     }
-    assert!(neither >= 10, "typically neither side is conclusive: {neither}/20");
+    assert!(
+        neither >= 10,
+        "typically neither side is conclusive: {neither}/20"
+    );
 }
 
 #[test]
@@ -101,7 +104,11 @@ fn conclusive_comparisons_on_separated_distributions() {
     let mut s = Sampler::seeded(6);
     let o = lo.lt(&hi).evaluate(0.5, &mut s, &EvalConfig::default());
     assert!(o.is_true());
-    assert!(o.samples <= 50, "easy comparison took {} samples", o.samples);
+    assert!(
+        o.samples <= 50,
+        "easy comparison took {} samples",
+        o.samples
+    );
 }
 
 #[test]
@@ -147,7 +154,11 @@ fn networks_render_to_dot_with_shaded_leaves() {
     assert!(dot.contains("digraph"));
     // Three leaves: the two Gaussians plus the point mass the comparison
     // lifted from the scalar 0.5.
-    assert_eq!(dot.matches("fillcolor=gray85").count(), 3, "three leaves shaded");
+    assert_eq!(
+        dot.matches("fillcolor=gray85").count(),
+        3,
+        "three leaves shaded"
+    );
     assert!(dot.contains('>'), "comparison node labeled");
 }
 

@@ -124,7 +124,10 @@ fn expected_value_projects_to_base_type() {
     let hi = Uncertain::normal(1.2, 5.0).unwrap();
     let e_lo = lo.expected_value_with(&mut s, 50_000);
     let e_hi = hi.expected_value_with(&mut s, 50_000);
-    assert!(e_lo < e_hi, "E gives a usable total order: {e_lo} vs {e_hi}");
+    assert!(
+        e_lo < e_hi,
+        "E gives a usable total order: {e_lo} vs {e_hi}"
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use uncertain_suite::dist::{Continuous, Gaussian, Rayleigh, Uniform};
-use uncertain_suite::stats::{Summary, wilson_interval};
+use uncertain_suite::stats::{wilson_interval, Summary};
 use uncertain_suite::{Sampler, Uncertain};
 
 proptest! {

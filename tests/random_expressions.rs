@@ -12,8 +12,14 @@ use uncertain_suite::{Sampler, Uncertain};
 /// these, then we build the real network).
 #[derive(Debug, Clone)]
 enum Expr {
-    Normal { mean: f64, sd: f64 },
-    Uniform { lo: f64, width: f64 },
+    Normal {
+        mean: f64,
+        sd: f64,
+    },
+    Uniform {
+        lo: f64,
+        width: f64,
+    },
     Point(f64),
     Neg(Box<Expr>),
     Abs(Box<Expr>),
@@ -64,12 +70,9 @@ fn expr() -> impl Strategy<Value = Expr> {
             inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
             inner.clone().prop_map(|e| Expr::Abs(Box::new(e))),
             (inner.clone(), -3.0_f64..3.0).prop_map(|(e, k)| Expr::Scale(Box::new(e), k)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| Expr::SelfSum(Box::new(e))),
             inner.prop_map(|e| Expr::Weighted(Box::new(e))),
         ]

@@ -1,0 +1,298 @@
+//! A vendored, offline, API-compatible subset of the `criterion` crate,
+//! just large enough for this workspace's benches. The build container has
+//! no network access, so the real crate cannot be fetched; the workspace
+//! `[patch.crates-io]` table points here instead.
+//!
+//! Implemented surface (same names/paths as `criterion` 0.5):
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`]
+//! (`bench_function`, `benchmark_group`), [`BenchmarkGroup`]
+//! (`bench_function`, `bench_with_input`, `finish`), [`BenchmarkId`]
+//! (`new`, `from_parameter`), [`Bencher::iter`], and [`black_box`].
+//!
+//! Measurement model: per benchmark, a short warm-up calibrates a batch
+//! size, then timed batches run until a wall-clock budget is spent and the
+//! **median** per-iteration time is reported. The budget is 300 ms by
+//! default, 60 ms when the `QUICK` environment variable is set, or
+//! whatever `CRITERION_MEASURE_MS` says. Results print as text; there are
+//! no HTML reports, statistics, or baselines.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver. One instance is shared across a group of
+/// benchmark functions (see [`criterion_group!`]).
+#[derive(Debug)]
+pub struct Criterion {
+    measure_budget: Duration,
+    warmup_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var_os("QUICK").is_some();
+        let measure_ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(if quick { 60 } else { 300 });
+        Criterion {
+            measure_budget: Duration::from_millis(measure_ms),
+            warmup_budget: Duration::from_millis((measure_ms / 4).max(10)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a common context.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion, &full, &mut |bencher: &mut Bencher| {
+            f(bencher, input)
+        });
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally `function/parameter`-shaped.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark id (`&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display form of the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup_budget: Duration,
+    measure_budget: Duration,
+    /// Median ns/iter of the last `iter` call, if any.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times the closure: calibrates a batch size during warm-up, then
+    /// records the median per-iteration time over as many batches as fit
+    /// in the measurement budget.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up doubles the batch size until one batch costs >= ~1/16th
+        // of the warm-up budget (so measurement gets >= a handful of
+        // batches), or the budget runs out.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if warm_start.elapsed() >= self.warmup_budget {
+                break;
+            }
+            if dt >= self.warmup_budget / 16 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure_budget || per_iter_ns.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(per_iter_ns[per_iter_ns.len() / 2]);
+    }
+}
+
+/// Formats nanoseconds with criterion-like units.
+fn fmt_ns(ns: f64) -> String {
+    let mut s = String::new();
+    if ns < 1_000.0 {
+        let _ = write!(s, "{ns:.2} ns");
+    } else if ns < 1_000_000.0 {
+        let _ = write!(s, "{:.3} µs", ns / 1_000.0);
+    } else if ns < 1_000_000_000.0 {
+        let _ = write!(s, "{:.3} ms", ns / 1_000_000.0);
+    } else {
+        let _ = write!(s, "{:.3} s", ns / 1_000_000_000.0);
+    }
+    s
+}
+
+fn run_one(criterion: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        warmup_budget: criterion.warmup_budget,
+        measure_budget: criterion.measure_budget,
+        result_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.result_ns {
+        Some(ns) => println!("{id:<50} time: [{}]", fmt_ns(ns)),
+        None => println!("{id:<50} (no Bencher::iter call)"),
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name (simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes flags like `--bench`; nothing to parse.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_result() {
+        let mut b = Bencher {
+            warmup_budget: Duration::from_millis(2),
+            measure_budget: Duration::from_millis(5),
+            result_ns: None,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let ns = b.result_ns.expect("iter records a median");
+        assert!(ns > 0.0 && ns < 1e7, "ns={ns}");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("sprt", 0.9).into_benchmark_id(),
+            "sprt/0.9"
+        );
+        assert_eq!(BenchmarkId::from_parameter(64).into_benchmark_id(), "64");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            measure_budget: Duration::from_millis(3),
+            warmup_budget: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -1,0 +1,222 @@
+//! A vendored, offline, API-compatible subset of the `proptest` crate,
+//! just large enough for this workspace's property tests. The build
+//! container has no network access, so the real crate cannot be fetched;
+//! the workspace `[patch.crates-io]` table points here instead.
+//!
+//! Implemented surface (same names/paths as `proptest` 1.x):
+//!
+//! * the [`proptest!`] macro, including `#![proptest_config(..)]` and
+//!   `arg in strategy` parameters,
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//!   [`strategy::BoxedStrategy`], [`strategy::Just`], [`strategy::Union`],
+//! * range strategies for the primitive ints/floats, tuple strategies,
+//!   [`collection::vec`], and the [`prop_oneof!`] macro,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`]
+//!   returning [`test_runner::TestCaseError`],
+//! * a deterministic runner (seed derived from test name + case index).
+//!
+//! **No shrinking**: a failing case reports its generated arguments and
+//! panics. Failures are reproducible because seeding is deterministic.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ..)`
+/// item becomes a regular `#[test]` that runs the body over generated
+/// argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands one test item at a time. The `#[test]` attribute in
+/// the source is captured by the meta repetition and re-emitted onto the
+/// generated zero-argument function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                &($config),
+                stringify!($name),
+                |__rng, __desc| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    $(
+                        __desc.push_str(stringify!($arg));
+                        __desc.push_str(" = ");
+                        __desc.push_str(&format!("{:?}", &$arg));
+                        __desc.push_str("; ");
+                    )*
+                    (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (with its
+/// generated arguments) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {{
+        let __prop_assert_cond: bool = $cond;
+        if !__prop_assert_cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        let __prop_assert_cond: bool = $cond;
+        if !__prop_assert_cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Picks uniformly (or by explicit `weight => strategy` pairs) among
+/// several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper(x: u64) -> Result<(), TestCaseError> {
+        prop_assert!(x < 1_000_000, "x={x}");
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range + tuple + map strategies compose.
+        #[test]
+        fn ranges_and_tuples(a in -5.0_f64..5.0, pair in (0u64..10, 1usize..4)) {
+            prop_assert!((-5.0..5.0).contains(&a));
+            prop_assert!(pair.0 < 10 && (1..4).contains(&pair.1));
+            helper(pair.0)?;
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0i32..100, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..100).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_and_recursive(n in oneof_strategy()) {
+            prop_assert!(n.abs() <= 64.0, "n={n}");
+        }
+    }
+
+    fn oneof_strategy() -> impl Strategy<Value = f64> {
+        let leaf = prop_oneof![-1.0_f64..1.0, Just(0.5)];
+        leaf.prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|x| -x),
+                (inner.clone(), inner).prop_map(|(a, b)| (a + b) / 2.0),
+            ]
+        })
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let mut r1 = crate::test_runner::case_rng("t", 3);
+        let mut r2 = crate::test_runner::case_rng("t", 3);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,92 @@
+//! The [`Standard`] distribution and its [`Distribution`] trait — the
+//! machinery behind [`Rng::gen`](crate::Rng::gen).
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`, sampled with any generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a primitive type: uniform over the value
+/// range for integers, uniform on `[0, 1)` for floats, fair coin for
+/// `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// Uniform `f64` on `[0, 1)` with 53 random mantissa bits.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `f32` on `[0, 1)` with 24 random mantissa bits.
+#[inline]
+pub(crate) fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use the high bit, as the low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! int_standard {
+    ($($t:ty),+) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        let v: u128 = Standard.sample(rng);
+        v as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(1);
+        let heads = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4500..5500).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn integer_standard_uses_full_width() {
+        let mut r = StdRng::seed_from_u64(2);
+        let any_high_bit = (0..64).any(|_| r.gen::<u64>() >> 63 == 1);
+        assert!(any_high_bit);
+    }
+}

@@ -1,0 +1,150 @@
+//! Concrete generators: [`SmallRng`], [`StdRng`], [`OsRng`].
+
+use crate::{splitmix64, Error, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// xoshiro256++ core (Blackman & Vigna). Small state, excellent quality,
+/// very fast — a sensible stand-in for both of `rand`'s seeded generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0; 4] {
+            // The all-zero state is a fixed point; re-expand from a constant.
+            let mut sm = 0xDEAD_BEEF_CAFE_F00Du64;
+            for slot in s.iter_mut() {
+                *slot = splitmix64(&mut sm);
+            }
+        }
+        Self { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! xoshiro_front {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name(Xoshiro256);
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                (self.0.next_u64() >> 32) as u32
+            }
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let bytes = self.0.next_u64().to_le_bytes();
+                    let n = chunk.len();
+                    chunk.copy_from_slice(&bytes[..n]);
+                }
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                Self(Xoshiro256::from_seed_bytes(seed))
+            }
+        }
+    };
+}
+
+xoshiro_front!(
+    /// A small, fast generator (xoshiro256++ here; `rand` uses xoshiro256++
+    /// for 64-bit `SmallRng` too, though streams differ).
+    SmallRng
+);
+xoshiro_front!(
+    /// The default "standard" generator. The real `rand` uses ChaCha12;
+    /// this vendored stand-in uses xoshiro256++ — not cryptographically
+    /// secure, which this workspace never relies on.
+    StdRng
+);
+
+/// Process-unique entropy for [`SeedableRng::from_entropy`]: wall-clock
+/// nanoseconds mixed with a monotonically bumped counter, so two calls in
+/// the same nanosecond still diverge.
+pub(crate) fn entropy_seed() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED_5EED_5EED_5EED);
+    let c = COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    let mut sm = t ^ c.rotate_left(32);
+    splitmix64(&mut sm)
+}
+
+/// An "OS randomness" source. Offline stand-in: every word is freshly
+/// derived from [`entropy_seed`], so it is unseeded and non-reproducible,
+/// matching how `OsRng` is used (one-off noise, never replayed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsRng;
+
+impl RngCore for OsRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        entropy_seed()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = StdRng::from_seed([0u8; 32]);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn entropy_differs_between_calls() {
+        assert_ne!(entropy_seed(), entropy_seed());
+        let mut os = OsRng;
+        assert_ne!(os.next_u64(), os.next_u64());
+    }
+}

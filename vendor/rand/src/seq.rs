@@ -1,0 +1,61 @@
+//! Sequence helpers: the [`SliceRandom`] trait (`choose`, `shuffle`).
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices for random selection and ordering.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Returns a uniformly chosen reference, or `None` if the slice is
+    /// empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut r = StdRng::seed_from_u64(9);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..50 {
+            assert!(items.contains(items.choose(&mut r).unwrap()));
+        }
+
+        let mut v: Vec<u32> = (0..32).collect();
+        let orig = v.clone();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        assert_ne!(v, orig, "32-element shuffle left order unchanged");
+    }
+}
