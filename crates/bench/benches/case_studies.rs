@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_life::{BayesLife, Board, LifeVariant, NaiveLife, NoisySensor, SensorLife};
 use uncertain_neural::sobel::generate_dataset;
 use uncertain_neural::{Parakeet, Parrot};
@@ -17,15 +17,15 @@ fn bench_life_cell_update(c: &mut Criterion) {
     let bayes = BayesLife::new(sensor);
     let mut group = c.benchmark_group("Life cell update (σ=0.2)");
     group.bench_function("NaiveLife", |bencher| {
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::seeded(1);
         bencher.iter(|| black_box(naive.decide(&board, 10, 10, &mut s)));
     });
     group.bench_function("SensorLife", |bencher| {
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::seeded(1);
         bencher.iter(|| black_box(sensor_life.decide(&board, 10, 10, &mut s)));
     });
     group.bench_function("BayesLife", |bencher| {
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::seeded(1);
         bencher.iter(|| black_box(bayes.decide(&board, 10, 10, &mut s)));
     });
     group.finish();
@@ -42,14 +42,14 @@ fn bench_parakeet(c: &mut Criterion) {
         bencher.iter(|| black_box(parrot.predict(&input)));
     });
     group.bench_function("Parakeet PPD joint sample", |bencher| {
-        let mut s = Sampler::seeded(4);
+        let mut s = Session::seeded(4);
         let ppd = parakeet.predict(&input);
         bencher.iter(|| black_box(s.sample(&ppd)));
     });
     group.bench_function("Parakeet edge decision .pr(0.8)", |bencher| {
-        let mut s = Sampler::seeded(4);
+        let mut s = Session::seeded(4);
         let edge = parakeet.predict(&input).gt(0.1);
-        bencher.iter(|| black_box(edge.pr_with(0.8, &mut s)));
+        bencher.iter(|| black_box(edge.pr_in(&mut s, 0.8)));
     });
     group.finish();
 }
@@ -63,11 +63,11 @@ fn bench_gps_prior(c: &mut Criterion) {
     let improved = priors::apply(&speed, priors::walking_speed());
     let mut group = c.benchmark_group("GPS speed joint sample");
     group.bench_function("raw speed", |bencher| {
-        let mut s = Sampler::seeded(5);
+        let mut s = Session::seeded(5);
         bencher.iter(|| black_box(s.sample(&speed)));
     });
     group.bench_function("prior-weighted speed (SIR k=16)", |bencher| {
-        let mut s = Sampler::seeded(5);
+        let mut s = Session::seeded(5);
         bencher.iter(|| black_box(s.sample(&improved)));
     });
     group.finish();

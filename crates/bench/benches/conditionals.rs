@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use uncertain_core::{EvalConfig, Sampler, Uncertain};
+use uncertain_core::{EvalConfig, Session, Uncertain};
 use uncertain_stats::{FixedSampleTest, GroupSequentialTest, SequentialTest};
 
 /// Conditional decisions over evidence strengths: the SPRT gets cheaper as
@@ -18,7 +18,7 @@ fn bench_conditional_strategies(c: &mut Criterion) {
     ] {
         let bern = Uncertain::bernoulli(p).unwrap();
         group.bench_with_input(BenchmarkId::new("sprt", label), &bern, |bencher, b| {
-            let mut s = Sampler::seeded(1);
+            let mut s = Session::seeded(1);
             let test = SequentialTest::at_threshold(0.5).unwrap();
             bencher.iter(|| black_box(test.run(|| s.sample(b))));
         });
@@ -26,7 +26,7 @@ fn bench_conditional_strategies(c: &mut Criterion) {
             BenchmarkId::new("fixed-1000", label),
             &bern,
             |bencher, b| {
-                let mut s = Sampler::seeded(1);
+                let mut s = Session::seeded(1);
                 let test = FixedSampleTest::new(0.5, 1000).unwrap();
                 bencher.iter(|| black_box(test.run(|| s.sample(b))));
             },
@@ -35,7 +35,7 @@ fn bench_conditional_strategies(c: &mut Criterion) {
             BenchmarkId::new("pocock-5x200", label),
             &bern,
             |bencher, b| {
-                let mut s = Sampler::seeded(1);
+                let mut s = Session::seeded(1);
                 let test = GroupSequentialTest::new(0.5, 5, 200).unwrap();
                 bencher.iter(|| black_box(test.run(|| s.sample(b))));
             },
@@ -52,9 +52,9 @@ fn bench_batch_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("SPRT batch size k");
     for k in [1usize, 10, 50] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, &k| {
-            let mut s = Sampler::seeded(2);
+            let mut s = Session::seeded(2);
             let cfg = EvalConfig::default().with_batch(k);
-            bencher.iter(|| black_box(fast.evaluate(0.5, &mut s, &cfg)));
+            bencher.iter(|| black_box(s.evaluate_with(&fast, 0.5, &cfg)));
         });
     }
     group.finish();
@@ -70,14 +70,14 @@ fn bench_gps_conditional(c: &mut Criterion) {
     let speed = uncertain_speed(&a, &b, 1.0);
     let mut group = c.benchmark_group("GPS-Walking conditional");
     group.bench_function("implicit Speed>4", |bencher| {
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::seeded(3);
         let fast = speed.gt(4.0);
-        bencher.iter(|| black_box(fast.evaluate(0.5, &mut s, &EvalConfig::default())));
+        bencher.iter(|| black_box(s.evaluate_with(&fast, 0.5, &EvalConfig::default())));
     });
     group.bench_function("explicit (Speed<4).pr(0.9)", |bencher| {
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::seeded(3);
         let slow = speed.lt(4.0);
-        bencher.iter(|| black_box(slow.evaluate(0.9, &mut s, &EvalConfig::default())));
+        bencher.iter(|| black_box(s.evaluate_with(&slow, 0.9, &EvalConfig::default())));
     });
     group.finish();
 }

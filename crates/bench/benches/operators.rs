@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use uncertain_core::{Sampler, Uncertain};
+use uncertain_core::{Session, Uncertain};
 
 /// Building `a + b` allocates two nodes and never samples: construction is
 /// the cheap, lazy phase of the paper's design.
@@ -28,7 +28,7 @@ fn bench_chain_sampling(c: &mut Criterion) {
             expr = expr + Uncertain::normal(0.0, 1.0).unwrap();
         }
         group.bench_with_input(BenchmarkId::from_parameter(depth), &expr, |bencher, e| {
-            let mut s = Sampler::seeded(1);
+            let mut s = Session::seeded(1);
             bencher.iter(|| black_box(s.sample(e)));
         });
     }
@@ -48,11 +48,11 @@ fn bench_shared_vs_independent(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("32 reuses of one leaf");
     group.bench_function("shared (memoized once)", |bencher| {
-        let mut s = Sampler::seeded(2);
+        let mut s = Session::seeded(2);
         bencher.iter(|| black_box(s.sample(&shared)));
     });
     group.bench_function("independent (encapsulated)", |bencher| {
-        let mut s = Sampler::seeded(2);
+        let mut s = Session::seeded(2);
         bencher.iter(|| black_box(s.sample(&independent)));
     });
     group.finish();
@@ -64,15 +64,15 @@ fn bench_expected_value(c: &mut Criterion) {
     let mut group = c.benchmark_group("E[x] by sample budget");
     for n in [10usize, 100, 1000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
-            let mut s = Sampler::seeded(3);
-            bencher.iter(|| black_box(speed.expected_value_with(&mut s, n)));
+            let mut s = Session::seeded(3);
+            bencher.iter(|| black_box(speed.expected_value_in(&mut s, n)));
         });
     }
     group.finish();
 }
 
-/// Sampler (fresh context per joint sample) vs Evaluator (reused context)
-/// on a 100-node chain — the allocation-churn ablation.
+/// Session (interpreted, fresh memo walk) vs Evaluator (compiled plan,
+/// reused context) on a 100-node chain — the allocation-churn ablation.
 fn bench_evaluator_vs_sampler(c: &mut Criterion) {
     use uncertain_core::Evaluator;
     let mut expr = Uncertain::normal(0.0, 1.0).unwrap();
@@ -80,9 +80,9 @@ fn bench_evaluator_vs_sampler(c: &mut Criterion) {
         expr = expr + Uncertain::normal(0.0, 1.0).unwrap();
     }
     let mut group = c.benchmark_group("100-node chain, one joint sample");
-    group.bench_function("Sampler (fresh context)", |bencher| {
-        let mut s = Sampler::seeded(4);
-        bencher.iter(|| black_box(s.sample(&expr)));
+    group.bench_function("Session tree-walk (fresh context)", |bencher| {
+        let mut s = Session::seeded(4);
+        bencher.iter(|| black_box(s.sample_interpreted(&expr)));
     });
     group.bench_function("Evaluator (reused context)", |bencher| {
         let mut e = Evaluator::new(&expr, 4);

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use uncertain_core::{Evaluator, ParSampler, Sampler, Uncertain};
+use uncertain_core::{Evaluator, ParSampler, Session, Uncertain};
 
 /// A GPS-flavored network of `3n + 6` nodes: shared-leaf arithmetic chains
 /// on each side of a comparison, plus the conjunction gluing them together.
@@ -31,8 +31,8 @@ fn bench_single_sample(c: &mut Criterion) {
     for n in [5usize, 50, 500] {
         let expr = network(n);
         group.bench_with_input(BenchmarkId::new("tree-walk", n), &expr, |bencher, e| {
-            let mut s = Sampler::seeded(1);
-            bencher.iter(|| black_box(s.sample(e)));
+            let mut s = Session::seeded(1);
+            bencher.iter(|| black_box(s.sample_interpreted(e)));
         });
         group.bench_with_input(BenchmarkId::new("plan", n), &expr, |bencher, e| {
             let mut eval = Evaluator::new(e, 1);
@@ -50,10 +50,17 @@ fn bench_sprt_decision(c: &mut Criterion) {
         let mut eval = Evaluator::new(&expr, 2);
         bencher.iter(|| black_box(eval.decide(0.5)));
     });
-    group.bench_function("Uncertain::pr_with (per-call compile)", |bencher| {
-        let mut s = Sampler::seeded(2);
-        bencher.iter(|| black_box(expr.pr_with(0.5, &mut s)));
+    group.bench_function("Session::pr (cached plan)", |bencher| {
+        let mut s = Session::seeded(2);
+        bencher.iter(|| black_box(s.pr(&expr, 0.5)));
     });
+    group.bench_function(
+        "Session::pr (cache disabled, per-call compile)",
+        |bencher| {
+            let mut s = Session::seeded(2).with_cache_capacity(0);
+            bencher.iter(|| black_box(s.pr(&expr, 0.5)));
+        },
+    );
     group.finish();
 }
 

@@ -7,7 +7,7 @@
 //! conditional."
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::{Sampler, Uncertain};
+use uncertain_core::{Session, Uncertain};
 use uncertain_stats::{FixedSampleTest, GroupSequentialTest, SequentialTest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,13 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p in [0.95, 0.8, 0.65, 0.55, 0.45, 0.35, 0.2, 0.05] {
         let truth = p > threshold;
         let bern = Uncertain::bernoulli(p)?;
-        let mut sampler = Sampler::seeded((p * 1000.0) as u64);
+        let mut session = Session::seeded((p * 1000.0) as u64);
 
         let mut row = format!("{p:>8.2}");
         // SPRT.
         let (mut samples, mut errors) = (0usize, 0usize);
         for _ in 0..trials {
-            let o = sprt.run(|| sampler.sample(&bern));
+            let o = sprt.run(|| session.sample(&bern));
             samples += o.samples;
             if o.accepted() != truth {
                 errors += 1;
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Fixed pool.
         let (mut samples, mut errors) = (0usize, 0usize);
         for _ in 0..trials {
-            let o = fixed.run(|| sampler.sample(&bern));
+            let o = fixed.run(|| session.sample(&bern));
             samples += o.samples;
             if o.accepted != truth {
                 errors += 1;
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Pocock.
         let (mut samples, mut errors) = (0usize, 0usize);
         for _ in 0..trials {
-            let o = pocock.run(|| sampler.sample(&bern));
+            let o = pocock.run(|| session.sample(&bern));
             samples += o.samples;
             if o.accepted != truth {
                 errors += 1;

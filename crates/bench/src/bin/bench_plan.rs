@@ -10,7 +10,7 @@ use std::fs::OpenOptions;
 use std::io::Write;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use uncertain_bench::{header, scaled};
-use uncertain_core::{Evaluator, ParSampler, Sampler, Uncertain};
+use uncertain_core::{Evaluator, ParSampler, Session, Uncertain};
 
 /// A mixed arithmetic/comparison network of `3n + 6` slotted nodes with
 /// shared leaves — the same family as the `plan_vs_treewalk` Criterion
@@ -60,11 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let expr = network(n);
         let mut eval = Evaluator::new(&expr, 1);
         let nodes = eval.plan().slot_count();
-        let mut sampler = Sampler::seeded(1);
+        let mut session = Session::seeded(1);
         let mut checksum = 0usize;
         let tree_ns = median_ns(reps, iters, |k| {
             for _ in 0..k {
-                checksum += sampler.sample(&expr) as usize;
+                checksum += session.sample_interpreted(&expr) as usize;
             }
         });
         let plan_ns = median_ns(reps, iters, |k| {

@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 use uncertain_bench::{header, scaled};
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_neural::sobel::{generate_dataset, EDGE_THRESHOLD};
 use uncertain_neural::Parakeet;
 use uncertain_stats::ConfusionMatrix;
@@ -23,7 +23,7 @@ fn main() {
 
     let alpha = 0.8;
     let samples_per_input = scaled(300, 80);
-    let mut sampler = Sampler::seeded(94);
+    let mut session = Session::seeded(94);
 
     let mut evaluate = |label: &str, gaussian: bool| {
         let mut matrix = ConfusionMatrix::new();
@@ -36,7 +36,7 @@ fn main() {
             };
             let p = ppd
                 .gt(EDGE_THRESHOLD)
-                .probability_with(&mut sampler, samples_per_input);
+                .probability_in(&mut session, samples_per_input);
             matrix.record(p > alpha, t > EDGE_THRESHOLD);
         }
         let elapsed = start.elapsed();

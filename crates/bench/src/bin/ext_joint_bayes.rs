@@ -4,7 +4,7 @@
 //! sensor stays accurate well beyond it.
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_life::{BayesLife, Board, JointBayesLife, LifeVariant, NoisySensor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,15 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sensor = NoisySensor::new(sigma)?;
         let single = BayesLife::new(sensor);
         let joint = JointBayesLife::new(sensor, reads);
-        let mut sampler = Sampler::seeded((sigma * 1e4) as u64);
-        let rate = |v: &dyn LifeVariant, sampler: &mut Sampler| -> f64 {
+        let mut session = Session::seeded((sigma * 1e4) as u64);
+        let rate = |v: &dyn LifeVariant, session: &mut Session| -> f64 {
             let mut errors = 0usize;
             let mut updates = 0usize;
             for _ in 0..reps {
                 for (x, y) in board.coords() {
                     let truth =
                         uncertain_life::next_state(board.get(x, y), board.live_neighbors(x, y));
-                    if v.decide(&board, x, y, sampler).alive != truth {
+                    if v.decide(&board, x, y, session).alive != truth {
                         errors += 1;
                     }
                     updates += 1;
@@ -41,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         println!(
             "{sigma:>6.2} {:>16.4} {:>22.4}",
-            rate(&single, &mut sampler),
-            rate(&joint, &mut sampler)
+            rate(&single, &mut session),
+            rate(&joint, &mut session)
         );
     }
     println!();

@@ -6,7 +6,7 @@
 //! true value."
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::{Sampler, Uncertain};
+use uncertain_core::{Session, Uncertain};
 use uncertain_stats::Histogram;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,23 +14,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = scaled(100_000, 2_000);
 
     let x = Uncertain::normal(0.0, 1.0)?;
-    let mut sampler = Sampler::seeded(1);
+    let mut session = Session::seeded(1);
 
-    let single = sampler.sample(&x);
+    let single = session.sample(&x);
     println!("single sample observed: {single:.3}\n");
 
     let mut hist = Histogram::new(-4.0, 4.0, 33)?;
-    hist.extend(sampler.samples(&x, n));
+    hist.extend(session.samples(&x, n));
     println!("distribution ({n} samples):");
     print!("{}", hist.render(50));
 
-    let stats = x.stats_with(&mut sampler, n)?;
+    let stats = x.stats_in(&mut session, n)?;
     println!(
         "\nmean = {:+.4}  (true 0)    σ = {:.4}  (true 1)",
         stats.mean(),
         stats.std_dev()
     );
-    let below = sampler
+    let below = session
         .samples(&x, 10_000)
         .into_iter()
         .filter(|v| *v < single)

@@ -3,7 +3,7 @@
 //! (57 mph, ε = 4 m): a 32% chance of a ticket from random noise alone.
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_gps::ticket_probability;
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
     let trials = scaled(2000, 200);
     let accuracies = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0];
     let speeds = [50.0, 53.0, 55.0, 57.0, 59.0, 60.0, 61.0, 63.0, 65.0, 70.0];
-    let mut sampler = Sampler::seeded(4);
+    let mut session = Session::seeded(4);
 
     print!("{:>12}", "speed\\ε(m)");
     for eps in accuracies {
@@ -21,14 +21,14 @@ fn main() {
     for speed in speeds {
         print!("{speed:>10.0}mph");
         for eps in accuracies {
-            let p = ticket_probability(speed, eps, 60.0, 1.0, trials, &mut sampler);
+            let p = ticket_probability(speed, eps, 60.0, 1.0, trials, &mut session);
             print!("{:>8.3}", p);
         }
         println!();
     }
 
     println!();
-    let highlighted = ticket_probability(57.0, 4.0, 60.0, 1.0, trials * 2, &mut sampler);
+    let highlighted = ticket_probability(57.0, 4.0, 60.0, 1.0, trials * 2, &mut session);
     println!(
         "paper's highlighted cell — true speed 57 mph, ε = 4 m: Pr[ticket] = {highlighted:.3} \
          (paper: 0.32)"

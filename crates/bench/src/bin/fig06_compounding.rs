@@ -2,7 +2,7 @@
 //! `c = a + b` is wider than either operand's.
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::{Sampler, Uncertain};
+use uncertain_core::{Session, Uncertain};
 use uncertain_stats::Histogram;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -11,10 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = Uncertain::normal(0.0, 1.0)?;
     let b = Uncertain::normal(0.0, 1.0)?;
     let c = &a + &b;
-    let mut sampler = Sampler::seeded(6);
+    let mut session = Session::seeded(6);
 
     for (name, var) in [("a", &a), ("b", &b), ("c = a + b", &c)] {
-        let stats = var.stats_with(&mut sampler, n)?;
+        let stats = var.stats_in(&mut session, n)?;
         let (lo, hi) = stats.coverage_interval(0.95);
         println!(
             "{name:<10} σ = {:.3}   95% interval = [{lo:+.2}, {hi:+.2}]",
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nhistogram of c (σ = √2 ≈ 1.414):");
     let mut hist = Histogram::new(-5.0, 5.0, 25)?;
-    hist.extend(sampler.samples(&c, n));
+    hist.extend(session.samples(&c, n));
     print!("{}", hist.render(40));
 
     println!("\nBayesian network constructed by the lifted + operator:");

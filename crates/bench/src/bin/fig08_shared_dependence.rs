@@ -4,7 +4,7 @@
 //! node-identity tracking produces the correct network of Fig. 8(b).
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::{Sampler, Uncertain};
+use uncertain_core::{Session, Uncertain};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Figure 8: B = (Y + X) + X — shared dependence handled correctly");
@@ -20,9 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (what a naive tree construction would implicitly assume).
     let b_wrong = &a + &x.encapsulate();
 
-    let mut sampler = Sampler::seeded(8);
-    let correct = b.stats_with(&mut sampler, n)?;
-    let wrong = b_wrong.stats_with(&mut sampler, n)?;
+    let mut session = Session::seeded(8);
+    let correct = b.stats_in(&mut session, n)?;
+    let wrong = b_wrong.stats_in(&mut session, n)?;
 
     println!("analytic:  Var[Y + 2X] = 1 + 4 = 5      (correct network, Fig. 8b)");
     println!("analytic:  Var[Y + X + X'] = 1 + 1 + 1 = 3 (wrong network, Fig. 8a)");

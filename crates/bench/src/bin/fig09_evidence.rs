@@ -4,7 +4,7 @@
 //! the evidence the conditional operators evaluate.
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_gps::{uncertain_speed, GeoCoordinate, GpsReading, MPS_TO_MPH};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = GpsReading::new(end, 4.0)?;
     let speed = uncertain_speed(&a, &b, 1.0);
 
-    let mut sampler = Sampler::seeded(9);
-    let hist = speed.histogram_with(&mut sampler, n, 0.0, 20.0, 40)?;
+    let mut session = Session::seeded(9);
+    let hist = speed.histogram_in(&mut session, n, 0.0, 20.0, 40)?;
     println!("speed distribution (mph); rows right of the ━ line are the evidence:");
     for (center, count) in hist.iter() {
         let marker = if (center - 4.0).abs() < 0.25 {
@@ -31,12 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{center:>6.2} {marker}| {bar}");
     }
 
-    let evidence = speed.gt(4.0).probability_with(&mut sampler, n);
+    let evidence = speed.gt(4.0).probability_in(&mut session, n);
     println!();
     println!("Pr[Speed > 4 mph] = {evidence:.3}  (the shaded area of Fig. 9)");
     println!("implicit conditional takes the branch iff this exceeds 0.5;");
     println!("the explicit (Speed < 4).Pr(0.9) requires the complement to exceed 0.9:");
-    let complement = speed.lt(4.0).probability_with(&mut sampler, n);
+    let complement = speed.lt(4.0).probability_in(&mut session, n);
     println!(
         "Pr[Speed < 4 mph] = {complement:.3} → SpeedUp fires: {}",
         complement > 0.9

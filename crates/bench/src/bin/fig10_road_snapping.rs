@@ -4,7 +4,7 @@
 //! the GPS evidence against the road is very strong.
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_gps::{GeoCoordinate, GpsReading, RoadMap};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,13 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )])?;
 
     println!("fix offset from road (m) | E[dist to road] raw | snapped | pulled");
-    let mut sampler = Sampler::seeded(10);
+    let mut session = Session::seeded(10);
     for offset in [0.0_f64, 5.0, 10.0, 20.0, 50.0, 200.0] {
         let fix = GpsReading::new(c.destination(offset.max(0.01), 0.0), 8.0)?;
         let raw = fix.location();
         let snapped = road.snap(&raw, 3.0, 1e-4);
-        let raw_d = raw.expect_by(&mut sampler, n, |p| road.distance_to_road(p));
-        let snap_d = snapped.expect_by(&mut sampler, n, |p| road.distance_to_road(p));
+        let raw_d = raw.expect_by_in(&mut session, n, |p| road.distance_to_road(p));
+        let snap_d = snapped.expect_by_in(&mut session, n, |p| road.distance_to_road(p));
         println!(
             "{offset:>23.0}  | {raw_d:>19.2} | {snap_d:>7.2} | {:>5.0}%",
             100.0 * (1.0 - snap_d / raw_d.max(1e-9))

@@ -2,7 +2,7 @@
 //! reported point — the true location is *unlikely to be at the center*.
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_dist::{Continuous, Rayleigh};
 use uncertain_gps::{GeoCoordinate, GpsReading};
 
@@ -31,10 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("sampled check against the Uncertain<GeoCoordinate> library:");
     let fix = GpsReading::new(GeoCoordinate::new(47.6, -122.3), 4.0)?;
     let location = fix.location();
-    let mut sampler = Sampler::seeded(11);
+    let mut session = Session::seeded(11);
     let n = scaled(20_000, 1_000);
     let dists: Vec<f64> = (0..n)
-        .map(|_| fix.center().distance_meters(&sampler.sample(&location)))
+        .map(|_| fix.center().distance_meters(&session.sample(&location)))
         .collect();
     let within_eps = dists.iter().filter(|&&d| d <= 4.0).count() as f64 / n as f64;
     let within_tenth = dists.iter().filter(|&&d| d <= 0.4).count() as f64 / n as f64;

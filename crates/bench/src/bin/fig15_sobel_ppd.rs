@@ -4,7 +4,7 @@
 //! exactly what lets Parakeet suppress the false positive.
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_neural::sobel::{generate_dataset, sobel, EDGE_THRESHOLD};
 use uncertain_neural::{Parakeet, Parrot};
 use uncertain_stats::Histogram;
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Find a Parrot false positive: predicted edge, truly not an edge.
-    let mut sampler = Sampler::seeded(153);
+    let mut session = Session::seeded(153);
     let target = test
         .inputs
         .iter()
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sobel(&p)
     };
     let ppd = parakeet.predict(&input);
-    let stats = ppd.stats_with(&mut sampler, scaled(5000, 500))?;
+    let stats = ppd.stats_in(&mut session, scaled(5000, 500))?;
 
     println!();
     println!("true s(p)        = {truth:.4}  (edge iff > {EDGE_THRESHOLD})");
@@ -69,11 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let evidence = ppd
         .gt(EDGE_THRESHOLD)
-        .probability_with(&mut sampler, scaled(5000, 500));
+        .probability_in(&mut session, scaled(5000, 500));
     println!("evidence Pr[s(p) > 0.1] = {evidence:.3} (paper's example: 0.70)");
     println!(
         "explicit conditional .pr(0.8): {}",
-        if ppd.gt(EDGE_THRESHOLD).pr_with(0.8, &mut sampler) {
+        if ppd.gt(EDGE_THRESHOLD).pr_in(&mut session, 0.8) {
             "EDGE"
         } else {
             "no edge — false positive suppressed"
@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lo = (stats.min() - 0.02).min(0.0);
     let hi = (stats.max() + 0.02).max(0.2);
     let mut hist = Histogram::new(lo, hi, 25)?;
-    hist.extend(sampler.samples(&ppd, scaled(5000, 500)));
+    hist.extend(session.samples(&ppd, scaled(5000, 500)));
     print!("{}", hist.render(40));
     Ok(())
 }

@@ -3,7 +3,7 @@
 //! paper measured Parrot at 100% recall / 64% precision).
 
 use uncertain_bench::{header, scaled};
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_neural::eval::{parakeet_precision_recall, parrot_confusion};
 use uncertain_neural::sobel::generate_dataset;
 use uncertain_neural::{Parakeet, Parrot};
@@ -39,9 +39,9 @@ fn main() {
         "α", "precision", "recall", "tp", "fp", "fn", "tn"
     );
     let alphas: Vec<f64> = (1..20).map(|i| i as f64 / 20.0).collect();
-    let mut sampler = Sampler::seeded(163);
+    let mut session = Session::seeded(163);
     let points =
-        parakeet_precision_recall(&parakeet, &test, &alphas, scaled(400, 100), &mut sampler);
+        parakeet_precision_recall(&parakeet, &test, &alphas, scaled(400, 100), &mut session);
     for p in &points {
         println!(
             "{:>6.2} {:>11.3} {:>9.3} {:>6} {:>6} {:>6} {:>6}",

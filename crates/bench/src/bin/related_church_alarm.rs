@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 use uncertain_bench::{header, scaled};
-use uncertain_core::{Sampler, Uncertain};
+use uncertain_core::{Session, Uncertain};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("§6: alarm model — rejection-based inference vs. goal-directed conditionals");
@@ -22,14 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Rejection-style inference: condition on the rare observation. ---
     let n_posterior = scaled(100, 20);
-    let mut sampler = Sampler::seeded(17);
+    let mut session = Session::seeded(17);
     let joint = alarm.zip(&phone_working);
     let started = Instant::now();
     let mut kept = 0usize;
     let mut phone_true = 0usize;
     let mut raw_draws = 0u64;
     while kept < n_posterior {
-        let (a, p) = sampler.sample(&joint);
+        let (a, p) = session.sample(&joint);
         raw_draws += 1;
         if a {
             kept += 1;
@@ -52,7 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Uncertain<T>'s question: a conditional on the concrete instance. -
     let started = Instant::now();
-    let outcome = phone_working.evaluate(0.5, &mut sampler, &uncertain_core::EvalConfig::default());
+    let outcome =
+        session.evaluate_with(&phone_working, 0.5, &uncertain_core::EvalConfig::default());
     println!();
     println!(
         "goal-directed conditional `if (phoneWorking)`: decided {} with {} samples in {:.2?}",

@@ -3,11 +3,11 @@
 //! printed (the behavioral assertions live in `tests/operator_table.rs`).
 
 use uncertain_bench::header;
-use uncertain_core::{EvalConfig, Sampler, Uncertain};
+use uncertain_core::{EvalConfig, Session, Uncertain};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Table 1: Uncertain<T> operators and methods");
-    let mut s = Sampler::seeded(1);
+    let mut s = Session::seeded(1);
     let a = Uncertain::normal(4.0, 1.0)?;
     let b = Uncertain::normal(5.0, 1.0)?;
 
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         println!(
             "  {sym:<6} E = {:7.3}",
-            expr.expected_value_with(&mut s, 4000)
+            expr.expected_value_in(&mut s, 4000)
         );
     }
 
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("a ≤ b", a.le(&b)),
         ("a ≥ b", a.ge(&b)),
     ] {
-        println!("  {sym:<6} Pr = {:.3}", cond.probability_with(&mut s, 4000));
+        println!("  {sym:<6} Pr = {:.3}", cond.probability_in(&mut s, 4000));
     }
 
     println!("\nLogical (∧ ∨) :: U<Bool> → U<Bool> → U<Bool>   Unary (¬) :: U<Bool> → U<Bool>");
@@ -39,15 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q = Uncertain::bernoulli(0.4)?;
     println!(
         "  p ∧ q  Pr = {:.3} (0.28 analytic)",
-        (&p & &q).probability_with(&mut s, 8000)
+        (&p & &q).probability_in(&mut s, 8000)
     );
     println!(
         "  p ∨ q  Pr = {:.3} (0.82 analytic)",
-        (&p | &q).probability_with(&mut s, 8000)
+        (&p | &q).probability_in(&mut s, 8000)
     );
     println!(
         "  ¬p     Pr = {:.3} (0.30 analytic)",
-        (!&p).probability_with(&mut s, 8000)
+        (!&p).probability_in(&mut s, 8000)
     );
 
     println!("\nPointmass :: T → U<T>");
@@ -61,13 +61,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast = b.gt(&a); // Pr ≈ Φ(1/√2) ≈ 0.76
     println!(
         "  implicit Pr :: U<Bool> → Bool          if (b > a)       → {}",
-        fast.is_probable_with(&mut s)
+        fast.is_probable_in(&mut s)
     );
     println!(
         "  explicit Pr :: U<Bool> → [0,1] → Bool  (b > a).Pr(0.9)  → {}",
-        fast.pr_with(0.9, &mut s)
+        fast.pr_in(&mut s, 0.9)
     );
-    let o = fast.evaluate(0.5, &mut s, &EvalConfig::default());
+    let o = s.evaluate_with(&fast, 0.5, &EvalConfig::default());
     println!(
         "  (SPRT used {} samples; estimate {:.2}; conclusive: {})",
         o.samples, o.estimate, o.conclusive
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nExpected value E :: U<T> → T");
     println!(
         "  (a + b).E() = {:.3}",
-        (&a + &b).expected_value_with(&mut s, 4000)
+        (&a + &b).expected_value_in(&mut s, 4000)
     );
     Ok(())
 }

@@ -36,13 +36,13 @@ impl<T: Value> Uncertain<T> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let x = Uncertain::normal(0.0, 1.0)?;
     /// let correlated = &x - &x;                          // always 0
     /// let independent = x.encapsulate() - x.encapsulate(); // N(0, √2)
-    /// let mut s = Sampler::seeded(0);
+    /// let mut s = Session::seeded(0);
     /// assert_eq!(s.sample(&correlated), 0.0);
     /// assert_ne!(s.sample(&independent), 0.0);
     /// # Ok(())
@@ -169,7 +169,7 @@ impl Uncertain<f64> {
     /// Removing absurd walking speeds with a prior (paper §5.1):
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     /// use uncertain_core::dist::{Gaussian, Truncated};
     /// use std::sync::Arc;
     ///
@@ -180,8 +180,8 @@ impl Uncertain<f64> {
     /// let walking = Truncated::new(Arc::new(Gaussian::new(3.0, 1.5)?), 0.0, 8.0)?;
     /// let improved = speed.with_prior(walking);
     ///
-    /// let mut s = Sampler::seeded(0);
-    /// let e = improved.expected_value_with(&mut s, 2000);
+    /// let mut s = Session::seeded(0);
+    /// let e = improved.expected_value_in(&mut s, 2000);
     /// assert!(e > 0.0 && e < 8.0, "absurd speeds removed, e={e}");
     /// # Ok(())
     /// # }
@@ -194,7 +194,7 @@ impl Uncertain<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Sampler;
+    use crate::Session;
     use uncertain_dist::Gaussian;
 
     #[test]
@@ -204,8 +204,8 @@ mod tests {
         let x = Uncertain::normal(0.0, 3.0).unwrap();
         let prior = Gaussian::new(6.0, 1.0).unwrap();
         let posterior = x.with_prior(prior);
-        let mut s = Sampler::seeded(1);
-        let e = posterior.expected_value_with(&mut s, 4000);
+        let mut s = Session::sequential(1);
+        let e = posterior.expected_value_in(&mut s, 4000);
         assert!(e > 3.0, "posterior mean {e} should shift toward the prior");
     }
 
@@ -214,9 +214,9 @@ mod tests {
         let x = Uncertain::normal(0.0, 10.0).unwrap();
         let prior = Gaussian::new(0.0, 1.0).unwrap();
         let posterior = x.with_prior(prior);
-        let mut s = Sampler::seeded(2);
-        let wide = x.stats_with(&mut s, 4000).unwrap().std_dev();
-        let narrow = posterior.stats_with(&mut s, 4000).unwrap().std_dev();
+        let mut s = Session::sequential(2);
+        let wide = x.stats_in(&mut s, 4000).unwrap().std_dev();
+        let narrow = posterior.stats_in(&mut s, 4000).unwrap().std_dev();
         assert!(
             narrow < wide / 2.0,
             "prior should sharpen: {narrow} vs {wide}"
@@ -232,9 +232,9 @@ mod tests {
         let rough = x.weight_by_k(move |v| prior.pdf(*v), 2);
         let prior2 = Gaussian::new(4.0, 1.0).unwrap();
         let fine = x.weight_by_k(move |v| prior2.pdf(*v), 64);
-        let mut s = Sampler::seeded(3);
-        let e_rough = rough.expected_value_with(&mut s, 3000);
-        let e_fine = fine.expected_value_with(&mut s, 3000);
+        let mut s = Session::sequential(3);
+        let e_rough = rough.expected_value_in(&mut s, 3000);
+        let e_fine = fine.expected_value_in(&mut s, 3000);
         assert!(
             (e_fine - 2.0).abs() < (e_rough - 2.0).abs(),
             "fine={e_fine} rough={e_rough}"
@@ -248,8 +248,8 @@ mod tests {
         // f64, but relative log weights still steer the posterior.
         let x = Uncertain::uniform(0.0, 10.0).unwrap();
         let posterior = x.weight_by_ln_k(|v| -1.0e6 - (v - 7.0) * (v - 7.0) * 50.0, 32);
-        let mut s = Sampler::seeded(6);
-        let e = posterior.expected_value_with(&mut s, 2000);
+        let mut s = Session::sequential(6);
+        let e = posterior.expected_value_in(&mut s, 2000);
         assert!((e - 7.0).abs() < 0.3, "e={e}");
     }
 
@@ -257,7 +257,7 @@ mod tests {
     fn log_space_all_neg_infinity_falls_back() {
         let x = Uncertain::uniform(0.0, 1.0).unwrap();
         let w = x.weight_by_ln_k(|_| f64::NEG_INFINITY, 4);
-        let mut s = Sampler::seeded(7);
+        let mut s = Session::sequential(7);
         // Must not panic; falls back to an unweighted draw.
         let v = s.sample(&w);
         assert!((0.0..1.0).contains(&v));
@@ -268,9 +268,9 @@ mod tests {
         let x = Uncertain::normal(0.0, 3.0).unwrap();
         let linear = x.weight_by_k(|v| (-0.5 * (v - 2.0) * (v - 2.0)).exp(), 32);
         let logged = x.weight_by_ln_k(|v| -0.5 * (v - 2.0) * (v - 2.0), 32);
-        let mut s = Sampler::seeded(8);
-        let e_lin = linear.expected_value_with(&mut s, 4000);
-        let e_log = logged.expected_value_with(&mut s, 4000);
+        let mut s = Session::sequential(8);
+        let e_lin = linear.expected_value_in(&mut s, 4000);
+        let e_log = logged.expected_value_in(&mut s, 4000);
         assert!((e_lin - e_log).abs() < 0.15, "{e_lin} vs {e_log}");
     }
 
@@ -278,12 +278,12 @@ mod tests {
     fn condition_on_restricts_support() {
         let x = Uncertain::normal(0.0, 1.0).unwrap();
         let positive = x.condition_on_default(|v| *v > 0.0);
-        let mut s = Sampler::seeded(4);
+        let mut s = Session::sequential(4);
         for _ in 0..500 {
             assert!(s.sample(&positive) > 0.0);
         }
         // Mean of the half-normal is √(2/π) ≈ 0.798.
-        let e = positive.expected_value_with(&mut s, 5000);
+        let e = positive.expected_value_in(&mut s, 5000);
         assert!((e - 0.798).abs() < 0.05, "e={e}");
     }
 
@@ -291,8 +291,8 @@ mod tests {
     fn encapsulate_breaks_correlation_but_keeps_distribution() {
         let x = Uncertain::normal(5.0, 2.0).unwrap();
         let fresh = x.encapsulate();
-        let mut s = Sampler::seeded(5);
-        let st = fresh.stats_with(&mut s, 10_000).unwrap();
+        let mut s = Session::sequential(5);
+        let st = fresh.stats_in(&mut s, 10_000).unwrap();
         assert!((st.mean() - 5.0).abs() < 0.1);
         assert!((st.std_dev() - 2.0).abs() < 0.1);
     }

@@ -20,12 +20,12 @@ impl<T: Value + PartialOrd> Uncertain<T> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let speed = Uncertain::normal(5.0, 1.0)?;
-    /// let mut s = Sampler::seeded(0);
-    /// assert!(speed.gt(4.0).is_probable_with(&mut s));
+    /// let mut s = Session::seeded(0);
+    /// assert!(speed.gt(4.0).is_probable_in(&mut s));
     /// # Ok(())
     /// # }
     /// ```
@@ -85,13 +85,13 @@ impl Uncertain<f64> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let x = Uncertain::normal(3.0, 0.1)?;
-    /// let mut s = Sampler::seeded(1);
-    /// assert!(x.eq_within(3.0, 0.5).is_probable_with(&mut s));
-    /// assert!(!x.eq_within(4.0, 0.5).is_probable_with(&mut s));
+    /// let mut s = Session::seeded(1);
+    /// assert!(x.eq_within(3.0, 0.5).is_probable_in(&mut s));
+    /// assert!(!x.eq_within(4.0, 0.5).is_probable_in(&mut s));
     /// # Ok(())
     /// # }
     /// ```
@@ -115,13 +115,13 @@ impl Uncertain<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Sampler;
+    use crate::Session;
 
     #[test]
     fn comparisons_on_point_masses_are_deterministic() {
         let five = Uncertain::point(5.0);
         let three = Uncertain::point(3.0);
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         assert!(s.sample(&five.gt(&three)));
         assert!(s.sample(&five.gt(3.0)));
         assert!(!s.sample(&five.lt(&three)));
@@ -134,9 +134,9 @@ mod tests {
     fn evidence_matches_analytic_probability() {
         // Pr[N(0,1) > 0] = 0.5; Pr[N(0,1) > 1] ≈ 0.159.
         let x = Uncertain::normal(0.0, 1.0).unwrap();
-        let mut s = Sampler::seeded(1);
-        let p0 = x.gt(0.0).probability_with(&mut s, 20_000);
-        let p1 = x.gt(1.0).probability_with(&mut s, 20_000);
+        let mut s = Session::sequential(1);
+        let p0 = x.gt(0.0).probability_in(&mut s, 20_000);
+        let p1 = x.gt(1.0).probability_in(&mut s, 20_000);
         assert!((p0 - 0.5).abs() < 0.02, "p0={p0}");
         assert!((p1 - 0.1587).abs() < 0.02, "p1={p1}");
     }
@@ -147,7 +147,7 @@ mod tests {
         let x = Uncertain::normal(0.0, 5.0).unwrap();
         let shifted = &x + 1.0;
         let gt = x.gt(&shifted);
-        let mut s = Sampler::seeded(2);
+        let mut s = Session::sequential(2);
         for _ in 0..200 {
             assert!(!s.sample(&gt));
         }
@@ -157,8 +157,8 @@ mod tests {
     fn between_matches_conjunction_semantics() {
         let x = Uncertain::uniform(0.0, 10.0).unwrap();
         let banded = x.between(2.0, 3.0);
-        let mut s = Sampler::seeded(3);
-        let p = banded.probability_with(&mut s, 20_000);
+        let mut s = Session::sequential(3);
+        let p = banded.probability_in(&mut s, 20_000);
         assert!((p - 0.1).abs() < 0.01, "p={p}");
     }
 
@@ -168,10 +168,10 @@ mod tests {
             use rand::Rng;
             rng.gen_range(1..=6_i32)
         });
-        let mut s = Sampler::seeded(4);
-        let p = die.eq_exact(3).probability_with(&mut s, 30_000);
+        let mut s = Session::sequential(4);
+        let p = die.eq_exact(3).probability_in(&mut s, 30_000);
         assert!((p - 1.0 / 6.0).abs() < 0.01, "p={p}");
-        let q = die.ne_exact(3).probability_with(&mut s, 30_000);
+        let q = die.ne_exact(3).probability_in(&mut s, 30_000);
         assert!((q - 5.0 / 6.0).abs() < 0.01, "q={q}");
     }
 
@@ -179,15 +179,15 @@ mod tests {
     fn eq_exact_on_continuous_is_measure_zero() {
         let x = Uncertain::normal(0.0, 1.0).unwrap();
         let y = Uncertain::normal(0.0, 1.0).unwrap();
-        let mut s = Sampler::seeded(5);
-        let p = x.eq_exact(&y).probability_with(&mut s, 5000);
+        let mut s = Session::sequential(5);
+        let p = x.eq_exact(&y).probability_in(&mut s, 5000);
         assert_eq!(p, 0.0);
     }
 
     #[test]
     fn rounds_to_bands() {
         let x = Uncertain::point(2.6);
-        let mut s = Sampler::seeded(6);
+        let mut s = Session::sequential(6);
         assert!(s.sample(&x.rounds_to(3)));
         assert!(!s.sample(&x.rounds_to(2)));
     }
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn eq_within_tolerance() {
         let x = Uncertain::point(1.05);
-        let mut s = Sampler::seeded(7);
+        let mut s = Session::sequential(7);
         assert!(s.sample(&x.eq_within(1.0, 0.1)));
         assert!(!s.sample(&x.eq_within(1.0, 0.01)));
     }

@@ -12,30 +12,44 @@
 //!
 //! Both are decided by Wald's SPRT (paper §4.3) with batching and a
 //! termination cap, so easy conditionals cost a handful of samples and only
-//! genuinely marginal ones approach the cap. [`Uncertain::evaluate`]
+//! genuinely marginal ones approach the cap. [`Uncertain::evaluate_in`]
 //! exposes the full outcome including the paper's *ternary* logic: a test
 //! can be inconclusive, in which case neither `A < B` nor `A >= B` would
-//! conclusively hold.
+//! conclusively hold — [`HypothesisOutcome::expect_decided`] surfaces that
+//! case as a typed error instead of a silent fallback.
+//!
+//! Every query comes in two forms (one convention across the crate): the
+//! ergonomic method (`pr`, `is_probable`) uses the thread's ambient
+//! [`Session`], and the explicit `*_in(&mut Session, ..)` form names the
+//! session — which is what seeded experiments and services use. The old
+//! `*_with(&mut Sampler, ..)` names are deprecated shims over the same
+//! machinery.
 
-use crate::plan::Plan;
+use crate::runtime::Session;
 use crate::sampler::Sampler;
 use crate::uncertain::Uncertain;
-use uncertain_stats::{SequentialTest, StatsError, TestDecision};
+use std::error::Error;
+use std::fmt;
+use uncertain_stats::{SequentialTest, StatsError};
 
 /// Configuration for conditional evaluation (the SPRT of paper §4.3).
+///
+/// This is the single home for the SPRT knobs: build one and hand it to
+/// [`Session::with_config`] (or to a per-call `evaluate_with`) instead of
+/// threading individual parameters through call sites.
 ///
 /// # Examples
 ///
 /// ```
-/// use uncertain_core::{EvalConfig, Sampler, Uncertain};
+/// use uncertain_core::{EvalConfig, Session, Uncertain};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let strict = EvalConfig::default()
 ///     .with_error_bounds(0.01, 0.01)
 ///     .with_max_samples(20_000);
 /// let x = Uncertain::normal(1.0, 1.0)?;
-/// let mut s = Sampler::seeded(0);
-/// let outcome = x.gt(0.0).evaluate(0.5, &mut s, &strict);
+/// let mut session = Session::seeded(0).with_config(strict);
+/// let outcome = x.gt(0.0).evaluate_in(&mut session, 0.5);
 /// assert!(outcome.is_true());
 /// # Ok(())
 /// # }
@@ -148,80 +162,148 @@ impl HypothesisOutcome {
     pub fn to_bool(&self) -> bool {
         self.accepted
     }
+
+    /// The decision, or a typed error if the test was inconclusive —
+    /// for callers that must *not* silently take the fallback branch
+    /// (the paper's ternary logic made explicit in the type system).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InconclusiveError`] (carrying the threshold, sample count,
+    /// and running estimate) when the sample cap forced a fallback
+    /// decision instead of a Wald boundary crossing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Session, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let likely = Uncertain::bernoulli(0.95)?;
+    /// let mut session = Session::seeded(7);
+    /// let outcome = session.evaluate(&likely, 0.5);
+    /// assert_eq!(outcome.expect_decided()?, true);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn expect_decided(&self) -> Result<bool, InconclusiveError> {
+        if self.conclusive {
+            Ok(self.accepted)
+        } else {
+            Err(InconclusiveError {
+                threshold: self.threshold,
+                samples: self.samples,
+                estimate: self.estimate,
+            })
+        }
+    }
 }
+
+/// A conditional's SPRT hit its sample cap without crossing either Wald
+/// boundary: the evidence is statistically indistinguishable from the
+/// threshold, so neither branch is conclusively right.
+///
+/// Returned by [`HypothesisOutcome::expect_decided`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InconclusiveError {
+    /// The threshold θ the evidence was tested against.
+    pub threshold: f64,
+    /// Samples drawn before the cap stopped the test.
+    pub samples: usize,
+    /// The running estimate of `Pr[cond]` when the test stopped.
+    pub estimate: f64,
+}
+
+impl fmt::Display for InconclusiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conditional inconclusive at threshold {} after {} samples (estimate {:.4})",
+            self.threshold, self.samples, self.estimate
+        )
+    }
+}
+
+impl Error for InconclusiveError {}
 
 impl Uncertain<bool> {
     /// The paper's **explicit conditional operator**: decides
-    /// `Pr[self] > threshold` by SPRT with default configuration and an
-    /// entropy-seeded sampler.
+    /// `Pr[self] > threshold` by SPRT through the thread's ambient
+    /// [`Session`] (entropy-seeded unless one was installed with
+    /// [`Session::install_ambient`]).
     ///
-    /// Use [`Uncertain::pr_with`] for deterministic (seeded) evaluation.
+    /// Use [`Uncertain::pr_in`] to name the session explicitly —
+    /// deterministic when the session is seeded.
     ///
     /// # Panics
     ///
     /// Panics if `threshold ∉ (0, 1)`.
     pub fn pr(&self, threshold: f64) -> bool {
-        self.pr_with(threshold, &mut Sampler::new())
+        Session::with_ambient(|s| s.pr(self, threshold))
     }
 
-    /// Explicit conditional with a caller-supplied sampler (deterministic
-    /// when the sampler is seeded).
+    /// Explicit conditional in a named session (deterministic when the
+    /// session is seeded; uses the session's [`EvalConfig`]).
     ///
     /// # Panics
     ///
     /// Panics if `threshold ∉ (0, 1)`.
+    pub fn pr_in(&self, session: &mut Session, threshold: f64) -> bool {
+        session.pr(self, threshold)
+    }
+
+    /// Deprecated `Sampler` form of [`Uncertain::pr_in`].
+    #[deprecated(since = "0.2.0", note = "use `pr_in(&mut Session, threshold)`")]
     pub fn pr_with(&self, threshold: f64, sampler: &mut Sampler) -> bool {
-        self.evaluate(threshold, sampler, &EvalConfig::default())
-            .to_bool()
+        sampler.session_mut().pr(self, threshold)
     }
 
     /// The paper's **implicit conditional operator**: "more likely than
-    /// not", i.e. `Pr[self] > 0.5`, with an entropy-seeded sampler.
+    /// not", i.e. `Pr[self] > 0.5`, in the thread's ambient [`Session`].
     pub fn is_probable(&self) -> bool {
         self.pr(0.5)
     }
 
-    /// Implicit conditional with a caller-supplied sampler.
-    pub fn is_probable_with(&self, sampler: &mut Sampler) -> bool {
-        self.pr_with(0.5, sampler)
+    /// Implicit conditional in a named session.
+    pub fn is_probable_in(&self, session: &mut Session) -> bool {
+        session.is_probable(self)
     }
 
-    /// Runs the hypothesis test and returns the complete outcome,
-    /// including sample counts and the ternary conclusive/inconclusive
-    /// distinction.
+    /// Deprecated `Sampler` form of [`Uncertain::is_probable_in`].
+    #[deprecated(since = "0.2.0", note = "use `is_probable_in(&mut Session)`")]
+    pub fn is_probable_with(&self, sampler: &mut Sampler) -> bool {
+        sampler.session_mut().is_probable(self)
+    }
+
+    /// Runs the hypothesis test in a named session and returns the
+    /// complete outcome, including sample counts and the ternary
+    /// conclusive/inconclusive distinction (see
+    /// [`HypothesisOutcome::expect_decided`]). The session's
+    /// [`EvalConfig`] governs the SPRT; use
+    /// [`Session::evaluate_with`] for a per-call override.
     ///
     /// # Panics
     ///
-    /// Panics if `threshold`/`config` are invalid (e.g. threshold outside
-    /// `(0, 1)`); conditional thresholds are code literals, so this is a
-    /// programming error rather than a recoverable condition.
+    /// Panics if `threshold` or the session's config are invalid (e.g.
+    /// threshold outside `(0, 1)`); conditional thresholds are code
+    /// literals, so this is a programming error rather than a recoverable
+    /// condition.
+    pub fn evaluate_in(&self, session: &mut Session, threshold: f64) -> HypothesisOutcome {
+        session.evaluate(self, threshold)
+    }
+
+    /// Deprecated `Sampler` form of [`Uncertain::evaluate_in`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `evaluate_in(&mut Session, threshold)` with `Session::with_config`"
+    )]
     pub fn evaluate(
         &self,
         threshold: f64,
         sampler: &mut Sampler,
         config: &EvalConfig,
     ) -> HypothesisOutcome {
-        let test = config
-            .sequential_test(threshold)
-            .expect("invalid conditional threshold or evaluation config");
-        // The SPRT hot path: compile the network once, then draw every
-        // batch through the plan (no per-sample hashing/boxing). Seeding is
-        // identical to `Sampler::sample`, so results match the tree-walk
-        // bit for bit.
-        let plan = Plan::compile(self);
-        let mut ctx = plan.new_context();
-        let outcome = test.run_batched(|k| {
-            (0..k)
-                .map(|_| sampler.sample_planned(&plan, &mut ctx))
-                .collect()
-        });
-        HypothesisOutcome {
-            threshold,
-            accepted: outcome.decision == TestDecision::AcceptAlternative,
-            conclusive: outcome.conclusive,
-            samples: outcome.samples,
-            estimate: outcome.estimate,
-        }
+        sampler.session_mut().evaluate_with(self, threshold, config)
     }
 
     /// Fixed-size estimate of the Bernoulli parameter `Pr[self]` from `n`
@@ -231,14 +313,14 @@ impl Uncertain<bool> {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    pub fn probability_in(&self, session: &mut Session, n: usize) -> f64 {
+        session.probability(self, n)
+    }
+
+    /// Deprecated `Sampler` form of [`Uncertain::probability_in`].
+    #[deprecated(since = "0.2.0", note = "use `probability_in(&mut Session, n)`")]
     pub fn probability_with(&self, sampler: &mut Sampler, n: usize) -> f64 {
-        assert!(n > 0, "probability estimate needs at least one sample");
-        let plan = Plan::compile(self);
-        let mut ctx = plan.new_context();
-        let hits = (0..n)
-            .filter(|_| sampler.sample_planned(&plan, &mut ctx))
-            .count();
-        hits as f64 / n as f64
+        sampler.session_mut().probability(self, n)
     }
 
     /// Conditional-probability estimate `Pr[self | evidence]` from `n`
@@ -257,47 +339,90 @@ impl Uncertain<bool> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let x = Uncertain::uniform(0.0, 1.0)?;
     /// let big = x.gt(0.8);
     /// let medium = x.gt(0.5);
-    /// let mut s = Sampler::seeded(1);
+    /// let mut session = Session::sequential(1);
     /// // Pr[x > 0.8 | x > 0.5] = 0.2 / 0.5 = 0.4.
-    /// let p = big.probability_given(&medium, &mut s, 20_000).unwrap();
+    /// let p = big.probability_given_in(&medium, &mut session, 20_000).unwrap();
     /// assert!((p - 0.4).abs() < 0.02);
     /// # Ok(())
     /// # }
     /// ```
+    pub fn probability_given_in(
+        &self,
+        evidence: &Uncertain<bool>,
+        session: &mut Session,
+        n: usize,
+    ) -> Option<f64> {
+        session.probability_given(self, evidence, n)
+    }
+
+    /// Deprecated `Sampler` form of [`Uncertain::probability_given_in`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `probability_given_in(&evidence, &mut Session, n)`"
+    )]
     pub fn probability_given(
         &self,
         evidence: &Uncertain<bool>,
         sampler: &mut Sampler,
         n: usize,
     ) -> Option<f64> {
-        assert!(n > 0, "probability estimate needs at least one sample");
-        let joint = self.zip(evidence);
-        let plan = Plan::compile(&joint);
-        let mut ctx = plan.new_context();
-        let mut evidence_hits = 0u64;
-        let mut both_hits = 0u64;
-        for _ in 0..n {
-            let (a, b) = sampler.sample_planned(&plan, &mut ctx);
-            if b {
-                evidence_hits += 1;
-                if a {
-                    both_hits += 1;
-                }
-            }
-        }
-        (evidence_hits > 0).then(|| both_hits as f64 / evidence_hits as f64)
+        sampler.session_mut().probability_given(self, evidence, n)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `*_with` shims are exercised on purpose: they are the
+    // compatibility contract for seeded experiments.
+    #![allow(deprecated)]
+
     use super::*;
+
+    #[test]
+    fn session_and_sampler_forms_agree() {
+        // A seeded Session::sequential and the Sampler shim with the same
+        // seed must make identical decisions (the shim is the same session
+        // underneath).
+        let b = Uncertain::bernoulli(0.8).unwrap();
+        let mut session = Session::sequential(77);
+        let mut sampler = Sampler::seeded(77);
+        let via_session = b.evaluate_in(&mut session, 0.5);
+        let via_sampler = b.evaluate(0.5, &mut sampler, &EvalConfig::default());
+        assert_eq!(via_session, via_sampler);
+    }
+
+    #[test]
+    fn expect_decided_distinguishes_ternary_outcomes() {
+        let mut session = Session::sequential(12);
+        let easy = Uncertain::bernoulli(0.95).unwrap();
+        assert_eq!(
+            easy.evaluate_in(&mut session, 0.5).expect_decided(),
+            Ok(true)
+        );
+
+        // Evidence pinned at the threshold: cap forces inconclusive.
+        let marginal = Uncertain::bernoulli(0.5).unwrap();
+        let mut capped =
+            Session::sequential(13).with_config(EvalConfig::default().with_max_samples(100));
+        let mut saw_inconclusive = false;
+        for _ in 0..20 {
+            let o = marginal.evaluate_in(&mut capped, 0.5);
+            if let Err(e) = o.expect_decided() {
+                saw_inconclusive = true;
+                assert_eq!(e.samples, 100);
+                assert_eq!(e.threshold, 0.5);
+                let msg = e.to_string();
+                assert!(msg.contains("inconclusive"), "msg={msg}");
+            }
+        }
+        assert!(saw_inconclusive);
+    }
 
     #[test]
     fn implicit_operator_is_majority_vote() {

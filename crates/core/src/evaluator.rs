@@ -14,7 +14,9 @@
 use crate::condition::{EvalConfig, HypothesisOutcome};
 use crate::context::SampleContext;
 use crate::plan::{sample_seed, Plan};
+use crate::runtime::Session;
 use crate::uncertain::{Uncertain, Value};
+use std::sync::Arc;
 use uncertain_stats::{SequentialTest, StatsError, TestDecision};
 
 /// Draws repeated joint samples of one pinned network through a compiled
@@ -43,7 +45,7 @@ use uncertain_stats::{SequentialTest, StatsError, TestDecision};
 /// ```
 pub struct Evaluator<T> {
     network: Uncertain<T>,
-    plan: Plan<T>,
+    plan: Arc<Plan<T>>,
     ctx: SampleContext,
     seed: u64,
     samples_drawn: u64,
@@ -68,11 +70,42 @@ impl<T: Value> std::fmt::Debug for Evaluator<T> {
 impl<T: Value> Evaluator<T> {
     /// Compiles `network` and pins it with a deterministic RNG stream.
     pub fn new(network: &Uncertain<T>, seed: u64) -> Self {
-        let plan = Plan::compile(network);
+        Self::with_plan(network.clone(), Arc::new(Plan::compile(network)), seed)
+    }
+
+    /// Builds an evaluator that **borrows the session's cached plan** for
+    /// `network` (compiling into the cache on first use) instead of
+    /// recompiling, and derives its deterministic seed from the session's
+    /// seeding policy. This is the cheap way to pin a long-lived fast path
+    /// for one network inside a session-based program.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Evaluator, Session, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let x = Uncertain::normal(1.0, 1.0)?;
+    /// let cond = x.gt(0.0); // Pr ≈ 0.84
+    /// let mut session = Session::seeded(3);
+    /// session.pr(&cond, 0.5); // plan now cached
+    /// let mut eval = Evaluator::from_session(&mut session, &cond);
+    /// assert_eq!(session.cache_stats().hits, 1, "evaluator reused the plan");
+    /// assert!(eval.decide(0.5));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_session(session: &mut Session, network: &Uncertain<T>) -> Self {
+        let plan = session.cached_plan(network);
+        let seed = session.derive_seed();
+        Self::with_plan(network.clone(), plan, seed)
+    }
+
+    fn with_plan(network: Uncertain<T>, plan: Arc<Plan<T>>, seed: u64) -> Self {
         let mut ctx = SampleContext::from_seed(seed);
         plan.install(&mut ctx);
         Self {
-            network: network.clone(),
+            network,
             plan,
             ctx,
             seed,
@@ -159,8 +192,8 @@ impl Evaluator<bool> {
 
     /// Runs the SPRT for `Pr[cond] > threshold` with default configuration
     /// — the conditional fast path (same semantics as
-    /// [`Uncertain::evaluate`](crate::Uncertain::evaluate) with default
-    /// configuration, minus the per-sample interpreter overhead).
+    /// [`Uncertain::evaluate_in`](crate::Uncertain::evaluate_in) with
+    /// default configuration, minus the per-sample interpreter overhead).
     ///
     /// # Panics
     ///
@@ -190,8 +223,24 @@ impl Evaluator<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{ParSampler, Sampler};
+
+    #[test]
+    fn from_session_matches_standalone_evaluator() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let expr = &x * &x;
+        let mut session = Session::seeded(31);
+        let mut from_session = Evaluator::from_session(&mut session, &expr);
+        // The derived seed is the session's next query seed; a standalone
+        // evaluator with that same seed must produce the same stream.
+        let mut session2 = Session::seeded(31);
+        let seed = session2.derive_seed();
+        let mut standalone = Evaluator::new(&expr, seed);
+        assert_eq!(from_session.sample_batch(64), standalone.sample_batch(64));
+    }
 
     #[test]
     fn matches_sampler_distribution() {

@@ -5,39 +5,48 @@
 //! implemented as a fixed-size sample mean (§4.3). Because the runtime
 //! already draws samples, richer summaries (variance, quantiles, coverage
 //! intervals — the paper's 95% confidence intervals on speed) come for
-//! free through [`Uncertain::stats_with`].
+//! free through [`Uncertain::stats_in`].
+//!
+//! As everywhere on the eval surface: the ergonomic method
+//! ([`Uncertain::expected_value`]) uses the thread's ambient [`Session`],
+//! `*_in(&mut Session, ..)` is the explicit deterministic form, and the
+//! old `*_with(&mut Sampler, ..)` names are deprecated shims.
 
-use crate::plan::{ParSampler, Plan};
+use crate::runtime::Session;
 use crate::sampler::Sampler;
 use crate::uncertain::{Uncertain, Value};
 use uncertain_stats::{Histogram, StatsError, Summary};
 
 impl Uncertain<f64> {
-    /// The paper's `E` operator: the mean of `n` joint samples, with an
-    /// entropy-seeded sampler. Use [`Uncertain::expected_value_with`] for
-    /// deterministic evaluation.
+    /// The paper's `E` operator: the mean of `n` joint samples, in the
+    /// thread's ambient [`Session`]. Use [`Uncertain::expected_value_in`]
+    /// for deterministic evaluation in a named session.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn expected_value(&self, n: usize) -> f64 {
-        self.expected_value_with(&mut Sampler::new(), n)
+        Session::with_ambient(|s| s.e(self, n))
     }
 
-    /// The `E` operator with a caller-supplied sampler.
+    /// The `E` operator in a named session (deterministic when the session
+    /// is seeded; shards across the session's workers on large `n`).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    pub fn expected_value_in(&self, session: &mut Session, n: usize) -> f64 {
+        session.e(self, n)
+    }
+
+    /// Deprecated `Sampler` form of [`Uncertain::expected_value_in`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[deprecated(since = "0.2.0", note = "use `expected_value_in(&mut Session, n)`")]
     pub fn expected_value_with(&self, sampler: &mut Sampler, n: usize) -> f64 {
-        assert!(n > 0, "expected value needs at least one sample");
-        let plan = Plan::compile(self);
-        let mut ctx = plan.new_context();
-        let mut acc = 0.0;
-        for _ in 0..n {
-            acc += sampler.sample_planned(&plan, &mut ctx);
-        }
-        acc / n as f64
+        sampler.session_mut().e(self, n)
     }
 
     /// A full descriptive summary (mean, variance, quantiles, coverage
@@ -51,20 +60,31 @@ impl Uncertain<f64> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let x = Uncertain::normal(2.0, 1.0)?;
-    /// let mut s = Sampler::seeded(0);
-    /// let stats = x.stats_with(&mut s, 4000)?;
+    /// let mut session = Session::seeded(0);
+    /// let stats = x.stats_in(&mut session, 4000)?;
     /// assert!((stats.mean() - 2.0).abs() < 0.1);
     /// let (lo, hi) = stats.coverage_interval(0.95);
     /// assert!(lo < 0.5 && hi > 3.5); // ≈ 2 ± 1.96
     /// # Ok(())
     /// # }
     /// ```
+    pub fn stats_in(&self, session: &mut Session, n: usize) -> Result<Summary, StatsError> {
+        session.stats(self, n)
+    }
+
+    /// Deprecated `Sampler` form of [`Uncertain::stats_in`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `n == 0` or sampling produced non-finite
+    /// values.
+    #[deprecated(since = "0.2.0", note = "use `stats_in(&mut Session, n)`")]
     pub fn stats_with(&self, sampler: &mut Sampler, n: usize) -> Result<Summary, StatsError> {
-        Summary::from_slice(&sampler.samples(self, n))
+        sampler.session_mut().stats(self, n)
     }
 
     /// A sampled histogram of this variable on `[low, high)` — the
@@ -73,6 +93,26 @@ impl Uncertain<f64> {
     /// # Errors
     ///
     /// Returns [`StatsError`] if the histogram bounds/bins are invalid.
+    pub fn histogram_in(
+        &self,
+        session: &mut Session,
+        n: usize,
+        low: f64,
+        high: f64,
+        bins: usize,
+    ) -> Result<Histogram, StatsError> {
+        session.histogram(self, n, low, high, bins)
+    }
+
+    /// Deprecated `Sampler` form of [`Uncertain::histogram_in`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the histogram bounds/bins are invalid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `histogram_in(&mut Session, n, low, high, bins)`"
+    )]
     pub fn histogram_with(
         &self,
         sampler: &mut Sampler,
@@ -81,29 +121,28 @@ impl Uncertain<f64> {
         high: f64,
         bins: usize,
     ) -> Result<Histogram, StatsError> {
-        let mut hist = Histogram::new(low, high, bins)?;
-        hist.extend(sampler.samples(self, n));
-        Ok(hist)
+        sampler.session_mut().histogram(self, n, low, high, bins)
     }
 
-    /// The `E` operator evaluated on several OS threads through a compiled
-    /// plan: the network is compiled once, the `n` joint samples are
-    /// sharded across `threads` workers, and sample `i` is seeded purely by
-    /// `(seed, i)` ([`ParSampler`]). The result is therefore deterministic
-    /// for a given `(seed, n)` pair and *bitwise identical for any thread
-    /// count* — `threads` only changes the wall-clock time.
-    ///
-    /// The Bayesian network is immutable and `Send + Sync`, so workers
-    /// share it without locking — one of the payoffs of the lazy,
-    /// pure-sampling-function design.
+    /// The `E` operator evaluated on several OS threads. Superseded by a
+    /// session with workers: [`Session::with_threads`] shards large
+    /// batches with the same per-index seeding, so
+    /// `Session::seeded(seed).with_threads(threads)` gives the same
+    /// determinism guarantees through the cached-plan path.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0` or `threads == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `expected_value_in` on a `Session::seeded(..).with_threads(..)`"
+    )]
     pub fn expected_value_parallel(&self, seed: u64, n: usize, threads: usize) -> f64 {
         assert!(n > 0, "expected value needs at least one sample");
         assert!(threads > 0, "need at least one thread");
-        let values = ParSampler::with_threads(self, seed, threads).sample_batch(n);
+        // Kept on the ParSampler path so historical (seed, n) results are
+        // bitwise stable for existing callers.
+        let values = crate::plan::ParSampler::with_threads(self, seed, threads).sample_batch(n);
         values.iter().sum::<f64>() / n as f64
     }
 }
@@ -117,20 +156,27 @@ impl<T: Value> Uncertain<T> {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    pub fn expect_by_in(&self, session: &mut Session, n: usize, score: impl Fn(&T) -> f64) -> f64 {
+        session.expect_by(self, n, score)
+    }
+
+    /// Deprecated `Sampler` form of [`Uncertain::expect_by_in`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[deprecated(since = "0.2.0", note = "use `expect_by_in(&mut Session, n, score)`")]
     pub fn expect_by(&self, sampler: &mut Sampler, n: usize, score: impl Fn(&T) -> f64) -> f64 {
-        assert!(n > 0, "expected value needs at least one sample");
-        let plan = Plan::compile(self);
-        let mut ctx = plan.new_context();
-        let mut acc = 0.0;
-        for _ in 0..n {
-            acc += score(&sampler.sample_planned(&plan, &mut ctx));
-        }
-        acc / n as f64
+        sampler.session_mut().expect_by(self, n, score)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `*_with` shims are exercised on purpose: they are the
+    // compatibility contract for seeded experiments.
+    #![allow(deprecated)]
+
     use super::*;
 
     #[test]
@@ -146,6 +192,22 @@ mod tests {
         let mut s = Sampler::seeded(1);
         let e = x.expected_value_with(&mut s, 20_000);
         assert!((e + 3.0).abs() < 0.05, "e={e}");
+    }
+
+    #[test]
+    fn session_form_matches_sampler_shim() {
+        let x = Uncertain::normal(1.0, 1.0).unwrap();
+        let expr = &x * &x + 0.5;
+        let mut session = Session::sequential(21);
+        let mut sampler = Sampler::seeded(21);
+        assert_eq!(
+            expr.expected_value_in(&mut session, 1000),
+            expr.expected_value_with(&mut sampler, 1000)
+        );
+        assert_eq!(
+            expr.stats_in(&mut session, 1000).unwrap().mean(),
+            expr.stats_with(&mut sampler, 1000).unwrap().mean()
+        );
     }
 
     #[test]

@@ -29,8 +29,12 @@
 //!
 //! # Quick start
 //!
+//! Queries run inside a [`Session`] — the evaluation runtime that caches
+//! compiled plans across calls, owns the seeding policy, and shards large
+//! sample batches across worker threads:
+//!
 //! ```
-//! use uncertain_core::{Sampler, Uncertain};
+//! use uncertain_core::{Session, Uncertain};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // An expert exposes two noisy measurements…
@@ -41,16 +45,25 @@
 //! let c = &a + &b; // a Bayesian network, not a number
 //!
 //! // …and asks calibrated questions instead of reading off point values.
-//! let mut sampler = Sampler::seeded(42);
-//! assert!(c.gt(5.0).is_probable_with(&mut sampler)); // Pr[c > 5] > 0.5
-//! assert!(!c.gt(12.0).pr_with(0.9, &mut sampler));   // not 90% sure c > 12
+//! let mut session = Session::seeded(42);
+//! let over_five = c.gt(5.0); // Uncertain<bool>: evidence, not a bool
+//! assert!(session.is_probable(&over_five)); // Pr[c > 5] > 0.5
+//! assert!(!session.pr(&c.gt(12.0), 0.9));   // not 90% sure c > 12
 //!
 //! // The expected-value operator E projects back to a plain number.
-//! let e = c.expected_value_with(&mut sampler, 1000);
+//! let e = session.e(&c, 1000);
 //! assert!((e - 9.0).abs() < 0.2);
+//!
+//! // Re-deciding the same conditional reuses its cached evaluation plan.
+//! assert!(session.is_probable(&over_five));
+//! assert!(session.cache_stats().hits >= 1);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The same queries exist as methods on [`Uncertain`] itself: the
+//! ergonomic forms (`c.gt(5.0).is_probable()`) use the thread's ambient
+//! session, and `*_in(&mut Session, ..)` forms name one explicitly.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -67,14 +80,16 @@ mod math;
 mod node;
 mod ops;
 mod plan;
+mod runtime;
 mod sampler;
 mod uncertain;
 
-pub use condition::{EvalConfig, HypothesisOutcome};
+pub use condition::{EvalConfig, HypothesisOutcome, InconclusiveError};
 pub use evaluator::Evaluator;
 pub use graph::{NetworkView, NodeMeta};
 pub use node::NodeId;
 pub use plan::{ParSampler, Plan};
+pub use runtime::{CacheStats, Session, DEFAULT_CACHE_CAPACITY};
 pub use sampler::Sampler;
 pub use uncertain::{IntoUncertain, Uncertain, Value};
 
@@ -92,12 +107,15 @@ pub use uncertain_stats as stats;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let x = Uncertain::normal(0.0, 1.0)?;
-/// let mut s = Sampler::seeded(0);
-/// assert!(x.lt(5.0).is_probable_with(&mut s));
+/// let mut session = Session::seeded(0);
+/// assert!(x.lt(5.0).is_probable_in(&mut session));
 /// # Ok(())
 /// # }
 /// ```
 pub mod prelude {
-    pub use crate::{EvalConfig, HypothesisOutcome, IntoUncertain, Sampler, Uncertain};
+    pub use crate::{
+        CacheStats, EvalConfig, Evaluator, HypothesisOutcome, InconclusiveError, IntoUncertain,
+        NetworkView, ParSampler, Plan, Sampler, Session, Uncertain,
+    };
     pub use uncertain_dist::{Continuous, Discrete, Distribution};
 }

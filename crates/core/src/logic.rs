@@ -74,13 +74,13 @@ impl Uncertain<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Sampler;
+    use crate::Session;
 
     #[test]
     fn truth_tables_on_point_masses() {
         let t = Uncertain::point(true);
         let f = Uncertain::point(false);
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         assert!(s.sample(&(&t & &t)));
         assert!(!s.sample(&(&t & &f)));
         assert!(s.sample(&(&t | &f)));
@@ -95,7 +95,7 @@ mod tests {
     fn named_forms_match_operators() {
         let a = Uncertain::bernoulli(1.0).unwrap();
         let b = Uncertain::bernoulli(0.0).unwrap();
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::sequential(1);
         assert!(!s.sample(&a.and(&b)));
         assert!(s.sample(&a.or(&b)));
     }
@@ -105,8 +105,8 @@ mod tests {
         let a = Uncertain::bernoulli(0.5).unwrap();
         let b = Uncertain::bernoulli(0.5).unwrap();
         let both = &a & &b;
-        let mut s = Sampler::seeded(2);
-        let p = both.probability_with(&mut s, 20_000);
+        let mut s = Session::sequential(2);
+        let p = both.probability_in(&mut s, 20_000);
         assert!((p - 0.25).abs() < 0.02, "p={p}");
     }
 
@@ -115,8 +115,8 @@ mod tests {
         // a & a has probability p, not p² — node identity again.
         let a = Uncertain::bernoulli(0.5).unwrap();
         let both = &a & &a;
-        let mut s = Sampler::seeded(3);
-        let p = both.probability_with(&mut s, 20_000);
+        let mut s = Session::sequential(3);
+        let p = both.probability_in(&mut s, 20_000);
         assert!((p - 0.5).abs() < 0.02, "p={p}");
     }
 
@@ -125,7 +125,7 @@ mod tests {
         // a | !a is ALWAYS true when evaluated jointly.
         let a = Uncertain::bernoulli(0.5).unwrap();
         let tautology = &a | &(!&a);
-        let mut s = Sampler::seeded(4);
+        let mut s = Session::sequential(4);
         for _ in 0..200 {
             assert!(s.sample(&tautology));
         }
@@ -138,7 +138,7 @@ mod tests {
         let lhs = !&(&a & &b);
         let rhs = &(!&a) | &(!&b);
         let equal = lhs.eq_exact(&rhs);
-        let mut s = Sampler::seeded(5);
+        let mut s = Session::sequential(5);
         for _ in 0..200 {
             assert!(s.sample(&equal));
         }

@@ -66,15 +66,15 @@ impl Uncertain<f64> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let sensors: Vec<_> = (0..8)
     ///     .map(|_| Uncertain::normal(1.0, 0.1))
     ///     .collect::<Result<_, _>>()?;
     /// let total = Uncertain::sum(sensors.iter().cloned());
-    /// let mut s = Sampler::seeded(0);
-    /// assert!((total.expected_value_with(&mut s, 2000) - 8.0).abs() < 0.05);
+    /// let mut s = Session::seeded(0);
+    /// assert!((total.expected_value_in(&mut s, 2000) - 8.0).abs() < 0.05);
     /// # Ok(())
     /// # }
     /// ```
@@ -109,12 +109,12 @@ impl<T: Value> Uncertain<T> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let x = Uncertain::normal(0.0, 1.0)?;
     /// let copies = Uncertain::sequence(vec![x.clone(), x.clone(), x]);
-    /// let mut s = Sampler::seeded(1);
+    /// let mut s = Session::seeded(1);
     /// let v = s.sample(&copies);
     /// assert_eq!(v[0], v[1]);
     /// assert_eq!(v[1], v[2]);
@@ -144,7 +144,7 @@ impl Uncertain<bool> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let rainy = Uncertain::bernoulli(0.3)?;
@@ -152,8 +152,8 @@ impl Uncertain<bool> {
     ///     &Uncertain::normal(40.0, 5.0)?, // rainy-day minutes
     ///     &Uncertain::normal(25.0, 3.0)?, // dry-day minutes
     /// );
-    /// let mut s = Sampler::seeded(2);
-    /// let e = commute.expected_value_with(&mut s, 4000);
+    /// let mut s = Session::seeded(2);
+    /// let e = commute.expected_value_in(&mut s, 4000);
     /// assert!((e - (0.3 * 40.0 + 0.7 * 25.0)).abs() < 0.5);
     /// # Ok(())
     /// # }
@@ -171,12 +171,12 @@ impl Uncertain<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Sampler;
+    use crate::Session;
 
     #[test]
     fn pointwise_math_on_point_masses() {
         let x = Uncertain::point(-4.0);
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         assert_eq!(s.sample(&x.abs()), 4.0);
         assert_eq!(s.sample(&x.abs().sqrt()), 2.0);
         assert_eq!(s.sample(&x.powi(2)), 16.0);
@@ -192,7 +192,7 @@ mod tests {
         let shifted = &x + 1.0;
         let hi = x.max_u(&shifted);
         let lo = x.min_u(&shifted);
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::sequential(1);
         // shifted is always larger than x in the same joint sample.
         for _ in 0..100 {
             let (h, l) = s.sample(&hi.zip(&lo));
@@ -205,7 +205,7 @@ mod tests {
         let x = Uncertain::normal(0.0, 1.0).unwrap();
         let twice = Uncertain::sum([x.clone(), x.clone()]);
         let consistent = twice.eq_exact(&(&x * 2.0));
-        let mut s = Sampler::seeded(2);
+        let mut s = Session::sequential(2);
         for _ in 0..100 {
             assert!(s.sample(&consistent));
         }
@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn empty_sum_is_zero() {
         let zero = Uncertain::sum(std::iter::empty());
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::sequential(3);
         assert_eq!(s.sample(&zero), 0.0);
     }
 
@@ -222,7 +222,7 @@ mod tests {
     fn iterator_sum_works() {
         let parts: Vec<Uncertain<f64>> = (1..=4).map(|i| Uncertain::point(i as f64)).collect();
         let total: Uncertain<f64> = parts.into_iter().sum();
-        let mut s = Sampler::seeded(4);
+        let mut s = Session::sequential(4);
         assert_eq!(s.sample(&total), 10.0);
     }
 
@@ -232,8 +232,8 @@ mod tests {
             .map(|_| Uncertain::normal(5.0, 2.0).unwrap())
             .collect();
         let averaged = Uncertain::mean_of(&sensors);
-        let mut s = Sampler::seeded(5);
-        let stats = averaged.stats_with(&mut s, 8000).unwrap();
+        let mut s = Session::sequential(5);
+        let stats = averaged.stats_in(&mut s, 8000).unwrap();
         // σ/√16 = 0.5.
         assert!((stats.std_dev() - 0.5).abs() < 0.05, "{}", stats.std_dev());
     }
@@ -252,7 +252,7 @@ mod tests {
             Uncertain::point(3),
         ];
         let seq = Uncertain::sequence(vals);
-        let mut s = Sampler::seeded(6);
+        let mut s = Session::sequential(6);
         assert_eq!(s.sample(&seq), vec![1, 2, 3]);
     }
 
@@ -260,8 +260,8 @@ mod tests {
     fn select_mixture_probabilities() {
         let coin = Uncertain::bernoulli(0.25).unwrap();
         let mixed = coin.select(&Uncertain::point(1.0), &Uncertain::point(0.0));
-        let mut s = Sampler::seeded(7);
-        let e = mixed.expected_value_with(&mut s, 20_000);
+        let mut s = Session::sequential(7);
+        let e = mixed.expected_value_in(&mut s, 20_000);
         assert!((e - 0.25).abs() < 0.01, "e={e}");
     }
 
@@ -272,7 +272,7 @@ mod tests {
         let a = cond.select(&Uncertain::point(1), &Uncertain::point(0));
         let b = cond.select(&Uncertain::point(10), &Uncertain::point(0));
         let pair = a.zip(&b);
-        let mut s = Sampler::seeded(8);
+        let mut s = Session::sequential(8);
         for _ in 0..100 {
             let (x, y) = s.sample(&pair);
             assert!(

@@ -126,13 +126,13 @@ lift_scalar_ops!(f32, f64, i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, isi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Sampler;
+    use crate::Session;
 
     #[test]
     fn point_arithmetic_matches_scalar_arithmetic() {
         let a = Uncertain::point(6.0);
         let b = Uncertain::point(3.0);
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         assert_eq!(s.sample(&(&a + &b)), 9.0);
         assert_eq!(s.sample(&(&a - &b)), 3.0);
         assert_eq!(s.sample(&(&a * &b)), 18.0);
@@ -145,7 +145,7 @@ mod tests {
     fn all_ownership_combinations_compile_and_agree() {
         let a = Uncertain::point(10_i64);
         let b = Uncertain::point(4_i64);
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         assert_eq!(s.sample(&(a.clone() + b.clone())), 14);
         assert_eq!(s.sample(&(&a + b.clone())), 14);
         assert_eq!(s.sample(&(a.clone() + &b)), 14);
@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn scalar_mixing_both_sides() {
         let x = Uncertain::point(8.0);
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         assert_eq!(s.sample(&(&x + 2.0)), 10.0);
         assert_eq!(s.sample(&(2.0 + &x)), 10.0);
         assert_eq!(s.sample(&(x.clone() - 3.0)), 5.0);
@@ -171,8 +171,8 @@ mod tests {
         let a = Uncertain::normal(0.0, 1.0).unwrap();
         let b = Uncertain::normal(0.0, 1.0).unwrap();
         let c = &a + &b;
-        let mut s = Sampler::seeded(42);
-        let stats = c.stats_with(&mut s, 20_000).unwrap();
+        let mut s = Session::sequential(42);
+        let stats = c.stats_in(&mut s, 20_000).unwrap();
         assert!(
             (stats.variance() - 2.0).abs() < 0.15,
             "{}",
@@ -185,8 +185,8 @@ mod tests {
         // x + x ~ 2x, so Var[x + x] = 4·Var[x], NOT 2·Var[x] (Fig. 8).
         let x = Uncertain::normal(0.0, 1.0).unwrap();
         let doubled = &x + &x;
-        let mut s = Sampler::seeded(43);
-        let stats = doubled.stats_with(&mut s, 20_000).unwrap();
+        let mut s = Session::sequential(43);
+        let stats = doubled.stats_in(&mut s, 20_000).unwrap();
         assert!((stats.variance() - 4.0).abs() < 0.3, "{}", stats.variance());
     }
 
@@ -194,7 +194,7 @@ mod tests {
     fn subtraction_of_self_is_exactly_zero() {
         let x = Uncertain::uniform(0.0, 100.0).unwrap();
         let zero = &x - &x;
-        let mut s = Sampler::seeded(44);
+        let mut s = Session::sequential(44);
         for _ in 0..200 {
             assert_eq!(s.sample(&zero), 0.0);
         }
@@ -206,8 +206,8 @@ mod tests {
         let distance = Uncertain::normal(30.0, 1.0).unwrap();
         let dt = 10.0;
         let speed = &distance / dt;
-        let mut s = Sampler::seeded(45);
-        let mean = speed.expected_value_with(&mut s, 5000);
+        let mut s = Session::sequential(45);
+        let mean = speed.expected_value_in(&mut s, 5000);
         assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
     }
 
@@ -218,7 +218,7 @@ mod tests {
         for _ in 0..100 {
             expr = expr + &x;
         }
-        let mut s = Sampler::seeded(46);
+        let mut s = Session::sequential(46);
         assert_eq!(s.sample(&expr), 101.0);
     }
 
@@ -232,7 +232,7 @@ mod tests {
         for _ in 0..4000 {
             expr = expr + &x;
         }
-        let mut s = Sampler::seeded(47);
+        let mut s = Session::sequential(47);
         assert_eq!(s.sample(&expr), 4001.0);
         assert_eq!(expr.network().depth(), 4001);
     }

@@ -110,6 +110,42 @@ pub(crate) fn sample_seed(root_seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Draws joint samples `start .. start + n` of the deterministic stream
+/// rooted at `seed`, sharded across `threads` scoped workers. Sample `i`'s
+/// RNG is seeded by [`sample_seed`]`(seed, i)`, so the output is a pure
+/// function of `(seed, start, n)` — bitwise identical for any thread
+/// count. Shared by [`ParSampler`] and the session runtime's batched
+/// queries.
+pub(crate) fn sample_batch_sharded<T: Value>(
+    plan: &Plan<T>,
+    seed: u64,
+    start: u64,
+    n: usize,
+    threads: usize,
+) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(n).max(1);
+    let chunk_len = n.div_ceil(workers);
+    let mut out: Vec<Option<T>> = vec![None; n];
+    std::thread::scope(|scope| {
+        for (w, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            let base = start + (w * chunk_len) as u64;
+            scope.spawn(move || {
+                let mut ctx = plan.new_context();
+                for (j, cell) in chunk.iter_mut().enumerate() {
+                    ctx.reseed(sample_seed(seed, base + j as u64));
+                    *cell = Some(plan.evaluate(&mut ctx));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every sample index is covered by exactly one worker"))
+        .collect()
+}
+
 /// A compiled evaluation plan for one pinned `Uncertain<T>` network.
 ///
 /// Compiling walks the network once and turns it into slot-indexed
@@ -283,29 +319,7 @@ impl<T: Value> ParSampler<T> {
     pub fn sample_batch(&mut self, n: usize) -> Vec<T> {
         let start = self.cursor;
         self.cursor += n as u64;
-        if n == 0 {
-            return Vec::new();
-        }
-        let workers = self.threads.min(n);
-        let chunk_len = n.div_ceil(workers);
-        let mut out: Vec<Option<T>> = vec![None; n];
-        let plan = &self.plan;
-        let seed = self.seed;
-        std::thread::scope(|scope| {
-            for (w, chunk) in out.chunks_mut(chunk_len).enumerate() {
-                let base = start + (w * chunk_len) as u64;
-                scope.spawn(move || {
-                    let mut ctx = plan.new_context();
-                    for (j, cell) in chunk.iter_mut().enumerate() {
-                        ctx.reseed(sample_seed(seed, base + j as u64));
-                        *cell = Some(plan.evaluate(&mut ctx));
-                    }
-                });
-            }
-        });
-        out.into_iter()
-            .map(|v| v.expect("every sample index is covered by exactly one worker"))
-            .collect()
+        sample_batch_sharded(&self.plan, self.seed, start, n, self.threads)
     }
 }
 

@@ -1,0 +1,1084 @@
+//! The session evaluation runtime: cross-call plan caching, seeding
+//! policy, and batched-sampling workers behind one handle.
+//!
+//! A [`Plan`](crate::Plan) makes *one* query on *one* pinned network fast,
+//! but the paper's programs ask the **same structural question thousands of
+//! times**: GPS-Walking re-decides its speed conditional on every fix,
+//! SensorLife re-tests liveness for every cell of every generation. Before
+//! this module, every `pr`/`expected_value`/`histogram` call site recompiled
+//! its plan from scratch. A [`Session`] owns everything those call sites
+//! were rebuilding per call:
+//!
+//! * a **plan cache** keyed by root [`NodeId`] — LRU with configurable
+//!   capacity, hit/miss/eviction counters ([`Session::cache_stats`]), and
+//!   explicit [`invalidate`](Session::invalidate)/[`clear_cache`](Session::clear_cache);
+//! * the **RNG seeding policy** — seeded or entropy roots, with per-query
+//!   SplitMix64 substreams so every result is bitwise-reproducible *and*
+//!   thread-count-invariant;
+//! * the **worker pool** used by batched sampling — a configured worker
+//!   count whose scoped threads shard large batches without changing a
+//!   single sampled value.
+//!
+//! Root `NodeId` is a sound cache key because node ids are process-wide
+//! unique (never reused) and networks are immutable once built: a root id
+//! names exactly one DAG, shared sub-expressions included, forever. A
+//! cached plan can therefore never be stale — eviction exists purely to
+//! bound memory.
+//!
+//! The legacy [`Sampler`](crate::Sampler) is now a thin wrapper over a
+//! single-threaded `Session` in *sequential* seeding mode
+//! ([`Session::sequential`]), which reproduces the historical per-sample
+//! seed stream bit for bit — every seeded experiment in this repository
+//! produces the same numbers it always did, while transparently gaining the
+//! plan cache.
+
+use crate::condition::{EvalConfig, HypothesisOutcome};
+use crate::context::SampleContext;
+use crate::node::{NodeId, NodeInfo};
+use crate::plan::{sample_batch_sharded, sample_seed, Plan};
+use crate::uncertain::{Uncertain, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use uncertain_stats::{Histogram, SequentialTest, StatsError, Summary, TestDecision};
+
+/// Default number of plans the cache retains before evicting.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Below this many samples a query stays on the calling thread even when
+/// the session has workers configured: spawn overhead would dominate.
+const PAR_MIN_BATCH: usize = 1024;
+
+/// Index used to derive the auxiliary raw-RNG stream of a substream
+/// session ([`Session::rng`]) so it never collides with query substreams.
+const AUX_STREAM_INDEX: u64 = 0xA0A0_A0A0_A0A0_A0A0;
+
+/// Networks deeper than this are evaluated by the (bitwise-equivalent)
+/// tree-walk interpreter instead of a compiled plan: plan compilation
+/// recurses to the network depth, so a pathological chain thousands of
+/// nodes deep would exhaust the stack. Only throughput differs on the
+/// fallback path, never values.
+const MAX_PLAN_DEPTH: usize = 500;
+
+/// Longest root-to-leaf path of the *static* network (the part a plan
+/// would compile), computed iteratively so the probe itself never
+/// recurses.
+fn network_depth<T: Value>(u: &Uncertain<T>) -> usize {
+    let root: Arc<dyn NodeInfo> = u.node().clone();
+    let mut depth: HashMap<NodeId, usize> = HashMap::new();
+    let mut stack: Vec<(Arc<dyn NodeInfo>, bool)> = vec![(root.clone(), false)];
+    while let Some((node, expanded)) = stack.pop() {
+        let id = node.id();
+        if depth.contains_key(&id) {
+            continue;
+        }
+        if expanded {
+            let d = 1 + node
+                .children()
+                .iter()
+                .filter_map(|c| depth.get(&c.id()))
+                .copied()
+                .max()
+                .unwrap_or(0);
+            depth.insert(id, d);
+        } else {
+            stack.push((node.clone(), true));
+            for child in node.children() {
+                if !depth.contains_key(&child.id()) {
+                    stack.push((child, false));
+                }
+            }
+        }
+    }
+    depth.get(&root.id()).copied().unwrap_or(0)
+}
+
+/// How a session evaluates one network's joint samples: the compiled plan
+/// in the common case, the equivalent tree-walk for networks too deep to
+/// compile safely.
+enum Exec<T> {
+    Plan(Arc<Plan<T>>),
+    Tree(Uncertain<T>),
+}
+
+impl<T: Value> Exec<T> {
+    fn install(&self, ctx: &mut SampleContext) {
+        if let Exec::Plan(plan) = self {
+            plan.install(ctx);
+        }
+    }
+
+    /// One joint sample; the caller reseeds the context first.
+    fn evaluate(&self, ctx: &mut SampleContext) -> T {
+        match self {
+            Exec::Plan(plan) => plan.evaluate(ctx),
+            Exec::Tree(u) => {
+                ctx.begin_joint_sample();
+                u.node().sample_value(ctx)
+            }
+        }
+    }
+
+    /// The plan, if this executor can shard batches across workers.
+    fn plan(&self) -> Option<&Plan<T>> {
+        match self {
+            Exec::Plan(plan) => Some(plan),
+            Exec::Tree(_) => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeding policy
+// ---------------------------------------------------------------------------
+
+/// How a session turns "the next joint sample" into an RNG seed.
+enum SeedPolicy {
+    /// One shared `StdRng` stream; each joint sample consumes the next
+    /// `u64`. This is the historical [`Sampler`](crate::Sampler) behavior —
+    /// bitwise-compatible with every seeded experiment in the repository —
+    /// but it is order-dependent, so sequential sessions never shard
+    /// batches across workers.
+    Sequential { rng: StdRng },
+    /// Pure counter-mode seeding: query `q` gets the SplitMix64 substream
+    /// `sample_seed(root, q)`, and sample `i` of that query is seeded by
+    /// `sample_seed(substream, i)`. Results depend only on
+    /// `(root, query index, sample index)` — bitwise identical for any
+    /// worker count.
+    Substream {
+        root: u64,
+        queries: u64,
+        aux: StdRng,
+    },
+}
+
+impl SeedPolicy {
+    /// Starts the per-sample seed stream of the next query.
+    fn begin_query(&mut self) -> QuerySeeds<'_> {
+        match self {
+            SeedPolicy::Sequential { rng } => QuerySeeds::Sequential(rng),
+            SeedPolicy::Substream { root, queries, .. } => {
+                let q = *queries;
+                *queries += 1;
+                QuerySeeds::Indexed {
+                    substream: sample_seed(*root, q),
+                    cursor: 0,
+                }
+            }
+        }
+    }
+
+    /// One seed drawn as its own single-sample query.
+    fn derive_seed(&mut self) -> u64 {
+        self.begin_query().next()
+    }
+
+    /// The raw auxiliary RNG (workload generators, simulated sensors).
+    fn raw_rng(&mut self) -> &mut dyn RngCore {
+        match self {
+            SeedPolicy::Sequential { rng } => rng,
+            SeedPolicy::Substream { aux, .. } => aux,
+        }
+    }
+}
+
+/// The per-sample seed stream of one query.
+enum QuerySeeds<'a> {
+    Sequential(&'a mut StdRng),
+    Indexed { substream: u64, cursor: u64 },
+}
+
+impl QuerySeeds<'_> {
+    /// The seed for the next joint sample of this query.
+    fn next(&mut self) -> u64 {
+        match self {
+            QuerySeeds::Sequential(rng) => rng.gen(),
+            QuerySeeds::Indexed { substream, cursor } => {
+                let seed = sample_seed(*substream, *cursor);
+                *cursor += 1;
+                seed
+            }
+        }
+    }
+
+    /// The substream root, if this query is index-seeded (and therefore
+    /// shardable across workers).
+    fn shardable(&self) -> Option<u64> {
+        match self {
+            QuerySeeds::Sequential(_) => None,
+            QuerySeeds::Indexed { substream, .. } => Some(*substream),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// Counters and occupancy of a session's plan cache.
+///
+/// Returned by [`Session::cache_stats`]; the hit/miss split is the direct
+/// observable for "is this workload reusing structure?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from a cached plan.
+    pub hits: u64,
+    /// Queries that had to compile (including when caching is disabled).
+    pub misses: u64,
+    /// Plans evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+    /// Maximum plans retained (`0` disables caching).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (`0.0` when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached compiled plan, type-erased so networks of any payload type
+/// share the cache.
+struct CacheEntry {
+    plan: Arc<dyn Any + Send + Sync>,
+    last_used: u64,
+}
+
+/// LRU plan cache keyed by root [`NodeId`].
+struct PlanCache {
+    entries: HashMap<NodeId, CacheEntry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The cached plan for `id`, bumping the hit counter and LRU stamp.
+    fn lookup<T: Value>(&mut self, id: NodeId) -> Option<Arc<Plan<T>>> {
+        self.tick += 1;
+        let entry = self.entries.get_mut(&id)?;
+        // Node ids are globally unique and typed, so the downcast can only
+        // fail if identity were violated; recompile defensively then.
+        let plan = entry.plan.clone().downcast::<Plan<T>>().ok()?;
+        entry.last_used = self.tick;
+        self.hits += 1;
+        Some(plan)
+    }
+
+    /// Caches `plan` under `id`, evicting the least-recently-used entry at
+    /// capacity. No-op when caching is disabled.
+    fn store<T: Value>(&mut self, id: NodeId, plan: Arc<Plan<T>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&id) {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            if let Some(victim) = lru {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            id,
+            CacheEntry {
+                plan: plan as Arc<dyn Any + Send + Sync>,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static AMBIENT: RefCell<Session> = RefCell::new(Session::new());
+}
+
+/// The evaluation runtime for `Uncertain<T>` queries: plan cache + seeding
+/// policy + batching workers, in one reusable handle.
+///
+/// Every query (`pr`, `e`, `stats`, `histogram`, …) routes through the
+/// session's plan cache: asking the same structural question twice compiles
+/// once. A session is also the unit of reproducibility — a seeded session
+/// answers an identical call sequence with identical bits, regardless of
+/// its worker count — and the unit you shard in a multi-tenant evaluation
+/// service (one session per shard, no shared mutable state).
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::{Session, Uncertain};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Uncertain::normal(4.0, 1.0)?;
+/// let b = Uncertain::normal(5.0, 1.0)?;
+/// let c = &a + &b;
+///
+/// let mut session = Session::seeded(42);
+/// assert!(session.is_probable(&c.gt(5.0)));  // Pr[c > 5] > 0.5
+/// assert!(!session.pr(&c.gt(12.0), 0.9));    // not 90% sure c > 12
+/// let e = session.e(&c, 1000);
+/// assert!((e - 9.0).abs() < 0.2);
+///
+/// // Re-deciding the same conditional hits the plan cache.
+/// let fast = c.gt(5.0);
+/// session.pr(&fast, 0.5);
+/// session.pr(&fast, 0.5);
+/// assert!(session.cache_stats().hits >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Session {
+    cache: PlanCache,
+    seeds: SeedPolicy,
+    threads: usize,
+    config: EvalConfig,
+    ctx: SampleContext,
+    joint_samples: u64,
+    /// The last sequential test built, keyed by the config/threshold that
+    /// produced it (the common case: one conditional site re-decided).
+    cached_test: Option<(EvalConfig, f64, SequentialTest)>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field(
+                "seeding",
+                &match self.seeds {
+                    SeedPolicy::Sequential { .. } => "sequential",
+                    SeedPolicy::Substream { .. } => "substream",
+                },
+            )
+            .field("threads", &self.threads)
+            .field("cache", &self.cache.stats())
+            .field("joint_samples", &self.joint_samples)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    fn with_policy(seeds: SeedPolicy) -> Self {
+        Self {
+            cache: PlanCache::new(DEFAULT_CACHE_CAPACITY),
+            seeds,
+            threads: 1,
+            config: EvalConfig::default(),
+            ctx: SampleContext::from_seed(0),
+            joint_samples: 0,
+            cached_test: None,
+        }
+    }
+
+    /// Creates a session seeded from OS entropy (per-query substreams).
+    pub fn new() -> Self {
+        Self::seeded(StdRng::from_entropy().gen())
+    }
+
+    /// Creates a deterministic session: query `q`, sample `i` is seeded
+    /// purely by `(seed, q, i)`, so an identical call sequence reproduces
+    /// identical bits — on any number of worker threads.
+    pub fn seeded(seed: u64) -> Self {
+        Self::with_policy(SeedPolicy::Substream {
+            root: seed,
+            queries: 0,
+            aux: StdRng::seed_from_u64(sample_seed(seed, AUX_STREAM_INDEX)),
+        })
+    }
+
+    /// Creates a session that reproduces the legacy
+    /// [`Sampler`](crate::Sampler) seed stream bit for bit: one shared
+    /// `StdRng`, one `u64` per joint sample, in call order. Sequential
+    /// sessions are inherently single-threaded (the stream is
+    /// order-dependent), so they never shard batches.
+    ///
+    /// Use this when migrating a seeded experiment whose recorded numbers
+    /// must not move; new code should prefer [`Session::seeded`].
+    pub fn sequential(seed: u64) -> Self {
+        Self::with_policy(SeedPolicy::Sequential {
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Sequential-mode session seeded from OS entropy (the legacy
+    /// `Sampler::new()` behavior).
+    pub(crate) fn sequential_from_entropy() -> Self {
+        Self::with_policy(SeedPolicy::Sequential {
+            rng: StdRng::from_entropy(),
+        })
+    }
+
+    /// Returns the session with the given conditional-evaluation
+    /// configuration — the single home for the SPRT knobs (α/β error
+    /// bounds, indifference δ, batch size, sample cap).
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Returns the session with the given worker count for batched
+    /// sampling. Workers change wall-clock time only, never sampled values
+    /// (sequential-mode sessions ignore this and stay on one thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Returns the session with the given plan-cache capacity. `0`
+    /// disables caching (every query compiles — the baseline the
+    /// `bench_session` binary compares against).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = PlanCache::new(capacity);
+        self
+    }
+
+    /// The session's conditional-evaluation configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Replaces the conditional-evaluation configuration in place.
+    pub fn set_config(&mut self, config: EvalConfig) {
+        self.config = config;
+    }
+
+    /// The configured worker count for batched sampling.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Hit/miss/eviction counters and occupancy of the plan cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops the cached plan for the network rooted at `root`, if present.
+    /// Returns whether a plan was evicted. (Cached plans are never *stale*
+    /// — networks are immutable — so this is purely a memory-management
+    /// hook.)
+    pub fn invalidate(&mut self, root: NodeId) -> bool {
+        self.cache.entries.remove(&root).is_some()
+    }
+
+    /// Drops every cached plan, keeping the counters.
+    pub fn clear_cache(&mut self) {
+        self.cache.entries.clear();
+    }
+
+    /// Total joint samples drawn through this session.
+    pub fn joint_samples(&self) -> u64 {
+        self.joint_samples
+    }
+
+    /// Resets the joint-sample counter (seeding state is unaffected).
+    pub fn reset_joint_samples(&mut self) {
+        self.joint_samples = 0;
+    }
+
+    /// An auxiliary raw RNG for code that mixes plain random draws with
+    /// network queries (workload generators, simulated sensors). In a
+    /// sequential session this is the legacy shared stream; in a substream
+    /// session it is a dedicated stream derived from the root seed.
+    pub fn rng(&mut self) -> &mut dyn RngCore {
+        self.seeds.raw_rng()
+    }
+
+    /// The cached compiled plan for `u`'s network, compiling on first use.
+    ///
+    /// This is the hook [`Evaluator::from_session`](crate::Evaluator::from_session)
+    /// uses to borrow a plan instead of recompiling; it is public so callers
+    /// can pre-warm or inspect plans explicitly.
+    pub fn cached_plan<T: Value>(&mut self, u: &Uncertain<T>) -> Arc<Plan<T>> {
+        if let Some(plan) = self.cache.lookup::<T>(u.id()) {
+            return plan;
+        }
+        self.cache.misses += 1;
+        let plan = Arc::new(Plan::compile(u));
+        self.cache.store(u.id(), plan.clone());
+        plan
+    }
+
+    /// The executor for `u`: the cached plan in the common case, a fresh
+    /// compile on miss, or the equivalent tree-walk when the network is too
+    /// deep to compile without risking the stack.
+    fn executor<T: Value>(&mut self, u: &Uncertain<T>) -> Exec<T> {
+        if let Some(plan) = self.cache.lookup::<T>(u.id()) {
+            return Exec::Plan(plan);
+        }
+        self.cache.misses += 1;
+        if network_depth(u) > MAX_PLAN_DEPTH {
+            return Exec::Tree(u.clone());
+        }
+        let plan = Arc::new(Plan::compile(u));
+        self.cache.store(u.id(), plan.clone());
+        Exec::Plan(plan)
+    }
+
+    /// One seed drawn from the session's policy as its own query — used to
+    /// spawn derived deterministic components (evaluators, sub-sessions).
+    pub(crate) fn derive_seed(&mut self) -> u64 {
+        self.seeds.derive_seed()
+    }
+
+    /// Legacy shim hook: one per-sample seed from the session's stream
+    /// (sequential mode: the next `u64` of the shared stream). Only the
+    /// stream-equivalence tests drive the legacy protocol directly now.
+    #[cfg(test)]
+    pub(crate) fn next_stream_seed(&mut self) -> u64 {
+        self.seeds.derive_seed()
+    }
+
+    /// Legacy shim hook: bumps the joint-sample counter by `n`.
+    #[cfg(test)]
+    pub(crate) fn count_joint_samples(&mut self, n: u64) {
+        self.joint_samples += n;
+    }
+
+    // -- queries ----------------------------------------------------------
+
+    /// Draws `n` joint samples of `exec` as one query. Shards across the
+    /// worker pool when the executor is a plan, the seeding policy is
+    /// index-based, and the batch is large enough to amortize spawning.
+    fn draw<T: Value>(&mut self, exec: &Exec<T>, n: usize) -> Vec<T> {
+        self.joint_samples += n as u64;
+        let threads = self.threads;
+        let ctx = &mut self.ctx;
+        let mut q = self.seeds.begin_query();
+        if threads > 1 && n >= PAR_MIN_BATCH {
+            if let (Some(plan), Some(substream)) = (exec.plan(), q.shardable()) {
+                return sample_batch_sharded(plan, substream, 0, n, threads);
+            }
+        }
+        exec.install(ctx);
+        (0..n)
+            .map(|_| {
+                ctx.reseed(q.next());
+                exec.evaluate(ctx)
+            })
+            .collect()
+    }
+
+    /// Draws one joint sample of the network rooted at `u`.
+    pub fn sample<T: Value>(&mut self, u: &Uncertain<T>) -> T {
+        let exec = self.executor(u);
+        self.joint_samples += 1;
+        let seed = self.seeds.derive_seed();
+        exec.install(&mut self.ctx);
+        self.ctx.reseed(seed);
+        exec.evaluate(&mut self.ctx)
+    }
+
+    /// Draws `n` joint samples of the network rooted at `u`.
+    pub fn samples<T: Value>(&mut self, u: &Uncertain<T>, n: usize) -> Vec<T> {
+        let exec = self.executor(u);
+        self.draw(&exec, n)
+    }
+
+    /// One joint sample through the uncompiled tree-walk interpreter — the
+    /// reference semantics every compiled [`Plan`] must reproduce bitwise.
+    ///
+    /// Consumes one seed from the session's stream exactly like
+    /// [`Session::sample`], so seeded experiments may interleave the two
+    /// forms freely; only throughput differs. The plan cache is bypassed
+    /// entirely. Exposed for equivalence tests and the interpreter-vs-plan
+    /// benchmarks.
+    pub fn sample_interpreted<T: Value>(&mut self, u: &Uncertain<T>) -> T {
+        let exec = Exec::Tree(u.clone());
+        self.joint_samples += 1;
+        let seed = self.seeds.derive_seed();
+        self.ctx.reseed(seed);
+        exec.evaluate(&mut self.ctx)
+    }
+
+    /// The paper's `E` operator: the mean of `n` joint samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn e(&mut self, u: &Uncertain<f64>, n: usize) -> f64 {
+        assert!(n > 0, "expected value needs at least one sample");
+        // Summed in sample-index order so the result is identical for any
+        // worker count.
+        self.samples(u, n).iter().sum::<f64>() / n as f64
+    }
+
+    /// Generalized expectation: the mean of `score` over `n` joint samples
+    /// (how `E` extends to non-`f64` payloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn expect_by<T: Value>(
+        &mut self,
+        u: &Uncertain<T>,
+        n: usize,
+        score: impl Fn(&T) -> f64,
+    ) -> f64 {
+        assert!(n > 0, "expected value needs at least one sample");
+        self.samples(u, n).iter().map(score).sum::<f64>() / n as f64
+    }
+
+    /// A full descriptive summary (mean, variance, quantiles, coverage
+    /// intervals) from `n` joint samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `n == 0` or sampling produced non-finite
+    /// values.
+    pub fn stats(&mut self, u: &Uncertain<f64>, n: usize) -> Result<Summary, StatsError> {
+        Summary::from_slice(&self.samples(u, n))
+    }
+
+    /// A sampled histogram of `u` on `[low, high)` over `bins` bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the histogram bounds/bins are invalid.
+    pub fn histogram(
+        &mut self,
+        u: &Uncertain<f64>,
+        n: usize,
+        low: f64,
+        high: f64,
+        bins: usize,
+    ) -> Result<Histogram, StatsError> {
+        let mut hist = Histogram::new(low, high, bins)?;
+        hist.extend(self.samples(u, n));
+        Ok(hist)
+    }
+
+    /// Runs the SPRT for `Pr[cond] > threshold` under an explicit
+    /// configuration, reporting parameter errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `threshold`/`config` are out of range
+    /// (e.g. `threshold ∉ (0, 1)`).
+    pub fn try_evaluate(
+        &mut self,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        config: &EvalConfig,
+    ) -> Result<HypothesisOutcome, StatsError> {
+        let test = match &self.cached_test {
+            Some((c, t, test)) if *c == *config && *t == threshold => *test,
+            _ => {
+                let test = config.sequential_test(threshold)?;
+                self.cached_test = Some((*config, threshold, test));
+                test
+            }
+        };
+        let exec = self.executor(cond);
+        let ctx = &mut self.ctx;
+        exec.install(ctx);
+        let mut q = self.seeds.begin_query();
+        let outcome = test.run_batched(|k| {
+            (0..k)
+                .map(|_| {
+                    ctx.reseed(q.next());
+                    exec.evaluate(ctx)
+                })
+                .collect()
+        });
+        self.joint_samples += outcome.samples as u64;
+        Ok(HypothesisOutcome {
+            threshold,
+            accepted: outcome.decision == TestDecision::AcceptAlternative,
+            conclusive: outcome.conclusive,
+            samples: outcome.samples,
+            estimate: outcome.estimate,
+        })
+    }
+
+    /// Runs the hypothesis test for `Pr[cond] > threshold` with the
+    /// session's configuration and returns the complete outcome, including
+    /// the ternary conclusive/inconclusive distinction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold`/config are invalid (conditional thresholds are
+    /// code literals, so this is a programming error).
+    pub fn evaluate(&mut self, cond: &Uncertain<bool>, threshold: f64) -> HypothesisOutcome {
+        let config = self.config;
+        self.evaluate_with(cond, threshold, &config)
+    }
+
+    /// [`Session::evaluate`] with a per-call configuration override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold`/`config` are invalid.
+    pub fn evaluate_with(
+        &mut self,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        config: &EvalConfig,
+    ) -> HypothesisOutcome {
+        self.try_evaluate(cond, threshold, config)
+            .expect("invalid conditional threshold or evaluation config")
+    }
+
+    /// The paper's **explicit conditional operator**: decides
+    /// `Pr[cond] > threshold` by SPRT with the session's configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold ∉ (0, 1)`.
+    pub fn pr(&mut self, cond: &Uncertain<bool>, threshold: f64) -> bool {
+        self.evaluate(cond, threshold).to_bool()
+    }
+
+    /// The paper's **implicit conditional operator**: "more likely than
+    /// not", i.e. `Pr[cond] > 0.5`.
+    pub fn is_probable(&mut self, cond: &Uncertain<bool>) -> bool {
+        self.pr(cond, 0.5)
+    }
+
+    /// Fixed-size estimate of `Pr[cond]` from `n` joint samples (no early
+    /// stopping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn probability(&mut self, cond: &Uncertain<bool>, n: usize) -> f64 {
+        assert!(n > 0, "probability estimate needs at least one sample");
+        let hits = self.samples(cond, n).iter().filter(|&&b| b).count();
+        hits as f64 / n as f64
+    }
+
+    /// Conditional-probability estimate `Pr[cond | evidence]` from `n`
+    /// joint samples of the pair (both conditions evaluated in the *same*
+    /// joint sample, so shared ancestry is respected).
+    ///
+    /// Returns `None` if the evidence never fired in `n` samples.
+    ///
+    /// The zipped pair is a fresh root per call, so it is deliberately
+    /// compiled outside the plan cache rather than polluting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn probability_given(
+        &mut self,
+        cond: &Uncertain<bool>,
+        evidence: &Uncertain<bool>,
+        n: usize,
+    ) -> Option<f64> {
+        assert!(n > 0, "probability estimate needs at least one sample");
+        let joint = cond.zip(evidence);
+        let exec = if network_depth(&joint) > MAX_PLAN_DEPTH {
+            Exec::Tree(joint)
+        } else {
+            Exec::Plan(Arc::new(Plan::compile(&joint)))
+        };
+        let mut evidence_hits = 0u64;
+        let mut both_hits = 0u64;
+        for (a, b) in self.draw(&exec, n) {
+            if b {
+                evidence_hits += 1;
+                if a {
+                    both_hits += 1;
+                }
+            }
+        }
+        (evidence_hits > 0).then(|| both_hits as f64 / evidence_hits as f64)
+    }
+
+    // -- ambient session --------------------------------------------------
+
+    /// Runs `f` with this thread's **ambient session** — the implicit
+    /// runtime behind the ergonomic, argument-free query methods
+    /// ([`Uncertain::pr`], [`Uncertain::expected_value`], …). The ambient
+    /// session is entropy-seeded per thread; install a seeded one with
+    /// [`Session::install_ambient`] to make the ergonomic surface
+    /// deterministic.
+    ///
+    /// Re-entrant calls (calling `with_ambient` from inside `f`) fall back
+    /// to a throwaway entropy session rather than deadlocking; use explicit
+    /// `*_in` methods inside `f` instead.
+    pub fn with_ambient<R>(f: impl FnOnce(&mut Session) -> R) -> R {
+        AMBIENT.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut session) => f(&mut session),
+            Err(_) => f(&mut Session::new()),
+        })
+    }
+
+    /// Replaces this thread's ambient session, returning the previous one.
+    pub fn install_ambient(session: Session) -> Session {
+        AMBIENT.with(|cell| cell.replace(session))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ten_node_network() -> (Uncertain<f64>, Uncertain<bool>) {
+        let x = Uncertain::normal(5.0, 1.0).unwrap();
+        let y = Uncertain::normal(4.0, 1.0).unwrap();
+        let z = Uncertain::uniform(0.0, 2.0).unwrap();
+        let expr = (&x + &y) * 0.5 + (&x - &y) / 2.0 + &z * &z;
+        let cond = expr.gt(3.0);
+        (expr, cond)
+    }
+
+    #[test]
+    fn seeded_sessions_reproduce_exactly() {
+        let (expr, cond) = ten_node_network();
+        let mut a = Session::seeded(7);
+        let mut b = Session::seeded(7);
+        assert_eq!(a.samples(&expr, 100), b.samples(&expr, 100));
+        assert_eq!(a.e(&expr, 500), b.e(&expr, 500));
+        assert_eq!(
+            a.evaluate(&cond, 0.5),
+            b.evaluate(&cond, 0.5),
+            "same call sequence, same outcome"
+        );
+        assert_eq!(a.joint_samples(), b.joint_samples());
+    }
+
+    #[test]
+    fn thread_count_never_changes_values() {
+        let (expr, _) = ten_node_network();
+        let mut serial = Session::seeded(11).with_threads(1);
+        let mut sharded = Session::seeded(11).with_threads(4);
+        assert_eq!(serial.samples(&expr, 5000), sharded.samples(&expr, 5000));
+        assert_eq!(serial.e(&expr, 5000), sharded.e(&expr, 5000));
+    }
+
+    #[test]
+    fn interpreted_samples_match_planned_samples() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let expr = (&x + &x) * &x;
+        let mut a = Session::seeded(31);
+        let mut b = Session::seeded(31);
+        let planned: Vec<f64> = (0..50).map(|_| a.sample(&expr)).collect();
+        let interpreted: Vec<f64> = (0..50).map(|_| b.sample_interpreted(&expr)).collect();
+        assert_eq!(planned, interpreted);
+        assert_eq!(b.cache_stats().misses, 0, "interpreter bypasses the cache");
+        assert_eq!(b.joint_samples(), 50);
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_queries() {
+        let (expr, cond) = ten_node_network();
+        let mut s = Session::seeded(1);
+        s.pr(&cond, 0.5);
+        s.pr(&cond, 0.5);
+        s.e(&expr, 100);
+        s.e(&expr, 100);
+        let stats = s.cache_stats();
+        assert_eq!(stats.misses, 2, "two distinct roots compile once each");
+        assert_eq!(stats.hits, 2, "repeat queries hit");
+        assert_eq!(stats.entries, 2);
+        assert!(stats.hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn cache_hit_answers_match_fresh_compiles() {
+        let (expr, _) = ten_node_network();
+        let mut cached = Session::seeded(3);
+        let mut uncached = Session::seeded(3).with_cache_capacity(0);
+        for _ in 0..5 {
+            assert_eq!(cached.samples(&expr, 50), uncached.samples(&expr, 50));
+        }
+        assert!(cached.cache_stats().hits >= 4);
+        assert_eq!(uncached.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let y = Uncertain::normal(1.0, 1.0).unwrap();
+        let z = Uncertain::normal(2.0, 1.0).unwrap();
+        let mut s = Session::seeded(5).with_cache_capacity(2);
+        s.sample(&x); // miss {x}
+        s.sample(&y); // miss {x, y}
+        s.sample(&x); // hit (x now most recent)
+        s.sample(&z); // miss; evicts y
+        assert_eq!(s.cache_stats().evictions, 1);
+        s.sample(&y); // miss again (was evicted)
+        let stats = s.cache_stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn capacity_one_still_answers_correctly() {
+        let x = Uncertain::uniform(0.0, 1.0).unwrap();
+        let y = Uncertain::uniform(10.0, 11.0).unwrap();
+        let mut s = Session::seeded(9).with_cache_capacity(1);
+        let mut reference = Session::seeded(9).with_cache_capacity(64);
+        for _ in 0..4 {
+            assert_eq!(s.e(&x, 200), reference.e(&x, 200));
+            assert_eq!(s.e(&y, 200), reference.e(&y, 200));
+        }
+        assert!(s.cache_stats().evictions >= 6, "thrashing at capacity 1");
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let y = Uncertain::normal(1.0, 1.0).unwrap();
+        let mut s = Session::seeded(2);
+        s.sample(&x);
+        s.sample(&y);
+        assert_eq!(s.cache_stats().entries, 2);
+        assert!(s.invalidate(x.id()));
+        assert!(!s.invalidate(x.id()), "already gone");
+        assert_eq!(s.cache_stats().entries, 1);
+        s.clear_cache();
+        assert_eq!(s.cache_stats().entries, 0);
+        // Counters survive clearing.
+        assert!(s.cache_stats().misses >= 2);
+    }
+
+    #[test]
+    fn sequential_mode_matches_legacy_sampler_stream() {
+        // The compatibility claim that keeps every seeded experiment
+        // stable: Session::sequential(s) draws the exact stream the
+        // pre-runtime Sampler::seeded(s) drew.
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let expr = &x * &x - &x;
+        let mut session = Session::sequential(17);
+        let via_session = session.samples(&expr, 25);
+        // Reference: seed a StdRng the way Sampler::seeded did and replay
+        // the historical per-sample protocol (one u64 per joint sample,
+        // fresh tree-walk context each).
+        let mut rng = StdRng::seed_from_u64(17);
+        let via_legacy: Vec<f64> = (0..25)
+            .map(|_| {
+                let mut ctx = SampleContext::from_seed(rng.gen());
+                expr.node().sample_value(&mut ctx)
+            })
+            .collect();
+        assert_eq!(via_session, via_legacy);
+    }
+
+    #[test]
+    fn session_config_drives_conditionals() {
+        let b = Uncertain::bernoulli(0.5).unwrap();
+        let mut s = Session::seeded(4).with_config(EvalConfig::default().with_max_samples(100));
+        let o = s.evaluate(&b, 0.5);
+        assert!(o.samples <= 100, "session cap applies: {}", o.samples);
+    }
+
+    #[test]
+    fn joint_sample_accounting() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let mut s = Session::seeded(6);
+        let _ = s.samples(&x, 40);
+        let _ = s.sample(&x);
+        assert_eq!(s.joint_samples(), 41);
+        let o = s.evaluate(&x.gt(0.0), 0.5);
+        assert_eq!(s.joint_samples(), 41 + o.samples as u64);
+        s.reset_joint_samples();
+        assert_eq!(s.joint_samples(), 0);
+    }
+
+    #[test]
+    fn probability_given_respects_shared_ancestry() {
+        let u = Uncertain::uniform(0.0, 1.0).unwrap();
+        let big = u.gt(0.8);
+        let medium = u.gt(0.5);
+        let mut s = Session::seeded(8);
+        let p = s.probability_given(&big, &medium, 20_000).unwrap();
+        assert!((p - 0.4).abs() < 0.02, "p={p}");
+    }
+
+    #[test]
+    fn ambient_session_is_usable_and_replaceable() {
+        let x = Uncertain::normal(1.0, 0.1).unwrap();
+        let previous = Session::install_ambient(Session::seeded(123));
+        let a = Session::with_ambient(|s| s.e(&x, 100));
+        // Reinstall the same seed: the ergonomic surface reproduces.
+        let _ = Session::install_ambient(Session::seeded(123));
+        let b = Session::with_ambient(|s| s.e(&x, 100));
+        assert_eq!(a, b);
+        let _ = Session::install_ambient(previous);
+    }
+
+    #[test]
+    fn very_deep_networks_fall_back_to_the_tree_walk() {
+        // Plan compilation recurses to the network depth; a session must
+        // survive pathological chains by tree-walking them instead (the
+        // two paths are bitwise identical).
+        let x = Uncertain::point(1.0);
+        let mut expr = x.clone();
+        for _ in 0..3000 {
+            expr = expr + &x;
+        }
+        let mut s = Session::seeded(14);
+        assert_eq!(s.sample(&expr), 3001.0);
+        assert_eq!(s.samples(&expr, 3), vec![3001.0; 3]);
+        let stats = s.cache_stats();
+        assert_eq!(stats.entries, 0, "too deep to plan-cache");
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn disabled_cache_always_compiles() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let mut s = Session::seeded(10).with_cache_capacity(0);
+        s.sample(&x);
+        s.sample(&x);
+        let stats = s.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.capacity, 0);
+    }
+}

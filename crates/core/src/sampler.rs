@@ -1,19 +1,35 @@
-//! The joint-sample driver.
+//! The legacy joint-sample driver, now a thin wrapper over [`Session`].
+//!
+//! [`Sampler`] predates the session runtime; it remains as the
+//! compatibility surface for seeded experiments whose recorded numbers
+//! must not move. Internally every `Sampler` is a single-threaded
+//! [`Session`] in *sequential* seeding mode ([`Session::sequential`]):
+//! one shared `StdRng`, one `u64` drawn per joint sample, in call order —
+//! the exact stream the pre-runtime implementation drew — so `Sampler`
+//! results are bitwise identical to every prior release while
+//! transparently gaining the session's plan cache.
+//!
+//! New code should construct a [`Session`] directly; [`Sampler::session`]
+//! / [`Sampler::session_mut`] are the in-place migration path.
 
+#[cfg(test)]
 use crate::context::SampleContext;
+#[cfg(test)]
 use crate::plan::Plan;
+use crate::runtime::Session;
 use crate::uncertain::{Uncertain, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::RngCore;
 
 /// Draws joint samples from `Uncertain<T>` networks.
 ///
-/// Each call to [`Sampler::sample`] performs one *joint sample*: a fresh
-/// evaluation context is created, the network is evaluated by ancestral
-/// sampling (leaves first, memoized by node id), and the root value is
-/// returned (paper §4.2). The sampler also counts joint samples, which is
-/// how the evaluation harness reports "samples per cell update"
-/// (paper Fig. 14b).
+/// Each call to [`Sampler::sample`] performs one *joint sample*: the
+/// network is evaluated once by ancestral sampling (leaves first, shared
+/// nodes drawn exactly once) and the root value is returned (paper §4.2).
+/// The sampler also counts joint samples, which is how the evaluation
+/// harness reports "samples per cell update" (paper Fig. 14b).
+///
+/// This type is a compatibility wrapper over a single-threaded
+/// [`Session`]; see the module docs for the migration story.
 ///
 /// # Examples
 ///
@@ -31,16 +47,14 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug)]
 pub struct Sampler {
-    rng: StdRng,
-    joint_samples: u64,
+    session: Session,
 }
 
 impl Sampler {
     /// Creates a sampler seeded from OS entropy.
     pub fn new() -> Self {
         Self {
-            rng: StdRng::from_entropy(),
-            joint_samples: 0,
+            session: Session::sequential_from_entropy(),
         }
     }
 
@@ -49,16 +63,24 @@ impl Sampler {
     /// samplers so the paper's figures regenerate exactly.
     pub fn seeded(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
-            joint_samples: 0,
+            session: Session::sequential(seed),
         }
+    }
+
+    /// The underlying session (cache statistics, configuration).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session — the migration path from
+    /// `Sampler`-based call sites to the [`Session`] API.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
     }
 
     /// Draws one joint sample of the network rooted at `u`.
     pub fn sample<T: Value>(&mut self, u: &Uncertain<T>) -> T {
-        self.joint_samples += 1;
-        let mut ctx = SampleContext::from_seed(self.rng.gen());
-        u.node().sample_value(&mut ctx)
+        self.session.sample(u)
     }
 
     /// Draws `n` joint samples into a `Vec`.
@@ -68,45 +90,40 @@ impl Sampler {
     /// the sample stream is bitwise identical, without `n` context
     /// allocations.
     pub fn samples<T: Value>(&mut self, u: &Uncertain<T>, n: usize) -> Vec<T> {
-        let mut ctx = SampleContext::from_seed(0);
-        (0..n)
-            .map(|_| {
-                self.joint_samples += 1;
-                ctx.reseed(self.rng.gen());
-                ctx.begin_joint_sample();
-                u.node().sample_value(&mut ctx)
-            })
-            .collect()
+        self.session.samples(u, n)
     }
 
     /// Draws one joint sample through a compiled [`Plan`], consuming one
     /// seed from this sampler's stream — the per-sample seeding is bitwise
     /// identical to [`Sampler::sample`], so swapping the tree-walk for a
-    /// plan does not move any seeded experiment.
+    /// plan does not move any seeded experiment. Production call sites now
+    /// route through [`Session`]; the stream-equivalence tests keep driving
+    /// this legacy protocol directly.
+    #[cfg(test)]
     pub(crate) fn sample_planned<T: Value>(
         &mut self,
         plan: &Plan<T>,
         ctx: &mut SampleContext,
     ) -> T {
-        self.joint_samples += 1;
-        ctx.reseed(self.rng.gen());
+        self.session.count_joint_samples(1);
+        ctx.reseed(self.session.next_stream_seed());
         plan.evaluate(ctx)
     }
 
     /// Total joint samples drawn through this sampler so far.
     pub fn joint_samples(&self) -> u64 {
-        self.joint_samples
+        self.session.joint_samples()
     }
 
     /// Resets the joint-sample counter (the RNG stream is unaffected).
     pub fn reset_counter(&mut self) {
-        self.joint_samples = 0;
+        self.session.reset_joint_samples();
     }
 
     /// Direct access to the underlying RNG, for code that mixes raw draws
     /// with network sampling (e.g. workload generators).
     pub fn rng(&mut self) -> &mut dyn RngCore {
-        &mut self.rng
+        self.session.rng()
     }
 }
 
@@ -119,6 +136,8 @@ impl Default for Sampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn seeded_samplers_are_reproducible() {
@@ -170,6 +189,37 @@ mod tests {
         let planned: Vec<bool> = (0..40).map(|_| b.sample_planned(&plan, &mut ctx)).collect();
         assert_eq!(tree, planned);
         assert_eq!(b.joint_samples(), 40);
+    }
+
+    #[test]
+    fn wrapper_preserves_the_legacy_seed_stream() {
+        // The compatibility contract of the whole module: Sampler::seeded(s)
+        // must draw exactly the stream the pre-session implementation drew
+        // (one u64 per joint sample from StdRng::seed_from_u64(s), fresh
+        // tree-walk context each).
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let expr = (&x + &x) * &x;
+        let mut s = Sampler::seeded(424242);
+        let via_wrapper = s.samples(&expr, 30);
+        let mut rng = StdRng::seed_from_u64(424242);
+        let legacy: Vec<f64> = (0..30)
+            .map(|_| {
+                let mut ctx = SampleContext::from_seed(rng.gen());
+                expr.node().sample_value(&mut ctx)
+            })
+            .collect();
+        assert_eq!(via_wrapper, legacy);
+    }
+
+    #[test]
+    fn wrapper_exposes_session_cache() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let mut s = Sampler::seeded(5);
+        let _ = s.samples(&x, 10);
+        let _ = s.samples(&x, 10);
+        let stats = s.session().cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! (90%) before admonishing the user — the developer chooses their own
 //! balance of false positives and negatives (§3.4).
 
-use uncertain_core::{EvalConfig, Sampler, Uncertain};
+use uncertain_core::{EvalConfig, Session, Uncertain};
 
 /// What GPS-Walking says to the user after a speed measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,7 +25,7 @@ pub enum Action {
 /// # Examples
 ///
 /// ```
-/// use uncertain_core::{Sampler, Uncertain};
+/// use uncertain_core::{Session, Uncertain};
 /// use uncertain_gps::{Action, GpsWalking};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,7 +34,7 @@ pub enum Action {
 /// assert_eq!(app.naive_action(33.0), Action::GoodJob);
 ///
 /// // Uncertain: confidently slow → SpeedUp.
-/// let mut s = Sampler::seeded(0);
+/// let mut s = Session::sequential(0);
 /// let slow = Uncertain::normal(1.0, 0.5)?;
 /// assert_eq!(app.uncertain_action(&slow, &mut s), Action::SpeedUp);
 /// # Ok(())
@@ -93,13 +93,16 @@ impl GpsWalking {
     /// else if ((Speed < 4).Pr(0.9)) SpeedUp(); // explicit: strong evidence only
     /// else                        /* silent */
     /// ```
-    pub fn uncertain_action(&self, speed: &Uncertain<f64>, sampler: &mut Sampler) -> Action {
+    pub fn uncertain_action(&self, speed: &Uncertain<f64>, session: &mut Session) -> Action {
         let fast = speed.gt(self.threshold_mph);
-        if fast.evaluate(0.5, sampler, &self.config).to_bool() {
+        if session.evaluate_with(&fast, 0.5, &self.config).to_bool() {
             Action::GoodJob
-        } else if speed
-            .lt(self.threshold_mph)
-            .evaluate(self.admonish_confidence, sampler, &self.config)
+        } else if session
+            .evaluate_with(
+                &speed.lt(self.threshold_mph),
+                self.admonish_confidence,
+                &self.config,
+            )
             .is_true()
         {
             Action::SpeedUp
@@ -124,7 +127,7 @@ mod tests {
     #[test]
     fn confident_fast_walker_gets_praise() {
         let app = GpsWalking::new(4.0);
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::sequential(1);
         let speed = Uncertain::normal(6.0, 0.5).unwrap();
         assert_eq!(app.uncertain_action(&speed, &mut s), Action::GoodJob);
     }
@@ -132,7 +135,7 @@ mod tests {
     #[test]
     fn confident_slow_walker_is_admonished() {
         let app = GpsWalking::new(4.0);
-        let mut s = Sampler::seeded(2);
+        let mut s = Session::sequential(2);
         let speed = Uncertain::normal(2.0, 0.3).unwrap();
         assert_eq!(app.uncertain_action(&speed, &mut s), Action::SpeedUp);
     }
@@ -143,7 +146,7 @@ mod tests {
         // more-likely-than-not fast → stay silent. This branch does not
         // exist in the naive app.
         let app = GpsWalking::new(4.0);
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::sequential(3);
         let speed = Uncertain::normal(3.7, 2.0).unwrap();
         let mut silent = 0;
         for _ in 0..20 {
@@ -159,7 +162,7 @@ mod tests {
         let strict = GpsWalking::new(4.0); // 0.9
         let lax = GpsWalking::new(4.0).with_admonish_confidence(0.55);
         let speed = Uncertain::normal(3.3, 1.2).unwrap();
-        let mut s = Sampler::seeded(4);
+        let mut s = Session::sequential(4);
         let strict_speedups = (0..30)
             .filter(|_| strict.uncertain_action(&speed, &mut s) == Action::SpeedUp)
             .count();

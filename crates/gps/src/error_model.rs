@@ -51,14 +51,14 @@ pub fn radius_for_confidence(rho: f64, confidence: f64) -> f64 {
 /// # Examples
 ///
 /// ```
-/// use uncertain_core::Sampler;
+/// use uncertain_core::Session;
 /// use uncertain_gps::{GeoCoordinate, GpsReading};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let fix = GpsReading::new(GeoCoordinate::new(47.0, -122.0), 4.0)?;
 /// // The uncertain location: a distribution, not a point.
 /// let location = fix.location();
-/// let mut s = Sampler::seeded(0);
+/// let mut s = Session::sequential(0);
 /// let sample = s.sample(&location);
 /// assert!(fix.center().distance_meters(&sample) < 20.0);
 /// # Ok(())
@@ -141,16 +141,16 @@ impl GpsReading {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::Sampler;
+    /// use uncertain_core::Session;
     /// use uncertain_gps::{GeoCoordinate, GpsReading};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let a = GpsReading::new(GeoCoordinate::new(47.6, -122.3), 8.0)?;
     /// let b = GpsReading::new(a.center().destination(4.0, 90.0), 8.0)?;
     /// let fused = a.fuse(&b);
-    /// let mut s = Sampler::seeded(0);
+    /// let mut s = Session::sequential(0);
     /// let midpoint = a.center().destination(2.0, 90.0);
-    /// let err = fused.expect_by(&mut s, 2000, |p| midpoint.distance_meters(p));
+    /// let err = fused.expect_by_in(&mut s, 2000, |p| midpoint.distance_meters(p));
     /// assert!(err < 8.0); // tighter than either individual fix
     /// # Ok(())
     /// # }
@@ -165,7 +165,7 @@ impl GpsReading {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uncertain_core::Sampler;
+    use uncertain_core::Session;
 
     fn reading() -> GpsReading {
         GpsReading::new(GeoCoordinate::new(47.6, -122.3), 4.0).unwrap()
@@ -185,7 +185,7 @@ mod tests {
         // within ε of the reported point.
         let r = reading();
         let loc = r.location();
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::sequential(1);
         let n = 10_000;
         let inside = (0..n)
             .filter(|_| {
@@ -202,7 +202,7 @@ mod tests {
         // Fig. 11: the posterior mode is at radius ρ, not at the center.
         let r = reading();
         let loc = r.location();
-        let mut s = Sampler::seeded(2);
+        let mut s = Session::sequential(2);
         let n = 10_000;
         let near_center = (0..n)
             .filter(|_| {
@@ -218,7 +218,7 @@ mod tests {
     fn direction_is_isotropic() {
         let r = reading();
         let loc = r.location();
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::sequential(3);
         let n = 4000;
         let east = (0..n)
             .filter(|_| s.sample(&loc).longitude > r.center().longitude)
@@ -260,8 +260,8 @@ mod tests {
         let b = reading();
         let fused = a.fuse(&b);
         let single = a.location();
-        let mut s = Sampler::seeded(4);
-        let spread = |loc: &uncertain_core::Uncertain<GeoCoordinate>, s: &mut Sampler| {
+        let mut s = Session::sequential(4);
+        let spread = |loc: &uncertain_core::Uncertain<GeoCoordinate>, s: &mut Session| {
             let center = a.center();
             (0..4000)
                 .map(|_| center.distance_meters(&s.sample(loc)).powi(2))
@@ -280,9 +280,9 @@ mod tests {
         let b = GpsReading::new(a.center().destination(3.0, 90.0), 4.0).unwrap();
         let fused = a.fuse(&b);
         let midpoint = a.center().destination(1.5, 90.0);
-        let mut s = Sampler::seeded(5);
-        let mean_err = fused.expect_by(&mut s, 4000, |p| midpoint.distance_meters(p));
-        let a_err = fused.expect_by(&mut s, 4000, |p| a.center().distance_meters(p));
+        let mut s = Session::sequential(5);
+        let mean_err = fused.expect_by_in(&mut s, 4000, |p| midpoint.distance_meters(p));
+        let a_err = fused.expect_by_in(&mut s, 4000, |p| a.center().distance_meters(p));
         assert!(mean_err < a_err, "fused mass sits nearer the midpoint");
     }
 

@@ -18,7 +18,7 @@ use crate::priors;
 use crate::sensor::SimulatedGps;
 use crate::speed::{naive_speed, uncertain_speed};
 use crate::trajectory::WalkSimulator;
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_dist::ParamError;
 
 /// One second of the experiment.
@@ -190,7 +190,7 @@ impl WalkExperiment {
         let positions = walk.positions();
         let gps = SimulatedGps::new(self.accuracy)?;
         let app = GpsWalking::new(4.0);
-        let mut sampler = Sampler::seeded(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut session = Session::sequential(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
         // Take one fix per second, with time-correlated error.
         let truths: Vec<_> = positions.iter().map(|p| p.position).collect();
@@ -198,7 +198,7 @@ impl WalkExperiment {
             &truths,
             self.error_correlation,
             self.glitch_rate,
-            sampler.rng(),
+            session.rng(),
         );
 
         let mut records = Vec::with_capacity(self.duration_s);
@@ -207,10 +207,10 @@ impl WalkExperiment {
             let improved =
                 priors::posterior_speed(&fixes[t - 1], &fixes[t], 1.0, priors::walking_speed());
             let stats = speed
-                .stats_with(&mut sampler, self.samples_per_estimate)
+                .stats_in(&mut session, self.samples_per_estimate)
                 .expect("speed samples are finite");
             let improved_stats = improved
-                .stats_with(&mut sampler, self.samples_per_estimate)
+                .stats_in(&mut session, self.samples_per_estimate)
                 .expect("improved-speed samples are finite");
             records.push(WalkRecord {
                 t,
@@ -221,7 +221,7 @@ impl WalkExperiment {
                 interval_95: stats.coverage_interval(0.95),
                 improved_interval_95: improved_stats.coverage_interval(0.95),
                 naive_action: app.naive_action(naive_speed(&fixes[t - 1], &fixes[t], 1.0)),
-                uncertain_action: app.uncertain_action(&improved, &mut sampler),
+                uncertain_action: app.uncertain_action(&improved, &mut session),
             });
         }
         Ok(WalkResult { records })

@@ -62,16 +62,16 @@ pub fn driving_speed() -> Truncated {
 /// # Examples
 ///
 /// ```
-/// use uncertain_core::{Sampler, Uncertain};
+/// use uncertain_core::{Session, Uncertain};
 /// use uncertain_gps::priors;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // A speed estimate so noisy it allows 59 mph while walking…
 /// let raw = Uncertain::normal(5.0, 20.0)?;
 /// let improved = priors::apply(&raw, priors::walking_speed());
-/// let mut s = Sampler::seeded(0);
+/// let mut s = Session::sequential(0);
 /// // …is pulled back into the plausible range.
-/// let e = improved.expected_value_with(&mut s, 2000);
+/// let e = improved.expected_value_in(&mut s, 2000);
 /// assert!(e >= 0.0 && e <= 8.0);
 /// # Ok(())
 /// # }
@@ -126,7 +126,7 @@ pub fn posterior_speed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uncertain_core::Sampler;
+    use uncertain_core::Session;
 
     #[test]
     fn walking_prior_bounds() {
@@ -151,7 +151,7 @@ mod tests {
         // A raw estimate with heavy mass above 10 mph.
         let raw = Uncertain::normal(3.0, 10.0).unwrap();
         let improved = apply(&raw, walking_speed());
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::sequential(1);
         let absurd = (0..2000).filter(|_| s.sample(&improved) > 10.0).count();
         assert_eq!(absurd, 0, "no sample may exceed the prior's support");
     }
@@ -164,13 +164,13 @@ mod tests {
         let a = GpsReading::new(GeoCoordinate::new(47.6, -122.3), 4.0).unwrap();
         let b = GpsReading::new(a.center().destination(30.0, 45.0), 4.0).unwrap();
         let post = posterior_speed(&a, &b, 1.0, walking_speed());
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::sequential(3);
         for _ in 0..500 {
             let v = s.sample(&post);
             assert!((0.0..=8.0).contains(&v), "v={v}");
         }
         // And the evidence pushes toward the fast end of the support.
-        let e = post.expected_value_with(&mut s, 2000);
+        let e = post.expected_value_in(&mut s, 2000);
         assert!(e > 3.0, "glitch should pull the posterior up: e={e}");
     }
 
@@ -181,8 +181,8 @@ mod tests {
         let a = GpsReading::new(GeoCoordinate::new(47.6, -122.3), 4.0).unwrap();
         let b = GpsReading::new(a.center().destination(1.3, 45.0), 4.0).unwrap();
         let post = posterior_speed(&a, &b, 1.0, walking_speed());
-        let mut s = Sampler::seeded(4);
-        let e = post.expected_value_with(&mut s, 2000);
+        let mut s = Session::sequential(4);
+        let e = post.expected_value_in(&mut s, 2000);
         assert!((e - 3.0).abs() < 1.0, "e={e}");
     }
 
@@ -190,9 +190,9 @@ mod tests {
     fn prior_tightens_confidence_interval() {
         let raw = Uncertain::normal(3.0, 8.0).unwrap();
         let improved = apply(&raw, walking_speed());
-        let mut s = Sampler::seeded(2);
-        let raw_sd = raw.stats_with(&mut s, 3000).unwrap().std_dev();
-        let improved_sd = improved.stats_with(&mut s, 3000).unwrap().std_dev();
+        let mut s = Session::sequential(2);
+        let raw_sd = raw.stats_in(&mut s, 3000).unwrap().std_dev();
+        let improved_sd = improved.stats_in(&mut s, 3000).unwrap().std_dev();
         assert!(
             improved_sd < raw_sd / 2.0,
             "raw σ={raw_sd:.2}, improved σ={improved_sd:.2}"

@@ -115,7 +115,7 @@ fn point_segment_distance(p: &GeoCoordinate, a: &GeoCoordinate, b: &GeoCoordinat
 mod tests {
     use super::*;
     use crate::error_model::GpsReading;
-    use uncertain_core::Sampler;
+    use uncertain_core::Session;
 
     /// A straight east-west road through the reference point.
     fn straight_road() -> RoadMap {
@@ -160,9 +160,9 @@ mod tests {
         // σ_road = 2 m: posterior mean distance ≈ 10·σ²/(σ² + ρ²) ≈ 2.7 m.
         let snapped = road.snap(&raw, 2.0, 1e-6);
 
-        let mut s = Sampler::seeded(1);
-        let raw_offset = raw.expect_by(&mut s, 2000, |p| road.distance_to_road(p));
-        let snapped_offset = snapped.expect_by(&mut s, 2000, |p| road.distance_to_road(p));
+        let mut s = Session::sequential(1);
+        let raw_offset = raw.expect_by_in(&mut s, 2000, |p| road.distance_to_road(p));
+        let snapped_offset = snapped.expect_by_in(&mut s, 2000, |p| road.distance_to_road(p));
         assert!(
             snapped_offset < raw_offset / 2.0,
             "snap must pull toward the road: {snapped_offset:.2} vs {raw_offset:.2}"
@@ -179,8 +179,9 @@ mod tests {
         let off_road = c.destination(200.0, 0.0);
         let fix = GpsReading::new(off_road, 4.0).unwrap();
         let snapped = road.snap(&fix.location(), 4.0, 1e-3);
-        let mut s = Sampler::seeded(2);
-        let mean_dist_from_fix = snapped.expect_by(&mut s, 1000, |p| off_road.distance_meters(p));
+        let mut s = Session::sequential(2);
+        let mean_dist_from_fix =
+            snapped.expect_by_in(&mut s, 1000, |p| off_road.distance_meters(p));
         assert!(
             mean_dist_from_fix < 50.0,
             "posterior stayed near the strong evidence: {mean_dist_from_fix:.1} m"

@@ -2,7 +2,7 @@
 
 use crate::error_model::GpsReading;
 use crate::geo::GeoCoordinate;
-use uncertain_core::{Sampler, Uncertain};
+use uncertain_core::{Session, Uncertain};
 
 /// Meters-per-second to miles-per-hour.
 pub const MPS_TO_MPH: f64 = 2.236_936_292_054_402;
@@ -43,16 +43,16 @@ pub fn naive_speed(from: &GpsReading, to: &GpsReading, dt_seconds: f64) -> f64 {
 /// # Examples
 ///
 /// ```
-/// use uncertain_core::Sampler;
+/// use uncertain_core::Session;
 /// use uncertain_gps::{uncertain_speed, GeoCoordinate, GpsReading};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let a = GpsReading::new(GeoCoordinate::new(47.0, -122.0), 4.0)?;
 /// let b = GpsReading::new(a.center().destination(1.5, 90.0), 4.0)?;
 /// let speed = uncertain_speed(&a, &b, 1.0);
-/// let mut s = Sampler::seeded(0);
+/// let mut s = Session::sequential(0);
 /// // The point distance is 1.5 m ≈ 3.4 mph, but the distribution is wide.
-/// let stats = speed.stats_with(&mut s, 2000)?;
+/// let stats = speed.stats_in(&mut s, 2000)?;
 /// assert!(stats.std_dev() > 1.0);
 /// # Ok(())
 /// # }
@@ -81,7 +81,7 @@ pub fn ticket_probability(
     limit_mph: f64,
     dt_seconds: f64,
     trials: usize,
-    sampler: &mut Sampler,
+    session: &mut Session,
 ) -> f64 {
     use crate::sensor::SimulatedGps;
     let gps = SimulatedGps::new(epsilon).expect("epsilon validated by caller");
@@ -90,8 +90,8 @@ pub fn ticket_probability(
     let end = start.destination(meters, 90.0);
     let mut tickets = 0usize;
     for _ in 0..trials {
-        let a = gps.read(&start, sampler.rng());
-        let b = gps.read(&end, sampler.rng());
+        let a = gps.read(&start, session.rng());
+        let b = gps.read(&end, session.rng());
         // The naive conditional: one point estimate against the limit.
         if naive_speed(&a, &b, dt_seconds) > limit_mph {
             tickets += 1;
@@ -125,11 +125,11 @@ mod tests {
         // compounding-error point.
         let truth = GeoCoordinate::new(47.6, -122.3);
         let gps = SimulatedGps::new(4.0).unwrap();
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::sequential(1);
         let a = gps.read(&truth, s.rng());
         let b = gps.read(&truth, s.rng());
         let speed = uncertain_speed(&a, &b, 1.0);
-        let e = speed.expected_value_with(&mut s, 2000);
+        let e = speed.expected_value_in(&mut s, 2000);
         assert!(e > 2.0, "stationary user, E[speed] = {e} mph");
     }
 
@@ -142,8 +142,8 @@ mod tests {
         let a = GpsReading::new(start, 4.0).unwrap();
         let b = GpsReading::new(end, 4.0).unwrap();
         let speed = uncertain_speed(&a, &b, 1.0);
-        let mut s = Sampler::seeded(2);
-        let st = speed.stats_with(&mut s, 4000).unwrap();
+        let mut s = Session::sequential(2);
+        let st = speed.stats_in(&mut s, 4000).unwrap();
         let (lo, hi) = st.coverage_interval(0.95);
         assert!(hi - lo > 8.0, "95% interval = [{lo:.1}, {hi:.1}] mph");
     }
@@ -154,13 +154,13 @@ mod tests {
         let a = GpsReading::new(start, 4.0).unwrap();
         let b1 = GpsReading::new(start.destination(1.34, 90.0), 4.0).unwrap();
         let b60 = GpsReading::new(start.destination(80.4, 90.0), 4.0).unwrap();
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::sequential(3);
         let sd1 = uncertain_speed(&a, &b1, 1.0)
-            .stats_with(&mut s, 3000)
+            .stats_in(&mut s, 3000)
             .unwrap()
             .std_dev();
         let sd60 = uncertain_speed(&a, &b60, 60.0)
-            .stats_with(&mut s, 3000)
+            .stats_in(&mut s, 3000)
             .unwrap()
             .std_dev();
         assert!(sd60 < sd1 / 20.0, "sd1={sd1} sd60={sd60}");
@@ -170,7 +170,7 @@ mod tests {
     fn ticket_probability_shape() {
         // Fig. 4: well below the limit → ~0; at the limit → ~0.5; well
         // above → ~1. And at 57 mph with ε = 4 m the paper quotes ~32%.
-        let mut s = Sampler::seeded(4);
+        let mut s = Session::sequential(4);
         let below = ticket_probability(40.0, 4.0, 60.0, 1.0, 400, &mut s);
         let at = ticket_probability(60.0, 4.0, 60.0, 1.0, 400, &mut s);
         let above = ticket_probability(80.0, 4.0, 60.0, 1.0, 400, &mut s);

@@ -10,7 +10,7 @@ use crate::board::Board;
 use crate::rules::next_state;
 use crate::sensor::NoisySensor;
 use crate::variants::{BayesLife, LifeVariant, NaiveLife, SensorLife};
-use uncertain_core::{EvalConfig, Sampler};
+use uncertain_core::{EvalConfig, Session};
 use uncertain_dist::ParamError;
 use uncertain_stats::wilson_interval;
 
@@ -165,11 +165,11 @@ impl LifeExperiment {
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(run as u64);
             let mut board = Board::random(self.width, self.height, self.density, run_seed);
-            let mut sampler = Sampler::seeded(run_seed ^ 0xABCD_EF01_2345_6789);
+            let mut session = Session::sequential(run_seed ^ 0xABCD_EF01_2345_6789);
             for _ in 0..self.generations {
                 for (x, y) in board.coords() {
                     let truth = next_state(board.get(x, y), board.live_neighbors(x, y));
-                    let decision = implementation.decide(&board, x, y, &mut sampler);
+                    let decision = implementation.decide(&board, x, y, &mut session);
                     if decision.alive != truth {
                         errors += 1;
                     }
@@ -217,7 +217,7 @@ impl LifeExperiment {
                 .wrapping_add(run as u64);
             let mut truth = Board::random(self.width, self.height, self.density, run_seed);
             let mut believed = truth.clone();
-            let mut sampler = Sampler::seeded(run_seed ^ 0x5151_5151_5151_5151);
+            let mut session = Session::sequential(run_seed ^ 0x5151_5151_5151_5151);
             for gen_divergence in divergence.iter_mut() {
                 // The noisy system advances its own board by sensing itself.
                 let mut next = Board::new(self.width, self.height);
@@ -225,7 +225,7 @@ impl LifeExperiment {
                     next.set(
                         x,
                         y,
-                        implementation.decide(&believed, x, y, &mut sampler).alive,
+                        implementation.decide(&believed, x, y, &mut session).alive,
                     );
                 }
                 believed = next;

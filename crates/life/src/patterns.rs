@@ -135,11 +135,11 @@ mod tests {
         // must reproduce the still life every generation.
         use crate::sensor::NoisySensor;
         use crate::variants::{BayesLife, LifeVariant};
-        use uncertain_core::Sampler;
+        use uncertain_core::Session;
 
         let board = Pattern::Block.board(8, 8);
         let bayes = BayesLife::new(NoisySensor::new(0.2).unwrap());
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::sequential(3);
         for (x, y) in board.coords() {
             let truth = crate::rules::next_state(board.get(x, y), board.live_neighbors(x, y));
             assert_eq!(bayes.decide(&board, x, y, &mut s).alive, truth);

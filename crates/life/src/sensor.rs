@@ -108,7 +108,7 @@ impl NoisySensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uncertain_core::Sampler;
+    use uncertain_core::Session;
 
     #[test]
     fn rejects_bad_sigma() {
@@ -128,11 +128,11 @@ mod tests {
     #[test]
     fn readings_center_on_true_state() {
         let s = NoisySensor::new(0.3).unwrap();
-        let mut sampler = Sampler::seeded(1);
+        let mut session = Session::sequential(1);
         let live = s.uncertain(true);
         let dead = s.uncertain(false);
-        let e_live = live.expected_value_with(&mut sampler, 5000);
-        let e_dead = dead.expected_value_with(&mut sampler, 5000);
+        let e_live = live.expected_value_in(&mut session, 5000);
+        let e_dead = dead.expected_value_in(&mut session, 5000);
         assert!((e_live - 1.0).abs() < 0.02, "{e_live}");
         assert!(e_dead.abs() < 0.02, "{e_dead}");
     }
@@ -143,8 +143,8 @@ mod tests {
         let a = s.uncertain(true);
         let b = s.uncertain(true);
         let diff = a - b;
-        let mut sampler = Sampler::seeded(2);
-        let nonzero = (0..100).filter(|_| sampler.sample(&diff) != 0.0).count();
+        let mut session = Session::sequential(2);
+        let nonzero = (0..100).filter(|_| session.sample(&diff) != 0.0).count();
         assert!(nonzero > 95);
     }
 
@@ -154,9 +154,9 @@ mod tests {
         // Φ(0.5/0.3) ≈ 0.952.
         let s = NoisySensor::new(0.3).unwrap();
         let snapped = s.uncertain_snapped(true);
-        let mut sampler = Sampler::seeded(3);
+        let mut session = Session::sequential(3);
         let ok = (0..5000)
-            .filter(|_| sampler.sample(&snapped) == 1.0)
+            .filter(|_| session.sample(&snapped) == 1.0)
             .count() as f64
             / 5000.0;
         assert!((ok - 0.952).abs() < 0.02, "ok={ok}");
@@ -169,12 +169,12 @@ mod tests {
         let s = NoisySensor::new(0.6).unwrap();
         let single = s.uncertain_snapped(true);
         let joint = s.uncertain_snapped_joint(true, 9);
-        let mut sampler = Sampler::seeded(5);
-        let acc = |u: &uncertain_core::Uncertain<f64>, sampler: &mut Sampler| {
-            (0..4000).filter(|_| sampler.sample(u) == 1.0).count() as f64 / 4000.0
+        let mut session = Session::sequential(5);
+        let acc = |u: &uncertain_core::Uncertain<f64>, session: &mut Session| {
+            (0..4000).filter(|_| session.sample(u) == 1.0).count() as f64 / 4000.0
         };
-        let acc_single = acc(&single, &mut sampler);
-        let acc_joint = acc(&joint, &mut sampler);
+        let acc_single = acc(&single, &mut session);
+        let acc_joint = acc(&joint, &mut session);
         assert!((acc_single - 0.797).abs() < 0.03, "single={acc_single}");
         assert!(acc_joint > 0.98, "joint={acc_joint}");
     }
@@ -183,9 +183,9 @@ mod tests {
     fn snapped_values_are_binary() {
         let s = NoisySensor::new(1.0).unwrap();
         let snapped = s.uncertain_snapped(false);
-        let mut sampler = Sampler::seeded(4);
+        let mut session = Session::sequential(4);
         for _ in 0..200 {
-            let v = sampler.sample(&snapped);
+            let v = session.sample(&snapped);
             assert!(v == 0.0 || v == 1.0);
         }
     }

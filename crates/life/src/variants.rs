@@ -3,7 +3,7 @@
 
 use crate::board::Board;
 use crate::sensor::NoisySensor;
-use uncertain_core::{EvalConfig, Sampler, Uncertain};
+use uncertain_core::{EvalConfig, Session, Uncertain};
 
 /// One cell-update decision plus its sampling cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +23,7 @@ pub trait LifeVariant {
 
     /// Decides the next state of cell `(x, y)` by sensing `board` through
     /// noisy sensors.
-    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision;
+    fn decide(&self, board: &Board, x: usize, y: usize, session: &mut Session) -> CellDecision;
 }
 
 /// Builds the paper's `CountLiveNeighbors`: the lifted sum of one uncertain
@@ -55,12 +55,12 @@ fn decide_uncertain(
     num_live: &Uncertain<f64>,
     is_alive: bool,
     banded: bool,
-    sampler: &mut Sampler,
+    session: &mut Session,
     config: &EvalConfig,
 ) -> CellDecision {
     let mut samples = 0u64;
     let mut implicit = |cond: &Uncertain<bool>| {
-        let o = cond.evaluate(0.5, sampler, config);
+        let o = session.evaluate_with(cond, 0.5, config);
         samples += o.samples as u64;
         o.to_bool()
     };
@@ -108,11 +108,11 @@ impl LifeVariant for NaiveLife {
         "NaiveLife"
     }
 
-    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision {
+    fn decide(&self, board: &Board, x: usize, y: usize, session: &mut Session) -> CellDecision {
         let sum: f64 = board
             .neighbors(x, y)
             .into_iter()
-            .map(|(nx, ny)| self.sensor.sense(board.get(nx, ny), sampler.rng()))
+            .map(|(nx, ny)| self.sensor.sense(board.get(nx, ny), session.rng()))
             .sum();
         let is_alive = board.get(x, y);
         #[allow(clippy::float_cmp)] // the bug under study: exact float equality
@@ -168,14 +168,14 @@ impl LifeVariant for SensorLife {
         "SensorLife"
     }
 
-    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision {
+    fn decide(&self, board: &Board, x: usize, y: usize, session: &mut Session) -> CellDecision {
         let sensor = self.sensor;
         let num_live = count_live_neighbors(|b| sensor.uncertain(b), board, x, y);
         decide_uncertain(
             &num_live,
             board.get(x, y),
             self.banded,
-            sampler,
+            session,
             &self.config,
         )
     }
@@ -212,12 +212,12 @@ impl LifeVariant for BayesLife {
         "BayesLife"
     }
 
-    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision {
+    fn decide(&self, board: &Board, x: usize, y: usize, session: &mut Session) -> CellDecision {
         let sensor = self.sensor;
         let num_live = count_live_neighbors(|b| sensor.uncertain_snapped(b), board, x, y);
         // Snapped sensors yield integer sums, where the literal and banded
         // thresholds coincide.
-        decide_uncertain(&num_live, board.get(x, y), false, sampler, &self.config)
+        decide_uncertain(&num_live, board.get(x, y), false, session, &self.config)
     }
 }
 
@@ -265,13 +265,13 @@ impl LifeVariant for JointBayesLife {
         "JointBayesLife"
     }
 
-    fn decide(&self, board: &Board, x: usize, y: usize, sampler: &mut Sampler) -> CellDecision {
+    fn decide(&self, board: &Board, x: usize, y: usize, session: &mut Session) -> CellDecision {
         let sensor = self.sensor;
         let reads = self.reads;
         let num_live =
             count_live_neighbors(|b| sensor.uncertain_snapped_joint(b, reads), board, x, y);
         let mut decision =
-            decide_uncertain(&num_live, board.get(x, y), false, sampler, &self.config);
+            decide_uncertain(&num_live, board.get(x, y), false, session, &self.config);
         // Each joint sample costs `reads` physical sensor reads per
         // neighbor; report the honest sampling cost.
         decision.samples *= reads as u64;
@@ -288,12 +288,12 @@ mod tests {
         Board::random(8, 8, 0.4, 5)
     }
 
-    fn error_rate(variant: &dyn LifeVariant, board: &Board, sampler: &mut Sampler) -> f64 {
+    fn error_rate(variant: &dyn LifeVariant, board: &Board, session: &mut Session) -> f64 {
         let mut errors = 0usize;
         let mut updates = 0usize;
         for (x, y) in board.coords() {
             let truth = next_state(board.get(x, y), board.live_neighbors(x, y));
-            if variant.decide(board, x, y, sampler).alive != truth {
+            if variant.decide(board, x, y, session).alive != truth {
                 errors += 1;
             }
             updates += 1;
@@ -305,7 +305,7 @@ mod tests {
     fn noiseless_sensor_life_is_exact() {
         let sensor = NoisySensor::new(0.0).unwrap();
         let board = test_board();
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::sequential(1);
         assert_eq!(error_rate(&SensorLife::new(sensor), &board, &mut s), 0.0);
         assert_eq!(error_rate(&BayesLife::new(sensor), &board, &mut s), 0.0);
     }
@@ -316,7 +316,7 @@ mod tests {
         // equality fires.
         let sensor = NoisySensor::new(0.0).unwrap();
         let board = test_board();
-        let mut s = Sampler::seeded(2);
+        let mut s = Session::sequential(2);
         assert_eq!(error_rate(&NaiveLife::new(sensor), &board, &mut s), 0.0);
     }
 
@@ -327,7 +327,7 @@ mod tests {
         let sensor = NoisySensor::new(0.05).unwrap();
         let naive = NaiveLife::new(sensor);
         let board = test_board();
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::sequential(3);
         for (x, y) in board.coords() {
             if !board.get(x, y) {
                 assert!(!naive.decide(&board, x, y, &mut s).alive);
@@ -339,7 +339,7 @@ mod tests {
     fn accuracy_ordering_at_moderate_noise() {
         let sensor = NoisySensor::new(0.2).unwrap();
         let board = test_board();
-        let mut s = Sampler::seeded(4);
+        let mut s = Session::sequential(4);
         let naive = error_rate(&NaiveLife::new(sensor), &board, &mut s);
         let sensor_life = error_rate(&SensorLife::new(sensor), &board, &mut s);
         let bayes = error_rate(&BayesLife::new(sensor), &board, &mut s);
@@ -358,8 +358,8 @@ mod tests {
     fn sample_counts_ordering() {
         let sensor = NoisySensor::new(0.2).unwrap();
         let board = test_board();
-        let mut s = Sampler::seeded(5);
-        let total = |v: &dyn LifeVariant, s: &mut Sampler| -> u64 {
+        let mut s = Session::sequential(5);
+        let total = |v: &dyn LifeVariant, s: &mut Session| -> u64 {
             board
                 .coords()
                 .map(|(x, y)| v.decide(&board, x, y, s).samples)
@@ -392,7 +392,7 @@ mod tests {
         // (evidence ≈ 0.5); half-integer bands are decisively separated.
         let sensor = NoisySensor::new(0.05).unwrap();
         let board = test_board();
-        let mut s = Sampler::seeded(11);
+        let mut s = Session::sequential(11);
         let literal = error_rate(&SensorLife::new(sensor), &board, &mut s);
         let banded = error_rate(&SensorLife::new(sensor).banded(), &board, &mut s);
         assert!(banded < 0.01, "banded floor should vanish: {banded}");
@@ -409,7 +409,7 @@ mod tests {
         // ground truth closely.
         let sensor = NoisySensor::new(0.6).unwrap();
         let board = test_board();
-        let mut s = Sampler::seeded(9);
+        let mut s = Session::sequential(9);
         let single = error_rate(&BayesLife::new(sensor), &board, &mut s);
         let joint = error_rate(&JointBayesLife::new(sensor, 9), &board, &mut s);
         assert!(

@@ -7,7 +7,7 @@
 use crate::parakeet::Parakeet;
 use crate::parrot::Parrot;
 use crate::sobel::{Dataset, EDGE_THRESHOLD};
-use uncertain_core::Sampler;
+use uncertain_core::Session;
 use uncertain_stats::ConfusionMatrix;
 
 /// One `(α, precision, recall)` point of Fig. 16.
@@ -38,7 +38,7 @@ pub fn parakeet_precision_recall(
     test: &Dataset,
     alphas: &[f64],
     samples_per_input: usize,
-    sampler: &mut Sampler,
+    session: &mut Session,
 ) -> Vec<PrecisionRecallPoint> {
     assert!(!test.is_empty(), "need evaluation examples");
     assert!(!alphas.is_empty(), "need at least one threshold");
@@ -53,7 +53,7 @@ pub fn parakeet_precision_recall(
             let ppd = parakeet.predict(x);
             let p = ppd
                 .gt(EDGE_THRESHOLD)
-                .probability_with(sampler, samples_per_input);
+                .probability_in(session, samples_per_input);
             (p, t > EDGE_THRESHOLD)
         })
         .collect();
@@ -118,7 +118,7 @@ mod tests {
     #[test]
     fn recall_decreases_and_precision_rises_with_alpha() {
         let (parakeet, _, test) = setup();
-        let mut s = Sampler::seeded(44);
+        let mut s = Session::sequential(44);
         let alphas = [0.1, 0.5, 0.9];
         let points = parakeet_precision_recall(&parakeet, &test, &alphas, 80, &mut s);
         assert_eq!(points.len(), 3);
@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn low_alpha_has_high_recall() {
         let (parakeet, _, test) = setup();
-        let mut s = Sampler::seeded(45);
+        let mut s = Session::sequential(45);
         let points = parakeet_precision_recall(&parakeet, &test, &[0.05], 80, &mut s);
         // The misses at this tiny HMC budget are borderline patches whose
         // true Sobel value sits just above the 0.1 threshold; the figure
@@ -160,7 +160,7 @@ mod tests {
     #[should_panic(expected = "at least one threshold")]
     fn empty_alphas_rejected() {
         let (parakeet, _, test) = setup();
-        let mut s = Sampler::seeded(46);
+        let mut s = Session::sequential(46);
         let _ = parakeet_precision_recall(&parakeet, &test, &[], 10, &mut s);
     }
 }

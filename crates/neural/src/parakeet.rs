@@ -152,7 +152,7 @@ impl LogDensity for BayesianMlpPosterior {
 /// # Examples
 ///
 /// ```no_run
-/// use uncertain_core::Sampler;
+/// use uncertain_core::Session;
 /// use uncertain_neural::sobel::generate_dataset;
 /// use uncertain_neural::{HmcConfig, Parakeet};
 /// use rand::SeedableRng;
@@ -162,8 +162,8 @@ impl LogDensity for BayesianMlpPosterior {
 /// let parakeet = Parakeet::train(&data, HmcConfig::default(), &mut rng);
 /// let prediction = parakeet.predict(&data.inputs[0]);
 /// // Ask a calibrated question instead of reading a point estimate:
-/// let mut s = Sampler::seeded(3);
-/// let confident_edge = prediction.gt(0.1).pr_with(0.8, &mut s);
+/// let mut s = Session::sequential(3);
+/// let confident_edge = prediction.gt(0.1).pr_in(&mut s, 0.8);
 /// # let _ = confident_edge;
 /// ```
 #[derive(Debug, Clone)]
@@ -332,7 +332,7 @@ mod tests {
     use super::*;
     use crate::sobel::generate_dataset;
     use rand::SeedableRng;
-    use uncertain_core::Sampler;
+    use uncertain_core::Session;
 
     fn quick_parakeet() -> (Parakeet, Dataset) {
         // Small HMC budget keeps the unit test fast; the figure binaries
@@ -370,19 +370,19 @@ mod tests {
     fn ppd_is_a_distribution_not_a_point() {
         let (p, data) = quick_parakeet();
         let ppd = p.predict(&data.inputs[0]);
-        let mut s = Sampler::seeded(6);
-        let stats = ppd.stats_with(&mut s, 500).unwrap();
+        let mut s = Session::sequential(6);
+        let stats = ppd.stats_in(&mut s, 500).unwrap();
         assert!(stats.std_dev() > 0.0, "PPD must have spread");
     }
 
     #[test]
     fn ppd_tracks_targets_roughly() {
         let (p, data) = quick_parakeet();
-        let mut s = Sampler::seeded(7);
+        let mut s = Session::sequential(7);
         let mut abs_err = 0.0;
         let n = 30;
         for i in 0..n {
-            let e = p.predict(&data.inputs[i]).expected_value_with(&mut s, 200);
+            let e = p.predict(&data.inputs[i]).expected_value_in(&mut s, 200);
             abs_err += (e - data.targets[i]).abs();
         }
         let mae = abs_err / n as f64;
@@ -392,12 +392,12 @@ mod tests {
     #[test]
     fn gaussian_ppd_matches_monte_carlo_moments() {
         let (p, data) = quick_parakeet();
-        let mut s = Sampler::seeded(8);
+        let mut s = Session::sequential(8);
         for i in 0..5 {
-            let mc = p.predict(&data.inputs[i]).stats_with(&mut s, 2000).unwrap();
+            let mc = p.predict(&data.inputs[i]).stats_in(&mut s, 2000).unwrap();
             let ga = p
                 .predict_gaussian(&data.inputs[i])
-                .stats_with(&mut s, 2000)
+                .stats_in(&mut s, 2000)
                 .unwrap();
             assert!(
                 (mc.mean() - ga.mean()).abs() < 0.03,
@@ -417,18 +417,18 @@ mod tests {
     #[test]
     fn gaussian_ppd_gives_same_edge_decisions_mostly() {
         let (p, data) = quick_parakeet();
-        let mut s = Sampler::seeded(9);
+        let mut s = Session::sequential(9);
         let mut agree = 0;
         let n = 40;
         for i in 0..n {
             let mc = p
                 .predict(&data.inputs[i])
                 .gt(0.1)
-                .probability_with(&mut s, 300);
+                .probability_in(&mut s, 300);
             let ga = p
                 .predict_gaussian(&data.inputs[i])
                 .gt(0.1)
-                .probability_with(&mut s, 300);
+                .probability_in(&mut s, 300);
             if (mc > 0.5) == (ga > 0.5) {
                 agree += 1;
             }

@@ -6,7 +6,7 @@
 //! Run with `cargo run --example custom_types`.
 
 use std::ops::{Add, Div, Mul};
-use uncertain_suite::{Sampler, Uncertain};
+use uncertain_suite::{Session, Uncertain};
 
 /// A plain 2D vector — a "numeric" user type like the paper's
 /// `GeoCoordinate`.
@@ -62,7 +62,7 @@ impl Div<f64> for Celsius {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut sampler = Sampler::seeded(21);
+    let mut session = Session::seeded(21);
 
     // --- Uncertain forces -------------------------------------------------
     // Two force sensors, each with independent 2D Gaussian noise.
@@ -80,14 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "E[‖F₁ + F₂‖] = {:.3} N (true resultant ‖(2, 2.5)‖ = {:.3})",
-        magnitude.expected_value_with(&mut sampler, 4000),
+        magnitude.expected_value_in(&mut session, 4000),
         (Vec2 { x: 2.0, y: 2.5 }).magnitude()
     );
     println!(
         "Pr[net force exceeds 4 N] ≈ {:.2}",
-        magnitude.gt(4.0).probability_with(&mut sampler, 4000)
+        magnitude.gt(4.0).probability_in(&mut session, 4000)
     );
-    if magnitude.gt(5.0).pr_with(0.95, &mut sampler) {
+    if magnitude.gt(5.0).pr_in(&mut session, 0.95) {
         println!("…trip the overload breaker (95% sure).");
     } else {
         println!("…no confident overload: keep running.");
@@ -113,11 +113,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let too_warm = mean_temp.gt(Celsius(22.0));
     println!(
         "\nPr[room above 22 °C] ≈ {:.2}",
-        too_warm.probability_with(&mut sampler, 4000)
+        too_warm.probability_in(&mut session, 4000)
     );
     println!(
         "turn on the AC? {}",
-        if too_warm.pr_with(0.9, &mut sampler) {
+        if too_warm.pr_in(&mut session, 0.9) {
             "yes (90% sure)"
         } else {
             "no — evidence is weak"

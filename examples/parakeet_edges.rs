@@ -7,7 +7,7 @@
 use uncertain_suite::neural::eval::{parakeet_precision_recall, parrot_confusion};
 use uncertain_suite::neural::sobel::{generate_dataset, EDGE_THRESHOLD};
 use uncertain_suite::neural::{Parakeet, Parrot};
-use uncertain_suite::Sampler;
+use uncertain_suite::Session;
 
 fn main() {
     let train = generate_dataset(800, 7);
@@ -36,9 +36,9 @@ fn main() {
         parrot_m.recall().unwrap_or(f64::NAN)
     );
 
-    let mut sampler = Sampler::seeded(11);
+    let mut session = Session::seeded(11);
     let alphas = [0.2, 0.5, 0.8];
-    let points = parakeet_precision_recall(&parakeet, &test, &alphas, 200, &mut sampler);
+    let points = parakeet_precision_recall(&parakeet, &test, &alphas, 200, &mut session);
     println!("\nParakeet lets the developer choose:");
     for p in points {
         println!(
@@ -54,14 +54,14 @@ fn main() {
     let evidence = parakeet
         .predict(patch)
         .gt(EDGE_THRESHOLD)
-        .probability_with(&mut sampler, 500);
+        .probability_in(&mut session, 500);
     println!(
         "\nfor one test patch: Pr[s(p) > {EDGE_THRESHOLD}] ≈ {evidence:.2}; \
          .pr(0.8) says {}",
         if parakeet
             .predict(patch)
             .gt(EDGE_THRESHOLD)
-            .pr_with(0.8, &mut sampler)
+            .pr_in(&mut session, 0.8)
         {
             "EDGE"
         } else {

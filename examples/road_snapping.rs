@@ -4,7 +4,7 @@
 //! Run with `cargo run --example road_snapping`.
 
 use uncertain_suite::gps::{GeoCoordinate, GpsReading, RoadMap};
-use uncertain_suite::Sampler;
+use uncertain_suite::Session;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small street grid: two parallel east-west streets 80 m apart and a
@@ -26,16 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = fix.location();
     let snapped = map.snap(&raw, 3.0, 1e-4);
 
-    let mut sampler = Sampler::seeded(3);
+    let mut session = Session::seeded(3);
     let n = 3000;
-    let raw_d = raw.expect_by(&mut sampler, n, |p| map.distance_to_road(p));
-    let snapped_d = snapped.expect_by(&mut sampler, n, |p| map.distance_to_road(p));
+    let raw_d = raw.expect_by_in(&mut session, n, |p| map.distance_to_road(p));
+    let snapped_d = snapped.expect_by_in(&mut session, n, |p| map.distance_to_road(p));
     println!("E[distance to nearest road]: raw {raw_d:.1} m → snapped {snapped_d:.1} m");
 
     // Which street did the posterior choose?
     let (mut south_votes, mut north_votes) = (0, 0);
     for _ in 0..n {
-        let p = sampler.sample(&snapped);
+        let p = session.sample(&snapped);
         // Compare latitude offset: south street is at 0 m, north at 80 m.
         let north_offset = c.bearing_to(&p);
         let dist = c.distance_meters(&p);
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A confident off-road fix resists snapping.
     let far = GpsReading::new(c.destination(45.0, 0.0).destination(200.0, 90.0), 3.0)?;
     let kept = map.snap(&far.location(), 3.0, 1e-3);
-    let kept_dist = kept.expect_by(&mut sampler, n, |p| far.center().distance_meters(p));
+    let kept_dist = kept.expect_by_in(&mut session, n, |p| far.center().distance_meters(p));
     println!(
         "\na tight (ε = 3 m) fix midway between streets stays put: \
          E[dist from fix] = {kept_dist:.1} m"

@@ -5,16 +5,16 @@
 //! Run with `cargo run --example sensor_fusion`.
 
 use uncertain_suite::gps::{GeoCoordinate, SimulatedGps};
-use uncertain_suite::Sampler;
+use uncertain_suite::Session;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = GeoCoordinate::new(47.6097, -122.3331); // Pike Place Market
-    let mut sampler = Sampler::seeded(8);
+    let mut session = Session::seeded(8);
 
     // Two sensors fix the same spot: phone GPS (ε = 12 m) and a watch
     // (ε = 8 m).
-    let phone = SimulatedGps::new(12.0)?.read(&truth, sampler.rng());
-    let watch = SimulatedGps::new(8.0)?.read(&truth, sampler.rng());
+    let phone = SimulatedGps::new(12.0)?.read(&truth, session.rng());
+    let watch = SimulatedGps::new(8.0)?.read(&truth, session.rng());
     println!("truth:        {truth}");
     println!(
         "phone fix:    {}  (ε = {:.0} m, error {:.1} m)",
@@ -31,12 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let fused = phone.fuse(&watch);
     let n = 4000;
-    let err = |loc: &uncertain_suite::Uncertain<GeoCoordinate>, s: &mut Sampler| {
-        loc.expect_by(s, n, |p| truth.distance_meters(p))
+    let err = |loc: &uncertain_suite::Uncertain<GeoCoordinate>, s: &mut Session| {
+        loc.expect_by_in(s, n, |p| truth.distance_meters(p))
     };
-    let phone_err = err(&phone.location(), &mut sampler);
-    let watch_err = err(&watch.location(), &mut sampler);
-    let fused_err = err(&fused, &mut sampler);
+    let phone_err = err(&phone.location(), &mut session);
+    let watch_err = err(&watch.location(), &mut session);
+    let fused_err = err(&fused, &mut session);
 
     println!();
     println!("E[distance from truth]:");
@@ -50,9 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     println!(
         "\nPr[fused location within 10 m of the market] ≈ {:.2}",
-        near_market.probability_with(&mut sampler, n)
+        near_market.probability_in(&mut session, n)
     );
-    if near_market.pr_with(0.9, &mut sampler) {
+    if near_market.pr_in(&mut session, 0.9) {
         println!("…confident enough (>90%) to auto-check-in.");
     } else {
         println!("…not confident enough (>90%) to auto-check-in; ask the user.");

@@ -4,7 +4,7 @@
 //! Run with `cargo run --example sensor_life --release`.
 
 use uncertain_suite::life::{BayesLife, Board, LifeVariant, NaiveLife, NoisySensor, SensorLife};
-use uncertain_suite::Sampler;
+use uncertain_suite::Session;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sigma = 0.2;
@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let mut board = Board::random(12, 12, 0.35, 99);
-    let mut sampler = Sampler::seeded(100);
+    let mut session = Session::seeded(100);
     let mut cumulative = vec![0usize; variants.len()];
     let mut updates = 0usize;
 
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let truth =
                 uncertain_suite::life::next_state(board.get(x, y), board.live_neighbors(x, y));
             for (i, v) in variants.iter().enumerate() {
-                if v.decide(&board, x, y, &mut sampler).alive != truth {
+                if v.decide(&board, x, y, &mut session).alive != truth {
                     errors[i] += 1;
                 }
             }

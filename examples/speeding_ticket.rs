@@ -4,7 +4,7 @@
 //! Run with `cargo run --example speeding_ticket`.
 
 use uncertain_suite::gps::{uncertain_speed, GeoCoordinate, GpsReading, MPS_TO_MPH};
-use uncertain_suite::{EvalConfig, Sampler, Uncertain};
+use uncertain_suite::{EvalConfig, Session, Uncertain};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let limit = 60.0;
@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "true mph", "Pr[>limit]", "naive verdict", "evidence .pr(0.95)"
     );
 
-    let mut sampler = Sampler::seeded(7);
+    let mut session = Session::seeded(7);
     for true_mph in [50.0, 55.0, 57.0, 60.0, 63.0, 70.0, 90.0] {
         // Build the uncertain speed for one pair of fixes around the true
         // displacement.
@@ -25,10 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let speed = uncertain_speed(&a, &b, 1.0);
 
         let over = speed.gt(limit);
-        let evidence = over.probability_with(&mut sampler, 3000);
+        let evidence = over.probability_in(&mut session, 3000);
         // A naive app reads one sample (a point estimate) and compares.
-        let naive_verdict = sampler.sample(&speed) > limit;
-        let calibrated = over.evaluate(0.95, &mut sampler, &EvalConfig::default());
+        let naive_verdict = session.sample(&speed) > limit;
+        let calibrated = session.evaluate_with(&over, 0.95, &EvalConfig::default());
         println!(
             "{:>10.0} {:>14.3} {:>18} {:>20}",
             true_mph,
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hypertensive = blood_pressure.gt(140.0);
     println!(
         "\nbonus: Pr[BP > 140] = {:.2} — would you medicate on one cuff reading?",
-        hypertensive.probability_with(&mut sampler, 3000)
+        hypertensive.probability_in(&mut session, 3000)
     );
     Ok(())
 }

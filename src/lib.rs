@@ -14,19 +14,20 @@
 //! # Examples
 //!
 //! ```
-//! use uncertain_suite::{Sampler, Uncertain};
+//! use uncertain_suite::{Session, Uncertain};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let noisy = Uncertain::normal(3.0, 1.0)?;
-//! let mut sampler = Sampler::seeded(1);
-//! assert!(noisy.gt(2.0).is_probable_with(&mut sampler));
+//! let mut session = Session::seeded(1);
+//! assert!(noisy.gt(2.0).is_probable_in(&mut session));
 //! # Ok(())
 //! # }
 //! ```
 
 pub use uncertain_core::{
-    EvalConfig, Evaluator, HypothesisOutcome, IntoUncertain, NetworkView, NodeId, NodeMeta,
-    ParSampler, Plan, Sampler, Uncertain, Value,
+    CacheStats, EvalConfig, Evaluator, HypothesisOutcome, InconclusiveError, IntoUncertain,
+    NetworkView, NodeId, NodeMeta, ParSampler, Plan, Sampler, Session, Uncertain, Value,
+    DEFAULT_CACHE_CAPACITY,
 };
 
 pub use uncertain_core as core;

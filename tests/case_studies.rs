@@ -3,6 +3,10 @@
 //! paper's evaluation, at reduced scale (the figure binaries run the full
 //! scale).
 
+// This suite pins the recorded seed streams, so it deliberately keeps
+// driving the deprecated `Sampler`-era surface.
+#![allow(deprecated)]
+
 use uncertain_suite::gps::{
     naive_speed, priors, uncertain_speed, Action, GeoCoordinate, GpsReading, SimulatedGps,
     WalkExperiment,
@@ -11,7 +15,7 @@ use uncertain_suite::life::{LifeExperiment, Variant};
 use uncertain_suite::neural::eval::{parakeet_precision_recall, parrot_confusion};
 use uncertain_suite::neural::sobel::generate_dataset;
 use uncertain_suite::neural::{Parakeet, Parrot};
-use uncertain_suite::Sampler;
+use uncertain_suite::{Sampler, Session};
 
 // ---------------------------------------------------------------------- GPS
 
@@ -136,7 +140,9 @@ fn parakeet_beats_parrot_on_precision() {
     let parakeet = Parakeet::train_tuned(&train, 50, 34, &mut rng);
 
     let parrot_m = parrot_confusion(&parrot, &test);
-    let mut s = Sampler::seeded(35);
+    // Session::sequential(35) draws the exact stream Sampler::seeded(35)
+    // drew, so the recorded qualitative outcome is unchanged.
+    let mut s = Session::sequential(35);
     let points = parakeet_precision_recall(&parakeet, &test, &[0.8], 120, &mut s);
 
     let parrot_precision = parrot_m.precision().unwrap();
@@ -153,7 +159,7 @@ fn alpha_trades_recall_for_precision() {
     let test = generate_dataset(150, 37);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(38);
     let parakeet = Parakeet::train_tuned(&train, 50, 39, &mut rng);
-    let mut s = Sampler::seeded(40);
+    let mut s = Session::sequential(40);
     let points = parakeet_precision_recall(&parakeet, &test, &[0.1, 0.9], 120, &mut s);
     assert!(
         points[0].recall.unwrap() >= points[1].recall.unwrap(),

@@ -3,6 +3,10 @@
 //! degenerate workloads. A library for uncertain data must itself fail
 //! predictably.
 
+// This suite pins the recorded seed streams, so it deliberately keeps
+// driving the deprecated `Sampler`-era surface.
+#![allow(deprecated)]
+
 use uncertain_suite::dist::{Empirical, ParamError};
 use uncertain_suite::stats::{StatsError, Summary};
 use uncertain_suite::{EvalConfig, Sampler, Uncertain};
