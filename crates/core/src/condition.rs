@@ -25,7 +25,9 @@
 //! `*_with(&mut Sampler, ..)` names are deprecated shims over the same
 //! machinery.
 
+use crate::error::ConfigError;
 use crate::runtime::Session;
+#[cfg(feature = "legacy-sampler")]
 use crate::sampler::Sampler;
 use crate::uncertain::Uncertain;
 use std::error::Error;
@@ -81,6 +83,44 @@ impl Default for EvalConfig {
 }
 
 impl EvalConfig {
+    /// Starts a validating builder: the path that *rejects* nonsensical
+    /// settings (α/β outside `(0, 1)`, a zero batch, a cap smaller than
+    /// one batch) instead of letting them silently produce a degenerate
+    /// SPRT at decision time. Unset knobs keep their defaults.
+    ///
+    /// The plain struct-literal / `with_*` path remains available for
+    /// call sites whose settings are code literals.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{ConfigError, EvalConfig};
+    ///
+    /// let strict = EvalConfig::builder()
+    ///     .alpha(0.01)
+    ///     .beta(0.01)
+    ///     .batch(20)
+    ///     .max_samples(20_000)
+    ///     .build()
+    ///     .expect("valid settings");
+    /// assert_eq!(strict.batch, 20);
+    ///
+    /// // Nonsense is rejected, not deferred to the decision site:
+    /// assert_eq!(
+    ///     EvalConfig::builder().alpha(1.5).build(),
+    ///     Err(ConfigError::Alpha(1.5)),
+    /// );
+    /// assert_eq!(
+    ///     EvalConfig::builder().batch(0).build(),
+    ///     Err(ConfigError::ZeroBatch),
+    /// );
+    /// ```
+    pub fn builder() -> EvalConfigBuilder {
+        EvalConfigBuilder {
+            config: EvalConfig::default(),
+        }
+    }
+
     /// Returns a copy with the given indifference half-width.
     pub fn with_delta(mut self, delta: f64) -> Self {
         self.delta = delta;
@@ -121,6 +161,77 @@ impl EvalConfig {
             self.batch,
             self.max_samples,
         )
+    }
+}
+
+/// The validating builder behind [`EvalConfig::builder`].
+///
+/// Accumulates the SPRT knobs and checks them *jointly* at
+/// [`build`](EvalConfigBuilder::build) (the cap-vs-batch constraint spans
+/// two fields, so per-setter checks cannot express it).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfigBuilder {
+    config: EvalConfig,
+}
+
+impl EvalConfigBuilder {
+    /// Sets the indifference half-width δ (must end up in `(0, 0.5)`).
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.config.delta = delta;
+        self
+    }
+
+    /// Sets the type-I error bound α (must end up in `(0, 1)`).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Sets the type-II error bound β (must end up in `(0, 1)`).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Sets the SPRT batch size `k` (must end up at least 1).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.config.batch = batch;
+        self
+    }
+
+    /// Sets the termination cap (must end up holding at least one batch).
+    pub fn max_samples(mut self, max_samples: usize) -> Self {
+        self.config.max_samples = max_samples;
+        self
+    }
+
+    /// Validates the accumulated settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found, checking α, β, δ, the
+    /// batch size, and the cap in that order.
+    pub fn build(self) -> Result<EvalConfig, ConfigError> {
+        let c = self.config;
+        if !(c.alpha > 0.0 && c.alpha < 1.0) {
+            return Err(ConfigError::Alpha(c.alpha));
+        }
+        if !(c.beta > 0.0 && c.beta < 1.0) {
+            return Err(ConfigError::Beta(c.beta));
+        }
+        if !(c.delta > 0.0 && c.delta < 0.5) {
+            return Err(ConfigError::Delta(c.delta));
+        }
+        if c.batch == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        if c.max_samples < c.batch {
+            return Err(ConfigError::CapBelowBatch {
+                max_samples: c.max_samples,
+                batch: c.batch,
+            });
+        }
+        Ok(c)
     }
 }
 
@@ -253,6 +364,7 @@ impl Uncertain<bool> {
     }
 
     /// Deprecated `Sampler` form of [`Uncertain::pr_in`].
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(since = "0.2.0", note = "use `pr_in(&mut Session, threshold)`")]
     pub fn pr_with(&self, threshold: f64, sampler: &mut Sampler) -> bool {
         sampler.session_mut().pr(self, threshold)
@@ -270,6 +382,7 @@ impl Uncertain<bool> {
     }
 
     /// Deprecated `Sampler` form of [`Uncertain::is_probable_in`].
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(since = "0.2.0", note = "use `is_probable_in(&mut Session)`")]
     pub fn is_probable_with(&self, sampler: &mut Sampler) -> bool {
         sampler.session_mut().is_probable(self)
@@ -293,6 +406,7 @@ impl Uncertain<bool> {
     }
 
     /// Deprecated `Sampler` form of [`Uncertain::evaluate_in`].
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(
         since = "0.2.0",
         note = "use `evaluate_in(&mut Session, threshold)` with `Session::with_config`"
@@ -318,6 +432,7 @@ impl Uncertain<bool> {
     }
 
     /// Deprecated `Sampler` form of [`Uncertain::probability_in`].
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(since = "0.2.0", note = "use `probability_in(&mut Session, n)`")]
     pub fn probability_with(&self, sampler: &mut Sampler, n: usize) -> f64 {
         sampler.session_mut().probability(self, n)
@@ -362,6 +477,7 @@ impl Uncertain<bool> {
     }
 
     /// Deprecated `Sampler` form of [`Uncertain::probability_given_in`].
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(
         since = "0.2.0",
         note = "use `probability_given_in(&evidence, &mut Session, n)`"
@@ -377,25 +493,8 @@ impl Uncertain<bool> {
 }
 
 #[cfg(test)]
-mod tests {
-    // The deprecated `*_with` shims are exercised on purpose: they are the
-    // compatibility contract for seeded experiments.
-    #![allow(deprecated)]
-
+mod builder_tests {
     use super::*;
-
-    #[test]
-    fn session_and_sampler_forms_agree() {
-        // A seeded Session::sequential and the Sampler shim with the same
-        // seed must make identical decisions (the shim is the same session
-        // underneath).
-        let b = Uncertain::bernoulli(0.8).unwrap();
-        let mut session = Session::sequential(77);
-        let mut sampler = Sampler::seeded(77);
-        let via_session = b.evaluate_in(&mut session, 0.5);
-        let via_sampler = b.evaluate(0.5, &mut sampler, &EvalConfig::default());
-        assert_eq!(via_session, via_sampler);
-    }
 
     #[test]
     fn expect_decided_distinguishes_ternary_outcomes() {
@@ -422,6 +521,101 @@ mod tests {
             }
         }
         assert!(saw_inconclusive);
+    }
+
+    #[test]
+    fn config_builders_apply() {
+        let cfg = EvalConfig::default()
+            .with_delta(0.1)
+            .with_error_bounds(0.01, 0.02)
+            .with_batch(5)
+            .with_max_samples(50);
+        assert_eq!(cfg.delta, 0.1);
+        assert_eq!(cfg.alpha, 0.01);
+        assert_eq!(cfg.beta, 0.02);
+        assert_eq!(cfg.batch, 5);
+        assert_eq!(cfg.max_samples, 50);
+        assert!(cfg.sequential_test(0.5).is_ok());
+        assert!(cfg.sequential_test(0.0).is_err());
+    }
+
+    #[test]
+    fn validating_builder_accepts_sensible_settings() {
+        let cfg = EvalConfig::builder()
+            .delta(0.1)
+            .alpha(0.01)
+            .beta(0.02)
+            .batch(5)
+            .max_samples(50)
+            .build()
+            .unwrap();
+        let loose = EvalConfig::default()
+            .with_delta(0.1)
+            .with_error_bounds(0.01, 0.02)
+            .with_batch(5)
+            .with_max_samples(50);
+        assert_eq!(cfg, loose, "builder and struct-literal paths agree");
+    }
+
+    #[test]
+    fn validating_builder_defaults_match_default() {
+        assert_eq!(
+            EvalConfig::builder().build().unwrap(),
+            EvalConfig::default()
+        );
+    }
+
+    #[test]
+    fn validating_builder_rejects_degenerate_settings() {
+        use crate::error::ConfigError;
+        let b = EvalConfig::builder;
+        assert_eq!(b().alpha(0.0).build(), Err(ConfigError::Alpha(0.0)));
+        assert_eq!(b().alpha(1.5).build(), Err(ConfigError::Alpha(1.5)));
+        assert_eq!(b().beta(1.0).build(), Err(ConfigError::Beta(1.0)));
+        assert_eq!(b().beta(-0.2).build(), Err(ConfigError::Beta(-0.2)));
+        assert_eq!(b().delta(0.5).build(), Err(ConfigError::Delta(0.5)));
+        assert_eq!(b().delta(0.0).build(), Err(ConfigError::Delta(0.0)));
+        assert_eq!(b().batch(0).build(), Err(ConfigError::ZeroBatch));
+        assert_eq!(
+            b().batch(64).max_samples(10).build(),
+            Err(ConfigError::CapBelowBatch {
+                max_samples: 10,
+                batch: 64
+            })
+        );
+        assert!(b().alpha(f64::NAN).build().is_err(), "NaN alpha rejected");
+    }
+
+    #[test]
+    fn validating_builder_reports_the_first_problem() {
+        // Deterministic validation order: alpha before batch.
+        use crate::error::ConfigError;
+        assert_eq!(
+            EvalConfig::builder().alpha(2.0).batch(0).build(),
+            Err(ConfigError::Alpha(2.0))
+        );
+    }
+}
+
+#[cfg(all(test, feature = "legacy-sampler"))]
+mod tests {
+    // The deprecated `*_with` shims are exercised on purpose: they are the
+    // compatibility contract for seeded experiments.
+    #![allow(deprecated)]
+
+    use super::*;
+
+    #[test]
+    fn session_and_sampler_forms_agree() {
+        // A seeded Session::sequential and the Sampler shim with the same
+        // seed must make identical decisions (the shim is the same session
+        // underneath).
+        let b = Uncertain::bernoulli(0.8).unwrap();
+        let mut session = Session::sequential(77);
+        let mut sampler = Sampler::seeded(77);
+        let via_session = b.evaluate_in(&mut session, 0.5);
+        let via_sampler = b.evaluate(0.5, &mut sampler, &EvalConfig::default());
+        assert_eq!(via_session, via_sampler);
     }
 
     #[test]
@@ -490,22 +684,6 @@ mod tests {
         let b = Uncertain::bernoulli(0.99).unwrap();
         let o = b.evaluate(0.5, &mut s, &EvalConfig::default());
         assert!(o.samples <= 30, "easy test took {} samples", o.samples);
-    }
-
-    #[test]
-    fn config_builders_apply() {
-        let cfg = EvalConfig::default()
-            .with_delta(0.1)
-            .with_error_bounds(0.01, 0.02)
-            .with_batch(5)
-            .with_max_samples(50);
-        assert_eq!(cfg.delta, 0.1);
-        assert_eq!(cfg.alpha, 0.01);
-        assert_eq!(cfg.beta, 0.02);
-        assert_eq!(cfg.batch, 5);
-        assert_eq!(cfg.max_samples, 50);
-        assert!(cfg.sequential_test(0.5).is_ok());
-        assert!(cfg.sequential_test(0.0).is_err());
     }
 
     #[test]

@@ -226,7 +226,7 @@ mod tests {
     #![allow(deprecated)]
 
     use super::*;
-    use crate::{ParSampler, Sampler};
+    use crate::ParSampler;
 
     #[test]
     fn from_session_matches_standalone_evaluator() {
@@ -348,8 +348,8 @@ mod tests {
         // Same distribution through both paths.
         let u = Uncertain::uniform(0.0, 1.0).unwrap();
         let cond = u.gt(0.3);
-        let mut sampler = Sampler::seeded(6);
-        let via_sampler = cond.probability_with(&mut sampler, 20_000);
+        let mut session = Session::sequential(6);
+        let via_sampler = session.probability(&cond, 20_000);
         let mut eval = Evaluator::new(&cond, 7);
         let via_eval = (0..20_000).filter(|_| eval.sample()).count() as f64 / 20_000.0;
         assert!((via_sampler - via_eval).abs() < 0.02);

@@ -13,6 +13,7 @@
 //! old `*_with(&mut Sampler, ..)` names are deprecated shims.
 
 use crate::runtime::Session;
+#[cfg(feature = "legacy-sampler")]
 use crate::sampler::Sampler;
 use crate::uncertain::{Uncertain, Value};
 use uncertain_stats::{Histogram, StatsError, Summary};
@@ -44,6 +45,7 @@ impl Uncertain<f64> {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(since = "0.2.0", note = "use `expected_value_in(&mut Session, n)`")]
     pub fn expected_value_with(&self, sampler: &mut Sampler, n: usize) -> f64 {
         sampler.session_mut().e(self, n)
@@ -82,6 +84,7 @@ impl Uncertain<f64> {
     ///
     /// Returns [`StatsError`] if `n == 0` or sampling produced non-finite
     /// values.
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(since = "0.2.0", note = "use `stats_in(&mut Session, n)`")]
     pub fn stats_with(&self, sampler: &mut Sampler, n: usize) -> Result<Summary, StatsError> {
         sampler.session_mut().stats(self, n)
@@ -109,6 +112,7 @@ impl Uncertain<f64> {
     /// # Errors
     ///
     /// Returns [`StatsError`] if the histogram bounds/bins are invalid.
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(
         since = "0.2.0",
         note = "use `histogram_in(&mut Session, n, low, high, bins)`"
@@ -133,6 +137,7 @@ impl Uncertain<f64> {
     /// # Panics
     ///
     /// Panics if `n == 0` or `threads == 0`.
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(
         since = "0.2.0",
         note = "use `expected_value_in` on a `Session::seeded(..).with_threads(..)`"
@@ -165,13 +170,14 @@ impl<T: Value> Uncertain<T> {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[cfg(feature = "legacy-sampler")]
     #[deprecated(since = "0.2.0", note = "use `expect_by_in(&mut Session, n, score)`")]
     pub fn expect_by(&self, sampler: &mut Sampler, n: usize, score: impl Fn(&T) -> f64) -> f64 {
         sampler.session_mut().expect_by(self, n, score)
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "legacy-sampler"))]
 mod tests {
     // The deprecated `*_with` shims are exercised on purpose: they are the
     // compatibility contract for seeded experiments.

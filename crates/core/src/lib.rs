@@ -72,6 +72,7 @@ mod bayes;
 mod compare;
 mod condition;
 mod context;
+mod error;
 mod evaluator;
 mod expect;
 mod graph;
@@ -81,15 +82,18 @@ mod node;
 mod ops;
 mod plan;
 mod runtime;
+#[cfg(feature = "legacy-sampler")]
 mod sampler;
 mod uncertain;
 
-pub use condition::{EvalConfig, HypothesisOutcome, InconclusiveError};
+pub use condition::{EvalConfig, EvalConfigBuilder, HypothesisOutcome, InconclusiveError};
+pub use error::{ConfigError, Error, ServeError};
 pub use evaluator::Evaluator;
 pub use graph::{NetworkView, NodeMeta};
 pub use node::NodeId;
 pub use plan::{ParSampler, Plan};
 pub use runtime::{CacheStats, Session, DEFAULT_CACHE_CAPACITY};
+#[cfg(feature = "legacy-sampler")]
 pub use sampler::Sampler;
 pub use uncertain::{IntoUncertain, Uncertain, Value};
 
@@ -113,9 +117,12 @@ pub use uncertain_stats as stats;
 /// # }
 /// ```
 pub mod prelude {
+    #[cfg(feature = "legacy-sampler")]
+    pub use crate::Sampler;
     pub use crate::{
-        CacheStats, EvalConfig, Evaluator, HypothesisOutcome, InconclusiveError, IntoUncertain,
-        NetworkView, ParSampler, Plan, Sampler, Session, Uncertain,
+        CacheStats, ConfigError, Error, EvalConfig, EvalConfigBuilder, Evaluator,
+        HypothesisOutcome, InconclusiveError, IntoUncertain, NetworkView, ParSampler, Plan,
+        ServeError, Session, Uncertain,
     };
     pub use uncertain_dist::{Continuous, Discrete, Distribution};
 }

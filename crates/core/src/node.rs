@@ -710,7 +710,7 @@ impl<T: Value> TypedNode<T> for ConditionedNode<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sampler::Sampler;
+    use crate::runtime::Session;
     use crate::uncertain::Uncertain;
 
     #[test]
@@ -735,7 +735,7 @@ mod tests {
         // x - x must be exactly zero in every joint sample (paper Fig. 8).
         let x = Uncertain::normal(0.0, 10.0).unwrap();
         let diff = x.clone() - x;
-        let mut s = Sampler::seeded(1);
+        let mut s = Session::sequential(1);
         for _ in 0..100 {
             assert_eq!(s.sample(&diff), 0.0);
         }
@@ -745,7 +745,7 @@ mod tests {
     fn encapsulated_copies_are_independent() {
         let x = Uncertain::normal(0.0, 10.0).unwrap();
         let independent = x.encapsulate() - x.encapsulate();
-        let mut s = Sampler::seeded(2);
+        let mut s = Session::sequential(2);
         let nonzero = (0..100).filter(|_| s.sample(&independent) != 0.0).count();
         assert!(nonzero > 90, "nonzero={nonzero}");
     }
@@ -755,7 +755,7 @@ mod tests {
     fn impossible_condition_panics() {
         let x = Uncertain::normal(0.0, 1.0).unwrap();
         let impossible = x.condition_on(|v: &f64| *v > 1e9, 32);
-        let mut s = Sampler::seeded(3);
+        let mut s = Session::sequential(3);
         let _ = s.sample(&impossible);
     }
 
@@ -763,7 +763,7 @@ mod tests {
     fn zero_weight_prior_falls_back_to_unweighted() {
         let x = Uncertain::normal(5.0, 1.0).unwrap();
         let weighted = x.weight_by_k(|_| 0.0, 8);
-        let mut s = Sampler::seeded(4);
+        let mut s = Session::sequential(4);
         // Must not panic, and must still produce plausible values.
         let v = s.sample(&weighted);
         assert!((0.0..10.0).contains(&v));

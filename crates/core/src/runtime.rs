@@ -249,6 +249,35 @@ impl CacheStats {
     }
 }
 
+/// Counter-wise sum, for aggregating the caches of many sessions (an
+/// evaluation service metering a whole shard's tenant pool). `entries`
+/// and `capacity` add too: the sum describes the aggregate cache.
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+            entries: self.entries + rhs.entries,
+            capacity: self.capacity + rhs.capacity,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        iter.fold(CacheStats::default(), |a, b| a + b)
+    }
+}
+
 /// One cached compiled plan, type-erased so networks of any payload type
 /// share the cache.
 struct CacheEntry {
@@ -449,6 +478,7 @@ impl Session {
 
     /// Sequential-mode session seeded from OS entropy (the legacy
     /// `Sampler::new()` behavior).
+    #[cfg(feature = "legacy-sampler")]
     pub(crate) fn sequential_from_entropy() -> Self {
         Self::with_policy(SeedPolicy::Sequential {
             rng: StdRng::from_entropy(),
@@ -517,6 +547,48 @@ impl Session {
         self.cache.entries.clear();
     }
 
+    /// The session's stream position: how many queries it has answered.
+    ///
+    /// For a substream session ([`Session::seeded`]) this counter *is* the
+    /// whole seeding state — query `q` is seeded purely by `(seed, q)` —
+    /// so a session is cheaply evictable tenancy: drop it (plan cache and
+    /// all) and later rebuild it with [`Session::resume_at`], and every
+    /// future sample is bitwise what the original session would have
+    /// drawn. Sharded evaluation services rely on this to bound their
+    /// per-shard session pools without losing per-tenant determinism.
+    ///
+    /// Returns `None` for sequential-mode sessions, whose stream position
+    /// is the full RNG state rather than a resumable counter.
+    pub fn query_index(&self) -> Option<u64> {
+        match &self.seeds {
+            SeedPolicy::Sequential { .. } => None,
+            SeedPolicy::Substream { queries, .. } => Some(*queries),
+        }
+    }
+
+    /// Fast-forwards (or rewinds) a substream session to the given query
+    /// index — the counterpart of [`Session::query_index`] for rebuilding
+    /// an evicted session: `Session::seeded(s)` followed by
+    /// `resume_at(q)` answers query `q` exactly as the original
+    /// `Session::seeded(s)` would have after `q` queries.
+    ///
+    /// Only the seeding stream is positioned; the plan cache starts cold
+    /// (plans are recompiled on demand, which changes throughput, never
+    /// values).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sequential-mode session: its stream is
+    /// order-dependent, so there is no counter to resume from.
+    pub fn resume_at(&mut self, query_index: u64) {
+        match &mut self.seeds {
+            SeedPolicy::Sequential { .. } => {
+                panic!("sequential sessions have an order-dependent stream and cannot resume")
+            }
+            SeedPolicy::Substream { queries, .. } => *queries = query_index,
+        }
+    }
+
     /// Total joint samples drawn through this session.
     pub fn joint_samples(&self) -> u64 {
         self.joint_samples
@@ -575,13 +647,13 @@ impl Session {
     /// Legacy shim hook: one per-sample seed from the session's stream
     /// (sequential mode: the next `u64` of the shared stream). Only the
     /// stream-equivalence tests drive the legacy protocol directly now.
-    #[cfg(test)]
+    #[cfg(all(test, feature = "legacy-sampler"))]
     pub(crate) fn next_stream_seed(&mut self) -> u64 {
         self.seeds.derive_seed()
     }
 
     /// Legacy shim hook: bumps the joint-sample counter by `n`.
-    #[cfg(test)]
+    #[cfg(all(test, feature = "legacy-sampler"))]
     pub(crate) fn count_joint_samples(&mut self, n: u64) {
         self.joint_samples += n;
     }
@@ -712,6 +784,33 @@ impl Session {
         threshold: f64,
         config: &EvalConfig,
     ) -> Result<HypothesisOutcome, StatsError> {
+        let outcome = self.try_evaluate_until(cond, threshold, config, |_| true)?;
+        Ok(outcome.expect("unconditional keep_going never aborts"))
+    }
+
+    /// [`Session::try_evaluate`] with a cooperative abort hook, for
+    /// callers that bound a decision's wall-clock time (per-request
+    /// deadlines in an evaluation service).
+    ///
+    /// `keep_going(n)` is consulted before every SPRT batch with the
+    /// samples drawn so far; returning `false` abandons the decision and
+    /// the method yields `Ok(None)`. An abandoned decision still consumes
+    /// exactly one query index of the session's seed stream (like every
+    /// query), so in a substream session the *following* queries are
+    /// bitwise unaffected by whether this one was aborted. When
+    /// `keep_going` stays `true`, the outcome is exactly the
+    /// [`Session::try_evaluate`] outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `threshold`/`config` are out of range.
+    pub fn try_evaluate_until(
+        &mut self,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        config: &EvalConfig,
+        keep_going: impl FnMut(usize) -> bool,
+    ) -> Result<Option<HypothesisOutcome>, StatsError> {
         let test = match &self.cached_test {
             Some((c, t, test)) if *c == *config && *t == threshold => *test,
             _ => {
@@ -724,22 +823,28 @@ impl Session {
         let ctx = &mut self.ctx;
         exec.install(ctx);
         let mut q = self.seeds.begin_query();
-        let outcome = test.run_batched(|k| {
-            (0..k)
-                .map(|_| {
-                    ctx.reseed(q.next());
-                    exec.evaluate(ctx)
-                })
-                .collect()
-        });
-        self.joint_samples += outcome.samples as u64;
-        Ok(HypothesisOutcome {
+        let mut drawn = 0usize;
+        let outcome = test.run_batched_while(
+            |k| {
+                drawn += k;
+                (0..k)
+                    .map(|_| {
+                        ctx.reseed(q.next());
+                        exec.evaluate(ctx)
+                    })
+                    .collect()
+            },
+            keep_going,
+        );
+        // Aborted tests still drew their completed batches; count them.
+        self.joint_samples += drawn as u64;
+        Ok(outcome.map(|outcome| HypothesisOutcome {
             threshold,
             accepted: outcome.decision == TestDecision::AcceptAlternative,
             conclusive: outcome.conclusive,
             samples: outcome.samples,
             estimate: outcome.estimate,
-        })
+        }))
     }
 
     /// Runs the hypothesis test for `Pr[cond] > threshold` with the
@@ -1067,6 +1172,133 @@ mod tests {
         let stats = s.cache_stats();
         assert_eq!(stats.entries, 0, "too deep to plan-cache");
         assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        // The contract a sharded service builds on: a Session (and the
+        // networks it evaluates) can move into a shard thread.
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
+        assert_send::<Uncertain<f64>>();
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Uncertain<bool>>();
+    }
+
+    #[test]
+    fn resume_at_reproduces_an_evicted_sessions_future() {
+        let (expr, cond) = ten_node_network();
+        // Reference: one long-lived session answering 8 queries.
+        let mut reference = Session::seeded(99);
+        let mut expected: Vec<(f64, HypothesisOutcome)> = Vec::new();
+        for _ in 0..4 {
+            let e = reference.e(&expr, 200);
+            let o = reference.evaluate(&cond, 0.5);
+            expected.push((e, o));
+        }
+        // Same 8 queries, but the session is dropped (evicted) and
+        // rebuilt with resume_at between every pair — the plan cache goes
+        // cold each time, the values must not move.
+        let mut cursor = 0;
+        let mut got: Vec<(f64, HypothesisOutcome)> = Vec::new();
+        for _ in 0..4 {
+            let mut s = Session::seeded(99);
+            s.resume_at(cursor);
+            let e = s.e(&expr, 200);
+            let o = s.evaluate(&cond, 0.5);
+            got.push((e, o));
+            cursor = s.query_index().expect("substream session");
+        }
+        assert_eq!(expected, got);
+        assert_eq!(cursor, 8);
+    }
+
+    #[test]
+    fn query_index_counts_queries_not_samples() {
+        let (expr, _) = ten_node_network();
+        let mut s = Session::seeded(1);
+        assert_eq!(s.query_index(), Some(0));
+        let _ = s.samples(&expr, 500); // one query, many samples
+        assert_eq!(s.query_index(), Some(1));
+        let _ = s.sample(&expr);
+        assert_eq!(s.query_index(), Some(2));
+        assert_eq!(Session::sequential(1).query_index(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resume")]
+    fn sequential_sessions_cannot_resume() {
+        Session::sequential(3).resume_at(5);
+    }
+
+    #[test]
+    fn try_evaluate_until_matches_try_evaluate_when_not_aborted() {
+        let (_, cond) = ten_node_network();
+        let cfg = EvalConfig::default();
+        let mut a = Session::seeded(21);
+        let mut b = Session::seeded(21);
+        for threshold in [0.2, 0.5, 0.8] {
+            let plain = a.try_evaluate(&cond, threshold, &cfg).unwrap();
+            let gated = b
+                .try_evaluate_until(&cond, threshold, &cfg, |_| true)
+                .unwrap()
+                .unwrap();
+            assert_eq!(plain, gated);
+        }
+        assert_eq!(a.joint_samples(), b.joint_samples());
+    }
+
+    #[test]
+    fn aborted_decision_consumes_one_query_and_nothing_more() {
+        // A marginal conditional with a huge cap, aborted after 3 batches:
+        // the *next* query must be bitwise identical to a session that
+        // never ran the aborted decision past its own budget.
+        let b = Uncertain::bernoulli(0.5).unwrap();
+        let (expr, _) = ten_node_network();
+        let cfg = EvalConfig::default().with_max_samples(1_000_000);
+        let mut aborted = Session::seeded(55);
+        let out = aborted
+            .try_evaluate_until(&b, 0.5, &cfg, |n| n < 30)
+            .unwrap();
+        assert_eq!(out, None);
+        assert_eq!(aborted.joint_samples(), 30, "three 10-sample batches ran");
+        let after_abort = aborted.samples(&expr, 50);
+
+        let mut clean = Session::seeded(55);
+        let _ = clean.try_evaluate_until(&b, 0.5, &cfg, |n| n < 200);
+        let after_longer = clean.samples(&expr, 50);
+        assert_eq!(
+            after_abort, after_longer,
+            "the abort point must not leak into later queries"
+        );
+    }
+
+    #[test]
+    fn cache_stats_merge_counterwise() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 2,
+            evictions: 1,
+            entries: 2,
+            capacity: 64,
+        };
+        let b = CacheStats {
+            hits: 7,
+            misses: 1,
+            evictions: 0,
+            entries: 1,
+            capacity: 8,
+        };
+        let sum = a + b;
+        assert_eq!(sum.hits, 10);
+        assert_eq!(sum.misses, 3);
+        assert_eq!(sum.evictions, 1);
+        assert_eq!(sum.entries, 3);
+        assert_eq!(sum.capacity, 72);
+        assert_eq!([a, b].into_iter().sum::<CacheStats>(), sum);
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, sum);
     }
 
     #[test]

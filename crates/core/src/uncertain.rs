@@ -27,15 +27,15 @@ impl<T: Clone + Send + Sync + 'static> Value for T {}
 /// Computation compounds uncertainty (paper Fig. 6):
 ///
 /// ```
-/// use uncertain_core::{Sampler, Uncertain};
+/// use uncertain_core::{Session, Uncertain};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let a = Uncertain::normal(0.0, 1.0)?;
 /// let b = Uncertain::normal(0.0, 1.0)?;
 /// let c = &a + &b;
 ///
-/// let mut s = Sampler::seeded(7);
-/// let stats = c.stats_with(&mut s, 4000)?;
+/// let mut s = Session::seeded(7);
+/// let stats = s.stats(&c, 4000)?;
 /// // Var[c] = Var[a] + Var[b] = 2, so σ ≈ 1.41.
 /// assert!((stats.std_dev() - 2f64.sqrt()).abs() < 0.1);
 /// # Ok(())
@@ -91,11 +91,11 @@ impl<T: Value> Uncertain<T> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     /// use rand::Rng;
     ///
     /// let die = Uncertain::from_fn("d6", |rng| rng.gen_range(1..=6_i32));
-    /// let mut s = Sampler::seeded(0);
+    /// let mut s = Session::seeded(0);
     /// assert!((1..=6).contains(&s.sample(&die)));
     /// ```
     pub fn from_fn(
@@ -111,12 +111,12 @@ impl<T: Value> Uncertain<T> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     /// use uncertain_core::dist::Rayleigh;
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let gps_error = Uncertain::from_distribution(Rayleigh::from_gps_accuracy(4.0)?);
-    /// let mut s = Sampler::seeded(1);
+    /// let mut s = Session::seeded(1);
     /// assert!(s.sample(&gps_error) >= 0.0);
     /// # Ok(())
     /// # }
@@ -144,12 +144,12 @@ impl<T: Value> Uncertain<T> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let x = Uncertain::normal(0.0, 1.0)?;
     /// let magnitude = x.map("abs", |v: f64| v.abs());
-    /// let mut s = Sampler::seeded(2);
+    /// let mut s = Session::seeded(2);
     /// assert!(s.sample(&magnitude) >= 0.0);
     /// # Ok(())
     /// # }
@@ -194,7 +194,7 @@ impl<T: Value> Uncertain<T> {
     /// # Examples
     ///
     /// ```
-    /// use uncertain_core::{Sampler, Uncertain};
+    /// use uncertain_core::{Session, Uncertain};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// // A sensor whose noise grows with the (uncertain) temperature.
@@ -202,7 +202,7 @@ impl<T: Value> Uncertain<T> {
     /// let reading = temp.flat_map("sensor", |t| {
     ///     Uncertain::normal(t, 0.1 * t).expect("positive std-dev")
     /// });
-    /// let mut s = Sampler::seeded(3);
+    /// let mut s = Session::seeded(3);
     /// let r = s.sample(&reading);
     /// assert!(r > 0.0 && r < 60.0);
     /// # Ok(())
@@ -310,12 +310,12 @@ fn short_type_name<D>() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Sampler;
+    use crate::Session;
 
     #[test]
     fn point_mass_samples_constantly() {
         let u = Uncertain::point(3.5);
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         for _ in 0..10 {
             assert_eq!(s.sample(&u), 3.5);
         }
@@ -324,7 +324,7 @@ mod tests {
     #[test]
     fn from_scalar_is_point_mass() {
         let u: Uncertain<i32> = 9.into();
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         assert_eq!(s.sample(&u), 9);
     }
 
@@ -339,7 +339,7 @@ mod tests {
     fn map_transforms_samples() {
         let x = Uncertain::point(2.0);
         let y = x.map("square", |v: f64| v * v);
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         assert_eq!(s.sample(&y), 4.0);
     }
 
@@ -348,7 +348,7 @@ mod tests {
         let a = Uncertain::point(3);
         let b = Uncertain::point(4);
         let c = a.map2("pythagoras", &b, |x: i32, y: i32| x * x + y * y);
-        let mut s = Sampler::seeded(0);
+        let mut s = Session::sequential(0);
         assert_eq!(s.sample(&c), 25);
     }
 
@@ -356,7 +356,7 @@ mod tests {
     fn zip_is_jointly_sampled() {
         let x = Uncertain::normal(0.0, 1.0).unwrap();
         let pair = x.zip(&x);
-        let mut s = Sampler::seeded(5);
+        let mut s = Session::sequential(5);
         for _ in 0..50 {
             let (a, b) = s.sample(&pair);
             assert_eq!(a, b, "zip of a variable with itself must be diagonal");
@@ -373,7 +373,7 @@ mod tests {
                 Uncertain::point(-10.0)
             }
         });
-        let mut s = Sampler::seeded(6);
+        let mut s = Session::sequential(6);
         assert_eq!(s.sample(&v), 10.0);
     }
 

@@ -11,13 +11,13 @@ use uncertain_dist::{Gaussian, ParamError};
 /// # Examples
 ///
 /// ```
-/// use uncertain_core::Sampler;
+/// use uncertain_core::Session;
 /// use uncertain_life::NoisySensor;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let sensor = NoisySensor::new(0.2)?;
 /// let reading = sensor.uncertain(true);
-/// let mut s = Sampler::seeded(0);
+/// let mut s = Session::seeded(0);
 /// let v = s.sample(&reading);
 /// assert!((v - 1.0).abs() < 1.5);
 /// # Ok(())

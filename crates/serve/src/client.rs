@@ -1,0 +1,264 @@
+//! The typed client handle.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use uncertain_core::{HypothesisOutcome, ServeError, Uncertain};
+use uncertain_stats::Summary;
+
+use crate::service::{Inner, Job, RequestKind, Response};
+use crate::shard_of;
+
+/// A reply that has been admitted to a shard queue but not yet waited on.
+///
+/// Returned by the `submit_*` methods; lets one client keep many requests
+/// in flight (pipelining), which is how a bounded queue is actually
+/// saturated — the shard dequeues back-to-back instead of idling between
+/// synchronous round-trips. Per-tenant ordering still holds: a tenant's
+/// requests share one FIFO shard queue, so replies complete in the
+/// tenant's submission order.
+#[must_use = "a pending reply does nothing until waited on"]
+pub struct Pending<T> {
+    rx: Receiver<Result<Response, ServeError>>,
+    map: fn(Response) -> T,
+}
+
+impl<T> Pending<T> {
+    /// Blocks until the service answers this request.
+    pub fn wait(self) -> Result<T, ServeError> {
+        let response = self.rx.recv().map_err(|_| ServeError::Shutdown)??;
+        Ok((self.map)(response))
+    }
+}
+
+/// A handle for submitting requests to a running
+/// [`Service`](crate::Service).
+///
+/// Handles are cheap to clone and safe to use from many threads; every
+/// handle routes a given tenant to the same shard, so a tenant's requests
+/// execute one at a time, in queue order, on one seeded session.
+///
+/// Each method blocks until the service replies; the `submit_*` variants
+/// instead return a [`Pending`] handle so many requests can be kept in
+/// flight. `*_within` variants attach a deadline: the request fails with
+/// [`ServeError::Timeout`] if it expires in the queue or mid-computation
+/// (the timed-out request still consumes the tenant's query indices it
+/// would have, so later results are unaffected).
+#[derive(Clone)]
+pub struct ServeClient {
+    inner: Arc<Inner>,
+}
+
+impl ServeClient {
+    pub(crate) fn new(inner: Arc<Inner>) -> Self {
+        Self { inner }
+    }
+
+    /// Full SPRT verdict for `Pr[cond] > threshold` on `tenant`'s session.
+    pub fn evaluate(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+    ) -> Result<HypothesisOutcome, ServeError> {
+        self.submit_evaluate(tenant, cond, threshold, None)?.wait()
+    }
+
+    /// [`ServeClient::evaluate`] with a deadline.
+    pub fn evaluate_within(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        timeout: Duration,
+    ) -> Result<HypothesisOutcome, ServeError> {
+        self.submit_evaluate(tenant, cond, threshold, Some(timeout))?
+            .wait()
+    }
+
+    /// Pipelined [`ServeClient::evaluate`]: admits the request and returns
+    /// without waiting. `QueueFull`/`Shutdown` surface here, at admission;
+    /// `Timeout`/`Invalid` surface from [`Pending::wait`].
+    pub fn submit_evaluate(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        timeout: Option<Duration>,
+    ) -> Result<Pending<HypothesisOutcome>, ServeError> {
+        let kind = RequestKind::Evaluate {
+            cond: cond.clone(),
+            threshold,
+        };
+        self.submit(tenant, kind, timeout, |r| match r {
+            Response::Outcome(o) => o,
+            _ => unreachable!("evaluate requests yield outcomes"),
+        })
+    }
+
+    /// The paper's conditional: does the evidence support
+    /// `Pr[cond] > threshold`?
+    pub fn pr(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+    ) -> Result<bool, ServeError> {
+        self.submit_pr(tenant, cond, threshold, None)?.wait()
+    }
+
+    /// [`ServeClient::pr`] with a deadline.
+    pub fn pr_within(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        timeout: Duration,
+    ) -> Result<bool, ServeError> {
+        self.submit_pr(tenant, cond, threshold, Some(timeout))?
+            .wait()
+    }
+
+    /// Pipelined [`ServeClient::pr`].
+    pub fn submit_pr(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        timeout: Option<Duration>,
+    ) -> Result<Pending<bool>, ServeError> {
+        let kind = RequestKind::Pr {
+            cond: cond.clone(),
+            threshold,
+        };
+        self.submit(tenant, kind, timeout, |r| match r {
+            Response::Decision(b) => b,
+            _ => unreachable!("pr requests yield decisions"),
+        })
+    }
+
+    /// Expected value of `expr` from `n` joint samples on `tenant`'s
+    /// session.
+    pub fn e(&self, tenant: u64, expr: &Uncertain<f64>, n: usize) -> Result<f64, ServeError> {
+        self.submit_e(tenant, expr, n, None)?.wait()
+    }
+
+    /// [`ServeClient::e`] with a deadline.
+    pub fn e_within(
+        &self,
+        tenant: u64,
+        expr: &Uncertain<f64>,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<f64, ServeError> {
+        self.submit_e(tenant, expr, n, Some(timeout))?.wait()
+    }
+
+    /// Pipelined [`ServeClient::e`].
+    pub fn submit_e(
+        &self,
+        tenant: u64,
+        expr: &Uncertain<f64>,
+        n: usize,
+        timeout: Option<Duration>,
+    ) -> Result<Pending<f64>, ServeError> {
+        let kind = RequestKind::E {
+            expr: expr.clone(),
+            n,
+        };
+        self.submit(tenant, kind, timeout, |r| match r {
+            Response::Mean(m) => m,
+            _ => unreachable!("e requests yield means"),
+        })
+    }
+
+    /// Descriptive summary of `expr` from `n` joint samples.
+    pub fn stats(
+        &self,
+        tenant: u64,
+        expr: &Uncertain<f64>,
+        n: usize,
+    ) -> Result<Summary, ServeError> {
+        self.submit_stats(tenant, expr, n, None)?.wait()
+    }
+
+    /// [`ServeClient::stats`] with a deadline.
+    pub fn stats_within(
+        &self,
+        tenant: u64,
+        expr: &Uncertain<f64>,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<Summary, ServeError> {
+        self.submit_stats(tenant, expr, n, Some(timeout))?.wait()
+    }
+
+    /// Pipelined [`ServeClient::stats`].
+    pub fn submit_stats(
+        &self,
+        tenant: u64,
+        expr: &Uncertain<f64>,
+        n: usize,
+        timeout: Option<Duration>,
+    ) -> Result<Pending<Summary>, ServeError> {
+        let kind = RequestKind::Stats {
+            expr: expr.clone(),
+            n,
+        };
+        self.submit(tenant, kind, timeout, |r| match r {
+            Response::Summary(s) => s,
+            _ => unreachable!("stats requests yield summaries"),
+        })
+    }
+
+    /// Admits one request to its tenant's shard queue.
+    fn submit<T>(
+        &self,
+        tenant: u64,
+        kind: RequestKind,
+        timeout: Option<Duration>,
+        map: fn(Response) -> T,
+    ) -> Result<Pending<T>, ServeError> {
+        if !self.inner.accepting.load(Ordering::SeqCst) {
+            return Err(ServeError::Shutdown);
+        }
+        let shard = &self.inner.shards[shard_of(tenant, self.inner.shards.len())];
+        let deadline = timeout
+            .or(self.inner.config.default_deadline)
+            .map(|t| Instant::now() + t);
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            tenant,
+            kind,
+            deadline,
+            reply: reply_tx,
+        };
+        {
+            let guard = shard.tx.lock().expect("shard sender lock");
+            let Some(tx) = guard.as_ref() else {
+                return Err(ServeError::Shutdown);
+            };
+            // Count the admission before sending so the shard's matching
+            // decrement can never observe a missing increment.
+            shard.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    shard.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    shard.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::QueueFull);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shard.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    return Err(ServeError::Shutdown);
+                }
+            }
+        }
+        // The shard always replies — even to drained-at-shutdown or
+        // timed-out requests. A dropped reply channel therefore means the
+        // worker is gone.
+        Ok(Pending { rx: reply_rx, map })
+    }
+}

@@ -1,0 +1,83 @@
+//! Service topology and policy knobs.
+
+use std::time::Duration;
+use uncertain_core::EvalConfig;
+
+/// Configuration for [`Service::start`](crate::Service::start).
+///
+/// The defaults favor test/bench friendliness (small, deterministic);
+/// production deployments mostly raise `shards`, `queue_depth`, and
+/// `sessions_per_shard`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards. Each shard is one OS thread owning a session pool;
+    /// tenants are hashed across shards by [`shard_of`](crate::shard_of).
+    pub shards: usize,
+    /// Bound of each shard's request queue. A full queue rejects with
+    /// [`ServeError::QueueFull`](crate::ServeError::QueueFull) instead of
+    /// buffering — load is shed at the edge.
+    pub queue_depth: usize,
+    /// How many tenants' sessions one shard keeps live (LRU). Evicted
+    /// tenants keep their determinism (only the query cursor is retained)
+    /// but pay session rebuild + plan recompilation on their next request.
+    pub sessions_per_shard: usize,
+    /// Root seed of the whole service; tenant `t` samples from the
+    /// substream [`tenant_seed`](crate::tenant_seed)`(seed, t)`.
+    pub seed: u64,
+    /// SPRT knobs applied to every tenant session.
+    pub eval: EvalConfig,
+    /// Deadline applied to requests that do not carry their own.
+    /// `None` = requests wait as long as the work takes.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_depth: 128,
+            sessions_per_shard: 32,
+            seed: 0,
+            eval: EvalConfig::default(),
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Returns the config with the given shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns the config with the given per-shard queue bound.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Returns the config with the given per-shard session-pool capacity.
+    pub fn with_sessions_per_shard(mut self, sessions_per_shard: usize) -> Self {
+        self.sessions_per_shard = sessions_per_shard;
+        self
+    }
+
+    /// Returns the config with the given service seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with the given SPRT configuration.
+    pub fn with_eval(mut self, eval: EvalConfig) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// Returns the config with a default per-request deadline.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+}

@@ -1,0 +1,145 @@
+//! Service observability: lock-free per-shard counters and the aggregated
+//! snapshot handed to callers.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+use uncertain_core::CacheStats;
+
+/// Shared mutable counters of one shard. The shard worker owns the write
+/// side (except `queue_depth` and `rejected`, maintained at the client
+/// edge); snapshots read with relaxed ordering — metrics are advisory.
+#[derive(Default)]
+pub(crate) struct ShardStats {
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) requests: AtomicU64,
+    pub(crate) decisions: AtomicU64,
+    pub(crate) sprt_samples: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) cache_evictions: AtomicU64,
+    pub(crate) cache_entries: AtomicU64,
+    pub(crate) cache_capacity: AtomicU64,
+    pub(crate) sessions_live: AtomicUsize,
+    pub(crate) sessions_evicted: AtomicU64,
+}
+
+impl ShardStats {
+    /// Publishes the shard's pool-wide plan-cache totals.
+    pub(crate) fn publish_cache(&self, cache: CacheStats, live: usize, evicted: u64) {
+        self.cache_hits.store(cache.hits, Ordering::Relaxed);
+        self.cache_misses.store(cache.misses, Ordering::Relaxed);
+        self.cache_evictions
+            .store(cache.evictions, Ordering::Relaxed);
+        self.cache_entries
+            .store(cache.entries as u64, Ordering::Relaxed);
+        self.cache_capacity
+            .store(cache.capacity as u64, Ordering::Relaxed);
+        self.sessions_live.store(live, Ordering::Relaxed);
+        self.sessions_evicted.store(evicted, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ShardMetrics {
+        ShardMetrics {
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            decisions: self.decisions.load(Ordering::Relaxed),
+            sprt_samples: self.sprt_samples.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cache: CacheStats {
+                hits: self.cache_hits.load(Ordering::Relaxed),
+                misses: self.cache_misses.load(Ordering::Relaxed),
+                evictions: self.cache_evictions.load(Ordering::Relaxed),
+                entries: self.cache_entries.load(Ordering::Relaxed) as usize,
+                capacity: self.cache_capacity.load(Ordering::Relaxed) as usize,
+            },
+            sessions_live: self.sessions_live.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time counters of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Requests currently queued (admitted, not yet dequeued).
+    pub queue_depth: usize,
+    /// Requests answered, whatever the outcome.
+    pub requests: u64,
+    /// SPRT decisions completed (`evaluate`/`pr` requests that ran to a
+    /// verdict rather than timing out or being rejected as invalid).
+    pub decisions: u64,
+    /// Joint samples drawn by completed SPRT decisions.
+    pub sprt_samples: u64,
+    /// Requests that expired — in the queue or mid-decision.
+    pub timeouts: u64,
+    /// Requests refused at the edge because the queue was full.
+    pub rejected: u64,
+    /// Plan-cache counters summed over the shard's session pool (live
+    /// sessions plus the history of evicted ones).
+    pub cache: CacheStats,
+    /// Tenant sessions currently resident.
+    pub sessions_live: usize,
+    /// Tenant sessions evicted over the shard's lifetime.
+    pub sessions_evicted: u64,
+}
+
+/// A service-wide metrics snapshot: per-shard counters plus the service
+/// uptime they were collected over.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardMetrics>,
+    /// Time since [`Service::start`](crate::Service::start).
+    pub elapsed: Duration,
+}
+
+impl ServeMetrics {
+    /// Total requests answered.
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total SPRT decisions completed.
+    pub fn decisions(&self) -> u64 {
+        self.shards.iter().map(|s| s.decisions).sum()
+    }
+
+    /// Total joint samples drawn by completed decisions.
+    pub fn sprt_samples(&self) -> u64 {
+        self.shards.iter().map(|s| s.sprt_samples).sum()
+    }
+
+    /// Total expired requests.
+    pub fn timeouts(&self) -> u64 {
+        self.shards.iter().map(|s| s.timeouts).sum()
+    }
+
+    /// Total requests shed by full queues.
+    pub fn rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Aggregate decision throughput over the service's lifetime.
+    pub fn decisions_per_sec(&self) -> f64 {
+        self.decisions() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Plan-cache counters summed across every shard's pool.
+    pub fn cache(&self) -> CacheStats {
+        self.shards.iter().map(|s| s.cache).sum()
+    }
+
+    /// Fraction of plan-cache lookups served without recompiling,
+    /// service-wide (`0.0` before any lookup happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache().hit_rate()
+    }
+
+    /// Per-shard queue occupancy, in shard order.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.queue_depth).collect()
+    }
+}

@@ -1,0 +1,400 @@
+//! The service runtime: shard workers, per-shard session pools, request
+//! execution, and lifecycle (start → drain → shutdown).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use uncertain_core::{CacheStats, EvalConfig, HypothesisOutcome, ServeError, Session, Uncertain};
+use uncertain_stats::Summary;
+
+use crate::client::ServeClient;
+use crate::metrics::{ServeMetrics, ShardStats};
+use crate::{tenant_seed, ServeConfig};
+
+/// `e`/`stats` requests draw their samples in fixed chunks of this many
+/// joint samples, checking the deadline between chunks. The chunk size is
+/// part of the service's deterministic contract: each chunk is one session
+/// query, so a request for `n` samples always consumes `ceil(n / CHUNK)`
+/// query indices — regardless of shard count, timing, or whether the
+/// request aborted halfway.
+pub(crate) const SAMPLE_CHUNK: usize = 4096;
+
+/// What a request asks of its tenant's session.
+pub(crate) enum RequestKind {
+    /// Full SPRT verdict for `Pr[cond] > threshold`.
+    Evaluate {
+        cond: Uncertain<bool>,
+        threshold: f64,
+    },
+    /// Boolean form of the same decision (the paper's conditional).
+    Pr {
+        cond: Uncertain<bool>,
+        threshold: f64,
+    },
+    /// Expected value from `n` joint samples.
+    E { expr: Uncertain<f64>, n: usize },
+    /// Descriptive summary from `n` joint samples.
+    Stats { expr: Uncertain<f64>, n: usize },
+}
+
+/// The typed success payload, matched by the client into the per-method
+/// return type.
+pub(crate) enum Response {
+    Outcome(HypothesisOutcome),
+    Decision(bool),
+    Mean(f64),
+    Summary(Summary),
+}
+
+/// One queued request.
+pub(crate) struct Job {
+    pub(crate) tenant: u64,
+    pub(crate) kind: RequestKind,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: SyncSender<Result<Response, ServeError>>,
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard session pool
+// ---------------------------------------------------------------------------
+
+struct PoolEntry {
+    tenant: u64,
+    session: Session,
+    last_used: u64,
+}
+
+/// A bounded LRU pool of tenant sessions plus the query cursors of every
+/// tenant this shard has ever served. The cursor map is what makes
+/// eviction safe: a rebuilt session resumes at its stored cursor and draws
+/// bitwise the stream the evicted one would have.
+struct SessionPool {
+    service_seed: u64,
+    eval: EvalConfig,
+    capacity: usize,
+    entries: Vec<PoolEntry>,
+    cursors: HashMap<u64, u64>,
+    /// Hit/miss/eviction history of evicted sessions' plan caches
+    /// (occupancy fields zeroed — an evicted cache holds nothing).
+    retired_cache: CacheStats,
+    evicted: u64,
+    tick: u64,
+}
+
+impl SessionPool {
+    fn new(service_seed: u64, eval: EvalConfig, capacity: usize) -> Self {
+        Self {
+            service_seed,
+            eval,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            cursors: HashMap::new(),
+            retired_cache: CacheStats::default(),
+            evicted: 0,
+            tick: 0,
+        }
+    }
+
+    /// The tenant's session, rebuilt at its stored cursor if it was
+    /// evicted (or never seen). Evicts the least-recently-used entry when
+    /// the pool is full.
+    fn session(&mut self, tenant: u64) -> &mut Session {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(i) = self.entries.iter().position(|e| e.tenant == tenant) {
+            self.entries[i].last_used = tick;
+            return &mut self.entries[i].session;
+        }
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("pool is non-empty when full");
+            let entry = self.entries.swap_remove(lru);
+            let cursor = entry
+                .session
+                .query_index()
+                .expect("pool sessions are substream-seeded");
+            self.cursors.insert(entry.tenant, cursor);
+            let mut cache = entry.session.cache_stats();
+            cache.entries = 0;
+            cache.capacity = 0;
+            self.retired_cache += cache;
+            self.evicted += 1;
+        }
+        let mut session =
+            Session::seeded(tenant_seed(self.service_seed, tenant)).with_config(self.eval);
+        if let Some(&cursor) = self.cursors.get(&tenant) {
+            session.resume_at(cursor);
+        }
+        self.entries.push(PoolEntry {
+            tenant,
+            session,
+            last_used: tick,
+        });
+        &mut self.entries.last_mut().expect("just pushed").session
+    }
+
+    /// Plan-cache counters over the whole pool: live sessions plus the
+    /// history of evicted ones.
+    fn cache_totals(&self) -> CacheStats {
+        self.retired_cache
+            + self
+                .entries
+                .iter()
+                .map(|e| e.session.cache_stats())
+                .sum::<CacheStats>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard worker
+// ---------------------------------------------------------------------------
+
+fn run_shard(rx: Receiver<Job>, stats: Arc<ShardStats>, config: ServeConfig) {
+    let mut pool = SessionPool::new(config.seed, config.eval, config.sessions_per_shard.max(1));
+    loop {
+        // Drain the queue without blocking; the pool-derived gauges are
+        // O(pool size) to gather, so publish them only at idle boundaries
+        // (and once at exit) rather than per request — a busy shard should
+        // spend its cycles deciding.
+        let job = match rx.try_recv() {
+            Ok(job) => job,
+            Err(TryRecvError::Empty) => {
+                stats.publish_cache(pool.cache_totals(), pool.entries.len(), pool.evicted);
+                // `recv` keeps returning queued jobs after every sender is
+                // dropped, then errors: shutdown drains the queue for free.
+                match rx.recv() {
+                    Ok(job) => job,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        process(&mut pool, &stats, job);
+    }
+    stats.publish_cache(pool.cache_totals(), pool.entries.len(), pool.evicted);
+}
+
+fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
+    let Job {
+        tenant,
+        kind,
+        deadline,
+        reply,
+    } = job;
+    // Expired in the queue: reject without touching the tenant's session
+    // (no query index is consumed — the tenant's stream is exactly as if
+    // the request was never admitted).
+    let result = if expired(deadline) {
+        Err(ServeError::Timeout)
+    } else {
+        let eval = pool.eval;
+        let session = pool.session(tenant);
+        match kind {
+            RequestKind::Evaluate { cond, threshold } => {
+                decide(session, &cond, threshold, &eval, deadline, stats).map(Response::Outcome)
+            }
+            RequestKind::Pr { cond, threshold } => {
+                decide(session, &cond, threshold, &eval, deadline, stats)
+                    .map(|o| Response::Decision(o.accepted))
+            }
+            RequestKind::E { expr, n } => chunked_samples(session, &expr, n, deadline)
+                .map(|samples| Response::Mean(samples.iter().sum::<f64>() / samples.len() as f64)),
+            RequestKind::Stats { expr, n } => chunked_samples(session, &expr, n, deadline)
+                .and_then(|samples| Summary::from_slice(&samples).map_err(ServeError::Invalid))
+                .map(Response::Summary),
+        }
+    };
+    if matches!(result, Err(ServeError::Timeout)) {
+        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    // A dropped receiver means the caller gave up; the work is done either
+    // way, and per-tenant stream state is already consistent.
+    let _ = reply.send(result);
+}
+
+/// One SPRT decision with cooperative deadline checks between batches.
+/// Whether it completes or aborts, it consumes exactly one query index, so
+/// later queries are bitwise unaffected by the abort point.
+fn decide(
+    session: &mut Session,
+    cond: &Uncertain<bool>,
+    threshold: f64,
+    eval: &EvalConfig,
+    deadline: Option<Instant>,
+    stats: &ShardStats,
+) -> Result<HypothesisOutcome, ServeError> {
+    match session.try_evaluate_until(cond, threshold, eval, |_| !expired(deadline)) {
+        Err(e) => Err(ServeError::Invalid(e)),
+        Ok(None) => Err(ServeError::Timeout),
+        Ok(Some(outcome)) => {
+            stats.decisions.fetch_add(1, Ordering::Relaxed);
+            stats
+                .sprt_samples
+                .fetch_add(outcome.samples as u64, Ordering::Relaxed);
+            Ok(outcome)
+        }
+    }
+}
+
+/// Draws `n` joint samples in [`SAMPLE_CHUNK`]-sized queries, checking the
+/// deadline between chunks. Completed or aborted, the session's cursor
+/// ends at `start + ceil(n / SAMPLE_CHUNK)`: the abort point never leaks
+/// into the tenant's later results.
+fn chunked_samples(
+    session: &mut Session,
+    expr: &Uncertain<f64>,
+    n: usize,
+    deadline: Option<Instant>,
+) -> Result<Vec<f64>, ServeError> {
+    if n == 0 {
+        return Err(ServeError::Invalid(uncertain_stats::StatsError::new(
+            "sample requests need n >= 1",
+        )));
+    }
+    let start = session
+        .query_index()
+        .expect("pool sessions are substream-seeded");
+    let total_chunks = n.div_ceil(SAMPLE_CHUNK) as u64;
+    let mut out = Vec::with_capacity(n);
+    let mut remaining = n;
+    while remaining > 0 {
+        if expired(deadline) {
+            session.resume_at(start + total_chunks);
+            return Err(ServeError::Timeout);
+        }
+        let take = remaining.min(SAMPLE_CHUNK);
+        out.extend(session.samples(expr, take));
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+pub(crate) struct ShardHandle {
+    /// `None` once shutdown has begun; taking the sender out is what lets
+    /// the shard's `recv` loop terminate after draining.
+    pub(crate) tx: Mutex<Option<SyncSender<Job>>>,
+    pub(crate) stats: Arc<ShardStats>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) config: ServeConfig,
+    pub(crate) shards: Vec<ShardHandle>,
+    pub(crate) accepting: AtomicBool,
+    pub(crate) started: Instant,
+}
+
+impl Inner {
+    pub(crate) fn metrics(&self) -> ServeMetrics {
+        ServeMetrics {
+            shards: self.shards.iter().map(|s| s.stats.snapshot()).collect(),
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+/// A running sharded evaluation service. See the crate docs for the
+/// architecture; [`Service::client`] hands out cheap cloneable handles,
+/// [`Service::shutdown`] drains and stops it.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Spawns the shard workers and starts accepting requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards`, `config.queue_depth`, or
+    /// `config.sessions_per_shard` is zero — a service with no workers, no
+    /// queue, or no tenancy cannot serve anything.
+    pub fn start(config: ServeConfig) -> Self {
+        assert!(config.shards > 0, "a service needs at least one shard");
+        assert!(config.queue_depth > 0, "request queues need depth >= 1");
+        assert!(
+            config.sessions_per_shard > 0,
+            "shards need room for at least one session"
+        );
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+            let stats = Arc::new(ShardStats::default());
+            let worker_stats = Arc::clone(&stats);
+            let worker_config = config.clone();
+            workers.push(std::thread::spawn(move || {
+                run_shard(rx, worker_stats, worker_config)
+            }));
+            shards.push(ShardHandle {
+                tx: Mutex::new(Some(tx)),
+                stats,
+            });
+        }
+        Self {
+            inner: Arc::new(Inner {
+                config,
+                shards,
+                accepting: AtomicBool::new(true),
+                started: Instant::now(),
+            }),
+            workers,
+        }
+    }
+
+    /// A new client handle. Handles are independent and cheap; all of them
+    /// route a given tenant to the same shard.
+    pub fn client(&self) -> ServeClient {
+        ServeClient::new(Arc::clone(&self.inner))
+    }
+
+    /// A live metrics snapshot. Request/decision counters are exact;
+    /// pool-derived gauges (plan-cache counters, live/evicted sessions)
+    /// refresh when a shard drains its queue, so on a busy shard they can
+    /// lag by the queue depth. [`Service::shutdown`]'s snapshot is exact.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.inner.metrics()
+    }
+
+    /// Graceful shutdown: stops admitting, lets every already-queued
+    /// request run to a real reply (in-flight work is drained, not
+    /// dropped), joins the workers, and returns the final metrics.
+    pub fn shutdown(mut self) -> ServeMetrics {
+        self.stop();
+        self.inner.metrics()
+    }
+
+    fn stop(&mut self) {
+        self.inner.accepting.store(false, Ordering::SeqCst);
+        for shard in &self.inner.shards {
+            shard.tx.lock().expect("shard sender lock").take();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

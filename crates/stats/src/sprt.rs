@@ -347,10 +347,36 @@ impl SequentialTest {
     /// # Panics
     ///
     /// Panics if `gen_batch` returns a batch of the wrong length.
-    pub fn run_batched(&self, mut gen_batch: impl FnMut(usize) -> Vec<bool>) -> TestOutcome {
+    pub fn run_batched(&self, gen_batch: impl FnMut(usize) -> Vec<bool>) -> TestOutcome {
+        self.run_batched_while(gen_batch, |_| true)
+            .expect("unconditional keep_going never aborts")
+    }
+
+    /// [`SequentialTest::run_batched`] with a cooperative abort hook for
+    /// callers that bound a test's wall-clock time (request deadlines in an
+    /// evaluation service).
+    ///
+    /// `keep_going(n)` is consulted before every batch (including the
+    /// first) with the number of samples drawn so far; returning `false`
+    /// abandons the test and the runner yields `None`. When `keep_going`
+    /// stays `true` the outcome — decision, sample count, estimate — is
+    /// exactly the [`SequentialTest::run_batched`] outcome for the same
+    /// sample stream, so the hook never perturbs a test it does not abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gen_batch` returns a batch of the wrong length.
+    pub fn run_batched_while(
+        &self,
+        mut gen_batch: impl FnMut(usize) -> Vec<bool>,
+        mut keep_going: impl FnMut(usize) -> bool,
+    ) -> Option<TestOutcome> {
         let mut n: usize = 0;
         let mut successes: u64 = 0;
         while n < self.max_samples {
+            if !keep_going(n) {
+                return None;
+            }
             let take = self.batch.min(self.max_samples - n);
             let batch = gen_batch(take);
             assert_eq!(
@@ -363,18 +389,18 @@ impl SequentialTest {
             match self.sprt.decide(successes, n as u64) {
                 TestDecision::Continue => continue,
                 decision => {
-                    return TestOutcome {
+                    return Some(TestOutcome {
                         decision,
                         samples: n,
                         successes,
                         estimate: successes as f64 / n as f64,
                         conclusive: true,
-                    }
+                    })
                 }
             }
         }
         let estimate = successes as f64 / n as f64;
-        TestOutcome {
+        Some(TestOutcome {
             decision: if estimate > self.threshold {
                 TestDecision::AcceptAlternative
             } else {
@@ -384,7 +410,7 @@ impl SequentialTest {
             successes,
             estimate,
             conclusive: false,
-        }
+        })
     }
 }
 
@@ -510,6 +536,51 @@ mod tests {
             let batched = t.run_batched(|k| (0..k).map(|_| b.gen::<f64>() < p).collect());
             assert_eq!(serial, batched, "seed {seed} p {p}");
         }
+    }
+
+    #[test]
+    fn run_batched_while_matches_run_batched_when_not_aborted() {
+        let t = SequentialTest::at_threshold(0.5).unwrap();
+        for (seed, p) in [(20, 0.9), (21, 0.55), (22, 0.1), (23, 0.5)] {
+            let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+            let plain = t.run_batched(|k| (0..k).map(|_| a.gen::<f64>() < p).collect());
+            let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+            let gated = t
+                .run_batched_while(|k| (0..k).map(|_| b.gen::<f64>() < p).collect(), |_| true)
+                .unwrap();
+            assert_eq!(plain, gated, "seed {seed} p {p}");
+        }
+    }
+
+    #[test]
+    fn run_batched_while_aborts_between_batches() {
+        // A marginal test (never crosses a boundary early) aborted after
+        // the third batch: the runner stops at a batch edge, having drawn
+        // exactly the samples it was allowed.
+        let t = SequentialTest::with_params(0.5, 0.01, 0.05, 0.05, 10, 100_000).unwrap();
+        let mut drawn = 0usize;
+        let mut alternating = false;
+        let out = t.run_batched_while(
+            |k| {
+                drawn += k;
+                (0..k)
+                    .map(|_| {
+                        alternating = !alternating;
+                        alternating
+                    })
+                    .collect()
+            },
+            |n| n < 30,
+        );
+        assert_eq!(out, None);
+        assert_eq!(drawn, 30, "aborted before the fourth batch");
+    }
+
+    #[test]
+    fn run_batched_while_can_refuse_to_start() {
+        let t = SequentialTest::at_threshold(0.5).unwrap();
+        let out = t.run_batched_while(|_| unreachable!("never sampled"), |_| false);
+        assert_eq!(out, None);
     }
 
     #[test]

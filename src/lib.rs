@@ -24,15 +24,19 @@
 //! # }
 //! ```
 
+#[cfg(feature = "legacy-sampler")]
+pub use uncertain_core::Sampler;
 pub use uncertain_core::{
-    CacheStats, EvalConfig, Evaluator, HypothesisOutcome, InconclusiveError, IntoUncertain,
-    NetworkView, NodeId, NodeMeta, ParSampler, Plan, Sampler, Session, Uncertain, Value,
-    DEFAULT_CACHE_CAPACITY,
+    CacheStats, ConfigError, Error, EvalConfig, EvalConfigBuilder, Evaluator, HypothesisOutcome,
+    InconclusiveError, IntoUncertain, NetworkView, NodeId, NodeMeta, ParSampler, Plan, ServeError,
+    Session, Uncertain, Value, DEFAULT_CACHE_CAPACITY,
 };
+pub use uncertain_serve::{Pending, ServeClient, ServeConfig, ServeMetrics, Service};
 
 pub use uncertain_core as core;
 pub use uncertain_dist as dist;
 pub use uncertain_gps as gps;
 pub use uncertain_life as life;
 pub use uncertain_neural as neural;
+pub use uncertain_serve as serve;
 pub use uncertain_stats as stats;
