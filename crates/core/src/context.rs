@@ -39,6 +39,20 @@ struct SlotEntry {
     value: Option<Box<dyn Any + Send>>,
 }
 
+/// Per-slot cost counters of a profiled plan run
+/// ([`Plan::compile_profiled`](crate::plan)): fresh computations, memo
+/// re-reads, and inclusive closure time.
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SlotCost {
+    /// Closure invocations that computed a fresh value this epoch.
+    pub(crate) draws: u64,
+    /// Closure invocations that served the memoized slot value.
+    pub(crate) hits: u64,
+    /// Total nanoseconds inside the closure (children included).
+    pub(crate) ns: u64,
+}
+
 /// Evaluation state for one joint sample of a network.
 pub(crate) struct SampleContext {
     rng: SmallRng,
@@ -52,6 +66,10 @@ pub(crate) struct SampleContext {
     /// redirect id-keyed memo traffic (from dynamically tree-walked
     /// sub-networks) onto the arena.
     slot_of: Option<Arc<HashMap<NodeId, u32>>>,
+    /// Per-slot cost counters, sized by [`SampleContext::enable_profile`];
+    /// empty (and never touched) outside profiled runs.
+    #[cfg(feature = "obs")]
+    profile: Vec<SlotCost>,
 }
 
 impl SampleContext {
@@ -63,6 +81,46 @@ impl SampleContext {
             slots: Vec::new(),
             epoch: 1,
             slot_of: None,
+            #[cfg(feature = "obs")]
+            profile: Vec::new(),
+        }
+    }
+
+    /// Sizes the per-slot profile counters for a profiled plan run.
+    #[cfg(feature = "obs")]
+    pub(crate) fn enable_profile(&mut self, slot_count: usize) {
+        if self.profile.len() < slot_count {
+            self.profile.resize(slot_count, SlotCost::default());
+        }
+    }
+
+    /// The per-slot profile counters accumulated so far (empty unless
+    /// [`SampleContext::enable_profile`] was called).
+    #[cfg(feature = "obs")]
+    pub(crate) fn profile_slots(&self) -> &[SlotCost] {
+        &self.profile
+    }
+
+    /// Whether `slot` already holds a value for the current epoch — i.e.
+    /// a closure re-entry would be a memo hit, not a fresh draw.
+    #[cfg(feature = "obs")]
+    pub(crate) fn slot_filled(&self, slot: u32) -> bool {
+        self.slots
+            .get(slot as usize)
+            .is_some_and(|e| e.epoch == self.epoch && e.value.is_some())
+    }
+
+    /// Charges one closure invocation of `slot` to the profile counters.
+    /// A no-op when profiling was never enabled for this slot.
+    #[cfg(feature = "obs")]
+    pub(crate) fn profile_record(&mut self, slot: u32, ns: u64, was_hit: bool) {
+        if let Some(cost) = self.profile.get_mut(slot as usize) {
+            if was_hit {
+                cost.hits += 1;
+            } else {
+                cost.draws += 1;
+            }
+            cost.ns += ns;
         }
     }
 

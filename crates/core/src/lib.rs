@@ -79,6 +79,8 @@ mod graph;
 mod logic;
 mod math;
 mod node;
+#[cfg(feature = "obs")]
+mod obs;
 mod ops;
 mod plan;
 mod runtime;
@@ -91,6 +93,8 @@ pub use error::{ConfigError, Error, ServeError};
 pub use evaluator::Evaluator;
 pub use graph::{NetworkView, NodeMeta};
 pub use node::NodeId;
+#[cfg(feature = "obs")]
+pub use obs::{DecisionTrace, KindCost, NodeCost, Profile, Recorder, StoppingReason, TracePoint};
 pub use plan::{ParSampler, Plan};
 pub use runtime::{CacheStats, Session, DEFAULT_CACHE_CAPACITY};
 #[cfg(feature = "legacy-sampler")]
@@ -124,5 +128,7 @@ pub mod prelude {
         HypothesisOutcome, InconclusiveError, IntoUncertain, NetworkView, ParSampler, Plan,
         ServeError, Session, Uncertain,
     };
+    #[cfg(feature = "obs")]
+    pub use crate::{DecisionTrace, Recorder, StoppingReason};
     pub use uncertain_dist::{Continuous, Discrete, Distribution};
 }

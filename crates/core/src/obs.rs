@@ -1,0 +1,302 @@
+//! Observability hooks: SPRT decision traces and per-node cost profiles.
+//!
+//! This module (feature `obs`, default-on) defines the *event types* the
+//! runtime emits and the [`Recorder`] trait that consumes them; the
+//! `uncertain-obs` crate provides ready-made recorders (in-memory trace
+//! logs, JSON-lines export) and the metrics registry the serving stack
+//! builds on.
+//!
+//! Two instruments live here:
+//!
+//! * **Decision traces** — install a [`Recorder`] on a
+//!   [`Session`](crate::Session) and every SPRT decision emits one
+//!   [`DecisionTrace`]: the batch-by-batch log-likelihood-ratio
+//!   trajectory, the Wald boundaries it ran between, samples drawn,
+//!   the [`StoppingReason`], and wall time. This is the paper's Fig. 9
+//!   claim ("draw only as many samples as each conditional needs") made
+//!   observable per decision instead of assertable per benchmark.
+//! * **Cost profiles** — [`Evaluator::profiled`](crate::Evaluator::profiled)
+//!   compiles a plan whose per-node closures are wrapped with timers;
+//!   [`Evaluator::profile`](crate::Evaluator::profile) reports ns and
+//!   draw counts per [`NodeId`], aggregated by node kind — a flamegraph
+//!   for the Bayesian network.
+//!
+//! Both instruments are pay-for-use: a session with no recorder installed
+//! runs one dormant branch per decision, and a non-profiled plan compiles
+//! exactly the closures it always did.
+
+use crate::node::NodeId;
+use std::time::Duration;
+
+/// Consumes instrumentation events from a [`Session`](crate::Session).
+///
+/// Installed with [`Session::install_recorder`](crate::Session::install_recorder);
+/// the session calls [`Recorder::record_decision`] once per completed (or
+/// aborted) SPRT decision, synchronously, on the deciding thread. Keep
+/// implementations cheap — they sit between batches of a hot loop only in
+/// the sense that they run after the verdict; a slow recorder stretches
+/// the caller's wall time, never the sample stream.
+pub trait Recorder: Send {
+    /// One SPRT decision ran to a verdict (or was cooperatively aborted).
+    fn record_decision(&mut self, trace: DecisionTrace);
+}
+
+/// Why an SPRT decision stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoppingReason {
+    /// A Wald boundary was crossed: the alternative (`Pr > threshold`)
+    /// was accepted.
+    Accepted,
+    /// A Wald boundary was crossed: the null was accepted.
+    Rejected,
+    /// The sample cap was reached without crossing a boundary; the
+    /// decision fell back to the empirical estimate (outcome flagged
+    /// inconclusive).
+    BudgetCapped,
+    /// The caller's cooperative deadline hook abandoned the decision
+    /// before a verdict (service request timeout).
+    Aborted,
+}
+
+impl StoppingReason {
+    /// Stable lower-case name, used by the exporters
+    /// (`"accepted"`, `"rejected"`, `"budget_capped"`, `"aborted"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StoppingReason::Accepted => "accepted",
+            StoppingReason::Rejected => "rejected",
+            StoppingReason::BudgetCapped => "budget_capped",
+            StoppingReason::Aborted => "aborted",
+        }
+    }
+}
+
+/// One point of a decision's log-likelihood-ratio trajectory: the
+/// cumulative state after one SPRT batch was absorbed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Cumulative samples drawn after this batch.
+    pub samples: usize,
+    /// Cumulative `true` observations after this batch.
+    pub successes: u64,
+    /// Wald log-likelihood ratio at these counts.
+    pub llr: f64,
+}
+
+/// The full record of one SPRT decision, emitted to a [`Recorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTrace {
+    /// Root node of the decided conditional's network.
+    pub root: NodeId,
+    /// The threshold of `Pr[cond] > threshold`.
+    pub threshold: f64,
+    /// Accept-H₁ boundary `ln((1−β)/α)` the trajectory ran against.
+    pub upper: f64,
+    /// Accept-H₀ boundary `ln(β/(1−α))`.
+    pub lower: f64,
+    /// The batch-by-batch trajectory, in draw order. Empty iff the
+    /// decision was aborted before its first batch.
+    pub batches: Vec<TracePoint>,
+    /// Total samples drawn (equals the outcome's reported `samples` for
+    /// completed decisions; for aborted ones, the samples of completed
+    /// batches).
+    pub samples: usize,
+    /// Total `true` observations.
+    pub successes: u64,
+    /// Empirical estimate `successes / samples` (`0.0` when no sample
+    /// was drawn).
+    pub estimate: f64,
+    /// Why sampling stopped.
+    pub stopping: StoppingReason,
+    /// Wall time from test start to verdict/abort.
+    pub elapsed: Duration,
+}
+
+impl DecisionTrace {
+    /// Whether the decision reached a verdict (was not aborted).
+    pub fn completed(&self) -> bool {
+        self.stopping != StoppingReason::Aborted
+    }
+}
+
+/// Per-node sampling cost of a profiled evaluator run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCost {
+    /// The node.
+    pub id: NodeId,
+    /// Its display label (`"Gaussian(0, 1)"`, `"+"`, `"gt"`, …).
+    pub label: String,
+    /// The label's kind prefix — the label up to its first `(` — used to
+    /// aggregate nodes of the same operator/distribution family.
+    pub kind: String,
+    /// Whether the node is a leaf (a sampling function).
+    pub is_leaf: bool,
+    /// Times the node's closure computed a fresh value (once per joint
+    /// sample that reached it).
+    pub draws: u64,
+    /// Times the closure was re-entered within a joint sample and served
+    /// the memoized slot value instead (shared sub-expressions).
+    pub hits: u64,
+    /// Total wall time inside the node's closure, in nanoseconds.
+    /// **Inclusive** of its children's time, like a flamegraph frame.
+    pub ns: u64,
+}
+
+/// Cost aggregated over every node of one kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindCost {
+    /// The kind prefix shared by the aggregated nodes.
+    pub kind: String,
+    /// How many distinct nodes share it.
+    pub nodes: usize,
+    /// Summed fresh draws.
+    pub draws: u64,
+    /// Summed inclusive nanoseconds.
+    pub ns: u64,
+}
+
+/// A per-node cost profile of a pinned network, from
+/// [`Evaluator::profile`](crate::Evaluator::profile).
+///
+/// Entries are sorted by inclusive time, hottest first. Timings are
+/// inclusive (a parent's time contains its children's), so the profile
+/// reads like a flamegraph of the Bayesian network: the root carries the
+/// whole joint-sample cost and leaves show their own sampling cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Per-node costs, hottest first.
+    pub entries: Vec<NodeCost>,
+    /// Joint samples the profiled evaluator had drawn when the profile
+    /// was taken.
+    pub joint_samples: u64,
+}
+
+impl Profile {
+    /// Inclusive nanoseconds of the hottest node — the root's total in a
+    /// fully-planned network, i.e. the whole sampling cost.
+    pub fn total_ns(&self) -> u64 {
+        self.entries.iter().map(|e| e.ns).max().unwrap_or(0)
+    }
+
+    /// Costs aggregated by node kind, hottest kind first.
+    pub fn by_kind(&self) -> Vec<KindCost> {
+        let mut kinds: Vec<KindCost> = Vec::new();
+        for e in &self.entries {
+            match kinds.iter_mut().find(|k| k.kind == e.kind) {
+                Some(k) => {
+                    k.nodes += 1;
+                    k.draws += e.draws;
+                    k.ns += e.ns;
+                }
+                None => kinds.push(KindCost {
+                    kind: e.kind.clone(),
+                    nodes: 1,
+                    draws: e.draws,
+                    ns: e.ns,
+                }),
+            }
+        }
+        kinds.sort_by_key(|k| std::cmp::Reverse(k.ns));
+        kinds
+    }
+
+    /// A human-readable table of the top `limit` nodes (all of them for
+    /// `limit == 0`).
+    pub fn render(&self, limit: usize) -> String {
+        let take = if limit == 0 {
+            self.entries.len()
+        } else {
+            limit.min(self.entries.len())
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>12} {:>10} {:>8} {:>6}  {}\n",
+            "incl ns", "draws", "hits", "leaf", "node"
+        ));
+        for e in &self.entries[..take] {
+            out.push_str(&format!(
+                "{:>12} {:>10} {:>8} {:>6}  {}\n",
+                e.ns,
+                e.draws,
+                e.hits,
+                if e.is_leaf { "yes" } else { "" },
+                e.label
+            ));
+        }
+        out
+    }
+}
+
+/// The kind prefix of a node label: everything before the first `(`,
+/// trimmed (`"Gaussian(0, 1)"` → `"Gaussian"`, `"+"` → `"+"`).
+pub(crate) fn kind_of(label: &str) -> String {
+    label.split('(').next().unwrap_or(label).trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_strips_parameterization() {
+        assert_eq!(kind_of("Gaussian(0, 1)"), "Gaussian");
+        assert_eq!(kind_of("+"), "+");
+        assert_eq!(kind_of("weight_by (k=4)"), "weight_by");
+    }
+
+    #[test]
+    fn stopping_reason_names_are_stable() {
+        assert_eq!(StoppingReason::Accepted.as_str(), "accepted");
+        assert_eq!(StoppingReason::Rejected.as_str(), "rejected");
+        assert_eq!(StoppingReason::BudgetCapped.as_str(), "budget_capped");
+        assert_eq!(StoppingReason::Aborted.as_str(), "aborted");
+    }
+
+    #[test]
+    fn profile_aggregates_by_kind() {
+        let id = NodeId::fresh();
+        let profile = Profile {
+            entries: vec![
+                NodeCost {
+                    id,
+                    label: "+".into(),
+                    kind: "+".into(),
+                    is_leaf: false,
+                    draws: 10,
+                    hits: 0,
+                    ns: 900,
+                },
+                NodeCost {
+                    id: NodeId::fresh(),
+                    label: "Gaussian(0, 1)".into(),
+                    kind: "Gaussian".into(),
+                    is_leaf: true,
+                    draws: 10,
+                    hits: 0,
+                    ns: 500,
+                },
+                NodeCost {
+                    id: NodeId::fresh(),
+                    label: "Gaussian(2, 3)".into(),
+                    kind: "Gaussian".into(),
+                    is_leaf: true,
+                    draws: 10,
+                    hits: 2,
+                    ns: 300,
+                },
+            ],
+            joint_samples: 10,
+        };
+        let kinds = profile.by_kind();
+        assert_eq!(kinds.len(), 2);
+        assert_eq!(kinds[0].kind, "+");
+        assert_eq!(kinds[1].kind, "Gaussian");
+        assert_eq!(kinds[1].nodes, 2);
+        assert_eq!(kinds[1].draws, 20);
+        assert_eq!(kinds[1].ns, 800);
+        assert_eq!(profile.total_ns(), 900);
+        let table = profile.render(2);
+        assert!(table.contains('+') && table.contains("Gaussian(0, 1)"));
+        assert!(!table.contains("Gaussian(2, 3)"), "limit respected");
+    }
+}

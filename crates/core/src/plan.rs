@@ -47,6 +47,11 @@ pub(crate) struct PlanBuilder {
     slot_of: HashMap<NodeId, u32>,
     compiled: HashMap<NodeId, Box<dyn Any>>,
     next_slot: u32,
+    /// When set, every compiled closure is wrapped with a per-invocation
+    /// timer feeding the context's slot-cost counters
+    /// ([`Plan::compile_profiled`]).
+    #[cfg(feature = "obs")]
+    profiling: bool,
 }
 
 impl PlanBuilder {
@@ -55,6 +60,8 @@ impl PlanBuilder {
             slot_of: HashMap::new(),
             compiled: HashMap::new(),
             next_slot: 0,
+            #[cfg(feature = "obs")]
+            profiling: false,
         }
     }
 
@@ -96,6 +103,22 @@ pub(crate) fn compile_node<T: Value>(
     }
     let slot = builder.assign_slot(id);
     let f = make(builder, slot);
+    #[cfg(feature = "obs")]
+    let f = if builder.profiling {
+        let inner = f;
+        Arc::new(move |ctx: &mut SampleContext| {
+            // Classify before running: if the slot is already filled this
+            // epoch, the closure will serve the memoized value (a re-entry
+            // from a shared parent), not a fresh draw.
+            let was_hit = ctx.slot_filled(slot);
+            let start = std::time::Instant::now();
+            let v = inner(ctx);
+            ctx.profile_record(slot, start.elapsed().as_nanos() as u64, was_hit);
+            v
+        }) as CompiledFn<T>
+    } else {
+        f
+    };
     builder.remember(id, f.clone());
     f
 }
@@ -198,6 +221,31 @@ impl<T: Value> Plan<T> {
             slot_of: Arc::new(builder.slot_of),
             slot_count: builder.next_slot as usize,
         }
+    }
+
+    /// Compiles with per-node cost instrumentation: every slotted node's
+    /// closure is wrapped with a timer that charges inclusive nanoseconds
+    /// and draw/hit counts to the evaluating context's profile counters.
+    /// Sampled values and RNG draw order are bitwise identical to
+    /// [`Plan::compile`]; only wall time changes. Used by
+    /// [`Evaluator::profiled`](crate::Evaluator::profiled).
+    #[cfg(feature = "obs")]
+    pub(crate) fn compile_profiled(network: &Uncertain<T>) -> Self {
+        let mut builder = PlanBuilder::new();
+        builder.profiling = true;
+        let root = network.node().clone().compile(&mut builder);
+        Plan {
+            root,
+            slot_of: Arc::new(builder.slot_of),
+            slot_count: builder.next_slot as usize,
+        }
+    }
+
+    /// The slot assignment: which arena slot each reachable node landed
+    /// in. Profile reporting joins this against the per-slot counters.
+    #[cfg(feature = "obs")]
+    pub(crate) fn slots(&self) -> &HashMap<NodeId, u32> {
+        &self.slot_of
     }
 
     /// Number of arena slots this plan uses — the count of memoizable

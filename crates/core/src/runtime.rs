@@ -35,6 +35,8 @@
 use crate::condition::{EvalConfig, HypothesisOutcome};
 use crate::context::SampleContext;
 use crate::node::{NodeId, NodeInfo};
+#[cfg(feature = "obs")]
+use crate::obs::{DecisionTrace, Recorder, StoppingReason, TracePoint};
 use crate::plan::{sample_batch_sharded, sample_seed, Plan};
 use crate::uncertain::{Uncertain, Value};
 use rand::rngs::StdRng;
@@ -408,6 +410,16 @@ pub struct Session {
     /// The last sequential test built, keyed by the config/threshold that
     /// produced it (the common case: one conditional site re-decided).
     cached_test: Option<(EvalConfig, f64, SequentialTest)>,
+    /// Decision-trace sink. `None` (the default) keeps the SPRT loop on
+    /// its unrecorded fast path — the only residual cost is checking this
+    /// option once per decision and once per batch.
+    #[cfg(feature = "obs")]
+    recorder: Option<Box<dyn Recorder>>,
+    /// Cumulative nanoseconds spent compiling plans on cache misses —
+    /// the "plan-compile" phase of a request, separable from sampling
+    /// time by diffing this counter around a query.
+    #[cfg(feature = "obs")]
+    plan_build_ns: u64,
 }
 
 impl fmt::Debug for Session {
@@ -443,6 +455,10 @@ impl Session {
             ctx: SampleContext::from_seed(0),
             joint_samples: 0,
             cached_test: None,
+            #[cfg(feature = "obs")]
+            recorder: None,
+            #[cfg(feature = "obs")]
+            plan_build_ns: 0,
         }
     }
 
@@ -530,8 +546,61 @@ impl Session {
     }
 
     /// Hit/miss/eviction counters and occupancy of the plan cache.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Session, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let coin = Uncertain::bernoulli(0.9)?;
+    /// let mut session = Session::seeded(7);
+    /// session.pr(&coin, 0.5); // first decision compiles: one miss
+    /// session.pr(&coin, 0.5); // re-decision reuses it:   one hit
+    /// let stats = session.cache_stats();
+    /// assert_eq!((stats.misses, stats.hits), (1, 1));
+    /// assert_eq!(stats.hit_rate(), 0.5);
+    /// assert_eq!(stats.entries, 1);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Installs a [`Recorder`] that receives one [`DecisionTrace`] per
+    /// SPRT decision ([`Session::pr`], [`Session::evaluate`], …),
+    /// returning the previously installed recorder, if any.
+    ///
+    /// Recording changes wall time only — the sample stream, verdicts,
+    /// and every counter are bitwise identical with or without a
+    /// recorder installed.
+    #[cfg(feature = "obs")]
+    pub fn install_recorder(&mut self, recorder: Box<dyn Recorder>) -> Option<Box<dyn Recorder>> {
+        self.recorder.replace(recorder)
+    }
+
+    /// Removes and returns the installed [`Recorder`], restoring the
+    /// unrecorded fast path.
+    #[cfg(feature = "obs")]
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// Builder form of [`Session::install_recorder`].
+    #[cfg(feature = "obs")]
+    pub fn with_recorder(mut self, recorder: impl Recorder + 'static) -> Self {
+        self.recorder = Some(Box::new(recorder));
+        self
+    }
+
+    /// Cumulative nanoseconds this session has spent compiling evaluation
+    /// plans (cache misses only; hits never touch this). Diff the counter
+    /// around a query to attribute its plan-compile phase separately from
+    /// sampling — how the serving stack splits request spans.
+    #[cfg(feature = "obs")]
+    pub fn plan_build_ns(&self) -> u64 {
+        self.plan_build_ns
     }
 
     /// Drops the cached plan for the network rooted at `root`, if present.
@@ -617,8 +686,21 @@ impl Session {
             return plan;
         }
         self.cache.misses += 1;
-        let plan = Arc::new(Plan::compile(u));
+        let plan = Arc::new(self.timed_compile(u));
         self.cache.store(u.id(), plan.clone());
+        plan
+    }
+
+    /// Compiles `u`'s plan, charging the wall time to the session's
+    /// plan-build counter when the `obs` feature is on.
+    fn timed_compile<T: Value>(&mut self, u: &Uncertain<T>) -> Plan<T> {
+        #[cfg(feature = "obs")]
+        let start = std::time::Instant::now();
+        let plan = Plan::compile(u);
+        #[cfg(feature = "obs")]
+        {
+            self.plan_build_ns += start.elapsed().as_nanos() as u64;
+        }
         plan
     }
 
@@ -633,7 +715,7 @@ impl Session {
         if network_depth(u) > MAX_PLAN_DEPTH {
             return Exec::Tree(u.clone());
         }
-        let plan = Arc::new(Plan::compile(u));
+        let plan = Arc::new(self.timed_compile(u));
         self.cache.store(u.id(), plan.clone());
         Exec::Plan(plan)
     }
@@ -820,6 +902,18 @@ impl Session {
             }
         };
         let exec = self.executor(cond);
+        // Tracing state: dormant unless a recorder is installed. The
+        // per-batch tracing work (a success tally and one LLR evaluation)
+        // happens inside the batch generator so the recorded trajectory
+        // is exactly the sequence of states the stopping rule inspected.
+        #[cfg(feature = "obs")]
+        let tracing = self.recorder.is_some();
+        #[cfg(feature = "obs")]
+        let started = tracing.then(std::time::Instant::now);
+        #[cfg(feature = "obs")]
+        let mut points: Vec<TracePoint> = Vec::new();
+        #[cfg(feature = "obs")]
+        let mut traced_successes: u64 = 0;
         let ctx = &mut self.ctx;
         exec.install(ctx);
         let mut q = self.seeds.begin_query();
@@ -827,17 +921,59 @@ impl Session {
         let outcome = test.run_batched_while(
             |k| {
                 drawn += k;
-                (0..k)
+                let batch: Vec<bool> = (0..k)
                     .map(|_| {
                         ctx.reseed(q.next());
                         exec.evaluate(ctx)
                     })
-                    .collect()
+                    .collect();
+                #[cfg(feature = "obs")]
+                if tracing {
+                    traced_successes += batch.iter().filter(|&&b| b).count() as u64;
+                    points.push(TracePoint {
+                        samples: drawn,
+                        successes: traced_successes,
+                        llr: test
+                            .sprt()
+                            .log_likelihood_ratio(traced_successes, drawn as u64),
+                    });
+                }
+                batch
             },
             keep_going,
         );
         // Aborted tests still drew their completed batches; count them.
         self.joint_samples += drawn as u64;
+        #[cfg(feature = "obs")]
+        if tracing {
+            let stopping = match &outcome {
+                None => StoppingReason::Aborted,
+                Some(o) if !o.conclusive => StoppingReason::BudgetCapped,
+                Some(o) if o.decision == TestDecision::AcceptAlternative => {
+                    StoppingReason::Accepted
+                }
+                Some(_) => StoppingReason::Rejected,
+            };
+            let trace = DecisionTrace {
+                root: cond.id(),
+                threshold,
+                upper: test.sprt().upper(),
+                lower: test.sprt().lower(),
+                batches: points,
+                samples: drawn,
+                successes: traced_successes,
+                estimate: if drawn > 0 {
+                    traced_successes as f64 / drawn as f64
+                } else {
+                    0.0
+                },
+                stopping,
+                elapsed: started.map(|s| s.elapsed()).unwrap_or_default(),
+            };
+            if let Some(recorder) = self.recorder.as_mut() {
+                recorder.record_decision(trace);
+            }
+        }
         Ok(outcome.map(|outcome| HypothesisOutcome {
             threshold,
             accepted: outcome.decision == TestDecision::AcceptAlternative,

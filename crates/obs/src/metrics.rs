@@ -1,0 +1,372 @@
+//! Lock-light metric primitives: [`Counter`], [`Gauge`], and a
+//! log-bucketed latency [`LogHistogram`].
+//!
+//! All three are plain structs over atomics — no locks, no allocation on
+//! the hot path, `&self` update methods — so one instance can sit behind
+//! an `Arc` and be hammered from every shard thread. Reads
+//! ([`Counter::get`], [`LogHistogram::snapshot`]) are racy-but-consistent
+//! in the usual metrics sense: each atomic is read once with relaxed
+//! ordering, which is exactly the fidelity a scrape needs.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level that can move both ways (queue depth, live
+/// sessions, cache entries).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the level outright (for gauges published from a snapshot
+    /// rather than maintained incrementally).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` buckets, bounding quantile error at ~1/2^SUB_BITS
+/// (≈12.5%) of the value — plenty for latency percentiles.
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below `2^(SUB_BITS + 1)` get exact single-value buckets.
+const EXACT: u64 = (2 * SUBS) as u64;
+/// Octaves above the exact range for a u64 value space.
+const OCTAVES: usize = 64 - (SUB_BITS as usize + 1);
+const BUCKETS: usize = EXACT as usize + OCTAVES * SUBS;
+
+/// A fixed-size log-bucketed histogram of `u64` observations
+/// (latencies in nanoseconds, sample counts, …).
+///
+/// Buckets are exact below 16 and then geometric with 8 sub-buckets per
+/// power of two, so relative quantile error is bounded at ~12.5%
+/// regardless of magnitude. Recording is one `fetch_add` plus a
+/// `fetch_max` — no locks — and the whole histogram is ~4 KiB.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_obs::LogHistogram;
+///
+/// let h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 1000);
+/// assert_eq!(s.max, 1000);
+/// // Quantiles are approximate but within the bucket's ~12.5% width.
+/// assert!(s.p50 >= 450 && s.p50 <= 560, "p50 = {}", s.p50);
+/// assert!(s.p99 >= 900 && s.p99 <= 1100, "p99 = {}", s.p99);
+/// ```
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index of a value: identity below [`EXACT`], then
+/// `SUB_BITS` mantissa bits after the leading one select the sub-bucket
+/// within the value's octave.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUB_BITS + 1
+    let sub = (v >> (octave - SUB_BITS)) & (SUBS as u64 - 1);
+    EXACT as usize + (octave - (SUB_BITS + 1)) as usize * SUBS + sub as usize
+}
+
+/// A representative value for a bucket: its midpoint, so quantile
+/// estimates are centered rather than biased low.
+fn bucket_value(i: usize) -> u64 {
+    if i < EXACT as usize {
+        return i as u64;
+    }
+    let rel = i - EXACT as usize;
+    let octave = rel / SUBS + (SUB_BITS + 1) as usize;
+    let sub = (rel % SUBS) as u64;
+    let low = (1u64 << octave) + (sub << (octave - SUB_BITS as usize));
+    let width = 1u64 << (octave - SUB_BITS as usize);
+    low + width / 2
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not Copy; build the boxed array through a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets = v.into_boxed_slice().try_into().expect("BUCKETS length");
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time summary with p50/p90/p99 estimates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            // Rank of the q-quantile among `count` observations.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_value(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`LogHistogram`].
+///
+/// `Copy` so aggregate metrics structs stay plain data. Quantiles carry
+/// the histogram's ~12.5% bucket-width error; `count`, `sum`, and `max`
+/// are exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (so `sum / count` is the exact mean).
+    pub sum: u64,
+    /// Largest observation (exact).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of the observations, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Pools two snapshots taken from different histograms (e.g. one per
+    /// shard). `count`, `sum`, and `max` stay exact; pooled quantiles
+    /// take the per-shard maximum, a conservative upper estimate
+    /// (exact when shards are identically loaded).
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            max: self.max.max(other.max),
+            p50: self.p50.max(other.p50),
+            p90: self.p90.max(other.p90),
+            p99: self.p99.max(other.p99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_range_is_identity() {
+        for v in 0..EXACT {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_value(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 2 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index regressed at {v}");
+            assert!(i < BUCKETS);
+            last = i;
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn bucket_value_lands_in_its_own_bucket() {
+        for i in 0..BUCKETS - 1 {
+            let v = bucket_value(i);
+            assert_eq!(bucket_index(v), i, "midpoint of bucket {i} strayed");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = LogHistogram::new();
+        for _ in 0..1000 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        let err = (s.p50 as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(err <= 0.125, "p50 = {}, err = {err}", s.p50);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.mean(), 1_000_000.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        assert_eq!(LogHistogram::new().snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn merge_pools_counts_and_maxes_quantiles() {
+        let a = HistogramSnapshot {
+            count: 10,
+            sum: 100,
+            max: 30,
+            p50: 8,
+            p90: 20,
+            p99: 29,
+        };
+        let b = HistogramSnapshot {
+            count: 5,
+            sum: 500,
+            max: 200,
+            p50: 90,
+            p90: 150,
+            p99: 199,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.count, 15);
+        assert_eq!(m.sum, 600);
+        assert_eq!(m.max, 200);
+        assert_eq!((m.p50, m.p90, m.p99), (90, 150, 199));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.max, 39_999);
+    }
+}

@@ -1,0 +1,169 @@
+//! Prometheus text-exposition rendering (version 0.0.4, the format
+//! every Prometheus-compatible scraper accepts).
+//!
+//! [`PromWriter`] accumulates `# HELP`/`# TYPE` headers and sample
+//! lines; histograms render as the `summary` type with `quantile`
+//! labels plus the exact `_sum`/`_count` series. The writer validates
+//! nothing at runtime — metric names are compile-time string literals
+//! in practice — but escapes label values per the spec.
+
+use std::fmt::Write as _;
+
+use crate::metrics::HistogramSnapshot;
+
+/// Builds one Prometheus text-format scrape body.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_obs::PromWriter;
+///
+/// let mut w = PromWriter::new();
+/// w.counter("requests_total", "Requests accepted.", 42);
+/// w.gauge("queue_depth", "Jobs queued right now.", 3.0);
+/// let body = w.finish();
+/// assert!(body.contains("# TYPE requests_total counter"));
+/// assert!(body.contains("requests_total 42"));
+/// assert!(body.ends_with('\n'));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+/// Escapes a label value per the exposition format: backslash, quote,
+/// and newline.
+fn escape_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+impl PromWriter {
+    /// An empty scrape body.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        // Integral values print without a fraction, as scrapers expect.
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            let _ = writeln!(self.out, " {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
+    /// A `counter` metric with one unlabeled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, &[], value as f64);
+    }
+
+    /// A `gauge` metric with one unlabeled sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// A `gauge` metric with one sample per label set — e.g. one series
+    /// per shard.
+    pub fn gauge_per(&mut self, name: &str, help: &str, label: &str, values: &[(String, f64)]) {
+        self.header(name, help, "gauge");
+        for (key, v) in values {
+            self.sample(name, &[(label, key)], *v);
+        }
+    }
+
+    /// A `summary` metric from a [`HistogramSnapshot`]: `quantile`
+    /// labels for p50/p90/p99 and max (rendered as quantile="1"), plus
+    /// the exact `_sum` and `_count` series.
+    pub fn summary(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.header(name, help, "summary");
+        self.sample(name, &[("quantile", "0.5")], snap.p50 as f64);
+        self.sample(name, &[("quantile", "0.9")], snap.p90 as f64);
+        self.sample(name, &[("quantile", "0.99")], snap.p99 as f64);
+        self.sample(name, &[("quantile", "1")], snap.max as f64);
+        self.sample(&format!("{name}_sum"), &[], snap.sum as f64);
+        self.sample(&format!("{name}_count"), &[], snap.count as f64);
+    }
+
+    /// The finished scrape body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_lines() {
+        let mut w = PromWriter::new();
+        w.counter("a_total", "A.", 7);
+        w.gauge("b", "B.", -2.5);
+        let s = w.finish();
+        assert!(s.contains("# HELP a_total A.\n# TYPE a_total counter\na_total 7\n"));
+        assert!(s.contains("# TYPE b gauge\nb -2.5\n"));
+    }
+
+    #[test]
+    fn summary_emits_quantiles_sum_count() {
+        let snap = HistogramSnapshot {
+            count: 4,
+            sum: 100,
+            max: 60,
+            p50: 20,
+            p90: 50,
+            p99: 58,
+        };
+        let mut w = PromWriter::new();
+        w.summary("latency_ns", "Latency.", &snap);
+        let s = w.finish();
+        assert!(s.contains("# TYPE latency_ns summary"));
+        assert!(s.contains("latency_ns{quantile=\"0.5\"} 20\n"));
+        assert!(s.contains("latency_ns{quantile=\"0.99\"} 58\n"));
+        assert!(s.contains("latency_ns{quantile=\"1\"} 60\n"));
+        assert!(s.contains("latency_ns_sum 100\n"));
+        assert!(s.contains("latency_ns_count 4\n"));
+    }
+
+    #[test]
+    fn per_label_gauges_and_escaping() {
+        let mut w = PromWriter::new();
+        w.gauge_per(
+            "depth",
+            "Depth.",
+            "shard",
+            &[("0".to_string(), 1.0), ("a\"b".to_string(), 2.0)],
+        );
+        let s = w.finish();
+        assert!(s.contains("depth{shard=\"0\"} 1\n"));
+        assert!(s.contains("depth{shard=\"a\\\"b\"} 2\n"));
+        assert_eq!(s.matches("# TYPE depth gauge").count(), 1);
+    }
+}

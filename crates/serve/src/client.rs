@@ -233,6 +233,7 @@ impl ServeClient {
             tenant,
             kind,
             deadline,
+            enqueued: Instant::now(),
             reply: reply_tx,
         };
         {
@@ -242,16 +243,16 @@ impl ServeClient {
             };
             // Count the admission before sending so the shard's matching
             // decrement can never observe a missing increment.
-            shard.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+            shard.stats.queue_depth.inc();
             match tx.try_send(job) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
-                    shard.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    shard.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.queue_depth.dec();
+                    shard.stats.rejected.inc();
                     return Err(ServeError::QueueFull);
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    shard.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    shard.stats.queue_depth.dec();
                     return Err(ServeError::Shutdown);
                 }
             }

@@ -68,6 +68,9 @@ pub use service::Service;
 /// Re-export: the request-failure error (defined in `uncertain-core` so it
 /// participates in the unified [`uncertain_core::Error`]).
 pub use uncertain_core::ServeError;
+/// Re-export: the latency-summary type [`ShardMetrics`] exposes for the
+/// queue-wait / plan-compile / sampling phases of a request.
+pub use uncertain_obs::HistogramSnapshot;
 
 /// SplitMix64 finalizer: the same avalanche the core runtime uses for
 /// substream derivation, applied here to tenant ids and shard routing.

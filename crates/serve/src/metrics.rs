@@ -1,62 +1,72 @@
-//! Service observability: lock-free per-shard counters and the aggregated
-//! snapshot handed to callers.
+//! Service observability, built on the `uncertain-obs` primitives:
+//! lock-light per-shard counters/gauges, log-bucketed latency histograms
+//! splitting each request into queue-wait / plan-compile / sampling time,
+//! and the aggregated snapshot handed to callers — renderable as a
+//! Prometheus scrape body via [`ServeMetrics::render_prometheus`].
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 use uncertain_core::CacheStats;
+use uncertain_obs::{Counter, Gauge, HistogramSnapshot, LogHistogram, PromWriter};
 
-/// Shared mutable counters of one shard. The shard worker owns the write
+/// Shared mutable metrics of one shard. The shard worker owns the write
 /// side (except `queue_depth` and `rejected`, maintained at the client
 /// edge); snapshots read with relaxed ordering — metrics are advisory.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub(crate) struct ShardStats {
-    pub(crate) queue_depth: AtomicUsize,
-    pub(crate) requests: AtomicU64,
-    pub(crate) decisions: AtomicU64,
-    pub(crate) sprt_samples: AtomicU64,
-    pub(crate) timeouts: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) cache_hits: AtomicU64,
-    pub(crate) cache_misses: AtomicU64,
-    pub(crate) cache_evictions: AtomicU64,
-    pub(crate) cache_entries: AtomicU64,
-    pub(crate) cache_capacity: AtomicU64,
-    pub(crate) sessions_live: AtomicUsize,
-    pub(crate) sessions_evicted: AtomicU64,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) requests: Counter,
+    pub(crate) decisions: Counter,
+    pub(crate) sprt_samples: Counter,
+    pub(crate) timeouts: Counter,
+    pub(crate) rejected: Counter,
+    // Pool-derived gauges, published by the shard worker from snapshots.
+    cache_hits: Gauge,
+    cache_misses: Gauge,
+    cache_evictions: Gauge,
+    cache_entries: Gauge,
+    cache_capacity: Gauge,
+    sessions_live: Gauge,
+    sessions_evicted: Gauge,
+    /// Time from admission to dequeue, per request.
+    pub(crate) queue_wait_ns: LogHistogram,
+    /// Plan-compilation time per executed request (0 on a warm cache).
+    pub(crate) compile_ns: LogHistogram,
+    /// Execution time net of compilation, per executed request.
+    pub(crate) sampling_ns: LogHistogram,
 }
 
 impl ShardStats {
     /// Publishes the shard's pool-wide plan-cache totals.
     pub(crate) fn publish_cache(&self, cache: CacheStats, live: usize, evicted: u64) {
-        self.cache_hits.store(cache.hits, Ordering::Relaxed);
-        self.cache_misses.store(cache.misses, Ordering::Relaxed);
-        self.cache_evictions
-            .store(cache.evictions, Ordering::Relaxed);
-        self.cache_entries
-            .store(cache.entries as u64, Ordering::Relaxed);
-        self.cache_capacity
-            .store(cache.capacity as u64, Ordering::Relaxed);
-        self.sessions_live.store(live, Ordering::Relaxed);
-        self.sessions_evicted.store(evicted, Ordering::Relaxed);
+        self.cache_hits.set(cache.hits as i64);
+        self.cache_misses.set(cache.misses as i64);
+        self.cache_evictions.set(cache.evictions as i64);
+        self.cache_entries.set(cache.entries as i64);
+        self.cache_capacity.set(cache.capacity as i64);
+        self.sessions_live.set(live as i64);
+        self.sessions_evicted.set(evicted as i64);
     }
 
     pub(crate) fn snapshot(&self) -> ShardMetrics {
         ShardMetrics {
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            decisions: self.decisions.load(Ordering::Relaxed),
-            sprt_samples: self.sprt_samples.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.get().max(0) as usize,
+            requests: self.requests.get(),
+            decisions: self.decisions.get(),
+            sprt_samples: self.sprt_samples.get(),
+            timeouts: self.timeouts.get(),
+            rejected: self.rejected.get(),
             cache: CacheStats {
-                hits: self.cache_hits.load(Ordering::Relaxed),
-                misses: self.cache_misses.load(Ordering::Relaxed),
-                evictions: self.cache_evictions.load(Ordering::Relaxed),
-                entries: self.cache_entries.load(Ordering::Relaxed) as usize,
-                capacity: self.cache_capacity.load(Ordering::Relaxed) as usize,
+                hits: self.cache_hits.get() as u64,
+                misses: self.cache_misses.get() as u64,
+                evictions: self.cache_evictions.get() as u64,
+                entries: self.cache_entries.get() as usize,
+                capacity: self.cache_capacity.get() as usize,
             },
-            sessions_live: self.sessions_live.load(Ordering::Relaxed),
-            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            sessions_live: self.sessions_live.get() as usize,
+            sessions_evicted: self.sessions_evicted.get() as u64,
+            queue_wait: self.queue_wait_ns.snapshot(),
+            compile: self.compile_ns.snapshot(),
+            sampling: self.sampling_ns.snapshot(),
         }
     }
 }
@@ -84,6 +94,15 @@ pub struct ShardMetrics {
     pub sessions_live: usize,
     /// Tenant sessions evicted over the shard's lifetime.
     pub sessions_evicted: u64,
+    /// Admission-to-dequeue latency, per request (nanoseconds).
+    pub queue_wait: HistogramSnapshot,
+    /// Plan-compilation time per executed request (nanoseconds; 0 when
+    /// every plan came from the session's cache).
+    pub compile: HistogramSnapshot,
+    /// Execution time net of compilation, per executed request
+    /// (nanoseconds) — SPRT sampling for `evaluate`/`pr`, chunked
+    /// drawing for `e`/`stats`.
+    pub sampling: HistogramSnapshot,
 }
 
 /// A service-wide metrics snapshot: per-shard counters plus the service
@@ -141,5 +160,140 @@ impl ServeMetrics {
     /// Per-shard queue occupancy, in shard order.
     pub fn queue_depths(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.queue_depth).collect()
+    }
+
+    /// Tenant sessions resident across all shards.
+    pub fn sessions_live(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions_live).sum()
+    }
+
+    /// Tenant sessions evicted across all shards, lifetime.
+    pub fn sessions_evicted(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_evicted).sum()
+    }
+
+    fn pooled(&self, pick: impl Fn(&ShardMetrics) -> HistogramSnapshot) -> HistogramSnapshot {
+        self.shards
+            .iter()
+            .map(&pick)
+            .fold(HistogramSnapshot::default(), |acc, s| acc.merge(&s))
+    }
+
+    /// Admission-to-dequeue latency pooled over shards (`count`/`sum`/
+    /// `max` exact; quantiles are per-shard maxima, a conservative upper
+    /// estimate).
+    pub fn queue_wait(&self) -> HistogramSnapshot {
+        self.pooled(|s| s.queue_wait)
+    }
+
+    /// Plan-compile time per executed request, pooled over shards.
+    pub fn compile(&self) -> HistogramSnapshot {
+        self.pooled(|s| s.compile)
+    }
+
+    /// Execution time net of compilation, pooled over shards.
+    pub fn sampling(&self) -> HistogramSnapshot {
+        self.pooled(|s| s.sampling)
+    }
+
+    /// The snapshot as a Prometheus text-exposition scrape body
+    /// (format 0.0.4): counters and gauges service-wide, queue depth as
+    /// one series per shard, and the three request-phase latency
+    /// histograms as summaries with p50/p90/p99/max quantiles.
+    pub fn render_prometheus(&self) -> String {
+        let cache = self.cache();
+        let mut w = PromWriter::new();
+        w.counter(
+            "uncertain_requests_total",
+            "Requests answered, whatever the outcome.",
+            self.requests(),
+        );
+        w.counter(
+            "uncertain_decisions_total",
+            "SPRT decisions run to a verdict.",
+            self.decisions(),
+        );
+        w.counter(
+            "uncertain_sprt_samples_total",
+            "Joint samples drawn by completed SPRT decisions.",
+            self.sprt_samples(),
+        );
+        w.counter(
+            "uncertain_timeouts_total",
+            "Requests that expired in the queue or mid-computation.",
+            self.timeouts(),
+        );
+        w.counter(
+            "uncertain_rejected_total",
+            "Requests refused at admission because a queue was full.",
+            self.rejected(),
+        );
+        w.counter(
+            "uncertain_plan_cache_hits_total",
+            "Plan-cache lookups served without recompiling.",
+            cache.hits,
+        );
+        w.counter(
+            "uncertain_plan_cache_misses_total",
+            "Plan-cache lookups that compiled a fresh plan.",
+            cache.misses,
+        );
+        w.counter(
+            "uncertain_plan_cache_evictions_total",
+            "Compiled plans dropped by cache pressure.",
+            cache.evictions,
+        );
+        w.gauge(
+            "uncertain_plan_cache_hit_rate",
+            "Fraction of plan-cache lookups served without recompiling.",
+            self.cache_hit_rate(),
+        );
+        w.gauge(
+            "uncertain_plan_cache_entries",
+            "Compiled plans currently resident across live sessions.",
+            cache.entries as f64,
+        );
+        w.gauge(
+            "uncertain_sessions_live",
+            "Tenant sessions currently resident.",
+            self.sessions_live() as f64,
+        );
+        w.counter(
+            "uncertain_sessions_evicted_total",
+            "Tenant sessions evicted from shard pools.",
+            self.sessions_evicted(),
+        );
+        w.gauge_per(
+            "uncertain_queue_depth",
+            "Requests admitted but not yet dequeued.",
+            "shard",
+            &self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i.to_string(), s.queue_depth as f64))
+                .collect::<Vec<_>>(),
+        );
+        w.summary(
+            "uncertain_queue_wait_ns",
+            "Admission-to-dequeue latency per request.",
+            &self.queue_wait(),
+        );
+        w.summary(
+            "uncertain_compile_ns",
+            "Plan-compilation time per executed request.",
+            &self.compile(),
+        );
+        w.summary(
+            "uncertain_sampling_ns",
+            "Execution time net of compilation per executed request.",
+            &self.sampling(),
+        );
+        w.gauge(
+            "uncertain_uptime_seconds",
+            "Time since the service started.",
+            self.elapsed.as_secs_f64(),
+        );
+        w.finish()
     }
 }

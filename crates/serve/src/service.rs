@@ -55,6 +55,8 @@ pub(crate) struct Job {
     pub(crate) tenant: u64,
     pub(crate) kind: RequestKind,
     pub(crate) deadline: Option<Instant>,
+    /// Admission time, for the queue-wait histogram.
+    pub(crate) enqueued: Instant,
     pub(crate) reply: SyncSender<Result<Response, ServeError>>,
 }
 
@@ -165,14 +167,9 @@ impl SessionPool {
 fn run_shard(rx: Receiver<Job>, stats: Arc<ShardStats>, config: ServeConfig) {
     let mut pool = SessionPool::new(config.seed, config.eval, config.sessions_per_shard.max(1));
     loop {
-        // Drain the queue without blocking; the pool-derived gauges are
-        // O(pool size) to gather, so publish them only at idle boundaries
-        // (and once at exit) rather than per request — a busy shard should
-        // spend its cycles deciding.
         let job = match rx.try_recv() {
             Ok(job) => job,
             Err(TryRecvError::Empty) => {
-                stats.publish_cache(pool.cache_totals(), pool.entries.len(), pool.evicted);
                 // `recv` keeps returning queued jobs after every sender is
                 // dropped, then errors: shutdown drains the queue for free.
                 match rx.recv() {
@@ -182,8 +179,14 @@ fn run_shard(rx: Receiver<Job>, stats: Arc<ShardStats>, config: ServeConfig) {
             }
             Err(TryRecvError::Disconnected) => break,
         };
-        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        stats.queue_depth.dec();
+        stats.queue_wait_ns.record_duration(job.enqueued.elapsed());
         process(&mut pool, &stats, job);
+        // Publish the pool-derived gauges at every request boundary: the
+        // walk is O(pool size), a rounding error next to any request that
+        // drew samples, and it keeps cache/session gauges current on a
+        // shard that never goes idle.
+        stats.publish_cache(pool.cache_totals(), pool.entries.len(), pool.evicted);
     }
     stats.publish_cache(pool.cache_totals(), pool.entries.len(), pool.evicted);
 }
@@ -193,17 +196,21 @@ fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
         tenant,
         kind,
         deadline,
+        enqueued: _,
         reply,
     } = job;
     // Expired in the queue: reject without touching the tenant's session
     // (no query index is consumed — the tenant's stream is exactly as if
-    // the request was never admitted).
+    // the request was never admitted). Such a request contributes only
+    // queue-wait time, not compile/sampling observations.
     let result = if expired(deadline) {
         Err(ServeError::Timeout)
     } else {
         let eval = pool.eval;
         let session = pool.session(tenant);
-        match kind {
+        let work_started = Instant::now();
+        let builds_before = session.plan_build_ns();
+        let result = match kind {
             RequestKind::Evaluate { cond, threshold } => {
                 decide(session, &cond, threshold, &eval, deadline, stats).map(Response::Outcome)
             }
@@ -216,12 +223,23 @@ fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
             RequestKind::Stats { expr, n } => chunked_samples(session, &expr, n, deadline)
                 .and_then(|samples| Summary::from_slice(&samples).map_err(ServeError::Invalid))
                 .map(Response::Summary),
-        }
+        };
+        // Split the request's execution time into its plan-compile share
+        // (the session counts compile nanoseconds monotonically; the delta
+        // is this request's share, 0 on a warm cache) and everything else
+        // — which on this path is sampling.
+        let total_ns = work_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let compile_ns = session.plan_build_ns() - builds_before;
+        stats.compile_ns.record(compile_ns);
+        stats
+            .sampling_ns
+            .record(total_ns.saturating_sub(compile_ns));
+        result
     };
     if matches!(result, Err(ServeError::Timeout)) {
-        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        stats.timeouts.inc();
     }
-    stats.requests.fetch_add(1, Ordering::Relaxed);
+    stats.requests.inc();
     // A dropped receiver means the caller gave up; the work is done either
     // way, and per-tenant stream state is already consistent.
     let _ = reply.send(result);
@@ -242,10 +260,8 @@ fn decide(
         Err(e) => Err(ServeError::Invalid(e)),
         Ok(None) => Err(ServeError::Timeout),
         Ok(Some(outcome)) => {
-            stats.decisions.fetch_add(1, Ordering::Relaxed);
-            stats
-                .sprt_samples
-                .fetch_add(outcome.samples as u64, Ordering::Relaxed);
+            stats.decisions.inc();
+            stats.sprt_samples.add(outcome.samples as u64);
             Ok(outcome)
         }
     }
@@ -368,8 +384,8 @@ impl Service {
 
     /// A live metrics snapshot. Request/decision counters are exact;
     /// pool-derived gauges (plan-cache counters, live/evicted sessions)
-    /// refresh when a shard drains its queue, so on a busy shard they can
-    /// lag by the queue depth. [`Service::shutdown`]'s snapshot is exact.
+    /// refresh at every request boundary, so they lag at most the request
+    /// currently executing. [`Service::shutdown`]'s snapshot is exact.
     pub fn metrics(&self) -> ServeMetrics {
         self.inner.metrics()
     }

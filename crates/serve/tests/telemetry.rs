@@ -1,0 +1,106 @@
+//! Telemetry tests of the service: request-phase latency histograms,
+//! pool-gauge freshness under load, and Prometheus exposition.
+
+use std::time::Duration;
+use uncertain_core::Uncertain;
+use uncertain_serve::{ServeConfig, Service};
+
+fn decisive() -> Uncertain<bool> {
+    Uncertain::bernoulli(0.9).unwrap()
+}
+
+#[test]
+fn request_phase_histograms_cover_every_request() {
+    let service = Service::start(ServeConfig::default().with_shards(2).with_seed(13));
+    let client = service.client();
+    let cond = decisive();
+    const N: u64 = 20;
+    for tenant in 0..4 {
+        for _ in 0..N / 4 {
+            client.evaluate(tenant, &cond, 0.5).unwrap();
+        }
+    }
+    let metrics = service.shutdown();
+
+    // Every answered request was dequeued once and executed once, so each
+    // phase histogram saw exactly one observation per request.
+    assert_eq!(metrics.queue_wait().count, N);
+    assert_eq!(metrics.compile().count, N);
+    assert_eq!(metrics.sampling().count, N);
+    // Four cold sessions compiled a plan; those requests spent real time
+    // compiling, while the 16 warm ones recorded an exact zero.
+    assert!(metrics.compile().max > 0, "cold-cache compiles took time");
+    assert!(
+        metrics.compile().p50 == 0,
+        "most requests hit the plan cache and compiled nothing, p50 = {}",
+        metrics.compile().p50
+    );
+    assert!(metrics.sampling().sum > 0, "SPRT decisions drew samples");
+    // Phase split is consistent per shard: sampling excludes compile.
+    for shard in &metrics.shards {
+        assert_eq!(shard.queue_wait.count, shard.requests);
+        assert_eq!(shard.compile.count, shard.sampling.count);
+    }
+}
+
+#[test]
+fn pool_gauges_are_fresh_at_request_boundaries_under_load() {
+    // A shard that never goes idle must still publish its pool-derived
+    // gauges (cache counters, live sessions) after each request — not
+    // only when its queue drains.
+    let service = Service::start(ServeConfig::default().with_shards(1).with_seed(17));
+    let client = service.client();
+    let slow = Uncertain::from_fn("slow", |rng| {
+        std::thread::sleep(Duration::from_millis(2));
+        rng.next_u32() % 10 < 9
+    });
+
+    // Three pipelined requests keep the worker continuously busy: it goes
+    // straight from one to the next without an idle boundary.
+    let pending: Vec<_> = (0..3)
+        .map(|_| client.submit_evaluate(1, &slow, 0.5, None).unwrap())
+        .collect();
+    let mut pending = pending.into_iter();
+    pending.next().unwrap().wait().unwrap();
+    pending.next().unwrap().wait().unwrap();
+    // The second reply precedes the worker's boundary publication by a
+    // hair; give it a moment, while the third request keeps it busy.
+    std::thread::sleep(Duration::from_millis(20));
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.sessions_live(), 1, "live session gauge is fresh");
+    assert!(
+        metrics.cache().misses >= 1,
+        "the session's plan compile is already visible"
+    );
+    pending.next().unwrap().wait().unwrap();
+    service.shutdown();
+}
+
+#[test]
+fn prometheus_rendering_reports_the_scrape_series() {
+    let service = Service::start(ServeConfig::default().with_shards(2).with_seed(19));
+    let client = service.client();
+    let cond = decisive();
+    for tenant in 0..4 {
+        client.evaluate(tenant, &cond, 0.5).unwrap();
+    }
+    let metrics = service.shutdown();
+    let body = metrics.render_prometheus();
+
+    assert!(body.contains("# TYPE uncertain_requests_total counter"));
+    assert!(body.contains("uncertain_requests_total 4\n"));
+    assert!(body.contains("uncertain_decisions_total 4\n"));
+    assert!(body.contains("# TYPE uncertain_queue_wait_ns summary"));
+    assert!(body.contains("uncertain_queue_wait_ns{quantile=\"0.99\"}"));
+    assert!(body.contains("uncertain_queue_wait_ns_count 4\n"));
+    assert!(body.contains("uncertain_compile_ns_count 4\n"));
+    assert!(body.contains("uncertain_sampling_ns_count 4\n"));
+    assert!(body.contains("uncertain_plan_cache_misses_total 4\n"));
+    assert!(body.contains("uncertain_sessions_live 4\n"));
+    // One queue-depth series per shard, all drained.
+    assert!(body.contains("uncertain_queue_depth{shard=\"0\"} 0\n"));
+    assert!(body.contains("uncertain_queue_depth{shard=\"1\"} 0\n"));
+    // Every series the exposition format requires is newline-terminated.
+    assert!(body.ends_with('\n'));
+}

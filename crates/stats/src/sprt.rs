@@ -138,6 +138,18 @@ impl Sprt {
         self.beta
     }
 
+    /// The accept-H₁ boundary `ln((1−β)/α)`: the test stops and accepts
+    /// the alternative once the log-likelihood ratio reaches this value.
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// The accept-H₀ boundary `ln(β/(1−α))`: the test stops and accepts
+    /// the null once the log-likelihood ratio falls to this value.
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
     /// The log-likelihood ratio after observing `successes` out of `n`
     /// Bernoulli samples.
     pub fn log_likelihood_ratio(&self, successes: u64, n: u64) -> f64 {

@@ -9,7 +9,9 @@
 //! * `stats` ([`uncertain_stats`]) — hypothesis tests and statistics,
 //! * `gps` ([`uncertain_gps`]) — the GPS-Walking case study (§5.1),
 //! * `life` ([`uncertain_life`]) — the SensorLife case study (§5.2),
-//! * `neural` ([`uncertain_neural`]) — the Parakeet case study (§5.3).
+//! * `neural` ([`uncertain_neural`]) — the Parakeet case study (§5.3),
+//! * `obs` ([`uncertain_obs`]) — decision traces, metrics, exporters,
+//! * `serve` ([`uncertain_serve`]) — the sharded evaluation service.
 //!
 //! # Examples
 //!
@@ -27,10 +29,12 @@
 #[cfg(feature = "legacy-sampler")]
 pub use uncertain_core::Sampler;
 pub use uncertain_core::{
-    CacheStats, ConfigError, Error, EvalConfig, EvalConfigBuilder, Evaluator, HypothesisOutcome,
-    InconclusiveError, IntoUncertain, NetworkView, NodeId, NodeMeta, ParSampler, Plan, ServeError,
-    Session, Uncertain, Value, DEFAULT_CACHE_CAPACITY,
+    CacheStats, ConfigError, DecisionTrace, Error, EvalConfig, EvalConfigBuilder, Evaluator,
+    HypothesisOutcome, InconclusiveError, IntoUncertain, NetworkView, NodeId, NodeMeta, ParSampler,
+    Plan, Profile, Recorder, ServeError, Session, StoppingReason, TracePoint, Uncertain, Value,
+    DEFAULT_CACHE_CAPACITY,
 };
+pub use uncertain_obs::{PromWriter, TraceLog};
 pub use uncertain_serve::{Pending, ServeClient, ServeConfig, ServeMetrics, Service};
 
 pub use uncertain_core as core;
@@ -38,5 +42,6 @@ pub use uncertain_dist as dist;
 pub use uncertain_gps as gps;
 pub use uncertain_life as life;
 pub use uncertain_neural as neural;
+pub use uncertain_obs as obs;
 pub use uncertain_serve as serve;
 pub use uncertain_stats as stats;
