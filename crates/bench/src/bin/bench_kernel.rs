@@ -1,0 +1,164 @@
+//! Measures the columnar batch kernel against the closure-compiled plan
+//! on the SPRT hot path — batched sampling of the same network, same
+//! seeds, same substream indexing — and appends one machine-readable JSON
+//! line per (workload, batch size) to `BENCH_kernel.json` (in the working
+//! directory).
+//!
+//! Three workloads spanning the shapes the kernel targets:
+//!
+//! - `fig9_gps`: the literal Fig. 9 conditional (`Speed < 4 mph` from two
+//!   ε = 4 m fixes), transcendental-heavy with shared subexpressions.
+//! - `evidence_chain`: the 159-node chain the `bench_plan`/`bench_serve`
+//!   family uses — long dependency chains, cheap per-node math.
+//! - `wide_dag`: a 129-node network: a balanced reduction over 64 Gaussian leaves —
+//!   maximum instruction-level breadth per tape step.
+//!
+//! Both paths draw identical sample streams (asserted bitwise before
+//! timing), so the speedup column is pure evaluation-strategy delta:
+//! register-tape columns and per-instruction loops versus one nested
+//! closure call tree per sample.
+//!
+//! Run `cargo run --release --bin bench_kernel`; `--quick` (or `QUICK=1`)
+//! shrinks the sample budget for smoke runs.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use uncertain_bench::{header, scaled};
+use uncertain_core::{Evaluator, ParSampler, Uncertain};
+use uncertain_gps::{uncertain_speed, GeoCoordinate, GpsReading, MPS_TO_MPH};
+
+const SEED: u64 = 2014;
+
+/// The literal Fig. 9 evidence network: walking at a true 3 mph with
+/// ε = 4 m GPS fixes, asking the paper's `Speed < 4` question.
+fn fig9_gps() -> Uncertain<bool> {
+    let start = GeoCoordinate::new(47.6, -122.3);
+    let end = start.destination(3.0 / MPS_TO_MPH, 90.0);
+    let a = GpsReading::new(start, 4.0).expect("valid accuracy");
+    let b = GpsReading::new(end, 4.0).expect("valid accuracy");
+    uncertain_speed(&a, &b, 1.0).lt(4.0)
+}
+
+/// The `3n + 9`-node evidence conditional of `bench_serve` (159 nodes at
+/// n = 50): long chains of scalar ops over two shared Gaussian leaves.
+fn evidence_chain(n: usize) -> Uncertain<bool> {
+    let x = Uncertain::normal(0.0, 1.0).unwrap();
+    let y = Uncertain::normal(1.0, 2.0).unwrap();
+    let mut left = x.clone();
+    let mut right = y.clone();
+    for _ in 0..n {
+        left = left + &x;
+        right = right * 0.99 + &y;
+    }
+    let a = left.lt(&(right + 40.0 + 8.0 * n as f64));
+    let b = (&x + &y).gt(-10.0);
+    &a & &b
+}
+
+/// A balanced binary reduction over `width` Gaussian leaves compared
+/// against a threshold: wide layers of independent adds, the best case
+/// for columnar evaluation.
+fn wide_dag(width: usize) -> Uncertain<bool> {
+    let mut layer: Vec<Uncertain<f64>> = (0..width)
+        .map(|i| Uncertain::normal(i as f64 * 0.1, 1.0).unwrap())
+        .collect();
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|pair| {
+                if let [a, b] = pair {
+                    a + b
+                } else {
+                    pair[0].clone()
+                }
+            })
+            .collect();
+    }
+    let sum = layer.pop().expect("non-empty reduction");
+    sum.gt(0.0)
+}
+
+/// Median ns/sample over `reps` timed repetitions, each drawing
+/// `batches × batch` samples through `run`.
+fn median_ns(reps: usize, batches: usize, batch: usize, mut run: impl FnMut(usize)) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batches {
+                run(batch);
+            }
+            start.elapsed().as_nanos() as f64 / (batches * batch) as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    times[times.len() / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("QUICK", "1");
+    }
+    header("Columnar kernel vs closure plan: batched sampling (appends BENCH_kernel.json)");
+    // Per-repetition sample budget; batches = budget / batch size.
+    let budget = scaled(262_144, 8_192);
+    let reps = 7;
+    let stamp = SystemTime::now().duration_since(UNIX_EPOCH)?.as_secs();
+    let mut out = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_kernel.json")?;
+
+    let workloads: [(&str, Uncertain<bool>); 3] = [
+        ("fig9_gps", fig9_gps()),
+        ("evidence_chain", evidence_chain(50)),
+        ("wide_dag", wide_dag(64)),
+    ];
+
+    let mut records = 0usize;
+    for (workload, net) in &workloads {
+        // Determinism witness first: the two paths must agree bitwise
+        // before their timings are comparable at all.
+        let reference = ParSampler::with_threads(net, SEED, 1).sample_batch(10_000);
+        let columnar = Evaluator::new(net, SEED).sample_batch(10_000);
+        assert_eq!(reference, columnar, "kernel and closure paths disagree");
+
+        println!("\n[{workload}] ({} nodes)", net.network().node_count());
+        println!(
+            "{:>6} {:>14} {:>14} {:>9}",
+            "batch", "closure ns", "kernel ns", "speedup"
+        );
+        for batch in [32usize, 256, 4096] {
+            let batches = (budget / batch).max(1);
+
+            let mut closure = ParSampler::with_threads(net, SEED, 1);
+            closure.sample_batch(batch); // warm
+            let closure_ns = median_ns(reps, batches, batch, |k| {
+                let _ = closure.sample_batch(k);
+            });
+
+            let mut eval = Evaluator::new(net, SEED);
+            let mut buf = Vec::with_capacity(batch);
+            eval.sample_batch_into(&mut buf, batch); // warm
+            let kernel_ns = median_ns(reps, batches, batch, |k| {
+                eval.sample_batch_into(&mut buf, k);
+            });
+
+            let speedup = closure_ns / kernel_ns;
+            println!("{batch:>6} {closure_ns:>14.1} {kernel_ns:>14.1} {speedup:>8.2}x");
+            writeln!(
+                out,
+                "{{\"bench\":\"kernel_columnar\",\"workload\":\"{workload}\",\
+                 \"unix_time\":{stamp},\"nodes\":{nodes},\"batch\":{batch},\
+                 \"samples\":{samples},\"threads\":1,\
+                 \"closure_ns_per_sample\":{closure_ns:.2},\
+                 \"kernel_ns_per_sample\":{kernel_ns:.2},\"speedup\":{speedup:.3}}}",
+                nodes = net.network().node_count(),
+                samples = batches * batch,
+            )?;
+            records += 1;
+        }
+    }
+    println!("\nappended {records} records to BENCH_kernel.json");
+    Ok(())
+}

@@ -3,8 +3,8 @@
 //! `BENCH_plan.json` (in the working directory), so the speedup is
 //! checkable without parsing Criterion output.
 //!
-//! Run `cargo run --release --bin bench_plan`; `QUICK=1` shrinks the
-//! sample budget for smoke runs.
+//! Run `cargo run --release --bin bench_plan`; `--quick` (or `QUICK=1`)
+//! shrinks the sample budget for smoke runs.
 
 use std::fs::OpenOptions;
 use std::io::Write;
@@ -43,6 +43,9 @@ fn median_ns(reps: usize, iters: usize, mut run: impl FnMut(usize)) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("QUICK", "1");
+    }
     header("Compiled plan vs tree-walk (appends BENCH_plan.json)");
     let iters = scaled(20_000, 2_000);
     let reps = 7;

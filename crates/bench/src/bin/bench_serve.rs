@@ -14,14 +14,15 @@
 //! Two workloads, because the capacity mechanism's headroom is exactly
 //! the workload's cold/hot decision-cost ratio:
 //!
-//! - `evidence_chain`: a 158-node GPS-flavored evidence conditional (the
+//! - `evidence_chain`: a 159-node GPS-flavored evidence conditional (the
 //!   `bench_session`/`bench_plan` family), where plan compilation
 //!   dominates a decision. This is where sharding's capacity effect
-//!   shows: ≳2× decision throughput from 1 → 4 shards.
+//!   shows: ≳4× decision throughput from 1 → 4 shards.
 //! - `fig9_gps`: the literal Fig. 9 network (`Speed < 4 mph` on the GPS
-//!   walking evidence). Its per-sample cost is transcendental-heavy, so
-//!   sampling — which caching cannot amortize — dominates and bounds the
-//!   capacity win at its raw cold/hot ratio (~1.2–1.4× on one core).
+//!   walking evidence). Transcendental-heavy sampling used to bound its
+//!   capacity win near the raw cold/hot ratio (~1.2–1.4× on one core);
+//!   the columnar batch kernel cut hot sampling several-fold, so cache
+//!   residency is now worth ≳3× here too.
 //!
 //! Also reports closed-loop tail latency under saturation (4 client
 //! threads), and checks the service's determinism contract: per-tenant

@@ -9,7 +9,7 @@
 //! with the cache disabled ([`Session::with_cache_capacity`] 0), paying a
 //! fresh compile per decision — the cost every pre-session call site paid.
 //!
-//! Run `cargo run --release --bin bench_session`; `QUICK=1` shrinks the
+//! Run `cargo run --release --bin bench_session`; `--quick` (or `QUICK=1`) shrinks the
 //! repetition budget for smoke runs.
 
 use std::fs::OpenOptions;
@@ -52,6 +52,9 @@ fn median_ns(reps: usize, iters: usize, mut run: impl FnMut(usize)) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("QUICK", "1");
+    }
     header("Session plan cache: repeated decisions, cached vs uncached");
     let iters = scaled(2_000, 200);
     let reps = 7;

@@ -8,6 +8,7 @@
 //! the condition (paper §3.4, Fig. 9) — which the conditional operators in
 //! [`crate::condition`] then decide with a hypothesis test.
 
+use crate::kernel::{cmp_tag_for, CmpOp};
 use crate::uncertain::{IntoUncertain, Uncertain, Value};
 
 impl<T: Value + PartialOrd> Uncertain<T> {
@@ -30,22 +31,26 @@ impl<T: Value + PartialOrd> Uncertain<T> {
     /// # }
     /// ```
     pub fn gt(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
-        self.map2(">", &other.into_uncertain(), |a, b| a > b)
+        let tag = cmp_tag_for::<T>(CmpOp::Gt);
+        self.map2_tagged(">", &other.into_uncertain(), tag, |a, b| a > b)
     }
 
     /// Evidence that `self < other`.
     pub fn lt(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
-        self.map2("<", &other.into_uncertain(), |a, b| a < b)
+        let tag = cmp_tag_for::<T>(CmpOp::Lt);
+        self.map2_tagged("<", &other.into_uncertain(), tag, |a, b| a < b)
     }
 
     /// Evidence that `self ≥ other`.
     pub fn ge(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
-        self.map2(">=", &other.into_uncertain(), |a, b| a >= b)
+        let tag = cmp_tag_for::<T>(CmpOp::Ge);
+        self.map2_tagged(">=", &other.into_uncertain(), tag, |a, b| a >= b)
     }
 
     /// Evidence that `self ≤ other`.
     pub fn le(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
-        self.map2("<=", &other.into_uncertain(), |a, b| a <= b)
+        let tag = cmp_tag_for::<T>(CmpOp::Le);
+        self.map2_tagged("<=", &other.into_uncertain(), tag, |a, b| a <= b)
     }
 
     /// Evidence that `lo ≤ self ≤ hi` — the banded comparison used where
@@ -68,13 +73,15 @@ impl<T: Value + PartialEq> Uncertain<T> {
     /// [`Uncertain::rounds_to`] (counts); this exact form is intended for
     /// genuinely discrete `T`.
     pub fn eq_exact(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
-        self.map2("==", &other.into_uncertain(), |a, b| a == b)
+        let tag = cmp_tag_for::<T>(CmpOp::Eq);
+        self.map2_tagged("==", &other.into_uncertain(), tag, |a, b| a == b)
     }
 
     /// Evidence that `self != other`, sample by sample. See
     /// [`Uncertain::eq_exact`] for the continuous-type caveat.
     pub fn ne_exact(&self, other: impl IntoUncertain<T>) -> Uncertain<bool> {
-        self.map2("!=", &other.into_uncertain(), |a, b| a != b)
+        let tag = cmp_tag_for::<T>(CmpOp::Ne);
+        self.map2_tagged("!=", &other.into_uncertain(), tag, |a, b| a != b)
     }
 }
 

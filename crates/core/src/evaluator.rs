@@ -13,6 +13,7 @@
 
 use crate::condition::{EvalConfig, HypothesisOutcome};
 use crate::context::SampleContext;
+use crate::kernel::{Kernel, KernelState, KERNEL_CHUNK};
 #[cfg(feature = "obs")]
 use crate::obs::{kind_of, NodeCost, Profile};
 use crate::plan::{sample_seed, Plan};
@@ -48,6 +49,14 @@ use uncertain_stats::{SequentialTest, StatsError, TestDecision};
 pub struct Evaluator<T> {
     network: Uncertain<T>,
     plan: Arc<Plan<T>>,
+    /// The columnar twin of `plan`, when every reachable node lowers to
+    /// the instruction tape. Batch draws run here; `None` falls back to
+    /// the closure path.
+    kernel: Option<Arc<Kernel<T>>>,
+    /// Lazily-allocated register file for `kernel`, reused across batches.
+    kernel_state: Option<KernelState>,
+    /// Reusable per-chunk seed buffer for the kernel path.
+    seed_buf: Vec<u64>,
     ctx: SampleContext,
     seed: u64,
     samples_drawn: u64,
@@ -98,17 +107,30 @@ impl<T: Value> Evaluator<T> {
     /// # }
     /// ```
     pub fn from_session(session: &mut Session, network: &Uncertain<T>) -> Self {
-        let plan = session.cached_plan(network);
+        let (plan, kernel) = session.cached_compiled(network);
         let seed = session.derive_seed();
-        Self::with_plan(network.clone(), plan, seed)
+        Self::with_parts(network.clone(), plan, kernel, seed)
     }
 
     fn with_plan(network: Uncertain<T>, plan: Arc<Plan<T>>, seed: u64) -> Self {
+        let kernel = Kernel::lower(&network).map(Arc::new);
+        Self::with_parts(network, plan, kernel, seed)
+    }
+
+    fn with_parts(
+        network: Uncertain<T>,
+        plan: Arc<Plan<T>>,
+        kernel: Option<Arc<Kernel<T>>>,
+        seed: u64,
+    ) -> Self {
         let mut ctx = SampleContext::from_seed(seed);
         plan.install(&mut ctx);
         Self {
             network,
             plan,
+            kernel,
+            kernel_state: None,
+            seed_buf: Vec::new(),
             ctx,
             seed,
             samples_drawn: 0,
@@ -132,14 +154,42 @@ impl<T: Value> Evaluator<T> {
     /// number of threads.
     pub fn sample_batch(&mut self, n: usize) -> Vec<T> {
         let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            self.ctx
-                .reseed(sample_seed(self.seed, self.batch_cursor + i as u64));
-            out.push(self.plan.evaluate(&mut self.ctx));
+        self.sample_batch_into(&mut out, n);
+        out
+    }
+
+    /// [`Evaluator::sample_batch`] into a caller-owned buffer: clears
+    /// `out`, then fills it with the next `n` samples of the indexed batch
+    /// stream. Steady-state callers (an SPRT pulling a batch per stopping
+    /// check) reuse one buffer instead of allocating a `Vec` per batch.
+    ///
+    /// On networks the columnar kernel can express, the batch runs as
+    /// column-at-a-time instruction loops; otherwise it falls back to the
+    /// per-sample closure path. Both produce bitwise-identical streams.
+    pub fn sample_batch_into(&mut self, out: &mut Vec<T>, n: usize) {
+        out.clear();
+        out.reserve(n);
+        if let Some(kernel) = self.kernel.clone() {
+            let state = self.kernel_state.get_or_insert_with(|| kernel.new_state());
+            let mut done = 0;
+            while done < n {
+                let take = KERNEL_CHUNK.min(n - done);
+                let base = self.batch_cursor + done as u64;
+                self.seed_buf.clear();
+                self.seed_buf
+                    .extend((0..take as u64).map(|i| sample_seed(self.seed, base + i)));
+                kernel.run_into(&self.seed_buf, state, out);
+                done += take;
+            }
+        } else {
+            for i in 0..n {
+                self.ctx
+                    .reseed(sample_seed(self.seed, self.batch_cursor + i as u64));
+                out.push(self.plan.evaluate(&mut self.ctx));
+            }
         }
         self.batch_cursor += n as u64;
         self.samples_drawn += n as u64;
-        out
     }
 
     /// Compiles `network` in **profiling mode**: every slotted node's
@@ -170,7 +220,9 @@ impl<T: Value> Evaluator<T> {
     #[cfg(feature = "obs")]
     pub fn profiled(network: &Uncertain<T>, seed: u64) -> Self {
         let plan = Arc::new(Plan::compile_profiled(network));
-        let mut eval = Self::with_plan(network.clone(), plan, seed);
+        // No kernel: the per-node timers live in the plan's closures, so a
+        // profiled evaluator must route batches through them too.
+        let mut eval = Self::with_parts(network.clone(), plan, None, seed);
         eval.ctx.enable_profile(eval.plan.slot_count());
         eval
     }
@@ -214,6 +266,56 @@ impl<T: Value> Evaluator<T> {
         })
     }
 
+    /// Profiles the **columnar kernel** over the next `n` samples of the
+    /// indexed batch stream: runs the tape with a timer around every
+    /// instruction's column pass and reports exclusive per-instruction
+    /// costs. Returns `None` when the network has a node the tape cannot
+    /// express (see [`Evaluator::profiled`] for the closure-path profile,
+    /// which covers every network).
+    ///
+    /// The drawn samples advance the batch cursor exactly like
+    /// [`Evaluator::sample_batch`], so the stream stays reproducible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{Evaluator, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let x = Uncertain::normal(0.0, 1.0)?;
+    /// let expr = (&x + &x).gt(0.0);
+    /// let mut eval = Evaluator::new(&expr, 7);
+    /// let profile = eval.kernel_profile(1024).expect("tape-expressible");
+    /// assert_eq!(profile.samples, 1024);
+    /// assert_eq!(profile.instrs.len(), 4); // x, +, point(0), >
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[cfg(feature = "obs")]
+    pub fn kernel_profile(&mut self, n: usize) -> Option<crate::obs::KernelProfile> {
+        let kernel = match &self.kernel {
+            Some(k) => Arc::clone(k),
+            None => Arc::new(Kernel::lower(&self.network)?),
+        };
+        let mut state = kernel.new_state();
+        let mut ns = vec![0u64; kernel.len()];
+        let mut out: Vec<T> = Vec::with_capacity(KERNEL_CHUNK.min(n));
+        let mut done = 0;
+        while done < n {
+            let take = KERNEL_CHUNK.min(n - done);
+            let base = self.batch_cursor + done as u64;
+            self.seed_buf.clear();
+            self.seed_buf
+                .extend((0..take as u64).map(|i| sample_seed(self.seed, base + i)));
+            out.clear();
+            kernel.run_profiled_into(&self.seed_buf, &mut state, &mut out, &mut ns);
+            done += take;
+        }
+        self.batch_cursor += n as u64;
+        self.samples_drawn += n as u64;
+        Some(kernel.profile(&ns, n as u64))
+    }
+
     /// Joint samples drawn so far.
     pub fn samples_drawn(&self) -> u64 {
         self.samples_drawn
@@ -254,7 +356,16 @@ impl Evaluator<bool> {
                 test
             }
         };
-        let outcome = test.run_batched(|k| self.sample_batch(k));
+        let mut buf: Vec<bool> = Vec::new();
+        let outcome = test
+            .run_counted_while(
+                |k| {
+                    self.sample_batch_into(&mut buf, k);
+                    buf.iter().filter(|&&b| b).count() as u64
+                },
+                |_| true,
+            )
+            .expect("unconditional keep_going never aborts");
         Ok(HypothesisOutcome {
             threshold,
             accepted: outcome.decision == TestDecision::AcceptAlternative,

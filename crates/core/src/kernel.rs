@@ -1,0 +1,801 @@
+//! The columnar batch backend: a network lowered to a flat instruction
+//! tape and evaluated column-wise (one operation over a whole batch).
+//!
+//! [`Plan`](crate::Plan) evaluates one joint sample at a time through a
+//! tree of boxed closures — per sample per node it pays virtual dispatch,
+//! slot-epoch bookkeeping, and memo probes. The SPRT hot path never wants
+//! one sample; it wants a *batch*. A [`Kernel`] is the batch-shaped
+//! compilation of the same network:
+//!
+//! * **Tape**: a post-order walk over the deduplicated DAG emits one
+//!   SSA-style instruction per [`NodeId`]. Shared sub-expressions (the
+//!   paper's Fig. 8) fall out for free — a node reached twice is lowered
+//!   once and both parents read its register.
+//! * **Registers**: structure-of-arrays column buffers (`Vec<f64>`,
+//!   `Vec<bool>`, or `Vec<T>` for opaque values), one per instruction.
+//!   Because emission is post-order, an instruction's destination index is
+//!   strictly greater than its sources' — `split_at_mut` gives the
+//!   disjoint mutable/shared views without unsafe code.
+//! * **Leaves** fill their column from per-sample-index RNGs seeded by the
+//!   same SplitMix64 substream derivation as [`ParSampler`]
+//!   (`plan::sample_seed`), and instructions consume each sample's RNG in
+//!   exactly the order the closure path visits nodes — so a kernel batch
+//!   is **bitwise identical** to the closure path, sample for sample.
+//! * **Tagged arithmetic** (`+ - * / %`, comparisons, boolean ops, and the
+//!   `f64` method lifts) runs as tight monomorphic loops over columns that
+//!   the compiler can unroll and vectorize. Untagged `map`/`map2` closures
+//!   still lower — they run the closure per element, which keeps the
+//!   whole-network fallback rare.
+//!
+//! Networks containing nodes whose sampling needs `SampleContext`
+//! machinery — `flat_map` (fresh memo scope per outer draw),
+//! `encapsulate` (forked RNG), `weight_by` (SIR loop), `condition_on`
+//! (rejection loop) — do not lower; [`Kernel::lower`] returns `None` and
+//! callers keep the closure path. The fallback is per *network*, never per
+//! sample, so a network always takes one path and stays reproducible.
+
+use crate::node::{LeafNode, Map2Node, MapNode, NodeId, NodeInfo};
+use crate::plan::sample_seed;
+use crate::uncertain::{Uncertain, Value};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Rows evaluated per column pass when a caller streams a large batch
+/// through [`Kernel::run_into`] in chunks: big enough that per-chunk setup
+/// amortizes to nothing, small enough that register columns stay cache-
+/// and memory-friendly for thousand-node tapes.
+pub(crate) const KERNEL_CHUNK: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Operation tags
+// ---------------------------------------------------------------------------
+
+/// A unary `f64 → f64` operation a `map` node advertises to the kernel.
+///
+/// The `*K` variants carry the scalar a lifted operator captured in its
+/// closure (`x + 3.0` is `AddK(3.0)`); `R*K` are the reversed,
+/// non-commutative forms (`3.0 - x` is `RsubK(3.0)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum UnOp {
+    Neg,
+    Abs,
+    Sqrt,
+    Exp,
+    Ln,
+    Sin,
+    Cos,
+    Asin,
+    Atan,
+    ToRadians,
+    ToDegrees,
+    AddK(f64),
+    SubK(f64),
+    RsubK(f64),
+    MulK(f64),
+    DivK(f64),
+    RdivK(f64),
+    RemK(f64),
+    RremK(f64),
+    PowiK(i32),
+    PowfK(f64),
+    ClampK(f64, f64),
+}
+
+impl UnOp {
+    /// Fills `out[..n]` with the operation applied to `a[..n]`, one
+    /// monomorphic loop per variant.
+    fn fill(self, a: &[f64], out: &mut Vec<f64>, n: usize) {
+        #[inline]
+        fn loop_fill(a: &[f64], out: &mut Vec<f64>, n: usize, f: impl Fn(f64) -> f64) {
+            out.clear();
+            out.extend(a[..n].iter().map(|&x| f(x)));
+        }
+        match self {
+            UnOp::Neg => loop_fill(a, out, n, |x| -x),
+            UnOp::Abs => loop_fill(a, out, n, f64::abs),
+            UnOp::Sqrt => loop_fill(a, out, n, f64::sqrt),
+            UnOp::Exp => loop_fill(a, out, n, f64::exp),
+            UnOp::Ln => loop_fill(a, out, n, f64::ln),
+            UnOp::Sin => loop_fill(a, out, n, f64::sin),
+            UnOp::Cos => loop_fill(a, out, n, f64::cos),
+            UnOp::Asin => loop_fill(a, out, n, f64::asin),
+            UnOp::Atan => loop_fill(a, out, n, f64::atan),
+            UnOp::ToRadians => loop_fill(a, out, n, f64::to_radians),
+            UnOp::ToDegrees => loop_fill(a, out, n, f64::to_degrees),
+            UnOp::AddK(k) => loop_fill(a, out, n, |x| x + k),
+            UnOp::SubK(k) => loop_fill(a, out, n, |x| x - k),
+            UnOp::RsubK(k) => loop_fill(a, out, n, |x| k - x),
+            UnOp::MulK(k) => loop_fill(a, out, n, |x| x * k),
+            UnOp::DivK(k) => loop_fill(a, out, n, |x| x / k),
+            UnOp::RdivK(k) => loop_fill(a, out, n, |x| k / x),
+            UnOp::RemK(k) => loop_fill(a, out, n, |x| x % k),
+            UnOp::RremK(k) => loop_fill(a, out, n, |x| k % x),
+            UnOp::PowiK(k) => loop_fill(a, out, n, |x| x.powi(k)),
+            UnOp::PowfK(k) => loop_fill(a, out, n, |x| x.powf(k)),
+            UnOp::ClampK(lo, hi) => loop_fill(a, out, n, |x| x.clamp(lo, hi)),
+        }
+    }
+}
+
+/// A binary `f64 × f64 → f64` operation a `map2` node advertises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Max,
+    Min,
+    Atan2,
+}
+
+impl BinOp {
+    fn fill(self, a: &[f64], b: &[f64], out: &mut Vec<f64>, n: usize) {
+        #[inline]
+        fn loop_fill(
+            a: &[f64],
+            b: &[f64],
+            out: &mut Vec<f64>,
+            n: usize,
+            f: impl Fn(f64, f64) -> f64,
+        ) {
+            out.clear();
+            out.extend(a[..n].iter().zip(&b[..n]).map(|(&x, &y)| f(x, y)));
+        }
+        match self {
+            BinOp::Add => loop_fill(a, b, out, n, |x, y| x + y),
+            BinOp::Sub => loop_fill(a, b, out, n, |x, y| x - y),
+            BinOp::Mul => loop_fill(a, b, out, n, |x, y| x * y),
+            BinOp::Div => loop_fill(a, b, out, n, |x, y| x / y),
+            BinOp::Rem => loop_fill(a, b, out, n, |x, y| x % y),
+            BinOp::Max => loop_fill(a, b, out, n, f64::max),
+            BinOp::Min => loop_fill(a, b, out, n, f64::min),
+            BinOp::Atan2 => loop_fill(a, b, out, n, f64::atan2),
+        }
+    }
+}
+
+/// A `f64 × f64 → bool` comparison a lifted operator advertises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmpOp {
+    Gt,
+    Lt,
+    Ge,
+    Le,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    fn fill(self, a: &[f64], b: &[f64], out: &mut Vec<bool>, n: usize) {
+        #[inline]
+        fn loop_fill(
+            a: &[f64],
+            b: &[f64],
+            out: &mut Vec<bool>,
+            n: usize,
+            f: impl Fn(f64, f64) -> bool,
+        ) {
+            out.clear();
+            out.extend(a[..n].iter().zip(&b[..n]).map(|(&x, &y)| f(x, y)));
+        }
+        match self {
+            CmpOp::Gt => loop_fill(a, b, out, n, |x, y| x > y),
+            CmpOp::Lt => loop_fill(a, b, out, n, |x, y| x < y),
+            CmpOp::Ge => loop_fill(a, b, out, n, |x, y| x >= y),
+            CmpOp::Le => loop_fill(a, b, out, n, |x, y| x <= y),
+            CmpOp::Eq => loop_fill(a, b, out, n, |x, y| x == y),
+            CmpOp::Ne => loop_fill(a, b, out, n, |x, y| x != y),
+        }
+    }
+}
+
+/// A `bool × bool → bool` connective a lifted operator advertises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BoolOp {
+    And,
+    Or,
+    Xor,
+}
+
+impl BoolOp {
+    fn fill(self, a: &[bool], b: &[bool], out: &mut Vec<bool>, n: usize) {
+        #[inline]
+        fn loop_fill(
+            a: &[bool],
+            b: &[bool],
+            out: &mut Vec<bool>,
+            n: usize,
+            f: impl Fn(bool, bool) -> bool,
+        ) {
+            out.clear();
+            out.extend(a[..n].iter().zip(&b[..n]).map(|(&x, &y)| f(x, y)));
+        }
+        match self {
+            BoolOp::And => loop_fill(a, b, out, n, |x, y| x & y),
+            BoolOp::Or => loop_fill(a, b, out, n, |x, y| x | y),
+            BoolOp::Xor => loop_fill(a, b, out, n, |x, y| x ^ y),
+        }
+    }
+}
+
+/// What a `map` node means to the kernel, beyond its opaque closure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum MapTag {
+    /// A unary `f64 → f64` operation.
+    F64(UnOp),
+    /// Boolean negation.
+    NotBool,
+}
+
+/// What a `map2` node means to the kernel, beyond its opaque closure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Map2Tag {
+    /// A binary `f64 × f64 → f64` operation.
+    F64(BinOp),
+    /// A `f64` comparison producing `bool`.
+    Cmp(CmpOp),
+    /// A boolean connective.
+    Bool(BoolOp),
+}
+
+/// Tags a generic unary lift when its element type is `f64`. The closure
+/// defers `UnOp` construction so scalar captures are only converted for
+/// the type the tag is valid for.
+pub(crate) fn un_tag_for<T: 'static>(op: impl FnOnce() -> UnOp) -> Option<MapTag> {
+    (TypeId::of::<T>() == TypeId::of::<f64>()).then(|| MapTag::F64(op()))
+}
+
+/// Tags a generic binary lift when its element type is `f64`.
+pub(crate) fn bin_tag_for<T: 'static>(op: BinOp) -> Option<Map2Tag> {
+    (TypeId::of::<T>() == TypeId::of::<f64>()).then_some(Map2Tag::F64(op))
+}
+
+/// Tags a generic comparison lift when its element type is `f64`.
+pub(crate) fn cmp_tag_for<T: 'static>(op: CmpOp) -> Option<Map2Tag> {
+    (TypeId::of::<T>() == TypeId::of::<f64>()).then_some(Map2Tag::Cmp(op))
+}
+
+// ---------------------------------------------------------------------------
+// Register columns
+// ---------------------------------------------------------------------------
+
+/// A type-erased register column (`Vec<T>` behind `dyn Any` access).
+pub(crate) trait Col: Send {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Send + 'static> Col for Vec<T> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Allocates one (empty) column of an instruction's output type.
+type ColMaker = Box<dyn Fn() -> Box<dyn Col> + Send + Sync>;
+
+fn col_ref<T: 'static>(c: &dyn Col) -> &Vec<T> {
+    c.as_any()
+        .downcast_ref()
+        .expect("kernel register column has its instruction's output type")
+}
+
+fn col_mut<T: 'static>(c: &mut dyn Col) -> &mut Vec<T> {
+    c.as_any_mut()
+        .downcast_mut()
+        .expect("kernel register column has its instruction's output type")
+}
+
+/// Splits the register file at an instruction's destination: sources are
+/// strictly below it (post-order SSA), so `lo` holds every readable source
+/// column and `dst` is the writable destination.
+fn dst_and_srcs(regs: &mut [Box<dyn Col>], dst: usize) -> (&mut dyn Col, &[Box<dyn Col>]) {
+    let (lo, hi) = regs.split_at_mut(dst);
+    (hi[0].as_mut(), lo)
+}
+
+// ---------------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------------
+
+/// One tape instruction: computes its destination column from source
+/// columns (and, for leaves, the per-sample RNGs) for `n` rows.
+pub(crate) trait Instr: Send + Sync {
+    fn run(&self, regs: &mut [Box<dyn Col>], rngs: &mut [SmallRng], n: usize);
+}
+
+struct FillLeaf<T: Value> {
+    node: Arc<LeafNode<T>>,
+    dst: usize,
+}
+
+impl<T: Value> Instr for FillLeaf<T> {
+    fn run(&self, regs: &mut [Box<dyn Col>], rngs: &mut [SmallRng], n: usize) {
+        let out = col_mut::<T>(regs[self.dst].as_mut());
+        out.clear();
+        out.reserve(n);
+        for rng in rngs[..n].iter_mut() {
+            out.push(self.node.sample_raw(rng));
+        }
+    }
+}
+
+struct FillPoint<T: Value> {
+    value: T,
+    dst: usize,
+}
+
+impl<T: Value> Instr for FillPoint<T> {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let out = col_mut::<T>(regs[self.dst].as_mut());
+        out.clear();
+        out.extend((0..n).map(|_| self.value.clone()));
+    }
+}
+
+struct MapOpaque<A: Value, T: Value> {
+    node: Arc<MapNode<A, T>>,
+    src: usize,
+    dst: usize,
+}
+
+impl<A: Value, T: Value> Instr for MapOpaque<A, T> {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<A>(srcs[self.src].as_ref());
+        let out = col_mut::<T>(dst);
+        out.clear();
+        out.extend(a[..n].iter().map(|v| self.node.apply(v.clone())));
+    }
+}
+
+struct Map2Opaque<A: Value, B: Value, T: Value> {
+    node: Arc<Map2Node<A, B, T>>,
+    a: usize,
+    b: usize,
+    dst: usize,
+}
+
+impl<A: Value, B: Value, T: Value> Instr for Map2Opaque<A, B, T> {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<A>(srcs[self.a].as_ref());
+        let b = col_ref::<B>(srcs[self.b].as_ref());
+        let out = col_mut::<T>(dst);
+        out.clear();
+        out.extend(
+            a[..n]
+                .iter()
+                .zip(&b[..n])
+                .map(|(x, y)| self.node.apply(x.clone(), y.clone())),
+        );
+    }
+}
+
+struct UnF64 {
+    op: UnOp,
+    src: usize,
+    dst: usize,
+}
+
+impl Instr for UnF64 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f64>(srcs[self.src].as_ref());
+        self.op.fill(a, col_mut::<f64>(dst), n);
+    }
+}
+
+struct BinF64 {
+    op: BinOp,
+    a: usize,
+    b: usize,
+    dst: usize,
+}
+
+impl Instr for BinF64 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f64>(srcs[self.a].as_ref());
+        let b = col_ref::<f64>(srcs[self.b].as_ref());
+        self.op.fill(a, b, col_mut::<f64>(dst), n);
+    }
+}
+
+struct CmpF64 {
+    op: CmpOp,
+    a: usize,
+    b: usize,
+    dst: usize,
+}
+
+impl Instr for CmpF64 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f64>(srcs[self.a].as_ref());
+        let b = col_ref::<f64>(srcs[self.b].as_ref());
+        self.op.fill(a, b, col_mut::<bool>(dst), n);
+    }
+}
+
+struct BoolBin {
+    op: BoolOp,
+    a: usize,
+    b: usize,
+    dst: usize,
+}
+
+impl Instr for BoolBin {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<bool>(srcs[self.a].as_ref());
+        let b = col_ref::<bool>(srcs[self.b].as_ref());
+        self.op.fill(a, b, col_mut::<bool>(dst), n);
+    }
+}
+
+struct NotBool {
+    src: usize,
+    dst: usize,
+}
+
+impl Instr for NotBool {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<bool>(srcs[self.src].as_ref());
+        let out = col_mut::<bool>(dst);
+        out.clear();
+        out.extend(a[..n].iter().map(|&x| !x));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Display metadata for one instruction — what the obs profiler reports.
+/// Carried unconditionally (it is a few words per instruction) so lowering
+/// is identical with and without the `obs` feature.
+#[derive(Debug, Clone)]
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+pub(crate) struct InstrMeta {
+    pub(crate) node: NodeId,
+    pub(crate) label: String,
+    pub(crate) op: &'static str,
+}
+
+/// Accumulates the tape during lowering; one register per emitted
+/// instruction, allocated in post-order.
+#[derive(Default)]
+pub(crate) struct KernelBuilder {
+    reg_of: HashMap<NodeId, usize>,
+    instrs: Vec<Box<dyn Instr>>,
+    metas: Vec<InstrMeta>,
+    makers: Vec<ColMaker>,
+}
+
+impl KernelBuilder {
+    /// Whether `id` already has a register (shared sub-expression).
+    fn has(&self, id: NodeId) -> bool {
+        self.reg_of.contains_key(&id)
+    }
+
+    /// The register holding an already-lowered node's column.
+    pub(crate) fn reg(&self, id: NodeId) -> usize {
+        self.reg_of[&id]
+    }
+
+    /// The register the next emitted instruction will write.
+    pub(crate) fn next_reg(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Appends an instruction whose destination column holds `T`s.
+    pub(crate) fn emit<T: Value>(
+        &mut self,
+        id: NodeId,
+        label: String,
+        op: &'static str,
+        instr: Box<dyn Instr>,
+    ) {
+        let dst = self.instrs.len();
+        self.reg_of.insert(id, dst);
+        self.instrs.push(instr);
+        self.metas.push(InstrMeta {
+            node: id,
+            label,
+            op,
+        });
+        self.makers.push(Box::new(|| Box::new(Vec::<T>::new())));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-node lowering (called from the NodeInfo hooks in node.rs)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn lower_leaf<T: Value>(node: Arc<LeafNode<T>>, k: &mut KernelBuilder) {
+    let dst = k.next_reg();
+    let (id, label) = (node.id(), node.label());
+    k.emit::<T>(id, label, "leaf", Box::new(FillLeaf { node, dst }));
+}
+
+pub(crate) fn lower_point<T: Value>(id: NodeId, label: String, value: T, k: &mut KernelBuilder) {
+    let dst = k.next_reg();
+    k.emit::<T>(id, label, "point", Box::new(FillPoint { value, dst }));
+}
+
+pub(crate) fn lower_map<A: Value, T: Value>(
+    node: Arc<MapNode<A, T>>,
+    tag: Option<MapTag>,
+    child: NodeId,
+    k: &mut KernelBuilder,
+) {
+    let src = k.reg(child);
+    let dst = k.next_reg();
+    let (id, label) = (node.id(), node.label());
+    match tag {
+        Some(MapTag::F64(op))
+            if TypeId::of::<A>() == TypeId::of::<f64>()
+                && TypeId::of::<T>() == TypeId::of::<f64>() =>
+        {
+            k.emit::<f64>(id, label, "unary", Box::new(UnF64 { op, src, dst }));
+        }
+        Some(MapTag::NotBool)
+            if TypeId::of::<A>() == TypeId::of::<bool>()
+                && TypeId::of::<T>() == TypeId::of::<bool>() =>
+        {
+            k.emit::<bool>(id, label, "not", Box::new(NotBool { src, dst }));
+        }
+        _ => k.emit::<T>(id, label, "map", Box::new(MapOpaque { node, src, dst })),
+    }
+}
+
+pub(crate) fn lower_map2<A: Value, B: Value, T: Value>(
+    node: Arc<Map2Node<A, B, T>>,
+    tag: Option<Map2Tag>,
+    left: NodeId,
+    right: NodeId,
+    k: &mut KernelBuilder,
+) {
+    let a = k.reg(left);
+    let b = k.reg(right);
+    let dst = k.next_reg();
+    let (id, label) = (node.id(), node.label());
+    let f64_in =
+        TypeId::of::<A>() == TypeId::of::<f64>() && TypeId::of::<B>() == TypeId::of::<f64>();
+    let bool_in =
+        TypeId::of::<A>() == TypeId::of::<bool>() && TypeId::of::<B>() == TypeId::of::<bool>();
+    match tag {
+        Some(Map2Tag::F64(op)) if f64_in && TypeId::of::<T>() == TypeId::of::<f64>() => {
+            k.emit::<f64>(id, label, "binary", Box::new(BinF64 { op, a, b, dst }));
+        }
+        Some(Map2Tag::Cmp(op)) if f64_in && TypeId::of::<T>() == TypeId::of::<bool>() => {
+            k.emit::<bool>(id, label, "cmp", Box::new(CmpF64 { op, a, b, dst }));
+        }
+        Some(Map2Tag::Bool(op)) if bool_in && TypeId::of::<T>() == TypeId::of::<bool>() => {
+            k.emit::<bool>(id, label, "bool", Box::new(BoolBin { op, a, b, dst }));
+        }
+        _ => k.emit::<T>(id, label, "map2", Box::new(Map2Opaque { node, a, b, dst })),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+/// The columnar compilation of a network rooted in a `T`: a flat
+/// instruction tape plus the recipe for its register file.
+///
+/// A kernel is immutable and shareable (`Send + Sync`); per-thread scratch
+/// lives in a [`KernelState`].
+pub(crate) struct Kernel<T> {
+    instrs: Vec<Box<dyn Instr>>,
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    metas: Vec<InstrMeta>,
+    makers: Vec<ColMaker>,
+    root: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> std::fmt::Debug for Kernel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("instrs", &self.instrs.len())
+            .field("root", &self.root)
+            .finish()
+    }
+}
+
+/// The mutable scratch of one kernel executor: the register columns and
+/// the per-sample RNGs. Reused across batches so steady-state SPRT runs
+/// stop allocating.
+pub(crate) struct KernelState {
+    regs: Vec<Box<dyn Col>>,
+    rngs: Vec<SmallRng>,
+}
+
+impl std::fmt::Debug for KernelState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelState")
+            .field("regs", &self.regs.len())
+            .finish()
+    }
+}
+
+impl<T: Value> Kernel<T> {
+    /// Lowers a network to a tape, or `None` if any reachable node needs
+    /// `SampleContext` machinery (see the module docs' fallback rules).
+    ///
+    /// The walk is iterative — an explicit work stack, not recursion — so
+    /// thousand-node evidence chains lower safely in debug builds.
+    pub(crate) fn lower(network: &Uncertain<T>) -> Option<Self> {
+        let mut b = KernelBuilder::default();
+        let root = network.node().clone() as Arc<dyn NodeInfo>;
+        let mut stack: Vec<(Arc<dyn NodeInfo>, bool)> = vec![(Arc::clone(&root), false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if b.has(node.id()) {
+                continue;
+            }
+            if expanded {
+                if !node.lower(&mut b) {
+                    return None;
+                }
+            } else {
+                let children = node.lower_children()?;
+                stack.push((Arc::clone(&node), true));
+                for child in children.into_iter().rev() {
+                    if !b.has(child.id()) {
+                        stack.push((child, false));
+                    }
+                }
+            }
+        }
+        let root_reg = b.reg(root.id());
+        Some(Kernel {
+            instrs: b.instrs,
+            metas: b.metas,
+            makers: b.makers,
+            root: root_reg,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Instructions on the tape (== registers in the file).
+    #[cfg(feature = "obs")]
+    pub(crate) fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Allocates an empty register file + RNG scratch for this kernel.
+    pub(crate) fn new_state(&self) -> KernelState {
+        KernelState {
+            regs: self.makers.iter().map(|make| make()).collect(),
+            rngs: Vec::new(),
+        }
+    }
+
+    /// Runs the tape over one batch — `seeds[i]` seeds sample `i`'s RNG,
+    /// exactly as the closure path would `reseed` per sample — and
+    /// **appends** the root column to `out`.
+    pub(crate) fn run_into(&self, seeds: &[u64], state: &mut KernelState, out: &mut Vec<T>) {
+        let n = seeds.len();
+        if n == 0 {
+            return;
+        }
+        debug_assert_eq!(state.regs.len(), self.instrs.len());
+        state.rngs.clear();
+        state
+            .rngs
+            .extend(seeds.iter().map(|&s| SmallRng::seed_from_u64(s)));
+        for instr in &self.instrs {
+            instr.run(&mut state.regs, &mut state.rngs, n);
+        }
+        let root = col_ref::<T>(state.regs[self.root].as_ref());
+        out.extend_from_slice(&root[..n]);
+    }
+
+    /// [`run_into`](Self::run_into) with a wall-clock timer around every
+    /// instruction's column pass, accumulating into `ns` (one slot per
+    /// instruction). The sample values are identical to an unprofiled run.
+    #[cfg(feature = "obs")]
+    pub(crate) fn run_profiled_into(
+        &self,
+        seeds: &[u64],
+        state: &mut KernelState,
+        out: &mut Vec<T>,
+        ns: &mut [u64],
+    ) {
+        let n = seeds.len();
+        if n == 0 {
+            return;
+        }
+        debug_assert_eq!(ns.len(), self.instrs.len());
+        state.rngs.clear();
+        state
+            .rngs
+            .extend(seeds.iter().map(|&s| SmallRng::seed_from_u64(s)));
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let start = std::time::Instant::now();
+            instr.run(&mut state.regs, &mut state.rngs, n);
+            ns[i] += start.elapsed().as_nanos() as u64;
+        }
+        let root = col_ref::<T>(state.regs[self.root].as_ref());
+        out.extend_from_slice(&root[..n]);
+    }
+
+    /// Assembles the per-instruction metadata and timings into the public
+    /// profile type.
+    #[cfg(feature = "obs")]
+    pub(crate) fn profile(&self, ns: &[u64], samples: u64) -> crate::obs::KernelProfile {
+        crate::obs::KernelProfile {
+            instrs: self
+                .metas
+                .iter()
+                .zip(ns)
+                .map(|(meta, &ns)| crate::obs::InstrCost {
+                    node: meta.node,
+                    label: meta.label.clone(),
+                    op: meta.op,
+                    elems: samples,
+                    ns,
+                })
+                .collect(),
+            samples,
+        }
+    }
+}
+
+/// Shards one indexed batch across `threads` scoped workers, each running
+/// the tape over contiguous chunks of the index space. Sample `i` is
+/// seeded `sample_seed(seed, start + i)` regardless of the thread count or
+/// chunk boundaries, so results are bitwise identical to a serial run —
+/// the kernel twin of `plan::sample_batch_sharded`.
+pub(crate) fn sharded_batch<T: Value>(
+    kernel: &Kernel<T>,
+    seed: u64,
+    start: u64,
+    n: usize,
+    threads: usize,
+) -> Vec<T> {
+    let workers = threads.max(1).min(n.max(1));
+    let chunk = n.div_ceil(workers);
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n);
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    let mut part = Vec::with_capacity(hi - lo);
+                    let mut state = kernel.new_state();
+                    let mut seeds = Vec::with_capacity(KERNEL_CHUNK.min(hi - lo));
+                    let mut done = lo;
+                    while done < hi {
+                        let take = (hi - done).min(KERNEL_CHUNK);
+                        seeds.clear();
+                        seeds.extend(
+                            (0..take).map(|j| sample_seed(seed, start + (done + j) as u64)),
+                        );
+                        kernel.run_into(&seeds, &mut state, &mut part);
+                        done += take;
+                    }
+                    part
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("kernel shard worker panicked"));
+        }
+    });
+    out
+}

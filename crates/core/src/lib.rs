@@ -76,6 +76,7 @@ mod error;
 mod evaluator;
 mod expect;
 mod graph;
+mod kernel;
 mod logic;
 mod math;
 mod node;
@@ -94,7 +95,10 @@ pub use evaluator::Evaluator;
 pub use graph::{NetworkView, NodeMeta};
 pub use node::NodeId;
 #[cfg(feature = "obs")]
-pub use obs::{DecisionTrace, KindCost, NodeCost, Profile, Recorder, StoppingReason, TracePoint};
+pub use obs::{
+    DecisionTrace, InstrCost, KernelProfile, KindCost, NodeCost, Profile, Recorder, StoppingReason,
+    TracePoint,
+};
 pub use plan::{ParSampler, Plan};
 pub use runtime::{CacheStats, Session, DEFAULT_CACHE_CAPACITY};
 #[cfg(feature = "legacy-sampler")]

@@ -6,56 +6,61 @@
 //! also semantically honest: both operands of a lifted conjunction *are*
 //! evaluated (within one joint sample), never short-circuited.
 
+use crate::kernel::{BoolOp, Map2Tag, MapTag};
 use crate::uncertain::Uncertain;
 use std::ops::{BitAnd, BitOr, BitXor, Not};
 
 macro_rules! lift_bool_op {
-    ($op_trait:ident, $method:ident, $label:expr) => {
+    ($op_trait:ident, $method:ident, $label:expr, $kernel_op:ident) => {
         impl $op_trait<Uncertain<bool>> for Uncertain<bool> {
             type Output = Uncertain<bool>;
             fn $method(self, rhs: Uncertain<bool>) -> Uncertain<bool> {
-                self.map2($label, &rhs, |a: bool, b: bool| a.$method(b))
+                let tag = Some(Map2Tag::Bool(BoolOp::$kernel_op));
+                self.map2_tagged($label, &rhs, tag, |a: bool, b: bool| a.$method(b))
             }
         }
 
         impl $op_trait<&Uncertain<bool>> for Uncertain<bool> {
             type Output = Uncertain<bool>;
             fn $method(self, rhs: &Uncertain<bool>) -> Uncertain<bool> {
-                self.map2($label, rhs, |a: bool, b: bool| a.$method(b))
+                let tag = Some(Map2Tag::Bool(BoolOp::$kernel_op));
+                self.map2_tagged($label, rhs, tag, |a: bool, b: bool| a.$method(b))
             }
         }
 
         impl $op_trait<Uncertain<bool>> for &Uncertain<bool> {
             type Output = Uncertain<bool>;
             fn $method(self, rhs: Uncertain<bool>) -> Uncertain<bool> {
-                self.map2($label, &rhs, |a: bool, b: bool| a.$method(b))
+                let tag = Some(Map2Tag::Bool(BoolOp::$kernel_op));
+                self.map2_tagged($label, &rhs, tag, |a: bool, b: bool| a.$method(b))
             }
         }
 
         impl $op_trait<&Uncertain<bool>> for &Uncertain<bool> {
             type Output = Uncertain<bool>;
             fn $method(self, rhs: &Uncertain<bool>) -> Uncertain<bool> {
-                self.map2($label, rhs, |a: bool, b: bool| a.$method(b))
+                let tag = Some(Map2Tag::Bool(BoolOp::$kernel_op));
+                self.map2_tagged($label, rhs, tag, |a: bool, b: bool| a.$method(b))
             }
         }
     };
 }
 
-lift_bool_op!(BitAnd, bitand, "and");
-lift_bool_op!(BitOr, bitor, "or");
-lift_bool_op!(BitXor, bitxor, "xor");
+lift_bool_op!(BitAnd, bitand, "and", And);
+lift_bool_op!(BitOr, bitor, "or", Or);
+lift_bool_op!(BitXor, bitxor, "xor", Xor);
 
 impl Not for Uncertain<bool> {
     type Output = Uncertain<bool>;
     fn not(self) -> Uncertain<bool> {
-        self.map("not", |b: bool| !b)
+        self.map_tagged("not", Some(MapTag::NotBool), |b: bool| !b)
     }
 }
 
 impl Not for &Uncertain<bool> {
     type Output = Uncertain<bool>;
     fn not(self) -> Uncertain<bool> {
-        self.map("not", |b: bool| !b)
+        self.map_tagged("not", Some(MapTag::NotBool), |b: bool| !b)
     }
 }
 

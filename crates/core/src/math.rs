@@ -4,38 +4,86 @@
 //! each call adds one inner node to the Bayesian network, preserving the
 //! shared-dependence semantics of the underlying graph.
 
+use crate::kernel::{BinOp, Map2Tag, MapTag, UnOp};
 use crate::uncertain::{Uncertain, Value};
 
 impl Uncertain<f64> {
     /// Lifted absolute value.
     pub fn abs(&self) -> Uncertain<f64> {
-        self.map("abs", f64::abs)
+        self.map_tagged("abs", Some(MapTag::F64(UnOp::Abs)), f64::abs)
     }
 
     /// Lifted square root (`NaN` for negative samples, as in `f64::sqrt`).
     pub fn sqrt(&self) -> Uncertain<f64> {
-        self.map("sqrt", f64::sqrt)
+        self.map_tagged("sqrt", Some(MapTag::F64(UnOp::Sqrt)), f64::sqrt)
     }
 
     /// Lifted exponential.
     pub fn exp(&self) -> Uncertain<f64> {
-        self.map("exp", f64::exp)
+        self.map_tagged("exp", Some(MapTag::F64(UnOp::Exp)), f64::exp)
     }
 
     /// Lifted natural logarithm (`NaN`/`-∞` outside the domain, as in
     /// `f64::ln`).
     pub fn ln(&self) -> Uncertain<f64> {
-        self.map("ln", f64::ln)
+        self.map_tagged("ln", Some(MapTag::F64(UnOp::Ln)), f64::ln)
+    }
+
+    /// Lifted sine (radians).
+    pub fn sin(&self) -> Uncertain<f64> {
+        self.map_tagged("sin", Some(MapTag::F64(UnOp::Sin)), f64::sin)
+    }
+
+    /// Lifted cosine (radians).
+    pub fn cos(&self) -> Uncertain<f64> {
+        self.map_tagged("cos", Some(MapTag::F64(UnOp::Cos)), f64::cos)
+    }
+
+    /// Lifted arcsine (`NaN` outside `[-1, 1]`, as in `f64::asin`).
+    pub fn asin(&self) -> Uncertain<f64> {
+        self.map_tagged("asin", Some(MapTag::F64(UnOp::Asin)), f64::asin)
+    }
+
+    /// Lifted arctangent.
+    pub fn atan(&self) -> Uncertain<f64> {
+        self.map_tagged("atan", Some(MapTag::F64(UnOp::Atan)), f64::atan)
+    }
+
+    /// Lifted four-quadrant arctangent: per-sample `self.atan2(other)`.
+    pub fn atan2(&self, other: &Uncertain<f64>) -> Uncertain<f64> {
+        self.map2_tagged("atan2", other, Some(Map2Tag::F64(BinOp::Atan2)), f64::atan2)
+    }
+
+    /// Lifted degrees → radians conversion.
+    pub fn to_radians(&self) -> Uncertain<f64> {
+        self.map_tagged(
+            "to_radians",
+            Some(MapTag::F64(UnOp::ToRadians)),
+            f64::to_radians,
+        )
+    }
+
+    /// Lifted radians → degrees conversion.
+    pub fn to_degrees(&self) -> Uncertain<f64> {
+        self.map_tagged(
+            "to_degrees",
+            Some(MapTag::F64(UnOp::ToDegrees)),
+            f64::to_degrees,
+        )
     }
 
     /// Lifted integer power.
     pub fn powi(&self, n: i32) -> Uncertain<f64> {
-        self.map("powi", move |v| v.powi(n))
+        self.map_tagged("powi", Some(MapTag::F64(UnOp::PowiK(n))), move |v: f64| {
+            v.powi(n)
+        })
     }
 
     /// Lifted float power.
     pub fn powf(&self, p: f64) -> Uncertain<f64> {
-        self.map("powf", move |v| v.powf(p))
+        self.map_tagged("powf", Some(MapTag::F64(UnOp::PowfK(p))), move |v: f64| {
+            v.powf(p)
+        })
     }
 
     /// Lifted clamp to `[low, high]`.
@@ -45,17 +93,21 @@ impl Uncertain<f64> {
     /// Panics at sampling time if `low > high` (the contract of
     /// `f64::clamp`).
     pub fn clamp(&self, low: f64, high: f64) -> Uncertain<f64> {
-        self.map("clamp", move |v| v.clamp(low, high))
+        self.map_tagged(
+            "clamp",
+            Some(MapTag::F64(UnOp::ClampK(low, high))),
+            move |v: f64| v.clamp(low, high),
+        )
     }
 
     /// Per-sample maximum of two uncertain values.
     pub fn max_u(&self, other: &Uncertain<f64>) -> Uncertain<f64> {
-        self.map2("max", other, f64::max)
+        self.map2_tagged("max", other, Some(Map2Tag::F64(BinOp::Max)), f64::max)
     }
 
     /// Per-sample minimum of two uncertain values.
     pub fn min_u(&self, other: &Uncertain<f64>) -> Uncertain<f64> {
-        self.map2("min", other, f64::min)
+        self.map2_tagged("min", other, Some(Map2Tag::F64(BinOp::Min)), f64::min)
     }
 
     /// Sums an iterator of uncertain values into one network node chain.

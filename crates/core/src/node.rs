@@ -15,6 +15,7 @@
 //! joint sample.
 
 use crate::context::SampleContext;
+use crate::kernel::{self, KernelBuilder, Map2Tag, MapTag};
 use crate::plan::{compile_node, CompiledFn, PlanBuilder};
 use crate::uncertain::{Uncertain, Value};
 use std::fmt;
@@ -66,6 +67,35 @@ pub(crate) trait NodeInfo: Send + Sync {
     fn is_leaf(&self) -> bool {
         self.children().is_empty()
     }
+
+    /// The children `compile` descends into *statically* — the sub-graph
+    /// that becomes part of this node's plan. Nodes whose inner network is
+    /// tree-walked per joint sample (encapsulation, priors, conditioning)
+    /// return none: the plan never compiles past them.
+    fn compile_children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        Vec::new()
+    }
+
+    /// Compiles this node assuming `compile_children` are already in the
+    /// builder's cache. Driven bottom-up by the plan's explicit work stack
+    /// (see `plan::compile_root`), so `compile`'s natural recursion stays
+    /// O(1) deep no matter how deep the network is.
+    fn precompile(self: Arc<Self>, builder: &mut PlanBuilder);
+
+    /// The children the columnar kernel must lower before this node — in
+    /// `sample_value` visit order, so a leaf column consumes each sample's
+    /// RNG exactly when the closure path would — or `None` when this node
+    /// kind cannot be expressed as a tape instruction.
+    fn lower_children(&self) -> Option<Vec<Arc<dyn NodeInfo>>> {
+        None
+    }
+
+    /// Emits this node's tape instruction (children already lowered).
+    /// Returns `false` when the node cannot be lowered.
+    fn lower(self: Arc<Self>, k: &mut KernelBuilder) -> bool {
+        let _ = k;
+        false
+    }
 }
 
 /// A node that produces values of type `T`.
@@ -108,6 +138,13 @@ impl<T> LeafNode<T> {
             sample_fn: Box::new(sample_fn),
         }
     }
+
+    /// Draws one value straight from the sampling function — the kernel's
+    /// per-row leaf fill, which does its own per-sample memoization by
+    /// lowering each `NodeId` exactly once.
+    pub(crate) fn sample_raw(&self, rng: &mut dyn rand::RngCore) -> T {
+        (self.sample_fn)(rng)
+    }
 }
 
 impl<T: Value> NodeInfo for LeafNode<T> {
@@ -119,6 +156,16 @@ impl<T: Value> NodeInfo for LeafNode<T> {
     }
     fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
         Vec::new()
+    }
+    fn precompile(self: Arc<Self>, builder: &mut PlanBuilder) {
+        let _ = TypedNode::compile(self, builder);
+    }
+    fn lower_children(&self) -> Option<Vec<Arc<dyn NodeInfo>>> {
+        Some(Vec::new())
+    }
+    fn lower(self: Arc<Self>, k: &mut KernelBuilder) -> bool {
+        kernel::lower_leaf(self, k);
+        true
     }
 }
 
@@ -171,6 +218,16 @@ impl<T: Value + fmt::Debug> NodeInfo for PointNode<T> {
     fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
         Vec::new()
     }
+    fn precompile(self: Arc<Self>, builder: &mut PlanBuilder) {
+        let _ = TypedNode::compile(self, builder);
+    }
+    fn lower_children(&self) -> Option<Vec<Arc<dyn NodeInfo>>> {
+        Some(Vec::new())
+    }
+    fn lower(self: Arc<Self>, k: &mut KernelBuilder) -> bool {
+        kernel::lower_point(self.id, self.label(), self.value.clone(), k);
+        true
+    }
 }
 
 impl<T: Value + fmt::Debug> TypedNode<T> for PointNode<T> {
@@ -194,6 +251,10 @@ pub(crate) struct MapNode<A, T> {
     label: String,
     child: DynNode<A>,
     f: Box<dyn Fn(A) -> T + Send + Sync>,
+    /// What the closure computes, when it is one of the known scalar
+    /// operations — lets the kernel run it as a monomorphic column loop
+    /// instead of a per-element closure call. `None` is always sound.
+    tag: Option<MapTag>,
 }
 
 impl<A, T> MapNode<A, T> {
@@ -202,12 +263,27 @@ impl<A, T> MapNode<A, T> {
         child: DynNode<A>,
         f: impl Fn(A) -> T + Send + Sync + 'static,
     ) -> Self {
+        Self::with_tag(label, child, f, None)
+    }
+
+    pub(crate) fn with_tag(
+        label: impl Into<String>,
+        child: DynNode<A>,
+        f: impl Fn(A) -> T + Send + Sync + 'static,
+        tag: Option<MapTag>,
+    ) -> Self {
         Self {
             id: NodeId::fresh(),
             label: label.into(),
             child,
             f: Box::new(f),
+            tag,
         }
+    }
+
+    /// Applies the lifted function to one already-sampled child value.
+    pub(crate) fn apply(&self, a: A) -> T {
+        (self.f)(a)
     }
 }
 
@@ -220,6 +296,20 @@ impl<A: Value, T: Value> NodeInfo for MapNode<A, T> {
     }
     fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
         vec![self.child.clone() as Arc<dyn NodeInfo>]
+    }
+    fn compile_children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        vec![self.child.clone() as Arc<dyn NodeInfo>]
+    }
+    fn precompile(self: Arc<Self>, builder: &mut PlanBuilder) {
+        let _ = TypedNode::compile(self, builder);
+    }
+    fn lower_children(&self) -> Option<Vec<Arc<dyn NodeInfo>>> {
+        Some(vec![self.child.clone() as Arc<dyn NodeInfo>])
+    }
+    fn lower(self: Arc<Self>, k: &mut KernelBuilder) -> bool {
+        let (tag, child) = (self.tag, self.child.id());
+        kernel::lower_map(self, tag, child, k);
+        true
     }
 }
 
@@ -264,6 +354,8 @@ pub(crate) struct Map2Node<A, B, T> {
     left: DynNode<A>,
     right: DynNode<B>,
     f: Box<dyn Fn(A, B) -> T + Send + Sync>,
+    /// Known-operation tag for the kernel; see [`MapNode::tag`].
+    tag: Option<Map2Tag>,
 }
 
 impl<A, B, T> Map2Node<A, B, T> {
@@ -273,13 +365,29 @@ impl<A, B, T> Map2Node<A, B, T> {
         right: DynNode<B>,
         f: impl Fn(A, B) -> T + Send + Sync + 'static,
     ) -> Self {
+        Self::with_tag(label, left, right, f, None)
+    }
+
+    pub(crate) fn with_tag(
+        label: impl Into<String>,
+        left: DynNode<A>,
+        right: DynNode<B>,
+        f: impl Fn(A, B) -> T + Send + Sync + 'static,
+        tag: Option<Map2Tag>,
+    ) -> Self {
         Self {
             id: NodeId::fresh(),
             label: label.into(),
             left,
             right,
             f: Box::new(f),
+            tag,
         }
+    }
+
+    /// Applies the lifted function to already-sampled child values.
+    pub(crate) fn apply(&self, a: A, b: B) -> T {
+        (self.f)(a, b)
     }
 }
 
@@ -295,6 +403,21 @@ impl<A: Value, B: Value, T: Value> NodeInfo for Map2Node<A, B, T> {
             self.left.clone() as Arc<dyn NodeInfo>,
             self.right.clone() as Arc<dyn NodeInfo>,
         ]
+    }
+    fn compile_children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        self.children()
+    }
+    fn precompile(self: Arc<Self>, builder: &mut PlanBuilder) {
+        let _ = TypedNode::compile(self, builder);
+    }
+    fn lower_children(&self) -> Option<Vec<Arc<dyn NodeInfo>>> {
+        // Left before right: the order `sample_value` draws in.
+        Some(self.children())
+    }
+    fn lower(self: Arc<Self>, k: &mut KernelBuilder) -> bool {
+        let (tag, left, right) = (self.tag, self.left.id(), self.right.id());
+        kernel::lower_map2(self, tag, left, right, k);
+        true
     }
 }
 
@@ -372,6 +495,14 @@ impl<A: Value, T: Value> NodeInfo for BindNode<A, T> {
     fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
         vec![self.child.clone() as Arc<dyn NodeInfo>]
     }
+    fn compile_children(&self) -> Vec<Arc<dyn NodeInfo>> {
+        // Only the outer child is compiled statically; the inner network
+        // exists per joint sample and is tree-walked.
+        vec![self.child.clone() as Arc<dyn NodeInfo>]
+    }
+    fn precompile(self: Arc<Self>, builder: &mut PlanBuilder) {
+        let _ = TypedNode::compile(self, builder);
+    }
 }
 
 impl<A: Value, T: Value> TypedNode<T> for BindNode<A, T> {
@@ -443,6 +574,9 @@ impl<T: Value> NodeInfo for EncapsulatedNode<T> {
     }
     fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
         vec![self.inner.clone() as Arc<dyn NodeInfo>]
+    }
+    fn precompile(self: Arc<Self>, builder: &mut PlanBuilder) {
+        let _ = TypedNode::compile(self, builder);
     }
 }
 
@@ -537,6 +671,9 @@ impl<T: Value> NodeInfo for WeightedNode<T> {
     }
     fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
         vec![self.inner.clone() as Arc<dyn NodeInfo>]
+    }
+    fn precompile(self: Arc<Self>, builder: &mut PlanBuilder) {
+        let _ = TypedNode::compile(self, builder);
     }
 }
 
@@ -665,6 +802,9 @@ impl<T: Value> NodeInfo for ConditionedNode<T> {
     }
     fn children(&self) -> Vec<Arc<dyn NodeInfo>> {
         vec![self.inner.clone() as Arc<dyn NodeInfo>]
+    }
+    fn precompile(self: Arc<Self>, builder: &mut PlanBuilder) {
+        let _ = TypedNode::compile(self, builder);
     }
 }
 

@@ -227,6 +227,46 @@ impl Profile {
     }
 }
 
+/// Measured cost of one kernel-tape instruction.
+///
+/// Unlike [`NodeCost`], instruction timings are *exclusive*: the kernel
+/// runs each instruction over the whole column before moving on, so every
+/// entry is the wall time of that one columnar loop and the entries sum to
+/// the batch total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrCost {
+    /// The network node this instruction materialises.
+    pub node: NodeId,
+    /// The node's display label (e.g. `"Gaussian(0, 1)"`, `"+"`).
+    pub label: String,
+    /// The instruction mnemonic (e.g. `"fill_leaf"`, `"bin_f64"`).
+    pub op: &'static str,
+    /// Column elements this instruction produced across the profiled run.
+    pub elems: u64,
+    /// Exclusive nanoseconds spent in this instruction's columnar loops.
+    pub ns: u64,
+}
+
+/// A per-instruction cost breakdown of a columnar kernel run, produced by
+/// [`Evaluator::kernel_profile`](crate::Evaluator::kernel_profile).
+///
+/// Instructions appear in tape order (children before parents); `ns` is
+/// exclusive per instruction, so the hot spots read directly off the list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Per-instruction costs in tape (execution) order.
+    pub instrs: Vec<InstrCost>,
+    /// Joint samples drawn during the profiled run.
+    pub samples: u64,
+}
+
+impl KernelProfile {
+    /// Total nanoseconds across all instructions.
+    pub fn total_ns(&self) -> u64 {
+        self.instrs.iter().map(|i| i.ns).sum()
+    }
+}
+
 /// The kind prefix of a node label: everything before the first `(`,
 /// trimmed (`"Gaussian(0, 1)"` → `"Gaussian"`, `"+"` → `"+"`).
 pub(crate) fn kind_of(label: &str) -> String {
@@ -250,6 +290,30 @@ mod tests {
         assert_eq!(StoppingReason::Rejected.as_str(), "rejected");
         assert_eq!(StoppingReason::BudgetCapped.as_str(), "budget_capped");
         assert_eq!(StoppingReason::Aborted.as_str(), "aborted");
+    }
+
+    #[test]
+    fn kernel_profile_totals_are_exclusive_sums() {
+        let profile = KernelProfile {
+            instrs: vec![
+                InstrCost {
+                    node: NodeId::fresh(),
+                    label: "Gaussian(0, 1)".into(),
+                    op: "fill_leaf",
+                    elems: 256,
+                    ns: 700,
+                },
+                InstrCost {
+                    node: NodeId::fresh(),
+                    label: "+".into(),
+                    op: "bin_f64",
+                    elems: 256,
+                    ns: 300,
+                },
+            ],
+            samples: 256,
+        };
+        assert_eq!(profile.total_ns(), 1000);
     }
 
     #[test]

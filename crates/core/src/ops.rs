@@ -6,18 +6,21 @@
 //! routinely reused, plus mixed scalar forms (`speed / dt`, `2.0 * x`) for
 //! the primitive numeric types — the paper's implicit point-mass coercion.
 
+use crate::kernel::{bin_tag_for, un_tag_for, BinOp, UnOp};
 use crate::uncertain::{Uncertain, Value};
 use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
 
 macro_rules! lift_binary_op {
-    ($op_trait:ident, $method:ident, $label:expr) => {
+    ($op_trait:ident, $method:ident, $label:expr, $kernel_op:ident) => {
         impl<T> $op_trait<Uncertain<T>> for Uncertain<T>
         where
             T: $op_trait<Output = T> + Value,
         {
             type Output = Uncertain<T>;
             fn $method(self, rhs: Uncertain<T>) -> Uncertain<T> {
-                self.map2($label, &rhs, |a, b| a.$method(b))
+                self.map2_tagged($label, &rhs, bin_tag_for::<T>(BinOp::$kernel_op), |a, b| {
+                    a.$method(b)
+                })
             }
         }
 
@@ -27,7 +30,9 @@ macro_rules! lift_binary_op {
         {
             type Output = Uncertain<T>;
             fn $method(self, rhs: &Uncertain<T>) -> Uncertain<T> {
-                self.map2($label, rhs, |a, b| a.$method(b))
+                self.map2_tagged($label, rhs, bin_tag_for::<T>(BinOp::$kernel_op), |a, b| {
+                    a.$method(b)
+                })
             }
         }
 
@@ -37,7 +42,9 @@ macro_rules! lift_binary_op {
         {
             type Output = Uncertain<T>;
             fn $method(self, rhs: Uncertain<T>) -> Uncertain<T> {
-                self.map2($label, &rhs, |a, b| a.$method(b))
+                self.map2_tagged($label, &rhs, bin_tag_for::<T>(BinOp::$kernel_op), |a, b| {
+                    a.$method(b)
+                })
             }
         }
 
@@ -47,17 +54,19 @@ macro_rules! lift_binary_op {
         {
             type Output = Uncertain<T>;
             fn $method(self, rhs: &Uncertain<T>) -> Uncertain<T> {
-                self.map2($label, rhs, |a, b| a.$method(b))
+                self.map2_tagged($label, rhs, bin_tag_for::<T>(BinOp::$kernel_op), |a, b| {
+                    a.$method(b)
+                })
             }
         }
     };
 }
 
-lift_binary_op!(Add, add, "+");
-lift_binary_op!(Sub, sub, "-");
-lift_binary_op!(Mul, mul, "*");
-lift_binary_op!(Div, div, "/");
-lift_binary_op!(Rem, rem, "%");
+lift_binary_op!(Add, add, "+", Add);
+lift_binary_op!(Sub, sub, "-", Sub);
+lift_binary_op!(Mul, mul, "*", Mul);
+lift_binary_op!(Div, div, "/", Div);
+lift_binary_op!(Rem, rem, "%", Rem);
 
 impl<T> Neg for Uncertain<T>
 where
@@ -65,7 +74,7 @@ where
 {
     type Output = Uncertain<T>;
     fn neg(self) -> Uncertain<T> {
-        self.map("neg", |v| -v)
+        self.map_tagged("neg", un_tag_for::<T>(|| UnOp::Neg), |v| -v)
     }
 }
 
@@ -75,7 +84,7 @@ where
 {
     type Output = Uncertain<T>;
     fn neg(self) -> Uncertain<T> {
-        self.map("neg", |v| -v)
+        self.map_tagged("neg", un_tag_for::<T>(|| UnOp::Neg), |v| -v)
     }
 }
 
@@ -84,38 +93,42 @@ where
 /// operands to point masses.
 macro_rules! lift_scalar_ops {
     ($($t:ty),*) => {$(
-        lift_scalar_ops!(@one $t, Add, add, "+");
-        lift_scalar_ops!(@one $t, Sub, sub, "-");
-        lift_scalar_ops!(@one $t, Mul, mul, "*");
-        lift_scalar_ops!(@one $t, Div, div, "/");
-        lift_scalar_ops!(@one $t, Rem, rem, "%");
+        lift_scalar_ops!(@one $t, Add, add, "+", AddK, AddK);
+        lift_scalar_ops!(@one $t, Sub, sub, "-", SubK, RsubK);
+        lift_scalar_ops!(@one $t, Mul, mul, "*", MulK, MulK);
+        lift_scalar_ops!(@one $t, Div, div, "/", DivK, RdivK);
+        lift_scalar_ops!(@one $t, Rem, rem, "%", RemK, RremK);
     )*};
-    (@one $t:ty, $op_trait:ident, $method:ident, $label:expr) => {
+    (@one $t:ty, $op_trait:ident, $method:ident, $label:expr, $fwd:ident, $rev:ident) => {
         impl $op_trait<$t> for Uncertain<$t> {
             type Output = Uncertain<$t>;
             fn $method(self, rhs: $t) -> Uncertain<$t> {
-                self.map(concat!($label, " scalar"), move |a: $t| a.$method(rhs))
+                let tag = un_tag_for::<$t>(|| UnOp::$fwd(rhs as f64));
+                self.map_tagged(concat!($label, " scalar"), tag, move |a: $t| a.$method(rhs))
             }
         }
 
         impl $op_trait<$t> for &Uncertain<$t> {
             type Output = Uncertain<$t>;
             fn $method(self, rhs: $t) -> Uncertain<$t> {
-                self.map(concat!($label, " scalar"), move |a: $t| a.$method(rhs))
+                let tag = un_tag_for::<$t>(|| UnOp::$fwd(rhs as f64));
+                self.map_tagged(concat!($label, " scalar"), tag, move |a: $t| a.$method(rhs))
             }
         }
 
         impl $op_trait<Uncertain<$t>> for $t {
             type Output = Uncertain<$t>;
             fn $method(self, rhs: Uncertain<$t>) -> Uncertain<$t> {
-                rhs.map(concat!("scalar ", $label), move |b: $t| self.$method(b))
+                let tag = un_tag_for::<$t>(|| UnOp::$rev(self as f64));
+                rhs.map_tagged(concat!("scalar ", $label), tag, move |b: $t| self.$method(b))
             }
         }
 
         impl $op_trait<&Uncertain<$t>> for $t {
             type Output = Uncertain<$t>;
             fn $method(self, rhs: &Uncertain<$t>) -> Uncertain<$t> {
-                rhs.map(concat!("scalar ", $label), move |b: $t| self.$method(b))
+                let tag = un_tag_for::<$t>(|| UnOp::$rev(self as f64));
+                rhs.map_tagged(concat!("scalar ", $label), tag, move |b: $t| self.$method(b))
             }
         }
     };

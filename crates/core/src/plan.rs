@@ -3,8 +3,9 @@
 //! The tree-walk interpreter pays three taxes per node per joint sample: a
 //! `HashMap<NodeId, _>` probe, a `Box<dyn Any>` heap allocation, and a
 //! downcast. A [`Plan`] removes all three for the *statically reachable*
-//! part of a network: compilation walks the pinned DAG once, assigns each
-//! reachable node a dense slot index (`NodeId → u32`, depth-first so shared
+//! part of a network: compilation walks the pinned DAG once (an explicit
+//! work stack, children before parents, so depth costs no call-stack),
+//! assigns each reachable node a dense slot index (`NodeId → u32`, shared
 //! nodes compile once), and fuses the per-node sampling logic into nested
 //! closures that read and write a flat slot arena
 //! ([`SampleContext`](crate::context::SampleContext)'s epoch-stamped
@@ -29,7 +30,7 @@
 //! any thread count, including 1.
 
 use crate::context::SampleContext;
-use crate::node::NodeId;
+use crate::node::{NodeId, NodeInfo};
 use crate::uncertain::{Uncertain, Value};
 use std::any::Any;
 use std::collections::HashMap;
@@ -88,6 +89,42 @@ impl PlanBuilder {
     pub(crate) fn remember<T: Value>(&mut self, id: NodeId, f: CompiledFn<T>) {
         self.compiled.insert(id, Box::new(f));
     }
+
+    /// Whether `id`'s closure is already cached (shared sub-expression, or
+    /// a node pre-compiled by the work-stack driver).
+    fn is_compiled(&self, id: NodeId) -> bool {
+        self.compiled.contains_key(&id)
+    }
+}
+
+/// Compiles a network with an explicit work stack: an iterative post-order
+/// walk pre-compiles every statically-reachable node bottom-up, so each
+/// node's `compile` finds its children already cached and the natural
+/// recursion inside `compile` stays O(1) deep. Without this, a deep
+/// evidence chain (the ~1.5k-node networks `bench_session` builds) would
+/// recurse once per node and overflow the stack in debug builds.
+fn compile_root<T: Value>(network: &Uncertain<T>, builder: &mut PlanBuilder) -> CompiledFn<T> {
+    let root = network.node().clone() as Arc<dyn NodeInfo>;
+    let mut stack: Vec<(Arc<dyn NodeInfo>, bool)> = vec![(Arc::clone(&root), false)];
+    while let Some((node, expanded)) = stack.pop() {
+        if builder.is_compiled(node.id()) {
+            continue;
+        }
+        if expanded {
+            node.precompile(builder);
+        } else {
+            stack.push((Arc::clone(&node), true));
+            // Reversed push so children compile in `sample_value` visit
+            // order (left before right), keeping slot assignment and RNG
+            // draw order deterministic.
+            for child in node.compile_children().into_iter().rev() {
+                if !builder.is_compiled(child.id()) {
+                    stack.push((child, false));
+                }
+            }
+        }
+    }
+    network.node().clone().compile(builder)
 }
 
 /// Standard per-node compilation wrapper: returns the cached closure for a
@@ -213,9 +250,13 @@ impl<T> fmt::Debug for Plan<T> {
 
 impl<T: Value> Plan<T> {
     /// Compiles the network rooted at `network` into slot-indexed closures.
+    ///
+    /// Compilation is driven by an explicit work stack (children before
+    /// parents), so arbitrarily deep networks compile without deep
+    /// recursion.
     pub fn compile(network: &Uncertain<T>) -> Self {
         let mut builder = PlanBuilder::new();
-        let root = network.node().clone().compile(&mut builder);
+        let root = compile_root(network, &mut builder);
         Plan {
             root,
             slot_of: Arc::new(builder.slot_of),
@@ -233,7 +274,7 @@ impl<T: Value> Plan<T> {
     pub(crate) fn compile_profiled(network: &Uncertain<T>) -> Self {
         let mut builder = PlanBuilder::new();
         builder.profiling = true;
-        let root = network.node().clone().compile(&mut builder);
+        let root = compile_root(network, &mut builder);
         Plan {
             root,
             slot_of: Arc::new(builder.slot_of),

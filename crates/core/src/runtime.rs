@@ -34,6 +34,7 @@
 
 use crate::condition::{EvalConfig, HypothesisOutcome};
 use crate::context::SampleContext;
+use crate::kernel::{self, Kernel, KERNEL_CHUNK};
 use crate::node::{NodeId, NodeInfo};
 #[cfg(feature = "obs")]
 use crate::obs::{DecisionTrace, Recorder, StoppingReason, TracePoint};
@@ -60,11 +61,12 @@ const PAR_MIN_BATCH: usize = 1024;
 const AUX_STREAM_INDEX: u64 = 0xA0A0_A0A0_A0A0_A0A0;
 
 /// Networks deeper than this are evaluated by the (bitwise-equivalent)
-/// tree-walk interpreter instead of a compiled plan: plan compilation
-/// recurses to the network depth, so a pathological chain thousands of
-/// nodes deep would exhaust the stack. Only throughput differs on the
-/// fallback path, never values.
-const MAX_PLAN_DEPTH: usize = 500;
+/// tree-walk interpreter instead of a compiled plan. Compilation itself is
+/// work-stack driven and handles any depth, but *evaluating* a plan still
+/// nests one closure call per level, so a pathological chain tens of
+/// thousands of nodes deep would exhaust the stack at sample time. Only
+/// throughput differs on the fallback path, never values.
+const MAX_PLAN_DEPTH: usize = 2500;
 
 /// Longest root-to-leaf path of the *static* network (the part a plan
 /// would compile), computed iteratively so the probe itself never
@@ -103,13 +105,18 @@ fn network_depth<T: Value>(u: &Uncertain<T>) -> usize {
 /// in the common case, the equivalent tree-walk for networks too deep to
 /// compile safely.
 enum Exec<T> {
-    Plan(Arc<Plan<T>>),
+    Plan {
+        plan: Arc<Plan<T>>,
+        /// The columnar twin of the plan, when every node lowers to the
+        /// instruction tape; batch queries prefer it.
+        kernel: Option<Arc<Kernel<T>>>,
+    },
     Tree(Uncertain<T>),
 }
 
 impl<T: Value> Exec<T> {
     fn install(&self, ctx: &mut SampleContext) {
-        if let Exec::Plan(plan) = self {
+        if let Exec::Plan { plan, .. } = self {
             plan.install(ctx);
         }
     }
@@ -117,7 +124,7 @@ impl<T: Value> Exec<T> {
     /// One joint sample; the caller reseeds the context first.
     fn evaluate(&self, ctx: &mut SampleContext) -> T {
         match self {
-            Exec::Plan(plan) => plan.evaluate(ctx),
+            Exec::Plan { plan, .. } => plan.evaluate(ctx),
             Exec::Tree(u) => {
                 ctx.begin_joint_sample();
                 u.node().sample_value(ctx)
@@ -128,7 +135,15 @@ impl<T: Value> Exec<T> {
     /// The plan, if this executor can shard batches across workers.
     fn plan(&self) -> Option<&Plan<T>> {
         match self {
-            Exec::Plan(plan) => Some(plan),
+            Exec::Plan { plan, .. } => Some(plan),
+            Exec::Tree(_) => None,
+        }
+    }
+
+    /// The columnar kernel, if the network lowered to one.
+    fn kernel(&self) -> Option<&Arc<Kernel<T>>> {
+        match self {
+            Exec::Plan { kernel, .. } => kernel.as_ref(),
             Exec::Tree(_) => None,
         }
     }
@@ -280,10 +295,12 @@ impl std::iter::Sum for CacheStats {
     }
 }
 
-/// One cached compiled plan, type-erased so networks of any payload type
-/// share the cache.
+/// One cached compiled plan (plus its columnar kernel, when the network
+/// lowered to one), type-erased so networks of any payload type share the
+/// cache.
 struct CacheEntry {
     plan: Arc<dyn Any + Send + Sync>,
+    kernel: Option<Arc<dyn Any + Send + Sync>>,
     last_used: u64,
 }
 
@@ -309,21 +326,28 @@ impl PlanCache {
         }
     }
 
-    /// The cached plan for `id`, bumping the hit counter and LRU stamp.
-    fn lookup<T: Value>(&mut self, id: NodeId) -> Option<Arc<Plan<T>>> {
+    /// The cached plan (and kernel, if any) for `id`, bumping the hit
+    /// counter and LRU stamp.
+    #[allow(clippy::type_complexity)]
+    fn lookup<T: Value>(&mut self, id: NodeId) -> Option<(Arc<Plan<T>>, Option<Arc<Kernel<T>>>)> {
         self.tick += 1;
         let entry = self.entries.get_mut(&id)?;
         // Node ids are globally unique and typed, so the downcast can only
         // fail if identity were violated; recompile defensively then.
         let plan = entry.plan.clone().downcast::<Plan<T>>().ok()?;
+        let kernel = entry
+            .kernel
+            .clone()
+            .and_then(|k| k.downcast::<Kernel<T>>().ok());
         entry.last_used = self.tick;
         self.hits += 1;
-        Some(plan)
+        Some((plan, kernel))
     }
 
-    /// Caches `plan` under `id`, evicting the least-recently-used entry at
-    /// capacity. No-op when caching is disabled.
-    fn store<T: Value>(&mut self, id: NodeId, plan: Arc<Plan<T>>) {
+    /// Caches `plan` (and its kernel) under `id`, evicting the
+    /// least-recently-used entry at capacity. No-op when caching is
+    /// disabled.
+    fn store<T: Value>(&mut self, id: NodeId, plan: Arc<Plan<T>>, kernel: Option<Arc<Kernel<T>>>) {
         if self.capacity == 0 {
             return;
         }
@@ -342,6 +366,7 @@ impl PlanCache {
             id,
             CacheEntry {
                 plan: plan as Arc<dyn Any + Send + Sync>,
+                kernel: kernel.map(|k| k as Arc<dyn Any + Send + Sync>),
                 last_used: self.tick,
             },
         );
@@ -682,42 +707,59 @@ impl Session {
     /// uses to borrow a plan instead of recompiling; it is public so callers
     /// can pre-warm or inspect plans explicitly.
     pub fn cached_plan<T: Value>(&mut self, u: &Uncertain<T>) -> Arc<Plan<T>> {
-        if let Some(plan) = self.cache.lookup::<T>(u.id()) {
-            return plan;
-        }
-        self.cache.misses += 1;
-        let plan = Arc::new(self.timed_compile(u));
-        self.cache.store(u.id(), plan.clone());
-        plan
+        self.cached_compiled(u).0
     }
 
-    /// Compiles `u`'s plan, charging the wall time to the session's
-    /// plan-build counter when the `obs` feature is on.
-    fn timed_compile<T: Value>(&mut self, u: &Uncertain<T>) -> Plan<T> {
+    /// [`Session::cached_plan`] plus the plan's columnar kernel (when the
+    /// network lowers to one) — the full compiled artifact an
+    /// [`Evaluator`](crate::Evaluator) borrows.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn cached_compiled<T: Value>(
+        &mut self,
+        u: &Uncertain<T>,
+    ) -> (Arc<Plan<T>>, Option<Arc<Kernel<T>>>) {
+        if let Some((plan, kernel)) = self.cache.lookup::<T>(u.id()) {
+            return (plan, kernel);
+        }
+        self.cache.misses += 1;
+        let (plan, kernel) = self.timed_compile(u);
+        self.cache.store(u.id(), plan.clone(), kernel.clone());
+        (plan, kernel)
+    }
+
+    /// Compiles `u`'s plan and lowers its kernel, charging the wall time
+    /// to the session's plan-build counter when the `obs` feature is on.
+    #[allow(clippy::type_complexity)]
+    fn timed_compile<T: Value>(
+        &mut self,
+        u: &Uncertain<T>,
+    ) -> (Arc<Plan<T>>, Option<Arc<Kernel<T>>>) {
         #[cfg(feature = "obs")]
         let start = std::time::Instant::now();
-        let plan = Plan::compile(u);
+        let plan = Arc::new(Plan::compile(u));
+        let kernel = Kernel::lower(u).map(Arc::new);
         #[cfg(feature = "obs")]
         {
             self.plan_build_ns += start.elapsed().as_nanos() as u64;
         }
-        plan
+        (plan, kernel)
     }
 
     /// The executor for `u`: the cached plan in the common case, a fresh
     /// compile on miss, or the equivalent tree-walk when the network is too
-    /// deep to compile without risking the stack.
+    /// deep to evaluate through nested plan closures without risking the
+    /// stack.
     fn executor<T: Value>(&mut self, u: &Uncertain<T>) -> Exec<T> {
-        if let Some(plan) = self.cache.lookup::<T>(u.id()) {
-            return Exec::Plan(plan);
+        if let Some((plan, kernel)) = self.cache.lookup::<T>(u.id()) {
+            return Exec::Plan { plan, kernel };
         }
         self.cache.misses += 1;
         if network_depth(u) > MAX_PLAN_DEPTH {
             return Exec::Tree(u.clone());
         }
-        let plan = Arc::new(self.timed_compile(u));
-        self.cache.store(u.id(), plan.clone());
-        Exec::Plan(plan)
+        let (plan, kernel) = self.timed_compile(u);
+        self.cache.store(u.id(), plan.clone(), kernel.clone());
+        Exec::Plan { plan, kernel }
     }
 
     /// One seed drawn from the session's policy as its own query — used to
@@ -751,9 +793,32 @@ impl Session {
         let ctx = &mut self.ctx;
         let mut q = self.seeds.begin_query();
         if threads > 1 && n >= PAR_MIN_BATCH {
-            if let (Some(plan), Some(substream)) = (exec.plan(), q.shardable()) {
-                return sample_batch_sharded(plan, substream, 0, n, threads);
+            if let Some(substream) = q.shardable() {
+                if let Some(k) = exec.kernel() {
+                    return kernel::sharded_batch(k, substream, 0, n, threads);
+                }
+                if let Some(plan) = exec.plan() {
+                    return sample_batch_sharded(plan, substream, 0, n, threads);
+                }
             }
+        }
+        if let Some(k) = exec.kernel() {
+            // Serial columnar path. Seeds still come off the query stream
+            // one by one (a sequential-policy stream is order-dependent),
+            // collected a chunk at a time so the tape runs column-wise
+            // over bounded buffers.
+            let mut out = Vec::with_capacity(n);
+            let mut state = k.new_state();
+            let mut seeds: Vec<u64> = Vec::with_capacity(KERNEL_CHUNK.min(n));
+            let mut done = 0;
+            while done < n {
+                let take = KERNEL_CHUNK.min(n - done);
+                seeds.clear();
+                seeds.extend((0..take).map(|_| q.next()));
+                k.run_into(&seeds, &mut state, &mut out);
+                done += take;
+            }
+            return out;
         }
         exec.install(ctx);
         (0..n)
@@ -915,33 +980,70 @@ impl Session {
         #[cfg(feature = "obs")]
         let mut traced_successes: u64 = 0;
         let ctx = &mut self.ctx;
-        exec.install(ctx);
         let mut q = self.seeds.begin_query();
         let mut drawn = 0usize;
-        let outcome = test.run_batched_while(
-            |k| {
-                drawn += k;
-                let batch: Vec<bool> = (0..k)
-                    .map(|_| {
-                        ctx.reseed(q.next());
-                        exec.evaluate(ctx)
-                    })
-                    .collect();
-                #[cfg(feature = "obs")]
-                if tracing {
-                    traced_successes += batch.iter().filter(|&&b| b).count() as u64;
-                    points.push(TracePoint {
-                        samples: drawn,
-                        successes: traced_successes,
-                        llr: test
-                            .sprt()
-                            .log_likelihood_ratio(traced_successes, drawn as u64),
-                    });
-                }
-                batch
-            },
-            keep_going,
-        );
+        let outcome = if let Some(k) = exec.kernel().cloned() {
+            // Columnar decision loop: one reused register file and bool
+            // buffer across every batch of this decision, successes
+            // counted straight off the root column.
+            let mut state = k.new_state();
+            let mut seeds: Vec<u64> = Vec::new();
+            let mut batch: Vec<bool> = Vec::new();
+            test.run_counted_while(
+                |take| {
+                    drawn += take;
+                    batch.clear();
+                    let mut done = 0;
+                    while done < take {
+                        let chunk = KERNEL_CHUNK.min(take - done);
+                        seeds.clear();
+                        seeds.extend((0..chunk).map(|_| q.next()));
+                        k.run_into(&seeds, &mut state, &mut batch);
+                        done += chunk;
+                    }
+                    let successes = batch.iter().filter(|&&b| b).count() as u64;
+                    #[cfg(feature = "obs")]
+                    if tracing {
+                        traced_successes += successes;
+                        points.push(TracePoint {
+                            samples: drawn,
+                            successes: traced_successes,
+                            llr: test
+                                .sprt()
+                                .log_likelihood_ratio(traced_successes, drawn as u64),
+                        });
+                    }
+                    successes
+                },
+                keep_going,
+            )
+        } else {
+            exec.install(ctx);
+            test.run_batched_while(
+                |k| {
+                    drawn += k;
+                    let batch: Vec<bool> = (0..k)
+                        .map(|_| {
+                            ctx.reseed(q.next());
+                            exec.evaluate(ctx)
+                        })
+                        .collect();
+                    #[cfg(feature = "obs")]
+                    if tracing {
+                        traced_successes += batch.iter().filter(|&&b| b).count() as u64;
+                        points.push(TracePoint {
+                            samples: drawn,
+                            successes: traced_successes,
+                            llr: test
+                                .sprt()
+                                .log_likelihood_ratio(traced_successes, drawn as u64),
+                        });
+                    }
+                    batch
+                },
+                keep_going,
+            )
+        };
         // Aborted tests still drew their completed batches; count them.
         self.joint_samples += drawn as u64;
         #[cfg(feature = "obs")]
@@ -1062,7 +1164,10 @@ impl Session {
         let exec = if network_depth(&joint) > MAX_PLAN_DEPTH {
             Exec::Tree(joint)
         } else {
-            Exec::Plan(Arc::new(Plan::compile(&joint)))
+            Exec::Plan {
+                plan: Arc::new(Plan::compile(&joint)),
+                kernel: Kernel::lower(&joint).map(Arc::new),
+            }
         };
         let mut evidence_hits = 0u64;
         let mut both_hits = 0u64;
@@ -1294,9 +1399,9 @@ mod tests {
 
     #[test]
     fn very_deep_networks_fall_back_to_the_tree_walk() {
-        // Plan compilation recurses to the network depth; a session must
-        // survive pathological chains by tree-walking them instead (the
-        // two paths are bitwise identical).
+        // Evaluating a compiled plan nests closures to the network depth;
+        // a session must survive pathological chains by tree-walking them
+        // instead (the two paths are bitwise identical).
         let x = Uncertain::point(1.0);
         let mut expr = x.clone();
         for _ in 0..3000 {

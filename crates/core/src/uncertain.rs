@@ -162,6 +162,22 @@ impl<T: Value> Uncertain<T> {
         Uncertain::from_node(Arc::new(MapNode::new(label, self.node.clone(), f)))
     }
 
+    /// `map` with a kernel tag: the closure is the semantics, the tag lets
+    /// the columnar backend run the same operation as a tight loop.
+    pub(crate) fn map_tagged<U: Value>(
+        &self,
+        label: impl Into<String>,
+        tag: Option<crate::kernel::MapTag>,
+        f: impl Fn(T) -> U + Send + Sync + 'static,
+    ) -> Uncertain<U> {
+        Uncertain::from_node(Arc::new(MapNode::with_tag(
+            label,
+            self.node.clone(),
+            f,
+            tag,
+        )))
+    }
+
     /// Combines this variable with another through a pure binary function —
     /// the general lifted binary operator every arithmetic/comparison/logic
     /// operator reduces to. The result depends on *both* inputs; shared
@@ -177,6 +193,23 @@ impl<T: Value> Uncertain<T> {
             self.node.clone(),
             other.node.clone(),
             f,
+        )))
+    }
+
+    /// `map2` with a kernel tag (see [`Uncertain::map_tagged`]).
+    pub(crate) fn map2_tagged<U: Value, V: Value>(
+        &self,
+        label: impl Into<String>,
+        other: &Uncertain<U>,
+        tag: Option<crate::kernel::Map2Tag>,
+        f: impl Fn(T, U) -> V + Send + Sync + 'static,
+    ) -> Uncertain<V> {
+        Uncertain::from_node(Arc::new(Map2Node::with_tag(
+            label,
+            self.node.clone(),
+            other.node.clone(),
+            f,
+            tag,
         )))
     }
 

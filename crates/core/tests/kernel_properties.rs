@@ -1,0 +1,242 @@
+//! Property tests for the columnar batch kernel: over random networks —
+//! shared subexpressions, scalar ops, comparisons, boolean logic, and
+//! Bernoulli priors — the kernel path must reproduce the closure path
+//! **bitwise**: identical sample streams (compared through `f64::to_bits`,
+//! so NaN propagation must match too), identical SPRT decisions, across
+//! batch splits, chunk boundaries, and worker thread counts.
+
+use proptest::prelude::*;
+use uncertain_core::stats::{SequentialTest, TestDecision};
+use uncertain_core::{EvalConfig, Evaluator, ParSampler, Session, Uncertain};
+
+/// A generatable f64 expression shape. Built fresh into an
+/// [`Uncertain<f64>`] once per case; the same network object is then
+/// handed to both evaluation paths, so leaves line up by construction.
+#[derive(Debug, Clone)]
+enum FExpr {
+    Normal {
+        mean: f64,
+        sd: f64,
+    },
+    Uniform {
+        lo: f64,
+        width: f64,
+    },
+    Point(f64),
+    Neg(Box<FExpr>),
+    Sqrt(Box<FExpr>),
+    Sin(Box<FExpr>),
+    AddK(Box<FExpr>, f64),
+    MulK(Box<FExpr>, f64),
+    Add(Box<FExpr>, Box<FExpr>),
+    Sub(Box<FExpr>, Box<FExpr>),
+    Mul(Box<FExpr>, Box<FExpr>),
+    /// `&u + &u * 0.5`: forces a genuinely shared subexpression, so the
+    /// tape must evaluate `u`'s register once and read it twice.
+    SelfDup(Box<FExpr>),
+}
+
+fn build_f(e: &FExpr) -> Uncertain<f64> {
+    match e {
+        FExpr::Normal { mean, sd } => Uncertain::normal(*mean, *sd).unwrap(),
+        FExpr::Uniform { lo, width } => Uncertain::uniform(*lo, lo + width).unwrap(),
+        FExpr::Point(v) => Uncertain::point(*v),
+        FExpr::Neg(a) => -build_f(a),
+        // May go NaN for negative inputs — that is the point: both paths
+        // must propagate the same bits.
+        FExpr::Sqrt(a) => build_f(a).sqrt(),
+        FExpr::Sin(a) => build_f(a).sin(),
+        FExpr::AddK(a, k) => build_f(a) + *k,
+        FExpr::MulK(a, k) => build_f(a) * *k,
+        FExpr::Add(a, b) => build_f(a) + build_f(b),
+        FExpr::Sub(a, b) => build_f(a) - build_f(b),
+        FExpr::Mul(a, b) => build_f(a) * build_f(b),
+        FExpr::SelfDup(a) => {
+            let u = build_f(a);
+            &u + &u * 0.5
+        }
+    }
+}
+
+fn f_expr() -> impl Strategy<Value = FExpr> {
+    let leaf = prop_oneof![
+        (-5.0..5.0, 0.1..3.0).prop_map(|(mean, sd)| FExpr::Normal { mean, sd }),
+        (-5.0..5.0, 0.1..5.0).prop_map(|(lo, width)| FExpr::Uniform { lo, width }),
+        (-5.0..5.0).prop_map(FExpr::Point),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| FExpr::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| FExpr::Sqrt(Box::new(a))),
+            inner.clone().prop_map(|a| FExpr::Sin(Box::new(a))),
+            (inner.clone(), -3.0..3.0).prop_map(|(a, k)| FExpr::AddK(Box::new(a), k)),
+            (inner.clone(), -3.0..3.0).prop_map(|(a, k)| FExpr::MulK(Box::new(a), k)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Mul(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| FExpr::SelfDup(Box::new(a))),
+        ]
+    })
+}
+
+/// A generatable boolean network: comparisons over f64 subnetworks,
+/// Bernoulli priors, and the lifted logic operators.
+#[derive(Debug, Clone)]
+enum BExpr {
+    Gt(FExpr, f64),
+    Lt(FExpr, f64),
+    Ge2(FExpr, FExpr),
+    Coin(f64),
+    And(Box<BExpr>, Box<BExpr>),
+    Or(Box<BExpr>, Box<BExpr>),
+    Xor(Box<BExpr>, Box<BExpr>),
+    Not(Box<BExpr>),
+}
+
+fn build_b(e: &BExpr) -> Uncertain<bool> {
+    match e {
+        BExpr::Gt(a, t) => build_f(a).gt(*t),
+        BExpr::Lt(a, t) => build_f(a).lt(*t),
+        BExpr::Ge2(a, b) => build_f(a).ge(build_f(b)),
+        BExpr::Coin(p) => Uncertain::bernoulli(*p).unwrap(),
+        BExpr::And(a, b) => build_b(a) & build_b(b),
+        BExpr::Or(a, b) => build_b(a) | build_b(b),
+        BExpr::Xor(a, b) => build_b(a) ^ build_b(b),
+        BExpr::Not(a) => !build_b(a),
+    }
+}
+
+fn b_expr() -> impl Strategy<Value = BExpr> {
+    let leaf = prop_oneof![
+        (f_expr(), -4.0..4.0).prop_map(|(a, t)| BExpr::Gt(a, t)),
+        (f_expr(), -4.0..4.0).prop_map(|(a, t)| BExpr::Lt(a, t)),
+        (f_expr(), f_expr()).prop_map(|(a, b)| BExpr::Ge2(a, b)),
+        (0.05..0.95).prop_map(BExpr::Coin),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BExpr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BExpr::Xor(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| BExpr::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The kernel's f64 sample stream is bitwise identical to the closure
+    /// path's, and splitting the kernel's draws across two batch calls
+    /// (exercising the batch cursor) cannot move the stream.
+    #[test]
+    fn kernel_f64_stream_is_bitwise_identical_to_closure(
+        expr in f_expr(),
+        n1 in 1usize..200,
+        n2 in 1usize..200,
+        seed in 0u64..10_000,
+    ) {
+        let net = build_f(&expr);
+        let mut closure = ParSampler::with_threads(&net, seed, 1);
+        let reference = closure.sample_batch(n1 + n2);
+
+        let mut eval = Evaluator::new(&net, seed);
+        let mut got = eval.sample_batch(n1);
+        got.extend(eval.sample_batch(n2));
+
+        prop_assert_eq!(bits(&reference), bits(&got));
+    }
+
+    /// Same statement for boolean networks: comparisons, priors, and the
+    /// lifted logic operators agree draw for draw.
+    #[test]
+    fn kernel_bool_stream_is_identical_to_closure(
+        expr in b_expr(),
+        n in 1usize..400,
+        seed in 0u64..10_000,
+    ) {
+        let net = build_b(&expr);
+        let reference = ParSampler::with_threads(&net, seed, 1).sample_batch(n);
+        let got = Evaluator::new(&net, seed).sample_batch(n);
+        prop_assert_eq!(reference, got);
+    }
+
+    /// The kernel-backed SPRT reaches the exact decision the closure path
+    /// reaches: same sample count, same (bitwise) estimate, same verdict.
+    #[test]
+    fn kernel_sprt_decisions_match_closure_decisions(
+        expr in b_expr(),
+        threshold in 0.1f64..0.9,
+        seed in 0u64..10_000,
+    ) {
+        let net = build_b(&expr);
+        let cfg = EvalConfig::default();
+
+        let outcome = Evaluator::new(&net, seed).try_decide(&cfg, threshold).unwrap();
+
+        let mut closure = ParSampler::with_threads(&net, seed, 1);
+        let test = SequentialTest::with_params(
+            threshold, cfg.delta, cfg.alpha, cfg.beta, cfg.batch, cfg.max_samples,
+        ).unwrap();
+        let reference = test.run_batched(|k| closure.sample_batch(k));
+
+        prop_assert_eq!(outcome.samples, reference.samples);
+        prop_assert_eq!(outcome.estimate.to_bits(), reference.estimate.to_bits());
+        prop_assert_eq!(
+            outcome.accepted,
+            reference.decision == TestDecision::AcceptAlternative
+        );
+        prop_assert_eq!(outcome.conclusive, reference.conclusive);
+    }
+}
+
+proptest! {
+    // These cases draw thousands of samples each; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Batch draws that straddle the kernel's internal 4096-sample chunk
+    /// boundary — sliced into uneven batch calls — still reproduce the
+    /// closure stream exactly.
+    #[test]
+    fn chunk_boundary_slicing_cannot_move_the_stream(
+        expr in f_expr(),
+        cut in 1usize..4096,
+        seed in 0u64..1000,
+    ) {
+        let n = 4096 + 513;
+        let net = build_f(&expr);
+        let reference = ParSampler::with_threads(&net, seed, 1).sample_batch(n);
+
+        let mut eval = Evaluator::new(&net, seed);
+        let mut got = eval.sample_batch(cut);
+        got.extend(eval.sample_batch(n - cut));
+
+        prop_assert_eq!(bits(&reference), bits(&got));
+    }
+
+    /// Session batch draws through the kernel are thread-count invariant:
+    /// one worker (serial columnar loop) and eight workers (sharded
+    /// kernel) produce the same bits, for f64 and bool roots alike.
+    #[test]
+    fn kernel_sharding_is_thread_count_invariant(
+        fexpr in f_expr(),
+        bexpr in b_expr(),
+        seed in 0u64..1000,
+    ) {
+        // Past the parallel cutover (≥1024), so 8 workers really shard.
+        let n = 1500;
+        let fnet = build_f(&fexpr);
+        let serial = Session::seeded(seed).with_threads(1).samples(&fnet, n);
+        let sharded = Session::seeded(seed).with_threads(8).samples(&fnet, n);
+        prop_assert_eq!(bits(&serial), bits(&sharded));
+
+        let bnet = build_b(&bexpr);
+        let serial = Session::seeded(seed).with_threads(1).samples(&bnet, n);
+        let sharded = Session::seeded(seed).with_threads(8).samples(&bnet, n);
+        prop_assert_eq!(serial, sharded);
+    }
+}

@@ -1,8 +1,9 @@
 //! Speed from GPS fixes — the computation that compounds error (paper §2).
 
 use crate::error_model::GpsReading;
-use crate::geo::GeoCoordinate;
+use crate::geo::{GeoCoordinate, EARTH_RADIUS_M};
 use uncertain_core::{Session, Uncertain};
+use uncertain_dist::{Rayleigh, Uniform};
 
 /// Meters-per-second to miles-per-hour.
 pub const MPS_TO_MPH: f64 = 2.236_936_292_054_402;
@@ -36,6 +37,11 @@ pub fn naive_speed(from: &GpsReading, to: &GpsReading, dt_seconds: f64) -> f64 {
 /// distributions, `Speed = Distance / dt` is a Bayesian network, and the
 /// result is an `Uncertain<f64>` in mph.
 ///
+/// The network is built entirely from scalar leaves and primitive
+/// arithmetic/trig operations (destination formula + haversine, ~56
+/// nodes), so the runtime compiles it to the columnar batch kernel —
+/// rather than hiding the geometry inside one opaque closure per fix.
+///
 /// # Panics
 ///
 /// Panics if `dt_seconds` is not strictly positive.
@@ -59,12 +65,62 @@ pub fn naive_speed(from: &GpsReading, to: &GpsReading, dt_seconds: f64) -> f64 {
 /// ```
 pub fn uncertain_speed(from: &GpsReading, to: &GpsReading, dt_seconds: f64) -> Uncertain<f64> {
     assert!(dt_seconds > 0.0, "dt must be positive");
-    let l1 = from.location();
-    let l2 = to.location();
-    let distance = l1.map2("distance", &l2, |a: GeoCoordinate, b: GeoCoordinate| {
-        a.distance_meters(&b)
-    });
+    let (lat1, lon1, cos_lat1) = uncertain_fix_radians(from);
+    let (lat2, lon2, cos_lat2) = uncertain_fix_radians(to);
+    // Haversine between the two uncertain fixes. The squared half-chord
+    // terms are genuinely shared subexpressions: `&s * &s` hands the same
+    // node to both sides of the multiply, so the DAG evaluates each sine
+    // once per joint sample (paper Fig. 8).
+    let half_dlat_sin = ((&lat2 - &lat1) * 0.5).sin();
+    let half_dlon_sin = ((&lon2 - &lon1) * 0.5).sin();
+    let a = &half_dlat_sin * &half_dlat_sin
+        + (&cos_lat1 * &cos_lat2) * (&half_dlon_sin * &half_dlon_sin);
+    let distance = a.sqrt().asin() * (2.0 * EARTH_RADIUS_M);
     distance / dt_seconds * MPS_TO_MPH
+}
+
+/// The true position implied by one GPS fix, decomposed into primitive
+/// arithmetic on scalar distributions: a Rayleigh radial error and a
+/// uniform bearing pushed through the great-circle destination formula,
+/// with the fix's reported center folded into plain-`f64` constants.
+///
+/// Returns `(latitude_rad, longitude_rad, cos(latitude_rad))` — the three
+/// quantities the haversine in [`uncertain_speed`] consumes. Because every
+/// node is a built-in leaf or a tagged arithmetic/trig primitive, the whole
+/// speed network compiles to the columnar batch kernel instead of falling
+/// back to opaque per-sample closures.
+///
+/// The longitude is left unnormalized: the haversine only ever sees it
+/// through `sin²(Δλ/2)`, which is π-periodic, so wrapping into
+/// `[−180°, 180°]` would change nothing downstream.
+fn uncertain_fix_radians(reading: &GpsReading) -> (Uncertain<f64>, Uncertain<f64>, Uncertain<f64>) {
+    let center = reading.center();
+    let sin_lat_c = center.latitude.to_radians().sin();
+    let cos_lat_c = center.latitude.to_radians().cos();
+    let lon_c = center.longitude.to_radians();
+
+    // The paper's error model (§4.1): radial distance ~ Rayleigh(ρ),
+    // bearing ~ Uniform(0°, 360°). Same draws, in the same order, as
+    // `GpsReading::location` — only the downstream geometry is lifted.
+    let radial = Rayleigh::new(reading.rho()).expect("accuracy validated at construction");
+    let bearing_deg =
+        Uncertain::from_distribution(Uniform::new(0.0, 360.0).expect("static bounds are valid"));
+    let r = Uncertain::from_distribution(radial);
+
+    let ang = r / EARTH_RADIUS_M;
+    let sin_ang = ang.sin();
+    let cos_ang = ang.cos();
+    let bearing = bearing_deg.to_radians();
+
+    // Destination formula with φc folded: sin φ₂ = sin φc·cos δ + cos φc·sin δ·cos β.
+    let sin_lat2 = &cos_ang * sin_lat_c + (&sin_ang * bearing.cos()) * cos_lat_c;
+    let lat2 = sin_lat2.asin();
+    let cos_lat2 = lat2.cos();
+    // λ₂ = λc + atan2(sin β·sin δ·cos φc, cos δ − sin φc·sin φ₂).
+    let east = bearing.sin() * &sin_ang * cos_lat_c;
+    let north = &cos_ang - &sin_lat2 * sin_lat_c;
+    let lon2 = east.atan2(&north) + lon_c;
+    (lat2, lon2, cos_lat2)
 }
 
 /// The paper's Fig. 4 quantity: the probability that the conditional

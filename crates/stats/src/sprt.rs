@@ -381,6 +381,35 @@ impl SequentialTest {
     pub fn run_batched_while(
         &self,
         mut gen_batch: impl FnMut(usize) -> Vec<bool>,
+        keep_going: impl FnMut(usize) -> bool,
+    ) -> Option<TestOutcome> {
+        self.run_counted_while(
+            |take| {
+                let batch = gen_batch(take);
+                assert_eq!(
+                    batch.len(),
+                    take,
+                    "sequential test asked for {take} samples"
+                );
+                batch.iter().filter(|&&b| b).count() as u64
+            },
+            keep_going,
+        )
+    }
+
+    /// The batch runner in *counted* form: `successes_of(k)` draws exactly
+    /// `k` Bernoulli samples and returns how many were `true`.
+    ///
+    /// This is the natural hook for columnar samplers that materialise a
+    /// whole `bool` column at once — the caller counts successes off its
+    /// own buffer instead of handing the runner a fresh `Vec<bool>` per
+    /// batch. Stopping rule, batch schedule, cap fallback, and the
+    /// `keep_going` abort contract are identical to
+    /// [`SequentialTest::run_batched_while`]: for the same underlying
+    /// sample stream all the runners produce the same [`TestOutcome`].
+    pub fn run_counted_while(
+        &self,
+        mut successes_of: impl FnMut(usize) -> u64,
         mut keep_going: impl FnMut(usize) -> bool,
     ) -> Option<TestOutcome> {
         let mut n: usize = 0;
@@ -390,13 +419,7 @@ impl SequentialTest {
                 return None;
             }
             let take = self.batch.min(self.max_samples - n);
-            let batch = gen_batch(take);
-            assert_eq!(
-                batch.len(),
-                take,
-                "sequential test asked for {take} samples"
-            );
-            successes += batch.iter().filter(|&&b| b).count() as u64;
+            successes += successes_of(take);
             n += take;
             match self.sprt.decide(successes, n as u64) {
                 TestDecision::Continue => continue,
@@ -561,6 +584,23 @@ mod tests {
                 .run_batched_while(|k| (0..k).map(|_| b.gen::<f64>() < p).collect(), |_| true)
                 .unwrap();
             assert_eq!(plain, gated, "seed {seed} p {p}");
+        }
+    }
+
+    #[test]
+    fn run_counted_while_matches_run_batched() {
+        let t = SequentialTest::at_threshold(0.5).unwrap();
+        for (seed, p) in [(30, 0.9), (31, 0.55), (32, 0.1), (33, 0.5)] {
+            let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+            let plain = t.run_batched(|k| (0..k).map(|_| a.gen::<f64>() < p).collect());
+            let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+            let counted = t
+                .run_counted_while(
+                    |k| (0..k).filter(|_| b.gen::<f64>() < p).count() as u64,
+                    |_| true,
+                )
+                .unwrap();
+            assert_eq!(plain, counted, "seed {seed} p {p}");
         }
     }
 
