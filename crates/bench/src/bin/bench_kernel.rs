@@ -13,6 +13,14 @@
 //! - `wide_dag`: a 129-node network: a balanced reduction over 64 Gaussian leaves —
 //!   maximum instruction-level breadth per tape step.
 //!
+//! A fourth section, `leaf_bound`, isolates the per-distribution cost of
+//! `FillLeaf` itself: a single-leaf network per distribution, run once as
+//! a tagged `from_distribution` leaf (the kernel fills whole columns
+//! through the vectorized `fill_column` pass) and once as a `from_fn`
+//! closure over the same distribution (the kernel's per-element scalar
+//! fallback). The scalar-vs-vectorized ns/sample delta is the leaf
+//! batching win with no arithmetic in the way.
+//!
 //! Both paths draw identical sample streams (asserted bitwise before
 //! timing), so the speedup column is pure evaluation-strategy delta:
 //! register-tape columns and per-instruction loops versus one nested
@@ -23,9 +31,12 @@
 
 use std::fs::OpenOptions;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use uncertain_bench::{header, scaled};
-use uncertain_core::{Evaluator, ParSampler, Uncertain};
+use uncertain_core::dist::{Bernoulli, Exponential, Gaussian, Rayleigh, Uniform};
+use uncertain_core::prelude::Distribution;
+use uncertain_core::{Evaluator, ParSampler, Uncertain, Value};
 use uncertain_gps::{uncertain_speed, GeoCoordinate, GpsReading, MPS_TO_MPH};
 
 const SEED: u64 = 2014;
@@ -95,6 +106,56 @@ fn median_ns(reps: usize, batches: usize, batch: usize, mut run: impl FnMut(usiz
     times[times.len() / 2]
 }
 
+/// One `leaf_bound` row: times a single-leaf network through the kernel's
+/// vectorized column fill (`tagged`) and its per-element scalar fallback
+/// (`closure`), and appends the comparison as JSON. Both leaves sample the
+/// same distribution, so the streams are asserted bitwise-equal first.
+#[allow(clippy::too_many_arguments)]
+fn leaf_bound_row<T: Value + PartialEq + std::fmt::Debug>(
+    out: &mut impl Write,
+    dist: &str,
+    tagged: Uncertain<T>,
+    closure: Uncertain<T>,
+    reps: usize,
+    budget: usize,
+    stamp: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let batch = 4096usize;
+    let batches = (budget / batch).max(1);
+
+    assert_eq!(
+        Evaluator::new(&closure, SEED).sample_batch(10_000),
+        Evaluator::new(&tagged, SEED).sample_batch(10_000),
+        "vectorized and scalar leaf fills disagree for {dist}"
+    );
+
+    let mut scalar_eval = Evaluator::new(&closure, SEED);
+    let mut buf = Vec::with_capacity(batch);
+    scalar_eval.sample_batch_into(&mut buf, batch); // warm
+    let scalar_ns = median_ns(reps, batches, batch, |k| {
+        scalar_eval.sample_batch_into(&mut buf, k);
+    });
+
+    let mut vector_eval = Evaluator::new(&tagged, SEED);
+    vector_eval.sample_batch_into(&mut buf, batch); // warm
+    let vector_ns = median_ns(reps, batches, batch, |k| {
+        vector_eval.sample_batch_into(&mut buf, k);
+    });
+
+    let speedup = scalar_ns / vector_ns;
+    println!("{dist:>12} {scalar_ns:>14.2} {vector_ns:>14.2} {speedup:>8.2}x");
+    writeln!(
+        out,
+        "{{\"bench\":\"kernel_columnar\",\"workload\":\"leaf_bound\",\
+         \"dist\":\"{dist}\",\"unix_time\":{stamp},\"batch\":{batch},\
+         \"samples\":{samples},\"threads\":1,\
+         \"scalar_ns_per_sample\":{scalar_ns:.2},\
+         \"vector_ns_per_sample\":{vector_ns:.2},\"speedup\":{speedup:.3}}}",
+        samples = batches * batch,
+    )?;
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     if std::env::args().any(|a| a == "--quick") {
         std::env::set_var("QUICK", "1");
@@ -159,6 +220,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             records += 1;
         }
     }
+    // Leaf-bound microbench: FillLeaf cost per distribution, scalar
+    // fallback vs vectorized column fill, nothing else on the tape.
+    println!("\n[leaf_bound] (single-leaf networks, batch 4096)");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "dist", "scalar ns", "vector ns", "speedup"
+    );
+    macro_rules! f64_leaf {
+        ($name:literal, $dist:expr) => {{
+            let tagged = Uncertain::from_distribution($dist);
+            let d = Arc::new($dist);
+            let closure = Uncertain::from_fn(concat!("scalar ", $name), move |rng| d.sample(rng));
+            leaf_bound_row(&mut out, $name, tagged, closure, reps, budget, stamp)?;
+            records += 1;
+        }};
+    }
+    f64_leaf!("Gaussian", Gaussian::new(0.0, 1.0).unwrap());
+    f64_leaf!("Exponential", Exponential::new(1.0).unwrap());
+    f64_leaf!("Rayleigh", Rayleigh::new(2.0).unwrap());
+    f64_leaf!("Uniform", Uniform::new(0.0, 1.0).unwrap());
+    f64_leaf!("Bernoulli", Bernoulli::new(0.3).unwrap());
+
     println!("\nappended {records} records to BENCH_kernel.json");
     Ok(())
 }

@@ -288,6 +288,12 @@ impl<T: Value> Evaluator<T> {
     /// let profile = eval.kernel_profile(1024).expect("tape-expressible");
     /// assert_eq!(profile.samples, 1024);
     /// assert_eq!(profile.instrs.len(), 4); // x, +, point(0), >
+    /// // The optimizer found nothing to remove in this tape …
+    /// assert_eq!(profile.pre_opt_instrs, profile.post_opt_instrs());
+    /// // … and the one leaf is a vectorized Gaussian column fill.
+    /// let leaves = profile.by_leaf_kind();
+    /// assert_eq!(leaves.len(), 1);
+    /// assert!(leaves[0].vectorized);
     /// # Ok(())
     /// # }
     /// ```

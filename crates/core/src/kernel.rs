@@ -119,10 +119,71 @@ impl UnOp {
             UnOp::ClampK(lo, hi) => loop_fill(a, out, n, |x| x.clamp(lo, hi)),
         }
     }
+
+    /// Applies the operation to one scalar — exactly the expression the
+    /// corresponding [`UnOp::fill`] loop body evaluates, so constant
+    /// folding through `apply` is bitwise identical to running the column
+    /// pass over a constant column.
+    pub(crate) fn apply(self, x: f64) -> f64 {
+        match self {
+            UnOp::Neg => -x,
+            UnOp::Abs => x.abs(),
+            UnOp::Sqrt => x.sqrt(),
+            UnOp::Exp => x.exp(),
+            UnOp::Ln => x.ln(),
+            UnOp::Sin => x.sin(),
+            UnOp::Cos => x.cos(),
+            UnOp::Asin => x.asin(),
+            UnOp::Atan => x.atan(),
+            UnOp::ToRadians => x.to_radians(),
+            UnOp::ToDegrees => x.to_degrees(),
+            UnOp::AddK(k) => x + k,
+            UnOp::SubK(k) => x - k,
+            UnOp::RsubK(k) => k - x,
+            UnOp::MulK(k) => x * k,
+            UnOp::DivK(k) => x / k,
+            UnOp::RdivK(k) => k / x,
+            UnOp::RemK(k) => x % k,
+            UnOp::RremK(k) => k % x,
+            UnOp::PowiK(k) => x.powi(k),
+            UnOp::PowfK(k) => x.powf(k),
+            UnOp::ClampK(lo, hi) => x.clamp(lo, hi),
+        }
+    }
+}
+
+/// A stable hash key for a [`UnOp`] (its variants capture `f64` scalars,
+/// which are keyed by bit pattern — two `NaN` captures only merge when
+/// their payloads match).
+fn un_key(op: UnOp) -> (u8, u64, u64) {
+    match op {
+        UnOp::Neg => (0, 0, 0),
+        UnOp::Abs => (1, 0, 0),
+        UnOp::Sqrt => (2, 0, 0),
+        UnOp::Exp => (3, 0, 0),
+        UnOp::Ln => (4, 0, 0),
+        UnOp::Sin => (5, 0, 0),
+        UnOp::Cos => (6, 0, 0),
+        UnOp::Asin => (7, 0, 0),
+        UnOp::Atan => (8, 0, 0),
+        UnOp::ToRadians => (9, 0, 0),
+        UnOp::ToDegrees => (10, 0, 0),
+        UnOp::AddK(k) => (11, k.to_bits(), 0),
+        UnOp::SubK(k) => (12, k.to_bits(), 0),
+        UnOp::RsubK(k) => (13, k.to_bits(), 0),
+        UnOp::MulK(k) => (14, k.to_bits(), 0),
+        UnOp::DivK(k) => (15, k.to_bits(), 0),
+        UnOp::RdivK(k) => (16, k.to_bits(), 0),
+        UnOp::RemK(k) => (17, k.to_bits(), 0),
+        UnOp::RremK(k) => (18, k.to_bits(), 0),
+        UnOp::PowiK(k) => (19, k as u32 as u64, 0),
+        UnOp::PowfK(k) => (20, k.to_bits(), 0),
+        UnOp::ClampK(lo, hi) => (21, lo.to_bits(), hi.to_bits()),
+    }
 }
 
 /// A binary `f64 × f64 → f64` operation a `map2` node advertises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum BinOp {
     Add,
     Sub,
@@ -158,10 +219,57 @@ impl BinOp {
             BinOp::Atan2 => loop_fill(a, b, out, n, f64::atan2),
         }
     }
+
+    /// Scalar twin of the [`BinOp::fill`] loop body (see [`UnOp::apply`]).
+    pub(crate) fn apply(self, x: f64, y: f64) -> f64 {
+        match self {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            BinOp::Rem => x % y,
+            BinOp::Max => x.max(y),
+            BinOp::Min => x.min(y),
+            BinOp::Atan2 => x.atan2(y),
+        }
+    }
+
+    /// The `UnOp` equivalent of this operation with a constant **left**
+    /// operand (`k op x`), where one exists. `None` for `Max`/`Min`/
+    /// `Atan2`, which have no `*K` forms.
+    ///
+    /// For the commutative ops (`Add`, `Mul`) this swaps operand order
+    /// (`k + x` becomes the `AddK` loop's `x + k`); IEEE addition and
+    /// multiplication are bitwise commutative whenever at most one operand
+    /// is NaN, so callers must skip NaN constants — with two NaNs, which
+    /// payload propagates depends on operand order.
+    fn with_const_lhs(self, k: f64) -> Option<UnOp> {
+        Some(match self {
+            BinOp::Add => UnOp::AddK(k),
+            BinOp::Sub => UnOp::RsubK(k),
+            BinOp::Mul => UnOp::MulK(k),
+            BinOp::Div => UnOp::RdivK(k),
+            BinOp::Rem => UnOp::RremK(k),
+            BinOp::Max | BinOp::Min | BinOp::Atan2 => return None,
+        })
+    }
+
+    /// The `UnOp` equivalent with a constant **right** operand (`x op k`).
+    /// Same NaN caveat as [`BinOp::with_const_lhs`].
+    fn with_const_rhs(self, k: f64) -> Option<UnOp> {
+        Some(match self {
+            BinOp::Add => UnOp::AddK(k),
+            BinOp::Sub => UnOp::SubK(k),
+            BinOp::Mul => UnOp::MulK(k),
+            BinOp::Div => UnOp::DivK(k),
+            BinOp::Rem => UnOp::RemK(k),
+            BinOp::Max | BinOp::Min | BinOp::Atan2 => return None,
+        })
+    }
 }
 
 /// A `f64 × f64 → bool` comparison a lifted operator advertises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum CmpOp {
     Gt,
     Lt,
@@ -193,10 +301,22 @@ impl CmpOp {
             CmpOp::Ne => loop_fill(a, b, out, n, |x, y| x != y),
         }
     }
+
+    /// Scalar twin of the [`CmpOp::fill`] loop body.
+    pub(crate) fn apply(self, x: f64, y: f64) -> bool {
+        match self {
+            CmpOp::Gt => x > y,
+            CmpOp::Lt => x < y,
+            CmpOp::Ge => x >= y,
+            CmpOp::Le => x <= y,
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+        }
+    }
 }
 
 /// A `bool × bool → bool` connective a lifted operator advertises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum BoolOp {
     And,
     Or,
@@ -220,6 +340,15 @@ impl BoolOp {
             BoolOp::And => loop_fill(a, b, out, n, |x, y| x & y),
             BoolOp::Or => loop_fill(a, b, out, n, |x, y| x | y),
             BoolOp::Xor => loop_fill(a, b, out, n, |x, y| x ^ y),
+        }
+    }
+
+    /// Scalar twin of the [`BoolOp::fill`] loop body.
+    pub(crate) fn apply(self, x: bool, y: bool) -> bool {
+        match self {
+            BoolOp::And => x & y,
+            BoolOp::Or => x | y,
+            BoolOp::Xor => x ^ y,
         }
     }
 }
@@ -307,10 +436,56 @@ fn dst_and_srcs(regs: &mut [Box<dyn Col>], dst: usize) -> (&mut dyn Col, &[Box<d
 // Instructions
 // ---------------------------------------------------------------------------
 
+/// Structural shape of an instruction, as reported to the optimizer.
+///
+/// `Opaque` means "a pure per-element closure the optimizer must not fold
+/// or merge, but may eliminate if dead". `Leaf` additionally pins the
+/// instruction in place: leaves consume per-sample RNG draws, and every
+/// sample's RNG is shared across the whole tape in tape order — dropping,
+/// merging, or reordering a leaf would shift every later leaf's draws and
+/// break bitwise equality with the closure path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum InstrKind {
+    Leaf,
+    ConstF64(f64),
+    ConstBool(bool),
+    /// A `FillPoint` of some type other than `f64`/`bool`.
+    ConstOther,
+    Un(UnOp, usize),
+    Bin(BinOp, usize, usize),
+    Cmp(CmpOp, usize, usize),
+    Bool(BoolOp, usize, usize),
+    Not(usize),
+    MulAdd {
+        a: usize,
+        b: usize,
+        c: usize,
+        c_first: bool,
+    },
+    MulKAdd {
+        k: f64,
+        a: usize,
+        c: usize,
+        c_first: bool,
+    },
+    Opaque,
+}
+
 /// One tape instruction: computes its destination column from source
 /// columns (and, for leaves, the per-sample RNGs) for `n` rows.
 pub(crate) trait Instr: Send + Sync {
     fn run(&self, regs: &mut [Box<dyn Col>], rngs: &mut [SmallRng], n: usize);
+
+    /// Structural shape for the optimizer. Source indices in the returned
+    /// kind are the instruction's raw register fields.
+    fn kind(&self) -> InstrKind;
+
+    /// Source registers read by [`Instr::run`].
+    fn srcs(&self) -> Vec<usize>;
+
+    /// Clones the instruction with destination `dst` and each source `s`
+    /// replaced by `map[s]`.
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr>;
 }
 
 struct FillLeaf<T: Value> {
@@ -321,11 +496,32 @@ struct FillLeaf<T: Value> {
 impl<T: Value> Instr for FillLeaf<T> {
     fn run(&self, regs: &mut [Box<dyn Col>], rngs: &mut [SmallRng], n: usize) {
         let out = col_mut::<T>(regs[self.dst].as_mut());
-        out.clear();
-        out.reserve(n);
-        for rng in rngs[..n].iter_mut() {
-            out.push(self.node.sample_raw(rng));
+        if let Some(fill) = self.node.fill_fn() {
+            // Vectorized column fill — bitwise-identical to the scalar
+            // loop below by the `fill_column` contract.
+            fill(&mut rngs[..n], out);
+        } else {
+            out.clear();
+            out.reserve(n);
+            for rng in rngs[..n].iter_mut() {
+                out.push(self.node.sample_raw(rng));
+            }
         }
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Leaf
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    fn remap(&self, dst: usize, _map: &[usize]) -> Box<dyn Instr> {
+        Box::new(FillLeaf {
+            node: Arc::clone(&self.node),
+            dst,
+        })
     }
 }
 
@@ -339,6 +535,28 @@ impl<T: Value> Instr for FillPoint<T> {
         let out = col_mut::<T>(regs[self.dst].as_mut());
         out.clear();
         out.extend((0..n).map(|_| self.value.clone()));
+    }
+
+    fn kind(&self) -> InstrKind {
+        let v: &dyn Any = &self.value;
+        if let Some(&x) = v.downcast_ref::<f64>() {
+            InstrKind::ConstF64(x)
+        } else if let Some(&b) = v.downcast_ref::<bool>() {
+            InstrKind::ConstBool(b)
+        } else {
+            InstrKind::ConstOther
+        }
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    fn remap(&self, dst: usize, _map: &[usize]) -> Box<dyn Instr> {
+        Box::new(FillPoint {
+            value: self.value.clone(),
+            dst,
+        })
     }
 }
 
@@ -355,6 +573,22 @@ impl<A: Value, T: Value> Instr for MapOpaque<A, T> {
         let out = col_mut::<T>(dst);
         out.clear();
         out.extend(a[..n].iter().map(|v| self.node.apply(v.clone())));
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Opaque
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.src]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(MapOpaque {
+            node: Arc::clone(&self.node),
+            src: map[self.src],
+            dst,
+        })
     }
 }
 
@@ -379,6 +613,23 @@ impl<A: Value, B: Value, T: Value> Instr for Map2Opaque<A, B, T> {
                 .map(|(x, y)| self.node.apply(x.clone(), y.clone())),
         );
     }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Opaque
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.a, self.b]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(Map2Opaque {
+            node: Arc::clone(&self.node),
+            a: map[self.a],
+            b: map[self.b],
+            dst,
+        })
+    }
 }
 
 struct UnF64 {
@@ -392,6 +643,22 @@ impl Instr for UnF64 {
         let (dst, srcs) = dst_and_srcs(regs, self.dst);
         let a = col_ref::<f64>(srcs[self.src].as_ref());
         self.op.fill(a, col_mut::<f64>(dst), n);
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Un(self.op, self.src)
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.src]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(UnF64 {
+            op: self.op,
+            src: map[self.src],
+            dst,
+        })
     }
 }
 
@@ -409,6 +676,23 @@ impl Instr for BinF64 {
         let b = col_ref::<f64>(srcs[self.b].as_ref());
         self.op.fill(a, b, col_mut::<f64>(dst), n);
     }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Bin(self.op, self.a, self.b)
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.a, self.b]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(BinF64 {
+            op: self.op,
+            a: map[self.a],
+            b: map[self.b],
+            dst,
+        })
+    }
 }
 
 struct CmpF64 {
@@ -424,6 +708,23 @@ impl Instr for CmpF64 {
         let a = col_ref::<f64>(srcs[self.a].as_ref());
         let b = col_ref::<f64>(srcs[self.b].as_ref());
         self.op.fill(a, b, col_mut::<bool>(dst), n);
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Cmp(self.op, self.a, self.b)
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.a, self.b]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(CmpF64 {
+            op: self.op,
+            a: map[self.a],
+            b: map[self.b],
+            dst,
+        })
     }
 }
 
@@ -441,6 +742,23 @@ impl Instr for BoolBin {
         let b = col_ref::<bool>(srcs[self.b].as_ref());
         self.op.fill(a, b, col_mut::<bool>(dst), n);
     }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Bool(self.op, self.a, self.b)
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.a, self.b]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(BoolBin {
+            op: self.op,
+            a: map[self.a],
+            b: map[self.b],
+            dst,
+        })
+    }
 }
 
 struct NotBool {
@@ -455,6 +773,429 @@ impl Instr for NotBool {
         let out = col_mut::<bool>(dst);
         out.clear();
         out.extend(a[..n].iter().map(|&x| !x));
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Not(self.src)
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.src]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(NotBool {
+            src: map[self.src],
+            dst,
+        })
+    }
+}
+
+/// Fused `a*b + c` (or `c + a*b` when `c_first`): the optimizer's
+/// replacement for an `Add` whose `Mul` operand has no other use. The two
+/// IEEE operations are still performed separately per element — this is
+/// *loop* fusion (one column pass and one register instead of two), **not**
+/// a hardware FMA contraction, so results stay bitwise identical to the
+/// unfused tape.
+struct MulAddF64 {
+    a: usize,
+    b: usize,
+    c: usize,
+    c_first: bool,
+    dst: usize,
+}
+
+impl Instr for MulAddF64 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f64>(srcs[self.a].as_ref());
+        let b = col_ref::<f64>(srcs[self.b].as_ref());
+        let c = col_ref::<f64>(srcs[self.c].as_ref());
+        let out = col_mut::<f64>(dst);
+        out.clear();
+        let it = a[..n].iter().zip(&b[..n]).zip(&c[..n]);
+        if self.c_first {
+            out.extend(it.map(|((&x, &y), &z)| z + x * y));
+        } else {
+            out.extend(it.map(|((&x, &y), &z)| x * y + z));
+        }
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::MulAdd {
+            a: self.a,
+            b: self.b,
+            c: self.c,
+            c_first: self.c_first,
+        }
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.a, self.b, self.c]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(MulAddF64 {
+            a: map[self.a],
+            b: map[self.b],
+            c: map[self.c],
+            c_first: self.c_first,
+            dst,
+        })
+    }
+}
+
+/// Fused `a*k + c` / `c + a*k` — the strength-reduced (`MulK`) twin of
+/// [`MulAddF64`], with the same bitwise guarantee.
+struct MulKAddF64 {
+    k: f64,
+    a: usize,
+    c: usize,
+    c_first: bool,
+    dst: usize,
+}
+
+impl Instr for MulKAddF64 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f64>(srcs[self.a].as_ref());
+        let c = col_ref::<f64>(srcs[self.c].as_ref());
+        let out = col_mut::<f64>(dst);
+        out.clear();
+        let k = self.k;
+        let it = a[..n].iter().zip(&c[..n]);
+        if self.c_first {
+            out.extend(it.map(|(&x, &z)| z + x * k));
+        } else {
+            out.extend(it.map(|(&x, &z)| x * k + z));
+        }
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::MulKAdd {
+            k: self.k,
+            a: self.a,
+            c: self.c,
+            c_first: self.c_first,
+        }
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.a, self.c]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(MulKAddF64 {
+            k: self.k,
+            a: map[self.a],
+            c: map[self.c],
+            c_first: self.c_first,
+            dst,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 column mode (feature = "f32-columns")
+// ---------------------------------------------------------------------------
+//
+// The opt-in reduced-precision mode: after the bitwise-preserving
+// optimizer runs, the tape's *arithmetic interior* — tagged `f64`
+// unary/binary/fused instructions, except the root — is demoted to
+// operate on `Vec<f32>` register columns, halving column memory traffic
+// and doubling SIMD lane width. Explicit cast instructions bridge the
+// boundaries: leaf/point/opaque outputs are narrowed once where the
+// demoted interior reads them, and widened back (exactly — every f32 is
+// representable as f64) where comparisons, opaque closures, or the root
+// need `f64` again. This mode deliberately trades the bitwise-equality
+// contract for speed; it is off by default and never changes behavior
+// unless a session opts in (`Session::with_f32_columns`).
+
+#[cfg(feature = "f32-columns")]
+impl UnOp {
+    /// `f32` twin of [`UnOp::fill`]; scalar captures are narrowed once.
+    fn fill_f32(self, a: &[f32], out: &mut Vec<f32>, n: usize) {
+        #[inline]
+        fn loop_fill(a: &[f32], out: &mut Vec<f32>, n: usize, f: impl Fn(f32) -> f32) {
+            out.clear();
+            out.extend(a[..n].iter().map(|&x| f(x)));
+        }
+        match self {
+            UnOp::Neg => loop_fill(a, out, n, |x| -x),
+            UnOp::Abs => loop_fill(a, out, n, f32::abs),
+            UnOp::Sqrt => loop_fill(a, out, n, f32::sqrt),
+            UnOp::Exp => loop_fill(a, out, n, f32::exp),
+            UnOp::Ln => loop_fill(a, out, n, f32::ln),
+            UnOp::Sin => loop_fill(a, out, n, f32::sin),
+            UnOp::Cos => loop_fill(a, out, n, f32::cos),
+            UnOp::Asin => loop_fill(a, out, n, f32::asin),
+            UnOp::Atan => loop_fill(a, out, n, f32::atan),
+            UnOp::ToRadians => loop_fill(a, out, n, f32::to_radians),
+            UnOp::ToDegrees => loop_fill(a, out, n, f32::to_degrees),
+            UnOp::AddK(k) => loop_fill(a, out, n, |x| x + k as f32),
+            UnOp::SubK(k) => loop_fill(a, out, n, |x| x - k as f32),
+            UnOp::RsubK(k) => loop_fill(a, out, n, |x| k as f32 - x),
+            UnOp::MulK(k) => loop_fill(a, out, n, |x| x * k as f32),
+            UnOp::DivK(k) => loop_fill(a, out, n, |x| x / k as f32),
+            UnOp::RdivK(k) => loop_fill(a, out, n, |x| k as f32 / x),
+            UnOp::RemK(k) => loop_fill(a, out, n, |x| x % k as f32),
+            UnOp::RremK(k) => loop_fill(a, out, n, |x| k as f32 % x),
+            UnOp::PowiK(k) => loop_fill(a, out, n, |x| x.powi(k)),
+            UnOp::PowfK(k) => loop_fill(a, out, n, |x| x.powf(k as f32)),
+            UnOp::ClampK(lo, hi) => loop_fill(a, out, n, |x| x.clamp(lo as f32, hi as f32)),
+        }
+    }
+}
+
+#[cfg(feature = "f32-columns")]
+impl BinOp {
+    /// `f32` twin of [`BinOp::fill`].
+    fn fill_f32(self, a: &[f32], b: &[f32], out: &mut Vec<f32>, n: usize) {
+        #[inline]
+        fn loop_fill(
+            a: &[f32],
+            b: &[f32],
+            out: &mut Vec<f32>,
+            n: usize,
+            f: impl Fn(f32, f32) -> f32,
+        ) {
+            out.clear();
+            out.extend(a[..n].iter().zip(&b[..n]).map(|(&x, &y)| f(x, y)));
+        }
+        match self {
+            BinOp::Add => loop_fill(a, b, out, n, |x, y| x + y),
+            BinOp::Sub => loop_fill(a, b, out, n, |x, y| x - y),
+            BinOp::Mul => loop_fill(a, b, out, n, |x, y| x * y),
+            BinOp::Div => loop_fill(a, b, out, n, |x, y| x / y),
+            BinOp::Rem => loop_fill(a, b, out, n, |x, y| x % y),
+            BinOp::Max => loop_fill(a, b, out, n, f32::max),
+            BinOp::Min => loop_fill(a, b, out, n, f32::min),
+            BinOp::Atan2 => loop_fill(a, b, out, n, f32::atan2),
+        }
+    }
+}
+
+#[cfg(feature = "f32-columns")]
+struct UnF32 {
+    op: UnOp,
+    src: usize,
+    dst: usize,
+}
+
+#[cfg(feature = "f32-columns")]
+impl Instr for UnF32 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f32>(srcs[self.src].as_ref());
+        self.op.fill_f32(a, col_mut::<f32>(dst), n);
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Opaque
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.src]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(UnF32 {
+            op: self.op,
+            src: map[self.src],
+            dst,
+        })
+    }
+}
+
+#[cfg(feature = "f32-columns")]
+struct BinF32 {
+    op: BinOp,
+    a: usize,
+    b: usize,
+    dst: usize,
+}
+
+#[cfg(feature = "f32-columns")]
+impl Instr for BinF32 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f32>(srcs[self.a].as_ref());
+        let b = col_ref::<f32>(srcs[self.b].as_ref());
+        self.op.fill_f32(a, b, col_mut::<f32>(dst), n);
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Opaque
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.a, self.b]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(BinF32 {
+            op: self.op,
+            a: map[self.a],
+            b: map[self.b],
+            dst,
+        })
+    }
+}
+
+#[cfg(feature = "f32-columns")]
+struct MulAddF32 {
+    a: usize,
+    b: usize,
+    c: usize,
+    c_first: bool,
+    dst: usize,
+}
+
+#[cfg(feature = "f32-columns")]
+impl Instr for MulAddF32 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f32>(srcs[self.a].as_ref());
+        let b = col_ref::<f32>(srcs[self.b].as_ref());
+        let c = col_ref::<f32>(srcs[self.c].as_ref());
+        let out = col_mut::<f32>(dst);
+        out.clear();
+        let it = a[..n].iter().zip(&b[..n]).zip(&c[..n]);
+        if self.c_first {
+            out.extend(it.map(|((&x, &y), &z)| z + x * y));
+        } else {
+            out.extend(it.map(|((&x, &y), &z)| x * y + z));
+        }
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Opaque
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.a, self.b, self.c]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(MulAddF32 {
+            a: map[self.a],
+            b: map[self.b],
+            c: map[self.c],
+            c_first: self.c_first,
+            dst,
+        })
+    }
+}
+
+#[cfg(feature = "f32-columns")]
+struct MulKAddF32 {
+    k: f32,
+    a: usize,
+    c: usize,
+    c_first: bool,
+    dst: usize,
+}
+
+#[cfg(feature = "f32-columns")]
+impl Instr for MulKAddF32 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f32>(srcs[self.a].as_ref());
+        let c = col_ref::<f32>(srcs[self.c].as_ref());
+        let out = col_mut::<f32>(dst);
+        out.clear();
+        let k = self.k;
+        let it = a[..n].iter().zip(&c[..n]);
+        if self.c_first {
+            out.extend(it.map(|(&x, &z)| z + x * k));
+        } else {
+            out.extend(it.map(|(&x, &z)| x * k + z));
+        }
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Opaque
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.a, self.c]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(MulKAddF32 {
+            k: self.k,
+            a: map[self.a],
+            c: map[self.c],
+            c_first: self.c_first,
+            dst,
+        })
+    }
+}
+
+/// Narrows an `f64` column to `f32` where the demoted interior reads it.
+#[cfg(feature = "f32-columns")]
+struct CastF64F32 {
+    src: usize,
+    dst: usize,
+}
+
+#[cfg(feature = "f32-columns")]
+impl Instr for CastF64F32 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f64>(srcs[self.src].as_ref());
+        let out = col_mut::<f32>(dst);
+        out.clear();
+        out.extend(a[..n].iter().map(|&x| x as f32));
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Opaque
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.src]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(CastF64F32 {
+            src: map[self.src],
+            dst,
+        })
+    }
+}
+
+/// Widens a demoted `f32` column back to `f64` (exact) for comparisons,
+/// opaque closures, or the root.
+#[cfg(feature = "f32-columns")]
+struct CastF32F64 {
+    src: usize,
+    dst: usize,
+}
+
+#[cfg(feature = "f32-columns")]
+impl Instr for CastF32F64 {
+    fn run(&self, regs: &mut [Box<dyn Col>], _rngs: &mut [SmallRng], n: usize) {
+        let (dst, srcs) = dst_and_srcs(regs, self.dst);
+        let a = col_ref::<f32>(srcs[self.src].as_ref());
+        let out = col_mut::<f64>(dst);
+        out.clear();
+        out.extend(a[..n].iter().map(|&x| x as f64));
+    }
+
+    fn kind(&self) -> InstrKind {
+        InstrKind::Opaque
+    }
+
+    fn srcs(&self) -> Vec<usize> {
+        vec![self.src]
+    }
+
+    fn remap(&self, dst: usize, map: &[usize]) -> Box<dyn Instr> {
+        Box::new(CastF32F64 {
+            src: map[self.src],
+            dst,
+        })
     }
 }
 
@@ -526,7 +1267,14 @@ impl KernelBuilder {
 pub(crate) fn lower_leaf<T: Value>(node: Arc<LeafNode<T>>, k: &mut KernelBuilder) {
     let dst = k.next_reg();
     let (id, label) = (node.id(), node.label());
-    k.emit::<T>(id, label, "leaf", Box::new(FillLeaf { node, dst }));
+    // Distinguish vectorized column fills in the profile so the obs layer
+    // can report scalar vs. batched leaf cost separately.
+    let op = if node.fill_fn().is_some() {
+        "leaf_vec"
+    } else {
+        "leaf"
+    };
+    k.emit::<T>(id, label, op, Box::new(FillLeaf { node, dst }));
 }
 
 pub(crate) fn lower_point<T: Value>(id: NodeId, label: String, value: T, k: &mut KernelBuilder) {
@@ -604,6 +1352,9 @@ pub(crate) struct Kernel<T> {
     metas: Vec<InstrMeta>,
     makers: Vec<ColMaker>,
     root: usize,
+    /// Tape length as lowered, before the optimizer ran.
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    pre_opt_len: usize,
     _marker: PhantomData<fn() -> T>,
 }
 
@@ -633,12 +1384,36 @@ impl std::fmt::Debug for KernelState {
 }
 
 impl<T: Value> Kernel<T> {
-    /// Lowers a network to a tape, or `None` if any reachable node needs
-    /// `SampleContext` machinery (see the module docs' fallback rules).
+    /// Lowers a network to an **optimized** tape, or `None` if any
+    /// reachable node needs `SampleContext` machinery (see the module
+    /// docs' fallback rules). This is what production callers use; the
+    /// optimizer never changes output bits (see [`Kernel::optimize`]).
+    pub(crate) fn lower(network: &Uncertain<T>) -> Option<Self> {
+        let mut k = Self::lower_raw(network)?;
+        k.optimize();
+        Some(k)
+    }
+
+    /// [`Kernel::lower`] followed by demotion of the arithmetic interior
+    /// to `f32` columns — the opt-in reduced-precision column mode. The
+    /// root register and everything RNG- or comparison-facing stays
+    /// `f64`; see [`Kernel::demote_to_f32`] for the exact rules and the
+    /// accuracy trade.
+    #[cfg(feature = "f32-columns")]
+    pub(crate) fn lower_f32(network: &Uncertain<T>) -> Option<Self> {
+        let mut k = Self::lower_raw(network)?;
+        k.optimize();
+        k.demote_to_f32();
+        Some(k)
+    }
+
+    /// Lowers a network to a tape without running the optimizer — the
+    /// raw one-instruction-per-node form. Kept for tests and baselines
+    /// that compare pre- and post-optimizer tapes.
     ///
     /// The walk is iterative — an explicit work stack, not recursion — so
     /// thousand-node evidence chains lower safely in debug builds.
-    pub(crate) fn lower(network: &Uncertain<T>) -> Option<Self> {
+    pub(crate) fn lower_raw(network: &Uncertain<T>) -> Option<Self> {
         let mut b = KernelBuilder::default();
         let root = network.node().clone() as Arc<dyn NodeInfo>;
         let mut stack: Vec<(Arc<dyn NodeInfo>, bool)> = vec![(Arc::clone(&root), false)];
@@ -661,13 +1436,469 @@ impl<T: Value> Kernel<T> {
             }
         }
         let root_reg = b.reg(root.id());
+        let pre_opt_len = b.instrs.len();
         Some(Kernel {
             instrs: b.instrs,
             metas: b.metas,
             makers: b.makers,
             root: root_reg,
+            pre_opt_len,
             _marker: PhantomData,
         })
+    }
+
+    /// Runs the SSA tape optimizer in place: constant folding + strength
+    /// reduction, boolean identities, common-subexpression elimination,
+    /// copy propagation, mul+add loop fusion, and dead-register
+    /// elimination with register compaction.
+    ///
+    /// Every rewrite preserves output **bits** exactly — folds evaluate
+    /// the same IEEE expression the column loop would, strength reduction
+    /// and CSE only substitute bitwise-equal columns, and fusion keeps
+    /// the multiply and add as two separate operations (no FMA
+    /// contraction). No pass ever drops, merges, or reorders a `Leaf`
+    /// instruction: leaves consume per-sample RNG draws in tape order, so
+    /// they stay pinned even when their value is dead, keeping the draw
+    /// sequence identical to the closure path.
+    fn optimize(&mut self) {
+        let n = self.instrs.len();
+        let mut kinds: Vec<InstrKind> = self.instrs.iter().map(|i| i.kind()).collect();
+        // `alias[i]` names a register whose column is bitwise equal to
+        // `i`'s; aliases always point backwards at a register that is its
+        // own representative, so one hop resolves.
+        let mut alias: Vec<usize> = (0..n).collect();
+
+        self.fold_constants(&mut kinds, &mut alias);
+        Self::cse(&kinds, &mut alias);
+
+        // Copy propagation: rewrite every source through the alias map so
+        // aliased registers go dead, then refresh the cached kinds.
+        if alias.iter().enumerate().any(|(i, &a)| a != i) {
+            for i in 0..n {
+                self.instrs[i] = self.instrs[i].remap(i, &alias);
+            }
+            self.root = alias[self.root];
+            for (k, ins) in kinds.iter_mut().zip(&self.instrs) {
+                *k = ins.kind();
+            }
+        }
+
+        self.fuse_muladd(&mut kinds);
+        self.dce_compact(&kinds);
+    }
+
+    /// Replaces instruction `i` with a constant `f64` fill. The register
+    /// keeps its `Vec<f64>` column maker, so only the instruction (and
+    /// its profile `op`) changes.
+    fn set_const_f64(&mut self, i: usize, value: f64, kinds: &mut [InstrKind]) {
+        self.instrs[i] = Box::new(FillPoint { value, dst: i });
+        self.metas[i].op = "point";
+        kinds[i] = InstrKind::ConstF64(value);
+    }
+
+    fn set_const_bool(&mut self, i: usize, value: bool, kinds: &mut [InstrKind]) {
+        self.instrs[i] = Box::new(FillPoint { value, dst: i });
+        self.metas[i].op = "point";
+        kinds[i] = InstrKind::ConstBool(value);
+    }
+
+    /// Strength-reduces a binary op with one constant operand to its `*K`
+    /// unary form (one column read instead of two).
+    fn set_unary(&mut self, i: usize, op: UnOp, src: usize, kinds: &mut [InstrKind]) {
+        self.instrs[i] = Box::new(UnF64 { op, src, dst: i });
+        self.metas[i].op = "unary";
+        kinds[i] = InstrKind::Un(op, src);
+    }
+
+    /// Forward constant-folding sweep. Also applies strength reduction
+    /// (`Bin` with one constant operand → `*K` unary), the exact boolean
+    /// identities, and double-negation elimination.
+    ///
+    /// Deliberately **not** folded, because the "identity" is not one in
+    /// IEEE arithmetic: `x + 0.0` (breaks on `-0.0`), `x * 1.0` and
+    /// `x / 1.0` (could be argued, but kept for uniformity), `x * 0.0`
+    /// (breaks on infinities, NaN, and `-0.0`). Strength reduction with a
+    /// NaN constant is skipped: for the commutative ops the operand swap
+    /// could change which NaN payload propagates when both sides are NaN.
+    fn fold_constants(&mut self, kinds: &mut [InstrKind], alias: &mut [usize]) {
+        for i in 0..kinds.len() {
+            match kinds[i] {
+                InstrKind::Un(op, s) => {
+                    if let InstrKind::ConstF64(v) = kinds[alias[s]] {
+                        self.set_const_f64(i, op.apply(v), kinds);
+                    }
+                }
+                InstrKind::Bin(op, a, b) => {
+                    let (ra, rb) = (alias[a], alias[b]);
+                    match (kinds[ra], kinds[rb]) {
+                        (InstrKind::ConstF64(x), InstrKind::ConstF64(y)) => {
+                            self.set_const_f64(i, op.apply(x, y), kinds);
+                        }
+                        (InstrKind::ConstF64(x), _) if !x.is_nan() => {
+                            if let Some(un) = op.with_const_lhs(x) {
+                                self.set_unary(i, un, rb, kinds);
+                            }
+                        }
+                        (_, InstrKind::ConstF64(y)) if !y.is_nan() => {
+                            if let Some(un) = op.with_const_rhs(y) {
+                                self.set_unary(i, un, ra, kinds);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                InstrKind::Cmp(op, a, b) => {
+                    if let (InstrKind::ConstF64(x), InstrKind::ConstF64(y)) =
+                        (kinds[alias[a]], kinds[alias[b]])
+                    {
+                        self.set_const_bool(i, op.apply(x, y), kinds);
+                    }
+                }
+                InstrKind::Bool(op, a, b) => {
+                    let (ra, rb) = (alias[a], alias[b]);
+                    match (kinds[ra], kinds[rb]) {
+                        (InstrKind::ConstBool(x), InstrKind::ConstBool(y)) => {
+                            self.set_const_bool(i, op.apply(x, y), kinds);
+                        }
+                        (InstrKind::ConstBool(k), _) | (_, InstrKind::ConstBool(k)) => {
+                            let other = if matches!(kinds[ra], InstrKind::ConstBool(_)) {
+                                rb
+                            } else {
+                                ra
+                            };
+                            // Booleans have exact identities (unlike f64).
+                            match (op, k) {
+                                (BoolOp::And, true)
+                                | (BoolOp::Or, false)
+                                | (BoolOp::Xor, false) => alias[i] = other,
+                                (BoolOp::And, false) => self.set_const_bool(i, false, kinds),
+                                (BoolOp::Or, true) => self.set_const_bool(i, true, kinds),
+                                (BoolOp::Xor, true) => {
+                                    self.instrs[i] = Box::new(NotBool { src: other, dst: i });
+                                    self.metas[i].op = "not";
+                                    kinds[i] = InstrKind::Not(other);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                InstrKind::Not(s) => match kinds[alias[s]] {
+                    InstrKind::ConstBool(v) => self.set_const_bool(i, !v, kinds),
+                    // `!!x == x` exactly.
+                    InstrKind::Not(inner) => alias[i] = alias[inner],
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+
+    /// Value-numbering CSE: two pure instructions with the same op and
+    /// the same (representative) sources compute bitwise-identical
+    /// columns, so the later one aliases the earlier. Scalar captures are
+    /// keyed by bit pattern, and operands are **not** commutatively
+    /// canonicalized — `a+b` and `b+a` can differ in which NaN payload
+    /// propagates when both operands are NaN — so only syntactic matches
+    /// merge. Leaves (RNG consumers), opaque closures, and non-scalar
+    /// constants have no identity key and never merge.
+    fn cse(kinds: &[InstrKind], alias: &mut [usize]) {
+        #[derive(PartialEq, Eq, Hash)]
+        enum Key {
+            ConstF64(u64),
+            ConstBool(bool),
+            Un((u8, u64, u64), usize),
+            Bin(BinOp, usize, usize),
+            Cmp(CmpOp, usize, usize),
+            Bool(BoolOp, usize, usize),
+            Not(usize),
+        }
+        let mut table: HashMap<Key, usize> = HashMap::new();
+        for i in 0..kinds.len() {
+            if alias[i] != i {
+                continue;
+            }
+            let key = match kinds[i] {
+                InstrKind::ConstF64(v) => Key::ConstF64(v.to_bits()),
+                InstrKind::ConstBool(b) => Key::ConstBool(b),
+                InstrKind::Un(op, s) => Key::Un(un_key(op), alias[s]),
+                InstrKind::Bin(op, a, b) => Key::Bin(op, alias[a], alias[b]),
+                InstrKind::Cmp(op, a, b) => Key::Cmp(op, alias[a], alias[b]),
+                InstrKind::Bool(op, a, b) => Key::Bool(op, alias[a], alias[b]),
+                InstrKind::Not(s) => Key::Not(alias[s]),
+                _ => continue,
+            };
+            use std::collections::hash_map::Entry;
+            match table.entry(key) {
+                Entry::Occupied(e) => alias[i] = *e.get(),
+                Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+    }
+
+    /// Fuses an `Add` whose `Mul` (or `MulK`) operand has no other use
+    /// into one fused column pass — halving the loop and register traffic
+    /// for the `a*b + c` shapes that dominate lifted arithmetic. Runs
+    /// after copy propagation, so kind source indices are final. The
+    /// single-use requirement (counting the root as a use) guarantees the
+    /// mul register goes dead and DCE reclaims it.
+    fn fuse_muladd(&mut self, kinds: &mut [InstrKind]) {
+        let n = kinds.len();
+        let mut uses = vec![0u32; n];
+        for ins in &self.instrs {
+            for s in ins.srcs() {
+                uses[s] += 1;
+            }
+        }
+        uses[self.root] += 1;
+        for i in 0..n {
+            let InstrKind::Bin(BinOp::Add, p, q) = kinds[i] else {
+                continue;
+            };
+            let (fused, kind): (Box<dyn Instr>, InstrKind) = match (kinds[p], kinds[q]) {
+                (InstrKind::Bin(BinOp::Mul, x, y), _) if uses[p] == 1 => (
+                    Box::new(MulAddF64 {
+                        a: x,
+                        b: y,
+                        c: q,
+                        c_first: false,
+                        dst: i,
+                    }),
+                    InstrKind::MulAdd {
+                        a: x,
+                        b: y,
+                        c: q,
+                        c_first: false,
+                    },
+                ),
+                (_, InstrKind::Bin(BinOp::Mul, x, y)) if uses[q] == 1 => (
+                    Box::new(MulAddF64 {
+                        a: x,
+                        b: y,
+                        c: p,
+                        c_first: true,
+                        dst: i,
+                    }),
+                    InstrKind::MulAdd {
+                        a: x,
+                        b: y,
+                        c: p,
+                        c_first: true,
+                    },
+                ),
+                (InstrKind::Un(UnOp::MulK(k), x), _) if uses[p] == 1 => (
+                    Box::new(MulKAddF64 {
+                        k,
+                        a: x,
+                        c: q,
+                        c_first: false,
+                        dst: i,
+                    }),
+                    InstrKind::MulKAdd {
+                        k,
+                        a: x,
+                        c: q,
+                        c_first: false,
+                    },
+                ),
+                (_, InstrKind::Un(UnOp::MulK(k), x)) if uses[q] == 1 => (
+                    Box::new(MulKAddF64 {
+                        k,
+                        a: x,
+                        c: p,
+                        c_first: true,
+                        dst: i,
+                    }),
+                    InstrKind::MulKAdd {
+                        k,
+                        a: x,
+                        c: p,
+                        c_first: true,
+                    },
+                ),
+                _ => continue,
+            };
+            self.instrs[i] = fused;
+            self.metas[i].op = "muladd";
+            kinds[i] = kind;
+        }
+    }
+
+    /// Dead-register elimination + compaction: drops every instruction
+    /// whose column nobody (transitively) reads — except leaves, which
+    /// stay so each sample's RNG draw sequence matches the closure path
+    /// (which also samples dead leaves) — then renumbers the survivors
+    /// densely so the register file shrinks with the tape.
+    fn dce_compact(&mut self, kinds: &[InstrKind]) {
+        let n = self.instrs.len();
+        let mut keep = vec![false; n];
+        let mut used = vec![false; n];
+        used[self.root] = true;
+        // Reverse sweep is sound: an instruction's sources are strictly
+        // below it, so every user of `i` was visited before `i`.
+        for i in (0..n).rev() {
+            if used[i] || matches!(kinds[i], InstrKind::Leaf) {
+                keep[i] = true;
+                for s in self.instrs[i].srcs() {
+                    used[s] = true;
+                }
+            }
+        }
+        if keep.iter().all(|&k| k) {
+            return;
+        }
+        let mut map = vec![usize::MAX; n];
+        let mut next = 0;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                map[i] = next;
+                next += 1;
+            }
+        }
+        let instrs = std::mem::take(&mut self.instrs);
+        let metas = std::mem::take(&mut self.metas);
+        let makers = std::mem::take(&mut self.makers);
+        self.instrs.reserve(next);
+        for (i, ((ins, meta), maker)) in instrs.into_iter().zip(metas).zip(makers).enumerate() {
+            if keep[i] {
+                self.instrs.push(ins.remap(map[i], &map));
+                self.metas.push(meta);
+                self.makers.push(maker);
+            }
+        }
+        self.root = map[self.root];
+    }
+
+    /// Demotes the tape's arithmetic interior to `f32` columns (see the
+    /// "f32 column mode" section docs for what that buys and costs).
+    ///
+    /// Rules: every tagged `f64` unary/binary/fused instruction except
+    /// the root register is rebuilt as its `f32` twin writing a
+    /// `Vec<f32>` column. A `CastF64F32` is emitted right after any
+    /// undemoted `f64` producer (leaf, point, opaque, root-adjacent) the
+    /// interior reads, and a `CastF32F64` right after any demoted
+    /// producer that an `f64` consumer (comparison, opaque closure, the
+    /// root position) reads — widening is exact, so a comparison sees
+    /// precisely the `f32` value the interior computed. Emission order
+    /// preserves topological order, keeping the `dst > srcs` register
+    /// invariant.
+    #[cfg(feature = "f32-columns")]
+    fn demote_to_f32(&mut self) {
+        let n = self.instrs.len();
+        let kinds: Vec<InstrKind> = self.instrs.iter().map(|i| i.kind()).collect();
+        let arith = |k: &InstrKind| {
+            matches!(
+                k,
+                InstrKind::Un(..)
+                    | InstrKind::Bin(..)
+                    | InstrKind::MulAdd { .. }
+                    | InstrKind::MulKAdd { .. }
+            )
+        };
+        let demote: Vec<bool> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| i != self.root && arith(k))
+            .collect();
+        if !demote.iter().any(|&d| d) {
+            return;
+        }
+        // Which old registers need a view in the other precision.
+        let mut need_f32 = vec![false; n];
+        let mut need_f64 = vec![false; n];
+        for i in 0..n {
+            for s in self.instrs[i].srcs() {
+                if demote[i] && !demote[s] {
+                    need_f32[s] = true;
+                }
+                if !demote[i] && demote[s] {
+                    need_f64[s] = true;
+                }
+            }
+        }
+        let old_root = self.root;
+        let instrs = std::mem::take(&mut self.instrs);
+        let metas = std::mem::take(&mut self.metas);
+        let makers = std::mem::take(&mut self.makers);
+        // New register holding old `i`'s column at f64 (for undemoted
+        // producers: the instruction itself; for demoted ones: the
+        // widening cast) and at f32 respectively.
+        let mut f64_reg = vec![usize::MAX; n];
+        let mut f32_reg = vec![usize::MAX; n];
+        for (i, ((ins, meta), maker)) in instrs.into_iter().zip(metas).zip(makers).enumerate() {
+            let cast_meta = (need_f32[i] || need_f64[i]).then(|| InstrMeta {
+                node: meta.node,
+                label: meta.label.clone(),
+                op: "cast",
+            });
+            if demote[i] {
+                let dst = self.instrs.len();
+                let ins32: Box<dyn Instr> = match kinds[i] {
+                    InstrKind::Un(op, s) => Box::new(UnF32 {
+                        op,
+                        src: f32_reg[s],
+                        dst,
+                    }),
+                    InstrKind::Bin(op, a, b) => Box::new(BinF32 {
+                        op,
+                        a: f32_reg[a],
+                        b: f32_reg[b],
+                        dst,
+                    }),
+                    InstrKind::MulAdd { a, b, c, c_first } => Box::new(MulAddF32 {
+                        a: f32_reg[a],
+                        b: f32_reg[b],
+                        c: f32_reg[c],
+                        c_first,
+                        dst,
+                    }),
+                    InstrKind::MulKAdd { k, a, c, c_first } => Box::new(MulKAddF32 {
+                        k: k as f32,
+                        a: f32_reg[a],
+                        c: f32_reg[c],
+                        c_first,
+                        dst,
+                    }),
+                    _ => unreachable!("demotion only selects tagged f64 arithmetic"),
+                };
+                self.instrs.push(ins32);
+                self.metas.push(meta);
+                self.makers.push(Box::new(|| Box::new(Vec::<f32>::new())));
+                f32_reg[i] = dst;
+                if need_f64[i] {
+                    let cast_dst = self.instrs.len();
+                    self.instrs.push(Box::new(CastF32F64 {
+                        src: dst,
+                        dst: cast_dst,
+                    }));
+                    self.metas.push(cast_meta.expect("need flag set"));
+                    self.makers.push(Box::new(|| Box::new(Vec::<f64>::new())));
+                    f64_reg[i] = cast_dst;
+                }
+            } else {
+                let dst = self.instrs.len();
+                // Every source this instruction reads is available at its
+                // original type under `f64_reg` by emission order (the
+                // widening cast for a demoted source was emitted with it).
+                self.instrs.push(ins.remap(dst, &f64_reg));
+                self.metas.push(meta);
+                self.makers.push(maker);
+                f64_reg[i] = dst;
+                if need_f32[i] {
+                    let cast_dst = self.instrs.len();
+                    self.instrs.push(Box::new(CastF64F32 {
+                        src: dst,
+                        dst: cast_dst,
+                    }));
+                    self.metas.push(cast_meta.expect("need flag set"));
+                    self.makers.push(Box::new(|| Box::new(Vec::<f32>::new())));
+                    f32_reg[i] = cast_dst;
+                }
+            }
+        }
+        self.root = f64_reg[old_root];
     }
 
     /// Instructions on the tape (== registers in the file).
@@ -751,6 +1982,7 @@ impl<T: Value> Kernel<T> {
                 })
                 .collect(),
             samples,
+            pre_opt_instrs: self.pre_opt_len,
         }
     }
 }
@@ -798,4 +2030,296 @@ pub(crate) fn sharded_batch<T: Value>(
         }
     });
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uncertain::Uncertain;
+
+    fn run<T: Value>(k: &Kernel<T>, seed: u64, n: usize) -> Vec<T> {
+        let seeds: Vec<u64> = (0..n as u64).map(|i| sample_seed(seed, i)).collect();
+        let mut state = k.new_state();
+        let mut out = Vec::with_capacity(n);
+        k.run_into(&seeds, &mut state, &mut out);
+        out
+    }
+
+    fn ops<T>(k: &Kernel<T>) -> Vec<&'static str> {
+        k.metas.iter().map(|m| m.op).collect()
+    }
+
+    fn leaf_count<T>(k: &Kernel<T>) -> usize {
+        k.metas
+            .iter()
+            .filter(|m| m.op == "leaf" || m.op == "leaf_vec")
+            .count()
+    }
+
+    /// Lowers `net` raw and optimized, asserts the optimizer changed no
+    /// output bit and dropped no leaf, and hands both tapes back for
+    /// shape assertions.
+    fn opt_preserves_f64(net: &Uncertain<f64>) -> (Kernel<f64>, Kernel<f64>) {
+        let raw = Kernel::lower_raw(net).expect("lowerable");
+        let opt = Kernel::lower(net).expect("lowerable");
+        let raw_bits: Vec<u64> = run(&raw, 77, 257).iter().map(|x| x.to_bits()).collect();
+        let opt_bits: Vec<u64> = run(&opt, 77, 257).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(raw_bits, opt_bits, "optimizer changed output bits");
+        assert_eq!(
+            leaf_count(&raw),
+            leaf_count(&opt),
+            "optimizer dropped a leaf — RNG draw order is broken"
+        );
+        (raw, opt)
+    }
+
+    fn opt_preserves_bool(net: &Uncertain<bool>) -> (Kernel<bool>, Kernel<bool>) {
+        let raw = Kernel::lower_raw(net).expect("lowerable");
+        let opt = Kernel::lower(net).expect("lowerable");
+        assert_eq!(run(&raw, 91, 257), run(&opt, 91, 257));
+        assert_eq!(leaf_count(&raw), leaf_count(&opt));
+        (raw, opt)
+    }
+
+    #[test]
+    fn fold_collapses_constant_subtrees_and_dce_removes_them() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        // (2 + 3) * x: the add folds to 5.0, the mul strength-reduces to
+        // MulK(5.0), and DCE sweeps both point registers and the folded
+        // constant. Only the leaf and one unary survive.
+        let net = (Uncertain::point(2.0) + Uncertain::point(3.0)) * &x;
+        let (raw, opt) = opt_preserves_f64(&net);
+        assert_eq!(raw.instrs.len(), 5);
+        assert_eq!(opt.instrs.len(), 2);
+        assert_eq!(opt.pre_opt_len, 5);
+        assert_eq!(ops(&opt), vec!["leaf_vec", "unary"]);
+    }
+
+    #[test]
+    fn cse_merges_duplicate_subexpressions() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let y = Uncertain::uniform(0.0, 1.0).unwrap();
+        // Two *distinct* add nodes over the same registers: CSE aliases
+        // the second onto the first, copy-prop rewires the product, DCE
+        // drops the duplicate column.
+        let a = &x + &y;
+        let b = &x + &y;
+        let net = &a * &b;
+        let (raw, opt) = opt_preserves_f64(&net);
+        assert_eq!(raw.instrs.len(), 5);
+        assert_eq!(opt.instrs.len(), 4, "duplicate add survived CSE");
+    }
+
+    #[test]
+    fn muladd_fusion_fuses_single_use_products() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let y = Uncertain::uniform(0.0, 1.0).unwrap();
+        let z = Uncertain::normal(1.0, 2.0).unwrap();
+        let net = &x * &y + &z;
+        let (raw, opt) = opt_preserves_f64(&net);
+        assert_eq!(raw.instrs.len(), 5);
+        assert_eq!(opt.instrs.len(), 4);
+        assert!(ops(&opt).contains(&"muladd"), "ops: {:?}", ops(&opt));
+    }
+
+    #[test]
+    fn mulk_add_fusion_handles_scalar_products() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let z = Uncertain::uniform(0.0, 1.0).unwrap();
+        // x * 3 folds to MulK, then fuses with the add into MulKAdd; the
+        // point register dies. Three instructions remain: two leaves and
+        // the fused loop.
+        let net = &x * 3.0 + &z;
+        let (raw, opt) = opt_preserves_f64(&net);
+        assert!(raw.instrs.len() > opt.instrs.len());
+        assert_eq!(opt.instrs.len(), 3);
+        assert!(ops(&opt).contains(&"muladd"), "ops: {:?}", ops(&opt));
+    }
+
+    #[test]
+    fn shared_products_are_not_fused() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let y = Uncertain::uniform(0.0, 1.0).unwrap();
+        // The product feeds two adds; fusing either would re-run the
+        // multiply. Both adds must stay unfused.
+        let p = &x * &y;
+        let net = (&p + &x) + (&p + &y);
+        let (_, opt) = opt_preserves_f64(&net);
+        assert!(!ops(&opt).contains(&"muladd"), "ops: {:?}", ops(&opt));
+    }
+
+    #[test]
+    fn bool_identities_keep_dead_leaves_alive() {
+        let a = Uncertain::bernoulli(0.3).unwrap();
+        let b = Uncertain::bernoulli(0.7).unwrap();
+        // a & false folds to false; false | b aliases to b. Leaf `a` is
+        // arithmetically dead but must stay on the tape: it consumes RNG
+        // draws ahead of `b`, and the closure path samples it too.
+        let net = (&a & Uncertain::point(false)) | &b;
+        let (raw, opt) = opt_preserves_bool(&net);
+        assert!(opt.instrs.len() < raw.instrs.len());
+        assert_eq!(leaf_count(&opt), 2);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let b = Uncertain::bernoulli(0.4).unwrap();
+        let net = !!(&b & &b);
+        let (raw, opt) = opt_preserves_bool(&net);
+        assert!(opt.instrs.len() < raw.instrs.len());
+        assert!(!ops(&opt).contains(&"not"), "ops: {:?}", ops(&opt));
+    }
+
+    #[test]
+    fn optimizer_is_identity_on_irreducible_tapes() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let y = Uncertain::uniform(0.0, 1.0).unwrap();
+        // max has no *K form and the sub result is shared: nothing folds,
+        // nothing fuses, nothing dies.
+        let d = &x - &y;
+        let net = d.map("max0", |v: f64| v.max(0.0)) + &d;
+        let (raw, opt) = opt_preserves_f64(&net);
+        assert_eq!(raw.instrs.len(), opt.instrs.len());
+    }
+
+    #[test]
+    fn nan_constants_are_not_commuted() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        // NaN + x must NOT strength-reduce to AddK (which computes
+        // x + NaN): with two NaN operands the propagated payload depends
+        // on operand order. The binary instruction must survive.
+        let net = Uncertain::point(f64::NAN) + &x;
+        let (raw, opt) = opt_preserves_f64(&net);
+        assert_eq!(raw.instrs.len(), opt.instrs.len());
+        assert!(!ops(&opt).contains(&"unary"), "ops: {:?}", ops(&opt));
+    }
+
+    #[test]
+    fn unop_apply_is_bitwise_twin_of_fill() {
+        use UnOp::*;
+        let all = [
+            Neg,
+            Abs,
+            Sqrt,
+            Exp,
+            Ln,
+            Sin,
+            Cos,
+            Asin,
+            Atan,
+            ToRadians,
+            ToDegrees,
+            AddK(1.5),
+            SubK(1.5),
+            RsubK(1.5),
+            MulK(-2.5),
+            DivK(3.0),
+            RdivK(3.0),
+            RemK(2.0),
+            RremK(2.0),
+            PowiK(3),
+            PowfK(0.5),
+            ClampK(-1.0, 1.0),
+        ];
+        let inputs = [
+            -3.75,
+            -1.0,
+            -0.0,
+            0.0,
+            0.5,
+            1.0,
+            2.25,
+            1e300,
+            -1e-300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        let mut out = Vec::new();
+        for op in all {
+            op.fill(&inputs, &mut out, inputs.len());
+            for (i, &x) in inputs.iter().enumerate() {
+                assert_eq!(
+                    op.apply(x).to_bits(),
+                    out[i].to_bits(),
+                    "{op:?} apply/fill disagree at x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binop_apply_is_bitwise_twin_of_fill() {
+        use BinOp::*;
+        let all = [Add, Sub, Mul, Div, Rem, Max, Min, Atan2];
+        let xs = [-2.5, -0.0, 0.0, 1.5, f64::INFINITY, f64::NAN];
+        let mut out = Vec::new();
+        for op in all {
+            for &y in &xs {
+                let ys = [y; 6];
+                op.fill(&xs, &ys, &mut out, xs.len());
+                for (i, &x) in xs.iter().enumerate() {
+                    assert_eq!(
+                        op.apply(x, y).to_bits(),
+                        out[i].to_bits(),
+                        "{op:?} apply/fill disagree at ({x}, {y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strength_reduced_forms_match_their_binary_twins() {
+        // For non-NaN constants, AddK/MulK/… must compute the same bits
+        // as the two-column binary loop they replace, for every lattice
+        // corner the fold can see.
+        let xs = [
+            -2.5,
+            -0.0,
+            0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        let ks = [-3.0, -0.0, 0.0, 0.5, 2.0, f64::INFINITY];
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem] {
+            for &k in &ks {
+                let lhs = op.with_const_lhs(k).unwrap();
+                let rhs = op.with_const_rhs(k).unwrap();
+                for &x in &xs {
+                    assert_eq!(
+                        lhs.apply(x).to_bits(),
+                        op.apply(k, x).to_bits(),
+                        "{op:?} const-lhs {k} at {x}"
+                    );
+                    assert_eq!(
+                        rhs.apply(x).to_bits(),
+                        op.apply(x, k).to_bits(),
+                        "{op:?} const-rhs {k} at {x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "f32-columns")]
+    #[test]
+    fn f32_demotion_runs_and_stays_close() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let y = Uncertain::uniform(0.5, 1.5).unwrap();
+        let net = (&x * &y + &x) * 0.25 - &y;
+        let f64_k = Kernel::lower(&net).expect("lowerable");
+        let f32_k = Kernel::lower_f32(&net).expect("lowerable");
+        let exact = run(&f64_k, 123, 513);
+        let demoted = run(&f32_k, 123, 513);
+        assert_eq!(exact.len(), demoted.len());
+        for (a, b) in exact.iter().zip(&demoted) {
+            assert!(
+                (a - b).abs() <= 1e-5 * (1.0 + a.abs()),
+                "f32 demotion drifted: {a} vs {b}"
+            );
+        }
+    }
 }

@@ -96,8 +96,8 @@ pub use graph::{NetworkView, NodeMeta};
 pub use node::NodeId;
 #[cfg(feature = "obs")]
 pub use obs::{
-    DecisionTrace, InstrCost, KernelProfile, KindCost, NodeCost, Profile, Recorder, StoppingReason,
-    TracePoint,
+    DecisionTrace, InstrCost, KernelProfile, KindCost, LeafKindCost, NodeCost, Profile, Recorder,
+    StoppingReason, TracePoint,
 };
 pub use plan::{ParSampler, Plan};
 pub use runtime::{CacheStats, Session, DEFAULT_CACHE_CAPACITY};

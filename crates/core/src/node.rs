@@ -120,11 +120,18 @@ pub(crate) type DynNode<T> = Arc<dyn TypedNode<T>>;
 /// A boxed raw sampling function (the paper's leaf representation).
 type BoxedSamplingFn<T> = Box<dyn Fn(&mut dyn rand::RngCore) -> T + Send + Sync>;
 
-/// Leaf node: a sampling function over the raw RNG.
+/// A boxed *column* fill: one value per RNG, bitwise-identical to calling
+/// the scalar sampling function once per index (the
+/// `Distribution::fill_column` contract from `uncertain-dist`).
+type BoxedFillFn<T> = Box<dyn Fn(&mut [rand::rngs::SmallRng], &mut Vec<T>) + Send + Sync>;
+
+/// Leaf node: a sampling function over the raw RNG, optionally tagged
+/// with a vectorized column fill for the batch kernel.
 pub(crate) struct LeafNode<T> {
     id: NodeId,
     label: String,
     sample_fn: BoxedSamplingFn<T>,
+    fill_fn: Option<BoxedFillFn<T>>,
 }
 
 impl<T> LeafNode<T> {
@@ -136,6 +143,26 @@ impl<T> LeafNode<T> {
             id: NodeId::fresh(),
             label: label.into(),
             sample_fn: Box::new(sample_fn),
+            fill_fn: None,
+        }
+    }
+
+    /// A leaf that also carries a batched column fill — the kernel tag
+    /// `Uncertain::from_distribution` attaches. `fill_fn` **must** be
+    /// bitwise-equivalent to one `sample_fn` call per index (each index
+    /// consuming only its own RNG, in scalar call order); the columnar
+    /// kernel relies on this to stay sample-for-sample identical to the
+    /// closure path.
+    pub(crate) fn with_fill(
+        label: impl Into<String>,
+        sample_fn: impl Fn(&mut dyn rand::RngCore) -> T + Send + Sync + 'static,
+        fill_fn: impl Fn(&mut [rand::rngs::SmallRng], &mut Vec<T>) + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            id: NodeId::fresh(),
+            label: label.into(),
+            sample_fn: Box::new(sample_fn),
+            fill_fn: Some(Box::new(fill_fn)),
         }
     }
 
@@ -144,6 +171,11 @@ impl<T> LeafNode<T> {
     /// lowering each `NodeId` exactly once.
     pub(crate) fn sample_raw(&self, rng: &mut dyn rand::RngCore) -> T {
         (self.sample_fn)(rng)
+    }
+
+    /// The vectorized column fill, when this leaf carries one.
+    pub(crate) fn fill_fn(&self) -> Option<&BoxedFillFn<T>> {
+        self.fill_fn.as_ref()
     }
 }
 

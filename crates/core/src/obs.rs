@@ -258,6 +258,11 @@ pub struct KernelProfile {
     pub instrs: Vec<InstrCost>,
     /// Joint samples drawn during the profiled run.
     pub samples: u64,
+    /// Tape length as lowered, before the optimizer's fold / CSE /
+    /// copy-propagation / fusion / DCE passes ran. Compare with
+    /// [`KernelProfile::post_opt_instrs`] to see how much of the raw tape
+    /// the optimizer removed.
+    pub pre_opt_instrs: usize,
 }
 
 impl KernelProfile {
@@ -265,6 +270,71 @@ impl KernelProfile {
     pub fn total_ns(&self) -> u64 {
         self.instrs.iter().map(|i| i.ns).sum()
     }
+
+    /// Tape length after optimization — the instructions that actually
+    /// ran (`instrs.len()`).
+    pub fn post_opt_instrs(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Leaf-fill cost aggregated by distribution kind, hottest first.
+    ///
+    /// Each entry sums the `FillLeaf` instructions of one distribution
+    /// family (label kind prefix, e.g. `"Gaussian"`), split by whether the
+    /// leaf filled its column through the vectorized
+    /// [`fill_column`](uncertain_dist::Distribution::fill_column) path
+    /// (`op == "leaf_vec"`) or the per-element scalar fallback
+    /// (`op == "leaf"`). Non-leaf instructions are excluded, so the total
+    /// here is the tape's sampling cost as opposed to its arithmetic cost.
+    pub fn by_leaf_kind(&self) -> Vec<LeafKindCost> {
+        let mut kinds: Vec<LeafKindCost> = Vec::new();
+        for i in &self.instrs {
+            let vectorized = match i.op {
+                "leaf_vec" => true,
+                "leaf" => false,
+                _ => continue,
+            };
+            let kind = kind_of(&i.label);
+            match kinds
+                .iter_mut()
+                .find(|k| k.kind == kind && k.vectorized == vectorized)
+            {
+                Some(k) => {
+                    k.instrs += 1;
+                    k.elems += i.elems;
+                    k.ns += i.ns;
+                }
+                None => kinds.push(LeafKindCost {
+                    kind,
+                    vectorized,
+                    instrs: 1,
+                    elems: i.elems,
+                    ns: i.ns,
+                }),
+            }
+        }
+        kinds.sort_by_key(|k| std::cmp::Reverse(k.ns));
+        kinds
+    }
+}
+
+/// Leaf sampling cost aggregated over every `FillLeaf` instruction of one
+/// distribution kind, from [`KernelProfile::by_leaf_kind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafKindCost {
+    /// The distribution family (label kind prefix, e.g. `"Gaussian"`).
+    pub kind: String,
+    /// Whether these leaves filled whole columns via the distribution's
+    /// vectorized `fill_column` (`true`) or fell back to per-element
+    /// scalar sampling (`false`). The same kind can appear twice — once
+    /// per path — when a network mixes tagged and closure leaves.
+    pub vectorized: bool,
+    /// Distinct `FillLeaf` instructions aggregated.
+    pub instrs: usize,
+    /// Summed column elements produced.
+    pub elems: u64,
+    /// Summed exclusive nanoseconds.
+    pub ns: u64,
 }
 
 /// The kind prefix of a node label: everything before the first `(`,
@@ -312,8 +382,47 @@ mod tests {
                 },
             ],
             samples: 256,
+            pre_opt_instrs: 3,
         };
         assert_eq!(profile.total_ns(), 1000);
+        assert_eq!(profile.pre_opt_instrs, 3);
+        assert_eq!(profile.post_opt_instrs(), 2);
+    }
+
+    #[test]
+    fn leaf_breakdown_splits_kind_and_path() {
+        let leaf = |label: &str, op: &'static str, ns: u64| InstrCost {
+            node: NodeId::fresh(),
+            label: label.into(),
+            op,
+            elems: 100,
+            ns,
+        };
+        let profile = KernelProfile {
+            instrs: vec![
+                leaf("Gaussian(0, 1)", "leaf_vec", 500),
+                leaf("Gaussian(2, 3)", "leaf_vec", 300),
+                leaf("Gaussian(sampling fn)", "leaf", 900),
+                leaf("Exponential(1)", "leaf_vec", 200),
+                leaf("+", "bin_f64", 5_000), // non-leaf: excluded
+            ],
+            samples: 100,
+            pre_opt_instrs: 5,
+        };
+        let kinds = profile.by_leaf_kind();
+        assert_eq!(kinds.len(), 3);
+        // Hottest first: the scalar Gaussian outweighs the two vectorized.
+        assert_eq!(kinds[0].kind, "Gaussian");
+        assert!(!kinds[0].vectorized);
+        assert_eq!(kinds[0].ns, 900);
+        assert_eq!(kinds[1].kind, "Gaussian");
+        assert!(kinds[1].vectorized);
+        assert_eq!(
+            (kinds[1].instrs, kinds[1].elems, kinds[1].ns),
+            (2, 200, 800)
+        );
+        assert_eq!(kinds[2].kind, "Exponential");
+        assert!(kinds[2].vectorized);
     }
 
     #[test]

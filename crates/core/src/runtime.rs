@@ -44,7 +44,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use uncertain_stats::{Histogram, SequentialTest, StatsError, Summary, TestDecision};
@@ -304,9 +304,21 @@ struct CacheEntry {
     last_used: u64,
 }
 
+/// Upper bound on the no-tape memo ([`PlanCache::no_tape`]). Far above any
+/// realistic number of distinct non-lowerable roots a session sees; if it
+/// is ever hit the memo resets, which only re-pays one lowering attempt
+/// per root.
+const NO_TAPE_MEMO_CAP: usize = 4096;
+
 /// LRU plan cache keyed by root [`NodeId`].
 struct PlanCache {
     entries: HashMap<NodeId, CacheEntry>,
+    /// Roots known **not** to lower to a kernel tape. Node ids name
+    /// immutable DAGs, so this verdict can never go stale — and unlike
+    /// `entries` it is *not* evicted with the LRU: a closure-path tenant
+    /// whose plan churns in and out of the cache pays the (futile)
+    /// lowering walk once, not once per eviction.
+    no_tape: HashSet<NodeId>,
     capacity: usize,
     tick: u64,
     hits: u64,
@@ -318,12 +330,26 @@ impl PlanCache {
     fn new(capacity: usize) -> Self {
         Self {
             entries: HashMap::new(),
+            no_tape: HashSet::new(),
             capacity,
             tick: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
         }
+    }
+
+    /// Whether `id` is memoized as "does not lower to a tape".
+    fn known_no_tape(&self, id: NodeId) -> bool {
+        self.no_tape.contains(&id)
+    }
+
+    /// Memoizes the non-lowerable verdict for `id`.
+    fn note_no_tape(&mut self, id: NodeId) {
+        if self.no_tape.len() >= NO_TAPE_MEMO_CAP {
+            self.no_tape.clear();
+        }
+        self.no_tape.insert(id);
     }
 
     /// The cached plan (and kernel, if any) for `id`, bumping the hit
@@ -445,6 +471,15 @@ pub struct Session {
     /// time by diffing this counter around a query.
     #[cfg(feature = "obs")]
     plan_build_ns: u64,
+    /// Whether kernels lower in reduced-precision column mode
+    /// ([`Session::with_f32_columns`]). Construction-time only, so a
+    /// cached kernel's precision always matches the session flag.
+    #[cfg(feature = "f32-columns")]
+    f32_columns: bool,
+    /// Kernel-lowering attempts (cheap observability for the no-tape memo
+    /// tests; a memo hit must not re-attempt lowering).
+    #[cfg(test)]
+    lower_attempts: u64,
 }
 
 impl fmt::Debug for Session {
@@ -484,6 +519,10 @@ impl Session {
             recorder: None,
             #[cfg(feature = "obs")]
             plan_build_ns: 0,
+            #[cfg(feature = "f32-columns")]
+            f32_columns: false,
+            #[cfg(test)]
+            lower_attempts: 0,
         }
     }
 
@@ -552,6 +591,21 @@ impl Session {
     /// `bench_session` binary compares against).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = PlanCache::new(capacity);
+        self
+    }
+
+    /// Returns the session with reduced-precision kernel columns enabled:
+    /// networks lower with their tagged `f64` arithmetic interior demoted
+    /// to `f32` register columns (half the column memory traffic, twice
+    /// the SIMD lanes). This **trades the bitwise closure↔kernel equality
+    /// contract for speed** — values can differ from the `f64` path by
+    /// f32 rounding — so it is per-session opt-in, construction-time
+    /// only, and intended for throughput-bound workloads that tolerate
+    /// single precision. Leaf sampling, comparisons, and the root column
+    /// stay `f64`.
+    #[cfg(feature = "f32-columns")]
+    pub fn with_f32_columns(mut self, enabled: bool) -> Self {
+        self.f32_columns = enabled;
         self
     }
 
@@ -727,8 +781,28 @@ impl Session {
         (plan, kernel)
     }
 
+    /// Lowers `u`'s kernel tape, honoring the session's column-precision
+    /// mode. This is the one lowering entry point, so the test-only
+    /// attempt counter sees every walk.
+    fn lower_kernel<T: Value>(&mut self, u: &Uncertain<T>) -> Option<Arc<Kernel<T>>> {
+        #[cfg(test)]
+        {
+            self.lower_attempts += 1;
+        }
+        #[cfg(feature = "f32-columns")]
+        if self.f32_columns {
+            return Kernel::lower_f32(u).map(Arc::new);
+        }
+        Kernel::lower(u).map(Arc::new)
+    }
+
     /// Compiles `u`'s plan and lowers its kernel, charging the wall time
     /// to the session's plan-build counter when the `obs` feature is on.
+    ///
+    /// The "does not lower" verdict is memoized in the plan cache's
+    /// persistent side table: closure-path networks whose plans churn
+    /// through LRU eviction pay the futile lowering walk once, not on
+    /// every recompile.
     #[allow(clippy::type_complexity)]
     fn timed_compile<T: Value>(
         &mut self,
@@ -737,7 +811,15 @@ impl Session {
         #[cfg(feature = "obs")]
         let start = std::time::Instant::now();
         let plan = Arc::new(Plan::compile(u));
-        let kernel = Kernel::lower(u).map(Arc::new);
+        let kernel = if self.cache.known_no_tape(u.id()) {
+            None
+        } else {
+            let kernel = self.lower_kernel(u);
+            if kernel.is_none() {
+                self.cache.note_no_tape(u.id());
+            }
+            kernel
+        };
         #[cfg(feature = "obs")]
         {
             self.plan_build_ns += start.elapsed().as_nanos() as u64;
@@ -1164,9 +1246,10 @@ impl Session {
         let exec = if network_depth(&joint) > MAX_PLAN_DEPTH {
             Exec::Tree(joint)
         } else {
+            let kernel = self.lower_kernel(&joint);
             Exec::Plan {
                 plan: Arc::new(Plan::compile(&joint)),
-                kernel: Kernel::lower(&joint).map(Arc::new),
+                kernel,
             }
         };
         let mut evidence_hits = 0u64;
@@ -1540,6 +1623,50 @@ mod tests {
         let mut acc = a;
         acc += b;
         assert_eq!(acc, sum);
+    }
+
+    #[test]
+    fn no_tape_verdict_survives_eviction_churn() {
+        // `encapsulate` needs SampleContext machinery, so its network never
+        // lowers to a kernel tape. The futile lowering walk must be paid
+        // once per root, not once per LRU eviction.
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let dynamic = x.encapsulate();
+        let a = Uncertain::normal(1.0, 1.0).unwrap();
+        let b = Uncertain::normal(2.0, 1.0).unwrap();
+        let mut s = Session::seeded(33).with_cache_capacity(1);
+        s.sample(&dynamic);
+        assert!(s.lower_attempts >= 1, "first compile attempts to lower");
+        for _ in 0..3 {
+            s.sample(&a);
+            s.sample(&b); // capacity 1: dynamic's plan is long evicted
+            let attempts = s.lower_attempts;
+            let misses = s.cache_stats().misses;
+            s.sample(&dynamic);
+            assert_eq!(
+                s.cache_stats().misses,
+                misses + 1,
+                "plan really was evicted and recompiled"
+            );
+            assert_eq!(
+                s.lower_attempts, attempts,
+                "memoized no-tape verdict skips re-lowering"
+            );
+        }
+        assert!(s.cache_stats().evictions >= 3);
+    }
+
+    #[test]
+    fn lowerable_roots_are_not_memoized_as_no_tape() {
+        let x = Uncertain::normal(0.0, 1.0).unwrap();
+        let expr = &x + &x;
+        let mut s = Session::seeded(34).with_cache_capacity(1);
+        s.sample(&expr);
+        let attempts = s.lower_attempts;
+        let other = Uncertain::normal(5.0, 1.0).unwrap();
+        s.sample(&other); // evicts expr
+        s.sample(&expr); // recompile must re-lower (it tapes fine)
+        assert_eq!(s.lower_attempts, attempts + 2);
     }
 
     #[test]

@@ -126,7 +126,19 @@ impl<T: Value> Uncertain<T> {
         D: Distribution<T> + 'static,
     {
         let label = short_type_name::<D>();
-        Self::from_fn(label, move |rng| dist.sample(rng))
+        // Keep the distribution itself (not just a closure over it) so the
+        // leaf can carry the batched `fill_column` path as a kernel tag —
+        // the columnar backend then fills whole leaf columns through the
+        // distribution's vectorized pass instead of one virtual call per
+        // row. Both closures share one `Arc`; `fill_column`'s contract
+        // guarantees they are bitwise-interchangeable.
+        let dist = Arc::new(dist);
+        let scalar = Arc::clone(&dist);
+        Self::from_node(Arc::new(LeafNode::with_fill(
+            label,
+            move |rng| scalar.sample(rng),
+            move |rngs, out| dist.fill_column(rngs, out),
+        )))
     }
 
     /// Wraps a concrete value as a point-mass distribution — the paper's

@@ -240,3 +240,180 @@ proptest! {
         prop_assert_eq!(serial, sharded);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scalar vs. vectorized leaf fills
+// ---------------------------------------------------------------------------
+//
+// `Uncertain::from_distribution` tags its leaf with the distribution's
+// batched `fill_column` pass, so the kernel fills whole columns at once;
+// `Uncertain::from_fn` over the *same* distribution object is an opaque
+// closure the kernel must fall back to per-element scalar sampling for.
+// The `fill_column` contract says both are bitwise interchangeable — these
+// properties enforce it through the public API, across chunk boundaries,
+// odd batch sizes, and worker thread counts.
+
+use std::sync::Arc;
+use uncertain_core::dist::{Bernoulli, Exponential, Gaussian, Rayleigh, Uniform};
+use uncertain_core::prelude::Distribution;
+
+/// A distribution with a hand-vectorized `fill_column` path, buildable as
+/// either a tagged (vectorized) or closure (scalar-fallback) leaf.
+#[derive(Debug, Clone, Copy)]
+enum VecDist {
+    Gaussian { mean: f64, sd: f64 },
+    Exponential { rate: f64 },
+    Rayleigh { scale: f64 },
+    Uniform { lo: f64, width: f64 },
+}
+
+impl VecDist {
+    /// The tagged leaf: kernel batches run the vectorized column fill.
+    fn vectorized(self) -> Uncertain<f64> {
+        match self {
+            VecDist::Gaussian { mean, sd } => {
+                Uncertain::from_distribution(Gaussian::new(mean, sd).unwrap())
+            }
+            VecDist::Exponential { rate } => {
+                Uncertain::from_distribution(Exponential::new(rate).unwrap())
+            }
+            VecDist::Rayleigh { scale } => {
+                Uncertain::from_distribution(Rayleigh::new(scale).unwrap())
+            }
+            VecDist::Uniform { lo, width } => {
+                Uncertain::from_distribution(Uniform::new(lo, lo + width).unwrap())
+            }
+        }
+    }
+
+    /// The closure leaf over the same distribution: the kernel sees an
+    /// opaque sampling function and falls back to one scalar draw per row.
+    fn scalar(self) -> Uncertain<f64> {
+        match self {
+            VecDist::Gaussian { mean, sd } => {
+                let d = Arc::new(Gaussian::new(mean, sd).unwrap());
+                Uncertain::from_fn("scalar gaussian", move |rng| d.sample(rng))
+            }
+            VecDist::Exponential { rate } => {
+                let d = Arc::new(Exponential::new(rate).unwrap());
+                Uncertain::from_fn("scalar exponential", move |rng| d.sample(rng))
+            }
+            VecDist::Rayleigh { scale } => {
+                let d = Arc::new(Rayleigh::new(scale).unwrap());
+                Uncertain::from_fn("scalar rayleigh", move |rng| d.sample(rng))
+            }
+            VecDist::Uniform { lo, width } => {
+                let d = Arc::new(Uniform::new(lo, lo + width).unwrap());
+                Uncertain::from_fn("scalar uniform", move |rng| d.sample(rng))
+            }
+        }
+    }
+}
+
+fn vec_dist() -> impl Strategy<Value = VecDist> {
+    prop_oneof![
+        (-5.0..5.0, 0.1..3.0).prop_map(|(mean, sd)| VecDist::Gaussian { mean, sd }),
+        (0.05..4.0).prop_map(|rate| VecDist::Exponential { rate }),
+        (0.1..5.0).prop_map(|scale| VecDist::Rayleigh { scale }),
+        (-5.0..5.0, 0.1..5.0).prop_map(|(lo, width)| VecDist::Uniform { lo, width }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The vectorized column fill produces the exact bits the scalar
+    /// per-row fallback produces, at odd batch sizes and across uneven
+    /// batch splits.
+    #[test]
+    fn vectorized_leaf_fill_is_bitwise_identical_to_scalar(
+        dist in vec_dist(),
+        n1 in 1usize..300,
+        n2 in 1usize..300,
+        seed in 0u64..10_000,
+    ) {
+        let mut scalar = Evaluator::new(&dist.scalar(), seed);
+        let mut reference = scalar.sample_batch(n1);
+        reference.extend(scalar.sample_batch(n2));
+
+        let mut vectorized = Evaluator::new(&dist.vectorized(), seed);
+        let mut got = vectorized.sample_batch(n1);
+        got.extend(vectorized.sample_batch(n2));
+
+        prop_assert_eq!(bits(&reference), bits(&got));
+    }
+
+    /// Same statement for the Bernoulli bool column.
+    #[test]
+    fn vectorized_bernoulli_fill_matches_scalar(
+        p in 0.05f64..0.95,
+        n in 1usize..500,
+        seed in 0u64..10_000,
+    ) {
+        let d = Arc::new(Bernoulli::new(p).unwrap());
+        let scalar = Uncertain::from_fn("scalar coin", move |rng| d.sample(rng));
+        let vectorized = Uncertain::from_distribution(Bernoulli::new(p).unwrap());
+        let reference = Evaluator::new(&scalar, seed).sample_batch(n);
+        let got = Evaluator::new(&vectorized, seed).sample_batch(n);
+        prop_assert_eq!(reference, got);
+    }
+
+    /// An SPRT decision over a vectorized leaf is identical — verdict,
+    /// sample count, and bitwise estimate — to the scalar-leaf decision.
+    #[test]
+    fn vectorized_leaf_sprt_decisions_match_scalar(
+        dist in vec_dist(),
+        threshold in 0.1f64..0.9,
+        cut in -1.0f64..2.0,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = EvalConfig::default();
+        let scalar = Evaluator::new(&dist.scalar().gt(cut), seed)
+            .try_decide(&cfg, threshold).unwrap();
+        let vectorized = Evaluator::new(&dist.vectorized().gt(cut), seed)
+            .try_decide(&cfg, threshold).unwrap();
+        prop_assert_eq!(scalar.samples, vectorized.samples);
+        prop_assert_eq!(scalar.estimate.to_bits(), vectorized.estimate.to_bits());
+        prop_assert_eq!(scalar.accepted, vectorized.accepted);
+        prop_assert_eq!(scalar.conclusive, vectorized.conclusive);
+    }
+}
+
+proptest! {
+    // Chunk-straddling cases draw ~4.6k samples each; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Vectorized fills that straddle the kernel's 4096-row chunk
+    /// boundary — with the draw split at an arbitrary point — cannot
+    /// diverge from the scalar stream.
+    #[test]
+    fn vectorized_fill_survives_chunk_boundaries(
+        dist in vec_dist(),
+        cut in 1usize..4096,
+        seed in 0u64..1000,
+    ) {
+        let n = 4096 + 513;
+        let reference = Evaluator::new(&dist.scalar(), seed).sample_batch(n);
+        let mut eval = Evaluator::new(&dist.vectorized(), seed);
+        let mut got = eval.sample_batch(cut);
+        got.extend(eval.sample_batch(n - cut));
+        prop_assert_eq!(bits(&reference), bits(&got));
+    }
+
+    /// Thread-count invariance holds for vectorized leaves: one worker
+    /// and eight workers shard to the same bits, and both equal the
+    /// scalar closure leaf's stream.
+    #[test]
+    fn vectorized_fill_is_thread_count_invariant(
+        dist in vec_dist(),
+        seed in 0u64..1000,
+    ) {
+        let n = 1500; // past the parallel cutover, so 8 workers shard
+        let net = dist.vectorized();
+        let serial = Session::seeded(seed).with_threads(1).samples(&net, n);
+        let sharded = Session::seeded(seed).with_threads(8).samples(&net, n);
+        prop_assert_eq!(bits(&serial), bits(&sharded));
+        let scalar = Session::seeded(seed).with_threads(8).samples(&dist.scalar(), n);
+        prop_assert_eq!(bits(&serial), bits(&scalar));
+    }
+}

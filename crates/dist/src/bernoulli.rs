@@ -65,6 +65,13 @@ impl Distribution<bool> for Bernoulli {
     fn sample(&self, rng: &mut dyn RngCore) -> bool {
         rng.gen::<f64>() < self.p
     }
+
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<bool>) {
+        // Direct u64 → f64 → threshold mapping, monomorphic over
+        // `SmallRng`; bitwise-identical to the scalar comparison.
+        out.clear();
+        out.extend(rngs.iter_mut().map(|rng| rng.gen::<f64>() < self.p));
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Exponential distribution.
 
+use crate::column::{self, fast_ln};
 use crate::{Continuous, Distribution, ParamError};
 use rand::{Rng, RngCore};
 
@@ -49,8 +50,15 @@ impl Exponential {
 
 impl Distribution<f64> for Exponential {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Deterministic `fast_ln` keeps this bitwise-equal to the batched
+        // `fill_column` pass (see the `column` module docs).
         let u: f64 = 1.0 - rng.gen::<f64>();
-        -u.ln() / self.rate
+        -fast_ln(u) / self.rate
+    }
+
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<f64>) {
+        column::draw_open01(rngs, out);
+        column::exponential_transform(out, self.rate);
     }
 }
 

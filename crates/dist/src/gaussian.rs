@@ -1,5 +1,6 @@
 //! Gaussian (normal) distribution, sampled with the Box–Muller transform.
 
+use crate::column::{self, fast_cos_2pi, fast_ln};
 use crate::special::{standard_normal_cdf, standard_normal_quantile};
 use crate::{Continuous, Distribution, ParamError};
 use rand::{Rng, RngCore};
@@ -60,17 +61,32 @@ impl Gaussian {
     }
 
     /// Draws one standard-normal variate via Box–Muller.
+    ///
+    /// Uses the crate's deterministic [`fast_ln`]/[`fast_cos_2pi`] kernels
+    /// — the same straight-line arithmetic the batched
+    /// [`Distribution::fill_column`] pass applies — so scalar and columnar
+    /// sampling are bitwise identical (see the [`column`] module docs).
     fn standard_draw(rng: &mut dyn RngCore) -> f64 {
         // u1 ∈ (0, 1] to keep ln(u1) finite.
         let u1: f64 = 1.0 - rng.gen::<f64>();
         let u2: f64 = rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+        (-2.0 * fast_ln(u1)).sqrt() * fast_cos_2pi(u2)
     }
 }
 
 impl Distribution<f64> for Gaussian {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         self.mean + self.std_dev * Self::standard_draw(rng)
+    }
+
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<f64>) {
+        // Per-index draws first (same order and count as `sample`), then
+        // one vectorized Box–Muller pass over the uniform columns.
+        column::draw_open01(rngs, out); // out[i] = u1 for index i
+        column::with_scratch(rngs.len(), |u2| {
+            u2.extend(rngs.iter_mut().map(|rng| rng.gen::<f64>()));
+            column::gaussian_transform(out, u2, self.mean, self.std_dev);
+        });
     }
 }
 

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod column;
 pub mod special;
 
 mod bernoulli;
@@ -66,6 +67,7 @@ pub use bernoulli::Bernoulli;
 pub use beta::Beta;
 pub use binomial::Binomial;
 pub use categorical::Categorical;
+pub use column::{fast_cos_2pi, fast_ln};
 pub use empirical::Empirical;
 pub use error::ParamError;
 pub use exponential::Exponential;

@@ -47,6 +47,12 @@ impl<T: Clone + Send + Sync> Distribution<T> for PointMass<T> {
     fn sample(&self, _rng: &mut dyn RngCore) -> T {
         self.value.clone()
     }
+
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<T>) {
+        // A point mass consumes no randomness; the column is just clones.
+        out.clear();
+        out.resize(rngs.len(), self.value.clone());
+    }
 }
 
 impl<T> From<T> for PointMass<T> {

@@ -1,5 +1,6 @@
 //! Rayleigh distribution — the paper's GPS error posterior.
 
+use crate::column::{self, fast_ln};
 use crate::{Continuous, Distribution, ParamError};
 use rand::{Rng, RngCore};
 
@@ -68,9 +69,15 @@ impl Rayleigh {
 
 impl Distribution<f64> for Rayleigh {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        // Inverse-CDF sampling: x = ρ·√(−2 ln U).
+        // Inverse-CDF sampling: x = ρ·√(−2 ln U). Deterministic `fast_ln`
+        // keeps this bitwise-equal to the batched `fill_column` pass.
         let u: f64 = 1.0 - rng.gen::<f64>(); // in (0, 1]
-        self.scale * (-2.0 * u.ln()).sqrt()
+        self.scale * (-2.0 * fast_ln(u)).sqrt()
+    }
+
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<f64>) {
+        column::draw_open01(rngs, out);
+        column::rayleigh_transform(out, self.scale);
     }
 }
 

@@ -38,6 +38,31 @@ pub trait Distribution<T>: Send + Sync {
     fn sample_n(&self, rng: &mut dyn RngCore, n: usize) -> Vec<T> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
+
+    /// Fills one *column* of samples: `out[i]` is drawn from `rngs[i]`,
+    /// exactly as one [`Distribution::sample`] call per index would.
+    ///
+    /// This is the batched (structure-of-arrays) entry point the columnar
+    /// kernel uses for leaf fills. The contract is strict so callers can
+    /// rely on bitwise reproducibility:
+    ///
+    /// * `out` is cleared and then holds exactly `rngs.len()` values;
+    /// * element `i` consumes draws **only** from `rngs[i]`, in the same
+    ///   order as a scalar `sample(&mut rngs[i])` call, and leaves
+    ///   `rngs[i]` in the same state afterwards;
+    /// * the produced values are **bitwise identical** to the scalar
+    ///   per-index path.
+    ///
+    /// The default implementation is the scalar-per-index loop. Hot
+    /// distributions override it with hand-vectorized column passes (see
+    /// [`column`](crate::column)) that preserve the contract.
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<T>) {
+        out.clear();
+        out.reserve(rngs.len());
+        for rng in rngs.iter_mut() {
+            out.push(self.sample(rng));
+        }
+    }
 }
 
 /// Blanket impl so `&D`, `Box<D>` and `Arc<D>` are themselves distributions.
@@ -45,17 +70,26 @@ impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
     fn sample(&self, rng: &mut dyn RngCore) -> T {
         (**self).sample(rng)
     }
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<T>) {
+        (**self).fill_column(rngs, out)
+    }
 }
 
 impl<T, D: Distribution<T> + ?Sized> Distribution<T> for Box<D> {
     fn sample(&self, rng: &mut dyn RngCore) -> T {
         (**self).sample(rng)
     }
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<T>) {
+        (**self).fill_column(rngs, out)
+    }
 }
 
 impl<T, D: Distribution<T> + ?Sized> Distribution<T> for std::sync::Arc<D> {
     fn sample(&self, rng: &mut dyn RngCore) -> T {
         (**self).sample(rng)
+    }
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<T>) {
+        (**self).fill_column(rngs, out)
     }
 }
 

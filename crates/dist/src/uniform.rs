@@ -69,6 +69,18 @@ impl Distribution<f64> for Uniform {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         self.low + (self.high - self.low) * rng.gen::<f64>()
     }
+
+    fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<f64>) {
+        // Same affine map as `sample`, but monomorphic over `SmallRng` so
+        // the u64 → f64 draw and the affine transform fuse into one
+        // inlined loop (the scalar path pays a virtual `next_u64` and a
+        // `dyn Fn` call per element).
+        out.clear();
+        out.extend(
+            rngs.iter_mut()
+                .map(|rng| self.low + (self.high - self.low) * rng.gen::<f64>()),
+        );
+    }
 }
 
 impl Continuous for Uniform {
