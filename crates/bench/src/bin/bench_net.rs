@@ -1,0 +1,279 @@
+//! Load-generates the TCP transport: N concurrent connections, each a
+//! closed-loop client hammering its own tenant, against one listening
+//! service. Appends machine-readable JSON lines to `BENCH_net.json` (in
+//! the working directory).
+//!
+//! What the connection-count sweep measures on a single-core runner is
+//! *not* CPU scaling — it is the cost of connection concurrency in a
+//! thread-per-connection transport: each TCP connection adds three
+//! threads (client demux reader, server frame reader, server writer), so
+//! aggregate decision throughput decays with connection count as
+//! scheduler pressure grows, and tail latency grows with the queueing
+//! the extra concurrency creates. The sweep's throughput-retention ratio
+//! (max over min connection count) is the regression line: a change that
+//! adds per-request work to the per-connection threads shows up here
+//! first, at the high-connection rows.
+//!
+//! Before the sweep, a verification phase runs the same per-tenant
+//! request sequence over TCP and in-process against identically
+//! configured services and asserts the folded per-tenant outcome
+//! fingerprints are bitwise identical: the wire is not allowed to change
+//! a single decision, sample count, or estimate bit.
+//!
+//! Run `cargo run --release --bin bench_net`; `--quick` (or `QUICK=1`)
+//! shrinks connection counts and budgets for smoke runs.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use uncertain_bench::{header, scaled};
+use uncertain_core::{Uncertain, WireGraph};
+use uncertain_serve::{ServeClient, ServeConfig, Service};
+
+const SHARDS: usize = 4;
+const POOL: usize = 16;
+const SEED: u64 = 2014;
+const THRESHOLD: f64 = 0.5;
+
+/// A `3n + 7`-node evidence conditional from the `bench_session` family,
+/// built only from kernel-tagged ops so it is wire-expressible. The
+/// margin keeps the SPRT decisive: the decision cost is dominated by
+/// plan/session state, which is what connection churn stresses.
+fn evidence(n: usize) -> Uncertain<bool> {
+    let x = Uncertain::normal(0.0, 1.0).unwrap();
+    let y = Uncertain::normal(1.0, 2.0).unwrap();
+    let mut left = x.clone();
+    let mut right = y.clone();
+    for _ in 0..n {
+        left = left + &x;
+        right = right * 0.99 + &y;
+    }
+    let a = left.lt(&(right + 40.0 + 8.0 * n as f64));
+    let b = (&x + &y).gt(-10.0);
+    &a & &b
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn service_config() -> ServeConfig {
+    ServeConfig::builder()
+        .shards(SHARDS)
+        .sessions_per_shard(POOL)
+        .queue_depth(256)
+        .seed(SEED)
+        .bind_addr("127.0.0.1:0")
+        .build()
+        .expect("valid bench config")
+}
+
+/// Folds one decision into a tenant's determinism fingerprint.
+fn fold(fp: &mut u64, samples: usize, bits: u64) {
+    *fp = mix(*fp ^ samples as u64 ^ bits);
+}
+
+struct LoadRun {
+    throughput_dps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    frames_in: u64,
+    wire_errors: u64,
+    fingerprint: u64,
+}
+
+/// One sweep row: `conns` connections, each a closed-loop driver thread
+/// owning one tenant and one TCP connection, `per_conn` decisions each.
+/// Service and listener are fresh per row so tenant sample streams start
+/// from the origin and fingerprints are comparable run to run.
+fn run_load(conns: usize, per_conn: usize, cond: &Uncertain<bool>) -> LoadRun {
+    let service = Service::start(service_config());
+    let listener = service.listen().expect("listen");
+    let addr = listener.local_addr();
+
+    let start = Instant::now();
+    let drivers: Vec<_> = (0..conns)
+        .map(|c| {
+            let cond = cond.clone();
+            std::thread::spawn(move || {
+                let client = ServeClient::connect(addr).expect("connect");
+                let tenant = c as u64;
+                let mut fp = 0u64;
+                let mut lat = Vec::with_capacity(per_conn);
+                for _ in 0..per_conn {
+                    let t0 = Instant::now();
+                    let o = client.evaluate(tenant, &cond, THRESHOLD).expect("decision");
+                    lat.push(t0.elapsed().as_nanos() as u64);
+                    fold(&mut fp, o.samples, o.estimate.to_bits());
+                }
+                (fp, lat)
+            })
+        })
+        .collect();
+    let mut fingerprints = Vec::with_capacity(conns);
+    let mut latencies = Vec::with_capacity(conns * per_conn);
+    for driver in drivers {
+        let (fp, lat) = driver.join().expect("driver thread");
+        fingerprints.push(fp);
+        latencies.extend(lat);
+    }
+    let elapsed = start.elapsed();
+
+    listener.shutdown();
+    let metrics = service.shutdown();
+    latencies.sort_unstable();
+    LoadRun {
+        throughput_dps: (conns * per_conn) as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50) as f64 / 1e3,
+        p95_us: percentile(&latencies, 0.95) as f64 / 1e3,
+        p99_us: percentile(&latencies, 0.99) as f64 / 1e3,
+        frames_in: metrics.net.frames_in,
+        wire_errors: metrics.net.wire_errors,
+        fingerprint: fingerprints.iter().fold(0u64, |acc, &f| mix(acc ^ f)),
+    }
+}
+
+/// Per-tenant outcome fingerprints for `tenants` tenants × `rounds`
+/// decisions, driven either over TCP (one connection per tenant) or by
+/// the in-process client. Per-tenant sample streams are independent of
+/// request interleaving across tenants, so the two are comparable
+/// element for element.
+fn fingerprints(tenants: u64, rounds: usize, cond: &Uncertain<bool>, remote: bool) -> Vec<u64> {
+    let service = Service::start(service_config());
+    let result = if remote {
+        let listener = service.listen().expect("listen");
+        let addr = listener.local_addr();
+        let drivers: Vec<_> = (0..tenants)
+            .map(|tenant| {
+                let cond = cond.clone();
+                std::thread::spawn(move || {
+                    let client = ServeClient::connect(addr).expect("connect");
+                    let mut fp = 0u64;
+                    for _ in 0..rounds {
+                        let o = client.evaluate(tenant, &cond, THRESHOLD).expect("decision");
+                        fold(&mut fp, o.samples, o.estimate.to_bits());
+                    }
+                    fp
+                })
+            })
+            .collect();
+        let fps = drivers
+            .into_iter()
+            .map(|d| d.join().expect("driver thread"))
+            .collect();
+        listener.shutdown();
+        fps
+    } else {
+        let client = service.client();
+        (0..tenants)
+            .map(|tenant| {
+                let mut fp = 0u64;
+                for _ in 0..rounds {
+                    let o = client.evaluate(tenant, cond, THRESHOLD).expect("decision");
+                    fold(&mut fp, o.samples, o.estimate.to_bits());
+                }
+                fp
+            })
+            .collect()
+    };
+    service.shutdown();
+    result
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("QUICK", "1");
+    }
+    let quick = std::env::var("QUICK").is_ok();
+    header("Net: TCP decision throughput / tail latency vs connection count");
+
+    let cond = evidence(12);
+    WireGraph::from_bool(&cond).expect("workload must be wire-expressible");
+
+    let stamp = SystemTime::now().duration_since(UNIX_EPOCH)?.as_secs();
+    let mut out = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_net.json")?;
+
+    // Determinism first: the sweep is meaningless if the wire changes
+    // results.
+    let v_tenants = 12u64;
+    let v_rounds = scaled(12, 4);
+    let remote = fingerprints(v_tenants, v_rounds, &cond, true);
+    let local = fingerprints(v_tenants, v_rounds, &cond, false);
+    let identical = remote == local;
+    println!("remote results bitwise-identical to in-process: {identical}");
+    writeln!(
+        out,
+        "{{\"bench\":\"net_determinism\",\"unix_time\":{stamp},\
+         \"tenants\":{v_tenants},\"rounds\":{v_rounds},\
+         \"remote_matches_in_process\":{identical}}}"
+    )?;
+    assert!(identical, "TCP transport changed decision results");
+
+    // Total decisions held constant across rows, so throughput compares
+    // equal work at different concurrency.
+    let total = scaled(8192, 512);
+    let conn_counts: &[usize] = if quick { &[4, 16] } else { &[8, 64, 256, 1024] };
+    println!(
+        "\n{:>6} {:>9} {:>12} {:>10} {:>10} {:>10}",
+        "conns", "per-conn", "dec/s", "p50 µs", "p95 µs", "p99 µs"
+    );
+    let mut records = 1usize;
+    let mut throughputs = Vec::new();
+    for &conns in conn_counts {
+        let per_conn = (total / conns).max(4);
+        let run = run_load(conns, per_conn, &cond);
+        println!(
+            "{conns:>6} {per_conn:>9} {:>12.0} {:>10.1} {:>10.1} {:>10.1}",
+            run.throughput_dps, run.p50_us, run.p95_us, run.p99_us
+        );
+        assert_eq!(run.wire_errors, 0, "load run produced wire errors");
+        writeln!(
+            out,
+            "{{\"bench\":\"net_load\",\"unix_time\":{stamp},\
+             \"connections\":{conns},\"per_connection\":{per_conn},\
+             \"decisions\":{decisions},\"shards\":{SHARDS},\
+             \"sessions_per_shard\":{POOL},\
+             \"throughput_dps\":{dps:.1},\"p50_us\":{p50:.1},\
+             \"p95_us\":{p95:.1},\"p99_us\":{p99:.1},\
+             \"net_frames_in\":{frames},\"fingerprint\":{fp}}}",
+            decisions = conns * per_conn,
+            dps = run.throughput_dps,
+            p50 = run.p50_us,
+            p95 = run.p95_us,
+            p99 = run.p99_us,
+            frames = run.frames_in,
+            fp = run.fingerprint,
+        )?;
+        records += 1;
+        throughputs.push((conns, run.throughput_dps));
+    }
+
+    let (base_conns, base) = throughputs[0];
+    let (peak_conns, peak) = throughputs[throughputs.len() - 1];
+    writeln!(
+        out,
+        "{{\"bench\":\"net_summary\",\"unix_time\":{stamp},\
+         \"throughput_ratio_max_over_min_conns\":{ratio:.3},\
+         \"min_connections\":{base_conns},\"max_connections\":{peak_conns}}}",
+        ratio = peak / base,
+    )?;
+    records += 1;
+    println!(
+        "\n{base_conns} → {peak_conns} connections throughput ratio: {:.2}x",
+        peak / base
+    );
+    println!("appended {records} records to BENCH_net.json");
+    Ok(())
+}

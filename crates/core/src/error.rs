@@ -55,6 +55,8 @@ pub enum Error {
     Config(ConfigError),
     /// A request to a sharded evaluation service failed.
     Serve(ServeError),
+    /// A network graph/frame could not be encoded or decoded.
+    Wire(WireError),
 }
 
 impl fmt::Display for Error {
@@ -64,6 +66,7 @@ impl fmt::Display for Error {
             Error::Inconclusive(e) => e.fmt(f),
             Error::Config(e) => e.fmt(f),
             Error::Serve(e) => e.fmt(f),
+            Error::Wire(e) => e.fmt(f),
         }
     }
 }
@@ -75,7 +78,14 @@ impl std::error::Error for Error {
             Error::Inconclusive(e) => Some(e),
             Error::Config(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Wire(e) => Some(e),
         }
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Wire(e)
     }
 }
 
@@ -109,7 +119,7 @@ impl From<ServeError> for Error {
 /// boundaries NaN).
 ///
 /// Returned by [`EvalConfigBuilder::build`](crate::EvalConfigBuilder::build).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ConfigError {
     /// `alpha` (type-I error bound) must lie strictly inside `(0, 1)`.
@@ -128,6 +138,17 @@ pub enum ConfigError {
         /// The batch size the cap cannot hold.
         batch: usize,
     },
+    /// A serve config asked for zero shards — there would be nowhere to
+    /// route requests.
+    ZeroShards,
+    /// A serve config asked for a zero-depth request queue — every submit
+    /// would be `QueueFull`.
+    ZeroQueueDepth,
+    /// A serve config asked for a zero-capacity session pool — no tenant
+    /// could ever hold a session.
+    ZeroSessionPool,
+    /// A serve config's bind address failed to parse as `host:port`.
+    BadBindAddr(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -141,6 +162,19 @@ impl fmt::Display for ConfigError {
                 f,
                 "eval config max_samples ({max_samples}) must be at least the batch size ({batch})"
             ),
+            ConfigError::ZeroShards => write!(f, "serve config shard count must be at least 1"),
+            ConfigError::ZeroQueueDepth => {
+                write!(f, "serve config queue depth must be at least 1")
+            }
+            ConfigError::ZeroSessionPool => {
+                write!(f, "serve config sessions_per_shard must be at least 1")
+            }
+            ConfigError::BadBindAddr(addr) => {
+                write!(
+                    f,
+                    "serve config bind address {addr:?} is not a valid host:port"
+                )
+            }
         }
     }
 }
@@ -168,6 +202,13 @@ pub enum ServeError {
     /// The request itself was invalid (e.g. a conditional threshold
     /// outside `(0, 1)`), reported by the underlying runtime.
     Invalid(StatsError),
+    /// A request or response could not be encoded/decoded — the query
+    /// graph is not wire-expressible, or a frame arrived malformed.
+    Wire(WireError),
+    /// The network transport itself failed (connect refused, connection
+    /// reset mid-request, I/O error) — distinct from the service
+    /// *rejecting* a request.
+    Transport(String),
 }
 
 impl fmt::Display for ServeError {
@@ -177,6 +218,8 @@ impl fmt::Display for ServeError {
             ServeError::QueueFull => write!(f, "shard request queue is full"),
             ServeError::Shutdown => write!(f, "evaluation service is shut down"),
             ServeError::Invalid(e) => write!(f, "invalid evaluation request: {e}"),
+            ServeError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ServeError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }
@@ -185,6 +228,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Invalid(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -195,6 +239,50 @@ impl From<StatsError> for ServeError {
         ServeError::Invalid(e)
     }
 }
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+/// A wire-format encode or decode failure.
+///
+/// Produced by [`WireGraph`](crate::WireGraph) when a query graph cannot
+/// be expressed in the network encoding, and by frame decoders (client and
+/// server side) when bytes on the wire do not parse.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The graph contains a node the wire format cannot express — an
+    /// opaque closure leaf, a monadic bind, encapsulation, priors,
+    /// conditioning, or an untagged lifted operator. Carries the node's
+    /// display label.
+    Unsupported(String),
+    /// The byte stream ended mid-structure.
+    Truncated,
+    /// The bytes parsed structurally but described something invalid
+    /// (unknown opcode, child index out of range, parameters a public
+    /// constructor rejects).
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Unsupported(label) => {
+                write!(
+                    f,
+                    "graph node {label:?} is not expressible in the wire format"
+                )
+            }
+            WireError::Truncated => write!(f, "wire data ended mid-structure"),
+            WireError::Malformed(msg) => write!(f, "malformed wire data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 #[cfg(test)]
 mod tests {

@@ -88,9 +88,10 @@ mod runtime;
 #[cfg(feature = "legacy-sampler")]
 mod sampler;
 mod uncertain;
+mod wire;
 
 pub use condition::{EvalConfig, EvalConfigBuilder, HypothesisOutcome, InconclusiveError};
-pub use error::{ConfigError, Error, ServeError};
+pub use error::{ConfigError, Error, ServeError, WireError};
 pub use evaluator::Evaluator;
 pub use graph::{NetworkView, NodeMeta};
 pub use node::NodeId;
@@ -104,6 +105,7 @@ pub use runtime::{CacheStats, Session, DEFAULT_CACHE_CAPACITY};
 #[cfg(feature = "legacy-sampler")]
 pub use sampler::Sampler;
 pub use uncertain::{IntoUncertain, Uncertain, Value};
+pub use wire::WireGraph;
 
 // Re-export the substrate crates whose types appear in this crate's API,
 // so downstream users need only one dependency.

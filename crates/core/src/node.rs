@@ -18,9 +18,11 @@ use crate::context::SampleContext;
 use crate::kernel::{self, KernelBuilder, Map2Tag, MapTag};
 use crate::plan::{compile_node, CompiledFn, PlanBuilder};
 use crate::uncertain::{Uncertain, Value};
+use crate::wire::WireOp;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use uncertain_dist::DistSpec;
 
 /// A process-unique identifier for a node in the Bayesian network.
 ///
@@ -96,6 +98,14 @@ pub(crate) trait NodeInfo: Send + Sync {
         let _ = k;
         false
     }
+
+    /// What this node means on the wire, when it is expressible there:
+    /// a closed-form leaf distribution, a point mass over `f64`/`bool`,
+    /// or a tagged lifted operator. `None` marks the node — and therefore
+    /// the whole graph — as not serializable (see [`crate::WireGraph`]).
+    fn wire_op(&self) -> Option<WireOp> {
+        None
+    }
 }
 
 /// A node that produces values of type `T`.
@@ -132,6 +142,10 @@ pub(crate) struct LeafNode<T> {
     label: String,
     sample_fn: BoxedSamplingFn<T>,
     fill_fn: Option<BoxedFillFn<T>>,
+    /// The closed-form description of the leaf's distribution, when it
+    /// has one — what makes the leaf wire-expressible. Carried from
+    /// `Distribution::spec()` by `Uncertain::from_distribution`.
+    spec: Option<DistSpec>,
 }
 
 impl<T> LeafNode<T> {
@@ -144,6 +158,7 @@ impl<T> LeafNode<T> {
             label: label.into(),
             sample_fn: Box::new(sample_fn),
             fill_fn: None,
+            spec: None,
         }
     }
 
@@ -157,12 +172,14 @@ impl<T> LeafNode<T> {
         label: impl Into<String>,
         sample_fn: impl Fn(&mut dyn rand::RngCore) -> T + Send + Sync + 'static,
         fill_fn: impl Fn(&mut [rand::rngs::SmallRng], &mut Vec<T>) + Send + Sync + 'static,
+        spec: Option<DistSpec>,
     ) -> Self {
         Self {
             id: NodeId::fresh(),
             label: label.into(),
             sample_fn: Box::new(sample_fn),
             fill_fn: Some(Box::new(fill_fn)),
+            spec,
         }
     }
 
@@ -198,6 +215,9 @@ impl<T: Value> NodeInfo for LeafNode<T> {
     fn lower(self: Arc<Self>, k: &mut KernelBuilder) -> bool {
         kernel::lower_leaf(self, k);
         true
+    }
+    fn wire_op(&self) -> Option<WireOp> {
+        self.spec.map(WireOp::Leaf)
     }
 }
 
@@ -259,6 +279,18 @@ impl<T: Value + fmt::Debug> NodeInfo for PointNode<T> {
     fn lower(self: Arc<Self>, k: &mut KernelBuilder) -> bool {
         kernel::lower_point(self.id, self.label(), self.value.clone(), k);
         true
+    }
+    fn wire_op(&self) -> Option<WireOp> {
+        // `Value: 'static`, so the constant can be inspected through `Any`;
+        // only the two scalar types the wire format carries are accepted.
+        let v: &dyn std::any::Any = &self.value;
+        if let Some(x) = v.downcast_ref::<f64>() {
+            return Some(WireOp::PointF64(*x));
+        }
+        if let Some(b) = v.downcast_ref::<bool>() {
+            return Some(WireOp::PointBool(*b));
+        }
+        None
     }
 }
 
@@ -342,6 +374,11 @@ impl<A: Value, T: Value> NodeInfo for MapNode<A, T> {
         let (tag, child) = (self.tag, self.child.id());
         kernel::lower_map(self, tag, child, k);
         true
+    }
+    fn wire_op(&self) -> Option<WireOp> {
+        // The tag *is* the closure's meaning (the kernel already relies on
+        // that equivalence), so a tagged map is exactly reconstructible.
+        self.tag.map(WireOp::Map)
     }
 }
 
@@ -450,6 +487,9 @@ impl<A: Value, B: Value, T: Value> NodeInfo for Map2Node<A, B, T> {
         let (tag, left, right) = (self.tag, self.left.id(), self.right.id());
         kernel::lower_map2(self, tag, left, right, k);
         true
+    }
+    fn wire_op(&self) -> Option<WireOp> {
+        self.tag.map(WireOp::Map2)
     }
 }
 

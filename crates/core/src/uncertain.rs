@@ -134,10 +134,12 @@ impl<T: Value> Uncertain<T> {
         // guarantees they are bitwise-interchangeable.
         let dist = Arc::new(dist);
         let scalar = Arc::clone(&dist);
+        let spec = dist.spec();
         Self::from_node(Arc::new(LeafNode::with_fill(
             label,
             move |rng| scalar.sample(rng),
             move |rngs, out| dist.fill_column(rngs, out),
+            spec,
         )))
     }
 

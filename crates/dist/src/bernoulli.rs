@@ -72,6 +72,10 @@ impl Distribution<bool> for Bernoulli {
         out.clear();
         out.extend(rngs.iter_mut().map(|rng| rng.gen::<f64>() < self.p));
     }
+
+    fn spec(&self) -> Option<crate::DistSpec> {
+        Some(crate::DistSpec::Bernoulli { p: self.p })
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,10 @@ impl Distribution<f64> for Exponential {
         column::draw_open01(rngs, out);
         column::exponential_transform(out, self.rate);
     }
+
+    fn spec(&self) -> Option<crate::DistSpec> {
+        Some(crate::DistSpec::Exponential { rate: self.rate })
+    }
 }
 
 impl Continuous for Exponential {

@@ -88,6 +88,13 @@ impl Distribution<f64> for Gaussian {
             column::gaussian_transform(out, u2, self.mean, self.std_dev);
         });
     }
+
+    fn spec(&self) -> Option<crate::DistSpec> {
+        Some(crate::DistSpec::Gaussian {
+            mean: self.mean,
+            std_dev: self.std_dev,
+        })
+    }
 }
 
 impl Continuous for Gaussian {

@@ -57,6 +57,7 @@ mod point;
 mod poisson;
 mod rayleigh;
 mod rician;
+mod spec;
 mod student_t;
 mod traits;
 mod triangular;
@@ -80,6 +81,7 @@ pub use point::PointMass;
 pub use poisson::Poisson;
 pub use rayleigh::Rayleigh;
 pub use rician::Rician;
+pub use spec::DistSpec;
 pub use student_t::StudentT;
 pub use traits::{Continuous, Discrete, Distribution, SamplingFn};
 pub use triangular::Triangular;

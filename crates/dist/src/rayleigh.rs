@@ -79,6 +79,10 @@ impl Distribution<f64> for Rayleigh {
         column::draw_open01(rngs, out);
         column::rayleigh_transform(out, self.scale);
     }
+
+    fn spec(&self) -> Option<crate::DistSpec> {
+        Some(crate::DistSpec::Rayleigh { scale: self.scale })
+    }
 }
 
 impl Continuous for Rayleigh {

@@ -1,0 +1,114 @@
+//! Canonical parametric descriptions of the closed-form distributions.
+//!
+//! A [`DistSpec`] is a pure-data description of a known distribution — the
+//! shape name plus its parameters, nothing else. It exists so a leaf of an
+//! `Uncertain<T>` network built from one of the standard distributions can
+//! be *serialized*: a remote evaluation service reconstructs the exact same
+//! sampling function from the spec (the constructors are deterministic
+//! functions of their parameters), so a graph shipped over the wire draws
+//! bitwise the same sample stream as the graph it was encoded from.
+//!
+//! Distributions advertise their spec through
+//! [`Distribution::spec`](crate::Distribution::spec); the default is
+//! `None`, which marks the distribution as not expressible on the wire
+//! (e.g. [`Empirical`](crate::Empirical) pools or closures over captured
+//! state).
+
+/// The shape-plus-parameters description of a closed-form distribution.
+///
+/// Marked `#[non_exhaustive]`: new shapes may be added without a breaking
+/// release, so downstream `match`es must carry a wildcard arm.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_dist::{DistSpec, Distribution, Gaussian};
+///
+/// # fn main() -> Result<(), uncertain_dist::ParamError> {
+/// let g = Gaussian::new(3.0, 2.0)?;
+/// assert_eq!(
+///     g.spec(),
+///     Some(DistSpec::Gaussian { mean: 3.0, std_dev: 2.0 })
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum DistSpec {
+    /// `N(mean, std_dev)` — [`Gaussian`](crate::Gaussian).
+    Gaussian {
+        /// Location parameter.
+        mean: f64,
+        /// Scale parameter (strictly positive).
+        std_dev: f64,
+    },
+    /// Uniform on `[low, high)` — [`Uniform`](crate::Uniform).
+    Uniform {
+        /// Inclusive lower bound.
+        low: f64,
+        /// Exclusive upper bound.
+        high: f64,
+    },
+    /// Rayleigh with the given scale — [`Rayleigh`](crate::Rayleigh), the
+    /// paper's GPS error shape.
+    Rayleigh {
+        /// Scale parameter ρ (strictly positive).
+        scale: f64,
+    },
+    /// Exponential with the given rate — [`Exponential`](crate::Exponential).
+    Exponential {
+        /// Rate parameter λ (strictly positive).
+        rate: f64,
+    },
+    /// Bernoulli that is `true` with probability `p` —
+    /// [`Bernoulli`](crate::Bernoulli). The one `bool`-valued shape.
+    Bernoulli {
+        /// Success probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bernoulli, Distribution, Empirical, Exponential, Gaussian, Rayleigh, Uniform};
+
+    #[test]
+    fn closed_form_distributions_advertise_their_spec() {
+        assert_eq!(
+            Uniform::new(1.0, 2.0).unwrap().spec(),
+            Some(DistSpec::Uniform {
+                low: 1.0,
+                high: 2.0
+            })
+        );
+        assert_eq!(
+            Rayleigh::new(4.0).unwrap().spec(),
+            Some(DistSpec::Rayleigh { scale: 4.0 })
+        );
+        assert_eq!(
+            Exponential::new(0.5).unwrap().spec(),
+            Some(DistSpec::Exponential { rate: 0.5 })
+        );
+        assert_eq!(
+            Bernoulli::new(0.25).unwrap().spec(),
+            Some(DistSpec::Bernoulli { p: 0.25 })
+        );
+    }
+
+    #[test]
+    fn opaque_distributions_have_no_spec() {
+        let pool = Empirical::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(Distribution::<f64>::spec(&pool), None);
+    }
+
+    #[test]
+    fn spec_survives_smart_pointer_wrapping() {
+        let g = Gaussian::new(0.0, 1.0).unwrap();
+        let spec = g.spec();
+        assert_eq!(Distribution::<f64>::spec(&&g), spec);
+        assert_eq!(Distribution::<f64>::spec(&Box::new(g)), spec);
+        assert_eq!(Distribution::<f64>::spec(&std::sync::Arc::new(g)), spec);
+    }
+}

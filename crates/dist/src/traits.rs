@@ -1,5 +1,6 @@
 //! The core distribution traits: sampling functions, densities and CDFs.
 
+use crate::spec::DistSpec;
 use rand::RngCore;
 
 /// A *sampling function* over values of type `T` (paper §3.2/§4.1).
@@ -63,6 +64,20 @@ pub trait Distribution<T>: Send + Sync {
             out.push(self.sample(rng));
         }
     }
+
+    /// The canonical shape-plus-parameters description of this
+    /// distribution, when it has one (see [`DistSpec`]).
+    ///
+    /// `Some` is a serializability contract: reconstructing the
+    /// distribution from the returned spec (via its public constructor)
+    /// must yield a sampling function that draws **bitwise identical**
+    /// values from the same RNG stream. Distributions whose sampling
+    /// behavior is not a pure function of a few scalar parameters
+    /// (empirical pools, mixtures, closures) keep the default `None` and
+    /// are simply not expressible on the wire.
+    fn spec(&self) -> Option<DistSpec> {
+        None
+    }
 }
 
 /// Blanket impl so `&D`, `Box<D>` and `Arc<D>` are themselves distributions.
@@ -73,6 +88,9 @@ impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
     fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<T>) {
         (**self).fill_column(rngs, out)
     }
+    fn spec(&self) -> Option<DistSpec> {
+        (**self).spec()
+    }
 }
 
 impl<T, D: Distribution<T> + ?Sized> Distribution<T> for Box<D> {
@@ -82,6 +100,9 @@ impl<T, D: Distribution<T> + ?Sized> Distribution<T> for Box<D> {
     fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<T>) {
         (**self).fill_column(rngs, out)
     }
+    fn spec(&self) -> Option<DistSpec> {
+        (**self).spec()
+    }
 }
 
 impl<T, D: Distribution<T> + ?Sized> Distribution<T> for std::sync::Arc<D> {
@@ -90,6 +111,9 @@ impl<T, D: Distribution<T> + ?Sized> Distribution<T> for std::sync::Arc<D> {
     }
     fn fill_column(&self, rngs: &mut [rand::rngs::SmallRng], out: &mut Vec<T>) {
         (**self).fill_column(rngs, out)
+    }
+    fn spec(&self) -> Option<DistSpec> {
+        (**self).spec()
     }
 }
 

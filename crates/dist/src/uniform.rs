@@ -81,6 +81,13 @@ impl Distribution<f64> for Uniform {
                 .map(|rng| self.low + (self.high - self.low) * rng.gen::<f64>()),
         );
     }
+
+    fn spec(&self) -> Option<crate::DistSpec> {
+        Some(crate::DistSpec::Uniform {
+            low: self.low,
+            high: self.high,
+        })
+    }
 }
 
 impl Continuous for Uniform {

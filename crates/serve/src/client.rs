@@ -1,24 +1,27 @@
-//! The typed client handle.
+//! The typed client handle, generic over its [`Transport`].
 
-use std::sync::atomic::Ordering;
-use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::net::ToSocketAddrs;
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use uncertain_core::{HypothesisOutcome, ServeError, Uncertain};
 use uncertain_stats::Summary;
 
-use crate::service::{Inner, Job, RequestKind, Response};
-use crate::shard_of;
+use crate::net::TcpTransport;
+use crate::service::Inner;
+use crate::transport::{ChannelTransport, Request, RequestKind, Response, Transport};
 
-/// A reply that has been admitted to a shard queue but not yet waited on.
+/// A reply that has been admitted for execution but not yet waited on.
 ///
 /// Returned by the `submit_*` methods; lets one client keep many requests
 /// in flight (pipelining), which is how a bounded queue is actually
 /// saturated — the shard dequeues back-to-back instead of idling between
 /// synchronous round-trips. Per-tenant ordering still holds: a tenant's
 /// requests share one FIFO shard queue, so replies complete in the
-/// tenant's submission order.
+/// tenant's submission order. The type is transport-agnostic — the reply
+/// may come from an in-process shard or from a socket's demux thread, and
+/// waiting looks identical either way.
 #[must_use = "a pending reply does nothing until waited on"]
 pub struct Pending<T> {
     rx: Receiver<Result<Response, ServeError>>,
@@ -33,8 +36,8 @@ impl<T> Pending<T> {
     }
 }
 
-/// A handle for submitting requests to a running
-/// [`Service`](crate::Service).
+/// A handle for submitting requests to a [`Service`](crate::Service) —
+/// in-process or across a socket.
 ///
 /// Handles are cheap to clone and safe to use from many threads; every
 /// handle routes a given tenant to the same shard, so a tenant's requests
@@ -46,14 +49,46 @@ impl<T> Pending<T> {
 /// [`ServeError::Timeout`] if it expires in the queue or mid-computation
 /// (the timed-out request still consumes the tenant's query indices it
 /// would have, so later results are unaffected).
+///
+/// The handle is a thin typed layer over a [`Transport`]:
+/// [`Service::client`](crate::Service::client) builds one over the
+/// in-process [`ChannelTransport`], [`ServeClient::connect`] over a
+/// [`TcpTransport`], and [`ServeClient::with_transport`] over anything
+/// else. The typed surface — and the results it returns — is identical
+/// across transports.
 #[derive(Clone)]
 pub struct ServeClient {
-    inner: Arc<Inner>,
+    transport: Arc<dyn Transport>,
 }
 
 impl ServeClient {
+    /// The in-process constructor [`Service::client`](crate::Service::client)
+    /// uses: a [`ChannelTransport`] straight into the shard queues.
     pub(crate) fn new(inner: Arc<Inner>) -> Self {
-        Self { inner }
+        Self::with_transport(Arc::new(ChannelTransport::new(inner)))
+    }
+
+    /// A client over an arbitrary [`Transport`].
+    pub fn with_transport(transport: Arc<dyn Transport>) -> Self {
+        Self { transport }
+    }
+
+    /// A client over one TCP connection to a service listening at `addr`
+    /// (see [`Service::listen`](crate::Service::listen)).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
+        Ok(Self::with_transport(Arc::new(TcpTransport::connect(addr)?)))
+    }
+
+    /// A client over a pool of `connections` TCP connections; tenants are
+    /// hashed across the pool, so per-tenant ordering is preserved while
+    /// distinct tenants pipeline on distinct sockets.
+    pub fn connect_pooled<A: ToSocketAddrs>(
+        addr: A,
+        connections: usize,
+    ) -> Result<Self, ServeError> {
+        Ok(Self::with_transport(Arc::new(
+            TcpTransport::connect_pooled(addr, connections)?,
+        )))
     }
 
     /// Full SPRT verdict for `Pr[cond] > threshold` on `tenant`'s session.
@@ -213,7 +248,7 @@ impl ServeClient {
         })
     }
 
-    /// Admits one request to its tenant's shard queue.
+    /// Admits one request through the transport.
     fn submit<T>(
         &self,
         tenant: u64,
@@ -221,45 +256,11 @@ impl ServeClient {
         timeout: Option<Duration>,
         map: fn(Response) -> T,
     ) -> Result<Pending<T>, ServeError> {
-        if !self.inner.accepting.load(Ordering::SeqCst) {
-            return Err(ServeError::Shutdown);
-        }
-        let shard = &self.inner.shards[shard_of(tenant, self.inner.shards.len())];
-        let deadline = timeout
-            .or(self.inner.config.default_deadline)
-            .map(|t| Instant::now() + t);
-        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        let job = Job {
+        let rx = self.transport.submit(Request {
             tenant,
             kind,
-            deadline,
-            enqueued: Instant::now(),
-            reply: reply_tx,
-        };
-        {
-            let guard = shard.tx.lock().expect("shard sender lock");
-            let Some(tx) = guard.as_ref() else {
-                return Err(ServeError::Shutdown);
-            };
-            // Count the admission before sending so the shard's matching
-            // decrement can never observe a missing increment.
-            shard.stats.queue_depth.inc();
-            match tx.try_send(job) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    shard.stats.queue_depth.dec();
-                    shard.stats.rejected.inc();
-                    return Err(ServeError::QueueFull);
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    shard.stats.queue_depth.dec();
-                    return Err(ServeError::Shutdown);
-                }
-            }
-        }
-        // The shard always replies — even to drained-at-shutdown or
-        // timed-out requests. A dropped reply channel therefore means the
-        // worker is gone.
-        Ok(Pending { rx: reply_rx, map })
+            timeout,
+        })?;
+        Ok(Pending { rx, map })
     }
 }

@@ -1,13 +1,16 @@
 //! Service topology and policy knobs.
 
+use std::net::ToSocketAddrs;
 use std::time::Duration;
-use uncertain_core::EvalConfig;
+use uncertain_core::{ConfigError, EvalConfig};
 
 /// Configuration for [`Service::start`](crate::Service::start).
 ///
 /// The defaults favor test/bench friendliness (small, deterministic);
 /// production deployments mostly raise `shards`, `queue_depth`, and
-/// `sessions_per_shard`.
+/// `sessions_per_shard`. Build one with [`ServeConfig::builder`] for
+/// validated construction (the `with_*` methods stay available for the
+/// infallible knobs).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker shards. Each shard is one OS thread owning a session pool;
@@ -29,6 +32,10 @@ pub struct ServeConfig {
     /// Deadline applied to requests that do not carry their own.
     /// `None` = requests wait as long as the work takes.
     pub default_deadline: Option<Duration>,
+    /// Where [`Service::listen`](crate::Service::listen) binds its TCP
+    /// port. The default `127.0.0.1:0` asks the OS for a free local port
+    /// (read it back from [`Listener::local_addr`](crate::Listener::local_addr)).
+    pub bind_addr: String,
 }
 
 impl Default for ServeConfig {
@@ -40,11 +47,23 @@ impl Default for ServeConfig {
             seed: 0,
             eval: EvalConfig::default(),
             default_deadline: None,
+            bind_addr: "127.0.0.1:0".to_string(),
         }
     }
 }
 
 impl ServeConfig {
+    /// A validating builder, mirroring
+    /// [`EvalConfig::builder`](uncertain_core::EvalConfig::builder):
+    /// degenerate topologies are rejected at build time with a specific
+    /// [`ConfigError`] instead of panicking inside
+    /// [`Service::start`](crate::Service::start).
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
     /// Returns the config with the given shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
@@ -79,5 +98,161 @@ impl ServeConfig {
     pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
         self.default_deadline = Some(deadline);
         self
+    }
+
+    /// Returns the config with the given TCP bind address (unvalidated —
+    /// use [`ServeConfig::builder`] to have it checked up front).
+    pub fn with_bind_addr(mut self, bind_addr: impl Into<String>) -> Self {
+        self.bind_addr = bind_addr.into();
+        self
+    }
+}
+
+/// Builder for [`ServeConfig`] with validation at
+/// [`ServeConfigBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_serve::ServeConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = ServeConfig::builder()
+///     .shards(8)
+///     .queue_depth(512)
+///     .sessions_per_shard(64)
+///     .seed(2014)
+///     .bind_addr("127.0.0.1:0")
+///     .build()?;
+/// assert_eq!(config.shards, 8);
+///
+/// assert!(ServeConfig::builder().shards(0).build().is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the worker shard count (must be ≥ 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard request queue bound (must be ≥ 1).
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.config.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets the per-shard session-pool capacity (must be ≥ 1).
+    pub fn sessions_per_shard(mut self, sessions_per_shard: usize) -> Self {
+        self.config.sessions_per_shard = sessions_per_shard;
+        self
+    }
+
+    /// Sets the service seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the SPRT configuration applied to every tenant session.
+    pub fn eval(mut self, eval: EvalConfig) -> Self {
+        self.config.eval = eval;
+        self
+    }
+
+    /// Sets the deadline applied to requests that carry none.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.config.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets where [`Service::listen`](crate::Service::listen) binds (must
+    /// resolve as `host:port`).
+    pub fn bind_addr(mut self, bind_addr: impl Into<String>) -> Self {
+        self.config.bind_addr = bind_addr.into();
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroShards`], [`ConfigError::ZeroQueueDepth`], or
+    /// [`ConfigError::ZeroSessionPool`] for a degenerate topology;
+    /// [`ConfigError::BadBindAddr`] when the bind address does not
+    /// resolve as `host:port`.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        let c = self.config;
+        if c.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if c.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if c.sessions_per_shard == 0 {
+            return Err(ConfigError::ZeroSessionPool);
+        }
+        if c.bind_addr.to_socket_addrs().is_err() {
+            return Err(ConfigError::BadBindAddr(c.bind_addr));
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accepts_a_sane_config() {
+        let config = ServeConfig::builder()
+            .shards(2)
+            .queue_depth(16)
+            .sessions_per_shard(4)
+            .seed(7)
+            .default_deadline(Duration::from_millis(50))
+            .bind_addr("127.0.0.1:0")
+            .build()
+            .expect("valid config");
+        assert_eq!(config.shards, 2);
+        assert_eq!(config.queue_depth, 16);
+        assert_eq!(config.sessions_per_shard, 4);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.default_deadline, Some(Duration::from_millis(50)));
+        assert_eq!(config.bind_addr, "127.0.0.1:0");
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_topologies() {
+        assert!(matches!(
+            ServeConfig::builder().shards(0).build(),
+            Err(ConfigError::ZeroShards)
+        ));
+        assert!(matches!(
+            ServeConfig::builder().queue_depth(0).build(),
+            Err(ConfigError::ZeroQueueDepth)
+        ));
+        assert!(matches!(
+            ServeConfig::builder().sessions_per_shard(0).build(),
+            Err(ConfigError::ZeroSessionPool)
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_a_bad_bind_addr() {
+        let err = ServeConfig::builder()
+            .bind_addr("not an address")
+            .build()
+            .unwrap_err();
+        match err {
+            ConfigError::BadBindAddr(addr) => assert_eq!(addr, "not an address"),
+            other => panic!("wrong error: {other:?}"),
+        }
     }
 }

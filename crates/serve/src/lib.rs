@@ -4,8 +4,8 @@
 //! The paper's conditional (`Pr[cond] > θ`, decided by Wald's SPRT) is a
 //! per-query decision procedure, which makes it the natural unit of a
 //! request/response service: a request carries a network and a question,
-//! the response carries a [`HypothesisOutcome`]. This crate turns the
-//! single-process [`Session`] runtime into such a service:
+//! the response carries a [`HypothesisOutcome`](uncertain_core::HypothesisOutcome). This crate turns the
+//! single-process [`Session`](uncertain_core::Session) runtime into such a service:
 //!
 //! * **Sharding** — [`Service::start`] spawns N worker shards. A tenant id
 //!   is hashed to one shard ([`shard_of`]) and *always* lands there, so a
@@ -16,8 +16,8 @@
 //! * **Tenancy** — each shard owns a bounded LRU pool of `Session`s, one
 //!   per active tenant, seeded by [`tenant_seed`] (a pure function of the
 //!   service seed and the tenant id — *not* of the shard count). Evicting
-//!   a tenant saves only its query cursor ([`Session::query_index`]); a
-//!   later request rebuilds the session with [`Session::resume_at`] and
+//!   a tenant saves only its query cursor ([`Session::query_index`](uncertain_core::Session::query_index)); a
+//!   later request rebuilds the session with [`Session::resume_at`](uncertain_core::Session::resume_at) and
 //!   every future sample is bitwise what the evicted session would have
 //!   drawn. Determinism survives eviction; only cache warmth is lost.
 //! * **Backpressure** — each shard is fronted by a bounded MPSC queue.
@@ -59,12 +59,17 @@
 mod client;
 mod config;
 mod metrics;
+mod net;
 mod service;
+mod transport;
+mod wire;
 
 pub use client::{Pending, ServeClient};
-pub use config::ServeConfig;
-pub use metrics::{ServeMetrics, ShardMetrics};
+pub use config::{ServeConfig, ServeConfigBuilder};
+pub use metrics::{NetMetrics, ServeMetrics, ShardMetrics};
+pub use net::{Listener, TcpTransport};
 pub use service::Service;
+pub use transport::{ChannelTransport, ReplyReceiver, Request, RequestKind, Response, Transport};
 /// Re-export: the request-failure error (defined in `uncertain-core` so it
 /// participates in the unified [`uncertain_core::Error`]).
 pub use uncertain_core::ServeError;
@@ -74,7 +79,7 @@ pub use uncertain_obs::HistogramSnapshot;
 
 /// SplitMix64 finalizer: the same avalanche the core runtime uses for
 /// substream derivation, applied here to tenant ids and shard routing.
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

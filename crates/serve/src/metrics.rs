@@ -71,6 +71,56 @@ impl ShardStats {
     }
 }
 
+/// Shared mutable counters of the service's network edge, maintained by
+/// [`Listener`](crate::Listener) connection handlers on accept/close and
+/// per frame. All zeros for a service never exposed on a socket.
+#[derive(Debug, Default)]
+pub(crate) struct NetStats {
+    /// Connections currently open (binary and HTTP alike).
+    pub(crate) connections_open: Gauge,
+    pub(crate) accepted: Counter,
+    pub(crate) closed: Counter,
+    pub(crate) frames_in: Counter,
+    pub(crate) frames_out: Counter,
+    pub(crate) wire_errors: Counter,
+    pub(crate) http_scrapes: Counter,
+}
+
+impl NetStats {
+    pub(crate) fn snapshot(&self) -> NetMetrics {
+        NetMetrics {
+            connections_open: self.connections_open.get().max(0) as usize,
+            accepted: self.accepted.get(),
+            closed: self.closed.get(),
+            frames_in: self.frames_in.get(),
+            frames_out: self.frames_out.get(),
+            wire_errors: self.wire_errors.get(),
+            http_scrapes: self.http_scrapes.get(),
+        }
+    }
+}
+
+/// Point-in-time counters of the service's network edge. Published on
+/// connection accept/close events and per decoded/encoded frame, so they
+/// are exact whenever no frame is mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetMetrics {
+    /// TCP connections currently open.
+    pub connections_open: usize,
+    /// Connections accepted over the listener's lifetime.
+    pub accepted: u64,
+    /// Connections closed over the listener's lifetime.
+    pub closed: u64,
+    /// Request frames decoded off sockets.
+    pub frames_in: u64,
+    /// Response frames written to sockets.
+    pub frames_out: u64,
+    /// Frames rejected as malformed, truncated, or unsupported.
+    pub wire_errors: u64,
+    /// Prometheus scrapes served over the HTTP side of the port.
+    pub http_scrapes: u64,
+}
+
 /// Point-in-time counters of one shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardMetrics {
@@ -111,6 +161,8 @@ pub struct ShardMetrics {
 pub struct ServeMetrics {
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardMetrics>,
+    /// Network-edge counters (all zeros for an in-process-only service).
+    pub net: NetMetrics,
     /// Time since [`Service::start`](crate::Service::start).
     pub elapsed: Duration,
 }
@@ -288,6 +340,41 @@ impl ServeMetrics {
             "uncertain_sampling_ns",
             "Execution time net of compilation per executed request.",
             &self.sampling(),
+        );
+        w.gauge(
+            "uncertain_net_connections",
+            "TCP connections currently open.",
+            self.net.connections_open as f64,
+        );
+        w.counter(
+            "uncertain_net_accepted_total",
+            "TCP connections accepted.",
+            self.net.accepted,
+        );
+        w.counter(
+            "uncertain_net_closed_total",
+            "TCP connections closed.",
+            self.net.closed,
+        );
+        w.counter(
+            "uncertain_net_frames_in_total",
+            "Request frames decoded off sockets.",
+            self.net.frames_in,
+        );
+        w.counter(
+            "uncertain_net_frames_out_total",
+            "Response frames written to sockets.",
+            self.net.frames_out,
+        );
+        w.counter(
+            "uncertain_net_wire_errors_total",
+            "Frames rejected as malformed, truncated, or unsupported.",
+            self.net.wire_errors,
+        );
+        w.counter(
+            "uncertain_net_http_scrapes_total",
+            "Prometheus scrapes served over the metrics endpoint.",
+            self.net.http_scrapes,
         );
         w.gauge(
             "uncertain_uptime_seconds",

@@ -1,0 +1,573 @@
+//! The TCP edge: [`Listener`] (server side) and [`TcpTransport`] (client
+//! side) speaking the frame protocol of [`crate::wire`].
+//!
+//! # Server
+//!
+//! [`Service::listen`](crate::Service::listen) binds the config's
+//! `bind_addr` and accepts connections on a dedicated thread. Each
+//! connection sniffs a 4-byte preamble: the `UNC1` magic starts the binary
+//! request loop, `GET ` serves one Prometheus scrape of the service
+//! metrics and closes (one port, both protocols — no second listener to
+//! configure or firewall).
+//!
+//! A binary connection runs two threads: a reader that decodes request
+//! frames and admits them through the same [`ChannelTransport`] the
+//! in-process client uses — so queue backpressure surfaces to the remote
+//! caller as [`ServeError::QueueFull`], frame deadlines feed the same
+//! cooperative-deadline path, and per-tenant FIFO semantics are inherited
+//! rather than re-implemented — and a writer that encodes replies back in
+//! **submission order**. In-order replies keep the protocol state small
+//! (no reordering buffer) at the cost of head-of-line blocking on one
+//! connection; clients that care use a pooled transport, where tenants
+//! hash across sockets.
+//!
+//! Decoded query graphs are cached keyed by their raw bytes: a repeated
+//! query hits the cache and reuses the *same* rebuilt `Uncertain` nodes,
+//! so the shards' per-tenant plan caches stay hot across requests exactly
+//! as they do in-process (a fresh decode per frame would mint fresh node
+//! identities and recompile every plan every time).
+//!
+//! # Shutdown
+//!
+//! [`Listener::shutdown`] (or drop) stops accepting, half-closes every
+//! connection's read side, and joins the handlers: readers see EOF, writer
+//! threads flush every reply already admitted, then the sockets close.
+//! In-flight work is drained, not dropped — the same contract
+//! [`Service::shutdown`](crate::Service::shutdown) gives the in-process
+//! path.
+
+use std::collections::HashMap;
+use std::io::{BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use uncertain_core::{ServeError, Uncertain, WireError, WireGraph};
+
+use crate::metrics::NetStats;
+use crate::mix64;
+use crate::service::Inner;
+use crate::transport::{
+    ChannelTransport, ReplyReceiver, Request, RequestKind, Response, Transport,
+};
+use crate::wire::{self, WireBody, MAGIC, MAX_FRAME};
+
+fn io_err(context: &str, e: std::io::Error) -> ServeError {
+    ServeError::Transport(format!("{context}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Server-side decoded-graph cache
+// ---------------------------------------------------------------------------
+
+/// Decoded queries keyed by their raw graph bytes, shared by every
+/// connection of one listener. Bounded: at capacity the map is dropped
+/// wholesale (correctness is unaffected — a re-decoded graph samples
+/// bitwise identically; only plan-cache warmth resets).
+const GRAPH_CACHE_CAP: usize = 4096;
+
+enum CachedQuery {
+    Bool(Uncertain<bool>),
+    F64(Uncertain<f64>),
+}
+
+#[derive(Default)]
+struct GraphCache {
+    map: Mutex<HashMap<Vec<u8>, CachedQuery>>,
+}
+
+impl GraphCache {
+    fn query_bool(&self, bytes: &[u8]) -> Result<Uncertain<bool>, ServeError> {
+        let mut map = self.map.lock().expect("graph cache lock");
+        if let Some(CachedQuery::Bool(q)) = map.get(bytes) {
+            return Ok(q.clone());
+        }
+        let q = WireGraph::from_bytes(bytes)?.decode_bool()?;
+        if map.len() >= GRAPH_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(bytes.to_vec(), CachedQuery::Bool(q.clone()));
+        Ok(q)
+    }
+
+    fn query_f64(&self, bytes: &[u8]) -> Result<Uncertain<f64>, ServeError> {
+        let mut map = self.map.lock().expect("graph cache lock");
+        if let Some(CachedQuery::F64(q)) = map.get(bytes) {
+            return Ok(q.clone());
+        }
+        let q = WireGraph::from_bytes(bytes)?.decode_f64()?;
+        if map.len() >= GRAPH_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(bytes.to_vec(), CachedQuery::F64(q.clone()));
+        Ok(q)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+/// Per-listener registry of live connections, for draining shutdown.
+///
+/// Handlers deregister on exit: a registered clone that outlived its
+/// connection would pin the socket open (the peer would never see FIN
+/// after `Connection: close`) and leak one fd per served connection.
+#[derive(Default)]
+struct ConnRegistry {
+    next: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: TcpStream) -> u64 {
+        let token = self.next.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .expect("stream registry lock")
+            .insert(token, stream);
+        token
+    }
+
+    fn deregister(&self, token: u64) {
+        self.streams
+            .lock()
+            .expect("stream registry lock")
+            .remove(&token);
+    }
+}
+
+/// A service's open TCP port. Returned by
+/// [`Service::listen`](crate::Service::listen); dropping it (or calling
+/// [`Listener::shutdown`]) closes the network edge while leaving the
+/// service itself running.
+pub struct Listener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    registry: Arc<ConnRegistry>,
+}
+
+impl Listener {
+    pub(crate) fn bind(inner: Arc<Inner>) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(inner.config.bind_addr.as_str())
+            .map_err(|e| io_err("bind failed", e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| io_err("no local addr", e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(ConnRegistry::default());
+        let cache = Arc::new(GraphCache::default());
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let net = Arc::clone(&inner.net);
+                    net.accepted.inc();
+                    net.connections_open.inc();
+                    let token = stream
+                        .try_clone()
+                        .ok()
+                        .map(|clone| registry.register(clone));
+                    let transport = ChannelTransport::new(Arc::clone(&inner));
+                    let cache = Arc::clone(&cache);
+                    let metrics_inner = Arc::clone(&inner);
+                    let conn_registry = Arc::clone(&registry);
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(stream, transport, metrics_inner, cache, Arc::clone(&net));
+                        if let Some(token) = token {
+                            conn_registry.deregister(token);
+                        }
+                        net.connections_open.dec();
+                        net.closed.inc();
+                    });
+                    registry
+                        .handles
+                        .lock()
+                        .expect("handle registry lock")
+                        .push(handle);
+                }
+            })
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accept: Some(accept),
+            registry,
+        })
+    }
+
+    /// The address actually bound — the way to learn the port after
+    /// binding `"127.0.0.1:0"`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight replies, and joins every
+    /// connection handler. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Half-close: readers see EOF and stop admitting; writers still
+        // flush every already-admitted reply before their threads exit.
+        for stream in self
+            .registry
+            .streams
+            .lock()
+            .expect("stream registry lock")
+            .values()
+        {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<_> = self
+            .registry
+            .handles
+            .lock()
+            .expect("handle registry lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection server loops
+// ---------------------------------------------------------------------------
+
+fn serve_connection(
+    mut stream: TcpStream,
+    transport: ChannelTransport,
+    inner: Arc<Inner>,
+    cache: Arc<GraphCache>,
+    net: Arc<NetStats>,
+) {
+    let mut preamble = [0u8; 4];
+    if stream.read_exact(&mut preamble).is_err() {
+        return;
+    }
+    if preamble == MAGIC {
+        serve_binary(stream, transport, cache, net);
+    } else if &preamble == b"GET " {
+        net.http_scrapes.inc();
+        serve_scrape(stream, &inner);
+    } else {
+        net.wire_errors.inc();
+    }
+}
+
+/// Serves one Prometheus scrape and closes. The request line/headers are
+/// read (bounded) and ignored: every path returns the same body.
+fn serve_scrape(mut stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut seen = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while seen.len() < 8192 && !seen.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => seen.push(byte[0]),
+            _ => break,
+        }
+    }
+    let body = inner.metrics().render_prometheus();
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn serve_binary(
+    mut stream: TcpStream,
+    transport: ChannelTransport,
+    cache: Arc<GraphCache>,
+    net: Arc<NetStats>,
+) {
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    // Replies flow through this queue in submission order; a rendezvous
+    // pre-filled with the error result gives failed admissions the same
+    // path as real replies.
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, ReplyReceiver)>();
+    let writer_net = Arc::clone(&net);
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(write_stream);
+        while let Ok((id, reply)) = reply_rx.recv() {
+            let result = reply
+                .recv()
+                .unwrap_or_else(|_| Err(ServeError::Transport("shard worker exited".into())));
+            let payload = wire::encode_response(id, &result);
+            // Counted before the flush: once the peer can observe the
+            // reply, a metrics snapshot must already include it.
+            writer_net.frames_out.inc();
+            if wire::write_frame(&mut w, &payload)
+                .and_then(|()| w.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    let immediate = |err: ServeError| -> ReplyReceiver {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let _ = tx.send(Err(err));
+        rx
+    };
+
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break,
+            Err(_) => {
+                // A framing-level failure (oversized prefix, mid-frame
+                // EOF) leaves the stream unsynchronized: close it.
+                net.wire_errors.inc();
+                break;
+            }
+        };
+        net.frames_in.inc();
+        if payload.len() < 8 {
+            // No correlation id to reply to.
+            net.wire_errors.inc();
+            break;
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let reply = match decode_and_submit(&payload[8..], &transport, &cache) {
+            Ok(rx) => rx,
+            Err(e) => {
+                if matches!(e, ServeError::Wire(_)) {
+                    net.wire_errors.inc();
+                }
+                immediate(e)
+            }
+        };
+        if reply_tx.send((id, reply)).is_err() {
+            break;
+        }
+    }
+    // Dropping our sender lets the writer drain whatever is still pending
+    // and exit; joining it is what makes listener shutdown "drained".
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// Decodes one request body and admits it through the shard queues.
+/// Admission failures (`QueueFull`, `Shutdown`) and decode failures come
+/// back as the error the remote caller should see.
+fn decode_and_submit(
+    body: &[u8],
+    transport: &ChannelTransport,
+    cache: &GraphCache,
+) -> Result<ReplyReceiver, ServeError> {
+    let request = wire::decode_request_body(body)?;
+    let kind = match request.body {
+        WireBody::Evaluate { threshold, graph } => RequestKind::Evaluate {
+            cond: cache.query_bool(&graph)?,
+            threshold,
+        },
+        WireBody::Pr { threshold, graph } => RequestKind::Pr {
+            cond: cache.query_bool(&graph)?,
+            threshold,
+        },
+        WireBody::E { n, graph } => RequestKind::E {
+            expr: cache.query_f64(&graph)?,
+            n: usize::try_from(n)
+                .map_err(|_| WireError::Malformed(format!("sample count {n} overflows")))?,
+        },
+        WireBody::Stats { n, graph } => RequestKind::Stats {
+            expr: cache.query_f64(&graph)?,
+            n: usize::try_from(n)
+                .map_err(|_| WireError::Malformed(format!("sample count {n} overflows")))?,
+        },
+    };
+    // The deadline crossed relative; anchor it here, at admission — the
+    // queue wait counts against it exactly as it does in-process.
+    let timeout = (request.deadline_ms > 0).then(|| Duration::from_millis(request.deadline_ms));
+    transport.submit(Request {
+        tenant: request.tenant,
+        kind,
+        timeout,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Client-side TCP transport
+// ---------------------------------------------------------------------------
+
+/// In-flight requests awaiting replies on one connection, keyed by
+/// correlation id.
+type PendingMap = Arc<Mutex<HashMap<u64, SyncSender<Result<Response, ServeError>>>>>;
+
+struct ClientConn {
+    /// Kept for the half-close on drop; all writes go through `writer`.
+    stream: TcpStream,
+    writer: Mutex<BufWriter<TcpStream>>,
+    pending: PendingMap,
+    alive: Arc<AtomicBool>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// A [`Transport`] over one or more pipelined TCP connections to a
+/// [`Service::listen`](crate::Service::listen) port.
+///
+/// Requests are written as frames tagged with a correlation id; a demux
+/// thread per connection routes response frames back to their waiting
+/// [`Pending`](crate::Pending) handles, so any number of requests can be
+/// in flight at once. Tenants are hashed to a fixed connection of the
+/// pool: combined with the server's per-connection in-order replies and
+/// the shard queues' FIFO, a tenant's requests still execute — and
+/// complete — in submission order, while distinct tenants spread across
+/// sockets.
+///
+/// If a connection dies, every request in flight on it fails with
+/// [`ServeError::Transport`], and later submits routed to it fail fast
+/// the same way; other connections of the pool are unaffected.
+pub struct TcpTransport {
+    conns: Vec<ClientConn>,
+    next_id: AtomicU64,
+}
+
+impl TcpTransport {
+    /// One connection to `addr` (see [`TcpTransport::connect_pooled`]).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
+        Self::connect_pooled(addr, 1)
+    }
+
+    /// A pool of `connections` connections to `addr`, each with its own
+    /// demux thread; tenants are hashed across the pool.
+    pub fn connect_pooled<A: ToSocketAddrs>(
+        addr: A,
+        connections: usize,
+    ) -> Result<Self, ServeError> {
+        if connections == 0 {
+            return Err(ServeError::Transport(
+                "a transport pool needs at least one connection".into(),
+            ));
+        }
+        let conns = (0..connections)
+            .map(|_| Self::open(&addr))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            conns,
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    fn open<A: ToSocketAddrs>(addr: &A) -> Result<ClientConn, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect failed", e))?;
+        let _ = stream.set_nodelay(true);
+        let mut writer = BufWriter::new(stream.try_clone().map_err(|e| io_err("clone failed", e))?);
+        writer
+            .write_all(&MAGIC)
+            .and_then(|()| writer.flush())
+            .map_err(|e| io_err("preamble write failed", e))?;
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let alive = Arc::new(AtomicBool::new(true));
+        let reader = {
+            let mut read_stream = stream.try_clone().map_err(|e| io_err("clone failed", e))?;
+            let pending = Arc::clone(&pending);
+            let alive = Arc::clone(&alive);
+            std::thread::spawn(move || {
+                while let Ok(Some(payload)) = wire::read_frame(&mut read_stream) {
+                    let Ok((id, result)) = wire::decode_response(&payload) else {
+                        // An undecodable reply means the stream is no
+                        // longer trustworthy.
+                        break;
+                    };
+                    if let Some(tx) = pending.lock().expect("pending map lock").remove(&id) {
+                        let _ = tx.send(result);
+                    }
+                }
+                alive.store(false, Ordering::SeqCst);
+                // Fail everything still waiting on this socket.
+                let drained: Vec<_> = pending
+                    .lock()
+                    .expect("pending map lock")
+                    .drain()
+                    .map(|(_, tx)| tx)
+                    .collect();
+                for tx in drained {
+                    let _ = tx.send(Err(ServeError::Transport("connection closed".into())));
+                }
+            })
+        };
+        Ok(ClientConn {
+            stream,
+            writer: Mutex::new(writer),
+            pending,
+            alive,
+            reader: Mutex::new(Some(reader)),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn submit(&self, request: Request) -> Result<ReplyReceiver, ServeError> {
+        let conn = &self.conns[(mix64(request.tenant) % self.conns.len() as u64) as usize];
+        if !conn.alive.load(Ordering::SeqCst) {
+            return Err(ServeError::Transport("connection closed".into()));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let payload = wire::encode_request(id, &request)?;
+        debug_assert!(payload.len() <= MAX_FRAME);
+        let (tx, rx) = mpsc::sync_channel(1);
+        conn.pending
+            .lock()
+            .expect("pending map lock")
+            .insert(id, tx);
+        // The frame write is atomic under the writer lock; registering the
+        // pending entry first means a fast reply can never miss its slot.
+        let write = {
+            let mut w = conn.writer.lock().expect("writer lock");
+            wire::write_frame(&mut *w, &payload).and_then(|()| w.flush())
+        };
+        if let Err(e) = write {
+            conn.pending.lock().expect("pending map lock").remove(&id);
+            conn.alive.store(false, Ordering::SeqCst);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            return Err(io_err("request write failed", e));
+        }
+        Ok(rx)
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        for conn in &self.conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            if let Some(handle) = conn.reader.lock().expect("reader handle lock").take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}

@@ -12,7 +12,9 @@ use uncertain_core::{CacheStats, EvalConfig, HypothesisOutcome, ServeError, Sess
 use uncertain_stats::Summary;
 
 use crate::client::ServeClient;
-use crate::metrics::{ServeMetrics, ShardStats};
+use crate::metrics::{NetStats, ServeMetrics, ShardStats};
+use crate::net::Listener;
+use crate::transport::{RequestKind, Response};
 use crate::{tenant_seed, ServeConfig};
 
 /// `e`/`stats` requests draw their samples in fixed chunks of this many
@@ -22,33 +24,6 @@ use crate::{tenant_seed, ServeConfig};
 /// query indices — regardless of shard count, timing, or whether the
 /// request aborted halfway.
 pub(crate) const SAMPLE_CHUNK: usize = 4096;
-
-/// What a request asks of its tenant's session.
-pub(crate) enum RequestKind {
-    /// Full SPRT verdict for `Pr[cond] > threshold`.
-    Evaluate {
-        cond: Uncertain<bool>,
-        threshold: f64,
-    },
-    /// Boolean form of the same decision (the paper's conditional).
-    Pr {
-        cond: Uncertain<bool>,
-        threshold: f64,
-    },
-    /// Expected value from `n` joint samples.
-    E { expr: Uncertain<f64>, n: usize },
-    /// Descriptive summary from `n` joint samples.
-    Stats { expr: Uncertain<f64>, n: usize },
-}
-
-/// The typed success payload, matched by the client into the per-method
-/// return type.
-pub(crate) enum Response {
-    Outcome(HypothesisOutcome),
-    Decision(bool),
-    Mean(f64),
-    Summary(Summary),
-}
 
 /// One queued request.
 pub(crate) struct Job {
@@ -170,6 +145,11 @@ fn run_shard(rx: Receiver<Job>, stats: Arc<ShardStats>, config: ServeConfig) {
         let job = match rx.try_recv() {
             Ok(job) => job,
             Err(TryRecvError::Empty) => {
+                // Publish before blocking: an idle shard's pool gauges
+                // stay exact while it waits, so remote-only workloads
+                // (where nothing else forces a request boundary here)
+                // never scrape stale cache/session numbers.
+                stats.publish_cache(pool.cache_totals(), pool.entries.len(), pool.evicted);
                 // `recv` keeps returning queued jobs after every sender is
                 // dropped, then errors: shutdown drains the queue for free.
                 match rx.recv() {
@@ -316,12 +296,16 @@ pub(crate) struct Inner {
     pub(crate) shards: Vec<ShardHandle>,
     pub(crate) accepting: AtomicBool,
     pub(crate) started: Instant,
+    /// Network-edge counters, shared with every [`Listener`] the service
+    /// opens (all zeros when the service is used purely in-process).
+    pub(crate) net: Arc<NetStats>,
 }
 
 impl Inner {
     pub(crate) fn metrics(&self) -> ServeMetrics {
         ServeMetrics {
             shards: self.shards.iter().map(|s| s.stats.snapshot()).collect(),
+            net: self.net.snapshot(),
             elapsed: self.started.elapsed(),
         }
     }
@@ -371,6 +355,7 @@ impl Service {
                 shards,
                 accepting: AtomicBool::new(true),
                 started: Instant::now(),
+                net: Arc::new(NetStats::default()),
             }),
             workers,
         }
@@ -380,6 +365,22 @@ impl Service {
     /// route a given tenant to the same shard.
     pub fn client(&self) -> ServeClient {
         ServeClient::new(Arc::clone(&self.inner))
+    }
+
+    /// Starts accepting TCP clients on the config's `bind_addr` (use
+    /// `"127.0.0.1:0"` to let the OS pick a free port, then
+    /// [`Listener::local_addr`] to learn it).
+    ///
+    /// One socket speaks both protocols, sniffed from the connection
+    /// preamble: the `UNC1` magic starts the binary request protocol (see
+    /// [`TcpTransport`](crate::TcpTransport)), while `GET ` serves one
+    /// plain-text Prometheus scrape of [`Service::metrics`] and closes.
+    /// The listener's lifetime is independent of the service handle's
+    /// methods: dropping (or [`Listener::shutdown`]ting) it stops the
+    /// network edge, finishes in-flight replies, and leaves the service
+    /// itself running.
+    pub fn listen(&self) -> Result<Listener, ServeError> {
+        Listener::bind(Arc::clone(&self.inner))
     }
 
     /// A live metrics snapshot. Request/decision counters are exact;

@@ -1,0 +1,176 @@
+//! The transport abstraction under [`ServeClient`](crate::ServeClient).
+//!
+//! A [`Transport`] is "somewhere requests can be admitted": the client's
+//! typed methods build a [`Request`], hand it to the transport, and get
+//! back the channel its reply will eventually arrive on. Two transports
+//! ship with the crate:
+//!
+//! * [`ChannelTransport`] — the original in-process path. Admission *is*
+//!   the shard queue's `try_send`; backpressure and shutdown surface
+//!   synchronously, exactly as they did before the trait existed.
+//! * [`TcpTransport`](crate::TcpTransport) — the same requests over a
+//!   pooled, pipelined TCP connection to a [`Service`](crate::Service)
+//!   listening on a socket (see [`Service::listen`](crate::Service::listen)).
+//!
+//! Both deliver replies through a plain [`std::sync::mpsc`] receiver, so
+//! [`Pending`](crate::Pending) — and everything built on it — is
+//! transport-agnostic: a pipelined client loop written against the
+//! in-process service works unchanged against a remote one.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use uncertain_core::{HypothesisOutcome, ServeError, Uncertain};
+use uncertain_stats::Summary;
+
+use crate::service::{Inner, Job};
+use crate::shard_of;
+
+/// What a request asks of its tenant's session.
+///
+/// Marked `#[non_exhaustive]`: the service may grow request kinds without
+/// a breaking release, so third-party [`Transport`]s must tolerate
+/// variants they do not know (typically by rejecting them as
+/// [`ServeError::Wire`] with an `Unsupported` payload).
+#[derive(Clone)]
+#[non_exhaustive]
+pub enum RequestKind {
+    /// Full SPRT verdict for `Pr[cond] > threshold`.
+    Evaluate {
+        /// The conditional under test.
+        cond: Uncertain<bool>,
+        /// The probability threshold θ.
+        threshold: f64,
+    },
+    /// Boolean form of the same decision (the paper's conditional).
+    Pr {
+        /// The conditional under test.
+        cond: Uncertain<bool>,
+        /// The probability threshold θ.
+        threshold: f64,
+    },
+    /// Expected value from `n` joint samples.
+    E {
+        /// The expression to sample.
+        expr: Uncertain<f64>,
+        /// How many joint samples to draw.
+        n: usize,
+    },
+    /// Descriptive summary from `n` joint samples.
+    Stats {
+        /// The expression to sample.
+        expr: Uncertain<f64>,
+        /// How many joint samples to draw.
+        n: usize,
+    },
+}
+
+/// The typed success payload, matched by the client into the per-method
+/// return type.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// Reply to [`RequestKind::Evaluate`].
+    Outcome(HypothesisOutcome),
+    /// Reply to [`RequestKind::Pr`].
+    Decision(bool),
+    /// Reply to [`RequestKind::E`].
+    Mean(f64),
+    /// Reply to [`RequestKind::Stats`].
+    Summary(Summary),
+}
+
+/// One request as a [`Transport`] sees it: who is asking, what they ask,
+/// and how long they are willing to wait.
+pub struct Request {
+    /// The tenant whose seeded session executes the request.
+    pub tenant: u64,
+    /// The question.
+    pub kind: RequestKind,
+    /// Per-request deadline, measured from admission. `None` defers to the
+    /// service's `default_deadline`.
+    pub timeout: Option<Duration>,
+}
+
+/// Where a submitted request's reply eventually arrives.
+pub type ReplyReceiver = Receiver<Result<Response, ServeError>>;
+
+/// A way to get requests to a service and replies back.
+///
+/// `submit` must be cheap and non-blocking in the sense of the in-process
+/// path: it either admits the request (returning the reply channel) or
+/// fails fast — [`ServeError::QueueFull`] for backpressure,
+/// [`ServeError::Shutdown`] once the service stops accepting,
+/// [`ServeError::Transport`] when the medium itself fails. Implementations
+/// must preserve **per-tenant ordering**: two requests for the same tenant
+/// submitted from one thread execute in submission order.
+pub trait Transport: Send + Sync {
+    /// Admits one request; the reply arrives on the returned receiver.
+    fn submit(&self, request: Request) -> Result<ReplyReceiver, ServeError>;
+}
+
+/// The in-process transport: admission directly into the tenant's shard
+/// queue, with no serialization at all. This is what
+/// [`Service::client`](crate::Service::client) hands out, byte-for-byte
+/// the pre-trait behavior.
+pub struct ChannelTransport {
+    inner: Arc<Inner>,
+}
+
+impl ChannelTransport {
+    pub(crate) fn new(inner: Arc<Inner>) -> Self {
+        Self { inner }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn submit(&self, request: Request) -> Result<ReplyReceiver, ServeError> {
+        let Request {
+            tenant,
+            kind,
+            timeout,
+        } = request;
+        if !self.inner.accepting.load(Ordering::SeqCst) {
+            return Err(ServeError::Shutdown);
+        }
+        let shard = &self.inner.shards[shard_of(tenant, self.inner.shards.len())];
+        let deadline = timeout
+            .or(self.inner.config.default_deadline)
+            .map(|t| Instant::now() + t);
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            tenant,
+            kind,
+            deadline,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        {
+            let guard = shard.tx.lock().expect("shard sender lock");
+            let Some(tx) = guard.as_ref() else {
+                return Err(ServeError::Shutdown);
+            };
+            // Count the admission before sending so the shard's matching
+            // decrement can never observe a missing increment.
+            shard.stats.queue_depth.inc();
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    shard.stats.queue_depth.dec();
+                    shard.stats.rejected.inc();
+                    return Err(ServeError::QueueFull);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shard.stats.queue_depth.dec();
+                    return Err(ServeError::Shutdown);
+                }
+            }
+        }
+        // The shard always replies — even to drained-at-shutdown or
+        // timed-out requests. A dropped reply channel therefore means the
+        // worker is gone.
+        Ok(reply_rx)
+    }
+}

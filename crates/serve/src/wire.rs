@@ -1,0 +1,620 @@
+//! The binary frame format of the TCP transport.
+//!
+//! A connection opens with the 4-byte magic `UNC1`, then carries
+//! length-prefixed frames in both directions: `[len: u32 LE][payload]`,
+//! with `len` capped at [`MAX_FRAME`] so a hostile length prefix cannot
+//! make the peer allocate unboundedly.
+//!
+//! **Request payload** (client → server):
+//!
+//! ```text
+//! [id: u64]                correlation id, echoed in the response
+//! [tenant: u64]            whose seeded session executes the request
+//! [deadline_ms: u64]       relative deadline; 0 = use the server default
+//! [kind: u8]               1 Evaluate | 2 Pr | 3 E | 4 Stats
+//! [threshold: f64]         kinds 1–2
+//! [n: u64]                 kinds 3–4
+//! [graph bytes]            a `WireGraph` encoding, to end of payload
+//! ```
+//!
+//! The deadline crosses the wire *relative* (milliseconds from admission),
+//! not as a wall-clock instant, so client and server clocks never need to
+//! agree; the server anchors it at admission, feeding the same cooperative
+//! deadline path in-process requests use.
+//!
+//! **Response payload** (server → client):
+//!
+//! ```text
+//! [id: u64][status: u8]
+//! status 0 (ok):    [kind: u8][typed payload]         — see `Response`
+//! status 1..=7:     a `ServeError`, some with a string payload
+//! ```
+//!
+//! Strings are `[len: u32 LE][utf8]`. Every decoder in this module returns
+//! [`WireError`] instead of panicking, whatever the bytes; the graph
+//! payload gets the same treatment from `WireGraph::from_bytes`.
+
+use std::io::{self, Read, Write};
+
+use uncertain_core::{HypothesisOutcome, ServeError, WireGraph};
+use uncertain_stats::{StatsError, Summary};
+
+use crate::transport::{Request, RequestKind, Response};
+use uncertain_core::WireError;
+
+/// Connection preamble of the binary protocol. An HTTP `GET ` in its place
+/// routes the connection to the metrics endpoint instead.
+pub(crate) const MAGIC: [u8; 4] = *b"UNC1";
+
+/// Upper bound on one frame's payload. Large enough for a `stats` reply
+/// carrying ~2M observations; small enough that a corrupt length prefix
+/// cannot balloon memory.
+pub(crate) const MAX_FRAME: usize = 16 << 20;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one `[len][payload]` frame. Does not flush.
+pub(crate) fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME, "oversized outbound frame");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame. `Ok(None)` is a clean close (EOF at a frame
+/// boundary); EOF mid-frame or an oversized length prefix is an error.
+pub(crate) fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest)?;
+    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level reader (the serve-side twin of core's graph reader)
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string payload is not UTF-8".into()))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let out = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        out
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload".into()))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+const KIND_EVALUATE: u8 = 1;
+const KIND_PR: u8 = 2;
+const KIND_E: u8 = 3;
+const KIND_STATS: u8 = 4;
+
+/// A decoded request header plus its still-encoded graph payload. The
+/// graph bytes stay raw here so the server can use them as a cache key and
+/// decode each distinct graph once (keeping per-tenant plan caches hot
+/// across requests — a fresh decode per frame would mint fresh node ids
+/// and defeat them).
+pub(crate) struct WireRequest {
+    pub(crate) tenant: u64,
+    /// Relative deadline in milliseconds; 0 = none carried.
+    pub(crate) deadline_ms: u64,
+    pub(crate) body: WireBody,
+}
+
+pub(crate) enum WireBody {
+    Evaluate { threshold: f64, graph: Vec<u8> },
+    Pr { threshold: f64, graph: Vec<u8> },
+    E { n: u64, graph: Vec<u8> },
+    Stats { n: u64, graph: Vec<u8> },
+}
+
+/// Encodes one request as a frame payload. Fails only if the query graph
+/// is not wire-expressible.
+pub(crate) fn encode_request(id: u64, request: &Request) -> Result<Vec<u8>, ServeError> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&request.tenant.to_le_bytes());
+    // A zero relative deadline means "none"; clamp an explicit
+    // `Duration::ZERO` up to 1 ms so it still crosses as a deadline.
+    let deadline_ms = request
+        .timeout
+        .map(|t| (t.as_millis().min(u64::MAX as u128) as u64).max(1))
+        .unwrap_or(0);
+    out.extend_from_slice(&deadline_ms.to_le_bytes());
+    // `RequestKind` is `#[non_exhaustive]`; in-crate the wildcard is
+    // unreachable today, but it is the designed behavior for a request
+    // kind this wire version cannot express.
+    #[allow(unreachable_patterns)]
+    match &request.kind {
+        RequestKind::Evaluate { cond, threshold } => {
+            out.push(KIND_EVALUATE);
+            out.extend_from_slice(&threshold.to_le_bytes());
+            out.extend_from_slice(&WireGraph::from_bool(cond)?.to_bytes());
+        }
+        RequestKind::Pr { cond, threshold } => {
+            out.push(KIND_PR);
+            out.extend_from_slice(&threshold.to_le_bytes());
+            out.extend_from_slice(&WireGraph::from_bool(cond)?.to_bytes());
+        }
+        RequestKind::E { expr, n } => {
+            out.push(KIND_E);
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+            out.extend_from_slice(&WireGraph::from_f64(expr)?.to_bytes());
+        }
+        RequestKind::Stats { expr, n } => {
+            out.push(KIND_STATS);
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+            out.extend_from_slice(&WireGraph::from_f64(expr)?.to_bytes());
+        }
+        _ => {
+            return Err(ServeError::Wire(WireError::Unsupported(
+                "request kind unknown to this wire version".into(),
+            )))
+        }
+    }
+    if out.len() > MAX_FRAME {
+        return Err(ServeError::Wire(WireError::Malformed(format!(
+            "encoded request ({} bytes) exceeds the frame cap",
+            out.len()
+        ))));
+    }
+    Ok(out)
+}
+
+/// Decodes a request payload *after* its 8-byte correlation id (which the
+/// server peels off first so even malformed requests get a correlated
+/// error reply).
+pub(crate) fn decode_request_body(bytes: &[u8]) -> Result<WireRequest, WireError> {
+    let mut r = Reader::new(bytes);
+    let tenant = r.u64()?;
+    let deadline_ms = r.u64()?;
+    let kind = r.u8()?;
+    let body = match kind {
+        KIND_EVALUATE => WireBody::Evaluate {
+            threshold: r.f64()?,
+            graph: r.rest().to_vec(),
+        },
+        KIND_PR => WireBody::Pr {
+            threshold: r.f64()?,
+            graph: r.rest().to_vec(),
+        },
+        KIND_E => WireBody::E {
+            n: r.u64()?,
+            graph: r.rest().to_vec(),
+        },
+        KIND_STATS => WireBody::Stats {
+            n: r.u64()?,
+            graph: r.rest().to_vec(),
+        },
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown request kind {other}"
+            )))
+        }
+    };
+    Ok(WireRequest {
+        tenant,
+        deadline_ms,
+        body,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+const STATUS_OK: u8 = 0;
+const STATUS_TIMEOUT: u8 = 1;
+const STATUS_QUEUE_FULL: u8 = 2;
+const STATUS_SHUTDOWN: u8 = 3;
+const STATUS_INVALID: u8 = 4;
+const STATUS_WIRE_UNSUPPORTED: u8 = 5;
+const STATUS_WIRE_TRUNCATED: u8 = 6;
+const STATUS_WIRE_MALFORMED: u8 = 7;
+const STATUS_TRANSPORT: u8 = 8;
+
+const OK_OUTCOME: u8 = 1;
+const OK_DECISION: u8 = 2;
+const OK_MEAN: u8 = 3;
+const OK_SUMMARY: u8 = 4;
+
+/// Encodes one reply — success or error — as a frame payload.
+pub(crate) fn encode_response(id: u64, result: &Result<Response, ServeError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&id.to_le_bytes());
+    // As in `encode_request`: the `Ok(_)` wildcard is today-unreachable
+    // forward compatibility for response kinds newer than this encoder.
+    #[allow(unreachable_patterns)]
+    match result {
+        Ok(Response::Outcome(o)) => {
+            out.push(STATUS_OK);
+            out.push(OK_OUTCOME);
+            out.extend_from_slice(&o.threshold.to_le_bytes());
+            out.push(o.accepted as u8);
+            out.push(o.conclusive as u8);
+            out.extend_from_slice(&(o.samples as u64).to_le_bytes());
+            out.extend_from_slice(&o.estimate.to_le_bytes());
+        }
+        Ok(Response::Decision(b)) => {
+            out.push(STATUS_OK);
+            out.push(OK_DECISION);
+            out.push(*b as u8);
+        }
+        Ok(Response::Mean(m)) => {
+            out.push(STATUS_OK);
+            out.push(OK_MEAN);
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        Ok(Response::Summary(s)) => {
+            out.push(STATUS_OK);
+            out.push(OK_SUMMARY);
+            out.extend_from_slice(&s.mean().to_le_bytes());
+            out.extend_from_slice(&s.variance().to_le_bytes());
+            let values = s.sorted_values();
+            out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+            for v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Ok(_) => {
+            // A response kind this wire version cannot express: report it
+            // as a wire failure rather than silently dropping the reply.
+            out.push(STATUS_WIRE_UNSUPPORTED);
+            put_string(&mut out, "response kind unknown to this wire version");
+        }
+        Err(ServeError::Timeout) => out.push(STATUS_TIMEOUT),
+        Err(ServeError::QueueFull) => out.push(STATUS_QUEUE_FULL),
+        Err(ServeError::Shutdown) => out.push(STATUS_SHUTDOWN),
+        Err(ServeError::Invalid(e)) => {
+            out.push(STATUS_INVALID);
+            put_string(&mut out, e.what());
+        }
+        Err(ServeError::Wire(WireError::Unsupported(label))) => {
+            out.push(STATUS_WIRE_UNSUPPORTED);
+            put_string(&mut out, label);
+        }
+        Err(ServeError::Wire(WireError::Truncated)) => out.push(STATUS_WIRE_TRUNCATED),
+        Err(ServeError::Wire(WireError::Malformed(msg))) => {
+            out.push(STATUS_WIRE_MALFORMED);
+            put_string(&mut out, msg);
+        }
+        Err(ServeError::Wire(_)) => {
+            out.push(STATUS_WIRE_MALFORMED);
+            put_string(&mut out, "wire error unknown to this wire version");
+        }
+        Err(ServeError::Transport(msg)) => {
+            out.push(STATUS_TRANSPORT);
+            put_string(&mut out, msg);
+        }
+        Err(_) => {
+            out.push(STATUS_TRANSPORT);
+            put_string(&mut out, "error kind unknown to this wire version");
+        }
+    }
+    out
+}
+
+/// Decodes one reply payload into its correlation id and result.
+pub(crate) fn decode_response(
+    bytes: &[u8],
+) -> Result<(u64, Result<Response, ServeError>), WireError> {
+    let mut r = Reader::new(bytes);
+    let id = r.u64()?;
+    let status = r.u8()?;
+    let result = match status {
+        STATUS_OK => Ok(decode_ok(&mut r)?),
+        STATUS_TIMEOUT => Err(ServeError::Timeout),
+        STATUS_QUEUE_FULL => Err(ServeError::QueueFull),
+        STATUS_SHUTDOWN => Err(ServeError::Shutdown),
+        STATUS_INVALID => Err(ServeError::Invalid(StatsError::new(r.string()?))),
+        STATUS_WIRE_UNSUPPORTED => Err(ServeError::Wire(WireError::Unsupported(r.string()?))),
+        STATUS_WIRE_TRUNCATED => Err(ServeError::Wire(WireError::Truncated)),
+        STATUS_WIRE_MALFORMED => Err(ServeError::Wire(WireError::Malformed(r.string()?))),
+        STATUS_TRANSPORT => Err(ServeError::Transport(r.string()?)),
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown response status {other}"
+            )))
+        }
+    };
+    r.finish()?;
+    Ok((id, result))
+}
+
+fn decode_ok(r: &mut Reader<'_>) -> Result<Response, WireError> {
+    match r.u8()? {
+        OK_OUTCOME => {
+            let threshold = r.f64()?;
+            let accepted = decode_bool(r.u8()?)?;
+            let conclusive = decode_bool(r.u8()?)?;
+            let samples = r.u64()? as usize;
+            let estimate = r.f64()?;
+            Ok(Response::Outcome(HypothesisOutcome {
+                threshold,
+                accepted,
+                conclusive,
+                samples,
+                estimate,
+            }))
+        }
+        OK_DECISION => Ok(Response::Decision(decode_bool(r.u8()?)?)),
+        OK_MEAN => Ok(Response::Mean(r.f64()?)),
+        OK_SUMMARY => {
+            let mean = r.f64()?;
+            let variance = r.f64()?;
+            let count = r.u64()? as usize;
+            // Bound the allocation by what the frame can actually hold.
+            if count > bytes_remaining(r) / 8 + 1 {
+                return Err(WireError::Truncated);
+            }
+            let mut sorted = Vec::with_capacity(count);
+            for _ in 0..count {
+                sorted.push(r.f64()?);
+            }
+            let summary = Summary::from_parts(sorted, mean, variance)
+                .map_err(|e| WireError::Malformed(e.to_string()))?;
+            Ok(Response::Summary(summary))
+        }
+        other => Err(WireError::Malformed(format!(
+            "unknown success payload kind {other}"
+        ))),
+    }
+}
+
+fn bytes_remaining(r: &Reader<'_>) -> usize {
+    r.bytes.len() - r.pos
+}
+
+fn decode_bool(byte: u8) -> Result<bool, WireError> {
+    match byte {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(WireError::Malformed(format!(
+            "boolean byte must be 0 or 1, got {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use uncertain_core::Uncertain;
+
+    fn roundtrip_response(result: Result<Response, ServeError>) -> Result<Response, ServeError> {
+        let bytes = encode_response(99, &result);
+        let (id, decoded) = decode_response(&bytes).expect("well-formed reply");
+        assert_eq!(id, 99);
+        decoded
+    }
+
+    #[test]
+    fn responses_roundtrip_bitwise() {
+        let outcome = HypothesisOutcome {
+            threshold: 0.9,
+            accepted: true,
+            conclusive: false,
+            samples: 4242,
+            estimate: 0.912_345_678_9,
+        };
+        assert_eq!(
+            roundtrip_response(Ok(Response::Outcome(outcome))),
+            Ok(Response::Outcome(outcome))
+        );
+        assert_eq!(
+            roundtrip_response(Ok(Response::Decision(true))),
+            Ok(Response::Decision(true))
+        );
+        let mean = std::f64::consts::PI;
+        match roundtrip_response(Ok(Response::Mean(mean))) {
+            Ok(Response::Mean(m)) => assert_eq!(m.to_bits(), mean.to_bits()),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let summary = Summary::from_slice(&[3.0, 1.0, 2.0, 2.5]).unwrap();
+        assert_eq!(
+            roundtrip_response(Ok(Response::Summary(summary.clone()))),
+            Ok(Response::Summary(summary))
+        );
+    }
+
+    #[test]
+    fn errors_roundtrip() {
+        for err in [
+            ServeError::Timeout,
+            ServeError::QueueFull,
+            ServeError::Shutdown,
+            ServeError::Invalid(StatsError::new("bad threshold")),
+            ServeError::Wire(WireError::Unsupported("from_fn leaf".into())),
+            ServeError::Wire(WireError::Truncated),
+            ServeError::Wire(WireError::Malformed("nope".into())),
+            ServeError::Transport("connection reset".into()),
+        ] {
+            assert_eq!(roundtrip_response(Err(err.clone())), Err(err));
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_through_header_decode() {
+        let cond = Uncertain::normal(0.0, 1.0).unwrap().gt(0.5);
+        let request = Request {
+            tenant: 7,
+            kind: RequestKind::Evaluate {
+                cond: cond.clone(),
+                threshold: 0.9,
+            },
+            timeout: Some(std::time::Duration::from_millis(250)),
+        };
+        let payload = encode_request(11, &request).expect("expressible");
+        assert_eq!(u64::from_le_bytes(payload[..8].try_into().unwrap()), 11);
+        let decoded = decode_request_body(&payload[8..]).expect("well-formed");
+        assert_eq!(decoded.tenant, 7);
+        assert_eq!(decoded.deadline_ms, 250);
+        match decoded.body {
+            WireBody::Evaluate { threshold, graph } => {
+                assert_eq!(threshold, 0.9);
+                assert_eq!(graph, WireGraph::from_bool(&cond).unwrap().to_bytes());
+            }
+            _ => panic!("wrong request kind"),
+        }
+    }
+
+    #[test]
+    fn opaque_graphs_fail_request_encode() {
+        let opaque = Uncertain::from_fn("custom", |rng| {
+            use rand::Rng;
+            rng.gen::<f64>()
+        });
+        let request = Request {
+            tenant: 0,
+            kind: RequestKind::E {
+                expr: opaque,
+                n: 16,
+            },
+            timeout: None,
+        };
+        assert!(matches!(
+            encode_request(0, &request),
+            Err(ServeError::Wire(WireError::Unsupported(_)))
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        let hostile = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut cursor = io::Cursor::new(hostile.to_vec());
+        assert!(read_frame(&mut cursor).is_err(), "oversize cap");
+
+        // EOF mid-frame is an error, not a clean close.
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, b"full frame").unwrap();
+        truncated.truncate(7);
+        let mut cursor = io::Cursor::new(truncated);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    proptest! {
+        /// Every strict prefix of a well-formed response payload decodes
+        /// to an error, never a panic or a bogus success.
+        #[test]
+        fn response_prefixes_never_panic(cut in 0usize..64) {
+            let summary = Summary::from_slice(&[1.0, 2.0, 3.0]).unwrap();
+            let bytes = encode_response(5, &Ok(Response::Summary(summary)));
+            let cut = cut.min(bytes.len().saturating_sub(1));
+            prop_assert!(decode_response(&bytes[..cut]).is_err());
+        }
+
+        /// Arbitrary byte soup never panics the response decoder.
+        #[test]
+        fn response_decoder_survives_noise(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = decode_response(&bytes);
+        }
+
+        /// Arbitrary byte soup never panics the request decoder.
+        #[test]
+        fn request_decoder_survives_noise(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = decode_request_body(&bytes);
+        }
+
+        /// Scalar replies round-trip bitwise for arbitrary floats
+        /// (including negative zero; NaN compares by bit pattern).
+        #[test]
+        fn means_roundtrip_bitwise(bits in 0u64..=u64::MAX) {
+            let m = f64::from_bits(bits);
+            let bytes = encode_response(1, &Ok(Response::Mean(m)));
+            let (_, decoded) = decode_response(&bytes).unwrap();
+            match decoded {
+                Ok(Response::Mean(d)) => prop_assert_eq!(d.to_bits(), bits),
+                other => return Err(TestCaseError::fail(format!("wrong decode: {other:?}"))),
+            }
+        }
+    }
+}

@@ -59,6 +59,43 @@ impl Summary {
         })
     }
 
+    /// Reassembles a summary from its constituent parts — an already
+    /// **sorted** observation vector plus the mean and unbiased variance
+    /// computed from it. This is the deserialization entry point for
+    /// shipping summaries across a network: pairing it with
+    /// [`Summary::sorted_values`] round-trips a summary bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `sorted` is empty, contains non-finite
+    /// values, or is not in ascending order, or if `mean`/`variance` are
+    /// not finite.
+    pub fn from_parts(sorted: Vec<f64>, mean: f64, variance: f64) -> Result<Self, StatsError> {
+        if sorted.is_empty() {
+            return Err(StatsError::new("cannot summarize an empty sample"));
+        }
+        if sorted.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::new("sample contains non-finite values"));
+        }
+        if sorted.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StatsError::new("summary observations are not sorted"));
+        }
+        if !mean.is_finite() || !variance.is_finite() {
+            return Err(StatsError::new("summary moments must be finite"));
+        }
+        Ok(Self {
+            sorted,
+            mean,
+            variance,
+        })
+    }
+
+    /// The observations in ascending order — the serialization twin of
+    /// [`Summary::from_parts`].
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
     /// Number of observations.
     pub fn count(&self) -> usize {
         self.sorted.len()

@@ -15,6 +15,13 @@ impl StatsError {
     pub fn new(what: impl Into<String>) -> Self {
         Self { what: what.into() }
     }
+
+    /// The raw description, without the [`fmt::Display`] prefix — the
+    /// serialization twin of [`StatsError::new`], so an error shipped
+    /// across a network round-trips equal.
+    pub fn what(&self) -> &str {
+        &self.what
+    }
 }
 
 impl fmt::Display for StatsError {

@@ -35,7 +35,10 @@ pub use uncertain_core::{
     DEFAULT_CACHE_CAPACITY,
 };
 pub use uncertain_obs::{PromWriter, TraceLog};
-pub use uncertain_serve::{Pending, ServeClient, ServeConfig, ServeMetrics, Service};
+pub use uncertain_serve::{
+    ChannelTransport, Listener, NetMetrics, Pending, Request, RequestKind, Response, ServeClient,
+    ServeConfig, ServeConfigBuilder, ServeMetrics, Service, TcpTransport, Transport,
+};
 
 pub use uncertain_core as core;
 pub use uncertain_dist as dist;
