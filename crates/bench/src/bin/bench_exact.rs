@@ -1,0 +1,200 @@
+//! Measures the analytic evaluation backend against the columnar-kernel
+//! SPRT on recognized graphs, and appends machine-readable JSON lines to
+//! `BENCH_exact.json` (in the working directory).
+//!
+//! Two sections:
+//!
+//! - `decision`: ns/decision on linear-Gaussian evidence chains (the
+//!   `bench_kernel`/`bench_serve` family, 39–465 nodes). The sampling
+//!   column pays one SPRT run through the batch kernel per decision; the
+//!   exact column answers from the memoized closed-form law with zero
+//!   samples. Both consume exactly one query index per decision, so the
+//!   comparison is like-for-like on the session's seed stream. The
+//!   verdicts are asserted equal before anything is timed.
+//! - `serve`: aggregate decisions/s through the sharded service on the
+//!   159-node chain, pipelined over many tenants — once under the
+//!   default (sampling) strategy and once with a per-request
+//!   `EvalStrategy::Auto` override, plus the exact-hit counter as the
+//!   witness that the fast path actually served the requests.
+//!
+//! Run `cargo run --release --bin bench_exact`; `--quick` (or `QUICK=1`)
+//! shrinks the budgets for smoke runs.
+
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use uncertain_bench::{header, scaled};
+use uncertain_core::{EvalConfig, EvalStrategy, Session, Uncertain};
+use uncertain_serve::{Pending, ServeConfig, Service};
+
+const SEED: u64 = 2014;
+const THRESHOLD: f64 = 0.5;
+
+/// The `3n + 9`-node evidence conditional of `bench_serve`/`bench_kernel`
+/// (159 nodes at n = 50): affine chains over two shared Gaussian leaves,
+/// compared and conjoined — entirely inside the analytic fragment.
+fn evidence_chain(n: usize) -> Uncertain<bool> {
+    let x = Uncertain::normal(0.0, 1.0).unwrap();
+    let y = Uncertain::normal(1.0, 2.0).unwrap();
+    let mut left = x.clone();
+    let mut right = y.clone();
+    for _ in 0..n {
+        left = left + &x;
+        right = right * 0.99 + &y;
+    }
+    let a = left.lt(&(right + 40.0 + 8.0 * n as f64));
+    let b = (&x + &y).gt(-10.0);
+    &a & &b
+}
+
+/// Median ns/decision over `reps` timed repetitions of `rounds` decisions.
+fn median_ns(reps: usize, rounds: usize, mut run: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..rounds {
+                run();
+            }
+            start.elapsed().as_nanos() as f64 / rounds as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    times[times.len() / 2]
+}
+
+/// Pipelined closed-loop decision throughput through the service, with an
+/// optional per-request strategy override. Returns (decisions/s, count).
+fn serve_throughput(
+    service: &Service,
+    cond: &Uncertain<bool>,
+    tenants: u64,
+    rounds: usize,
+    strategy: Option<EvalStrategy>,
+) -> (f64, usize) {
+    const WINDOW: usize = 64;
+    let client = service.client();
+    let mut inflight: VecDeque<Pending<_>> = VecDeque::with_capacity(WINDOW);
+    let total = rounds * tenants as usize;
+    let mut submitted = 0usize;
+    let start = Instant::now();
+    while submitted < total || !inflight.is_empty() {
+        while submitted < total && inflight.len() < WINDOW {
+            let tenant = (submitted as u64) % tenants;
+            let pending = match strategy {
+                Some(s) => client
+                    .submit_evaluate_with_strategy(tenant, cond, THRESHOLD, None, s)
+                    .expect("admit"),
+                None => client
+                    .submit_evaluate(tenant, cond, THRESHOLD, None)
+                    .expect("admit"),
+            };
+            inflight.push_back(pending);
+            submitted += 1;
+        }
+        let outcome = inflight
+            .pop_front()
+            .expect("non-empty window")
+            .wait()
+            .expect("decision");
+        assert!(outcome.accepted, "the chain is decisively true");
+    }
+    (total as f64 / start.elapsed().as_secs_f64(), total)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("QUICK", "1");
+    }
+    header("Analytic backend vs kernel SPRT: ns/decision (appends BENCH_exact.json)");
+    let rounds = scaled(4096, 256);
+    let reps = 7;
+    let stamp = SystemTime::now().duration_since(UNIX_EPOCH)?.as_secs();
+    let mut out = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_exact.json")?;
+    let mut records = 0usize;
+
+    println!(
+        "\n[decision]\n{:>6} {:>6} {:>14} {:>14} {:>9}",
+        "chain", "nodes", "sampled ns", "exact ns", "speedup"
+    );
+    for n in [10usize, 50, 152] {
+        let cond = evidence_chain(n);
+        let nodes = cond.network().node_count();
+        let sampling = EvalConfig::default();
+        let auto = sampling.with_strategy(EvalStrategy::Auto);
+
+        // Verdict parity before timing: the closed form and the SPRT
+        // must agree on every chain we score.
+        let mut check = Session::seeded(SEED);
+        let sampled_outcome = check.try_evaluate(&cond, THRESHOLD, &sampling)?;
+        let mut check_exact = Session::seeded(SEED).with_strategy(EvalStrategy::Auto);
+        let exact_outcome = check_exact.try_evaluate(&cond, THRESHOLD, &auto)?;
+        assert_eq!(exact_outcome.samples, 0, "analytic path must draw nothing");
+        assert_eq!(exact_outcome.accepted, sampled_outcome.accepted);
+
+        let mut sampler = Session::seeded(SEED);
+        let _ = sampler.try_evaluate(&cond, THRESHOLD, &sampling)?; // warm plan
+        let sampled_ns = median_ns(reps, rounds, || {
+            let _ = sampler.try_evaluate(&cond, THRESHOLD, &sampling).unwrap();
+        });
+
+        let mut exact = Session::seeded(SEED).with_strategy(EvalStrategy::Auto);
+        let _ = exact.try_evaluate(&cond, THRESHOLD, &auto)?; // warm memo
+        let exact_ns = median_ns(reps, rounds, || {
+            let _ = exact.try_evaluate(&cond, THRESHOLD, &auto).unwrap();
+        });
+        assert_eq!(exact.exact_hits() as usize, 1 + reps * rounds);
+
+        let speedup = sampled_ns / exact_ns;
+        println!("{n:>6} {nodes:>6} {sampled_ns:>14.1} {exact_ns:>14.1} {speedup:>8.1}x");
+        writeln!(
+            out,
+            "{{\"bench\":\"exact_backend\",\"section\":\"decision\",\
+             \"workload\":\"evidence_chain\",\"unix_time\":{stamp},\
+             \"chain\":{n},\"nodes\":{nodes},\"decisions\":{decisions},\
+             \"sampled_ns_per_decision\":{sampled_ns:.2},\
+             \"exact_ns_per_decision\":{exact_ns:.2},\"speedup\":{speedup:.3}}}",
+            decisions = reps * rounds,
+        )?;
+        records += 1;
+    }
+
+    // Service throughput: same chain, same tenants, sampling vs Auto.
+    let cond = evidence_chain(50);
+    let tenants = 16u64;
+    let serve_rounds = scaled(256, 16);
+    println!(
+        "\n[serve] ({} tenants, 159-node chain)\n{:>10} {:>16} {:>12}",
+        tenants, "strategy", "decisions/s", "exact hits"
+    );
+    let mut serve_row = |label: &str, strategy: Option<EvalStrategy>| -> std::io::Result<()> {
+        let service = Service::start(
+            ServeConfig::default()
+                .with_shards(1)
+                .with_seed(SEED)
+                .with_sessions_per_shard(tenants as usize),
+        );
+        let (dps, decisions) = serve_throughput(&service, &cond, tenants, serve_rounds, strategy);
+        let exact_hits = service.metrics().exact_decisions();
+        service.shutdown();
+        println!("{label:>10} {dps:>16.0} {exact_hits:>12}");
+        writeln!(
+            out,
+            "{{\"bench\":\"exact_backend\",\"section\":\"serve\",\
+             \"workload\":\"evidence_chain\",\"unix_time\":{stamp},\
+             \"strategy\":\"{label}\",\"tenants\":{tenants},\
+             \"decisions\":{decisions},\"decisions_per_sec\":{dps:.0},\
+             \"exact_decisions\":{exact_hits}}}"
+        )
+    };
+    serve_row("sampling", None)?;
+    records += 1;
+    serve_row("auto", Some(EvalStrategy::Auto))?;
+    records += 1;
+
+    println!("\nappended {records} records to BENCH_exact.json");
+    Ok(())
+}

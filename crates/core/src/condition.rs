@@ -26,13 +26,87 @@
 //! machinery.
 
 use crate::error::ConfigError;
+use crate::exact::ExactMethod;
 use crate::runtime::Session;
 #[cfg(feature = "legacy-sampler")]
 use crate::sampler::Sampler;
 use crate::uncertain::Uncertain;
 use std::error::Error;
 use std::fmt;
-use uncertain_stats::{SequentialTest, StatsError};
+use uncertain_stats::{SequentialTest, StatsError, Summary};
+
+/// Which evaluation backend a session may use to answer a query.
+///
+/// The default is [`EvalStrategy::SamplingOnly`] — the paper's SPRT
+/// sampling path, bitwise-reproducible across releases. Opting into
+/// [`EvalStrategy::Auto`] lets the session answer analytically tractable
+/// graphs (linear-Gaussian comparisons, independent evidence chains; see
+/// the `exact` module docs) in closed form with **zero samples drawn**,
+/// falling back to sampling — bitwise identical to `SamplingOnly` —
+/// for anything unrecognized. [`EvalStrategy::ExactOnly`] turns the
+/// fallback into a typed error, for callers that must not pay sampling
+/// cost silently.
+///
+/// # Examples
+///
+/// ```
+/// use uncertain_core::{EvalStrategy, Provenance, Session, Uncertain};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Uncertain::normal(1.0, 1.0)?;
+/// let mut s = Session::seeded(0).with_strategy(EvalStrategy::Auto);
+/// let outcome = s.evaluate(&x.gt(0.0), 0.5);
+/// assert!(outcome.is_true());
+/// assert_eq!(outcome.samples, 0);
+/// assert!(matches!(outcome.provenance, Provenance::Exact { .. }));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalStrategy {
+    /// Answer exactly when the graph is recognized, sample otherwise.
+    Auto,
+    /// Always sample — the paper's SPRT path, and the default.
+    #[default]
+    SamplingOnly,
+    /// Answer exactly or fail with [`Error::NotAnalytic`](crate::Error);
+    /// never sample.
+    ExactOnly,
+}
+
+/// Which backend produced a result — attached to [`HypothesisOutcome`]
+/// and [`StatsOutcome`] so callers and tests can see who decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Provenance {
+    /// The SPRT/Monte-Carlo sampling path, with the number of samples it
+    /// drew.
+    Sampled {
+        /// Samples drawn to produce the result.
+        samples: usize,
+    },
+    /// The analytic backend, with the closed form it used.
+    Exact {
+        /// The closed form that produced the result.
+        method: ExactMethod,
+    },
+}
+
+impl Provenance {
+    /// Whether the result came from the analytic backend.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Provenance::Exact { .. })
+    }
+}
+
+/// A [`Summary`] plus the [`Provenance`] of how it was computed —
+/// returned by [`Session::stats_with_provenance`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsOutcome {
+    /// The descriptive summary.
+    pub summary: Summary,
+    /// Which backend produced it.
+    pub provenance: Provenance,
+}
 
 /// Configuration for conditional evaluation (the SPRT of paper §4.3).
 ///
@@ -68,6 +142,8 @@ pub struct EvalConfig {
     pub batch: usize,
     /// Termination cap on total samples per conditional.
     pub max_samples: usize,
+    /// Which backend may answer (default: [`EvalStrategy::SamplingOnly`]).
+    pub strategy: EvalStrategy,
 }
 
 impl Default for EvalConfig {
@@ -78,6 +154,7 @@ impl Default for EvalConfig {
             beta: SequentialTest::DEFAULT_BETA,
             batch: SequentialTest::DEFAULT_BATCH,
             max_samples: SequentialTest::DEFAULT_MAX_SAMPLES,
+            strategy: EvalStrategy::SamplingOnly,
         }
     }
 }
@@ -146,6 +223,12 @@ impl EvalConfig {
         self
     }
 
+    /// Returns a copy with the given [`EvalStrategy`].
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Builds the sequential test for a conditional at `threshold`.
     ///
     /// # Errors
@@ -205,6 +288,12 @@ impl EvalConfigBuilder {
         self
     }
 
+    /// Sets the [`EvalStrategy`] (any value is valid; no joint checks).
+    pub fn strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
     /// Validates the accumulated settings.
     ///
     /// # Errors
@@ -245,10 +334,14 @@ pub struct HypothesisOutcome {
     /// Whether a Wald boundary was crossed (`false` = the sample cap forced
     /// a fallback decision; the paper's ternary "neither branch" case).
     pub conclusive: bool,
-    /// Bernoulli samples drawn for this conditional.
+    /// Bernoulli samples drawn for this conditional (0 when the analytic
+    /// backend decided).
     pub samples: usize,
-    /// Empirical estimate of `Pr[cond]` from those samples.
+    /// Estimate of `Pr[cond]` — empirical from samples, or the exact
+    /// probability when the analytic backend decided.
     pub estimate: f64,
+    /// Which backend decided (see [`Provenance`]).
+    pub provenance: Provenance,
 }
 
 impl HypothesisOutcome {

@@ -31,7 +31,7 @@ use uncertain_stats::StatsError;
 ///
 /// fn decide(session: &mut Session, cond: &Uncertain<bool>) -> Result<bool, Error> {
 ///     let config = EvalConfig::builder().alpha(0.01).beta(0.01).build()?; // ConfigError
-///     let outcome = session.try_evaluate(cond, 0.9, &config)?;            // StatsError
+///     let outcome = session.try_evaluate(cond, 0.9, &config)?;            // Error (Stats/NotAnalytic)
 ///     Ok(outcome.expect_decided()?)                                      // InconclusiveError
 /// }
 ///
@@ -57,6 +57,10 @@ pub enum Error {
     Serve(ServeError),
     /// A network graph/frame could not be encoded or decoded.
     Wire(WireError),
+    /// The analytic backend was demanded
+    /// ([`EvalStrategy::ExactOnly`](crate::EvalStrategy::ExactOnly)) for a
+    /// graph it does not recognize.
+    NotAnalytic(NotAnalyticError),
 }
 
 impl fmt::Display for Error {
@@ -67,6 +71,7 @@ impl fmt::Display for Error {
             Error::Config(e) => e.fmt(f),
             Error::Serve(e) => e.fmt(f),
             Error::Wire(e) => e.fmt(f),
+            Error::NotAnalytic(e) => e.fmt(f),
         }
     }
 }
@@ -79,6 +84,7 @@ impl std::error::Error for Error {
             Error::Config(e) => Some(e),
             Error::Serve(e) => Some(e),
             Error::Wire(e) => Some(e),
+            Error::NotAnalytic(e) => Some(e),
         }
     }
 }
@@ -112,6 +118,38 @@ impl From<ServeError> for Error {
         Error::Serve(e)
     }
 }
+
+impl From<NotAnalyticError> for Error {
+    fn from(e: NotAnalyticError) -> Self {
+        Error::NotAnalytic(e)
+    }
+}
+
+/// A query demanded the analytic backend
+/// ([`EvalStrategy::ExactOnly`](crate::EvalStrategy::ExactOnly)) on a
+/// graph the `exact` analysis declines — an opaque closure, a non-affine
+/// operator over non-constant operands, correlated non-Gaussian branches,
+/// and so on. Under [`EvalStrategy::Auto`](crate::EvalStrategy::Auto) the
+/// same graph would silently (and bitwise-reproducibly) fall back to
+/// sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotAnalyticError {
+    /// What the query was (e.g. `"evaluate"`, `"e"`, `"stats"`).
+    pub query: &'static str,
+}
+
+impl fmt::Display for NotAnalyticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} query demanded ExactOnly on a graph the analytic backend does not \
+             recognize; use EvalStrategy::Auto to fall back to sampling",
+            self.query
+        )
+    }
+}
+
+impl std::error::Error for NotAnalyticError {}
 
 /// A rejected [`EvalConfig`](crate::EvalConfig) build: the combination of
 /// SPRT knobs would produce a degenerate test (silently, before this type

@@ -11,16 +11,19 @@
 //! observation that "the runtime … much like a JIT, compiles those
 //! expression trees to executable code at conditionals."
 
-use crate::condition::{EvalConfig, HypothesisOutcome};
+use crate::condition::{EvalConfig, EvalStrategy, HypothesisOutcome, Provenance};
 use crate::context::SampleContext;
+use crate::error::{Error, NotAnalyticError};
+use crate::exact::{self, BoolLaw};
 use crate::kernel::{Kernel, KernelState, KERNEL_CHUNK};
+use crate::node::NodeInfo;
 #[cfg(feature = "obs")]
 use crate::obs::{kind_of, NodeCost, Profile};
 use crate::plan::{sample_seed, Plan};
 use crate::runtime::Session;
 use crate::uncertain::{Uncertain, Value};
 use std::sync::Arc;
-use uncertain_stats::{SequentialTest, StatsError, TestDecision};
+use uncertain_stats::{SequentialTest, TestDecision};
 
 /// Draws repeated joint samples of one pinned network through a compiled
 /// [`Plan`] with a reused evaluation context.
@@ -66,6 +69,10 @@ pub struct Evaluator<T> {
     /// The last sequential test built by [`Evaluator::try_decide`], keyed
     /// by the config/threshold that produced it.
     cached_test: Option<(EvalConfig, f64, SequentialTest)>,
+    /// The analytic verdict for the pinned network, computed at most once
+    /// (outer `None` = never analyzed; inner `None` = analyzer declined).
+    /// Only consulted by the boolean decision path.
+    exact_law: Option<Option<BoolLaw>>,
 }
 
 impl<T: Value> std::fmt::Debug for Evaluator<T> {
@@ -136,6 +143,7 @@ impl<T: Value> Evaluator<T> {
             samples_drawn: 0,
             batch_cursor: 0,
             cached_test: None,
+            exact_law: None,
         }
     }
 
@@ -345,15 +353,22 @@ impl Evaluator<bool> {
     /// `config`/`threshold` (the common case: one conditional site decided
     /// repeatedly).
     ///
+    /// When `config.strategy` admits the analytic backend and the pinned
+    /// network is recognized, the decision comes back in closed form with
+    /// zero samples drawn (the batch stream does not advance) and
+    /// [`Provenance::Exact`] attached; otherwise it is decided by sampling
+    /// exactly as under [`EvalStrategy::SamplingOnly`].
+    ///
     /// # Errors
     ///
-    /// Returns [`StatsError`] if `threshold` or `config` are out of range
-    /// (e.g. `threshold ∉ (0, 1)`).
+    /// Returns [`Error::Stats`] if `threshold` or `config` are out of
+    /// range (e.g. `threshold ∉ (0, 1)`), and [`Error::NotAnalytic`] if
+    /// [`EvalStrategy::ExactOnly`] was demanded on an unrecognized graph.
     pub fn try_decide(
         &mut self,
         config: &EvalConfig,
         threshold: f64,
-    ) -> Result<HypothesisOutcome, StatsError> {
+    ) -> Result<HypothesisOutcome, Error> {
         let test = match &self.cached_test {
             Some((c, t, test)) if *c == *config && *t == threshold => *test,
             _ => {
@@ -362,6 +377,25 @@ impl Evaluator<bool> {
                 test
             }
         };
+        if config.strategy != EvalStrategy::SamplingOnly {
+            if self.exact_law.is_none() {
+                let root = self.network.node().clone() as Arc<dyn NodeInfo>;
+                self.exact_law = Some(exact::analyze_bool(&root));
+            }
+            if let Some(law) = self.exact_law.unwrap_or(None) {
+                return Ok(HypothesisOutcome {
+                    threshold,
+                    accepted: law.p > threshold,
+                    conclusive: (law.p - threshold).abs() > config.delta,
+                    samples: 0,
+                    estimate: law.p,
+                    provenance: Provenance::Exact { method: law.method },
+                });
+            }
+            if config.strategy == EvalStrategy::ExactOnly {
+                return Err(NotAnalyticError { query: "decide" }.into());
+            }
+        }
         let mut buf: Vec<bool> = Vec::new();
         let outcome = test
             .run_counted_while(
@@ -378,6 +412,9 @@ impl Evaluator<bool> {
             conclusive: outcome.conclusive,
             samples: outcome.samples,
             estimate: outcome.estimate,
+            provenance: Provenance::Sampled {
+                samples: outcome.samples,
+            },
         })
     }
 

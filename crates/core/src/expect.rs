@@ -12,6 +12,7 @@
 //! `*_in(&mut Session, ..)` is the explicit deterministic form, and the
 //! old `*_with(&mut Sampler, ..)` names are deprecated shims.
 
+use crate::error::Error;
 use crate::runtime::Session;
 #[cfg(feature = "legacy-sampler")]
 use crate::sampler::Sampler;
@@ -56,8 +57,10 @@ impl Uncertain<f64> {
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError`] if `n == 0` or sampling produced non-finite
-    /// values (e.g. a division by a distribution with mass near zero).
+    /// Returns an error if `n == 0`, sampling produced non-finite values
+    /// (e.g. a division by a distribution with mass near zero), or the
+    /// session demanded [`EvalStrategy::ExactOnly`](crate::EvalStrategy)
+    /// on a graph the analytic backend cannot summarize.
     ///
     /// # Examples
     ///
@@ -74,7 +77,7 @@ impl Uncertain<f64> {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn stats_in(&self, session: &mut Session, n: usize) -> Result<Summary, StatsError> {
+    pub fn stats_in(&self, session: &mut Session, n: usize) -> Result<Summary, Error> {
         session.stats(self, n)
     }
 
@@ -82,11 +85,11 @@ impl Uncertain<f64> {
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError`] if `n == 0` or sampling produced non-finite
+    /// Returns an error if `n == 0` or sampling produced non-finite
     /// values.
     #[cfg(feature = "legacy-sampler")]
     #[deprecated(since = "0.2.0", note = "use `stats_in(&mut Session, n)`")]
-    pub fn stats_with(&self, sampler: &mut Sampler, n: usize) -> Result<Summary, StatsError> {
+    pub fn stats_with(&self, sampler: &mut Sampler, n: usize) -> Result<Summary, Error> {
         sampler.session_mut().stats(self, n)
     }
 

@@ -74,6 +74,7 @@ mod condition;
 mod context;
 mod error;
 mod evaluator;
+mod exact;
 mod expect;
 mod graph;
 mod kernel;
@@ -90,9 +91,13 @@ mod sampler;
 mod uncertain;
 mod wire;
 
-pub use condition::{EvalConfig, EvalConfigBuilder, HypothesisOutcome, InconclusiveError};
-pub use error::{ConfigError, Error, ServeError, WireError};
+pub use condition::{
+    EvalConfig, EvalConfigBuilder, EvalStrategy, HypothesisOutcome, InconclusiveError, Provenance,
+    StatsOutcome,
+};
+pub use error::{ConfigError, Error, NotAnalyticError, ServeError, WireError};
 pub use evaluator::Evaluator;
+pub use exact::{BoolLaw, ExactMethod, ScalarLaw};
 pub use graph::{NetworkView, NodeMeta};
 pub use node::NodeId;
 #[cfg(feature = "obs")]
@@ -130,9 +135,10 @@ pub mod prelude {
     #[cfg(feature = "legacy-sampler")]
     pub use crate::Sampler;
     pub use crate::{
-        CacheStats, ConfigError, Error, EvalConfig, EvalConfigBuilder, Evaluator,
-        HypothesisOutcome, InconclusiveError, IntoUncertain, NetworkView, ParSampler, Plan,
-        ServeError, Session, Uncertain,
+        CacheStats, ConfigError, Error, EvalConfig, EvalConfigBuilder, EvalStrategy, Evaluator,
+        ExactMethod, HypothesisOutcome, InconclusiveError, IntoUncertain, NetworkView,
+        NotAnalyticError, ParSampler, Plan, Provenance, ServeError, Session, StatsOutcome,
+        Uncertain,
     };
     #[cfg(feature = "obs")]
     pub use crate::{DecisionTrace, Recorder, StoppingReason};

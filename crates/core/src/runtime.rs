@@ -32,8 +32,10 @@
 //! produces the same numbers it always did, while transparently gaining the
 //! plan cache.
 
-use crate::condition::{EvalConfig, HypothesisOutcome};
+use crate::condition::{EvalConfig, EvalStrategy, HypothesisOutcome, Provenance, StatsOutcome};
 use crate::context::SampleContext;
+use crate::error::{Error, NotAnalyticError};
+use crate::exact::{self, BoolLaw, ScalarLaw};
 use crate::kernel::{self, Kernel, KERNEL_CHUNK};
 use crate::node::{NodeId, NodeInfo};
 #[cfg(feature = "obs")]
@@ -99,6 +101,20 @@ fn network_depth<T: Value>(u: &Uncertain<T>) -> usize {
         }
     }
     depth.get(&root.id()).copied().unwrap_or(0)
+}
+
+/// Synthesizes an exact [`Summary`] from a Gaussian scalar law: `n`
+/// observations placed at the law's mid-quantiles `(i + ½)/n` (a monotone
+/// grid, so order statistics read off the closed-form CDF), with the
+/// exact mean and variance attached via [`Summary::from_parts`].
+fn exact_summary(law: &ScalarLaw, n: usize) -> Result<Summary, StatsError> {
+    if n == 0 {
+        return Err(StatsError::new("cannot summarize an empty sample"));
+    }
+    let grid: Vec<f64> = (0..n)
+        .map(|i| law.quantile((i as f64 + 0.5) / n as f64))
+        .collect();
+    Summary::from_parts(grid, law.mean, law.variance)
 }
 
 /// How a session evaluates one network's joint samples: the compiled plan
@@ -310,6 +326,11 @@ struct CacheEntry {
 /// per root.
 const NO_TAPE_MEMO_CAP: usize = 4096;
 
+/// Upper bound on each analytic-verdict memo ([`PlanCache::exact_bool`],
+/// [`PlanCache::exact_f64`]). Same clear-on-overflow policy as the
+/// no-tape memo: hitting the cap only re-pays one graph analysis per root.
+const EXACT_MEMO_CAP: usize = 4096;
+
 /// LRU plan cache keyed by root [`NodeId`].
 struct PlanCache {
     entries: HashMap<NodeId, CacheEntry>,
@@ -319,6 +340,14 @@ struct PlanCache {
     /// whose plan churns in and out of the cache pays the (futile)
     /// lowering walk once, not once per eviction.
     no_tape: HashSet<NodeId>,
+    /// Analytic verdicts for boolean roots: `Some(law)` when the graph
+    /// reduced to a closed form, `None` when the analyzer declined. Like
+    /// `no_tape`, immune to LRU eviction — node ids name immutable DAGs,
+    /// so a verdict can never go stale, and a root whose *plan* churns
+    /// out of the cache keeps its (possibly negative) analysis verdict.
+    exact_bool: HashMap<NodeId, Option<BoolLaw>>,
+    /// Analytic verdicts for scalar roots, same lifecycle as `exact_bool`.
+    exact_f64: HashMap<NodeId, Option<ScalarLaw>>,
     capacity: usize,
     tick: u64,
     hits: u64,
@@ -331,6 +360,8 @@ impl PlanCache {
         Self {
             entries: HashMap::new(),
             no_tape: HashSet::new(),
+            exact_bool: HashMap::new(),
+            exact_f64: HashMap::new(),
             capacity,
             tick: 0,
             hits: 0,
@@ -350,6 +381,33 @@ impl PlanCache {
             self.no_tape.clear();
         }
         self.no_tape.insert(id);
+    }
+
+    /// The memoized analytic verdict for boolean root `id`, if recorded.
+    /// Outer `None` = never analyzed; inner `None` = analyzed, declined.
+    fn known_exact_bool(&self, id: NodeId) -> Option<Option<BoolLaw>> {
+        self.exact_bool.get(&id).copied()
+    }
+
+    /// Memoizes the analytic verdict (positive or negative) for `id`.
+    fn note_exact_bool(&mut self, id: NodeId, verdict: Option<BoolLaw>) {
+        if self.exact_bool.len() >= EXACT_MEMO_CAP {
+            self.exact_bool.clear();
+        }
+        self.exact_bool.insert(id, verdict);
+    }
+
+    /// The memoized analytic verdict for scalar root `id`, if recorded.
+    fn known_exact_f64(&self, id: NodeId) -> Option<Option<ScalarLaw>> {
+        self.exact_f64.get(&id).copied()
+    }
+
+    /// Memoizes the analytic verdict (positive or negative) for `id`.
+    fn note_exact_f64(&mut self, id: NodeId, verdict: Option<ScalarLaw>) {
+        if self.exact_f64.len() >= EXACT_MEMO_CAP {
+            self.exact_f64.clear();
+        }
+        self.exact_f64.insert(id, verdict);
     }
 
     /// The cached plan (and kernel, if any) for `id`, bumping the hit
@@ -458,6 +516,9 @@ pub struct Session {
     config: EvalConfig,
     ctx: SampleContext,
     joint_samples: u64,
+    /// Queries answered by the analytic backend with zero samples
+    /// ([`Session::exact_hits`]).
+    exact_hits: u64,
     /// The last sequential test built, keyed by the config/threshold that
     /// produced it (the common case: one conditional site re-decided).
     cached_test: Option<(EvalConfig, f64, SequentialTest)>,
@@ -480,6 +541,10 @@ pub struct Session {
     /// tests; a memo hit must not re-attempt lowering).
     #[cfg(test)]
     lower_attempts: u64,
+    /// Analytic-recognition walks (observability for the exact-memo
+    /// tests; a memo hit must not re-walk the graph).
+    #[cfg(test)]
+    exact_analyses: u64,
 }
 
 impl fmt::Debug for Session {
@@ -514,6 +579,7 @@ impl Session {
             config: EvalConfig::default(),
             ctx: SampleContext::from_seed(0),
             joint_samples: 0,
+            exact_hits: 0,
             cached_test: None,
             #[cfg(feature = "obs")]
             recorder: None,
@@ -523,6 +589,8 @@ impl Session {
             f32_columns: false,
             #[cfg(test)]
             lower_attempts: 0,
+            #[cfg(test)]
+            exact_analyses: 0,
         }
     }
 
@@ -570,6 +638,36 @@ impl Session {
     /// bounds, indifference δ, batch size, sample cap).
     pub fn with_config(mut self, config: EvalConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Returns the session with the given evaluation strategy — shorthand
+    /// for rewriting [`EvalConfig::strategy`] on the session's config.
+    ///
+    /// [`EvalStrategy::Auto`] lets recognized analytic subgraphs
+    /// (Bernoulli evidence chains, linear-Gaussian comparisons) answer
+    /// `pr`/`evaluate`/`e`/`stats` in closed form with **zero samples**,
+    /// falling back bitwise-identically to sampling for everything else;
+    /// [`EvalStrategy::ExactOnly`] turns that fallback into
+    /// [`Error::NotAnalytic`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uncertain_core::{EvalStrategy, Session, Uncertain};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let x = Uncertain::normal(0.0, 1.0)?;
+    /// let mut session = Session::seeded(0).with_strategy(EvalStrategy::Auto);
+    /// let config = *session.config();
+    /// let outcome = session.try_evaluate(&x.lt(1.0), 0.5, &config)?;
+    /// assert_eq!(outcome.samples, 0); // decided analytically
+    /// assert!(outcome.provenance.is_exact());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.config.strategy = strategy;
         self
     }
 
@@ -622,6 +720,13 @@ impl Session {
     /// The configured worker count for batched sampling.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of queries this session answered analytically with zero
+    /// samples (the exact-backend hit counter; observability twin of
+    /// [`Session::cache_stats`]).
+    pub fn exact_hits(&self) -> u64 {
+        self.exact_hits
     }
 
     /// Hit/miss/eviction counters and occupancy of the plan cache.
@@ -864,6 +969,63 @@ impl Session {
         self.joint_samples += n;
     }
 
+    // -- analytic backend -------------------------------------------------
+
+    /// The closed-form law of a boolean network, if the analytic backend
+    /// recognizes it — `Pr[cond]` for Bernoulli evidence chains and
+    /// linear-Gaussian comparisons. Memoized beside the plan cache, so
+    /// repeated probes (and the queries that follow) pay the graph walk
+    /// once per root. Strategy-independent: this reports *recognition*;
+    /// whether a query uses the law is [`EvalConfig::strategy`]'s call.
+    /// Draws nothing and never touches the seed stream.
+    pub fn analyze_bool(&mut self, cond: &Uncertain<bool>) -> Option<BoolLaw> {
+        self.bool_law(cond)
+    }
+
+    /// Scalar twin of [`Session::analyze_bool`]: the closed-form moments
+    /// (and, for all-Gaussian networks, the full law) of an `f64` network
+    /// the analytic backend recognizes.
+    pub fn analyze_f64(&mut self, u: &Uncertain<f64>) -> Option<ScalarLaw> {
+        self.scalar_law(u)
+    }
+
+    /// The analytic verdict for a boolean root: analyzed once on first
+    /// sight, then served from the plan cache's eviction-immune memo
+    /// (negative verdicts included, so unrecognized graphs pay the walk
+    /// once, not once per query).
+    fn bool_law(&mut self, cond: &Uncertain<bool>) -> Option<BoolLaw> {
+        let id = cond.node().id();
+        match self.cache.known_exact_bool(id) {
+            Some(verdict) => verdict,
+            None => {
+                #[cfg(test)]
+                {
+                    self.exact_analyses += 1;
+                }
+                let verdict = exact::analyze_bool(&(cond.node().clone() as Arc<dyn NodeInfo>));
+                self.cache.note_exact_bool(id, verdict);
+                verdict
+            }
+        }
+    }
+
+    /// Scalar twin of [`Session::bool_law`].
+    fn scalar_law(&mut self, u: &Uncertain<f64>) -> Option<ScalarLaw> {
+        let id = u.node().id();
+        match self.cache.known_exact_f64(id) {
+            Some(verdict) => verdict,
+            None => {
+                #[cfg(test)]
+                {
+                    self.exact_analyses += 1;
+                }
+                let verdict = exact::analyze_f64(&(u.node().clone() as Arc<dyn NodeInfo>));
+                self.cache.note_exact_f64(id, verdict);
+                verdict
+            }
+        }
+    }
+
     // -- queries ----------------------------------------------------------
 
     /// Draws `n` joint samples of `exec` as one query. Shards across the
@@ -943,16 +1105,48 @@ impl Session {
         exec.evaluate(&mut self.ctx)
     }
 
-    /// The paper's `E` operator: the mean of `n` joint samples.
+    /// The paper's `E` operator: the mean of `n` joint samples — or the
+    /// closed-form mean with zero samples when the session strategy admits
+    /// the analytic backend and the network is recognized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or under [`EvalStrategy::ExactOnly`] on a graph
+    /// the analytic backend does not recognize (use [`Session::try_e`] to
+    /// report that case as [`Error::NotAnalytic`] instead).
+    pub fn e(&mut self, u: &Uncertain<f64>, n: usize) -> f64 {
+        self.try_e(u, n)
+            .expect("ExactOnly strategy on a non-analytic graph")
+    }
+
+    /// [`Session::e`] reporting strategy errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotAnalytic`] when the strategy is
+    /// [`EvalStrategy::ExactOnly`] and the graph is not recognized.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn e(&mut self, u: &Uncertain<f64>, n: usize) -> f64 {
+    pub fn try_e(&mut self, u: &Uncertain<f64>, n: usize) -> Result<f64, Error> {
         assert!(n > 0, "expected value needs at least one sample");
+        if self.config.strategy != EvalStrategy::SamplingOnly {
+            if let Some(law) = self.scalar_law(u) {
+                // Consume exactly one query index (like every query) while
+                // drawing zero samples, so following queries in a substream
+                // session are bitwise unaffected by the fast path.
+                let _ = self.seeds.begin_query();
+                self.exact_hits += 1;
+                return Ok(law.mean);
+            }
+            if self.config.strategy == EvalStrategy::ExactOnly {
+                return Err(NotAnalyticError { query: "e" }.into());
+            }
+        }
         // Summed in sample-index order so the result is identical for any
         // worker count.
-        self.samples(u, n).iter().sum::<f64>() / n as f64
+        Ok(self.samples(u, n).iter().sum::<f64>() / n as f64)
     }
 
     /// Generalized expectation: the mean of `score` over `n` joint samples
@@ -972,14 +1166,61 @@ impl Session {
     }
 
     /// A full descriptive summary (mean, variance, quantiles, coverage
-    /// intervals) from `n` joint samples.
+    /// intervals) from `n` joint samples — or, when the session strategy
+    /// admits the analytic backend and the network reduces to a Gaussian,
+    /// an exact summary with closed-form moments and an analytic quantile
+    /// grid, drawn with zero samples.
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError`] if `n == 0` or sampling produced non-finite
-    /// values.
-    pub fn stats(&mut self, u: &Uncertain<f64>, n: usize) -> Result<Summary, StatsError> {
-        Summary::from_slice(&self.samples(u, n))
+    /// Returns an error if `n == 0`, sampling produced non-finite values,
+    /// or [`EvalStrategy::ExactOnly`] was demanded on a graph the analytic
+    /// backend cannot summarize exactly.
+    pub fn stats(&mut self, u: &Uncertain<f64>, n: usize) -> Result<Summary, Error> {
+        Ok(self.stats_with_provenance(u, n)?.summary)
+    }
+
+    /// [`Session::stats`] with the answer's [`Provenance`] attached.
+    ///
+    /// The exact path needs the full shape, not just moments, so it fires
+    /// only for networks whose law is Gaussian (affine maps of Gaussian
+    /// leaves); moment-only recognitions (mixed leaf families) fall back
+    /// to sampling under [`EvalStrategy::Auto`] and error under
+    /// [`EvalStrategy::ExactOnly`]. An exact summary carries `n`
+    /// synthetic observations placed at the law's mid-quantiles, so
+    /// `quantile`/`min`/`max` read off the closed-form CDF while
+    /// `mean`/`variance` are the exact moments.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::stats`].
+    pub fn stats_with_provenance(
+        &mut self,
+        u: &Uncertain<f64>,
+        n: usize,
+    ) -> Result<StatsOutcome, Error> {
+        if self.config.strategy != EvalStrategy::SamplingOnly {
+            match self.scalar_law(u) {
+                Some(law) if law.gaussian => {
+                    let summary = exact_summary(&law, n)?;
+                    let _ = self.seeds.begin_query();
+                    self.exact_hits += 1;
+                    return Ok(StatsOutcome {
+                        summary,
+                        provenance: Provenance::Exact { method: law.method },
+                    });
+                }
+                _ if self.config.strategy == EvalStrategy::ExactOnly => {
+                    return Err(NotAnalyticError { query: "stats" }.into());
+                }
+                _ => {}
+            }
+        }
+        let summary = Summary::from_slice(&self.samples(u, n))?;
+        Ok(StatsOutcome {
+            summary,
+            provenance: Provenance::Sampled { samples: n },
+        })
     }
 
     /// A sampled histogram of `u` on `[low, high)` over `bins` bins.
@@ -1003,16 +1244,24 @@ impl Session {
     /// Runs the SPRT for `Pr[cond] > threshold` under an explicit
     /// configuration, reporting parameter errors instead of panicking.
     ///
+    /// When `config.strategy` admits the analytic backend and the
+    /// condition's graph is recognized (a Bernoulli evidence chain or a
+    /// linear-Gaussian comparison), the decision is made in closed form
+    /// with **zero samples** and the outcome carries
+    /// [`Provenance::Exact`]; every other graph is decided by sampling,
+    /// bitwise-identically to [`EvalStrategy::SamplingOnly`].
+    ///
     /// # Errors
     ///
-    /// Returns [`StatsError`] if `threshold`/`config` are out of range
-    /// (e.g. `threshold ∉ (0, 1)`).
+    /// Returns [`Error::Stats`] if `threshold`/`config` are out of range
+    /// (e.g. `threshold ∉ (0, 1)`), and [`Error::NotAnalytic`] if
+    /// [`EvalStrategy::ExactOnly`] was demanded on an unrecognized graph.
     pub fn try_evaluate(
         &mut self,
         cond: &Uncertain<bool>,
         threshold: f64,
         config: &EvalConfig,
-    ) -> Result<HypothesisOutcome, StatsError> {
+    ) -> Result<HypothesisOutcome, Error> {
         let outcome = self.try_evaluate_until(cond, threshold, config, |_| true)?;
         Ok(outcome.expect("unconditional keep_going never aborts"))
     }
@@ -1032,14 +1281,16 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError`] if `threshold`/`config` are out of range.
+    /// Returns [`Error::Stats`] if `threshold`/`config` are out of range,
+    /// and [`Error::NotAnalytic`] under [`EvalStrategy::ExactOnly`] on an
+    /// unrecognized graph.
     pub fn try_evaluate_until(
         &mut self,
         cond: &Uncertain<bool>,
         threshold: f64,
         config: &EvalConfig,
         keep_going: impl FnMut(usize) -> bool,
-    ) -> Result<Option<HypothesisOutcome>, StatsError> {
+    ) -> Result<Option<HypothesisOutcome>, Error> {
         let test = match &self.cached_test {
             Some((c, t, test)) if *c == *config && *t == threshold => *test,
             _ => {
@@ -1048,6 +1299,31 @@ impl Session {
                 test
             }
         };
+        if config.strategy != EvalStrategy::SamplingOnly {
+            if let Some(law) = self.bool_law(cond) {
+                // The analytic fast path: decide in closed form with zero
+                // samples. Like every query (aborted ones included), it
+                // consumes exactly one query index of the seed stream, so
+                // subsequent queries in a substream session are bitwise
+                // unaffected by which path answered this one. The decision
+                // is conclusive iff `Pr[cond]` lies outside the SPRT's
+                // indifference region `threshold ± δ` — the same region a
+                // sampled test is calibrated to resolve.
+                let _ = self.seeds.begin_query();
+                self.exact_hits += 1;
+                return Ok(Some(HypothesisOutcome {
+                    threshold,
+                    accepted: law.p > threshold,
+                    conclusive: (law.p - threshold).abs() > config.delta,
+                    samples: 0,
+                    estimate: law.p,
+                    provenance: Provenance::Exact { method: law.method },
+                }));
+            }
+            if config.strategy == EvalStrategy::ExactOnly {
+                return Err(NotAnalyticError { query: "evaluate" }.into());
+            }
+        }
         let exec = self.executor(cond);
         // Tracing state: dormant unless a recorder is installed. The
         // per-batch tracing work (a success tally and one LLR evaluation)
@@ -1164,6 +1440,9 @@ impl Session {
             conclusive: outcome.conclusive,
             samples: outcome.samples,
             estimate: outcome.estimate,
+            provenance: Provenance::Sampled {
+                samples: outcome.samples,
+            },
         }))
     }
 
@@ -1667,6 +1946,38 @@ mod tests {
         s.sample(&other); // evicts expr
         s.sample(&expr); // recompile must re-lower (it tapes fine)
         assert_eq!(s.lower_attempts, attempts + 2);
+    }
+
+    #[test]
+    fn exact_verdict_survives_eviction_churn() {
+        // The analytic verdict is memoized beside the no-tape memo:
+        // immune to LRU plan eviction, so a hot analytic root pays the
+        // recognition walk once, not once per churned plan.
+        let chain = {
+            let x = Uncertain::normal(0.0, 1.0).unwrap();
+            let mut sum = x.clone();
+            for _ in 0..30 {
+                sum = sum + &x;
+            }
+            sum.lt(100.0)
+        };
+        let a = Uncertain::normal(1.0, 1.0).unwrap();
+        let b = Uncertain::normal(2.0, 1.0).unwrap();
+        let config = EvalConfig::default().with_strategy(EvalStrategy::Auto);
+        let mut s = Session::seeded(35)
+            .with_strategy(EvalStrategy::Auto)
+            .with_cache_capacity(1);
+        let first = s.try_evaluate(&chain, 0.5, &config).unwrap();
+        assert_eq!(first.samples, 0);
+        assert_eq!(s.exact_analyses, 1);
+        for _ in 0..3 {
+            s.sample(&a);
+            s.sample(&b); // capacity 1: churn the plan cache hard
+            let outcome = s.try_evaluate(&chain, 0.5, &config).unwrap();
+            assert_eq!(outcome.samples, 0);
+            assert_eq!(s.exact_analyses, 1, "memoized verdict skips re-analysis");
+        }
+        assert_eq!(s.exact_hits(), 4);
     }
 
     #[test]

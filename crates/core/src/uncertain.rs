@@ -4,7 +4,7 @@ use crate::node::{BindNode, DynNode, LeafNode, Map2Node, MapNode, PointNode};
 use crate::NodeId;
 use std::fmt;
 use std::sync::Arc;
-use uncertain_dist::{Bernoulli, Distribution, Gaussian, ParamError, Rayleigh, Uniform};
+use uncertain_dist::{Bernoulli, Beta, Distribution, Gaussian, ParamError, Rayleigh, Uniform};
 
 /// The bound every value carried by an [`Uncertain<T>`] must satisfy.
 ///
@@ -290,6 +290,17 @@ impl Uncertain<f64> {
     /// Returns [`ParamError`] if `scale` is not positive and finite.
     pub fn rayleigh(scale: f64) -> Result<Self, ParamError> {
         Ok(Self::from_distribution(Rayleigh::new(scale)?))
+    }
+
+    /// A Beta leaf on `[0, 1]` with shapes `α, β` — the conjugate posterior
+    /// of Bernoulli evidence, so evidence-chain beliefs are expressible as
+    /// first-class leaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless both shapes are positive and finite.
+    pub fn beta(alpha: f64, beta: f64) -> Result<Self, ParamError> {
+        Ok(Self::from_distribution(Beta::new(alpha, beta)?))
     }
 }
 

@@ -45,7 +45,7 @@ use crate::node::{NodeId, NodeInfo};
 use crate::uncertain::Uncertain;
 use std::collections::HashMap;
 use std::sync::Arc;
-use uncertain_dist::{Bernoulli, DistSpec, Exponential, Gaussian, Rayleigh, Uniform};
+use uncertain_dist::{Bernoulli, Beta, DistSpec, Exponential, Gaussian, Rayleigh, Uniform};
 
 /// What a node means on the wire — the serializable summary each node
 /// kind advertises through `NodeInfo::wire_op`.
@@ -436,6 +436,9 @@ fn build_leaf(spec: DistSpec) -> Result<Slot, WireError> {
         DistSpec::Bernoulli { p } => Slot::B(Uncertain::from_distribution(
             Bernoulli::new(p).map_err(bad)?,
         )),
+        DistSpec::Beta { alpha, beta } => Slot::F(Uncertain::from_distribution(
+            Beta::new(alpha, beta).map_err(bad)?,
+        )),
         // `DistSpec` is non-exhaustive: a newer peer may know shapes this
         // build does not.
         #[allow(unreachable_patterns)]
@@ -542,6 +545,11 @@ fn put_spec(out: &mut Vec<u8>, spec: DistSpec) {
             out.push(5);
             out.extend_from_slice(&p.to_le_bytes());
         }
+        DistSpec::Beta { alpha, beta } => {
+            out.push(6);
+            out.extend_from_slice(&alpha.to_le_bytes());
+            out.extend_from_slice(&beta.to_le_bytes());
+        }
         // Encoding of a shape this build does not know is unreachable:
         // specs only originate from this build's distributions.
         #[allow(unreachable_patterns)]
@@ -562,6 +570,10 @@ fn read_spec(r: &mut Reader<'_>) -> Result<DistSpec, WireError> {
         3 => DistSpec::Rayleigh { scale: r.f64()? },
         4 => DistSpec::Exponential { rate: r.f64()? },
         5 => DistSpec::Bernoulli { p: r.f64()? },
+        6 => DistSpec::Beta {
+            alpha: r.f64()?,
+            beta: r.f64()?,
+        },
         code => {
             return Err(WireError::Malformed(format!(
                 "unknown distribution shape {code}"

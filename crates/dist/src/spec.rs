@@ -67,15 +67,32 @@ pub enum DistSpec {
         /// Success probability in `[0, 1]`.
         p: f64,
     },
+    /// Beta on `[0, 1]` with shapes `α, β` — [`Beta`](crate::Beta), the
+    /// conjugate posterior of Bernoulli evidence chains.
+    Beta {
+        /// First shape parameter α (strictly positive).
+        alpha: f64,
+        /// Second shape parameter β (strictly positive).
+        beta: f64,
+    },
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Bernoulli, Distribution, Empirical, Exponential, Gaussian, Rayleigh, Uniform};
+    use crate::{
+        Bernoulli, Beta, Distribution, Empirical, Exponential, Gaussian, Rayleigh, Uniform,
+    };
 
     #[test]
     fn closed_form_distributions_advertise_their_spec() {
+        assert_eq!(
+            Beta::new(2.0, 5.0).unwrap().spec(),
+            Some(DistSpec::Beta {
+                alpha: 2.0,
+                beta: 5.0
+            })
+        );
         assert_eq!(
             Uniform::new(1.0, 2.0).unwrap().spec(),
             Some(DistSpec::Uniform {

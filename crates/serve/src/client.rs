@@ -5,7 +5,7 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Duration;
 
-use uncertain_core::{HypothesisOutcome, ServeError, Uncertain};
+use uncertain_core::{EvalStrategy, HypothesisOutcome, ServeError, Uncertain};
 use uncertain_stats::Summary;
 
 use crate::net::TcpTransport;
@@ -113,6 +113,21 @@ impl ServeClient {
             .wait()
     }
 
+    /// [`ServeClient::evaluate`] with a per-request strategy override —
+    /// e.g. [`EvalStrategy::Auto`] to let a recognized analytic graph
+    /// answer in closed form with zero samples. The outcome's
+    /// `provenance` records which backend actually answered.
+    pub fn evaluate_with_strategy(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        strategy: EvalStrategy,
+    ) -> Result<HypothesisOutcome, ServeError> {
+        self.submit_evaluate_with_strategy(tenant, cond, threshold, None, strategy)?
+            .wait()
+    }
+
     /// Pipelined [`ServeClient::evaluate`]: admits the request and returns
     /// without waiting. `QueueFull`/`Shutdown` surface here, at admission;
     /// `Timeout`/`Invalid` surface from [`Pending::wait`].
@@ -123,11 +138,34 @@ impl ServeClient {
         threshold: f64,
         timeout: Option<Duration>,
     ) -> Result<Pending<HypothesisOutcome>, ServeError> {
+        self.submit_evaluate_inner(tenant, cond, threshold, timeout, None)
+    }
+
+    /// Pipelined [`ServeClient::evaluate_with_strategy`].
+    pub fn submit_evaluate_with_strategy(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        timeout: Option<Duration>,
+        strategy: EvalStrategy,
+    ) -> Result<Pending<HypothesisOutcome>, ServeError> {
+        self.submit_evaluate_inner(tenant, cond, threshold, timeout, Some(strategy))
+    }
+
+    fn submit_evaluate_inner(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        timeout: Option<Duration>,
+        strategy: Option<EvalStrategy>,
+    ) -> Result<Pending<HypothesisOutcome>, ServeError> {
         let kind = RequestKind::Evaluate {
             cond: cond.clone(),
             threshold,
         };
-        self.submit(tenant, kind, timeout, |r| match r {
+        self.submit(tenant, kind, timeout, strategy, |r| match r {
             Response::Outcome(o) => o,
             _ => unreachable!("evaluate requests yield outcomes"),
         })
@@ -156,6 +194,25 @@ impl ServeClient {
             .wait()
     }
 
+    /// [`ServeClient::pr`] with a per-request strategy override.
+    pub fn pr_with_strategy(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        strategy: EvalStrategy,
+    ) -> Result<bool, ServeError> {
+        let kind = RequestKind::Pr {
+            cond: cond.clone(),
+            threshold,
+        };
+        self.submit(tenant, kind, None, Some(strategy), |r| match r {
+            Response::Decision(b) => b,
+            _ => unreachable!("pr requests yield decisions"),
+        })?
+        .wait()
+    }
+
     /// Pipelined [`ServeClient::pr`].
     pub fn submit_pr(
         &self,
@@ -168,7 +225,7 @@ impl ServeClient {
             cond: cond.clone(),
             threshold,
         };
-        self.submit(tenant, kind, timeout, |r| match r {
+        self.submit(tenant, kind, timeout, None, |r| match r {
             Response::Decision(b) => b,
             _ => unreachable!("pr requests yield decisions"),
         })
@@ -191,6 +248,25 @@ impl ServeClient {
         self.submit_e(tenant, expr, n, Some(timeout))?.wait()
     }
 
+    /// [`ServeClient::e`] with a per-request strategy override.
+    pub fn e_with_strategy(
+        &self,
+        tenant: u64,
+        expr: &Uncertain<f64>,
+        n: usize,
+        strategy: EvalStrategy,
+    ) -> Result<f64, ServeError> {
+        let kind = RequestKind::E {
+            expr: expr.clone(),
+            n,
+        };
+        self.submit(tenant, kind, None, Some(strategy), |r| match r {
+            Response::Mean(m) => m,
+            _ => unreachable!("e requests yield means"),
+        })?
+        .wait()
+    }
+
     /// Pipelined [`ServeClient::e`].
     pub fn submit_e(
         &self,
@@ -203,7 +279,7 @@ impl ServeClient {
             expr: expr.clone(),
             n,
         };
-        self.submit(tenant, kind, timeout, |r| match r {
+        self.submit(tenant, kind, timeout, None, |r| match r {
             Response::Mean(m) => m,
             _ => unreachable!("e requests yield means"),
         })
@@ -230,6 +306,25 @@ impl ServeClient {
         self.submit_stats(tenant, expr, n, Some(timeout))?.wait()
     }
 
+    /// [`ServeClient::stats`] with a per-request strategy override.
+    pub fn stats_with_strategy(
+        &self,
+        tenant: u64,
+        expr: &Uncertain<f64>,
+        n: usize,
+        strategy: EvalStrategy,
+    ) -> Result<Summary, ServeError> {
+        let kind = RequestKind::Stats {
+            expr: expr.clone(),
+            n,
+        };
+        self.submit(tenant, kind, None, Some(strategy), |r| match r {
+            Response::Summary(s) => s,
+            _ => unreachable!("stats requests yield summaries"),
+        })?
+        .wait()
+    }
+
     /// Pipelined [`ServeClient::stats`].
     pub fn submit_stats(
         &self,
@@ -242,7 +337,7 @@ impl ServeClient {
             expr: expr.clone(),
             n,
         };
-        self.submit(tenant, kind, timeout, |r| match r {
+        self.submit(tenant, kind, timeout, None, |r| match r {
             Response::Summary(s) => s,
             _ => unreachable!("stats requests yield summaries"),
         })
@@ -254,12 +349,14 @@ impl ServeClient {
         tenant: u64,
         kind: RequestKind,
         timeout: Option<Duration>,
+        strategy: Option<EvalStrategy>,
         map: fn(Response) -> T,
     ) -> Result<Pending<T>, ServeError> {
         let rx = self.transport.submit(Request {
             tenant,
             kind,
             timeout,
+            strategy,
         })?;
         Ok(Pending { rx, map })
     }

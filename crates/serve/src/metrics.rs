@@ -16,6 +16,7 @@ pub(crate) struct ShardStats {
     pub(crate) queue_depth: Gauge,
     pub(crate) requests: Counter,
     pub(crate) decisions: Counter,
+    pub(crate) exact_decisions: Counter,
     pub(crate) sprt_samples: Counter,
     pub(crate) timeouts: Counter,
     pub(crate) rejected: Counter,
@@ -52,6 +53,7 @@ impl ShardStats {
             queue_depth: self.queue_depth.get().max(0) as usize,
             requests: self.requests.get(),
             decisions: self.decisions.get(),
+            exact_decisions: self.exact_decisions.get(),
             sprt_samples: self.sprt_samples.get(),
             timeouts: self.timeouts.get(),
             rejected: self.rejected.get(),
@@ -131,6 +133,10 @@ pub struct ShardMetrics {
     /// SPRT decisions completed (`evaluate`/`pr` requests that ran to a
     /// verdict rather than timing out or being rejected as invalid).
     pub decisions: u64,
+    /// Requests answered by the analytic backend in closed form with
+    /// zero samples (decisions plus exact `e`/`stats` replies), under an
+    /// `Auto`/`ExactOnly` strategy.
+    pub exact_decisions: u64,
     /// Joint samples drawn by completed SPRT decisions.
     pub sprt_samples: u64,
     /// Requests that expired — in the queue or mid-decision.
@@ -176,6 +182,11 @@ impl ServeMetrics {
     /// Total SPRT decisions completed.
     pub fn decisions(&self) -> u64 {
         self.shards.iter().map(|s| s.decisions).sum()
+    }
+
+    /// Total requests answered analytically with zero samples.
+    pub fn exact_decisions(&self) -> u64 {
+        self.shards.iter().map(|s| s.exact_decisions).sum()
     }
 
     /// Total joint samples drawn by completed decisions.
@@ -264,6 +275,11 @@ impl ServeMetrics {
             "uncertain_decisions_total",
             "SPRT decisions run to a verdict.",
             self.decisions(),
+        );
+        w.counter(
+            "uncertain_decisions_exact_total",
+            "Requests answered by the analytic backend with zero samples.",
+            self.exact_decisions(),
         );
         w.counter(
             "uncertain_sprt_samples_total",

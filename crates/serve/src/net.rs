@@ -417,6 +417,7 @@ fn decode_and_submit(
         tenant: request.tenant,
         kind,
         timeout,
+        strategy: request.strategy,
     })
 }
 

@@ -8,8 +8,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use uncertain_core::{CacheStats, EvalConfig, HypothesisOutcome, ServeError, Session, Uncertain};
-use uncertain_stats::Summary;
+use uncertain_core::{
+    CacheStats, Error, EvalConfig, EvalStrategy, HypothesisOutcome, ServeError, Session, Uncertain,
+};
+use uncertain_stats::{StatsError, Summary};
 
 use crate::client::ServeClient;
 use crate::metrics::{NetStats, ServeMetrics, ShardStats};
@@ -30,6 +32,8 @@ pub(crate) struct Job {
     pub(crate) tenant: u64,
     pub(crate) kind: RequestKind,
     pub(crate) deadline: Option<Instant>,
+    /// Per-request strategy override; `None` inherits the service config.
+    pub(crate) strategy: Option<EvalStrategy>,
     /// Admission time, for the queue-wait histogram.
     pub(crate) enqueued: Instant,
     pub(crate) reply: SyncSender<Result<Response, ServeError>>,
@@ -176,6 +180,7 @@ fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
         tenant,
         kind,
         deadline,
+        strategy,
         enqueued: _,
         reply,
     } = job;
@@ -186,8 +191,16 @@ fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
     let result = if expired(deadline) {
         Err(ServeError::Timeout)
     } else {
-        let eval = pool.eval;
+        let eval = match strategy {
+            Some(s) => pool.eval.with_strategy(s),
+            None => pool.eval,
+        };
         let session = pool.session(tenant);
+        // The request's effective config also becomes the session config
+        // for its duration, so strategy-aware session queries (`try_e`,
+        // `stats_with_provenance`) see the per-request override. Every
+        // request sets it, so a previous override never leaks forward.
+        session.set_config(eval);
         let work_started = Instant::now();
         let builds_before = session.plan_build_ns();
         let result = match kind {
@@ -198,11 +211,12 @@ fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
                 decide(session, &cond, threshold, &eval, deadline, stats)
                     .map(|o| Response::Decision(o.accepted))
             }
-            RequestKind::E { expr, n } => chunked_samples(session, &expr, n, deadline)
-                .map(|samples| Response::Mean(samples.iter().sum::<f64>() / samples.len() as f64)),
-            RequestKind::Stats { expr, n } => chunked_samples(session, &expr, n, deadline)
-                .and_then(|samples| Summary::from_slice(&samples).map_err(ServeError::Invalid))
-                .map(Response::Summary),
+            RequestKind::E { expr, n } => {
+                e_request(session, &expr, n, &eval, deadline, stats).map(Response::Mean)
+            }
+            RequestKind::Stats { expr, n } => {
+                stats_request(session, &expr, n, &eval, deadline, stats).map(Response::Summary)
+            }
         };
         // Split the request's execution time into its plan-compile share
         // (the session counts compile nanoseconds monotonically; the delta
@@ -225,9 +239,23 @@ fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
     let _ = reply.send(result);
 }
 
+/// Maps a core evaluation error onto the service's wire-expressible error
+/// surface: parameter errors keep their payload, everything else (e.g.
+/// `NotAnalytic` under an `ExactOnly` request) crosses as an invalid
+/// request with its display text.
+fn invalid(e: Error) -> ServeError {
+    match e {
+        Error::Stats(s) => ServeError::Invalid(s),
+        other => ServeError::Invalid(StatsError::new(other.to_string())),
+    }
+}
+
 /// One SPRT decision with cooperative deadline checks between batches.
 /// Whether it completes or aborts, it consumes exactly one query index, so
-/// later queries are bitwise unaffected by the abort point.
+/// later queries are bitwise unaffected by the abort point. Under an
+/// [`EvalStrategy::Auto`]/[`EvalStrategy::ExactOnly`] config, recognized
+/// analytic graphs decide in closed form with zero samples (counted in
+/// the shard's `exact_decisions`).
 fn decide(
     session: &mut Session,
     cond: &Uncertain<bool>,
@@ -237,14 +265,74 @@ fn decide(
     stats: &ShardStats,
 ) -> Result<HypothesisOutcome, ServeError> {
     match session.try_evaluate_until(cond, threshold, eval, |_| !expired(deadline)) {
-        Err(e) => Err(ServeError::Invalid(e)),
+        Err(e) => Err(invalid(e)),
         Ok(None) => Err(ServeError::Timeout),
         Ok(Some(outcome)) => {
             stats.decisions.inc();
+            if outcome.provenance.is_exact() {
+                stats.exact_decisions.inc();
+            }
             stats.sprt_samples.add(outcome.samples as u64);
             Ok(outcome)
         }
     }
+}
+
+/// Routes an `e` request: closed-form mean with zero samples when the
+/// strategy admits the analytic backend and the graph is recognized,
+/// chunked sampling otherwise; `ExactOnly` on an unrecognized graph is an
+/// invalid request.
+fn e_request(
+    session: &mut Session,
+    expr: &Uncertain<f64>,
+    n: usize,
+    eval: &EvalConfig,
+    deadline: Option<Instant>,
+    stats: &ShardStats,
+) -> Result<f64, ServeError> {
+    if n == 0 {
+        return Err(ServeError::Invalid(StatsError::new(
+            "sample requests need n >= 1",
+        )));
+    }
+    if eval.strategy != EvalStrategy::SamplingOnly && session.analyze_f64(expr).is_some() {
+        let mean = session.try_e(expr, n).map_err(invalid)?;
+        stats.exact_decisions.inc();
+        return Ok(mean);
+    }
+    if eval.strategy == EvalStrategy::ExactOnly {
+        return Err(invalid(Error::from(uncertain_core::NotAnalyticError {
+            query: "e",
+        })));
+    }
+    chunked_samples(session, expr, n, deadline)
+        .map(|samples| samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Routes a `stats` request like [`e_request`]; the exact path needs the
+/// full shape, so it fires only for all-Gaussian laws.
+fn stats_request(
+    session: &mut Session,
+    expr: &Uncertain<f64>,
+    n: usize,
+    eval: &EvalConfig,
+    deadline: Option<Instant>,
+    stats: &ShardStats,
+) -> Result<Summary, ServeError> {
+    if eval.strategy != EvalStrategy::SamplingOnly
+        && session.analyze_f64(expr).is_some_and(|law| law.gaussian)
+    {
+        let outcome = session.stats_with_provenance(expr, n).map_err(invalid)?;
+        stats.exact_decisions.inc();
+        return Ok(outcome.summary);
+    }
+    if eval.strategy == EvalStrategy::ExactOnly {
+        return Err(invalid(Error::from(uncertain_core::NotAnalyticError {
+            query: "stats",
+        })));
+    }
+    chunked_samples(session, expr, n, deadline)
+        .and_then(|samples| Summary::from_slice(&samples).map_err(ServeError::Invalid))
 }
 
 /// Draws `n` joint samples in [`SAMPLE_CHUNK`]-sized queries, checking the

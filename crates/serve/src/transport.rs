@@ -22,7 +22,7 @@ use std::sync::mpsc::{self, Receiver, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use uncertain_core::{HypothesisOutcome, ServeError, Uncertain};
+use uncertain_core::{EvalStrategy, HypothesisOutcome, ServeError, Uncertain};
 use uncertain_stats::Summary;
 
 use crate::service::{Inner, Job};
@@ -92,6 +92,12 @@ pub struct Request {
     /// Per-request deadline, measured from admission. `None` defers to the
     /// service's `default_deadline`.
     pub timeout: Option<Duration>,
+    /// Per-request evaluation-strategy override. `None` inherits the
+    /// service's configured [`EvalConfig`](uncertain_core::EvalConfig)
+    /// strategy; `Some` rewrites it for this request only (e.g.
+    /// [`EvalStrategy::Auto`] to let a recognized analytic graph answer
+    /// with zero samples).
+    pub strategy: Option<EvalStrategy>,
 }
 
 /// Where a submitted request's reply eventually arrives.
@@ -131,6 +137,7 @@ impl Transport for ChannelTransport {
             tenant,
             kind,
             timeout,
+            strategy,
         } = request;
         if !self.inner.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::Shutdown);
@@ -144,6 +151,7 @@ impl Transport for ChannelTransport {
             tenant,
             kind,
             deadline,
+            strategy,
             enqueued: Instant::now(),
             reply: reply_tx,
         };

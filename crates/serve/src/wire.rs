@@ -11,6 +11,7 @@
 //! [id: u64]                correlation id, echoed in the response
 //! [tenant: u64]            whose seeded session executes the request
 //! [deadline_ms: u64]       relative deadline; 0 = use the server default
+//! [strategy: u8]           0 inherit | 1 Auto | 2 SamplingOnly | 3 ExactOnly
 //! [kind: u8]               1 Evaluate | 2 Pr | 3 E | 4 Stats
 //! [threshold: f64]         kinds 1–2
 //! [n: u64]                 kinds 3–4
@@ -36,7 +37,9 @@
 
 use std::io::{self, Read, Write};
 
-use uncertain_core::{HypothesisOutcome, ServeError, WireGraph};
+use uncertain_core::{
+    EvalStrategy, ExactMethod, HypothesisOutcome, Provenance, ServeError, WireGraph,
+};
 use uncertain_stats::{StatsError, Summary};
 
 use crate::transport::{Request, RequestKind, Response};
@@ -179,7 +182,35 @@ pub(crate) struct WireRequest {
     pub(crate) tenant: u64,
     /// Relative deadline in milliseconds; 0 = none carried.
     pub(crate) deadline_ms: u64,
+    /// Per-request strategy override; `None` inherits the server config.
+    pub(crate) strategy: Option<EvalStrategy>,
     pub(crate) body: WireBody,
+}
+
+const STRATEGY_INHERIT: u8 = 0;
+const STRATEGY_AUTO: u8 = 1;
+const STRATEGY_SAMPLING_ONLY: u8 = 2;
+const STRATEGY_EXACT_ONLY: u8 = 3;
+
+fn encode_strategy(strategy: Option<EvalStrategy>) -> u8 {
+    match strategy {
+        None => STRATEGY_INHERIT,
+        Some(EvalStrategy::Auto) => STRATEGY_AUTO,
+        Some(EvalStrategy::SamplingOnly) => STRATEGY_SAMPLING_ONLY,
+        Some(EvalStrategy::ExactOnly) => STRATEGY_EXACT_ONLY,
+    }
+}
+
+fn decode_strategy(byte: u8) -> Result<Option<EvalStrategy>, WireError> {
+    match byte {
+        STRATEGY_INHERIT => Ok(None),
+        STRATEGY_AUTO => Ok(Some(EvalStrategy::Auto)),
+        STRATEGY_SAMPLING_ONLY => Ok(Some(EvalStrategy::SamplingOnly)),
+        STRATEGY_EXACT_ONLY => Ok(Some(EvalStrategy::ExactOnly)),
+        other => Err(WireError::Malformed(format!(
+            "unknown strategy byte {other}"
+        ))),
+    }
 }
 
 pub(crate) enum WireBody {
@@ -202,6 +233,7 @@ pub(crate) fn encode_request(id: u64, request: &Request) -> Result<Vec<u8>, Serv
         .map(|t| (t.as_millis().min(u64::MAX as u128) as u64).max(1))
         .unwrap_or(0);
     out.extend_from_slice(&deadline_ms.to_le_bytes());
+    out.push(encode_strategy(request.strategy));
     // `RequestKind` is `#[non_exhaustive]`; in-crate the wildcard is
     // unreachable today, but it is the designed behavior for a request
     // kind this wire version cannot express.
@@ -249,6 +281,7 @@ pub(crate) fn decode_request_body(bytes: &[u8]) -> Result<WireRequest, WireError
     let mut r = Reader::new(bytes);
     let tenant = r.u64()?;
     let deadline_ms = r.u64()?;
+    let strategy = decode_strategy(r.u8()?)?;
     let kind = r.u8()?;
     let body = match kind {
         KIND_EVALUATE => WireBody::Evaluate {
@@ -276,6 +309,7 @@ pub(crate) fn decode_request_body(bytes: &[u8]) -> Result<WireRequest, WireError
     Ok(WireRequest {
         tenant,
         deadline_ms,
+        strategy,
         body,
     })
 }
@@ -299,6 +333,47 @@ const OK_DECISION: u8 = 2;
 const OK_MEAN: u8 = 3;
 const OK_SUMMARY: u8 = 4;
 
+// Provenance of an `OK_OUTCOME` reply: how the verdict was produced.
+// 0 means sampled (the outcome's `samples` field holds the draw count);
+// nonzero names the analytic method that answered with zero samples.
+const PROV_SAMPLED: u8 = 0;
+const PROV_BETA_CHAIN: u8 = 1;
+const PROV_GAUSSIAN_CDF: u8 = 2;
+const PROV_MOMENT: u8 = 3;
+
+fn encode_provenance(p: Provenance) -> u8 {
+    match p {
+        Provenance::Sampled { .. } => PROV_SAMPLED,
+        Provenance::Exact {
+            method: ExactMethod::BetaChain,
+        } => PROV_BETA_CHAIN,
+        Provenance::Exact {
+            method: ExactMethod::GaussianCdf,
+        } => PROV_GAUSSIAN_CDF,
+        Provenance::Exact {
+            method: ExactMethod::Moment,
+        } => PROV_MOMENT,
+    }
+}
+
+fn decode_provenance(byte: u8, samples: usize) -> Result<Provenance, WireError> {
+    match byte {
+        PROV_SAMPLED => Ok(Provenance::Sampled { samples }),
+        PROV_BETA_CHAIN => Ok(Provenance::Exact {
+            method: ExactMethod::BetaChain,
+        }),
+        PROV_GAUSSIAN_CDF => Ok(Provenance::Exact {
+            method: ExactMethod::GaussianCdf,
+        }),
+        PROV_MOMENT => Ok(Provenance::Exact {
+            method: ExactMethod::Moment,
+        }),
+        other => Err(WireError::Malformed(format!(
+            "unknown provenance byte {other}"
+        ))),
+    }
+}
+
 /// Encodes one reply — success or error — as a frame payload.
 pub(crate) fn encode_response(id: u64, result: &Result<Response, ServeError>) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
@@ -315,6 +390,7 @@ pub(crate) fn encode_response(id: u64, result: &Result<Response, ServeError>) ->
             out.push(o.conclusive as u8);
             out.extend_from_slice(&(o.samples as u64).to_le_bytes());
             out.extend_from_slice(&o.estimate.to_le_bytes());
+            out.push(encode_provenance(o.provenance));
         }
         Ok(Response::Decision(b)) => {
             out.push(STATUS_OK);
@@ -410,12 +486,14 @@ fn decode_ok(r: &mut Reader<'_>) -> Result<Response, WireError> {
             let conclusive = decode_bool(r.u8()?)?;
             let samples = r.u64()? as usize;
             let estimate = r.f64()?;
+            let provenance = decode_provenance(r.u8()?, samples)?;
             Ok(Response::Outcome(HypothesisOutcome {
                 threshold,
                 accepted,
                 conclusive,
                 samples,
                 estimate,
+                provenance,
             }))
         }
         OK_DECISION => Ok(Response::Decision(decode_bool(r.u8()?)?)),
@@ -477,6 +555,7 @@ mod tests {
             conclusive: false,
             samples: 4242,
             estimate: 0.912_345_678_9,
+            provenance: Provenance::Sampled { samples: 4242 },
         };
         assert_eq!(
             roundtrip_response(Ok(Response::Outcome(outcome))),
@@ -524,18 +603,63 @@ mod tests {
                 threshold: 0.9,
             },
             timeout: Some(std::time::Duration::from_millis(250)),
+            strategy: Some(EvalStrategy::Auto),
         };
         let payload = encode_request(11, &request).expect("expressible");
         assert_eq!(u64::from_le_bytes(payload[..8].try_into().unwrap()), 11);
         let decoded = decode_request_body(&payload[8..]).expect("well-formed");
         assert_eq!(decoded.tenant, 7);
         assert_eq!(decoded.deadline_ms, 250);
+        assert_eq!(decoded.strategy, Some(EvalStrategy::Auto));
         match decoded.body {
             WireBody::Evaluate { threshold, graph } => {
                 assert_eq!(threshold, 0.9);
                 assert_eq!(graph, WireGraph::from_bool(&cond).unwrap().to_bytes());
             }
             _ => panic!("wrong request kind"),
+        }
+    }
+
+    #[test]
+    fn strategy_and_provenance_roundtrip() {
+        // Every strategy override crosses the request header intact.
+        for strategy in [
+            None,
+            Some(EvalStrategy::Auto),
+            Some(EvalStrategy::SamplingOnly),
+            Some(EvalStrategy::ExactOnly),
+        ] {
+            let request = Request {
+                tenant: 3,
+                kind: RequestKind::Pr {
+                    cond: Uncertain::bernoulli(0.5).unwrap(),
+                    threshold: 0.5,
+                },
+                timeout: None,
+                strategy,
+            };
+            let payload = encode_request(1, &request).expect("expressible");
+            let decoded = decode_request_body(&payload[8..]).expect("well-formed");
+            assert_eq!(decoded.strategy, strategy);
+        }
+        // Every exact method crosses the outcome payload intact.
+        for method in [
+            ExactMethod::BetaChain,
+            ExactMethod::GaussianCdf,
+            ExactMethod::Moment,
+        ] {
+            let outcome = HypothesisOutcome {
+                threshold: 0.5,
+                accepted: true,
+                conclusive: true,
+                samples: 0,
+                estimate: 0.75,
+                provenance: Provenance::Exact { method },
+            };
+            assert_eq!(
+                roundtrip_response(Ok(Response::Outcome(outcome))),
+                Ok(Response::Outcome(outcome))
+            );
         }
     }
 
@@ -552,6 +676,7 @@ mod tests {
                 n: 16,
             },
             timeout: None,
+            strategy: None,
         };
         assert!(matches!(
             encode_request(0, &request),

@@ -128,6 +128,7 @@ fn malformed_frames_get_error_replies_and_the_service_survives() {
     valid.extend_from_slice(&43u64.to_le_bytes()); // id
     valid.extend_from_slice(&1u64.to_le_bytes()); // tenant
     valid.extend_from_slice(&0u64.to_le_bytes()); // no deadline
+    valid.push(0); // strategy: inherit
     valid.push(2); // kind: Pr
     valid.extend_from_slice(&0.5f64.to_le_bytes()); // threshold
     valid.extend_from_slice(&WireGraph::from_bool(&cond).unwrap().to_bytes());

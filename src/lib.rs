@@ -29,10 +29,11 @@
 #[cfg(feature = "legacy-sampler")]
 pub use uncertain_core::Sampler;
 pub use uncertain_core::{
-    CacheStats, ConfigError, DecisionTrace, Error, EvalConfig, EvalConfigBuilder, Evaluator,
-    HypothesisOutcome, InconclusiveError, IntoUncertain, NetworkView, NodeId, NodeMeta, ParSampler,
-    Plan, Profile, Recorder, ServeError, Session, StoppingReason, TracePoint, Uncertain, Value,
-    DEFAULT_CACHE_CAPACITY,
+    BoolLaw, CacheStats, ConfigError, DecisionTrace, Error, EvalConfig, EvalConfigBuilder,
+    EvalStrategy, Evaluator, ExactMethod, HypothesisOutcome, InconclusiveError, IntoUncertain,
+    NetworkView, NodeId, NodeMeta, NotAnalyticError, ParSampler, Plan, Profile, Provenance,
+    Recorder, ScalarLaw, ServeError, Session, StatsOutcome, StoppingReason, TracePoint, Uncertain,
+    Value, DEFAULT_CACHE_CAPACITY,
 };
 pub use uncertain_obs::{PromWriter, TraceLog};
 pub use uncertain_serve::{
