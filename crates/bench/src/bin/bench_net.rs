@@ -89,16 +89,35 @@ struct LoadRun {
     frames_in: u64,
     wire_errors: u64,
     fingerprint: u64,
+    traces_offered: u64,
+    traces_retained: u64,
 }
 
 /// One sweep row: `conns` connections, each a closed-loop driver thread
 /// owning one tenant and one TCP connection, `per_conn` decisions each.
 /// Service and listener are fresh per row so tenant sample streams start
 /// from the origin and fingerprints are comparable run to run.
-fn run_load(conns: usize, per_conn: usize, cond: &Uncertain<bool>) -> LoadRun {
+///
+/// `traced_fraction` of requests (selected deterministically per tenant
+/// and request index) carry a sampled trace context and go through the
+/// full span-assembly + flight-recorder path; the rest are untraced.
+/// Outcomes are folded into the same fingerprint either way, so rows at
+/// different fractions must agree bit for bit.
+fn run_load(
+    conns: usize,
+    per_conn: usize,
+    cond: &Uncertain<bool>,
+    traced_fraction: f64,
+) -> LoadRun {
     let service = Service::start(service_config());
     let listener = service.listen().expect("listen");
     let addr = listener.local_addr();
+    // Compare in u64 space: mix(tenant, i) < bar ⇔ "trace this request".
+    let trace_bar = if traced_fraction >= 1.0 {
+        u64::MAX
+    } else {
+        (traced_fraction.max(0.0) * u64::MAX as f64) as u64
+    };
 
     let start = Instant::now();
     let drivers: Vec<_> = (0..conns)
@@ -109,9 +128,19 @@ fn run_load(conns: usize, per_conn: usize, cond: &Uncertain<bool>) -> LoadRun {
                 let tenant = c as u64;
                 let mut fp = 0u64;
                 let mut lat = Vec::with_capacity(per_conn);
-                for _ in 0..per_conn {
+                for i in 0..per_conn {
+                    let traced = traced_fraction >= 1.0
+                        || mix(tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64) < trace_bar;
                     let t0 = Instant::now();
-                    let o = client.evaluate(tenant, &cond, THRESHOLD).expect("decision");
+                    let o = if traced {
+                        let (o, id) = client
+                            .evaluate_traced(tenant, &cond, THRESHOLD)
+                            .expect("traced decision");
+                        assert!(id.is_some(), "traced replies echo a trace id");
+                        o
+                    } else {
+                        client.evaluate(tenant, &cond, THRESHOLD).expect("decision")
+                    };
                     lat.push(t0.elapsed().as_nanos() as u64);
                     fold(&mut fp, o.samples, o.estimate.to_bits());
                 }
@@ -139,6 +168,8 @@ fn run_load(conns: usize, per_conn: usize, cond: &Uncertain<bool>) -> LoadRun {
         frames_in: metrics.net.frames_in,
         wire_errors: metrics.net.wire_errors,
         fingerprint: fingerprints.iter().fold(0u64, |acc, &f| mix(acc ^ f)),
+        traces_offered: metrics.flight.offered,
+        traces_retained: metrics.flight.retained,
     }
 }
 
@@ -233,7 +264,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut throughputs = Vec::new();
     for &conns in conn_counts {
         let per_conn = (total / conns).max(4);
-        let run = run_load(conns, per_conn, &cond);
+        let run = run_load(conns, per_conn, &cond, 0.0);
         println!(
             "{conns:>6} {per_conn:>9} {:>12.0} {:>10.1} {:>10.1} {:>10.1}",
             run.throughput_dps, run.p50_us, run.p95_us, run.p99_us
@@ -259,6 +290,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         records += 1;
         throughputs.push((conns, run.throughput_dps));
     }
+
+    // Traced-fraction sweep: what carrying spans across the wire costs,
+    // from dormant (0%) through tail-sampling-ish (1%) to everything
+    // (100%). Fixed concurrency; identical work; fingerprints must agree
+    // across fractions because tracing never changes what is computed.
+    let t_conns = if quick { 4 } else { 16 };
+    let t_per_conn = (total / t_conns).max(4);
+    println!(
+        "\n{:>8} {:>9} {:>12} {:>10} {:>10} {:>9}",
+        "traced", "per-conn", "dec/s", "p50 µs", "p99 µs", "retained"
+    );
+    let mut traced_fingerprints = Vec::new();
+    for &fraction in &[0.0f64, 0.01, 1.0] {
+        let run = run_load(t_conns, t_per_conn, &cond, fraction);
+        println!(
+            "{:>7.0}% {t_per_conn:>9} {:>12.0} {:>10.1} {:>10.1} {:>9}",
+            fraction * 100.0,
+            run.throughput_dps,
+            run.p50_us,
+            run.p99_us,
+            run.traces_retained
+        );
+        assert_eq!(run.wire_errors, 0, "traced run produced wire errors");
+        writeln!(
+            out,
+            "{{\"bench\":\"net_traced\",\"unix_time\":{stamp},\
+             \"traced_fraction\":{fraction},\"connections\":{t_conns},\
+             \"per_connection\":{t_per_conn},\
+             \"throughput_dps\":{dps:.1},\"p50_us\":{p50:.1},\
+             \"p99_us\":{p99:.1},\"traces_offered\":{offered},\
+             \"traces_retained\":{retained},\"fingerprint\":{fp}}}",
+            dps = run.throughput_dps,
+            p50 = run.p50_us,
+            p99 = run.p99_us,
+            offered = run.traces_offered,
+            retained = run.traces_retained,
+            fp = run.fingerprint,
+        )?;
+        records += 1;
+        traced_fingerprints.push(run.fingerprint);
+        if fraction >= 1.0 {
+            assert_eq!(
+                run.traces_offered,
+                (t_conns * t_per_conn) as u64,
+                "at 100% every request must reach the flight recorder"
+            );
+        }
+    }
+    assert!(
+        traced_fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "tracing changed decision results across the fraction sweep"
+    );
 
     let (base_conns, base) = throughputs[0];
     let (peak_conns, peak) = throughputs[throughputs.len() - 1];

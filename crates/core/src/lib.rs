@@ -102,8 +102,8 @@ pub use graph::{NetworkView, NodeMeta};
 pub use node::NodeId;
 #[cfg(feature = "obs")]
 pub use obs::{
-    DecisionTrace, InstrCost, KernelProfile, KindCost, LeafKindCost, NodeCost, Profile, Recorder,
-    StoppingReason, TracePoint,
+    DecisionTrace, Dispatch, InstrCost, KernelProfile, KindCost, LeafKindCost, NodeCost, Profile,
+    Recorder, StoppingReason, TracePoint,
 };
 pub use plan::{ParSampler, Plan};
 pub use runtime::{CacheStats, Session, DEFAULT_CACHE_CAPACITY};

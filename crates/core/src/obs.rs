@@ -71,6 +71,34 @@ impl StoppingReason {
     }
 }
 
+/// Which execution backend answered a decision-family query
+/// ([`Session::last_dispatch`](crate::Session::last_dispatch)).
+///
+/// Recording it costs one enum store per decision, so it is always
+/// tracked under the `obs` feature; the serve layer turns it into a
+/// span attribute when request tracing is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dispatch {
+    /// The analytic backend answered in closed form, zero samples.
+    Exact,
+    /// The columnar SSA kernel drove the SPRT sample loop.
+    Kernel,
+    /// The compiled closure plan drove the SPRT sample loop.
+    Closure,
+}
+
+impl Dispatch {
+    /// Stable lower-case name for exporters
+    /// (`"exact"`, `"kernel"`, `"closure"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Dispatch::Exact => "exact",
+            Dispatch::Kernel => "kernel",
+            Dispatch::Closure => "closure",
+        }
+    }
+}
+
 /// One point of a decision's log-likelihood-ratio trajectory: the
 /// cumulative state after one SPRT batch was absorbed.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -39,7 +39,7 @@ use crate::exact::{self, BoolLaw, ScalarLaw};
 use crate::kernel::{self, Kernel, KERNEL_CHUNK};
 use crate::node::{NodeId, NodeInfo};
 #[cfg(feature = "obs")]
-use crate::obs::{DecisionTrace, Recorder, StoppingReason, TracePoint};
+use crate::obs::{DecisionTrace, Dispatch, Recorder, StoppingReason, TracePoint};
 use crate::plan::{sample_batch_sharded, sample_seed, Plan};
 use crate::uncertain::{Uncertain, Value};
 use rand::rngs::StdRng;
@@ -532,6 +532,13 @@ pub struct Session {
     /// time by diffing this counter around a query.
     #[cfg(feature = "obs")]
     plan_build_ns: u64,
+    /// Which backend answered the most recent decision-family query
+    /// ([`Session::last_dispatch`]). One enum store per decision — cheap
+    /// enough to track unconditionally under `obs`, so request tracing
+    /// can attribute kernel-vs-closure-vs-exact dispatch without
+    /// installing a recorder.
+    #[cfg(feature = "obs")]
+    last_dispatch: Option<Dispatch>,
     /// Whether kernels lower in reduced-precision column mode
     /// ([`Session::with_f32_columns`]). Construction-time only, so a
     /// cached kernel's precision always matches the session flag.
@@ -585,6 +592,8 @@ impl Session {
             recorder: None,
             #[cfg(feature = "obs")]
             plan_build_ns: 0,
+            #[cfg(feature = "obs")]
+            last_dispatch: None,
             #[cfg(feature = "f32-columns")]
             f32_columns: false,
             #[cfg(test)]
@@ -785,6 +794,18 @@ impl Session {
     #[cfg(feature = "obs")]
     pub fn plan_build_ns(&self) -> u64 {
         self.plan_build_ns
+    }
+
+    /// Which backend answered the session's most recent decision-family
+    /// query ([`Session::evaluate`], [`Session::pr`], …): the analytic
+    /// backend, the columnar kernel, or the closure plan. `None` until
+    /// the first decision.
+    ///
+    /// Purely observational — reading it never perturbs the sample
+    /// stream; the serve layer attaches it to request spans.
+    #[cfg(feature = "obs")]
+    pub fn last_dispatch(&self) -> Option<Dispatch> {
+        self.last_dispatch
     }
 
     /// Drops the cached plan for the network rooted at `root`, if present.
@@ -1311,6 +1332,10 @@ impl Session {
                 // sampled test is calibrated to resolve.
                 let _ = self.seeds.begin_query();
                 self.exact_hits += 1;
+                #[cfg(feature = "obs")]
+                {
+                    self.last_dispatch = Some(Dispatch::Exact);
+                }
                 return Ok(Some(HypothesisOutcome {
                     threshold,
                     accepted: law.p > threshold,
@@ -1344,6 +1369,10 @@ impl Session {
             // Columnar decision loop: one reused register file and bool
             // buffer across every batch of this decision, successes
             // counted straight off the root column.
+            #[cfg(feature = "obs")]
+            {
+                self.last_dispatch = Some(Dispatch::Kernel);
+            }
             let mut state = k.new_state();
             let mut seeds: Vec<u64> = Vec::new();
             let mut batch: Vec<bool> = Vec::new();
@@ -1376,6 +1405,10 @@ impl Session {
                 keep_going,
             )
         } else {
+            #[cfg(feature = "obs")]
+            {
+                self.last_dispatch = Some(Dispatch::Closure);
+            }
             exec.install(ctx);
             test.run_batched_while(
                 |k| {

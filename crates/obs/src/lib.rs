@@ -17,6 +17,12 @@
 //! * **Prometheus exposition** — [`PromWriter`] renders counters,
 //!   gauges, and histogram summaries in the text format scrapers
 //!   accept.
+//! * **Request tracing** — [`TraceContext`] / [`Span`] /
+//!   [`TraceBuilder`] describe one request as a tree of monotonic-clock
+//!   spans that propagates across threads and the serve crate's wire
+//!   protocol, and the [`FlightRecorder`] retains completed traces by a
+//!   tail-based policy (slowest-N per window, all errors, all audit
+//!   mismatches) for the `/traces` introspection endpoints.
 //!
 //! The per-node cost *profiles* (the Bayesian-network flamegraph) live
 //! in the core crate — see
@@ -48,16 +54,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod flight;
 mod metrics;
 mod prom;
+mod span;
 mod trace;
 
+pub use flight::{request_trace_to_json, FlightConfig, FlightRecorder, FlightStats, RequestTrace};
 pub use metrics::{Counter, Gauge, HistogramSnapshot, LogHistogram};
 pub use prom::PromWriter;
+pub use span::{monotonic_ns, AttrValue, Span, SpanEvent, TraceBuilder, TraceContext};
 pub use trace::{to_jsonl, trace_to_json, write_jsonl, TraceLog};
 
 // Re-export the core event types this crate's API speaks, so consumers
 // need not name uncertain-core for plain trace handling.
 pub use uncertain_core::{
-    DecisionTrace, KindCost, NodeCost, Profile, Recorder, StoppingReason, TracePoint,
+    DecisionTrace, Dispatch, KindCost, NodeCost, Profile, Recorder, StoppingReason, TracePoint,
 };

@@ -259,7 +259,18 @@ impl HistogramSnapshot {
     /// shard). `count`, `sum`, and `max` stay exact; pooled quantiles
     /// take the per-shard maximum, a conservative upper estimate
     /// (exact when shards are identically loaded).
+    ///
+    /// An empty side is the identity: `merge(empty, x) == x` exactly,
+    /// rather than letting an all-zero snapshot participate in the
+    /// quantile max-pool (which would silently turn "no data" into
+    /// "observed zeros" if empty snapshots ever carried residue).
     pub fn merge(&self, other: &Self) -> Self {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
         Self {
             count: self.count + other.count,
             sum: self.sum + other.sum,
@@ -346,6 +357,26 @@ mod tests {
         assert_eq!(m.sum, 600);
         assert_eq!(m.max, 200);
         assert_eq!((m.p50, m.p90, m.p99), (90, 150, 199));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let x = HistogramSnapshot {
+            count: 10,
+            sum: 100,
+            max: 30,
+            p50: 8,
+            p90: 20,
+            p99: 29,
+        };
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.merge(&x), x);
+        assert_eq!(x.merge(&empty), x);
+        assert_eq!(empty.merge(&empty), empty);
+        // The zero snapshot is fully well-defined: zero quantiles, zero
+        // mean, and it never perturbs a real snapshot it merges with.
+        assert_eq!((empty.p50, empty.p90, empty.p99, empty.max), (0, 0, 0, 0));
+        assert_eq!(empty.mean(), 0.0);
     }
 
     #[test]

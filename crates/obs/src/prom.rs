@@ -32,13 +32,30 @@ pub struct PromWriter {
 }
 
 /// Escapes a label value per the exposition format: backslash, quote,
-/// and newline.
+/// and newline. Label values are the one place attacker-influenced
+/// strings (tenant names, error messages) reach the scrape body, so a
+/// hostile value must not be able to terminate the quoted string or
+/// inject a fresh sample line.
 fn escape_label(v: &str) -> String {
     let mut s = String::with_capacity(v.len());
     for c in v.chars() {
         match c {
             '\\' => s.push_str("\\\\"),
             '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+/// Escapes `# HELP` text per the exposition format: backslash and
+/// newline only (quotes are legal in help text).
+fn escape_help(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
             '\n' => s.push_str("\\n"),
             _ => s.push(c),
         }
@@ -53,7 +70,7 @@ impl PromWriter {
     }
 
     fn header(&mut self, name: &str, help: &str, kind: &str) {
-        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
         let _ = writeln!(self.out, "# TYPE {name} {kind}");
     }
 
@@ -165,5 +182,38 @@ mod tests {
         assert!(s.contains("depth{shard=\"0\"} 1\n"));
         assert!(s.contains("depth{shard=\"a\\\"b\"} 2\n"));
         assert_eq!(s.matches("# TYPE depth gauge").count(), 1);
+    }
+
+    #[test]
+    fn hostile_tenant_label_cannot_break_out() {
+        // A tenant name built to close the quote, inject a fake sample
+        // line, and confuse parsers with a raw backslash.
+        let hostile = "evil\"} 99\ninjected_total 1 # \\";
+        let mut w = PromWriter::new();
+        w.gauge_per(
+            "sessions",
+            "Live sessions.",
+            "tenant",
+            &[(hostile.to_string(), 3.0)],
+        );
+        let s = w.finish();
+        // All three escapes applied: backslash, quote, newline.
+        assert!(s.contains("tenant=\"evil\\\"} 99\\ninjected_total 1 # \\\\\""));
+        // The hostile payload never starts a line of its own: the body
+        // stays exactly one HELP, one TYPE, and one sample line.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "injected a line: {s:?}");
+        assert!(lines[2].starts_with("sessions{tenant=\""));
+        assert!(lines[2].ends_with("\"} 3"));
+        assert!(!s.contains("\ninjected_total"));
+    }
+
+    #[test]
+    fn hostile_help_text_stays_on_one_line() {
+        let mut w = PromWriter::new();
+        w.counter("a_total", "bad\nhelp with \\ slash", 1);
+        let s = w.finish();
+        assert!(s.contains("# HELP a_total bad\\nhelp with \\\\ slash\n"));
+        assert_eq!(s.lines().count(), 3);
     }
 }

@@ -1,16 +1,18 @@
 //! The typed client handle, generic over its [`Transport`].
 
 use std::net::ToSocketAddrs;
-use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Duration;
 
 use uncertain_core::{EvalStrategy, HypothesisOutcome, ServeError, Uncertain};
+use uncertain_obs::TraceContext;
 use uncertain_stats::Summary;
 
 use crate::net::TcpTransport;
 use crate::service::Inner;
-use crate::transport::{ChannelTransport, Request, RequestKind, Response, Transport};
+use crate::transport::{
+    ChannelTransport, ReplyReceiver, Request, RequestKind, Response, Transport,
+};
 
 /// A reply that has been admitted for execution but not yet waited on.
 ///
@@ -24,15 +26,33 @@ use crate::transport::{ChannelTransport, Request, RequestKind, Response, Transpo
 /// waiting looks identical either way.
 #[must_use = "a pending reply does nothing until waited on"]
 pub struct Pending<T> {
-    rx: Receiver<Result<Response, ServeError>>,
+    rx: ReplyReceiver,
     map: fn(Response) -> T,
+    /// The trace id this request was submitted under, `None` untraced.
+    trace_id: Option<u64>,
 }
 
 impl<T> Pending<T> {
     /// Blocks until the service answers this request.
     pub fn wait(self) -> Result<T, ServeError> {
-        let response = self.rx.recv().map_err(|_| ServeError::Shutdown)??;
-        Ok((self.map)(response))
+        self.wait_traced().map(|(value, _)| value)
+    }
+
+    /// Blocks like [`Pending::wait`], also returning the trace id the
+    /// service echoed on the reply — the key into `GET /traces/<id>` (or
+    /// [`Service::trace`](crate::Service::trace)). `None` when the
+    /// request carried no trace context or the reply path dropped the
+    /// echo (e.g. a frame rejected before its header was parsed).
+    pub fn wait_traced(self) -> Result<(T, Option<u64>), ServeError> {
+        let reply = self.rx.recv().map_err(|_| ServeError::Shutdown)?;
+        let response = reply.result?;
+        Ok(((self.map)(response), reply.trace_id))
+    }
+
+    /// The trace id this request was *submitted* under (available before
+    /// the reply arrives), `None` for untraced requests.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.trace_id
     }
 }
 
@@ -169,6 +189,52 @@ impl ServeClient {
             Response::Outcome(o) => o,
             _ => unreachable!("evaluate requests yield outcomes"),
         })
+    }
+
+    /// [`ServeClient::evaluate`] with request tracing on: the service
+    /// records a span tree for the request (queue wait, plan compile, the
+    /// SPRT trajectory) under a fresh trace id, offers it to the flight
+    /// recorder, and echoes the id on the reply. Returns the outcome and
+    /// that id — the key into `GET /traces/<id>`.
+    ///
+    /// Tracing never changes what is computed: the sampled values, the
+    /// verdict, and the tenant's stream position are bitwise identical to
+    /// the untraced call.
+    pub fn evaluate_traced(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+    ) -> Result<(HypothesisOutcome, Option<u64>), ServeError> {
+        self.submit_evaluate_traced(tenant, cond, threshold, None)?
+            .wait_traced()
+    }
+
+    /// Pipelined [`ServeClient::evaluate_traced`]. The submitted trace id
+    /// is readable immediately via [`Pending::trace_id`]; the echoed one
+    /// comes back from [`Pending::wait_traced`].
+    pub fn submit_evaluate_traced(
+        &self,
+        tenant: u64,
+        cond: &Uncertain<bool>,
+        threshold: f64,
+        timeout: Option<Duration>,
+    ) -> Result<Pending<HypothesisOutcome>, ServeError> {
+        let kind = RequestKind::Evaluate {
+            cond: cond.clone(),
+            threshold,
+        };
+        self.submit_with_trace(
+            tenant,
+            kind,
+            timeout,
+            None,
+            Some(TraceContext::root()),
+            |r| match r {
+                Response::Outcome(o) => o,
+                _ => unreachable!("evaluate requests yield outcomes"),
+            },
+        )
     }
 
     /// The paper's conditional: does the evidence support
@@ -343,7 +409,7 @@ impl ServeClient {
         })
     }
 
-    /// Admits one request through the transport.
+    /// Admits one untraced request through the transport.
     fn submit<T>(
         &self,
         tenant: u64,
@@ -352,12 +418,30 @@ impl ServeClient {
         strategy: Option<EvalStrategy>,
         map: fn(Response) -> T,
     ) -> Result<Pending<T>, ServeError> {
+        self.submit_with_trace(tenant, kind, timeout, strategy, None, map)
+    }
+
+    /// Admits one request, optionally under a trace context.
+    fn submit_with_trace<T>(
+        &self,
+        tenant: u64,
+        kind: RequestKind,
+        timeout: Option<Duration>,
+        strategy: Option<EvalStrategy>,
+        trace: Option<TraceContext>,
+        map: fn(Response) -> T,
+    ) -> Result<Pending<T>, ServeError> {
         let rx = self.transport.submit(Request {
             tenant,
             kind,
             timeout,
             strategy,
+            trace,
         })?;
-        Ok(Pending { rx, map })
+        Ok(Pending {
+            rx,
+            map,
+            trace_id: trace.map(|c| c.trace_id),
+        })
     }
 }

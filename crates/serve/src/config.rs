@@ -3,6 +3,7 @@
 use std::net::ToSocketAddrs;
 use std::time::Duration;
 use uncertain_core::{ConfigError, EvalConfig};
+use uncertain_obs::FlightConfig;
 
 /// Configuration for [`Service::start`](crate::Service::start).
 ///
@@ -36,6 +37,18 @@ pub struct ServeConfig {
     /// port. The default `127.0.0.1:0` asks the OS for a free local port
     /// (read it back from [`Listener::local_addr`](crate::Listener::local_addr)).
     pub bind_addr: String,
+    /// Retention policy of the service's flight recorder (capacity,
+    /// slowest-N per window). Applies only to requests that carry a
+    /// sampled [`TraceContext`](uncertain_obs::TraceContext); untraced
+    /// requests never touch the recorder.
+    pub flight: FlightConfig,
+    /// Fraction (`0.0..=1.0`) of *traced* exact-provenance decisions to
+    /// shadow-audit against a freshly seeded sampling session. A
+    /// disagreement flags the trace `audit_mismatch`, which the flight
+    /// recorder always retains. `0.0` (the default) disables auditing.
+    /// The shadow session draws from its own seed substream, so audits
+    /// never perturb tenant sample streams.
+    pub audit_fraction: f64,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +61,8 @@ impl Default for ServeConfig {
             eval: EvalConfig::default(),
             default_deadline: None,
             bind_addr: "127.0.0.1:0".to_string(),
+            flight: FlightConfig::default(),
+            audit_fraction: 0.0,
         }
     }
 }
@@ -104,6 +119,23 @@ impl ServeConfig {
     /// use [`ServeConfig::builder`] to have it checked up front).
     pub fn with_bind_addr(mut self, bind_addr: impl Into<String>) -> Self {
         self.bind_addr = bind_addr.into();
+        self
+    }
+
+    /// Returns the config with the given flight-recorder retention policy.
+    pub fn with_flight(mut self, flight: FlightConfig) -> Self {
+        self.flight = flight;
+        self
+    }
+
+    /// Returns the config with the given shadow-audit fraction, clamped
+    /// to `0.0..=1.0` (NaN disables auditing).
+    pub fn with_audit_fraction(mut self, fraction: f64) -> Self {
+        self.audit_fraction = if fraction.is_nan() {
+            0.0
+        } else {
+            fraction.clamp(0.0, 1.0)
+        };
         self
     }
 }
@@ -176,6 +208,18 @@ impl ServeConfigBuilder {
     /// resolve as `host:port`).
     pub fn bind_addr(mut self, bind_addr: impl Into<String>) -> Self {
         self.config.bind_addr = bind_addr.into();
+        self
+    }
+
+    /// Sets the flight-recorder retention policy.
+    pub fn flight(mut self, flight: FlightConfig) -> Self {
+        self.config.flight = flight;
+        self
+    }
+
+    /// Sets the shadow-audit fraction (clamped to `0.0..=1.0`).
+    pub fn audit_fraction(mut self, fraction: f64) -> Self {
+        self.config = self.config.with_audit_fraction(fraction);
         self
     }
 

@@ -61,6 +61,7 @@ mod config;
 mod metrics;
 mod net;
 mod service;
+mod traced;
 mod transport;
 mod wire;
 
@@ -69,13 +70,19 @@ pub use config::{ServeConfig, ServeConfigBuilder};
 pub use metrics::{NetMetrics, ServeMetrics, ShardMetrics};
 pub use net::{Listener, TcpTransport};
 pub use service::Service;
-pub use transport::{ChannelTransport, ReplyReceiver, Request, RequestKind, Response, Transport};
+pub use transport::{
+    ChannelTransport, Reply, ReplyReceiver, Request, RequestKind, Response, Transport,
+};
 /// Re-export: the request-failure error (defined in `uncertain-core` so it
 /// participates in the unified [`uncertain_core::Error`]).
 pub use uncertain_core::ServeError;
 /// Re-export: the latency-summary type [`ShardMetrics`] exposes for the
 /// queue-wait / plan-compile / sampling phases of a request.
 pub use uncertain_obs::HistogramSnapshot;
+/// Re-exports: the tracing vocabulary requests and introspection speak —
+/// the wire-propagated [`TraceContext`], the retained [`RequestTrace`]
+/// span trees, and the flight recorder's policy/stats types.
+pub use uncertain_obs::{FlightConfig, FlightStats, RequestTrace, Span, SpanEvent, TraceContext};
 
 /// SplitMix64 finalizer: the same avalanche the core runtime uses for
 /// substream derivation, applied here to tenant ids and shard routing.

@@ -6,7 +6,7 @@
 
 use std::time::Duration;
 use uncertain_core::CacheStats;
-use uncertain_obs::{Counter, Gauge, HistogramSnapshot, LogHistogram, PromWriter};
+use uncertain_obs::{Counter, FlightStats, Gauge, HistogramSnapshot, LogHistogram, PromWriter};
 
 /// Shared mutable metrics of one shard. The shard worker owns the write
 /// side (except `queue_depth` and `rejected`, maintained at the client
@@ -169,6 +169,9 @@ pub struct ServeMetrics {
     pub shards: Vec<ShardMetrics>,
     /// Network-edge counters (all zeros for an in-process-only service).
     pub net: NetMetrics,
+    /// Flight-recorder activity (all zeros when no request ever carried
+    /// a sampled trace context).
+    pub flight: FlightStats,
     /// Time since [`Service::start`](crate::Service::start).
     pub elapsed: Duration,
 }
@@ -391,6 +394,21 @@ impl ServeMetrics {
             "uncertain_net_http_scrapes_total",
             "Prometheus scrapes served over the metrics endpoint.",
             self.net.http_scrapes,
+        );
+        w.counter(
+            "uncertain_traces_offered_total",
+            "Completed traced requests offered to the flight recorder.",
+            self.flight.offered,
+        );
+        w.counter(
+            "uncertain_traces_retained_total",
+            "Traces the tail-based retention policy kept.",
+            self.flight.retained,
+        );
+        w.gauge(
+            "uncertain_traces_buffered",
+            "Traces currently buffered in the flight recorder's ring.",
+            self.flight.buffered as f64,
         );
         w.gauge(
             "uncertain_uptime_seconds",

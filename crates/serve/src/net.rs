@@ -6,9 +6,12 @@
 //! [`Service::listen`](crate::Service::listen) binds the config's
 //! `bind_addr` and accepts connections on a dedicated thread. Each
 //! connection sniffs a 4-byte preamble: the `UNC1` magic starts the binary
-//! request loop, `GET ` serves one Prometheus scrape of the service
-//! metrics and closes (one port, both protocols — no second listener to
-//! configure or firewall).
+//! request loop, `GET ` serves one HTTP request and closes (one port, both
+//! protocols — no second listener to configure or firewall). The HTTP side
+//! routes by path: `/health` (liveness JSON), `/traces` (the flight
+//! recorder's retained span trees as JSON-lines), `/traces/<id>` (one
+//! trace by id), and everything else — canonically `/metrics` — serves the
+//! Prometheus scrape body.
 //!
 //! A binary connection runs two threads: a reader that decodes request
 //! frames and admits them through the same [`ChannelTransport`] the
@@ -50,9 +53,7 @@ use uncertain_core::{ServeError, Uncertain, WireError, WireGraph};
 use crate::metrics::NetStats;
 use crate::mix64;
 use crate::service::Inner;
-use crate::transport::{
-    ChannelTransport, ReplyReceiver, Request, RequestKind, Response, Transport,
-};
+use crate::transport::{ChannelTransport, Reply, ReplyReceiver, Request, RequestKind, Transport};
 use crate::wire::{self, WireBody, MAGIC, MAX_FRAME};
 
 fn io_err(context: &str, e: std::io::Error) -> ServeError {
@@ -282,8 +283,19 @@ fn serve_connection(
     }
 }
 
-/// Serves one Prometheus scrape and closes. The request line/headers are
-/// read (bounded) and ignored: every path returns the same body.
+/// How many retained traces one `GET /traces` response returns, newest
+/// last. The flight recorder's default ring is the same size, so this is
+/// "everything retained" under the default config.
+const TRACES_LIMIT: usize = 256;
+
+/// Serves one HTTP request and closes. The `GET ` preamble has already
+/// been consumed, so the head starts with the path, which routes:
+///
+/// * `/health` — liveness JSON (uptime, request totals, trace buffer).
+/// * `/traces` — the flight recorder's retained traces as JSON-lines,
+///   newest last.
+/// * `/traces/<id>` — one retained trace by decimal id, or 404.
+/// * anything else (canonically `/metrics`) — the Prometheus scrape body.
 fn serve_scrape(mut stream: TcpStream, inner: &Inner) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let mut seen = Vec::with_capacity(256);
@@ -294,9 +306,63 @@ fn serve_scrape(mut stream: TcpStream, inner: &Inner) {
             _ => break,
         }
     }
-    let body = inner.metrics().render_prometheus();
+    let head = String::from_utf8_lossy(&seen);
+    let path = head.split_whitespace().next().unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/health" => {
+            let m = inner.metrics();
+            let accepting = inner.accepting.load(Ordering::SeqCst);
+            (
+                "200 OK",
+                "application/json",
+                format!(
+                    "{{\"status\":\"{}\",\"uptime_seconds\":{:.3},\"shards\":{},\
+                     \"requests\":{},\"timeouts\":{},\"rejected\":{},\
+                     \"traces_buffered\":{}}}\n",
+                    if accepting { "ok" } else { "draining" },
+                    m.elapsed.as_secs_f64(),
+                    m.shards.len(),
+                    m.requests(),
+                    m.timeouts(),
+                    m.rejected(),
+                    m.flight.buffered,
+                ),
+            )
+        }
+        "/traces" => {
+            let mut body = String::new();
+            for t in inner.flight.recent(TRACES_LIMIT) {
+                body.push_str(&uncertain_obs::request_trace_to_json(&t));
+                body.push('\n');
+            }
+            ("200 OK", "application/x-ndjson", body)
+        }
+        _ if path.starts_with("/traces/") => {
+            match path["/traces/".len()..]
+                .parse::<u64>()
+                .ok()
+                .and_then(|id| inner.flight.get(id))
+            {
+                Some(t) => {
+                    let mut body = uncertain_obs::request_trace_to_json(&t);
+                    body.push('\n');
+                    ("200 OK", "application/json", body)
+                }
+                None => (
+                    "404 Not Found",
+                    "application/json",
+                    "{\"error\":\"trace not retained\"}\n".to_string(),
+                ),
+            }
+        }
+        _ => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            inner.metrics().render_prometheus(),
+        ),
+    };
     let header = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     let _ = stream.write_all(header.as_bytes());
@@ -322,10 +388,10 @@ fn serve_binary(
     let writer = std::thread::spawn(move || {
         let mut w = BufWriter::new(write_stream);
         while let Ok((id, reply)) = reply_rx.recv() {
-            let result = reply
-                .recv()
-                .unwrap_or_else(|_| Err(ServeError::Transport("shard worker exited".into())));
-            let payload = wire::encode_response(id, &result);
+            let reply = reply.recv().unwrap_or_else(|_| {
+                Reply::bare(Err(ServeError::Transport("shard worker exited".into())))
+            });
+            let payload = wire::encode_response(id, &reply.result, reply.trace_id);
             // Counted before the flush: once the peer can observe the
             // reply, a metrics snapshot must already include it.
             writer_net.frames_out.inc();
@@ -340,7 +406,7 @@ fn serve_binary(
 
     let immediate = |err: ServeError| -> ReplyReceiver {
         let (tx, rx) = mpsc::sync_channel(1);
-        let _ = tx.send(Err(err));
+        let _ = tx.send(Reply::bare(Err(err)));
         rx
     };
 
@@ -418,6 +484,7 @@ fn decode_and_submit(
         kind,
         timeout,
         strategy: request.strategy,
+        trace: request.trace,
     })
 }
 
@@ -427,7 +494,7 @@ fn decode_and_submit(
 
 /// In-flight requests awaiting replies on one connection, keyed by
 /// correlation id.
-type PendingMap = Arc<Mutex<HashMap<u64, SyncSender<Result<Response, ServeError>>>>>;
+type PendingMap = Arc<Mutex<HashMap<u64, SyncSender<Reply>>>>;
 
 struct ClientConn {
     /// Kept for the half-close on drop; all writes go through `writer`.
@@ -500,13 +567,13 @@ impl TcpTransport {
             let alive = Arc::clone(&alive);
             std::thread::spawn(move || {
                 while let Ok(Some(payload)) = wire::read_frame(&mut read_stream) {
-                    let Ok((id, result)) = wire::decode_response(&payload) else {
+                    let Ok((id, trace_id, result)) = wire::decode_response(&payload) else {
                         // An undecodable reply means the stream is no
                         // longer trustworthy.
                         break;
                     };
                     if let Some(tx) = pending.lock().expect("pending map lock").remove(&id) {
-                        let _ = tx.send(result);
+                        let _ = tx.send(Reply { result, trace_id });
                     }
                 }
                 alive.store(false, Ordering::SeqCst);
@@ -518,7 +585,9 @@ impl TcpTransport {
                     .map(|(_, tx)| tx)
                     .collect();
                 for tx in drained {
-                    let _ = tx.send(Err(ServeError::Transport("connection closed".into())));
+                    let _ = tx.send(Reply::bare(Err(ServeError::Transport(
+                        "connection closed".into(),
+                    ))));
                 }
             })
         };

@@ -11,13 +11,15 @@ use std::time::Instant;
 use uncertain_core::{
     CacheStats, Error, EvalConfig, EvalStrategy, HypothesisOutcome, ServeError, Session, Uncertain,
 };
+use uncertain_obs::{monotonic_ns, FlightRecorder, TraceContext, TraceLog};
 use uncertain_stats::{StatsError, Summary};
 
 use crate::client::ServeClient;
 use crate::metrics::{NetStats, ServeMetrics, ShardStats};
 use crate::net::Listener;
-use crate::transport::{RequestKind, Response};
-use crate::{tenant_seed, ServeConfig};
+use crate::traced::{kind_name, RequestTracer};
+use crate::transport::{Reply, RequestKind, Response};
+use crate::{mix64, tenant_seed, ServeConfig};
 
 /// `e`/`stats` requests draw their samples in fixed chunks of this many
 /// joint samples, checking the deadline between chunks. The chunk size is
@@ -34,10 +36,20 @@ pub(crate) struct Job {
     pub(crate) deadline: Option<Instant>,
     /// Per-request strategy override; `None` inherits the service config.
     pub(crate) strategy: Option<EvalStrategy>,
+    /// Wire-propagated tracing context; `None` is the dormant path.
+    pub(crate) trace: Option<TraceContext>,
     /// Admission time, for the queue-wait histogram.
     pub(crate) enqueued: Instant,
-    pub(crate) reply: SyncSender<Result<Response, ServeError>>,
+    /// Admission on the span clock ([`monotonic_ns`]); `0` for requests
+    /// that are not sampled (the stamp is skipped entirely).
+    pub(crate) enqueued_ns: u64,
+    pub(crate) reply: SyncSender<Reply>,
 }
+
+/// Seed salt separating a tenant's shadow-audit substream from its real
+/// one: the audit session must never replay (or perturb) the tenant's
+/// deterministic sample stream.
+const AUDIT_SALT: u64 = 0x00A0_D175_1ADE_D0C5;
 
 fn expired(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|d| Instant::now() >= d)
@@ -143,7 +155,13 @@ impl SessionPool {
 // Shard worker
 // ---------------------------------------------------------------------------
 
-fn run_shard(rx: Receiver<Job>, stats: Arc<ShardStats>, config: ServeConfig) {
+fn run_shard(
+    rx: Receiver<Job>,
+    stats: Arc<ShardStats>,
+    config: ServeConfig,
+    flight: Arc<FlightRecorder>,
+    shard_index: usize,
+) {
     let mut pool = SessionPool::new(config.seed, config.eval, config.sessions_per_shard.max(1));
     loop {
         let job = match rx.try_recv() {
@@ -165,7 +183,7 @@ fn run_shard(rx: Receiver<Job>, stats: Arc<ShardStats>, config: ServeConfig) {
         };
         stats.queue_depth.dec();
         stats.queue_wait_ns.record_duration(job.enqueued.elapsed());
-        process(&mut pool, &stats, job);
+        process(&mut pool, &stats, job, &flight, &config, shard_index);
         // Publish the pool-derived gauges at every request boundary: the
         // walk is O(pool size), a rounding error next to any request that
         // drew samples, and it keeps cache/session gauges current on a
@@ -175,15 +193,37 @@ fn run_shard(rx: Receiver<Job>, stats: Arc<ShardStats>, config: ServeConfig) {
     stats.publish_cache(pool.cache_totals(), pool.entries.len(), pool.evicted);
 }
 
-fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
+fn process(
+    pool: &mut SessionPool,
+    stats: &ShardStats,
+    job: Job,
+    flight: &FlightRecorder,
+    config: &ServeConfig,
+    shard_index: usize,
+) {
     let Job {
         tenant,
         kind,
         deadline,
         strategy,
+        trace,
         enqueued: _,
+        enqueued_ns,
         reply,
     } = job;
+    // Sampled requests get their tracer before the deadline check so a
+    // request that expired *in the queue* still leaves a trace (errors are
+    // exactly what the flight recorder wants to retain).
+    let mut tracer = match trace {
+        Some(ctx) if ctx.sampled => Some(RequestTracer::begin(
+            ctx,
+            tenant,
+            kind_name(&kind),
+            shard_index,
+            enqueued_ns,
+        )),
+        _ => None,
+    };
     // Expired in the queue: reject without touching the tenant's session
     // (no query index is consumed — the tenant's stream is exactly as if
     // the request was never admitted). Such a request contributes only
@@ -195,6 +235,8 @@ fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
             Some(s) => pool.eval.with_strategy(s),
             None => pool.eval,
         };
+        let service_seed = pool.service_seed;
+        let base_eval = pool.eval;
         let session = pool.session(tenant);
         // The request's effective config also becomes the session config
         // for its duration, so strategy-aware session queries (`try_e`,
@@ -202,20 +244,62 @@ fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
         // request sets it, so a previous override never leaks forward.
         session.set_config(eval);
         let work_started = Instant::now();
+        let work_started_ns = if tracer.is_some() { monotonic_ns() } else { 0 };
         let builds_before = session.plan_build_ns();
         let result = match kind {
             RequestKind::Evaluate { cond, threshold } => {
-                decide(session, &cond, threshold, &eval, deadline, stats).map(Response::Outcome)
+                let r = decide(
+                    session,
+                    &cond,
+                    threshold,
+                    &eval,
+                    deadline,
+                    stats,
+                    &mut tracer,
+                );
+                if let Some(tr) = tracer.as_mut() {
+                    maybe_audit(
+                        tr,
+                        service_seed,
+                        tenant,
+                        &cond,
+                        threshold,
+                        base_eval,
+                        config,
+                    );
+                }
+                r.map(Response::Outcome)
             }
             RequestKind::Pr { cond, threshold } => {
-                decide(session, &cond, threshold, &eval, deadline, stats)
-                    .map(|o| Response::Decision(o.accepted))
+                let r = decide(
+                    session,
+                    &cond,
+                    threshold,
+                    &eval,
+                    deadline,
+                    stats,
+                    &mut tracer,
+                );
+                if let Some(tr) = tracer.as_mut() {
+                    maybe_audit(
+                        tr,
+                        service_seed,
+                        tenant,
+                        &cond,
+                        threshold,
+                        base_eval,
+                        config,
+                    );
+                }
+                r.map(|o| Response::Decision(o.accepted))
             }
             RequestKind::E { expr, n } => {
-                e_request(session, &expr, n, &eval, deadline, stats).map(Response::Mean)
+                e_request(session, &expr, n, &eval, deadline, stats, &mut tracer)
+                    .map(Response::Mean)
             }
             RequestKind::Stats { expr, n } => {
-                stats_request(session, &expr, n, &eval, deadline, stats).map(Response::Summary)
+                stats_request(session, &expr, n, &eval, deadline, stats, &mut tracer)
+                    .map(Response::Summary)
             }
         };
         // Split the request's execution time into its plan-compile share
@@ -228,15 +312,61 @@ fn process(pool: &mut SessionPool, stats: &ShardStats, job: Job) {
         stats
             .sampling_ns
             .record(total_ns.saturating_sub(compile_ns));
+        if let Some(tr) = tracer.as_mut() {
+            tr.compile(work_started_ns, compile_ns);
+        }
         result
     };
     if matches!(result, Err(ServeError::Timeout)) {
         stats.timeouts.inc();
     }
     stats.requests.inc();
+    if let Some(tr) = tracer {
+        flight.offer(tr.finish(&result));
+    }
     // A dropped receiver means the caller gave up; the work is done either
     // way, and per-tenant stream state is already consistent.
-    let _ = reply.send(result);
+    let _ = reply.send(Reply {
+        result,
+        trace_id: trace.map(|c| c.trace_id),
+    });
+}
+
+/// Shadow-audits an exact decision: re-decides the same conditional on a
+/// freshly seeded, sampling-only session drawn from the tenant's *audit*
+/// substream ([`AUDIT_SALT`] keeps it disjoint from the tenant's real
+/// stream, so auditing can never perturb tenant-visible results). Runs
+/// only for traced requests whose verdict carried exact provenance, and
+/// only for the deterministic `audit_fraction` slice of trace ids.
+fn maybe_audit(
+    tr: &mut RequestTracer,
+    service_seed: u64,
+    tenant: u64,
+    cond: &Uncertain<bool>,
+    threshold: f64,
+    base_eval: EvalConfig,
+    config: &ServeConfig,
+) {
+    let Some(outcome) = tr.outcome else { return };
+    if !outcome.provenance.is_exact() || config.audit_fraction <= 0.0 {
+        return;
+    }
+    // Deterministic selection from the trace id: the same traced request
+    // is audited (or not) on every replay, independent of topology.
+    let slice = (mix64(tr.trace_id()) >> 11) as f64 / (1u64 << 53) as f64;
+    if slice >= config.audit_fraction {
+        return;
+    }
+    let started = monotonic_ns();
+    let eval = base_eval.with_strategy(EvalStrategy::SamplingOnly);
+    let mut shadow =
+        Session::seeded(mix64(tenant_seed(service_seed, tenant) ^ AUDIT_SALT)).with_config(eval);
+    if let Ok(Some(sampled)) = shadow.try_evaluate_until(cond, threshold, &eval, |_| true) {
+        // Only a *conclusive* sampled verdict can contradict the exact
+        // one; an inconclusive SPRT is recorded but is not a mismatch.
+        let mismatch = sampled.conclusive && sampled.accepted != outcome.accepted;
+        tr.audit(started, &sampled, mismatch);
+    }
 }
 
 /// Maps a core evaluation error onto the service's wire-expressible error
@@ -263,8 +393,43 @@ fn decide(
     eval: &EvalConfig,
     deadline: Option<Instant>,
     stats: &ShardStats,
+    tracer: &mut Option<RequestTracer>,
 ) -> Result<HypothesisOutcome, ServeError> {
-    match session.try_evaluate_until(cond, threshold, eval, |_| !expired(deadline)) {
+    // Traced decisions temporarily install a TraceLog recorder so the
+    // SPRT's batch trajectory lands in the span as events. Recorders are
+    // proven not to perturb sample streams (the runtime draws the same
+    // batches with or without one), so the sampled values — and therefore
+    // the verdict — are bitwise identical tracing on or off. The previous
+    // recorder (if the embedder installed one) is restored afterwards.
+    let (started_ns, log, prev) = match tracer {
+        Some(_) => {
+            let log = TraceLog::new();
+            let prev = session.install_recorder(Box::new(log.clone()));
+            (monotonic_ns(), Some(log), prev)
+        }
+        None => (0, None, None),
+    };
+    let decided = session.try_evaluate_until(cond, threshold, eval, |_| !expired(deadline));
+    if let Some(log) = log {
+        match prev {
+            Some(p) => {
+                session.install_recorder(p);
+            }
+            None => {
+                session.take_recorder();
+            }
+        }
+        if let Some(tr) = tracer.as_mut() {
+            let traces = log.take();
+            tr.decide(
+                started_ns,
+                session.last_dispatch(),
+                traces.last(),
+                decided.as_ref().ok().and_then(|o| o.as_ref()),
+            );
+        }
+    }
+    match decided {
         Err(e) => Err(invalid(e)),
         Ok(None) => Err(ServeError::Timeout),
         Ok(Some(outcome)) => {
@@ -289,6 +454,7 @@ fn e_request(
     eval: &EvalConfig,
     deadline: Option<Instant>,
     stats: &ShardStats,
+    tracer: &mut Option<RequestTracer>,
 ) -> Result<f64, ServeError> {
     if n == 0 {
         return Err(ServeError::Invalid(StatsError::new(
@@ -296,8 +462,12 @@ fn e_request(
         )));
     }
     if eval.strategy != EvalStrategy::SamplingOnly && session.analyze_f64(expr).is_some() {
+        let started_ns = tracer.as_ref().map(|_| monotonic_ns());
         let mean = session.try_e(expr, n).map_err(invalid)?;
         stats.exact_decisions.inc();
+        if let Some(tr) = tracer.as_mut() {
+            tr.exact(started_ns.unwrap_or(0));
+        }
         return Ok(mean);
     }
     if eval.strategy == EvalStrategy::ExactOnly {
@@ -305,7 +475,7 @@ fn e_request(
             query: "e",
         })));
     }
-    chunked_samples(session, expr, n, deadline)
+    chunked_samples(session, expr, n, deadline, tracer)
         .map(|samples| samples.iter().sum::<f64>() / samples.len() as f64)
 }
 
@@ -318,12 +488,17 @@ fn stats_request(
     eval: &EvalConfig,
     deadline: Option<Instant>,
     stats: &ShardStats,
+    tracer: &mut Option<RequestTracer>,
 ) -> Result<Summary, ServeError> {
     if eval.strategy != EvalStrategy::SamplingOnly
         && session.analyze_f64(expr).is_some_and(|law| law.gaussian)
     {
+        let started_ns = tracer.as_ref().map(|_| monotonic_ns());
         let outcome = session.stats_with_provenance(expr, n).map_err(invalid)?;
         stats.exact_decisions.inc();
+        if let Some(tr) = tracer.as_mut() {
+            tr.exact(started_ns.unwrap_or(0));
+        }
         return Ok(outcome.summary);
     }
     if eval.strategy == EvalStrategy::ExactOnly {
@@ -331,7 +506,7 @@ fn stats_request(
             query: "stats",
         })));
     }
-    chunked_samples(session, expr, n, deadline)
+    chunked_samples(session, expr, n, deadline, tracer)
         .and_then(|samples| Summary::from_slice(&samples).map_err(ServeError::Invalid))
 }
 
@@ -344,6 +519,7 @@ fn chunked_samples(
     expr: &Uncertain<f64>,
     n: usize,
     deadline: Option<Instant>,
+    tracer: &mut Option<RequestTracer>,
 ) -> Result<Vec<f64>, ServeError> {
     if n == 0 {
         return Err(ServeError::Invalid(uncertain_stats::StatsError::new(
@@ -356,14 +532,20 @@ fn chunked_samples(
     let total_chunks = n.div_ceil(SAMPLE_CHUNK) as u64;
     let mut out = Vec::with_capacity(n);
     let mut remaining = n;
+    let mut chunk_index = 0u64;
     while remaining > 0 {
         if expired(deadline) {
             session.resume_at(start + total_chunks);
             return Err(ServeError::Timeout);
         }
         let take = remaining.min(SAMPLE_CHUNK);
+        let started_ns = tracer.as_ref().map(|_| monotonic_ns());
         out.extend(session.samples(expr, take));
+        if let Some(tr) = tracer.as_mut() {
+            tr.chunk(started_ns.unwrap_or(0), chunk_index, take as u64);
+        }
         remaining -= take;
+        chunk_index += 1;
     }
     Ok(out)
 }
@@ -387,6 +569,9 @@ pub(crate) struct Inner {
     /// Network-edge counters, shared with every [`Listener`] the service
     /// opens (all zeros when the service is used purely in-process).
     pub(crate) net: Arc<NetStats>,
+    /// The service's flight recorder: shard workers offer completed
+    /// traced requests; the `/traces` endpoints read retained ones.
+    pub(crate) flight: Arc<FlightRecorder>,
 }
 
 impl Inner {
@@ -394,6 +579,7 @@ impl Inner {
         ServeMetrics {
             shards: self.shards.iter().map(|s| s.stats.snapshot()).collect(),
             net: self.net.snapshot(),
+            flight: self.flight.stats(),
             elapsed: self.started.elapsed(),
         }
     }
@@ -422,15 +608,17 @@ impl Service {
             config.sessions_per_shard > 0,
             "shards need room for at least one session"
         );
+        let flight = Arc::new(FlightRecorder::new(config.flight));
         let mut shards = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
+        for shard_index in 0..config.shards {
             let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
             let stats = Arc::new(ShardStats::default());
             let worker_stats = Arc::clone(&stats);
             let worker_config = config.clone();
+            let worker_flight = Arc::clone(&flight);
             workers.push(std::thread::spawn(move || {
-                run_shard(rx, worker_stats, worker_config)
+                run_shard(rx, worker_stats, worker_config, worker_flight, shard_index)
             }));
             shards.push(ShardHandle {
                 tx: Mutex::new(Some(tx)),
@@ -444,6 +632,7 @@ impl Service {
                 accepting: AtomicBool::new(true),
                 started: Instant::now(),
                 net: Arc::new(NetStats::default()),
+                flight,
             }),
             workers,
         }
@@ -477,6 +666,19 @@ impl Service {
     /// currently executing. [`Service::shutdown`]'s snapshot is exact.
     pub fn metrics(&self) -> ServeMetrics {
         self.inner.metrics()
+    }
+
+    /// The most recent `limit` traces the flight recorder retained,
+    /// newest last — the in-process form of `GET /traces`.
+    pub fn traces(&self, limit: usize) -> Vec<Arc<uncertain_obs::RequestTrace>> {
+        self.inner.flight.recent(limit)
+    }
+
+    /// Looks up one retained trace by id — the in-process form of
+    /// `GET /traces/<id>`. `None` if the policy dropped it or the ring
+    /// has since evicted it.
+    pub fn trace(&self, trace_id: u64) -> Option<Arc<uncertain_obs::RequestTrace>> {
+        self.inner.flight.get(trace_id)
     }
 
     /// Graceful shutdown: stops admitting, lets every already-queued

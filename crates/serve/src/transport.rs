@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use uncertain_core::{EvalStrategy, HypothesisOutcome, ServeError, Uncertain};
+use uncertain_obs::TraceContext;
 use uncertain_stats::Summary;
 
 use crate::service::{Inner, Job};
@@ -98,10 +99,36 @@ pub struct Request {
     /// [`EvalStrategy::Auto`] to let a recognized analytic graph answer
     /// with zero samples).
     pub strategy: Option<EvalStrategy>,
+    /// Tracing context for this request. `None` (the default everywhere)
+    /// is the dormant path; `Some` with `sampled = true` makes the shard
+    /// record a span tree and the reply carry the trace id back.
+    pub trace: Option<TraceContext>,
+}
+
+/// One reply as it travels back from the service: the result plus the
+/// echo of the request's trace id (when the request carried a context),
+/// so a traced client can pair its outcome with the server-side span
+/// tree in `/traces/<id>` with no side channel.
+#[derive(Debug)]
+pub struct Reply {
+    /// The request's outcome.
+    pub result: Result<Response, ServeError>,
+    /// Echo of the request's trace id, `None` for untraced requests.
+    pub trace_id: Option<u64>,
+}
+
+impl Reply {
+    /// An untraced reply (the common case for error short-circuits).
+    pub(crate) fn bare(result: Result<Response, ServeError>) -> Self {
+        Self {
+            result,
+            trace_id: None,
+        }
+    }
 }
 
 /// Where a submitted request's reply eventually arrives.
-pub type ReplyReceiver = Receiver<Result<Response, ServeError>>;
+pub type ReplyReceiver = Receiver<Reply>;
 
 /// A way to get requests to a service and replies back.
 ///
@@ -138,6 +165,7 @@ impl Transport for ChannelTransport {
             kind,
             timeout,
             strategy,
+            trace,
         } = request;
         if !self.inner.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::Shutdown);
@@ -152,7 +180,15 @@ impl Transport for ChannelTransport {
             kind,
             deadline,
             strategy,
+            trace,
             enqueued: Instant::now(),
+            // Sampled requests stamp their admission on the span clock so
+            // the queue span starts exactly where the wait did; dormant
+            // requests skip even that read.
+            enqueued_ns: match trace {
+                Some(ctx) if ctx.sampled => uncertain_obs::monotonic_ns(),
+                _ => 0,
+            },
             reply: reply_tx,
         };
         {

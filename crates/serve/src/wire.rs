@@ -12,6 +12,9 @@
 //! [tenant: u64]            whose seeded session executes the request
 //! [deadline_ms: u64]       relative deadline; 0 = use the server default
 //! [strategy: u8]           0 inherit | 1 Auto | 2 SamplingOnly | 3 ExactOnly
+//! [trace: u8]              0 none | bit0 context follows, bit1 sampled
+//!   [trace_id: u64]        present iff bit0 — the trace this request joins
+//!   [parent_span: u64]     present iff bit0 — caller span to nest under
 //! [kind: u8]               1 Evaluate | 2 Pr | 3 E | 4 Stats
 //! [threshold: f64]         kinds 1–2
 //! [n: u64]                 kinds 3–4
@@ -26,10 +29,18 @@
 //! **Response payload** (server → client):
 //!
 //! ```text
-//! [id: u64][status: u8]
+//! [id: u64]
+//! [trace: u8]              0 none | 1 trace id follows
+//!   [trace_id: u64]        present iff 1 — echo of the request's trace id
+//! [status: u8]
 //! status 0 (ok):    [kind: u8][typed payload]         — see `Response`
 //! status 1..=7:     a `ServeError`, some with a string payload
 //! ```
+//!
+//! The trace context rides the request so one trace id names the whole
+//! journey of a request — client, wire, shard — and the reply echoes it
+//! so the client can fetch the server-side span tree from `/traces/<id>`
+//! without any side channel.
 //!
 //! Strings are `[len: u32 LE][utf8]`. Every decoder in this module returns
 //! [`WireError`] instead of panicking, whatever the bytes; the graph
@@ -40,6 +51,7 @@ use std::io::{self, Read, Write};
 use uncertain_core::{
     EvalStrategy, ExactMethod, HypothesisOutcome, Provenance, ServeError, WireGraph,
 };
+use uncertain_obs::TraceContext;
 use uncertain_stats::{StatsError, Summary};
 
 use crate::transport::{Request, RequestKind, Response};
@@ -184,7 +196,48 @@ pub(crate) struct WireRequest {
     pub(crate) deadline_ms: u64,
     /// Per-request strategy override; `None` inherits the server config.
     pub(crate) strategy: Option<EvalStrategy>,
+    /// Wire-propagated trace context; `None` for untraced requests.
+    pub(crate) trace: Option<TraceContext>,
     pub(crate) body: WireBody,
+}
+
+// Trace-context flag byte: bit 0 = a context (trace id + parent span)
+// follows, bit 1 = the context is sampled. Legal values are 0 (none),
+// 1 (context, unsampled — ids propagate for reply echo only), and
+// 3 (context, sampled).
+const TRACE_PRESENT: u8 = 0b01;
+const TRACE_SAMPLED: u8 = 0b10;
+
+fn put_trace_context(out: &mut Vec<u8>, trace: Option<&TraceContext>) {
+    match trace {
+        None => out.push(0),
+        Some(ctx) => {
+            let mut flags = TRACE_PRESENT;
+            if ctx.sampled {
+                flags |= TRACE_SAMPLED;
+            }
+            out.push(flags);
+            out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+            out.extend_from_slice(&ctx.parent_span.to_le_bytes());
+        }
+    }
+}
+
+fn decode_trace_context(r: &mut Reader<'_>) -> Result<Option<TraceContext>, WireError> {
+    let flags = r.u8()?;
+    if flags == 0 {
+        return Ok(None);
+    }
+    if flags & TRACE_PRESENT == 0 || flags & !(TRACE_PRESENT | TRACE_SAMPLED) != 0 {
+        return Err(WireError::Malformed(format!(
+            "unknown trace flag byte {flags}"
+        )));
+    }
+    Ok(Some(TraceContext {
+        trace_id: r.u64()?,
+        parent_span: r.u64()?,
+        sampled: flags & TRACE_SAMPLED != 0,
+    }))
 }
 
 const STRATEGY_INHERIT: u8 = 0;
@@ -234,6 +287,7 @@ pub(crate) fn encode_request(id: u64, request: &Request) -> Result<Vec<u8>, Serv
         .unwrap_or(0);
     out.extend_from_slice(&deadline_ms.to_le_bytes());
     out.push(encode_strategy(request.strategy));
+    put_trace_context(&mut out, request.trace.as_ref());
     // `RequestKind` is `#[non_exhaustive]`; in-crate the wildcard is
     // unreachable today, but it is the designed behavior for a request
     // kind this wire version cannot express.
@@ -282,6 +336,7 @@ pub(crate) fn decode_request_body(bytes: &[u8]) -> Result<WireRequest, WireError
     let tenant = r.u64()?;
     let deadline_ms = r.u64()?;
     let strategy = decode_strategy(r.u8()?)?;
+    let trace = decode_trace_context(&mut r)?;
     let kind = r.u8()?;
     let body = match kind {
         KIND_EVALUATE => WireBody::Evaluate {
@@ -310,6 +365,7 @@ pub(crate) fn decode_request_body(bytes: &[u8]) -> Result<WireRequest, WireError
         tenant,
         deadline_ms,
         strategy,
+        trace,
         body,
     })
 }
@@ -375,9 +431,22 @@ fn decode_provenance(byte: u8, samples: usize) -> Result<Provenance, WireError> 
 }
 
 /// Encodes one reply — success or error — as a frame payload.
-pub(crate) fn encode_response(id: u64, result: &Result<Response, ServeError>) -> Vec<u8> {
+/// `trace_echo` is the request's trace id, echoed so a traced client can
+/// pair its reply with the server-side span tree.
+pub(crate) fn encode_response(
+    id: u64,
+    result: &Result<Response, ServeError>,
+    trace_echo: Option<u64>,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
     out.extend_from_slice(&id.to_le_bytes());
+    match trace_echo {
+        None => out.push(0),
+        Some(trace_id) => {
+            out.push(1);
+            out.extend_from_slice(&trace_id.to_le_bytes());
+        }
+    }
     // As in `encode_request`: the `Ok(_)` wildcard is today-unreachable
     // forward compatibility for response kinds newer than this encoder.
     #[allow(unreachable_patterns)]
@@ -451,12 +520,23 @@ pub(crate) fn encode_response(id: u64, result: &Result<Response, ServeError>) ->
     out
 }
 
-/// Decodes one reply payload into its correlation id and result.
+/// Decodes one reply payload into its correlation id, the echoed trace
+/// id (if the request carried one), and the result.
+#[allow(clippy::type_complexity)]
 pub(crate) fn decode_response(
     bytes: &[u8],
-) -> Result<(u64, Result<Response, ServeError>), WireError> {
+) -> Result<(u64, Option<u64>, Result<Response, ServeError>), WireError> {
     let mut r = Reader::new(bytes);
     let id = r.u64()?;
+    let trace_echo = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown trace echo byte {other}"
+            )))
+        }
+    };
     let status = r.u8()?;
     let result = match status {
         STATUS_OK => Ok(decode_ok(&mut r)?),
@@ -475,7 +555,7 @@ pub(crate) fn decode_response(
         }
     };
     r.finish()?;
-    Ok((id, result))
+    Ok((id, trace_echo, result))
 }
 
 fn decode_ok(r: &mut Reader<'_>) -> Result<Response, WireError> {
@@ -541,9 +621,10 @@ mod tests {
     use uncertain_core::Uncertain;
 
     fn roundtrip_response(result: Result<Response, ServeError>) -> Result<Response, ServeError> {
-        let bytes = encode_response(99, &result);
-        let (id, decoded) = decode_response(&bytes).expect("well-formed reply");
+        let bytes = encode_response(99, &result, None);
+        let (id, echo, decoded) = decode_response(&bytes).expect("well-formed reply");
         assert_eq!(id, 99);
+        assert_eq!(echo, None);
         decoded
     }
 
@@ -604,6 +685,7 @@ mod tests {
             },
             timeout: Some(std::time::Duration::from_millis(250)),
             strategy: Some(EvalStrategy::Auto),
+            trace: None,
         };
         let payload = encode_request(11, &request).expect("expressible");
         assert_eq!(u64::from_le_bytes(payload[..8].try_into().unwrap()), 11);
@@ -637,6 +719,7 @@ mod tests {
                 },
                 timeout: None,
                 strategy,
+                trace: None,
             };
             let payload = encode_request(1, &request).expect("expressible");
             let decoded = decode_request_body(&payload[8..]).expect("well-formed");
@@ -677,10 +760,94 @@ mod tests {
             },
             timeout: None,
             strategy: None,
+            trace: None,
         };
         assert!(matches!(
             encode_request(0, &request),
             Err(ServeError::Wire(WireError::Unsupported(_)))
+        ));
+    }
+
+    #[test]
+    fn trace_context_roundtrips_the_request_header() {
+        for (ctx, label) in [
+            (
+                Some(TraceContext {
+                    trace_id: 0xDEAD_BEEF_CAFE_F00D,
+                    parent_span: 7,
+                    sampled: true,
+                }),
+                "sampled",
+            ),
+            (
+                Some(TraceContext {
+                    trace_id: 42,
+                    parent_span: 0,
+                    sampled: false,
+                }),
+                "unsampled",
+            ),
+            (None, "absent"),
+        ] {
+            let request = Request {
+                tenant: 9,
+                kind: RequestKind::Pr {
+                    cond: Uncertain::bernoulli(0.5).unwrap(),
+                    threshold: 0.5,
+                },
+                timeout: None,
+                strategy: None,
+                trace: ctx,
+            };
+            let payload = encode_request(2, &request).expect("expressible");
+            let decoded = decode_request_body(&payload[8..]).expect("well-formed");
+            assert_eq!(decoded.trace, ctx, "{label}");
+        }
+    }
+
+    #[test]
+    fn trace_echo_roundtrips_the_response() {
+        let bytes = encode_response(4, &Ok(Response::Decision(true)), Some(0x1234_5678));
+        let (id, echo, decoded) = decode_response(&bytes).expect("well-formed");
+        assert_eq!(id, 4);
+        assert_eq!(echo, Some(0x1234_5678));
+        assert_eq!(decoded, Ok(Response::Decision(true)));
+    }
+
+    #[test]
+    fn bad_trace_flag_bytes_are_malformed_not_panics() {
+        // A well-formed traced request, then corrupt its trace flag byte
+        // (offset: id 8 + tenant 8 + deadline 8 + strategy 1 = byte 25).
+        let request = Request {
+            tenant: 1,
+            kind: RequestKind::Pr {
+                cond: Uncertain::bernoulli(0.5).unwrap(),
+                threshold: 0.5,
+            },
+            timeout: None,
+            strategy: None,
+            trace: Some(TraceContext {
+                trace_id: 1,
+                parent_span: 0,
+                sampled: true,
+            }),
+        };
+        let mut payload = encode_request(0, &request).expect("expressible");
+        assert_eq!(payload[25], TRACE_PRESENT | TRACE_SAMPLED);
+        payload[25] = 0xFF;
+        assert!(matches!(
+            decode_request_body(&payload[8..]),
+            Err(WireError::Malformed(_))
+        ));
+        // Flag bit1 without bit0 (sampled-but-no-context) is also illegal.
+        payload[25] = TRACE_SAMPLED;
+        assert!(decode_request_body(&payload[8..]).is_err());
+        // And a bad response echo byte is malformed too.
+        let mut reply = encode_response(0, &Ok(Response::Decision(false)), Some(3));
+        reply[8] = 9;
+        assert!(matches!(
+            decode_response(&reply),
+            Err(WireError::Malformed(_))
         ));
     }
 
@@ -712,7 +879,7 @@ mod tests {
         #[test]
         fn response_prefixes_never_panic(cut in 0usize..64) {
             let summary = Summary::from_slice(&[1.0, 2.0, 3.0]).unwrap();
-            let bytes = encode_response(5, &Ok(Response::Summary(summary)));
+            let bytes = encode_response(5, &Ok(Response::Summary(summary)), Some(17));
             let cut = cut.min(bytes.len().saturating_sub(1));
             prop_assert!(decode_response(&bytes[..cut]).is_err());
         }
@@ -734,8 +901,9 @@ mod tests {
         #[test]
         fn means_roundtrip_bitwise(bits in 0u64..=u64::MAX) {
             let m = f64::from_bits(bits);
-            let bytes = encode_response(1, &Ok(Response::Mean(m)));
-            let (_, decoded) = decode_response(&bytes).unwrap();
+            let bytes = encode_response(1, &Ok(Response::Mean(m)), Some(bits));
+            let (_, echo, decoded) = decode_response(&bytes).unwrap();
+            prop_assert_eq!(echo, Some(bits));
             match decoded {
                 Ok(Response::Mean(d)) => prop_assert_eq!(d.to_bits(), bits),
                 other => return Err(TestCaseError::fail(format!("wrong decode: {other:?}"))),

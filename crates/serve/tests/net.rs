@@ -120,7 +120,8 @@ fn malformed_frames_get_error_replies_and_the_service_survives() {
     send_frame(&mut stream, &garbage);
     let reply = recv_frame(&mut stream);
     assert_eq!(u64::from_le_bytes(reply[..8].try_into().unwrap()), 42);
-    assert_ne!(reply[8], 0, "garbage must not decode to a success");
+    assert_eq!(reply[8], 0, "error replies echo no trace id");
+    assert_ne!(reply[9], 0, "garbage must not decode to a success");
 
     // A hand-assembled valid Pr request on the same connection.
     let cond = Uncertain::bernoulli(0.9).unwrap();
@@ -129,15 +130,17 @@ fn malformed_frames_get_error_replies_and_the_service_survives() {
     valid.extend_from_slice(&1u64.to_le_bytes()); // tenant
     valid.extend_from_slice(&0u64.to_le_bytes()); // no deadline
     valid.push(0); // strategy: inherit
+    valid.push(0); // trace: none
     valid.push(2); // kind: Pr
     valid.extend_from_slice(&0.5f64.to_le_bytes()); // threshold
     valid.extend_from_slice(&WireGraph::from_bool(&cond).unwrap().to_bytes());
     send_frame(&mut stream, &valid);
     let reply = recv_frame(&mut stream);
     assert_eq!(u64::from_le_bytes(reply[..8].try_into().unwrap()), 43);
-    assert_eq!(reply[8], 0, "valid request must succeed");
-    assert_eq!(reply[9], 2, "Pr replies are decisions");
-    assert_eq!(reply[10], 1, "Pr[bernoulli(0.9)] > 0.5 holds");
+    assert_eq!(reply[8], 0, "untraced replies carry no trace echo");
+    assert_eq!(reply[9], 0, "valid request must succeed");
+    assert_eq!(reply[10], 2, "Pr replies are decisions");
+    assert_eq!(reply[11], 1, "Pr[bernoulli(0.9)] > 0.5 holds");
     drop(stream);
 
     // A frame that claims more bytes than it delivers: the server closes

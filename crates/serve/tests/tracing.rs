@@ -1,0 +1,214 @@
+//! End-to-end tests of request tracing: a traced TCP request must yield
+//! one connected span tree whose id round-trips the wire and is served by
+//! `GET /traces/<id>`; tracing must never change what is computed; and
+//! the flight recorder must retain errors unconditionally.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use uncertain_core::Uncertain;
+use uncertain_serve::{ServeClient, ServeConfig, ServeError, Service};
+
+/// A network with shared sub-expressions and enough variety that traced
+/// requests exercise compile + SPRT sampling.
+fn evidence() -> Uncertain<bool> {
+    let x = Uncertain::normal(0.0, 1.0).unwrap();
+    let y = Uncertain::uniform(-1.0, 2.0).unwrap();
+    let sum = &x + &y;
+    (&sum + &x).lt(4.0) & (sum * 2.0).gt(-8.0) & Uncertain::bernoulli(0.95).unwrap()
+}
+
+fn expr() -> Uncertain<f64> {
+    let x = Uncertain::normal(3.0, 1.0).unwrap();
+    let r = Uncertain::rayleigh(2.0).unwrap();
+    (&x * &x + r).sqrt()
+}
+
+/// One bounded HTTP GET against the service's port, returning the raw
+/// response (status line + headers + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+}
+
+#[test]
+fn traced_tcp_requests_build_a_connected_span_tree_served_over_http() {
+    const TENANTS: u64 = 5;
+    // Two shards, one-session pools: every tenant switch forces an
+    // eviction, so traced requests run through session rebuild + plan
+    // recompile — the compile span must appear.
+    let config = ServeConfig::builder()
+        .shards(2)
+        .sessions_per_shard(1)
+        .seed(2014)
+        .bind_addr("127.0.0.1:0")
+        .build()
+        .expect("valid config");
+    let service = Service::start(config);
+    let listener = service.listen().expect("listen");
+    let addr = listener.local_addr();
+    let tcp = ServeClient::connect_pooled(addr, 2).expect("connect");
+
+    let cond = evidence();
+    let mut traced_ids = Vec::new();
+    for round in 0..2 {
+        for tenant in 0..TENANTS {
+            let (outcome, echoed) = tcp
+                .evaluate_traced(tenant, &cond, 0.5)
+                .expect("traced evaluate");
+            assert!(outcome.samples > 0, "this network needs sampling");
+            let id = echoed.expect("traced replies echo the trace id");
+            if round == 0 {
+                traced_ids.push((tenant, id));
+            }
+        }
+    }
+
+    // Each first-round trace: fetch it back over HTTP by the id the
+    // *client* observed — the round-trip the wire header exists for.
+    for &(tenant, id) in &traced_ids {
+        let response = http_get(addr, &format!("/traces/{id}"));
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK"),
+            "trace {id} not retained: {response:.120}"
+        );
+        let body = response
+            .split("\r\n\r\n")
+            .nth(1)
+            .expect("body after headers");
+        assert!(body.contains(&format!("\"trace_id\":{id}")));
+        assert!(body.contains(&format!("\"tenant\":{tenant}")));
+
+        // The span tree is connected: exactly one root (parent 0 — the
+        // client sent no parent span), and every other span parented at
+        // an id that exists in the same trace.
+        let trace = service.trace(id).expect("trace retained server-side");
+        assert_eq!(trace.trace_id, id);
+        let roots: Vec<_> = trace.spans.iter().filter(|s| s.parent == 0).collect();
+        assert_eq!(roots.len(), 1, "one connected tree");
+        assert_eq!(roots[0].name, "request");
+        for span in &trace.spans {
+            if span.parent != 0 {
+                assert!(
+                    trace.spans.iter().any(|s| s.id == span.parent),
+                    "span {} is orphaned",
+                    span.name
+                );
+            }
+            assert!(span.end_ns >= span.start_ns);
+        }
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"queue"), "queue span missing: {names:?}");
+        assert!(
+            names.contains(&"compile"),
+            "forced eviction means a cold plan cache: {names:?}"
+        );
+        assert!(names.contains(&"decide"), "decide span missing: {names:?}");
+        let decide = trace.spans.iter().find(|s| s.name == "decide").unwrap();
+        assert!(
+            decide.events.iter().any(|e| e.name == "sprt_batch"),
+            "the SPRT trajectory must land as events"
+        );
+    }
+
+    // The JSON-lines listing serves the retained set, newest last.
+    let listing = http_get(addr, "/traces");
+    assert!(listing.starts_with("HTTP/1.1 200 OK"));
+    assert!(listing.contains("application/x-ndjson"));
+    let body = listing.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert!(
+        body.lines().count() >= traced_ids.len(),
+        "all first-round traces retained under the default policy"
+    );
+
+    // /health answers liveness; an unknown id 404s.
+    let health = http_get(addr, "/health");
+    assert!(health.starts_with("HTTP/1.1 200 OK"));
+    assert!(health.contains("\"status\":\"ok\""));
+    let missing = http_get(addr, "/traces/1");
+    assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing:.80}");
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.flight.offered, 2 * TENANTS);
+    assert!(metrics.flight.retained >= traced_ids.len() as u64);
+
+    listener.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn tracing_never_changes_what_is_computed() {
+    // Identical services; one answers every request traced, the other
+    // untraced. Decisions, means, and summaries must be bitwise equal —
+    // tracing observes the sample stream, it never participates in it.
+    let config = ServeConfig::builder()
+        .shards(2)
+        .sessions_per_shard(1)
+        .seed(77)
+        .build()
+        .expect("valid config");
+    let traced_service = Service::start(config.clone());
+    let plain_service = Service::start(config);
+    let traced = traced_service.client();
+    let plain = plain_service.client();
+
+    let cond = evidence();
+    let expr = expr();
+    for tenant in 0..4u64 {
+        for _round in 0..3 {
+            let (a, id) = traced
+                .evaluate_traced(tenant, &cond, 0.5)
+                .expect("traced evaluate");
+            let b = plain.evaluate(tenant, &cond, 0.5).expect("plain evaluate");
+            assert_eq!(a, b, "tracing changed a verdict (tenant {tenant})");
+            assert!(id.is_some());
+
+            // Interleave sampling queries so any perturbation of the
+            // cursor or stream would surface downstream too.
+            let ma = traced.e(tenant, &expr, 500).expect("traced-service e");
+            let mb = plain.e(tenant, &expr, 500).expect("plain-service e");
+            assert_eq!(ma.to_bits(), mb.to_bits());
+        }
+    }
+
+    assert!(traced_service.metrics().flight.offered >= 12);
+    assert_eq!(plain_service.metrics().flight.offered, 0);
+    traced_service.shutdown();
+    plain_service.shutdown();
+}
+
+#[test]
+fn errors_are_always_retained_by_the_flight_recorder() {
+    let service = Service::start(ServeConfig::default().with_shards(1).with_seed(9));
+    let client = service.client();
+
+    let expr = expr();
+    let pending = client
+        .submit_evaluate_traced(1, &evidence(), 0.5, Some(Duration::from_millis(0)))
+        .expect("submit");
+    let submitted = pending.trace_id().expect("submitted under a trace id");
+    let err = pending.wait_traced().expect_err("0ms deadline must expire");
+    assert_eq!(err, ServeError::Timeout);
+
+    let trace = service
+        .trace(submitted)
+        .expect("timeout traces are retained unconditionally");
+    assert_eq!(trace.status, "timeout");
+    assert!(trace.error);
+
+    // The tenant's stream is untouched by the traced failure: results
+    // keep matching a fresh reference service.
+    let reference = Service::start(ServeConfig::default().with_shards(1).with_seed(9));
+    let a = client.e(1, &expr, 400).expect("after failure");
+    let b = reference.client().e(1, &expr, 400).expect("reference");
+    assert_eq!(a.to_bits(), b.to_bits());
+
+    service.shutdown();
+    reference.shutdown();
+}
