@@ -3,16 +3,19 @@
 //! service. Appends machine-readable JSON lines to `BENCH_net.json` (in
 //! the working directory).
 //!
-//! What the connection-count sweep measures on a single-core runner is
-//! *not* CPU scaling — it is the cost of connection concurrency in a
-//! thread-per-connection transport: each TCP connection adds three
-//! threads (client demux reader, server frame reader, server writer), so
-//! aggregate decision throughput decays with connection count as
-//! scheduler pressure grows, and tail latency grows with the queueing
-//! the extra concurrency creates. The sweep's throughput-retention ratio
-//! (max over min connection count) is the regression line: a change that
-//! adds per-request work to the per-connection threads shows up here
-//! first, at the high-connection rows.
+//! The connection-count sweep (8 → 1024) measures what connection
+//! concurrency costs the event-driven server: the readiness-polled
+//! listener drives every connection from a fixed pool of event-loop
+//! threads, so the server's thread count — and therefore its scheduler
+//! footprint — is independent of the connection count, and aggregate
+//! decision throughput should hold roughly flat across the sweep. The
+//! load generator is symmetric: one poller-driven thread multiplexes all
+//! N client sockets (one tenant each, one request outstanding each), so
+//! the sweep's high rows measure the server, not 2 000 generator
+//! threads fighting it for the core. The sweep's throughput-retention
+//! ratio (max over min connection count) is the regression line: a
+//! change that adds per-connection cost to the event loops shows up
+//! here first, at the high-connection rows.
 //!
 //! Before the sweep, a verification phase runs the same per-tenant
 //! request sequence over TCP and in-process against identically
@@ -24,11 +27,15 @@
 //! shrinks connection counts and budgets for smoke runs.
 
 use std::fs::OpenOptions;
-use std::io::Write;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use uncertain_bench::{header, scaled};
 use uncertain_core::{Uncertain, WireGraph};
-use uncertain_serve::{ServeClient, ServeConfig, Service};
+use uncertain_serve::poll::{Interest, PollEvent, Poller};
+use uncertain_serve::wire::{self, FrameDecoder, MAGIC};
+use uncertain_serve::{Request, RequestKind, Response, ServeClient, ServeConfig, Service};
 
 const SHARDS: usize = 4;
 const POOL: usize = 16;
@@ -65,11 +72,21 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
-fn service_config() -> ServeConfig {
+/// Service topology for a row with `conns` closed-loop tenants. Shards
+/// and seed are fixed; the session pool and queue bound scale with the
+/// tenant population so the high-connection rows measure connection
+/// concurrency rather than session-eviction thrash or a queue sized for
+/// a different row (neither knob can change results: evicted tenants
+/// keep their cursors, and a queue that never fills rejects nothing).
+/// The pool gets room for *every* tenant on *any* shard — an average
+/// fit is not enough, because tenant→shard hashing is imbalanced and a
+/// shard pushed past its pool by a few tenants thrashes its LRU on the
+/// cyclic closed-loop access pattern (rebuild + recompile per request).
+fn service_config(conns: usize) -> ServeConfig {
     ServeConfig::builder()
         .shards(SHARDS)
-        .sessions_per_shard(POOL)
-        .queue_depth(256)
+        .sessions_per_shard(POOL.max(conns))
+        .queue_depth(256.max(conns))
         .seed(SEED)
         .bind_addr("127.0.0.1:0")
         .build()
@@ -109,7 +126,7 @@ fn run_load(
     cond: &Uncertain<bool>,
     traced_fraction: f64,
 ) -> LoadRun {
-    let service = Service::start(service_config());
+    let service = Service::start(service_config(conns));
     let listener = service.listen().expect("listen");
     let addr = listener.local_addr();
     // Compare in u64 space: mix(tenant, i) < bar ⇔ "trace this request".
@@ -173,13 +190,230 @@ fn run_load(
     }
 }
 
+/// One client socket of the polled load generator: a closed-loop tenant
+/// with exactly one untraced request in flight, its next request frame
+/// prebuilt (only results vary between a tenant's requests, never the
+/// request bytes, so encoding once is free repetition later).
+struct PolledConn {
+    stream: TcpStream,
+    frame: Vec<u8>,
+    out: Vec<u8>,
+    outpos: usize,
+    decoder: FrameDecoder,
+    remaining: usize,
+    t0: Instant,
+    fp: u64,
+    lat: Vec<u64>,
+    interest: Interest,
+    done: bool,
+}
+
+impl PolledConn {
+    /// Queues the next request and restarts its latency clock.
+    fn queue_request(&mut self) {
+        self.t0 = Instant::now();
+        self.out.extend_from_slice(&self.frame);
+    }
+
+    fn flush(&mut self) {
+        while self.outpos < self.out.len() {
+            match (&self.stream).write(&self.out[self.outpos..]) {
+                Ok(n) => self.outpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("bench connection write failed: {e}"),
+            }
+        }
+        self.out.clear();
+        self.outpos = 0;
+    }
+
+    fn desired_interest(&self) -> Interest {
+        if self.outpos < self.out.len() {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        }
+    }
+}
+
+/// Like [`run_load`] for untraced rows, but the load generator is a
+/// single poller-driven thread multiplexing all `conns` sockets —
+/// scaling the generator the same way the server scales, so a
+/// 1024-connection row adds 1024 sockets and zero threads on either
+/// side. Same tenants, same per-tenant request sequence, same
+/// fingerprint folding: rows are bitwise comparable to thread-driven
+/// runs of the same shape.
+fn run_load_polled(conns: usize, per_conn: usize, cond: &Uncertain<bool>) -> LoadRun {
+    let service = Service::start(service_config(conns));
+    let listener = service.listen().expect("listen");
+    let addr = listener.local_addr();
+
+    // Untimed setup: every connection is established — and each tenant's
+    // first decision executed — before the clock starts. The connect
+    // storm would otherwise cap actual concurrency at the connect rate
+    // (early connections finish before late ones exist), and the first
+    // decision carries the tenant's one-time session build + plan
+    // compile, a session-layer cold-start cost (bench_session's subject)
+    // that scales with the tenant count, not with what this sweep
+    // measures — connection concurrency at the socket edge. Warmup
+    // outcomes still fold into the fingerprint, so rows stay bitwise
+    // comparable to runs that time every request.
+    let setup = Instant::now();
+    let mut drivers: Vec<PolledConn> = (0..conns)
+        .map(|c| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let payload = wire::encode_request(
+                1, // one request outstanding per socket: a constant id correlates fine
+                &Request {
+                    tenant: c as u64,
+                    kind: RequestKind::Evaluate {
+                        cond: cond.clone(),
+                        threshold: THRESHOLD,
+                    },
+                    timeout: None,
+                    strategy: None,
+                    trace: None,
+                },
+            )
+            .expect("encode request");
+            let mut frame = Vec::with_capacity(4 + payload.len());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&payload);
+
+            // Warmup request, blocking: preamble + first decision.
+            stream.write_all(&MAGIC).expect("preamble");
+            stream.write_all(&frame).expect("warmup request");
+            let mut len = [0u8; 4];
+            stream.read_exact(&mut len).expect("warmup reply length");
+            let mut reply = vec![0u8; u32::from_le_bytes(len) as usize];
+            stream.read_exact(&mut reply).expect("warmup reply");
+            let (id, _trace, result) = wire::decode_response(&reply).expect("decode reply");
+            assert_eq!(id, 1);
+            let mut fp = 0u64;
+            match result.expect("warmup decision") {
+                Response::Outcome(o) => fold(&mut fp, o.samples, o.estimate.to_bits()),
+                other => panic!("evaluate answered {other:?}"),
+            }
+
+            stream.set_nonblocking(true).expect("nonblocking");
+            PolledConn {
+                stream,
+                frame,
+                out: Vec::new(),
+                outpos: 0,
+                decoder: FrameDecoder::new(),
+                remaining: per_conn - 1,
+                t0: setup,
+                fp,
+                lat: Vec::with_capacity(per_conn),
+                interest: Interest::READ_WRITE,
+                done: false,
+            }
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut poller = Poller::new().expect("bench poller");
+    for (c, conn) in drivers.iter_mut().enumerate() {
+        conn.queue_request();
+        poller
+            .add(conn.stream.as_raw_fd(), c as u64, Interest::READ_WRITE)
+            .expect("register");
+    }
+
+    let mut live = conns;
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    while live > 0 {
+        poller.wait(&mut events, None).expect("bench poll");
+        for ev in &events {
+            let conn = &mut drivers[ev.token as usize];
+            if conn.done {
+                continue;
+            }
+            if ev.writable {
+                conn.flush();
+            }
+            if ev.readable {
+                'read: loop {
+                    match (&conn.stream).read(&mut scratch) {
+                        Ok(0) => panic!("server closed a bench connection mid-run"),
+                        Ok(n) => {
+                            conn.decoder.push(&scratch[..n]);
+                            while let Some(reply) = conn.decoder.next_frame().expect("reply frame")
+                            {
+                                let (id, _trace, result) =
+                                    wire::decode_response(&reply).expect("decode reply");
+                                assert_eq!(id, 1);
+                                let o = match result.expect("decision") {
+                                    Response::Outcome(o) => o,
+                                    other => panic!("evaluate answered {other:?}"),
+                                };
+                                conn.lat.push(conn.t0.elapsed().as_nanos() as u64);
+                                fold(&mut conn.fp, o.samples, o.estimate.to_bits());
+                                conn.remaining -= 1;
+                                if conn.remaining == 0 {
+                                    poller.remove(conn.stream.as_raw_fd()).expect("deregister");
+                                    conn.done = true;
+                                    live -= 1;
+                                    break 'read;
+                                }
+                                conn.queue_request();
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("bench connection read failed: {e}"),
+                    }
+                }
+            }
+            if !conn.done {
+                conn.flush();
+                let desired = conn.desired_interest();
+                if desired != conn.interest {
+                    poller
+                        .modify(conn.stream.as_raw_fd(), ev.token, desired)
+                        .expect("reregister");
+                    conn.interest = desired;
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    listener.shutdown();
+    let metrics = service.shutdown();
+    let mut latencies: Vec<u64> = Vec::with_capacity(conns * per_conn);
+    let mut fingerprints: Vec<u64> = Vec::with_capacity(conns);
+    for conn in &mut drivers {
+        fingerprints.push(conn.fp);
+        latencies.append(&mut conn.lat);
+    }
+    latencies.sort_unstable();
+    LoadRun {
+        // Throughput and latency cover the timed requests only (one
+        // warmup decision per connection ran before the clock started).
+        throughput_dps: (conns * (per_conn - 1)) as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50) as f64 / 1e3,
+        p95_us: percentile(&latencies, 0.95) as f64 / 1e3,
+        p99_us: percentile(&latencies, 0.99) as f64 / 1e3,
+        frames_in: metrics.net.frames_in,
+        wire_errors: metrics.net.wire_errors,
+        fingerprint: fingerprints.iter().fold(0u64, |acc, &f| mix(acc ^ f)),
+        traces_offered: metrics.flight.offered,
+        traces_retained: metrics.flight.retained,
+    }
+}
+
 /// Per-tenant outcome fingerprints for `tenants` tenants × `rounds`
 /// decisions, driven either over TCP (one connection per tenant) or by
 /// the in-process client. Per-tenant sample streams are independent of
 /// request interleaving across tenants, so the two are comparable
 /// element for element.
 fn fingerprints(tenants: u64, rounds: usize, cond: &Uncertain<bool>, remote: bool) -> Vec<u64> {
-    let service = Service::start(service_config());
+    let service = Service::start(service_config(tenants as usize));
     let result = if remote {
         let listener = service.listen().expect("listen");
         let addr = listener.local_addr();
@@ -264,7 +498,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut throughputs = Vec::new();
     for &conns in conn_counts {
         let per_conn = (total / conns).max(4);
-        let run = run_load(conns, per_conn, &cond, 0.0);
+        let run = run_load_polled(conns, per_conn, &cond);
         println!(
             "{conns:>6} {per_conn:>9} {:>12.0} {:>10.1} {:>10.1} {:>10.1}",
             run.throughput_dps, run.p50_us, run.p95_us, run.p99_us
@@ -274,12 +508,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             out,
             "{{\"bench\":\"net_load\",\"unix_time\":{stamp},\
              \"connections\":{conns},\"per_connection\":{per_conn},\
-             \"decisions\":{decisions},\"shards\":{SHARDS},\
-             \"sessions_per_shard\":{POOL},\
+             \"decisions\":{decisions},\"timed_decisions\":{timed},\
+             \"shards\":{SHARDS},\
+             \"sessions_per_shard\":{pool},\
              \"throughput_dps\":{dps:.1},\"p50_us\":{p50:.1},\
              \"p95_us\":{p95:.1},\"p99_us\":{p99:.1},\
              \"net_frames_in\":{frames},\"fingerprint\":{fp}}}",
             decisions = conns * per_conn,
+            timed = conns * (per_conn - 1),
+            pool = POOL.max(conns),
             dps = run.throughput_dps,
             p50 = run.p50_us,
             p95 = run.p95_us,

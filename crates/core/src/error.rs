@@ -185,6 +185,9 @@ pub enum ConfigError {
     /// A serve config asked for a zero-capacity session pool — no tenant
     /// could ever hold a session.
     ZeroSessionPool,
+    /// A serve config asked for zero listener event loops — no thread
+    /// would ever poll the sockets.
+    ZeroEventLoops,
     /// A serve config's bind address failed to parse as `host:port`.
     BadBindAddr(String),
 }
@@ -206,6 +209,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroSessionPool => {
                 write!(f, "serve config sessions_per_shard must be at least 1")
+            }
+            ConfigError::ZeroEventLoops => {
+                write!(f, "serve config event_loops must be at least 1")
             }
             ConfigError::BadBindAddr(addr) => {
                 write!(

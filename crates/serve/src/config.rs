@@ -49,6 +49,21 @@ pub struct ServeConfig {
     /// The shadow session draws from its own seed substream, so audits
     /// never perturb tenant sample streams.
     pub audit_fraction: f64,
+    /// Event-loop threads of the TCP listener. Each loop owns a share of
+    /// the open connections and drives them with readiness polling, so
+    /// this is the listener's *socket-edge* parallelism — decision work
+    /// still runs on the `shards` workers. Connection-count independent:
+    /// 1024 connections on 2 loops cost 2 threads, not 2048. The default
+    /// matches the machine's available parallelism, capped at 4 (the
+    /// socket edge saturates long before the shards do).
+    pub event_loops: usize,
+}
+
+fn default_event_loops() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
 }
 
 impl Default for ServeConfig {
@@ -63,6 +78,7 @@ impl Default for ServeConfig {
             bind_addr: "127.0.0.1:0".to_string(),
             flight: FlightConfig::default(),
             audit_fraction: 0.0,
+            event_loops: default_event_loops(),
         }
     }
 }
@@ -136,6 +152,13 @@ impl ServeConfig {
         } else {
             fraction.clamp(0.0, 1.0)
         };
+        self
+    }
+
+    /// Returns the config with the given listener event-loop count
+    /// (unvalidated — use [`ServeConfig::builder`] to have zero rejected).
+    pub fn with_event_loops(mut self, event_loops: usize) -> Self {
+        self.event_loops = event_loops;
         self
     }
 }
@@ -223,12 +246,19 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the listener event-loop thread count (must be ≥ 1).
+    pub fn event_loops(mut self, event_loops: usize) -> Self {
+        self.config.event_loops = event_loops;
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
     ///
-    /// [`ConfigError::ZeroShards`], [`ConfigError::ZeroQueueDepth`], or
-    /// [`ConfigError::ZeroSessionPool`] for a degenerate topology;
+    /// [`ConfigError::ZeroShards`], [`ConfigError::ZeroQueueDepth`],
+    /// [`ConfigError::ZeroSessionPool`], or
+    /// [`ConfigError::ZeroEventLoops`] for a degenerate topology;
     /// [`ConfigError::BadBindAddr`] when the bind address does not
     /// resolve as `host:port`.
     pub fn build(self) -> Result<ServeConfig, ConfigError> {
@@ -241,6 +271,9 @@ impl ServeConfigBuilder {
         }
         if c.sessions_per_shard == 0 {
             return Err(ConfigError::ZeroSessionPool);
+        }
+        if c.event_loops == 0 {
+            return Err(ConfigError::ZeroEventLoops);
         }
         if c.bind_addr.to_socket_addrs().is_err() {
             return Err(ConfigError::BadBindAddr(c.bind_addr));
@@ -286,6 +319,18 @@ mod tests {
             ServeConfig::builder().sessions_per_shard(0).build(),
             Err(ConfigError::ZeroSessionPool)
         ));
+        assert!(matches!(
+            ServeConfig::builder().event_loops(0).build(),
+            Err(ConfigError::ZeroEventLoops)
+        ));
+    }
+
+    #[test]
+    fn event_loop_default_is_bounded() {
+        let config = ServeConfig::default();
+        assert!((1..=4).contains(&config.event_loops));
+        let config = ServeConfig::builder().event_loops(2).build().unwrap();
+        assert_eq!(config.event_loops, 2);
     }
 
     #[test]

@@ -60,10 +60,11 @@ mod client;
 mod config;
 mod metrics;
 mod net;
+pub mod poll;
 mod service;
 mod traced;
 mod transport;
-mod wire;
+pub mod wire;
 
 pub use client::{Pending, ServeClient};
 pub use config::{ServeConfig, ServeConfigBuilder};

@@ -86,6 +86,19 @@ pub(crate) struct NetStats {
     pub(crate) frames_out: Counter,
     pub(crate) wire_errors: Counter,
     pub(crate) http_scrapes: Counter,
+    /// Accept pauses forced by fd exhaustion (`EMFILE`/`ENFILE`).
+    pub(crate) accept_stalls: Counter,
+    /// Times an event loop woke from its poll wait with work to do.
+    pub(crate) event_loop_wakeups: Counter,
+    /// Socket reads that left a frame incomplete in a connection's
+    /// incremental decoder.
+    pub(crate) partial_reads: Counter,
+    /// Write flushes that coalesced two or more reply frames into one
+    /// syscall.
+    pub(crate) writev_batches: Counter,
+    /// Connections handed to an event loop and registered with its
+    /// poller, lifetime.
+    pub(crate) connections_registered: Counter,
 }
 
 impl NetStats {
@@ -98,6 +111,11 @@ impl NetStats {
             frames_out: self.frames_out.get(),
             wire_errors: self.wire_errors.get(),
             http_scrapes: self.http_scrapes.get(),
+            accept_stalls: self.accept_stalls.get(),
+            event_loop_wakeups: self.event_loop_wakeups.get(),
+            partial_reads: self.partial_reads.get(),
+            writev_batches: self.writev_batches.get(),
+            connections_registered: self.connections_registered.get(),
         }
     }
 }
@@ -121,6 +139,21 @@ pub struct NetMetrics {
     pub wire_errors: u64,
     /// Prometheus scrapes served over the HTTP side of the port.
     pub http_scrapes: u64,
+    /// Accept pauses forced by fd exhaustion (`EMFILE`/`ENFILE`): each
+    /// stall backs the accept loop off instead of killing it.
+    pub accept_stalls: u64,
+    /// Times an event loop woke from its poll wait with work to do
+    /// (socket readiness, a completed reply, or a shutdown signal).
+    pub event_loop_wakeups: u64,
+    /// Socket reads that ended with a frame still incomplete in the
+    /// connection's incremental decoder — the partial reads the
+    /// event-driven decode path exists to tolerate.
+    pub partial_reads: u64,
+    /// Write flushes that coalesced two or more pipelined reply frames
+    /// into a single syscall.
+    pub writev_batches: u64,
+    /// Connections registered with an event loop's poller, lifetime.
+    pub connections_registered: u64,
 }
 
 /// Point-in-time counters of one shard.
@@ -394,6 +427,31 @@ impl ServeMetrics {
             "uncertain_net_http_scrapes_total",
             "Prometheus scrapes served over the metrics endpoint.",
             self.net.http_scrapes,
+        );
+        w.counter(
+            "uncertain_net_accept_stalls_total",
+            "Accept pauses forced by fd exhaustion (EMFILE/ENFILE).",
+            self.net.accept_stalls,
+        );
+        w.counter(
+            "uncertain_net_event_loop_wakeups_total",
+            "Event-loop poll wakeups with work to do.",
+            self.net.event_loop_wakeups,
+        );
+        w.counter(
+            "uncertain_net_partial_reads_total",
+            "Socket reads that left a frame incomplete in the decoder.",
+            self.net.partial_reads,
+        );
+        w.counter(
+            "uncertain_net_writev_batches_total",
+            "Write flushes that coalesced multiple reply frames.",
+            self.net.writev_batches,
+        );
+        w.counter(
+            "uncertain_net_connections_registered_total",
+            "Connections registered with an event loop's poller.",
+            self.net.connections_registered,
         );
         w.counter(
             "uncertain_traces_offered_total",

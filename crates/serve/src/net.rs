@@ -4,25 +4,42 @@
 //! # Server
 //!
 //! [`Service::listen`](crate::Service::listen) binds the config's
-//! `bind_addr` and accepts connections on a dedicated thread. Each
-//! connection sniffs a 4-byte preamble: the `UNC1` magic starts the binary
-//! request loop, `GET ` serves one HTTP request and closes (one port, both
-//! protocols — no second listener to configure or firewall). The HTTP side
-//! routes by path: `/health` (liveness JSON), `/traces` (the flight
-//! recorder's retained span trees as JSON-lines), `/traces/<id>` (one
-//! trace by id), and everything else — canonically `/metrics` — serves the
-//! Prometheus scrape body.
+//! `bind_addr` nonblocking and drives every connection from a fixed pool
+//! of `config.event_loops` event-loop threads using OS readiness polling
+//! ([`crate::poll`]: epoll on Linux, `poll(2)` elsewhere). Loop 0 owns
+//! the listening socket and hands accepted connections round-robin across
+//! the pool, so 1024 open connections cost the same number of threads as
+//! 8 — the property that keeps throughput flat under connection fan-in
+//! (the old design spawned a reader/writer thread pair per connection and
+//! collapsed under scheduler pressure at high counts).
 //!
-//! A binary connection runs two threads: a reader that decodes request
-//! frames and admits them through the same [`ChannelTransport`] the
-//! in-process client uses — so queue backpressure surfaces to the remote
-//! caller as [`ServeError::QueueFull`], frame deadlines feed the same
-//! cooperative-deadline path, and per-tenant FIFO semantics are inherited
-//! rather than re-implemented — and a writer that encodes replies back in
-//! **submission order**. In-order replies keep the protocol state small
-//! (no reordering buffer) at the cost of head-of-line blocking on one
-//! connection; clients that care use a pooled transport, where tenants
-//! hash across sockets.
+//! Each connection is a small state machine owned by exactly one loop:
+//!
+//! * **Preamble** — the first 4 bytes sniff the protocol: the `UNC1`
+//!   magic starts the binary request loop; `GET ` hands the socket to a
+//!   short-lived blocking thread that serves one HTTP request (`/health`,
+//!   `/traces`, `/traces/<id>`, else the Prometheus scrape) and closes.
+//!   One port, both protocols — no second listener to firewall.
+//! * **Binary** — reads are drained to `WouldBlock` into an incremental
+//!   [`FrameDecoder`](crate::wire::FrameDecoder) that tolerates arbitrary
+//!   partial reads; each complete frame is admitted through the same
+//!   [`ChannelTransport`] the in-process client uses, so queue
+//!   backpressure surfaces as [`ServeError::QueueFull`], deadlines are
+//!   anchored at admission, and per-tenant FIFO plus bitwise determinism
+//!   are inherited rather than re-implemented. A completion hook attached
+//!   at admission pokes the owning loop's wakeup pipe when the shard
+//!   sends the reply, so reply readiness costs O(completions), never a
+//!   per-connection blocked thread.
+//! * **Replies** flow back in **submission order** per connection (front
+//!   of the in-flight queue only), keeping the protocol state small at
+//!   the cost of head-of-line blocking on one connection; clients that
+//!   care use a pooled transport, where tenants hash across sockets. All
+//!   replies ready at once are encoded into one buffer and flushed with a
+//!   single write — writev-style coalescing for pipelined workloads.
+//!
+//! When `accept` fails with `EMFILE`/`ENFILE` the loop pauses accepting
+//! with a short backoff (counted in `accept_stalls`) instead of dying;
+//! pending connections are picked up when fds free up.
 //!
 //! Decoded query graphs are cached keyed by their raw bytes: a repeated
 //! query hits the cache and reuses the *same* rebuilt `Uncertain` nodes,
@@ -32,29 +49,35 @@
 //!
 //! # Shutdown
 //!
-//! [`Listener::shutdown`] (or drop) stops accepting, half-closes every
-//! connection's read side, and joins the handlers: readers see EOF, writer
-//! threads flush every reply already admitted, then the sockets close.
-//! In-flight work is drained, not dropped — the same contract
+//! [`Listener::shutdown`] (or drop) sets the stop flag and pokes every
+//! loop's wakeup pipe. Each loop closes the listener, stops reading from
+//! its connections, keeps pumping until every already-admitted reply has
+//! been flushed, then closes the sockets and exits. In-flight work is
+//! drained, not dropped — the same contract
 //! [`Service::shutdown`](crate::Service::shutdown) gives the in-process
 //! path.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, SyncSender};
+use std::sync::mpsc::{self, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use uncertain_core::{ServeError, Uncertain, WireError, WireGraph};
 
 use crate::metrics::NetStats;
 use crate::mix64;
+use crate::poll::{Interest, PollEvent, Poller};
 use crate::service::Inner;
-use crate::transport::{ChannelTransport, Reply, ReplyReceiver, Request, RequestKind, Transport};
-use crate::wire::{self, WireBody, MAGIC, MAX_FRAME};
+use crate::transport::{
+    ChannelTransport, CompletionHook, Reply, ReplyReceiver, Request, RequestKind, Transport,
+};
+use crate::wire::{self, FrameDecoder, WireBody, MAGIC, MAX_FRAME};
 
 fn io_err(context: &str, e: std::io::Error) -> ServeError {
     ServeError::Transport(format!("{context}: {e}"))
@@ -109,38 +132,641 @@ impl GraphCache {
 }
 
 // ---------------------------------------------------------------------------
-// Listener
+// Event-loop plumbing
 // ---------------------------------------------------------------------------
 
-/// Per-listener registry of live connections, for draining shutdown.
-///
-/// Handlers deregister on exit: a registered clone that outlived its
-/// connection would pin the socket open (the peer would never see FIN
-/// after `Connection: close`) and leak one fd per served connection.
-#[derive(Default)]
-struct ConnRegistry {
-    next: AtomicU64,
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+/// Poller token of the listening socket (loop 0 only).
+const LISTENER_TOKEN: u64 = 0;
+/// Poller token of each loop's wakeup pipe read half.
+const WAKE_TOKEN: u64 = 1;
+/// First token handed to a connection.
+const CONN_BASE: u64 = 2;
+
+/// How long the accept loop backs off after fd exhaustion before retrying.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// The cross-thread face of one event loop: shard workers (completion
+/// hooks) and the accepting loop talk to it through this, never touching
+/// loop-owned state. Every mutation is followed by a byte down the wakeup
+/// pipe so the loop notices without polling its mailboxes.
+struct LoopShared {
+    /// Write half of the wakeup pipe; nonblocking, so a full pipe (wakeup
+    /// already pending) is a no-op rather than a stall.
+    wake_tx: UnixStream,
+    /// Tokens of connections with a newly completed reply.
+    ready: Mutex<Vec<u64>>,
+    /// Connections accepted by loop 0 and assigned to this loop.
+    incoming: Mutex<Vec<TcpStream>>,
 }
 
-impl ConnRegistry {
-    fn register(&self, stream: TcpStream) -> u64 {
-        let token = self.next.fetch_add(1, Ordering::Relaxed);
-        self.streams
-            .lock()
-            .expect("stream registry lock")
-            .insert(token, stream);
-        token
+impl LoopShared {
+    fn notify(&self, token: u64) {
+        self.ready.lock().expect("ready list lock").push(token);
+        self.poke();
     }
 
-    fn deregister(&self, token: u64) {
-        self.streams
+    fn push_conn(&self, stream: TcpStream) {
+        self.incoming
             .lock()
-            .expect("stream registry lock")
-            .remove(&token);
+            .expect("incoming list lock")
+            .push(stream);
+        self.poke();
+    }
+
+    fn poke(&self) {
+        let _ = (&self.wake_tx).write(&[1]);
     }
 }
+
+/// The completion hook one connection attaches to every admission: the
+/// shard worker fires it right after sending the reply, which queues the
+/// connection for a reply pump on its owning loop.
+struct ConnHook {
+    shared: Arc<LoopShared>,
+    token: u64,
+}
+
+impl CompletionHook for ConnHook {
+    fn on_reply(&self) {
+        self.shared.notify(self.token);
+    }
+}
+
+/// One in-flight request on a connection, in submission order. Replies
+/// are drained only from the front, which is what gives the remote client
+/// in-order replies without a reordering buffer.
+enum Entry {
+    /// Admitted to a shard; the reply will arrive on the receiver.
+    Pending(u64, ReplyReceiver),
+    /// Failed before admission (decode error, QueueFull, Shutdown) — the
+    /// error reply is already materialized.
+    Ready(u64, Reply),
+}
+
+enum ConnState {
+    /// Collecting the 4-byte protocol preamble.
+    Preamble(Vec<u8>),
+    /// Binary frame protocol.
+    Binary,
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    decoder: FrameDecoder,
+    inflight: VecDeque<Entry>,
+    /// Encoded-but-unflushed reply bytes; `outpos` is the flushed prefix.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Reply frames encoded since the last flush attempt, for the
+    /// writev-batching counter.
+    pending_frames: usize,
+    /// Read side finished (EOF, protocol error, or listener drain): no
+    /// more frames in; flush what's owed, then close.
+    closing: bool,
+    /// Socket is unusable (I/O error or hard hangup): drop immediately.
+    dead: bool,
+    /// `GET ` preamble seen — hand off to a blocking HTTP thread with
+    /// these already-read bytes.
+    handoff: Option<Vec<u8>>,
+    /// What the poller is currently watching this fd for.
+    interest: Interest,
+    hook: Arc<ConnHook>,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.outpos == self.outbuf.len()
+    }
+
+    fn desired_interest(&self) -> Interest {
+        match (self.closing, self.flushed()) {
+            (false, true) => Interest::READ,
+            (false, false) => Interest::READ_WRITE,
+            (true, false) => Interest::WRITE,
+            // Draining: nothing socket-side to wait for — the next event
+            // is a completion hook poke (or a hangup, always reported).
+            (true, true) => Interest::NONE,
+        }
+    }
+}
+
+struct EventLoop {
+    poller: Poller,
+    wake_rx: UnixStream,
+    shared: Arc<LoopShared>,
+    /// Every loop's shared face, for round-robin handoff (loop 0).
+    all: Arc<Vec<Arc<LoopShared>>>,
+    /// The listening socket; only loop 0 has one, dropped at drain.
+    listener: Option<TcpListener>,
+    /// Backoff deadline while accepting is paused on fd exhaustion.
+    accept_paused_until: Option<Instant>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    rr: usize,
+    stop: Arc<AtomicBool>,
+    draining: bool,
+    transport: ChannelTransport,
+    inner: Arc<Inner>,
+    cache: Arc<GraphCache>,
+    net: Arc<NetStats>,
+    /// Blocking HTTP handler threads, joined on loop exit (finished ones
+    /// are reaped every tick).
+    http_handles: Vec<JoinHandle<()>>,
+    read_buf: Vec<u8>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            let timeout = if self.draining {
+                // Safety heartbeat: completion pokes are the real signal,
+                // the tick just bounds the damage if one is ever lost.
+                Some(Duration::from_millis(25))
+            } else {
+                self.accept_paused_until
+                    .map(|until| until.saturating_duration_since(Instant::now()))
+            };
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A broken poller would otherwise spin; back off hard.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if self.stop.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if let Some(until) = self.accept_paused_until {
+                if !self.draining && Instant::now() >= until {
+                    self.resume_accept();
+                }
+            }
+
+            let mut accept_ready = false;
+            let mut woke = false;
+            let mut to_read: Vec<u64> = Vec::new();
+            let mut to_write: Vec<u64> = Vec::new();
+            let mut to_hup: Vec<u64> = Vec::new();
+            for ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => accept_ready = true,
+                    WAKE_TOKEN => woke = true,
+                    token => {
+                        if ev.readable {
+                            to_read.push(token);
+                        }
+                        if ev.writable {
+                            to_write.push(token);
+                        }
+                        if ev.hup {
+                            to_hup.push(token);
+                        }
+                    }
+                }
+            }
+            if woke {
+                self.drain_wake_pipe();
+            }
+            // Snapshot the mailboxes *after* draining the pipe: anything
+            // pushed later leaves a byte behind and wakes the next tick.
+            let notified = std::mem::take(&mut *self.shared.ready.lock().expect("ready list lock"));
+            let incoming =
+                std::mem::take(&mut *self.shared.incoming.lock().expect("incoming list lock"));
+
+            if !events.is_empty() || !notified.is_empty() || !incoming.is_empty() {
+                self.net.event_loop_wakeups.inc();
+            }
+
+            if accept_ready {
+                self.accept_burst();
+            }
+            for stream in incoming {
+                self.register_conn(stream);
+            }
+            for token in to_read {
+                self.on_conn_event(token, true);
+            }
+            for token in notified {
+                self.on_conn_event(token, false);
+            }
+            for token in to_write {
+                self.on_conn_event(token, false);
+            }
+            // A hard hangup means the peer is gone both ways: a draining
+            // connection can never deliver its remaining replies, so drop
+            // it now instead of spinning on the always-reported condition.
+            for token in to_hup {
+                if self.conns.get(&token).is_some_and(|c| c.closing || c.dead) {
+                    if let Some(conn) = self.conns.remove(&token) {
+                        self.close_conn(conn);
+                    }
+                }
+            }
+
+            self.reap_http_handles();
+            if self.draining && self.conns.is_empty() {
+                break;
+            }
+        }
+        for handle in self.http_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    // -- accept path --------------------------------------------------------
+
+    fn accept_burst(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.net.accepted.inc();
+                    self.net.connections_open.inc();
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() || self.draining {
+                        self.net.connections_open.dec();
+                        self.net.closed.inc();
+                        continue;
+                    }
+                    let i = self.rr % self.all.len();
+                    self.rr += 1;
+                    self.all[i].push_conn(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if is_fd_exhaustion(&e) => {
+                    // Out of fds: pause accepting instead of dying. The
+                    // backlog holds pending connections; accepting
+                    // resumes after the backoff, when closes have
+                    // hopefully freed descriptors.
+                    self.net.accept_stalls.inc();
+                    self.pause_accept();
+                    return;
+                }
+                // Transient per-connection failures (ECONNABORTED and
+                // kin): readiness re-fires if more are pending.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn pause_accept(&mut self) {
+        if let Some(listener) = &self.listener {
+            let _ = self.poller.remove(listener.as_raw_fd());
+        }
+        self.accept_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
+    }
+
+    fn resume_accept(&mut self) {
+        self.accept_paused_until = None;
+        if let Some(listener) = &self.listener {
+            let _ = self
+                .poller
+                .add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ);
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        if self.draining {
+            self.net.connections_open.dec();
+            self.net.closed.inc();
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .add(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            self.net.connections_open.dec();
+            self.net.closed.inc();
+            return;
+        }
+        self.net.connections_registered.inc();
+        let hook = Arc::new(ConnHook {
+            shared: Arc::clone(&self.shared),
+            token,
+        });
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                state: ConnState::Preamble(Vec::with_capacity(4)),
+                decoder: FrameDecoder::new(),
+                inflight: VecDeque::new(),
+                outbuf: Vec::new(),
+                outpos: 0,
+                pending_frames: 0,
+                closing: false,
+                dead: false,
+                handoff: None,
+                interest: Interest::READ,
+                hook,
+            },
+        );
+        // Level-triggered polling reports any bytes that raced ahead of
+        // the registration on the next wait — no explicit kick needed.
+    }
+
+    // -- connection events --------------------------------------------------
+
+    /// Runs one connection through read → pump → flush and re-files it
+    /// (or closes / hands it off). Taking the connection out of the map
+    /// keeps the borrow checker out of the way of `&mut self` helpers.
+    fn on_conn_event(&mut self, token: u64, readable: bool) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        if readable && !conn.closing && !conn.dead {
+            self.conn_read(&mut conn);
+        }
+        self.pump(&mut conn);
+        if !conn.dead {
+            self.flush(&mut conn);
+        }
+
+        if let Some(leftover) = conn.handoff.take() {
+            self.http_handoff(conn, leftover);
+            return;
+        }
+        if conn.dead || (conn.closing && conn.inflight.is_empty() && conn.flushed()) {
+            self.close_conn(conn);
+            return;
+        }
+        let desired = conn.desired_interest();
+        if desired != conn.interest {
+            let _ = self.poller.modify(conn.stream.as_raw_fd(), token, desired);
+            conn.interest = desired;
+        }
+        self.conns.insert(token, conn);
+    }
+
+    fn close_conn(&mut self, conn: Conn) {
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        self.net.connections_open.dec();
+        self.net.closed.inc();
+        // Dropping the stream closes the fd; dropping pending entries
+        // drops their receivers — a shard reply to one simply vanishes,
+        // same as the old per-connection writer dying mid-drain.
+    }
+
+    fn http_handoff(&mut self, conn: Conn, leftover: Vec<u8>) {
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        let stream = conn.stream;
+        let _ = stream.set_nonblocking(false);
+        // Counted before the handler runs so the scrape body it renders
+        // already includes this scrape.
+        self.net.http_scrapes.inc();
+        let inner = Arc::clone(&self.inner);
+        let net = Arc::clone(&self.net);
+        self.http_handles.push(std::thread::spawn(move || {
+            serve_scrape(stream, leftover, &inner);
+            net.connections_open.dec();
+            net.closed.inc();
+        }));
+    }
+
+    fn reap_http_handles(&mut self) {
+        let mut i = 0;
+        while i < self.http_handles.len() {
+            if self.http_handles[i].is_finished() {
+                let _ = self.http_handles.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Drains the socket to `WouldBlock`, feeding the preamble sniffer
+    /// and then the incremental frame decoder.
+    fn conn_read(&mut self, conn: &mut Conn) {
+        loop {
+            let n = match (&conn.stream).read(&mut self.read_buf) {
+                Ok(0) => {
+                    // EOF. Mid-frame (or mid-preamble with bytes already
+                    // consumed into a frame) is a protocol error; at a
+                    // frame boundary it is a clean half-close.
+                    conn.closing = true;
+                    if matches!(conn.state, ConnState::Binary) && conn.decoder.mid_frame() {
+                        self.net.wire_errors.inc();
+                    }
+                    return;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if matches!(conn.state, ConnState::Binary) && conn.decoder.mid_frame() {
+                        self.net.partial_reads.inc();
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.net.wire_errors.inc();
+                    conn.dead = true;
+                    return;
+                }
+            };
+            let mut chunk = &self.read_buf[..n];
+            if let ConnState::Preamble(pre) = &mut conn.state {
+                let need = 4 - pre.len();
+                let take = need.min(chunk.len());
+                pre.extend_from_slice(&chunk[..take]);
+                chunk = &chunk[take..];
+                if pre.len() < 4 {
+                    continue;
+                }
+                if pre[..4] == MAGIC {
+                    conn.state = ConnState::Binary;
+                } else if &pre[..4] == b"GET " {
+                    conn.handoff = Some(chunk.to_vec());
+                    return;
+                } else {
+                    self.net.wire_errors.inc();
+                    conn.dead = true;
+                    return;
+                }
+            }
+            conn.decoder.push(chunk);
+            self.drain_frames(conn);
+            if conn.closing || conn.dead {
+                return;
+            }
+        }
+    }
+
+    /// Admits every complete frame buffered in the connection's decoder.
+    fn drain_frames(&mut self, conn: &mut Conn) {
+        loop {
+            let payload = match conn.decoder.next_frame() {
+                Ok(Some(payload)) => payload,
+                Ok(None) => return,
+                Err(_) => {
+                    // An oversized length prefix leaves the stream
+                    // unsynchronized: stop reading, flush what is owed,
+                    // close.
+                    self.net.wire_errors.inc();
+                    conn.closing = true;
+                    return;
+                }
+            };
+            self.net.frames_in.inc();
+            if payload.len() < 8 {
+                // No correlation id to reply to.
+                self.net.wire_errors.inc();
+                conn.closing = true;
+                return;
+            }
+            let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            let hook: Arc<dyn CompletionHook> = conn.hook.clone();
+            match decode_and_submit(&payload[8..], &self.transport, &self.cache, Some(hook)) {
+                Ok(rx) => conn.inflight.push_back(Entry::Pending(id, rx)),
+                Err(e) => {
+                    if matches!(e, ServeError::Wire(_)) {
+                        self.net.wire_errors.inc();
+                    }
+                    conn.inflight
+                        .push_back(Entry::Ready(id, Reply::bare(Err(e))));
+                }
+            }
+        }
+    }
+
+    /// Encodes every reply that is ready *at the front* of the in-flight
+    /// queue into the connection's write buffer. Stopping at the first
+    /// still-pending entry is what preserves submission-order replies.
+    fn pump(&mut self, conn: &mut Conn) {
+        loop {
+            let Some(front) = conn.inflight.front_mut() else {
+                return;
+            };
+            let (id, reply) = match front {
+                Entry::Ready(..) => match conn.inflight.pop_front() {
+                    Some(Entry::Ready(id, reply)) => (id, reply),
+                    _ => unreachable!("front was Ready"),
+                },
+                Entry::Pending(id, rx) => match rx.try_recv() {
+                    Ok(reply) => {
+                        let id = *id;
+                        conn.inflight.pop_front();
+                        (id, reply)
+                    }
+                    Err(TryRecvError::Empty) => return,
+                    Err(TryRecvError::Disconnected) => {
+                        let id = *id;
+                        conn.inflight.pop_front();
+                        (
+                            id,
+                            Reply::bare(Err(ServeError::Transport("shard worker exited".into()))),
+                        )
+                    }
+                },
+            };
+            let payload = wire::encode_response(id, &reply.result, reply.trace_id);
+            // Counted before the flush: once the peer can observe the
+            // reply, a metrics snapshot must already include it.
+            self.net.frames_out.inc();
+            conn.outbuf
+                .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            conn.outbuf.extend_from_slice(&payload);
+            conn.pending_frames += 1;
+        }
+    }
+
+    /// Writes the buffered replies out, coalescing every frame encoded
+    /// since the last flush into as few syscalls as the socket allows.
+    fn flush(&mut self, conn: &mut Conn) {
+        if conn.flushed() {
+            conn.pending_frames = 0;
+            return;
+        }
+        if conn.pending_frames >= 2 {
+            self.net.writev_batches.inc();
+        }
+        conn.pending_frames = 0;
+        while conn.outpos < conn.outbuf.len() {
+            match (&conn.stream).write(&conn.outbuf[conn.outpos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => conn.outpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        if conn.flushed() {
+            conn.outbuf.clear();
+            conn.outpos = 0;
+        } else if conn.outpos >= 64 * 1024 {
+            conn.outbuf.drain(..conn.outpos);
+            conn.outpos = 0;
+        }
+    }
+
+    // -- drain --------------------------------------------------------------
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            if self.accept_paused_until.is_none() {
+                let _ = self.poller.remove(listener.as_raw_fd());
+            }
+            self.accept_paused_until = None;
+        }
+        // Stop reading everywhere; idle connections close immediately,
+        // the rest pump their remaining replies out first.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(mut conn) = self.conns.remove(&token) else {
+                continue;
+            };
+            conn.closing = true;
+            self.pump(&mut conn);
+            if !conn.dead {
+                self.flush(&mut conn);
+            }
+            if conn.dead || (conn.inflight.is_empty() && conn.flushed()) {
+                self.close_conn(conn);
+                continue;
+            }
+            let desired = conn.desired_interest();
+            if desired != conn.interest {
+                let _ = self.poller.modify(conn.stream.as_raw_fd(), token, desired);
+                conn.interest = desired;
+            }
+            self.conns.insert(token, conn);
+        }
+    }
+}
+
+fn is_fd_exhaustion(e: &std::io::Error) -> bool {
+    // EMFILE (per-process fd limit) = 24, ENFILE (system table) = 23 on
+    // every unix this builds for.
+    matches!(e.raw_os_error(), Some(24) | Some(23))
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
 
 /// A service's open TCP port. Returned by
 /// [`Service::listen`](crate::Service::listen); dropping it (or calling
@@ -149,61 +775,86 @@ impl ConnRegistry {
 pub struct Listener {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    registry: Arc<ConnRegistry>,
+    loops: Vec<JoinHandle<()>>,
+    shared: Vec<Arc<LoopShared>>,
 }
 
 impl Listener {
     pub(crate) fn bind(inner: Arc<Inner>) -> Result<Self, ServeError> {
         let listener = TcpListener::bind(inner.config.bind_addr.as_str())
             .map_err(|e| io_err("bind failed", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err("nonblocking listener", e))?;
         let addr = listener
             .local_addr()
             .map_err(|e| io_err("no local addr", e))?;
         let stop = Arc::new(AtomicBool::new(false));
-        let registry = Arc::new(ConnRegistry::default());
         let cache = Arc::new(GraphCache::default());
-        let accept = {
-            let stop = Arc::clone(&stop);
-            let registry = Arc::clone(&registry);
-            std::thread::spawn(move || {
-                for conn in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let net = Arc::clone(&inner.net);
-                    net.accepted.inc();
-                    net.connections_open.inc();
-                    let token = stream
-                        .try_clone()
-                        .ok()
-                        .map(|clone| registry.register(clone));
-                    let transport = ChannelTransport::new(Arc::clone(&inner));
-                    let cache = Arc::clone(&cache);
-                    let metrics_inner = Arc::clone(&inner);
-                    let conn_registry = Arc::clone(&registry);
-                    let handle = std::thread::spawn(move || {
-                        serve_connection(stream, transport, metrics_inner, cache, Arc::clone(&net));
-                        if let Some(token) = token {
-                            conn_registry.deregister(token);
-                        }
-                        net.connections_open.dec();
-                        net.closed.inc();
-                    });
-                    registry
-                        .handles
-                        .lock()
-                        .expect("handle registry lock")
-                        .push(handle);
-                }
-            })
-        };
+        let n_loops = inner.config.event_loops.max(1);
+
+        let mut shared = Vec::with_capacity(n_loops);
+        let mut wake_halves = Vec::with_capacity(n_loops);
+        for _ in 0..n_loops {
+            let (wake_tx, wake_rx) = UnixStream::pair().map_err(|e| io_err("wakeup pipe", e))?;
+            wake_tx
+                .set_nonblocking(true)
+                .map_err(|e| io_err("wakeup pipe", e))?;
+            wake_rx
+                .set_nonblocking(true)
+                .map_err(|e| io_err("wakeup pipe", e))?;
+            shared.push(Arc::new(LoopShared {
+                wake_tx,
+                ready: Mutex::new(Vec::new()),
+                incoming: Mutex::new(Vec::new()),
+            }));
+            wake_halves.push(wake_rx);
+        }
+        let all = Arc::new(shared.clone());
+
+        let mut listener_slot = Some(listener);
+        let mut loops = Vec::with_capacity(n_loops);
+        for (index, wake_rx) in wake_halves.into_iter().enumerate() {
+            let mut poller = Poller::new().map_err(|e| io_err("poller", e))?;
+            poller
+                .add(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)
+                .map_err(|e| io_err("poller", e))?;
+            let listener = if index == 0 {
+                listener_slot.take()
+            } else {
+                None
+            };
+            if let Some(l) = &listener {
+                poller
+                    .add(l.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                    .map_err(|e| io_err("poller", e))?;
+            }
+            let event_loop = EventLoop {
+                poller,
+                wake_rx,
+                shared: Arc::clone(&shared[index]),
+                all: Arc::clone(&all),
+                listener,
+                accept_paused_until: None,
+                conns: HashMap::new(),
+                next_token: CONN_BASE,
+                rr: 0,
+                stop: Arc::clone(&stop),
+                draining: false,
+                transport: ChannelTransport::new(Arc::clone(&inner)),
+                inner: Arc::clone(&inner),
+                cache: Arc::clone(&cache),
+                net: Arc::clone(&inner.net),
+                http_handles: Vec::new(),
+                read_buf: vec![0u8; 64 * 1024],
+            };
+            loops.push(std::thread::spawn(move || event_loop.run()));
+        }
         Ok(Self {
             addr,
             stop,
-            accept: Some(accept),
-            registry,
+            loops,
+            shared,
         })
     }
 
@@ -213,8 +864,8 @@ impl Listener {
         self.addr
     }
 
-    /// Stops accepting, drains in-flight replies, and joins every
-    /// connection handler. Idempotent; also runs on drop.
+    /// Stops accepting, drains in-flight replies, and joins the event
+    /// loops. Idempotent; also runs on drop.
     pub fn shutdown(mut self) {
         self.stop_impl();
     }
@@ -223,30 +874,10 @@ impl Listener {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with one throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
+        for s in &self.shared {
+            s.poke();
         }
-        // Half-close: readers see EOF and stop admitting; writers still
-        // flush every already-admitted reply before their threads exit.
-        for stream in self
-            .registry
-            .streams
-            .lock()
-            .expect("stream registry lock")
-            .values()
-        {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        let handles: Vec<_> = self
-            .registry
-            .handles
-            .lock()
-            .expect("handle registry lock")
-            .drain(..)
-            .collect();
-        for handle in handles {
+        for handle in self.loops.drain(..) {
             let _ = handle.join();
         }
     }
@@ -259,29 +890,8 @@ impl Drop for Listener {
 }
 
 // ---------------------------------------------------------------------------
-// Per-connection server loops
+// HTTP side of the port
 // ---------------------------------------------------------------------------
-
-fn serve_connection(
-    mut stream: TcpStream,
-    transport: ChannelTransport,
-    inner: Arc<Inner>,
-    cache: Arc<GraphCache>,
-    net: Arc<NetStats>,
-) {
-    let mut preamble = [0u8; 4];
-    if stream.read_exact(&mut preamble).is_err() {
-        return;
-    }
-    if preamble == MAGIC {
-        serve_binary(stream, transport, cache, net);
-    } else if &preamble == b"GET " {
-        net.http_scrapes.inc();
-        serve_scrape(stream, &inner);
-    } else {
-        net.wire_errors.inc();
-    }
-}
 
 /// How many retained traces one `GET /traces` response returns, newest
 /// last. The flight recorder's default ring is the same size, so this is
@@ -289,18 +899,22 @@ fn serve_connection(
 const TRACES_LIMIT: usize = 256;
 
 /// Serves one HTTP request and closes. The `GET ` preamble has already
-/// been consumed, so the head starts with the path, which routes:
+/// been consumed (any bytes read past it arrive as `leftover`), so the
+/// head starts with the path, which routes:
 ///
 /// * `/health` — liveness JSON (uptime, request totals, trace buffer).
 /// * `/traces` — the flight recorder's retained traces as JSON-lines,
 ///   newest last.
 /// * `/traces/<id>` — one retained trace by decimal id, or 404.
 /// * anything else (canonically `/metrics`) — the Prometheus scrape body.
-fn serve_scrape(mut stream: TcpStream, inner: &Inner) {
+fn serve_scrape(mut stream: TcpStream, leftover: Vec<u8>, inner: &Inner) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let mut seen = Vec::with_capacity(256);
+    fn head_complete(seen: &[u8]) -> bool {
+        seen.windows(4).any(|w| w == b"\r\n\r\n")
+    }
+    let mut seen = leftover;
     let mut byte = [0u8; 1];
-    while seen.len() < 8192 && !seen.ends_with(b"\r\n\r\n") {
+    while seen.len() < 8192 && !head_complete(&seen) {
         match stream.read(&mut byte) {
             Ok(1) => seen.push(byte[0]),
             _ => break,
@@ -371,89 +985,16 @@ fn serve_scrape(mut stream: TcpStream, inner: &Inner) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn serve_binary(
-    mut stream: TcpStream,
-    transport: ChannelTransport,
-    cache: Arc<GraphCache>,
-    net: Arc<NetStats>,
-) {
-    let Ok(write_stream) = stream.try_clone() else {
-        return;
-    };
-    // Replies flow through this queue in submission order; a rendezvous
-    // pre-filled with the error result gives failed admissions the same
-    // path as real replies.
-    let (reply_tx, reply_rx) = mpsc::channel::<(u64, ReplyReceiver)>();
-    let writer_net = Arc::clone(&net);
-    let writer = std::thread::spawn(move || {
-        let mut w = BufWriter::new(write_stream);
-        while let Ok((id, reply)) = reply_rx.recv() {
-            let reply = reply.recv().unwrap_or_else(|_| {
-                Reply::bare(Err(ServeError::Transport("shard worker exited".into())))
-            });
-            let payload = wire::encode_response(id, &reply.result, reply.trace_id);
-            // Counted before the flush: once the peer can observe the
-            // reply, a metrics snapshot must already include it.
-            writer_net.frames_out.inc();
-            if wire::write_frame(&mut w, &payload)
-                .and_then(|()| w.flush())
-                .is_err()
-            {
-                break;
-            }
-        }
-    });
-
-    let immediate = |err: ServeError| -> ReplyReceiver {
-        let (tx, rx) = mpsc::sync_channel(1);
-        let _ = tx.send(Reply::bare(Err(err)));
-        rx
-    };
-
-    loop {
-        let payload = match wire::read_frame(&mut stream) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => break,
-            Err(_) => {
-                // A framing-level failure (oversized prefix, mid-frame
-                // EOF) leaves the stream unsynchronized: close it.
-                net.wire_errors.inc();
-                break;
-            }
-        };
-        net.frames_in.inc();
-        if payload.len() < 8 {
-            // No correlation id to reply to.
-            net.wire_errors.inc();
-            break;
-        }
-        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-        let reply = match decode_and_submit(&payload[8..], &transport, &cache) {
-            Ok(rx) => rx,
-            Err(e) => {
-                if matches!(e, ServeError::Wire(_)) {
-                    net.wire_errors.inc();
-                }
-                immediate(e)
-            }
-        };
-        if reply_tx.send((id, reply)).is_err() {
-            break;
-        }
-    }
-    // Dropping our sender lets the writer drain whatever is still pending
-    // and exit; joining it is what makes listener shutdown "drained".
-    drop(reply_tx);
-    let _ = writer.join();
-}
-
-/// Decodes one request body and admits it through the shard queues.
-/// Admission failures (`QueueFull`, `Shutdown`) and decode failures come
-/// back as the error the remote caller should see.
+/// Decodes one request body and admits it through the shard queues,
+/// attaching the connection's completion hook so the owning event loop is
+/// poked when the reply lands. Admission failures (`QueueFull`,
+/// `Shutdown`) and decode failures come back as the error the remote
+/// caller should see.
 fn decode_and_submit(
     body: &[u8],
     transport: &ChannelTransport,
     cache: &GraphCache,
+    hook: Option<Arc<dyn CompletionHook>>,
 ) -> Result<ReplyReceiver, ServeError> {
     let request = wire::decode_request_body(body)?;
     let kind = match request.body {
@@ -479,13 +1020,16 @@ fn decode_and_submit(
     // The deadline crossed relative; anchor it here, at admission — the
     // queue wait counts against it exactly as it does in-process.
     let timeout = (request.deadline_ms > 0).then(|| Duration::from_millis(request.deadline_ms));
-    transport.submit(Request {
-        tenant: request.tenant,
-        kind,
-        timeout,
-        strategy: request.strategy,
-        trace: request.trace,
-    })
+    transport.submit_hooked(
+        Request {
+            tenant: request.tenant,
+            kind,
+            timeout,
+            strategy: request.strategy,
+            trace: request.trace,
+        },
+        hook,
+    )
 }
 
 // ---------------------------------------------------------------------------

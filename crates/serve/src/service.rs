@@ -18,7 +18,7 @@ use crate::client::ServeClient;
 use crate::metrics::{NetStats, ServeMetrics, ShardStats};
 use crate::net::Listener;
 use crate::traced::{kind_name, RequestTracer};
-use crate::transport::{Reply, RequestKind, Response};
+use crate::transport::{Reply, ReplySlot, RequestKind, Response};
 use crate::{mix64, tenant_seed, ServeConfig};
 
 /// `e`/`stats` requests draw their samples in fixed chunks of this many
@@ -43,7 +43,9 @@ pub(crate) struct Job {
     /// Admission on the span clock ([`monotonic_ns`]); `0` for requests
     /// that are not sampled (the stamp is skipped entirely).
     pub(crate) enqueued_ns: u64,
-    pub(crate) reply: SyncSender<Reply>,
+    /// Reply channel plus the optional completion hook of the admitting
+    /// transport (the event-driven listener's wakeup; `None` in-process).
+    pub(crate) reply: ReplySlot,
 }
 
 /// Seed salt separating a tenant's shadow-audit substream from its real
@@ -326,7 +328,7 @@ fn process(
     }
     // A dropped receiver means the caller gave up; the work is done either
     // way, and per-tenant stream state is already consistent.
-    let _ = reply.send(Reply {
+    reply.send(Reply {
         result,
         trace_id: trace.map(|c| c.trace_id),
     });

@@ -130,6 +130,39 @@ impl Reply {
 /// Where a submitted request's reply eventually arrives.
 pub type ReplyReceiver = Receiver<Reply>;
 
+/// A callback fired *after* a reply lands on its channel.
+///
+/// The event-driven listener cannot block a poll loop on a
+/// [`ReplyReceiver`]; instead it attaches a hook at admission that pokes
+/// the owning loop's wakeup pipe once the reply is sent, making reply
+/// readiness O(completions) instead of O(open connections) per tick. The
+/// hook runs on the shard worker thread, so implementations must be cheap
+/// and must never block.
+pub(crate) trait CompletionHook: Send + Sync {
+    fn on_reply(&self);
+}
+
+/// The reply side of a job: the channel every reply goes down, plus the
+/// optional completion hook the event-driven listener uses to learn the
+/// reply is there without blocking on the channel.
+pub(crate) struct ReplySlot {
+    tx: mpsc::SyncSender<Reply>,
+    hook: Option<Arc<dyn CompletionHook>>,
+}
+
+impl ReplySlot {
+    /// Sends the reply, then fires the hook. Order matters: the hook's
+    /// observer must find the reply already receivable when it wakes. A
+    /// send failure (receiver dropped — the submitter gave up) still
+    /// fires the hook so a listener-side observer can retire the entry.
+    pub(crate) fn send(&self, reply: Reply) {
+        let _ = self.tx.send(reply);
+        if let Some(hook) = &self.hook {
+            hook.on_reply();
+        }
+    }
+}
+
 /// A way to get requests to a service and replies back.
 ///
 /// `submit` must be cheap and non-blocking in the sense of the in-process
@@ -156,10 +189,17 @@ impl ChannelTransport {
     pub(crate) fn new(inner: Arc<Inner>) -> Self {
         Self { inner }
     }
-}
 
-impl Transport for ChannelTransport {
-    fn submit(&self, request: Request) -> Result<ReplyReceiver, ServeError> {
+    /// [`Transport::submit`] with an optional completion hook attached to
+    /// the reply slot. This is the one admission path — every QueueFull /
+    /// Shutdown / deadline-anchoring decision lives here, whether the
+    /// caller is an in-process client (no hook) or the event-driven
+    /// listener (hook pokes the owning poll loop).
+    pub(crate) fn submit_hooked(
+        &self,
+        request: Request,
+        hook: Option<Arc<dyn CompletionHook>>,
+    ) -> Result<ReplyReceiver, ServeError> {
         let Request {
             tenant,
             kind,
@@ -189,7 +229,7 @@ impl Transport for ChannelTransport {
                 Some(ctx) if ctx.sampled => uncertain_obs::monotonic_ns(),
                 _ => 0,
             },
-            reply: reply_tx,
+            reply: ReplySlot { tx: reply_tx, hook },
         };
         {
             let guard = shard.tx.lock().expect("shard sender lock");
@@ -216,5 +256,11 @@ impl Transport for ChannelTransport {
         // timed-out requests. A dropped reply channel therefore means the
         // worker is gone.
         Ok(reply_rx)
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn submit(&self, request: Request) -> Result<ReplyReceiver, ServeError> {
+        self.submit_hooked(request, None)
     }
 }

@@ -59,19 +59,19 @@ use uncertain_core::WireError;
 
 /// Connection preamble of the binary protocol. An HTTP `GET ` in its place
 /// routes the connection to the metrics endpoint instead.
-pub(crate) const MAGIC: [u8; 4] = *b"UNC1";
+pub const MAGIC: [u8; 4] = *b"UNC1";
 
 /// Upper bound on one frame's payload. Large enough for a `stats` reply
 /// carrying ~2M observations; small enough that a corrupt length prefix
 /// cannot balloon memory.
-pub(crate) const MAX_FRAME: usize = 16 << 20;
+pub const MAX_FRAME: usize = 16 << 20;
 
 // ---------------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------------
 
 /// Writes one `[len][payload]` frame. Does not flush.
-pub(crate) fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     debug_assert!(payload.len() <= MAX_FRAME, "oversized outbound frame");
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)
@@ -101,6 +101,93 @@ pub(crate) fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Incremental twin of `read_frame` for nonblocking sockets.
+///
+/// A blocking reader can `read_exact` its way through a frame; an
+/// event-loop connection instead receives bytes in whatever chunks the
+/// kernel delivers and must resume mid-frame across poll wakeups. Bytes
+/// go in via [`push`](Self::push); complete frames come out of
+/// [`next_frame`](Self::next_frame), which applies the same [`MAX_FRAME`]
+/// cap as the blocking reader — and applies it to the *length prefix*,
+/// before any payload arrives, so a hostile header is rejected without
+/// buffering a byte of its claimed payload.
+///
+/// The split between arriving chunks is invisible in the output: for any
+/// byte stream, the sequence of frames (and the error, if the stream is
+/// corrupt) is identical to what repeated `read_frame` calls would
+/// produce. A proptest in this module pins that equivalence over
+/// arbitrary split points.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes to the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame payload, if the buffered bytes
+    /// hold one. `Ok(None)` means "need more bytes"; an error means the
+    /// stream is corrupt (oversized length prefix) and the connection
+    /// should be dropped — the decoder makes no progress past it.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let hdr = &self.buf[self.pos..self.pos + 4];
+        let len = u32::from_le_bytes(hdr.try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Malformed(format!(
+                "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+            )));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let payload = self.buf[start..start + len].to_vec();
+        self.pos = start + len;
+        self.compact();
+        Ok(Some(payload))
+    }
+
+    /// Whether undecoded bytes are buffered — i.e. the stream stopped
+    /// mid-frame. EOF with `mid_frame()` is a protocol error (the peer
+    /// died inside a frame); EOF without is a clean close, exactly
+    /// mirroring `read_frame`'s `Ok(None)`-vs-error distinction.
+    pub fn mid_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn compact(&mut self) {
+        // Reclaim consumed prefix bytes once they dominate the buffer, so
+        // a long-lived connection doesn't grow its buffer without bound
+        // while amortizing the memmove across many frames.
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -275,7 +362,7 @@ pub(crate) enum WireBody {
 
 /// Encodes one request as a frame payload. Fails only if the query graph
 /// is not wire-expressible.
-pub(crate) fn encode_request(id: u64, request: &Request) -> Result<Vec<u8>, ServeError> {
+pub fn encode_request(id: u64, request: &Request) -> Result<Vec<u8>, ServeError> {
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&id.to_le_bytes());
     out.extend_from_slice(&request.tenant.to_le_bytes());
@@ -523,7 +610,7 @@ pub(crate) fn encode_response(
 /// Decodes one reply payload into its correlation id, the echoed trace
 /// id (if the request carried one), and the result.
 #[allow(clippy::type_complexity)]
-pub(crate) fn decode_response(
+pub fn decode_response(
     bytes: &[u8],
 ) -> Result<(u64, Option<u64>, Result<Response, ServeError>), WireError> {
     let mut r = Reader::new(bytes);
@@ -873,7 +960,127 @@ mod tests {
         assert!(read_frame(&mut cursor).is_err());
     }
 
+    #[test]
+    fn incremental_decoder_matches_blocking_reader_byte_by_byte() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, &[7u8; 300]).unwrap();
+
+        // Worst-case fragmentation: one byte per push.
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"alpha");
+        assert_eq!(frames[1], b"");
+        assert_eq!(frames[2], vec![7u8; 300]);
+        assert!(!dec.mid_frame(), "stream ended at a frame boundary");
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversize_before_payload_arrives() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&((MAX_FRAME + 1) as u32).to_le_bytes());
+        assert!(dec.next_frame().is_err(), "hostile prefix, zero payload");
+    }
+
+    #[test]
+    fn incremental_decoder_reports_mid_frame_state() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"cut short").unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..stream.len() - 2]);
+        assert_eq!(dec.next_frame().unwrap(), None, "incomplete");
+        assert!(dec.mid_frame(), "EOF here would be a protocol error");
+        dec.push(&stream[stream.len() - 2..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"cut short");
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn incremental_decoder_compacts_consumed_prefix() {
+        // Many frames through one decoder must not grow the buffer
+        // linearly with bytes ever received.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &[9u8; 1024]).unwrap();
+        let mut dec = FrameDecoder::new();
+        for _ in 0..256 {
+            dec.push(&frame);
+            assert_eq!(dec.next_frame().unwrap().unwrap(), vec![9u8; 1024]);
+        }
+        assert_eq!(dec.buffered(), 0);
+        assert!(
+            dec.buf.capacity() < 64 * 1024,
+            "buffer kept growing: {} bytes after 256 KiB-scale frames",
+            dec.buf.capacity()
+        );
+    }
+
     proptest! {
+        /// The incremental decoder is bitwise equivalent to the blocking
+        /// `read_frame` oracle on the same byte stream, however the
+        /// stream is split into `push` chunks: same frames in the same
+        /// order, and corrupt streams fail at the same frame index.
+        #[test]
+        fn incremental_decoder_matches_one_shot_oracle(
+            payload_lens in proptest::collection::vec(0usize..200, 0..8),
+            corrupt_flag in 0u8..2,
+            splits in proptest::collection::vec(1usize..64, 1..32),
+        ) {
+            let corrupt = corrupt_flag == 1;
+            let mut stream = Vec::new();
+            for &len in &payload_lens {
+                write_frame(&mut stream, &vec![0xAB; len]).unwrap();
+            }
+            if corrupt {
+                // A frame whose length prefix exceeds the cap: both
+                // decoders must reject it after the good frames.
+                stream.extend_from_slice(&((MAX_FRAME + 1) as u32).to_le_bytes());
+            }
+
+            // Oracle: the blocking reader over the whole stream.
+            let mut oracle_frames = Vec::new();
+            let mut cursor = io::Cursor::new(stream.clone());
+            let oracle_err = loop {
+                match read_frame(&mut cursor) {
+                    Ok(Some(f)) => oracle_frames.push(f),
+                    Ok(None) => break false,
+                    Err(_) => break true,
+                }
+            };
+
+            // Subject: the incremental decoder fed arbitrary chunks.
+            let mut dec = FrameDecoder::new();
+            let mut dec_frames = Vec::new();
+            let mut dec_err = false;
+            let mut offset = 0;
+            let mut split_iter = splits.iter().cycle();
+            'feed: while offset < stream.len() {
+                let take = (*split_iter.next().unwrap()).min(stream.len() - offset);
+                dec.push(&stream[offset..offset + take]);
+                offset += take;
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(f)) => dec_frames.push(f),
+                        Ok(None) => break,
+                        Err(_) => {
+                            dec_err = true;
+                            break 'feed;
+                        }
+                    }
+                }
+            }
+
+            prop_assert_eq!(dec_frames, oracle_frames);
+            prop_assert_eq!(dec_err, oracle_err);
+        }
+
         /// Every strict prefix of a well-formed response payload decodes
         /// to an error, never a panic or a bogus success.
         #[test]

@@ -1,0 +1,156 @@
+//! Robustness tests of the event-driven listener: a slow-dripping
+//! connection must not stall its loop-mates, and hostile framing
+//! (truncated, oversized) must close the one connection without harming
+//! the service.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use uncertain_core::Uncertain;
+use uncertain_serve::wire::{self, MAGIC, MAX_FRAME};
+use uncertain_serve::{Request, RequestKind, ServeClient, ServeConfig, Service};
+
+fn cond() -> Uncertain<bool> {
+    Uncertain::bernoulli(0.9).unwrap()
+}
+
+/// One event loop on purpose: every connection in these tests shares it,
+/// so any per-connection stall would be visible to all of them.
+fn start_service() -> Service {
+    Service::start(
+        ServeConfig::builder()
+            .shards(2)
+            .seed(2014)
+            .event_loops(1)
+            .bind_addr("127.0.0.1:0")
+            .build()
+            .expect("valid config"),
+    )
+}
+
+#[test]
+fn a_one_byte_per_tick_writer_does_not_stall_other_connections() {
+    let service = start_service();
+    let listener = service.listen().expect("listen");
+    let addr = listener.local_addr();
+
+    // A valid request frame, to be dribbled one byte per tick — the
+    // slowloris shape: always mid-frame, never done.
+    let payload = wire::encode_request(
+        7,
+        &Request {
+            tenant: 3,
+            kind: RequestKind::Evaluate {
+                cond: cond(),
+                threshold: 0.5,
+            },
+            timeout: None,
+            strategy: None,
+            trace: None,
+        },
+    )
+    .expect("encode");
+    let mut framed = Vec::from(MAGIC);
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&payload);
+
+    let slow = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("slow connect");
+        for &b in &framed {
+            stream.write_all(&[b]).expect("slow write");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The dribbled frame is valid, so it still earns a real reply.
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len).expect("reply length");
+        let mut reply = vec![0u8; u32::from_le_bytes(len) as usize];
+        stream.read_exact(&mut reply).expect("reply payload");
+        let (id, _trace, result) = wire::decode_response(&reply).expect("decode reply");
+        assert_eq!(id, 7);
+        result.expect("slow client's decision");
+    });
+
+    // Meanwhile a normal client on the *same* event loop must sail
+    // through; if the loop ever blocked on the dripping socket, these
+    // round-trips would hang and the timeout below would fire.
+    let (done_tx, done_rx) = mpsc::channel();
+    let fast = std::thread::spawn(move || {
+        let client = ServeClient::connect(addr).expect("fast connect");
+        let cond = cond();
+        for _round in 0..40 {
+            for tenant in 0..3 {
+                client.evaluate(tenant, &cond, 0.5).expect("fast evaluate");
+            }
+        }
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("fast client stalled behind the slowloris connection");
+    fast.join().unwrap();
+    slow.join().unwrap();
+
+    drop(listener);
+    let metrics = service.shutdown();
+    assert!(
+        metrics.net.partial_reads > 0,
+        "byte-at-a-time delivery must surface as partial reads"
+    );
+    assert_eq!(metrics.net.wire_errors, 0);
+}
+
+#[test]
+fn truncated_and_oversized_frames_close_the_connection_but_not_the_service() {
+    let service = start_service();
+    let listener = service.listen().expect("listen");
+    let addr = listener.local_addr();
+
+    // Truncated: a frame that promises 100 bytes delivers 10, then EOF.
+    // Mid-frame EOF is a protocol error — no reply, connection closed.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&MAGIC).unwrap();
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 10]).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(
+            stream.read(&mut buf).unwrap(),
+            0,
+            "server must close a truncated connection without replying"
+        );
+    }
+
+    // Oversized: a length prefix beyond MAX_FRAME is rejected from the
+    // prefix alone — the server never buffers toward a 16 MiB payload it
+    // already knows is illegal.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&MAGIC).unwrap();
+        stream
+            .write_all(&((MAX_FRAME as u32) + 1).to_le_bytes())
+            .unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(
+            stream.read(&mut buf).unwrap(),
+            0,
+            "server must close on an oversized length prefix"
+        );
+    }
+
+    // Both rejections cost one connection each, nothing more: the
+    // service still answers a well-formed client.
+    let client = ServeClient::connect(addr).expect("connect");
+    client.evaluate(1, &cond(), 0.5).expect("service survived");
+
+    drop(client);
+    drop(listener);
+    let metrics = service.shutdown();
+    assert!(
+        metrics.net.wire_errors >= 2,
+        "both hostile frames must be counted, saw {}",
+        metrics.net.wire_errors
+    );
+}

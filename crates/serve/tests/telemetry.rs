@@ -3,7 +3,8 @@
 
 use std::time::Duration;
 use uncertain_core::Uncertain;
-use uncertain_serve::{ServeConfig, Service};
+use uncertain_obs::PromWriter;
+use uncertain_serve::{ServeClient, ServeConfig, Service};
 
 fn decisive() -> Uncertain<bool> {
     Uncertain::bernoulli(0.9).unwrap()
@@ -103,4 +104,79 @@ fn prometheus_rendering_reports_the_scrape_series() {
     assert!(body.contains("uncertain_queue_depth{shard=\"1\"} 0\n"));
     // Every series the exposition format requires is newline-terminated.
     assert!(body.ends_with('\n'));
+}
+
+#[test]
+fn event_loop_counters_reach_the_scrape_and_labels_stay_escaped() {
+    let service = Service::start(
+        ServeConfig::builder()
+            .shards(2)
+            .seed(23)
+            .event_loops(1)
+            .bind_addr("127.0.0.1:0")
+            .build()
+            .expect("valid config"),
+    );
+    let listener = service.listen().expect("listen");
+    let client = ServeClient::connect(listener.local_addr()).expect("connect");
+    let cond = decisive();
+    // Pipelined submits give the coalescer a chance to batch replies.
+    let pending: Vec<_> = (0..8)
+        .map(|t| client.submit_evaluate(t, &cond, 0.5, None).expect("submit"))
+        .collect();
+    for p in pending {
+        p.wait().expect("evaluate");
+    }
+    drop(client);
+    drop(listener);
+    let metrics = service.shutdown();
+    let body = metrics.render_prometheus();
+
+    // The event-loop counters all reach the scrape, typed and sampled.
+    for series in [
+        "uncertain_net_accept_stalls_total",
+        "uncertain_net_event_loop_wakeups_total",
+        "uncertain_net_partial_reads_total",
+        "uncertain_net_writev_batches_total",
+        "uncertain_net_connections_registered_total",
+    ] {
+        assert!(
+            body.contains(&format!("# TYPE {series} counter")),
+            "missing TYPE line for {series}"
+        );
+        assert!(
+            body.lines().any(|l| {
+                l.strip_prefix(series)
+                    .and_then(|rest| rest.strip_prefix(' '))
+                    .is_some_and(|v| v.parse::<u64>().is_ok())
+            }),
+            "missing sample line for {series}"
+        );
+    }
+    // One registered connection, one event loop that provably woke up.
+    assert!(body.contains("uncertain_net_connections_registered_total 1\n"));
+    assert!(!body.contains("uncertain_net_event_loop_wakeups_total 0\n"));
+
+    // A hostile label value must not be able to terminate the quoted
+    // string or inject a sample line — the same writer the service's
+    // scrape uses escapes it.
+    let mut w = PromWriter::new();
+    let hostile = "evil\"} 1\nuncertain_net_accept_stalls_total 9999\\";
+    w.gauge_per(
+        "uncertain_probe",
+        "escape probe",
+        "shard",
+        &[(hostile.to_string(), 1.0)],
+    );
+    let rendered = w.finish();
+    assert!(
+        rendered.contains(
+            "uncertain_probe{shard=\"evil\\\"} 1\\nuncertain_net_accept_stalls_total 9999\\\\\"} 1\n"
+        ),
+        "label value was not escaped: {rendered}"
+    );
+    assert!(
+        !rendered.contains("\nuncertain_net_accept_stalls_total 9999"),
+        "hostile label injected a fresh sample line"
+    );
 }
